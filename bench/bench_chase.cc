@@ -1,0 +1,92 @@
+// E3 (Proposition 3.1 + chase engine): chase throughput and the identity
+// Q(D) = q(chase(D, Σ)). google-benchmark series over growing databases
+// and rule sets, then a verification table.
+
+#include <benchmark/benchmark.h>
+
+#include "chase/chase.h"
+#include "guarded/omq_eval.h"
+#include "parser/parser.h"
+#include "query/evaluation.h"
+#include "workload/generators.h"
+#include "workload/report.h"
+
+namespace gqe {
+namespace {
+
+TgdSet TransitiveClosure() {
+  return ParseTgds("e3e(X, Y), e3e(Y, Z) -> e3e(X, Z).");
+}
+
+TgdSet UniversityOntology() {
+  return ParseTgds(R"(
+    e3grad(X) -> e3stud(X).
+    e3stud(X) -> e3enr(X, U), e3uni(U).
+    e3enr(X, U) -> e3active(X).
+  )");
+}
+
+void BM_ChaseTransitiveClosure(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Instance db;
+  for (int i = 0; i < n; ++i) {
+    db.Insert(Atom::Make("e3e", {Term::Constant("a" + std::to_string(i)),
+                                 Term::Constant("a" + std::to_string(i + 1))}));
+  }
+  TgdSet sigma = TransitiveClosure();
+  for (auto _ : state) {
+    ChaseResult result = Chase(db, sigma);
+    benchmark::DoNotOptimize(result.instance.size());
+  }
+  state.counters["facts_out"] = static_cast<double>(n * (n + 1) / 2);
+}
+BENCHMARK(BM_ChaseTransitiveClosure)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_ChaseGuardedExistential(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Instance db;
+  for (int i = 0; i < n; ++i) {
+    db.Insert(Atom::Make("e3grad", {Term::Constant("s" + std::to_string(i))}));
+  }
+  TgdSet sigma = UniversityOntology();
+  for (auto _ : state) {
+    ChaseResult result = Chase(db, sigma);
+    benchmark::DoNotOptimize(result.complete);
+  }
+}
+BENCHMARK(BM_ChaseGuardedExistential)->Arg(16)->Arg(64)->Arg(256);
+
+void PrintSummary() {
+  // Verify Proposition 3.1 on the university workload: certain answers
+  // via the guarded engine equal direct evaluation over the finite chase.
+  ReportTable table({"|D|", "chase facts", "levels", "certain answers",
+                     "Prop 3.1 identity"});
+  TgdSet sigma = UniversityOntology();
+  UCQ q = ParseUcq("e3q(X) :- e3active(X).");
+  for (int n : {4, 16, 64}) {
+    Instance db;
+    for (int i = 0; i < n; ++i) {
+      db.Insert(
+          Atom::Make("e3grad", {Term::Constant("s" + std::to_string(i))}));
+    }
+    ChaseResult chased = Chase(db, sigma);
+    auto via_chase = EvaluateUCQ(q, chased.instance);
+    auto via_engine = GuardedCertainAnswers(db, sigma, q);
+    table.AddRow({ReportTable::Cell(db.size()),
+                  ReportTable::Cell(chased.instance.size()),
+                  ReportTable::Cell(chased.max_level_built),
+                  ReportTable::Cell(via_engine.size()),
+                  ReportTable::Cell(via_chase == via_engine)});
+  }
+  table.Print("E3 / Prop 3.1: Q(D) = q(chase(D, Sigma))");
+}
+
+}  // namespace
+}  // namespace gqe
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  gqe::PrintSummary();
+  return 0;
+}

@@ -1,0 +1,89 @@
+// E8 (Proposition 4.5): containment under constraints via the chase of
+// disjuncts. Validation series: the Prop 4.5 decision is compared with a
+// sampling-based refutation check (random satisfying databases), plus
+// timing.
+
+#include <cstdio>
+
+#include "chase/chase.h"
+#include "cqs/containment.h"
+#include "cqs/evaluation.h"
+#include "parser/parser.h"
+#include "workload/generators.h"
+#include "workload/report.h"
+
+namespace gqe {
+namespace {
+
+/// Samples databases satisfying sigma (by chasing random data) and
+/// checks q1(D) ⊆ q2(D) on each; returns false iff a counterexample was
+/// found.
+bool SampledContainment(const Cqs& s1, const Cqs& s2, uint64_t seed) {
+  for (int sample = 0; sample < 8; ++sample) {
+    Instance raw = RandomBinaryDatabase("e8r", 8, 14, seed * 31 + sample, "s");
+    for (uint32_t i = 0; i < 6; ++i) {
+      WorkloadRng rng(seed * 17 + sample * 3 + i);
+      raw.Insert(Atom::Make("e8u", {Term::Constant(
+                                       "s" + std::to_string(rng.Below(8)))}));
+    }
+    ChaseResult chased = Chase(raw, s1.sigma);
+    if (!chased.complete) continue;
+    const Instance& db = chased.instance;
+    auto a1 = EvaluateCqs(s1, db).answers;
+    auto a2 = EvaluateCqs(s2, db).answers;
+    for (const auto& tuple : a1) {
+      bool found = false;
+      for (const auto& other : a2) {
+        if (other == tuple) found = true;
+      }
+      if (!found) return false;
+    }
+  }
+  return true;
+}
+
+void Run() {
+  TgdSet sigma = ParseTgds(R"(
+    e8u(X) -> e8r(X, Y).
+    e8r(X, Y) -> e8t(X).
+  )");
+  struct Pair {
+    const char* name;
+    const char* q1;
+    const char* q2;
+    bool expected;
+  };
+  const Pair pairs[] = {
+      {"u ⊆ exists-r", "e8c1(X) :- e8u(X).", "e8c2(X) :- e8r(X, Y).", true},
+      {"r ⊆ t", "e8c3(X) :- e8r(X, Y).", "e8c4(X) :- e8t(X).", true},
+      {"t ⊆ r", "e8c5(X) :- e8t(X).", "e8c6(X) :- e8r(X, Y).", false},
+      {"r ⊆ u", "e8c7(X) :- e8r(X, Y).", "e8c8(X) :- e8u(X).", false},
+      {"r-loop ⊆ r", "e8c9(X) :- e8r(X, X).", "e8c10(X) :- e8r(X, Y).",
+       true},
+  };
+  ReportTable table({"pair", "Prop 4.5 verdict", "expected", "sampling agrees",
+                     "ms"});
+  for (const Pair& p : pairs) {
+    Cqs s1{sigma, ParseUcq(p.q1)};
+    Cqs s2{sigma, ParseUcq(p.q2)};
+    Stopwatch w;
+    bool verdict = CqsContained(s1, s2);
+    double ms = w.ElapsedMs();
+    bool sampled = SampledContainment(s1, s2, 7);
+    // Sampling can only *refute*: verdict=true must never meet a sampled
+    // counterexample.
+    bool consistent = verdict ? sampled : true;
+    table.AddRow({p.name, ReportTable::Cell(verdict),
+                  ReportTable::Cell(p.expected), ReportTable::Cell(consistent),
+                  ReportTable::Cell(ms)});
+  }
+  table.Print("E8 / Prop 4.5: containment under guarded constraints");
+}
+
+}  // namespace
+}  // namespace gqe
+
+int main() {
+  gqe::Run();
+  return 0;
+}

@@ -1,0 +1,75 @@
+// E13 (Theorem 7.1, Section 7, Theorem 5.13): the constraint-compatible
+// variant D* — the fpt-reduction from p-Clique to CQS evaluation. The
+// constructed database must *satisfy the integrity constraints* and the
+// query must hold iff the graph has a k-clique.
+
+#include <cstdio>
+
+#include "chase/chase.h"
+#include "grohe/clique.h"
+#include "grohe/reduction.h"
+#include "parser/parser.h"
+#include "workload/generators.h"
+#include "workload/report.h"
+
+namespace gqe {
+namespace {
+
+void Run() {
+  // Frontier-guarded decorating constraints (FG_1, single-head):
+  // every h/v edge is also a generic edge.
+  TgdSet sigma = ParseTgds(R"(
+    e13h(X, Y) -> e13e(X, Y).
+    e13v(X, Y) -> e13e(X, Y).
+  )");
+  CliqueReduction r = MakeGridCliqueReduction(3, 3, 3, "e13h", "e13v", sigma);
+
+  ReportTable table({"graph", "n", "|D*|", "D* |= Sigma", "clique?",
+                     "D* |= q?", "agree", "ms"});
+  struct Case {
+    std::string name;
+    Graph graph;
+  };
+  std::vector<Case> cases;
+  for (int seed = 0; seed < 4; ++seed) {
+    cases.push_back({"G(7,0.45) #" + std::to_string(seed),
+                     RandomGraph(7, 45, 500 + seed)});
+  }
+  cases.push_back({"planted(8,0.25,k=3)", PlantedCliqueGraph(8, 25, 3, 9)});
+  cases.push_back({"bipartite K3,3", [] {
+                     Graph g(6);
+                     for (int u = 0; u < 3; ++u) {
+                       for (int v = 3; v < 6; ++v) g.AddEdge(u, v);
+                     }
+                     return g;
+                   }()});
+
+  bool all_ok = true;
+  for (const Case& c : cases) {
+    Stopwatch w;
+    ReductionOutcome outcome = RunVariantReduction(c.graph, r);
+    double ms = w.ElapsedMs();
+    bool clique = HasClique(c.graph, r.k);
+    bool agree = clique == outcome.query_holds;
+    all_ok = all_ok && agree && outcome.satisfies_sigma;
+    table.AddRow({c.name, ReportTable::Cell(c.graph.num_vertices()),
+                  ReportTable::Cell(outcome.dstar_atoms),
+                  ReportTable::Cell(outcome.satisfies_sigma),
+                  ReportTable::Cell(clique),
+                  ReportTable::Cell(outcome.query_holds),
+                  ReportTable::Cell(agree), ReportTable::Cell(ms)});
+  }
+  table.Print(
+      "E13 / Thm 7.1 + 5.13: constraint-compatible clique reduction for "
+      "CQSs");
+  std::printf("\nAll rows agree and satisfy Sigma: %s\n",
+              all_ok ? "YES" : "NO");
+}
+
+}  // namespace
+}  // namespace gqe
+
+int main() {
+  gqe::Run();
+  return 0;
+}

@@ -1,0 +1,87 @@
+// E14 (Theorem 6.7 / Lemma 6.6 / Proposition 5.8): strong finite
+// controllability in practice — finite witnesses M(D, Σ, n) for guarded
+// sets with infinite chases, and the OMQ -> CQS reduction D* built from
+// them. Rows: witness sizes/folds, validation, and the Lemma 6.8
+// identity Q(D) = q(D*).
+
+#include <cstdio>
+
+#include "chase/chase.h"
+#include "fc/witness.h"
+#include "omq/evaluation.h"
+#include "parser/parser.h"
+#include "query/evaluation.h"
+#include "workload/report.h"
+
+namespace gqe {
+namespace {
+
+void Run() {
+  // (a) Witness construction across n for an infinite-chase set.
+  {
+    TgdSet sigma = ParseTgds("e14p(X) -> e14par(X, Y), e14p(Y).");
+    Instance db = ParseDatabase("e14p(root).");
+    ReportTable table({"n", "model facts", "folds", "is model",
+                       "agrees (path q)", "agrees (cycle q)"});
+    UCQ path_q = ParseUcq("e14q1() :- e14par(X, Y), e14par(Y, Z).");
+    UCQ cycle_q = ParseUcq("e14q2() :- e14par(X, Y), e14par(Y, X).");
+    for (int n : {1, 2, 3, 4}) {
+      FiniteWitness witness = BuildFiniteWitness(db, sigma, n);
+      table.AddRow(
+          {ReportTable::Cell(n), ReportTable::Cell(witness.model.size()),
+           ReportTable::Cell(witness.folds),
+           ReportTable::Cell(witness.is_model),
+           ReportTable::Cell(WitnessAgreesOnQuery(witness, db, sigma, path_q)),
+           ReportTable::Cell(
+               n >= 2 ? WitnessAgreesOnQuery(witness, db, sigma, cycle_q)
+                      : true)});
+    }
+    table.Print("E14a / Thm 6.7: finite witnesses M(D, Sigma, n) by folding");
+  }
+  // (b) The Proposition 5.8 reduction.
+  {
+    TgdSet sigma = ParseTgds(R"(
+      e14emp(X) -> e14boss(X, Y), e14emp(Y).
+      e14boss(X, Y) -> e14senior(Y).
+    )");
+    ReportTable table({"|D|", "witnesses", "|D*|", "D* |= Sigma", "exact",
+                       "Q(D) = q(D*)"});
+    for (int n : {1, 3, 6}) {
+      Instance db;
+      for (int i = 0; i < n; ++i) {
+        db.Insert(Atom::Make("e14emp",
+                             {Term::Constant("w" + std::to_string(i))}));
+      }
+      UCQ q = ParseUcq("e14q3(X) :- e14boss(X, Y), e14senior(Y).");
+      Omq omq = Omq::WithFullDataSchema(sigma, q);
+      OmqToCqsReduction reduction = ReduceOmqToCqs(omq, db);
+      bool satisfies = Satisfies(reduction.dstar, sigma);
+      auto certain = EvaluateOmq(omq, db).answers;
+      std::vector<std::vector<Term>> closed;
+      for (auto& tuple : EvaluateUCQ(q, reduction.dstar)) {
+        bool over_db = true;
+        for (Term t : tuple) {
+          if (!db.InDomain(t)) over_db = false;
+        }
+        if (over_db) closed.push_back(std::move(tuple));
+      }
+      table.AddRow({ReportTable::Cell(db.size()),
+                    ReportTable::Cell(reduction.witness_count),
+                    ReportTable::Cell(reduction.dstar.size()),
+                    ReportTable::Cell(satisfies),
+                    ReportTable::Cell(reduction.exact),
+                    ReportTable::Cell(closed == certain)});
+    }
+    table.Print(
+        "E14b / Prop 5.8 + Lemma 6.8: OMQ -> CQS reduction via finite "
+        "witnesses");
+  }
+}
+
+}  // namespace
+}  // namespace gqe
+
+int main() {
+  gqe::Run();
+  return 0;
+}

@@ -1,0 +1,51 @@
+// The W[1]-hardness machinery in action: the fpt-reduction from p-Clique
+// to (constraint-)query evaluation (Sections 6-7). Builds the paper's
+// variant D* of Grohe's database for a 3x3 grid query and shows that the
+// query holds on D* exactly when the graph has a 3-clique.
+
+#include <cstdio>
+
+#include "grohe/clique.h"
+#include "grohe/reduction.h"
+#include "workload/generators.h"
+#include "workload/report.h"
+
+int main() {
+  const int k = 3;
+  gqe::CliqueReduction reduction =
+      gqe::MakeGridCliqueReduction(k, 3, 3, "eh", "ev");
+  std::printf("query p: Boolean 3x3 grid CQ, %zu atoms, treewidth %d\n",
+              reduction.query.atoms().size(),
+              reduction.query.TreewidthOfExistentialPart());
+
+  gqe::ReportTable table(
+      {"graph", "vertices", "edges", "3-clique?", "D* atoms", "D* |= q?"});
+  struct Case {
+    const char* name;
+    gqe::Graph graph;
+  };
+  std::vector<Case> cases;
+  cases.push_back({"C6 (triangle-free)", gqe::Graph::Cycle(6)});
+  cases.push_back({"K4", gqe::Graph::Clique(4)});
+  cases.push_back({"random n=7 p=0.3", gqe::RandomGraph(7, 30, 11)});
+  cases.push_back({"random n=7 p=0.6", gqe::RandomGraph(7, 60, 12)});
+  cases.push_back({"planted clique n=8", gqe::PlantedCliqueGraph(8, 20, 3, 5)});
+
+  for (const Case& c : cases) {
+    const bool has_clique = gqe::HasClique(c.graph, k);
+    gqe::ReductionOutcome outcome =
+        gqe::RunVariantReduction(c.graph, reduction);
+    table.AddRow({c.name, gqe::ReportTable::Cell(c.graph.num_vertices()),
+                  gqe::ReportTable::Cell(c.graph.num_edges()),
+                  gqe::ReportTable::Cell(has_clique),
+                  gqe::ReportTable::Cell(outcome.dstar_atoms),
+                  gqe::ReportTable::Cell(outcome.query_holds)});
+    if (has_clique != outcome.query_holds) {
+      std::fprintf(stderr, "REDUCTION BROKEN on %s\n", c.name);
+      return 1;
+    }
+  }
+  table.Print("p-Clique -> evaluation via D*(G, D[p], D[p'], X) [Thm 7.1]");
+  std::printf("\nEvery row satisfies: G has a %d-clique  iff  D* |= p.\n", k);
+  return 0;
+}

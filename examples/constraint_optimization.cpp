@@ -1,0 +1,82 @@
+// Constraint-aware query optimization — the paper's Example 4.4 put to
+// work. A treewidth-2 cyclic query is, *under the integrity constraint
+// R2 ⊆ R4*, equivalent to a treewidth-1 query; the rewriting found by the
+// meta-problem procedure evaluates dramatically faster on databases that
+// honor the constraint.
+
+#include <cstdio>
+
+#include "approx/meta.h"
+#include "chase/chase.h"
+#include "cqs/cqs.h"
+#include "parser/parser.h"
+#include "query/evaluation.h"
+#include "query/tw_evaluation.h"
+#include "workload/generators.h"
+#include "workload/report.h"
+
+int main() {
+  gqe::Cqs cqs;
+  cqs.sigma = gqe::ParseTgds("r2(X) -> r4(X).");
+  cqs.query = gqe::ParseUcq(R"(
+    q() :- p(X2, X1), p(X4, X1), p(X2, X3), p(X4, X3),
+           r1(X1), r2(X2), r3(X3), r4(X4).
+  )");
+
+  std::printf("query treewidth (existential part): %d\n",
+              cqs.query.TreewidthOfExistentialPart());
+
+  gqe::MetaResult meta = gqe::DecideUniformUcqkEquivalenceCqs(cqs, 1);
+  std::printf("uniformly UCQ_1-equivalent under Sigma: %s\n",
+              meta.equivalent ? "YES" : "no");
+  if (!meta.equivalent) return 1;
+  std::printf("rewriting (%zu disjunct(s), treewidth %d):\n",
+              meta.rewriting.num_disjuncts(),
+              meta.rewriting.TreewidthOfExistentialPart());
+  std::printf("  %s\n", meta.rewriting.ToString().c_str());
+
+  // Benchmark both forms on growing databases that satisfy the
+  // constraint. The original 4-cycle join degrades; the rewriting stays
+  // near-linear.
+  gqe::ReportTable table({"domain", "facts", "original_ms", "rewritten_ms"});
+  for (int n : {40, 80, 160}) {
+    gqe::WorkloadRng rng(n);
+    gqe::Instance db;
+    auto constant = [](int i) {
+      return gqe::Term::Constant("c" + std::to_string(i));
+    };
+    for (int i = 0; i < 8 * n; ++i) {
+      db.Insert(gqe::Atom::Make(
+          "p", {constant(rng.Below(n)), constant(rng.Below(n))}));
+    }
+    for (int i = 0; i < n; ++i) {
+      if (rng.Chance(50)) db.Insert(gqe::Atom::Make("r1", {constant(i)}));
+      if (rng.Chance(50)) {
+        db.Insert(gqe::Atom::Make("r2", {constant(i)}));
+        db.Insert(gqe::Atom::Make("r4", {constant(i)}));  // honor R2 ⊆ R4
+      }
+      if (rng.Chance(50)) db.Insert(gqe::Atom::Make("r3", {constant(i)}));
+      if (rng.Chance(25)) db.Insert(gqe::Atom::Make("r4", {constant(i)}));
+    }
+    if (!gqe::Satisfies(db, cqs.sigma)) {
+      std::fprintf(stderr, "generator bug: constraint violated\n");
+      return 1;
+    }
+    // Use the guaranteed (Prop. 2.1 tree-DP) algorithms: their cost
+    // tracks the treewidth, which is exactly what the rewriting lowers.
+    gqe::Stopwatch w1;
+    bool original = gqe::HoldsBooleanUcqTreeDp(cqs.query, db);
+    double t1 = w1.ElapsedMs();
+    gqe::Stopwatch w2;
+    bool rewritten = gqe::HoldsBooleanUcqTreeDp(meta.rewriting, db);
+    double t2 = w2.ElapsedMs();
+    if (original != rewritten) {
+      std::fprintf(stderr, "MISMATCH: rewriting is not equivalent!\n");
+      return 1;
+    }
+    table.AddRow({gqe::ReportTable::Cell(n), gqe::ReportTable::Cell(db.size()),
+                  gqe::ReportTable::Cell(t1), gqe::ReportTable::Cell(t2)});
+  }
+  table.Print("Example 4.4: original (tw 2) vs constraint-aware rewriting (tw 1)");
+  return 0;
+}

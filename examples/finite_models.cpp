@@ -1,0 +1,59 @@
+// Finite controllability in action (Theorem 6.7 / Definition 6.5): a
+// guarded ontology with an *infinite* chase still admits small finite
+// models that agree with the chase on every query of bounded size — the
+// property the paper's open-to-closed-world reduction (Prop. 5.8) builds
+// on. This example constructs the witnesses and probes them with the
+// cycle queries they must (and must not) satisfy.
+
+#include <cstdio>
+
+#include "fc/witness.h"
+#include "guarded/omq_eval.h"
+#include "parser/parser.h"
+#include "query/evaluation.h"
+#include "workload/report.h"
+
+int main() {
+  gqe::TgdSet sigma = gqe::ParseTgds(R"(
+    person(X) -> parent(X, Y), person(Y).
+  )");
+  gqe::Instance db = gqe::ParseDatabase("person(mira).");
+  std::printf("ontology: every person has a parent (chase is infinite)\n\n");
+
+  gqe::ReportTable table({"n", "model facts", "folds",
+                          "cycle-(n+1) in model?", "path-n agrees"});
+  for (int n = 1; n <= 4; ++n) {
+    gqe::FiniteWitness witness = gqe::BuildFiniteWitness(db, sigma, n);
+    if (!witness.is_model) {
+      std::printf("n=%d: witness construction failed validation\n", n);
+      continue;
+    }
+    // The fold closes a parent-cycle of length > n: a cycle query with
+    // n+1 edges can see it, one with <= n variables cannot.
+    std::vector<gqe::Atom> cycle;
+    for (int i = 0; i <= n; ++i) {
+      cycle.push_back(gqe::Atom::Make(
+          "parent",
+          {gqe::Term::Variable("c" + std::to_string(i)),
+           gqe::Term::Variable("c" + std::to_string((i + 1) % (n + 1)))}));
+    }
+    gqe::CQ cycle_query({}, cycle);
+    bool cycle_visible = gqe::HoldsBooleanCQ(cycle_query, witness.model);
+
+    gqe::UCQ path_query = gqe::ParseUcq(
+        "pq" + std::to_string(n) + "() :- parent(X, Y), parent(Y, Z).");
+    bool agrees =
+        gqe::WitnessAgreesOnQuery(witness, db, sigma, path_query);
+    table.AddRow({gqe::ReportTable::Cell(n),
+                  gqe::ReportTable::Cell(witness.model.size()),
+                  gqe::ReportTable::Cell(witness.folds),
+                  gqe::ReportTable::Cell(cycle_visible),
+                  gqe::ReportTable::Cell(agrees)});
+  }
+  table.Print("Finite witnesses M(D, Sigma, n): cycles hide beyond n");
+  std::printf(
+      "\nThe witness for parameter n folds the infinite ancestor chain into\n"
+      "a cycle longer than n — queries with at most n variables cannot tell\n"
+      "it from the real (infinite) chase, which is exactly Definition 6.5.\n");
+  return 0;
+}

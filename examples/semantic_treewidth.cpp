@@ -1,0 +1,54 @@
+// Semantic treewidth analysis: for each (constraints, query) pair, find
+// the least k such that the specification is uniformly UCQ_k-equivalent
+// (the notion whose boundedness characterizes tractable evaluation,
+// Theorems 5.7 / 5.12).
+
+#include <cstdio>
+
+#include "approx/meta.h"
+#include "cqs/cqs.h"
+#include "parser/parser.h"
+#include "workload/report.h"
+
+int main() {
+  struct Case {
+    const char* name;
+    const char* sigma;
+    const char* query;
+  };
+  const Case cases[] = {
+      {"path-3 (no constraints)", "",
+       "q1() :- e(X, Y), e(Y, Z), e(Z, W)."},
+      {"4-cycle (no constraints)", "",
+       "q2() :- e(X, Y), e(Y, Z), e(Z, W), e(W, X)."},
+      {"Example 4.4 without Sigma", "",
+       "q3() :- p(X2,X1), p(X4,X1), p(X2,X3), p(X4,X3), "
+       "r1(X1), r2(X2), r3(X3), r4(X4)."},
+      {"Example 4.4 with R2 c R4", "r2(X) -> r4(X).",
+       "q4() :- p(X2,X1), p(X4,X1), p(X2,X3), p(X4,X3), "
+       "r1(X1), r2(X2), r3(X3), r4(X4)."},
+      {"triangle (no constraints)", "",
+       "q5() :- e(X, Y), e(Y, Z), e(Z, X)."},
+      {"redundant square", "",
+       "q6() :- p(X1, Y1), p(X1, Y2), r(X2, Y1), r(X2, Y2)."},
+  };
+
+  gqe::ReportTable table(
+      {"case", "syntactic tw", "semantic tw", "collapses?"});
+  for (const Case& c : cases) {
+    gqe::Cqs cqs;
+    if (c.sigma[0] != '\0') cqs.sigma = gqe::ParseTgds(c.sigma);
+    cqs.query = gqe::ParseUcq(c.query);
+    const int syntactic = cqs.query.TreewidthOfExistentialPart();
+    const int semantic = gqe::SemanticTreewidthCqs(cqs, 4);
+    table.AddRow({c.name, gqe::ReportTable::Cell(syntactic),
+                  semantic < 0 ? ">4" : gqe::ReportTable::Cell(semantic),
+                  gqe::ReportTable::Cell(semantic >= 0 &&
+                                         semantic < syntactic)});
+  }
+  table.Print("Semantic treewidth under integrity constraints");
+  std::printf("\n'collapses?' marks specifications whose constraints (or "
+              "redundancy) lower the\neffective treewidth — the "
+              "tractability boundary of Theorems 5.7/5.12.\n");
+  return 0;
+}

@@ -1,0 +1,68 @@
+// A university-domain ontology-mediated querying scenario: the kind of
+// workload the paper's introduction motivates. A guarded ontology
+// enriches incomplete enrollment data; certain answers are computed over
+// the (infinite) guarded chase via the type-based portion construction.
+
+#include <cstdio>
+
+#include "guarded/type_closure.h"
+#include "omq/evaluation.h"
+#include "omq/omq.h"
+#include "parser/parser.h"
+
+int main() {
+  gqe::ParseResult parsed = gqe::ParseProgram(R"(
+    % ------- data: partial records --------------------------------
+    undergrad(uma). undergrad(ned).
+    grad(gil).
+    advises(prof_ada, gil).
+    teaches(prof_ada, logic101).
+
+    % ------- guarded ontology ---------------------------------------
+    undergrad(X) -> student(X).
+    grad(X)      -> student(X).
+    student(X)   -> enrolled(X, U), university(U).
+    advises(P, S) -> professor(P), grad(S).
+    teaches(P, C) -> professor(P), course(C).
+    professor(P) -> memberof(P, D), dept(D).
+    % every grad student has *some* advisor (existential):
+    grad(S) -> advises(Q, S), professor(Q).
+
+    % ------- queries ---------------------------------------------------
+    students(X)  :- student(X).
+    enrolledq(X) :- enrolled(X, U).
+    advised(S)   :- advises(P, S), professor(P).
+    profdept(P)  :- memberof(P, D), dept(D).
+  )");
+  if (!parsed.ok) {
+    std::fprintf(stderr, "parse error: %s\n", parsed.error.c_str());
+    return 1;
+  }
+  const gqe::Program& program = parsed.program;
+  std::printf("ontology: %zu guarded TGDs, database: %zu facts\n",
+              program.tgds.size(), program.database.size());
+  if (!gqe::IsGuardedSet(program.tgds)) {
+    std::fprintf(stderr, "expected a guarded ontology\n");
+    return 1;
+  }
+
+  for (const auto& [name, query] : program.queries) {
+    gqe::Omq omq = gqe::Omq::WithFullDataSchema(program.tgds, query);
+    gqe::OmqEvalResult result = gqe::EvaluateOmq(omq, program.database);
+    std::printf("\n%s — %zu certain answer(s) [%s]:\n", name.c_str(),
+                result.answers.size(), result.method.c_str());
+    for (const auto& tuple : result.answers) {
+      std::printf("  %s(", name.c_str());
+      for (size_t i = 0; i < tuple.size(); ++i) {
+        std::printf("%s%s", i ? ", " : "", tuple[i].ToString().c_str());
+      }
+      std::printf(")\n");
+    }
+  }
+
+  std::printf("\nNote: enrolledq returns every student even though the "
+              "data records no enrollment at all —\nthe ontology "
+              "guarantees an anonymous university for each (open-world "
+              "reasoning).\n");
+  return 0;
+}

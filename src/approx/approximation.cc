@@ -1,0 +1,49 @@
+#include "approx/approximation.h"
+
+#include <algorithm>
+
+#include "query/contraction.h"
+
+namespace gqe {
+
+namespace {
+
+UCQ ContractionApproximation(const UCQ& query, int k) {
+  UCQ approximation;
+  for (const CQ& disjunct : query.disjuncts()) {
+    for (CQ& contraction : ContractionsWithTreewidthAtMost(disjunct, k)) {
+      approximation.AddDisjunct(std::move(contraction));
+    }
+  }
+  return approximation;
+}
+
+}  // namespace
+
+Cqs UcqkApproximationCqs(const Cqs& cqs, int k) {
+  Cqs approximation;
+  approximation.sigma = cqs.sigma;
+  approximation.query = ContractionApproximation(cqs.query, k);
+  return approximation;
+}
+
+Omq UcqkApproximationOmqFullSchema(const Omq& omq, int k) {
+  Omq approximation;
+  approximation.data_schema = omq.data_schema;
+  approximation.sigma = omq.sigma;
+  approximation.query = ContractionApproximation(omq.query, k);
+  return approximation;
+}
+
+int MinimumValidK(const Cqs& cqs) {
+  int r = SchemaOf(cqs.sigma).MaxArity();
+  for (const CQ& cq : cqs.query.disjuncts()) {
+    for (const Atom& atom : cq.atoms()) {
+      r = std::max(r, atom.arity());
+    }
+  }
+  const int m = std::max(1, MaxHeadAtoms(cqs.sigma));
+  return std::max(1, r * m - 1);
+}
+
+}  // namespace gqe

@@ -1,0 +1,30 @@
+#ifndef GQE_APPROX_APPROXIMATION_H_
+#define GQE_APPROX_APPROXIMATION_H_
+
+#include "cqs/cqs.h"
+#include "omq/omq.h"
+
+namespace gqe {
+
+/// The UCQ_k-approximation of a CQS (Proposition 5.11): the UCQ of all
+/// contractions of disjuncts of q whose existential-part treewidth is at
+/// most k, keeping the same constraints. Always contained in the
+/// original; equivalent iff the CQS is uniformly UCQ_k-equivalent (for
+/// FG_m constraints and k >= r*m - 1).
+Cqs UcqkApproximationCqs(const Cqs& cqs, int k);
+
+/// The analogous approximation of a *full-data-schema* OMQ, justified by
+/// Proposition 5.5 (uniform UCQ_k-equivalence of the CQS (Σ,q) coincides
+/// with UCQ_k-equivalence of omq(Σ,q)). For general data schemas the
+/// paper uses Σ-groundings of specializations (Definition C.6), which
+/// are not materialized here; see DESIGN.md §2.6.
+Omq UcqkApproximationOmqFullSchema(const Omq& omq, int k);
+
+/// The smallest k for which Proposition 5.11's characterization is exact
+/// for this CQS: r*m - 1 with r the schema arity and m the maximum head
+/// size.
+int MinimumValidK(const Cqs& cqs);
+
+}  // namespace gqe
+
+#endif  // GQE_APPROX_APPROXIMATION_H_

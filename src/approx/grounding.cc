@@ -1,0 +1,226 @@
+#include "approx/grounding.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <unordered_set>
+
+#include "chase/chase.h"
+#include "query/homomorphism.h"
+#include "query/substitution.h"
+
+namespace gqe {
+
+namespace {
+
+/// Candidate guarded full CQs for one component: a guard atom over the
+/// shared variables plus fresh ones, optionally extended with side atoms
+/// over the same variable pool. Sound enumeration (every candidate the
+/// paper's Definition C.3 admits has this shape); the side-atom depth is
+/// capped, so rarely-needed large groundings may be missed — callers
+/// verify the defining property per candidate, never assume it.
+void EnumerateGuardedCandidates(
+    const std::vector<Term>& shared, const Schema& schema, int fresh_budget,
+    const std::function<void(const std::vector<Atom>&,
+                             const std::vector<Term>&)>& callback) {
+  // Fresh variable pool.
+  std::vector<Term> pool = shared;
+  for (int i = 0; i < fresh_budget; ++i) {
+    pool.push_back(Term::Variable("gy" + std::to_string(i)));
+  }
+  for (PredicateId guard_pred : schema.predicate_ids()) {
+    const int arity = predicates::Arity(guard_pred);
+    if (arity < static_cast<int>(shared.size())) continue;
+    // Assignments of the guard's positions to pool terms covering all
+    // shared variables.
+    std::vector<Term> args(arity);
+    std::function<void(int)> assign = [&](int pos) {
+      if (pos == arity) {
+        std::vector<Term> used_shared;
+        for (Term s : shared) {
+          bool present = false;
+          for (Term a : args) {
+            if (a == s) present = true;
+          }
+          if (present) used_shared.push_back(s);
+        }
+        if (used_shared.size() != shared.size()) return;
+        Atom guard(guard_pred, args);
+        std::vector<Term> guard_vars;
+        guard.CollectVariables(&guard_vars);
+        // Base candidate: the guard alone.
+        callback({guard}, guard_vars);
+        // Extended candidates: one side atom over the guard's variables.
+        for (PredicateId side_pred : schema.predicate_ids()) {
+          const int side_arity = predicates::Arity(side_pred);
+          if (side_arity > static_cast<int>(guard_vars.size()) ||
+              side_arity == 0) {
+            continue;
+          }
+          std::vector<Term> side_args(side_arity);
+          std::function<void(int)> assign_side = [&](int side_pos) {
+            if (side_pos == side_arity) {
+              Atom side(side_pred, side_args);
+              if (side == guard) return;
+              callback({guard, side}, guard_vars);
+              return;
+            }
+            for (Term t : guard_vars) {
+              side_args[side_pos] = t;
+              assign_side(side_pos + 1);
+            }
+          };
+          assign_side(0);
+        }
+        return;
+      }
+      for (Term t : pool) {
+        args[pos] = t;
+        assign(pos + 1);
+      }
+    };
+    assign(0);
+  }
+}
+
+/// Does component `piece` map into chase(g, Σ) fixing the shared
+/// variables? (the defining condition of Definition C.3).
+bool PieceDerivable(const std::vector<Atom>& piece,
+                    const std::vector<Term>& shared,
+                    const std::vector<Atom>& candidate, const TgdSet& sigma) {
+  CQ candidate_cq({}, candidate);
+  Instance canonical = candidate_cq.CanonicalInstance();
+  ChaseResult chased = Chase(canonical, sigma);
+  if (!chased.complete) return false;
+  HomOptions options;
+  for (Term v : shared) options.fixed.Set(v, CQ::FrozenConstant(v));
+  HomomorphismSearch search(piece, chased.instance, options);
+  return search.Exists();
+}
+
+}  // namespace
+
+std::vector<SigmaGrounding> EnumerateSigmaGroundings(
+    const CQ& cq, const TgdSet& sigma, const Schema& schema, int k,
+    const GroundingOptions& options) {
+  if (!IsGuardedSet(sigma) || !IsFullSet(sigma)) {
+    std::fprintf(stderr,
+                 "EnumerateSigmaGroundings requires a full guarded set "
+                 "(Theorem D.1 regime)\n");
+    std::abort();
+  }
+  const int max_arity = schema.MaxArity();
+  std::vector<SigmaGrounding> results;
+  std::unordered_set<std::string> seen;
+
+  ForEachSpecialization(cq, [&](const Specialization& spec) {
+    if (results.size() >= options.max_total) return false;
+    const CQ& p = spec.contraction;
+    const std::vector<Term>& v_set = spec.grounded_vars;
+    // g0: atoms of p over V only.
+    std::vector<Atom> g0;
+    for (const Atom& atom : p.atoms()) {
+      bool inside = true;
+      for (Term t : atom.args()) {
+        if (t.IsVariable() &&
+            std::find(v_set.begin(), v_set.end(), t) == v_set.end()) {
+          inside = false;
+          break;
+        }
+      }
+      if (inside) g0.push_back(atom);
+    }
+    std::vector<std::vector<Atom>> components =
+        MaximallyConnectedComponents(p, v_set);
+    // Per component: collect admissible g_i candidates.
+    std::vector<std::vector<std::vector<Atom>>> per_component(
+        components.size());
+    for (size_t i = 0; i < components.size(); ++i) {
+      std::vector<Term> piece_vars = VariablesOf(components[i]);
+      std::vector<Term> shared;
+      for (Term v : piece_vars) {
+        if (std::find(v_set.begin(), v_set.end(), v) != v_set.end()) {
+          shared.push_back(v);
+        }
+      }
+      const int fresh_budget =
+          std::max(0, max_arity - static_cast<int>(shared.size()));
+      size_t found = 0;
+      EnumerateGuardedCandidates(
+          shared, schema, fresh_budget,
+          [&](const std::vector<Atom>& candidate, const std::vector<Term>&) {
+            if (found >= options.max_per_specialization) return;
+            if (PieceDerivable(components[i], shared, candidate, sigma)) {
+              per_component[i].push_back(candidate);
+              ++found;
+            }
+          });
+      if (per_component[i].empty()) return true;  // no grounding for s
+    }
+    // Cross product of component choices.
+    std::vector<size_t> choice(components.size(), 0);
+    size_t emitted = 0;
+    for (;;) {
+      std::vector<Atom> atoms = g0;
+      for (size_t i = 0; i < components.size(); ++i) {
+        // Rename the fresh variables per component so they stay disjoint.
+        Substitution rename;
+        for (const Atom& atom : per_component[i][choice[i]]) {
+          for (Term t : atom.args()) {
+            if (t.IsVariable() &&
+                std::find(v_set.begin(), v_set.end(), t) == v_set.end() &&
+                !rename.Has(t)) {
+              rename.Set(t, Term::Variable(
+                                "gz" + std::to_string(i) + "_" +
+                                std::to_string(rename.size())));
+            }
+          }
+        }
+        for (const Atom& atom : per_component[i][choice[i]]) {
+          atoms.push_back(rename.Apply(atom));
+        }
+      }
+      if (!atoms.empty()) {
+        CQ grounding(p.answer_vars(), atoms);
+        if (k < 0 || grounding.TreewidthOfExistentialPart() <= k) {
+          std::string key = grounding.ToString();
+          if (seen.insert(key).second) {
+            results.push_back({grounding, spec});
+            ++emitted;
+          }
+        }
+      }
+      if (results.size() >= options.max_total) break;
+      // Advance the odometer.
+      size_t i = 0;
+      while (i < choice.size()) {
+        if (++choice[i] < per_component[i].size()) break;
+        choice[i] = 0;
+        ++i;
+      }
+      if (i == choice.size() || choice.empty()) break;
+    }
+    (void)emitted;
+    return true;
+  });
+  return results;
+}
+
+Omq GroundingApproximationOmq(const Omq& omq, int k,
+                              const GroundingOptions& options) {
+  Omq approximation;
+  approximation.data_schema = omq.data_schema;
+  approximation.sigma = omq.sigma;
+  UCQ query;
+  for (const CQ& disjunct : omq.query.disjuncts()) {
+    for (SigmaGrounding& grounding : EnumerateSigmaGroundings(
+             disjunct, omq.sigma, omq.data_schema, k, options)) {
+      query.AddDisjunct(std::move(grounding.grounding));
+    }
+  }
+  approximation.query = std::move(query);
+  return approximation;
+}
+
+}  // namespace gqe

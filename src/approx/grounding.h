@@ -1,0 +1,55 @@
+#ifndef GQE_APPROX_GROUNDING_H_
+#define GQE_APPROX_GROUNDING_H_
+
+#include <vector>
+
+#include "approx/specialization.h"
+#include "omq/omq.h"
+#include "query/cq.h"
+#include "tgd/tgd.h"
+
+namespace gqe {
+
+/// Σ-groundings of CQ specializations (Definition C.3) for ontologies
+/// from G ∩ FULL — the regime the paper's own lower-bound proof reduces
+/// to (Theorem D.1: guarded OMQs can be rewritten to full guarded ones).
+///
+/// A Σ-grounding of a specialization s = (p, V) replaces each maximally
+/// [V]-connected component p_i of p[V] by a *guarded full* CQ g_i over
+/// (var(p_i) ∩ V) plus at most ar(T) - |var(p_i) ∩ V| fresh variables,
+/// such that p_i homomorphically maps into chase(g_i, Σ) fixing the
+/// shared variables. Intuitively: g_i is the part of the database a
+/// single guarded atom contributes, and p_i must be derivable from it.
+struct SigmaGrounding {
+  CQ grounding;           // g_s(x̄) = g_0 ∧ g_1 ∧ ... ∧ g_n
+  Specialization source;  // the specialization it grounds
+};
+
+struct GroundingOptions {
+  /// Cap on groundings enumerated per specialization (the space is
+  /// exponential in the schema).
+  size_t max_per_specialization = 200;
+
+  /// Cap on total groundings.
+  size_t max_total = 5000;
+};
+
+/// Enumerates Σ-groundings of all specializations of `cq` for a full
+/// guarded Σ over the given extended schema (candidate guard atoms range
+/// over `schema`). Only groundings whose existential-part treewidth is at
+/// most `k` are returned (the Definition C.6 filter); pass a negative k
+/// for no filter.
+std::vector<SigmaGrounding> EnumerateSigmaGroundings(
+    const CQ& cq, const TgdSet& sigma, const Schema& schema, int k,
+    const GroundingOptions& options = {});
+
+/// The UCQ_k-approximation of Definition C.6 for OMQs with a full guarded
+/// ontology: every disjunct replaced by its treewidth-≤k Σ-groundings.
+/// Lemma C.7: the result is contained in Q, agrees with Q on databases of
+/// treewidth ≤ k, and contains every (G, UCQ_k) OMQ contained in Q.
+Omq GroundingApproximationOmq(const Omq& omq, int k,
+                              const GroundingOptions& options = {});
+
+}  // namespace gqe
+
+#endif  // GQE_APPROX_GROUNDING_H_

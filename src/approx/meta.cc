@@ -1,0 +1,60 @@
+#include "approx/meta.h"
+
+#include "approx/approximation.h"
+#include "approx/grounding.h"
+#include "cqs/containment.h"
+#include "guarded/type_closure.h"
+#include "omq/containment.h"
+
+namespace gqe {
+
+MetaResult DecideUniformUcqkEquivalenceCqs(const Cqs& cqs, int k) {
+  MetaResult result;
+  result.k_in_valid_range = k >= MinimumValidK(cqs);
+  Cqs approximation = UcqkApproximationCqs(cqs, k);
+  result.approximation_disjuncts = approximation.query.num_disjuncts();
+  if (approximation.query.num_disjuncts() == 0) {
+    result.equivalent = false;
+    return result;
+  }
+  // approximation ⊆ cqs holds by construction (contractions map into the
+  // original); the decision is cqs ⊆ approximation.
+  if (CqsContained(cqs, approximation)) {
+    result.equivalent = true;
+    result.rewriting = approximation.query;
+  }
+  return result;
+}
+
+MetaResult DecideUcqkEquivalenceOmqFullSchema(const Omq& omq, int k) {
+  Cqs as_cqs;
+  as_cqs.sigma = omq.sigma;
+  as_cqs.query = omq.query;
+  return DecideUniformUcqkEquivalenceCqs(as_cqs, k);
+}
+
+MetaResult DecideUcqkEquivalenceOmqViaGroundings(const Omq& omq, int k) {
+  MetaResult result;
+  Cqs as_cqs;
+  as_cqs.sigma = omq.sigma;
+  as_cqs.query = omq.query;
+  result.k_in_valid_range = k >= MinimumValidK(as_cqs);
+  Omq approximation = GroundingApproximationOmq(omq, k);
+  result.approximation_disjuncts = approximation.query.num_disjuncts();
+  if (result.approximation_disjuncts == 0) return result;
+  // Q_k^a ⊆ Q holds by Lemma C.7(1); decide Q ⊆ Q_k^a.
+  if (OmqContainedSameOntology(omq, approximation)) {
+    result.equivalent = true;
+    result.rewriting = approximation.query;
+  }
+  return result;
+}
+
+int SemanticTreewidthCqs(const Cqs& cqs, int max_k) {
+  for (int k = 1; k <= max_k; ++k) {
+    if (DecideUniformUcqkEquivalenceCqs(cqs, k).equivalent) return k;
+  }
+  return -1;
+}
+
+}  // namespace gqe

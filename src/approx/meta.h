@@ -1,0 +1,53 @@
+#ifndef GQE_APPROX_META_H_
+#define GQE_APPROX_META_H_
+
+#include <string>
+
+#include "cqs/cqs.h"
+#include "omq/omq.h"
+
+namespace gqe {
+
+/// Result of the meta-problem decision (Theorems 5.1 / 5.6 / 5.10):
+/// whether a CQS (or full-data-schema OMQ) is uniformly
+/// UCQ_k-equivalent, and the witnessing rewriting.
+struct MetaResult {
+  bool equivalent = false;
+
+  /// When equivalent: the rewriting (Σ, q_k^a) with q_k^a ∈ UCQ_k.
+  UCQ rewriting;
+
+  /// Disjuncts in the UCQ_k-approximation (before any minimization).
+  size_t approximation_disjuncts = 0;
+
+  /// True when k >= r*m - 1, the regime in which Proposition 5.11 makes
+  /// the contraction-based approximation complete. Below it the result
+  /// is still sound for "equivalent" answers but "not equivalent" may be
+  /// conservative (Appendix C.5 shows the regime genuinely differs).
+  bool k_in_valid_range = true;
+};
+
+/// Decides uniform UCQ_k-equivalence of a CQS from (FG_m, UCQ)
+/// (Theorem 5.10 shape): compute the approximation S_k^a and test
+/// S ⊆ S_k^a via Proposition 4.5.
+MetaResult DecideUniformUcqkEquivalenceCqs(const Cqs& cqs, int k);
+
+/// Decides (uniform) UCQ_k-equivalence of a *full-data-schema* guarded
+/// OMQ via Proposition 5.5 + Theorem 5.6.
+MetaResult DecideUcqkEquivalenceOmqFullSchema(const Omq& omq, int k);
+
+/// The same decision through the Definition C.6 Σ-grounding
+/// approximation (Proposition 5.2's route), available when the ontology
+/// is full guarded (the Theorem D.1 regime). Cross-checks the
+/// contraction-based procedure; `equivalent` is sound, and complete
+/// whenever the grounding enumeration caps are not hit.
+MetaResult DecideUcqkEquivalenceOmqViaGroundings(const Omq& omq, int k);
+
+/// The smallest k (if any, up to `max_k`) for which the CQS is uniformly
+/// UCQ_k-equivalent; -1 if none found. The "semantic treewidth" of the
+/// specification.
+int SemanticTreewidthCqs(const Cqs& cqs, int max_k);
+
+}  // namespace gqe
+
+#endif  // GQE_APPROX_META_H_

@@ -1,0 +1,96 @@
+#include "approx/specialization.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "query/contraction.h"
+
+namespace gqe {
+
+size_t ForEachSpecialization(
+    const CQ& cq,
+    const std::function<bool(const Specialization&)>& callback) {
+  size_t count = 0;
+  bool stopped = false;
+  ForEachContraction(cq, [&](const CQ& contraction, const Substitution&) {
+    // Enumerate subsets V with answer_vars ⊆ V ⊆ var(contraction).
+    std::vector<Term> optional_vars = contraction.ExistentialVariables();
+    const size_t n = optional_vars.size();
+    for (uint64_t mask = 0; mask < (uint64_t{1} << n); ++mask) {
+      Specialization spec;
+      spec.contraction = contraction;
+      spec.grounded_vars = contraction.answer_vars();
+      for (size_t i = 0; i < n; ++i) {
+        if (mask & (uint64_t{1} << i)) {
+          spec.grounded_vars.push_back(optional_vars[i]);
+        }
+      }
+      ++count;
+      if (!callback(spec)) {
+        stopped = true;
+        break;
+      }
+    }
+    return !stopped;
+  });
+  return count;
+}
+
+std::vector<Atom> AtomsOutsideV(const CQ& cq,
+                                const std::vector<Term>& grounded_vars) {
+  std::unordered_set<Term> v_set(grounded_vars.begin(), grounded_vars.end());
+  std::vector<Atom> out;
+  for (const Atom& atom : cq.atoms()) {
+    bool all_in_v = true;
+    for (Term t : atom.args()) {
+      if (t.IsVariable() && v_set.count(t) == 0) {
+        all_in_v = false;
+        break;
+      }
+    }
+    if (!all_in_v) out.push_back(atom);
+  }
+  return out;
+}
+
+std::vector<std::vector<Atom>> MaximallyConnectedComponents(
+    const CQ& cq, const std::vector<Term>& grounded_vars) {
+  std::unordered_set<Term> v_set(grounded_vars.begin(), grounded_vars.end());
+  std::vector<Atom> atoms = AtomsOutsideV(cq, grounded_vars);
+  // Union-find over atom indices, joined by shared non-V variables.
+  std::vector<int> parent(atoms.size());
+  for (size_t i = 0; i < atoms.size(); ++i) parent[i] = static_cast<int>(i);
+  std::function<int(int)> find = [&](int x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+  for (size_t i = 0; i < atoms.size(); ++i) {
+    for (size_t j = i + 1; j < atoms.size(); ++j) {
+      bool share = false;
+      for (Term t : atoms[i].args()) {
+        if (!t.IsVariable() || v_set.count(t) > 0) continue;
+        if (atoms[j].Contains(t)) {
+          share = true;
+          break;
+        }
+      }
+      if (share) parent[find(static_cast<int>(i))] = find(static_cast<int>(j));
+    }
+  }
+  std::vector<std::vector<Atom>> components;
+  std::vector<int> component_of(atoms.size(), -1);
+  for (size_t i = 0; i < atoms.size(); ++i) {
+    int root = find(static_cast<int>(i));
+    if (component_of[root] == -1) {
+      component_of[root] = static_cast<int>(components.size());
+      components.emplace_back();
+    }
+    components[component_of[root]].push_back(atoms[i]);
+  }
+  return components;
+}
+
+}  // namespace gqe

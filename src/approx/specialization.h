@@ -1,0 +1,40 @@
+#ifndef GQE_APPROX_SPECIALIZATION_H_
+#define GQE_APPROX_SPECIALIZATION_H_
+
+#include <functional>
+#include <vector>
+
+#include "query/cq.h"
+
+namespace gqe {
+
+/// A specialization of a CQ q (Definition C.1): a contraction p of q
+/// together with a variable set V with answer_vars ⊆ V ⊆ var(p). V marks
+/// the variables intended to map onto database constants; the rest map
+/// into the anonymous (null) part of the chase. Specializations underlie
+/// the Σ-grounding-based UCQ_k-approximation of guarded OMQs
+/// (Definition C.6).
+struct Specialization {
+  CQ contraction;
+  std::vector<Term> grounded_vars;  // the set V
+};
+
+/// Enumerates all specializations of `cq`; stop early by returning false.
+/// Returns the number visited (contractions x V-subsets).
+size_t ForEachSpecialization(
+    const CQ& cq, const std::function<bool(const Specialization&)>& callback);
+
+/// q[V]: the subquery of the contraction obtained by dropping atoms whose
+/// variables all lie in V (Appendix C.1).
+std::vector<Atom> AtomsOutsideV(const CQ& cq,
+                                const std::vector<Term>& grounded_vars);
+
+/// The maximally [V]-connected components of q[V]: connected components
+/// of the atoms of q[V] under shared variables *outside* V
+/// (Appendix C.1).
+std::vector<std::vector<Atom>> MaximallyConnectedComponents(
+    const CQ& cq, const std::vector<Term>& grounded_vars);
+
+}  // namespace gqe
+
+#endif  // GQE_APPROX_SPECIALIZATION_H_

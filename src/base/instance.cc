@@ -1,0 +1,147 @@
+#include "base/instance.h"
+
+#include <algorithm>
+#include <cassert>
+#include <ostream>
+#include <sstream>
+
+namespace gqe {
+
+namespace {
+const std::vector<uint32_t>& EmptyIndexVector() {
+  static const std::vector<uint32_t>* const kEmpty =
+      new std::vector<uint32_t>();
+  return *kEmpty;
+}
+}  // namespace
+
+bool Instance::Insert(const Atom& atom) {
+  assert(atom.IsGround() && "instances contain only ground atoms");
+  auto [it, inserted] = atom_set_.insert(atom);
+  if (!inserted) return false;
+  const uint32_t index = static_cast<uint32_t>(atoms_.size());
+  atoms_.push_back(atom);
+  by_predicate_[atom.predicate()].push_back(index);
+  for (int pos = 0; pos < atom.arity(); ++pos) {
+    by_position_[MakePosKey(atom.predicate(), pos, atom.args()[pos])]
+        .push_back(index);
+    Term t = atom.args()[pos];
+    if (domain_set_.insert(t).second) domain_.push_back(t);
+    std::vector<uint32_t>& mentions = by_term_[t];
+    if (mentions.empty() || mentions.back() != index) {
+      mentions.push_back(index);
+    }
+  }
+  return true;
+}
+
+void Instance::InsertAll(const Instance& other) {
+  for (const Atom& atom : other.atoms()) Insert(atom);
+}
+
+void Instance::InsertAll(const std::vector<Atom>& atoms) {
+  for (const Atom& atom : atoms) Insert(atom);
+}
+
+bool Instance::Contains(const Atom& atom) const {
+  return atom_set_.count(atom) > 0;
+}
+
+const std::vector<uint32_t>& Instance::FactsWithPredicate(
+    PredicateId pred) const {
+  auto it = by_predicate_.find(pred);
+  if (it == by_predicate_.end()) return EmptyIndexVector();
+  return it->second;
+}
+
+const std::vector<uint32_t>& Instance::FactsWith(PredicateId pred,
+                                                 int position,
+                                                 Term term) const {
+  auto it = by_position_.find(MakePosKey(pred, position, term));
+  if (it == by_position_.end()) return EmptyIndexVector();
+  return it->second;
+}
+
+Instance Instance::Restrict(const std::vector<Term>& keep) const {
+  std::unordered_set<Term> keep_set(keep.begin(), keep.end());
+  Instance out;
+  for (const Atom& atom : atoms_) {
+    bool all = true;
+    for (Term t : atom.args()) {
+      if (keep_set.count(t) == 0) {
+        all = false;
+        break;
+      }
+    }
+    if (all) out.Insert(atom);
+  }
+  return out;
+}
+
+Schema Instance::InducedSchema() const {
+  Schema schema;
+  for (const auto& [pred, _] : by_predicate_) schema.Add(pred);
+  return schema;
+}
+
+const std::vector<uint32_t>& Instance::FactsMentioning(Term t) const {
+  auto it = by_term_.find(t);
+  if (it == by_term_.end()) return EmptyIndexVector();
+  return it->second;
+}
+
+std::vector<Atom> Instance::AtomsOver(const std::vector<Term>& elements) const {
+  std::unordered_set<Term> element_set(elements.begin(), elements.end());
+  std::unordered_set<uint32_t> seen;
+  std::vector<Atom> out;
+  // 0-ary facts have empty domains and belong in every restriction.
+  for (const auto& [pred, indices] : by_predicate_) {
+    if (predicates::Arity(pred) == 0) {
+      for (uint32_t index : indices) out.push_back(atoms_[index]);
+    }
+  }
+  for (Term e : elements) {
+    for (uint32_t index : FactsMentioning(e)) {
+      if (!seen.insert(index).second) continue;
+      bool inside = true;
+      for (Term t : atoms_[index].args()) {
+        if (element_set.count(t) == 0) {
+          inside = false;
+          break;
+        }
+      }
+      if (inside) out.push_back(atoms_[index]);
+    }
+  }
+  return out;
+}
+
+bool Instance::SetEquals(const Instance& other) const {
+  return size() == other.size() && SubsetOf(other);
+}
+
+bool Instance::SubsetOf(const Instance& other) const {
+  for (const Atom& atom : atoms_) {
+    if (!other.Contains(atom)) return false;
+  }
+  return true;
+}
+
+std::string Instance::ToString() const {
+  std::ostringstream out;
+  out << "{";
+  std::vector<Atom> sorted = atoms_;
+  std::sort(sorted.begin(), sorted.end());
+  for (size_t i = 0; i < sorted.size(); ++i) {
+    if (i > 0) out << ", ";
+    out << sorted[i];
+  }
+  out << "}";
+  return out.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const Instance& instance) {
+  return os << instance.ToString();
+}
+
+}  // namespace gqe

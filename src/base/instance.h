@@ -1,0 +1,110 @@
+#ifndef GQE_BASE_INSTANCE_H_
+#define GQE_BASE_INSTANCE_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "base/atom.h"
+#include "base/schema.h"
+#include "base/term.h"
+
+namespace gqe {
+
+/// An instance over a schema: a set of facts (ground atoms) with
+/// insertion-order storage, duplicate elimination, and inverted indexes
+/// for join seeding (paper, Section 2: instances contain only constants —
+/// here constants and labelled nulls).
+///
+/// A *database* is a finite instance; this class represents both (all
+/// in-memory instances are finite portions).
+class Instance {
+ public:
+  Instance() = default;
+
+  /// Inserts a fact. Returns true if the fact was new. Aborts in debug
+  /// builds if the atom contains variables.
+  bool Insert(const Atom& atom);
+
+  /// Inserts all facts of another instance.
+  void InsertAll(const Instance& other);
+  void InsertAll(const std::vector<Atom>& atoms);
+
+  bool Contains(const Atom& atom) const;
+
+  size_t size() const { return atoms_.size(); }
+  bool empty() const { return atoms_.empty(); }
+
+  /// All facts, in insertion order. Indices into this vector are stable.
+  const std::vector<Atom>& atoms() const { return atoms_; }
+  const Atom& atom(size_t index) const { return atoms_[index]; }
+
+  /// Indices of facts with the given predicate.
+  const std::vector<uint32_t>& FactsWithPredicate(PredicateId pred) const;
+
+  /// Indices of facts with the given predicate whose argument at
+  /// `position` equals `term`.
+  const std::vector<uint32_t>& FactsWith(PredicateId pred, int position,
+                                         Term term) const;
+
+  /// dom(I): the distinct ground terms appearing in facts, in order of
+  /// first appearance.
+  const std::vector<Term>& ActiveDomain() const { return domain_; }
+
+  bool InDomain(Term t) const { return domain_set_.count(t) > 0; }
+
+  /// I|_T: the restriction of the instance to facts that mention only
+  /// terms of `keep` (paper, Section 2).
+  Instance Restrict(const std::vector<Term>& keep) const;
+
+  /// The set of predicates with at least one fact.
+  Schema InducedSchema() const;
+
+  /// Facts mentioning `t` (indices, ascending, no duplicates).
+  const std::vector<uint32_t>& FactsMentioning(Term t) const;
+
+  /// All facts whose terms are all contained in `elements`.
+  std::vector<Atom> AtomsOver(const std::vector<Term>& elements) const;
+
+  /// Structural equality as sets of facts.
+  bool SetEquals(const Instance& other) const;
+
+  /// True if every fact of this instance is a fact of `other`.
+  bool SubsetOf(const Instance& other) const;
+
+  std::string ToString() const;
+
+ private:
+  struct PosKey {
+    uint64_t packed;
+    bool operator==(const PosKey& o) const { return packed == o.packed; }
+  };
+  struct PosKeyHash {
+    size_t operator()(const PosKey& k) const {
+      return static_cast<size_t>(k.packed * 0x9e3779b97f4a7c15ull >> 13);
+    }
+  };
+  static PosKey MakePosKey(PredicateId pred, int position, Term term) {
+    // pred: 24 bits used in practice, position: 8 bits, term: 32 bits.
+    return PosKey{(static_cast<uint64_t>(pred) << 40) |
+                  (static_cast<uint64_t>(position & 0xff) << 32) |
+                  term.bits()};
+  }
+
+  std::vector<Atom> atoms_;
+  std::unordered_set<Atom, AtomHash> atom_set_;
+  std::unordered_map<PredicateId, std::vector<uint32_t>> by_predicate_;
+  std::unordered_map<PosKey, std::vector<uint32_t>, PosKeyHash> by_position_;
+  std::vector<Term> domain_;
+  std::unordered_set<Term> domain_set_;
+  std::unordered_map<Term, std::vector<uint32_t>> by_term_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Instance& instance);
+
+}  // namespace gqe
+
+#endif  // GQE_BASE_INSTANCE_H_

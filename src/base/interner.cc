@@ -1,0 +1,53 @@
+#include "base/interner.h"
+
+#include <cassert>
+
+namespace gqe {
+
+Interner& Interner::Global() {
+  static Interner* const kInstance = new Interner();
+  return *kInstance;
+}
+
+uint32_t Interner::Intern(Pool pool, std::string_view name) {
+  PoolData& data = GetPool(pool);
+  auto it = data.index.find(name);
+  if (it != data.index.end()) return it->second;
+  const uint32_t id = static_cast<uint32_t>(data.names.size());
+  assert(id < (1u << 30) && "interner pool overflow");
+  data.names.emplace_back(name);
+  // The key must view the stored string, not the argument, so that it
+  // remains valid for the lifetime of the interner.
+  data.index.emplace(std::string_view(data.names.back()), id);
+  return id;
+}
+
+std::string_view Interner::Name(Pool pool, uint32_t id) const {
+  const PoolData& data = GetPool(pool);
+  assert(id < data.names.size());
+  return data.names[id];
+}
+
+size_t Interner::PoolSize(Pool pool) const { return GetPool(pool).names.size(); }
+
+uint32_t Interner::FreshVariable() {
+  for (;;) {
+    std::string candidate = "_v" + std::to_string(fresh_counter_++);
+    PoolData& data = GetPool(Pool::kVariable);
+    if (data.index.find(candidate) == data.index.end()) {
+      return Intern(Pool::kVariable, candidate);
+    }
+  }
+}
+
+uint32_t Interner::FreshConstant() {
+  for (;;) {
+    std::string candidate = "_c" + std::to_string(fresh_counter_++);
+    PoolData& data = GetPool(Pool::kConstant);
+    if (data.index.find(candidate) == data.index.end()) {
+      return Intern(Pool::kConstant, candidate);
+    }
+  }
+}
+
+}  // namespace gqe

@@ -1,0 +1,69 @@
+#ifndef GQE_BASE_INTERNER_H_
+#define GQE_BASE_INTERNER_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace gqe {
+
+/// A process-wide string interner with separate pools for constants,
+/// variables and predicate names. Interning gives every name a dense
+/// 30-bit id so that terms and predicates fit in 32 bits and compare in
+/// one instruction.
+///
+/// The interner is created on first use and intentionally never destroyed
+/// (leak-on-exit pattern), so it is safe to use from static contexts.
+/// It is not thread-safe; the library is single-threaded by design.
+class Interner {
+ public:
+  /// The distinct name pools. Identical strings in different pools receive
+  /// independent ids (so a constant `a` and a variable `a` can coexist).
+  enum class Pool { kConstant = 0, kVariable = 1, kPredicate = 2 };
+
+  Interner(const Interner&) = delete;
+  Interner& operator=(const Interner&) = delete;
+
+  /// Returns the singleton instance.
+  static Interner& Global();
+
+  /// Interns `name` in `pool` and returns its id. Idempotent.
+  uint32_t Intern(Pool pool, std::string_view name);
+
+  /// Returns the name for an id previously returned by Intern.
+  std::string_view Name(Pool pool, uint32_t id) const;
+
+  /// Returns the number of interned names in `pool`.
+  size_t PoolSize(Pool pool) const;
+
+  /// Returns a fresh variable id whose name does not collide with any
+  /// interned variable (names look like `_v17`).
+  uint32_t FreshVariable();
+
+  /// Returns a fresh constant id (names look like `_c17`).
+  uint32_t FreshConstant();
+
+ private:
+  Interner() = default;
+
+  struct PoolData {
+    // A deque never relocates its elements, so string_view keys into the
+    // stored strings stay valid as the pool grows.
+    std::deque<std::string> names;
+    std::unordered_map<std::string_view, uint32_t> index;
+  };
+
+  PoolData& GetPool(Pool pool) { return pools_[static_cast<int>(pool)]; }
+  const PoolData& GetPool(Pool pool) const {
+    return pools_[static_cast<int>(pool)];
+  }
+
+  PoolData pools_[3];
+  uint64_t fresh_counter_ = 0;
+};
+
+}  // namespace gqe
+
+#endif  // GQE_BASE_INTERNER_H_

@@ -1,0 +1,114 @@
+#include "base/schema.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <deque>
+#include <ostream>
+#include <unordered_map>
+
+#include "base/interner.h"
+
+namespace gqe {
+namespace predicates {
+namespace {
+
+struct Registry {
+  std::deque<int> arities;  // indexed by PredicateId
+};
+
+Registry& GetRegistry() {
+  static Registry* const kRegistry = new Registry();
+  return *kRegistry;
+}
+
+}  // namespace
+
+PredicateId Intern(std::string_view name, int arity) {
+  Interner& interner = Interner::Global();
+  const size_t before = interner.PoolSize(Interner::Pool::kPredicate);
+  const PredicateId id = interner.Intern(Interner::Pool::kPredicate, name);
+  Registry& registry = GetRegistry();
+  if (id < before) {
+    if (registry.arities[id] != arity) {
+      std::fprintf(stderr,
+                   "gqe: predicate '%.*s' re-registered with arity %d "
+                   "(was %d)\n",
+                   static_cast<int>(name.size()), name.data(), arity,
+                   registry.arities[id]);
+      std::abort();
+    }
+    return id;
+  }
+  registry.arities.push_back(arity);
+  return id;
+}
+
+PredicateId Lookup(std::string_view name) {
+  // Intern would create the entry; instead check pool membership by
+  // probing names. The interner has no lookup-without-insert API, so we
+  // keep a shadow map here.
+  static std::unordered_map<std::string, PredicateId>* const kByName =
+      new std::unordered_map<std::string, PredicateId>();
+  auto it = kByName->find(std::string(name));
+  if (it != kByName->end()) return it->second;
+  // Rebuild lazily from the registry (names are append-only).
+  Interner& interner = Interner::Global();
+  const size_t n = interner.PoolSize(Interner::Pool::kPredicate);
+  for (PredicateId id = static_cast<PredicateId>(kByName->size()); id < n;
+       ++id) {
+    kByName->emplace(
+        std::string(interner.Name(Interner::Pool::kPredicate, id)), id);
+  }
+  it = kByName->find(std::string(name));
+  if (it != kByName->end()) return it->second;
+  return static_cast<PredicateId>(-1);
+}
+
+int Arity(PredicateId id) { return GetRegistry().arities[id]; }
+
+std::string_view Name(PredicateId id) {
+  return Interner::Global().Name(Interner::Pool::kPredicate, id);
+}
+
+}  // namespace predicates
+
+PredicateId Schema::Add(std::string_view name, int arity) {
+  const PredicateId id = predicates::Intern(name, arity);
+  Add(id);
+  return id;
+}
+
+void Schema::Add(PredicateId id) {
+  auto it = std::lower_bound(ids_.begin(), ids_.end(), id);
+  if (it == ids_.end() || *it != id) ids_.insert(it, id);
+}
+
+bool Schema::Contains(PredicateId id) const {
+  return std::binary_search(ids_.begin(), ids_.end(), id);
+}
+
+int Schema::MaxArity() const {
+  int max_arity = 0;
+  for (PredicateId id : ids_) {
+    max_arity = std::max(max_arity, predicates::Arity(id));
+  }
+  return max_arity;
+}
+
+std::string Schema::ToString() const {
+  std::string out = "{";
+  for (size_t i = 0; i < ids_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += std::string(predicates::Name(ids_[i]));
+    out += "/" + std::to_string(predicates::Arity(ids_[i]));
+  }
+  out += "}";
+  return out;
+}
+
+std::ostream& operator<<(std::ostream& os, const Schema& schema) {
+  return os << schema.ToString();
+}
+
+}  // namespace gqe

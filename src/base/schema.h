@@ -1,0 +1,66 @@
+#ifndef GQE_BASE_SCHEMA_H_
+#define GQE_BASE_SCHEMA_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gqe {
+
+/// Dense id of a predicate (relation symbol). Predicates are interned
+/// process-wide: a (name) maps to one id, and the arity is fixed at first
+/// registration.
+using PredicateId = uint32_t;
+
+/// Registry of predicate names and arities. A thin wrapper over the global
+/// interner; see Schema for per-problem predicate sets.
+namespace predicates {
+
+/// Interns predicate `name` with the given `arity`. If the name is already
+/// registered with a different arity, the program aborts (names identify
+/// relations uniquely, as in the paper).
+PredicateId Intern(std::string_view name, int arity);
+
+/// Returns the id for `name` if registered, or -1 cast to PredicateId.
+PredicateId Lookup(std::string_view name);
+
+/// Returns the arity of a registered predicate.
+int Arity(PredicateId id);
+
+/// Returns the name of a registered predicate.
+std::string_view Name(PredicateId id);
+
+}  // namespace predicates
+
+/// A schema S: a finite set of predicates (paper, Section 2). Used to
+/// express data schemas of OMQs and to restrict databases.
+class Schema {
+ public:
+  Schema() = default;
+
+  /// Adds a predicate to the schema (registering it if new).
+  PredicateId Add(std::string_view name, int arity);
+
+  /// Adds an already-registered predicate id.
+  void Add(PredicateId id);
+
+  bool Contains(PredicateId id) const;
+  const std::vector<PredicateId>& predicate_ids() const { return ids_; }
+  size_t size() const { return ids_.size(); }
+
+  /// ar(S): the maximum arity over the schema's predicates (0 if empty).
+  int MaxArity() const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<PredicateId> ids_;  // sorted, unique
+};
+
+std::ostream& operator<<(std::ostream& os, const Schema& schema);
+
+}  // namespace gqe
+
+#endif  // GQE_BASE_SCHEMA_H_

@@ -1,0 +1,60 @@
+#include "base/term.h"
+
+#include <atomic>
+#include <cassert>
+#include <ostream>
+
+#include "base/interner.h"
+
+namespace gqe {
+
+namespace {
+constexpr uint32_t kTagShift = 30;
+uint32_t MakeBits(Term::Kind kind, uint32_t id) {
+  assert(id < (1u << 30));
+  return (static_cast<uint32_t>(kind) << kTagShift) | id;
+}
+}  // namespace
+
+Term Term::Constant(std::string_view name) {
+  return Term(MakeBits(Kind::kConstant,
+                       Interner::Global().Intern(
+                           Interner::Pool::kConstant, name)));
+}
+
+Term Term::Variable(std::string_view name) {
+  return Term(MakeBits(Kind::kVariable,
+                       Interner::Global().Intern(
+                           Interner::Pool::kVariable, name)));
+}
+
+Term Term::Null(uint32_t id) { return Term(MakeBits(Kind::kNull, id)); }
+
+Term Term::FreshNull() {
+  static uint32_t counter = 0;
+  return Null(counter++);
+}
+
+Term Term::FreshVariable() {
+  return Term(MakeBits(Kind::kVariable, Interner::Global().FreshVariable()));
+}
+
+std::string Term::ToString() const {
+  switch (kind()) {
+    case Kind::kConstant:
+      return std::string(
+          Interner::Global().Name(Interner::Pool::kConstant, id()));
+    case Kind::kVariable:
+      return std::string(
+          Interner::Global().Name(Interner::Pool::kVariable, id()));
+    case Kind::kNull:
+      return "_:n" + std::to_string(id());
+  }
+  return "?";
+}
+
+std::ostream& operator<<(std::ostream& os, Term term) {
+  return os << term.ToString();
+}
+
+}  // namespace gqe

@@ -1,0 +1,90 @@
+#ifndef GQE_BASE_TERM_H_
+#define GQE_BASE_TERM_H_
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+namespace gqe {
+
+/// A term is a constant, a labelled null (a fresh constant invented by the
+/// chase), or a variable (paper, Section 2). Terms are 32-bit values: two
+/// tag bits plus a 30-bit id into the global Interner (nulls use a counter
+/// instead of interned names).
+///
+/// Following the paper, instances contain only constants and nulls;
+/// queries and TGDs contain variables (and possibly constants).
+class Term {
+ public:
+  enum class Kind : uint32_t { kConstant = 0, kNull = 1, kVariable = 2 };
+
+  /// Default-constructed term is the constant with id 0 only if such a
+  /// constant was interned; prefer the factories below.
+  Term() : bits_(0) {}
+
+  /// Returns the constant named `name`, interning it if necessary.
+  static Term Constant(std::string_view name);
+
+  /// Returns the variable named `name`, interning it if necessary.
+  static Term Variable(std::string_view name);
+
+  /// Returns a labelled null with the given id. Nulls with equal ids are
+  /// equal; use FreshNull for a null distinct from all existing ones.
+  static Term Null(uint32_t id);
+
+  /// Returns a labelled null distinct from every null created so far in
+  /// this process.
+  static Term FreshNull();
+
+  /// Returns a variable distinct from every interned variable.
+  static Term FreshVariable();
+
+  Kind kind() const { return static_cast<Kind>(bits_ >> 30); }
+  uint32_t id() const { return bits_ & 0x3fffffffu; }
+
+  bool IsConstant() const { return kind() == Kind::kConstant; }
+  bool IsNull() const { return kind() == Kind::kNull; }
+  bool IsVariable() const { return kind() == Kind::kVariable; }
+  /// Ground terms are the terms that may appear in instances: constants
+  /// and labelled nulls.
+  bool IsGround() const { return !IsVariable(); }
+
+  /// Returns a printable name. Constants/variables return their interned
+  /// name; nulls return a generated name of the form `_:n<id>`.
+  std::string ToString() const;
+
+  /// Raw 32-bit representation, usable as a dense hash/index key.
+  uint32_t bits() const { return bits_; }
+  static Term FromBits(uint32_t bits) { return Term(bits); }
+
+  friend bool operator==(Term a, Term b) { return a.bits_ == b.bits_; }
+  friend bool operator!=(Term a, Term b) { return a.bits_ != b.bits_; }
+  friend bool operator<(Term a, Term b) { return a.bits_ < b.bits_; }
+
+ private:
+  explicit Term(uint32_t bits) : bits_(bits) {}
+
+  uint32_t bits_;
+};
+
+std::ostream& operator<<(std::ostream& os, Term term);
+
+struct TermHash {
+  size_t operator()(Term t) const {
+    // Multiplicative hash of the 32-bit representation.
+    return static_cast<size_t>(t.bits()) * 0x9e3779b97f4a7c15ull >> 16;
+  }
+};
+
+}  // namespace gqe
+
+namespace std {
+template <>
+struct hash<gqe::Term> {
+  size_t operator()(gqe::Term t) const { return gqe::TermHash{}(t); }
+};
+}  // namespace std
+
+#endif  // GQE_BASE_TERM_H_

@@ -1,0 +1,222 @@
+#include "chase/chase.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "query/homomorphism.h"
+#include "query/substitution.h"
+
+namespace gqe {
+
+namespace {
+
+struct TriggerKeyHash {
+  size_t operator()(const std::vector<uint32_t>& key) const {
+    size_t h = 0x9e3779b97f4a7c15ull;
+    for (uint32_t v : key) h ^= v + 0x9e3779b9u + (h << 6) + (h >> 2);
+    return h;
+  }
+};
+
+/// Identity of an oblivious-chase trigger: the TGD index plus the images
+/// of its body variables (paper: the pair (σ, (c̄, c̄'))).
+std::vector<uint32_t> TriggerKey(size_t tgd_index,
+                                 const std::vector<Term>& body_vars,
+                                 const Substitution& sub) {
+  std::vector<uint32_t> key;
+  key.reserve(body_vars.size() + 1);
+  key.push_back(static_cast<uint32_t>(tgd_index));
+  for (Term v : body_vars) key.push_back(sub.Apply(v).bits());
+  return key;
+}
+
+/// True if the head of `tgd` is satisfied in `instance` with the frontier
+/// fixed as in `sub`.
+bool HeadSatisfied(const Instance& instance, const Tgd& tgd,
+                   const Substitution& sub) {
+  HomOptions options;
+  for (Term v : tgd.Frontier()) options.fixed.Set(v, sub.Apply(v));
+  HomomorphismSearch search(tgd.head(), instance, options);
+  return search.Exists();
+}
+
+}  // namespace
+
+ChaseResult Chase(const Instance& db, const TgdSet& tgds,
+                  const ChaseOptions& options) {
+  ChaseResult result;
+  result.instance.InsertAll(db);
+  for (const Atom& atom : db.atoms()) result.levels[atom] = 0;
+
+  std::unordered_set<std::vector<uint32_t>, TriggerKeyHash> fired;
+  std::vector<std::vector<Term>> body_vars(tgds.size());
+  std::vector<std::vector<Term>> existentials(tgds.size());
+  for (size_t i = 0; i < tgds.size(); ++i) {
+    body_vars[i] = tgds[i].BodyVariables();
+    existentials[i] = tgds[i].ExistentialVariables();
+  }
+
+  struct PendingTrigger {
+    size_t tgd_index;
+    Substitution sub;
+    int level;
+  };
+
+  // Semi-naive trigger discovery: after the first full pass, only search
+  // for homomorphisms in which at least one body atom maps onto a fact
+  // created since the previous round (the delta frontier).
+  size_t delta_start = 0;  // first fact index of the current delta
+  std::vector<PendingTrigger> carried;  // unfired triggers above min level
+
+  std::unordered_set<std::vector<uint32_t>, TriggerKeyHash> pending_keys;
+
+  for (;;) {
+    if (!options.semi_naive) {
+      // Naive mode: rediscover everything each round.
+      carried.clear();
+      pending_keys.clear();
+      delta_start = 0;
+    }
+    std::vector<PendingTrigger> pending = std::move(carried);
+    carried.clear();
+    auto consider = [&](size_t t, const Substitution& sub) {
+      std::vector<uint32_t> key = TriggerKey(t, body_vars[t], sub);
+      if (fired.count(key) > 0) return;
+      if (!pending_keys.insert(key).second) return;
+      int level = 0;
+      for (const Atom& body_atom : tgds[t].body()) {
+        Atom fact = sub.Apply(body_atom);
+        auto it = result.levels.find(fact);
+        if (it != result.levels.end()) level = std::max(level, it->second);
+      }
+      pending.push_back({t, sub, level});
+    };
+    const size_t delta_end = result.instance.size();
+    for (size_t t = 0; t < tgds.size(); ++t) {
+      if (delta_start == 0) {
+        // Initial full pass.
+        HomomorphismSearch search(tgds[t].body(), result.instance);
+        search.ForEach([&](const Substitution& sub) {
+          consider(t, sub);
+          return true;
+        });
+        continue;
+      }
+      // Anchor one body atom at each delta fact.
+      const auto& body = tgds[t].body();
+      if (body.empty()) continue;  // fired during the full pass
+      for (size_t anchor = 0; anchor < body.size(); ++anchor) {
+        for (size_t f = delta_start; f < delta_end; ++f) {
+          const Atom& fact = result.instance.atom(f);
+          if (fact.predicate() != body[anchor].predicate()) continue;
+          // Bind the anchor atom's variables against this fact.
+          HomOptions options;
+          bool ok = true;
+          for (int pos = 0; pos < fact.arity() && ok; ++pos) {
+            Term t_pat = body[anchor].args()[pos];
+            Term image = fact.args()[pos];
+            if (t_pat.IsGround()) {
+              ok = (t_pat == image);
+            } else if (options.fixed.Has(t_pat)) {
+              ok = (options.fixed.Apply(t_pat) == image);
+            } else {
+              options.fixed.Set(t_pat, image);
+            }
+          }
+          if (!ok) continue;
+          HomomorphismSearch search(body, result.instance, options);
+          search.ForEach([&](const Substitution& sub) {
+            consider(t, sub);
+            return true;
+          });
+        }
+      }
+    }
+    delta_start = delta_end;
+    if (pending.empty()) {
+      result.complete = true;
+      break;
+    }
+    // Level-wise: fire only the triggers at the minimum pending level.
+    int min_level = pending.front().level;
+    for (const auto& trigger : pending) {
+      min_level = std::min(min_level, trigger.level);
+    }
+    if (options.max_level >= 0 && min_level >= options.max_level) {
+      // Every remaining trigger would create facts beyond the level
+      // budget.
+      result.complete = false;
+      break;
+    }
+    bool budget_hit = false;
+    for (const auto& trigger : pending) {
+      if (trigger.level != min_level) {
+        // Keep for a later round (its level's turn has not come).
+        carried.push_back(trigger);
+        continue;
+      }
+      std::vector<uint32_t> key =
+          TriggerKey(trigger.tgd_index, body_vars[trigger.tgd_index],
+                     trigger.sub);
+      pending_keys.erase(key);
+      if (!fired.insert(key).second) continue;
+      const Tgd& tgd = tgds[trigger.tgd_index];
+      if (options.restricted &&
+          HeadSatisfied(result.instance, tgd, trigger.sub)) {
+        continue;
+      }
+      ++result.triggers_fired;
+      Substitution extended = trigger.sub;
+      for (Term z : existentials[trigger.tgd_index]) {
+        extended.Set(z, Term::FreshNull());
+      }
+      for (const Atom& head_atom : tgd.head()) {
+        Atom fact = extended.Apply(head_atom);
+        if (result.instance.Insert(fact)) {
+          result.levels[fact] = trigger.level + 1;
+          result.max_level_built =
+              std::max(result.max_level_built, trigger.level + 1);
+        }
+      }
+      if (result.instance.size() >= options.max_facts) {
+        budget_hit = true;
+        break;
+      }
+    }
+    if (budget_hit) {
+      result.complete = false;
+      break;
+    }
+  }
+  return result;
+}
+
+Instance ChaseResult::UpToLevel(int level) const {
+  Instance out;
+  for (const Atom& atom : instance.atoms()) {
+    auto it = levels.find(atom);
+    if (it != levels.end() && it->second <= level) out.Insert(atom);
+  }
+  return out;
+}
+
+bool Satisfies(const Instance& instance, const Tgd& tgd) {
+  bool satisfied = true;
+  HomomorphismSearch search(tgd.body(), instance);
+  search.ForEach([&](const Substitution& sub) {
+    if (!HeadSatisfied(instance, tgd, sub)) {
+      satisfied = false;
+      return false;
+    }
+    return true;
+  });
+  return satisfied;
+}
+
+bool Satisfies(const Instance& instance, const TgdSet& tgds) {
+  return std::all_of(tgds.begin(), tgds.end(), [&](const Tgd& tgd) {
+    return Satisfies(instance, tgd);
+  });
+}
+
+}  // namespace gqe

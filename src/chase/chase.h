@@ -1,0 +1,67 @@
+#ifndef GQE_CHASE_CHASE_H_
+#define GQE_CHASE_CHASE_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "base/atom.h"
+#include "base/instance.h"
+#include "tgd/tgd.h"
+
+namespace gqe {
+
+/// Options for the chase procedure (paper, Section 2).
+struct ChaseOptions {
+  /// Stop (incomplete) once the instance holds this many facts.
+  size_t max_facts = 1000000;
+
+  /// Build the chase only up to this level (Lemma A.1 levels: database
+  /// facts have level 0; a fact created by a trigger has level
+  /// 1 + max level of the matched body facts). Negative: unlimited.
+  int max_level = -1;
+
+  /// Restricted chase: skip a trigger whose head is already satisfied
+  /// with the frontier mapped as the trigger prescribes. The paper's
+  /// reference semantics is the *oblivious* chase (false).
+  bool restricted = false;
+
+  /// Semi-naive trigger discovery (delta-anchored); disable to rediscover
+  /// every trigger each round (the naive engine — same output, used as an
+  /// ablation baseline).
+  bool semi_naive = true;
+};
+
+/// Result of a chase run.
+struct ChaseResult {
+  Instance instance;
+
+  /// Lemma A.1 s-level of every fact (level-wise chase sequence).
+  std::unordered_map<Atom, int, AtomHash> levels;
+
+  /// True iff a fixpoint was reached: no unfired applicable trigger
+  /// remains, hence instance |= Σ.
+  bool complete = false;
+
+  int max_level_built = 0;
+  size_t triggers_fired = 0;
+
+  /// chase^l: the sub-instance of facts with level <= l.
+  Instance UpToLevel(int level) const;
+};
+
+/// Runs the (oblivious, level-wise) chase of `db` under `tgds`
+/// (Section 2). With default options this terminates only when the chase
+/// is finite (e.g. full or weakly-acyclic sets); use max_level/max_facts
+/// to bound it otherwise.
+ChaseResult Chase(const Instance& db, const TgdSet& tgds,
+                  const ChaseOptions& options = {});
+
+/// I |= σ: every homomorphism from the body extends to a homomorphism of
+/// the head (Section 2, via q_ϕ(I) ⊆ q_ψ(I)).
+bool Satisfies(const Instance& instance, const Tgd& tgd);
+bool Satisfies(const Instance& instance, const TgdSet& tgds);
+
+}  // namespace gqe
+
+#endif  // GQE_CHASE_CHASE_H_

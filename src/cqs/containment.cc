@@ -1,0 +1,54 @@
+#include "cqs/containment.h"
+
+#include <cassert>
+
+#include "chase/chase.h"
+#include "guarded/omq_eval.h"
+#include "query/evaluation.h"
+
+namespace gqe {
+
+namespace {
+
+/// x̄ ∈ q2(chase(D[p1], Σ)) — the Proposition 4.5 test for one disjunct.
+bool DisjunctContained(const CQ& p1, const UCQ& q2, const TgdSet& sigma,
+                       TypeClosureEngine* engine, int fg_chase_level) {
+  Instance canonical = p1.CanonicalInstance();
+  std::vector<Term> frozen_answer;
+  for (Term v : p1.answer_vars()) {
+    frozen_answer.push_back(CQ::FrozenConstant(v));
+  }
+  if (sigma.empty()) {
+    return HoldsUCQ(q2, canonical, frozen_answer);
+  }
+  if (IsGuardedSet(sigma)) {
+    return GuardedCertainlyHolds(canonical, sigma, q2, frozen_answer,
+                                 GuardedEvalOptions{}, engine);
+  }
+  // Frontier-guarded (or general) fallback: level-bounded chase.
+  ChaseOptions options;
+  options.max_level = fg_chase_level;
+  ChaseResult chased = Chase(canonical, sigma, options);
+  return HoldsUCQ(q2, chased.instance, frozen_answer);
+}
+
+}  // namespace
+
+bool CqsContained(const Cqs& s1, const Cqs& s2, TypeClosureEngine* engine,
+                  int fg_chase_level) {
+  assert(s1.query.arity() == s2.query.arity());
+  for (const CQ& p1 : s1.query.disjuncts()) {
+    if (!DisjunctContained(p1, s2.query, s1.sigma, engine, fg_chase_level)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool CqsEquivalent(const Cqs& s1, const Cqs& s2, TypeClosureEngine* engine,
+                   int fg_chase_level) {
+  return CqsContained(s1, s2, engine, fg_chase_level) &&
+         CqsContained(s2, s1, engine, fg_chase_level);
+}
+
+}  // namespace gqe

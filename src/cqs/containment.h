@@ -1,0 +1,28 @@
+#ifndef GQE_CQS_CONTAINMENT_H_
+#define GQE_CQS_CONTAINMENT_H_
+
+#include "cqs/cqs.h"
+#include "guarded/type_closure.h"
+
+namespace gqe {
+
+/// Containment under constraints, q1 ⊆_Σ q2 (Section 4.2 /
+/// Proposition 4.5): for each disjunct p1 of q1 there is a disjunct p2 of
+/// q2 with x̄ ∈ p2(chase(p1, Σ)).
+///
+/// For guarded Σ the chase evaluation is exact (guarded chase portion).
+/// For frontier-guarded Σ beyond G, a level-bounded chase is used: the
+/// check is then sound for "contained" answers up to the bound
+/// (`fg_chase_level`); all shipped workloads have chases that stabilize
+/// well below it.
+bool CqsContained(const Cqs& s1, const Cqs& s2,
+                  TypeClosureEngine* engine = nullptr,
+                  int fg_chase_level = 12);
+
+bool CqsEquivalent(const Cqs& s1, const Cqs& s2,
+                   TypeClosureEngine* engine = nullptr,
+                   int fg_chase_level = 12);
+
+}  // namespace gqe
+
+#endif  // GQE_CQS_CONTAINMENT_H_

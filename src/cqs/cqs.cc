@@ -1,0 +1,42 @@
+#include "cqs/cqs.h"
+
+namespace gqe {
+
+size_t Cqs::Size() const {
+  size_t total = query.Size();
+  for (const Tgd& tgd : sigma) {
+    for (const Atom& atom : tgd.body()) total += 1 + atom.args().size();
+    for (const Atom& atom : tgd.head()) total += 1 + atom.args().size();
+  }
+  return total;
+}
+
+bool Cqs::Validate(const std::string& require, int max_head_atoms,
+                   std::string* why) const {
+  auto fail = [why](const std::string& message) {
+    if (why != nullptr) *why = message;
+    return false;
+  };
+  if (!query.Validate(why)) return false;
+  for (const Tgd& tgd : sigma) {
+    if (!tgd.Validate(why)) return false;
+  }
+  if (require == "G" && !IsGuardedSet(sigma)) {
+    return fail("constraints not guarded");
+  }
+  if ((require == "FG" || require == "FGm") &&
+      !IsFrontierGuardedSet(sigma)) {
+    return fail("constraints not frontier-guarded");
+  }
+  if (require == "FGm" && MaxHeadAtoms(sigma) > max_head_atoms) {
+    return fail("more than m head atoms");
+  }
+  return true;
+}
+
+std::string Cqs::ToString() const {
+  return "CQS(|Sigma|=" + std::to_string(sigma.size()) +
+         ", q=" + query.ToString() + ")";
+}
+
+}  // namespace gqe

@@ -1,0 +1,30 @@
+#ifndef GQE_CQS_CQS_H_
+#define GQE_CQS_CQS_H_
+
+#include <string>
+
+#include "query/cq.h"
+#include "tgd/tgd.h"
+
+namespace gqe {
+
+/// A constraint-query specification S = (Σ, q) (Section 3.2): Σ is a set
+/// of integrity constraints and q a UCQ, evaluated under closed-world
+/// semantics over databases *promised* to satisfy Σ.
+struct Cqs {
+  TgdSet sigma;
+  UCQ query;
+
+  size_t Size() const;
+
+  /// Well-formedness plus optional class requirement ("G", "FG", "FGm"
+  /// with `m` via max_head_atoms, "" for none).
+  bool Validate(const std::string& require = "", int max_head_atoms = 0,
+                std::string* why = nullptr) const;
+
+  std::string ToString() const;
+};
+
+}  // namespace gqe
+
+#endif  // GQE_CQS_CQS_H_

@@ -1,0 +1,26 @@
+#include "cqs/evaluation.h"
+
+#include "chase/chase.h"
+#include "query/evaluation.h"
+#include "query/tw_evaluation.h"
+
+namespace gqe {
+
+CqsEvalResult EvaluateCqs(const Cqs& cqs, const Instance& db,
+                          bool check_promise) {
+  CqsEvalResult result;
+  if (check_promise && !Satisfies(db, cqs.sigma)) {
+    result.promise_ok = false;
+    return result;
+  }
+  result.answers = EvaluateUCQ(cqs.query, db);
+  return result;
+}
+
+bool CqsHolds(const Cqs& cqs, const Instance& db,
+              const std::vector<Term>& answer, bool use_tree_dp) {
+  return use_tree_dp ? HoldsUcqTreeDp(cqs.query, db, answer)
+                     : HoldsUCQ(cqs.query, db, answer);
+}
+
+}  // namespace gqe

@@ -1,0 +1,31 @@
+#ifndef GQE_CQS_EVALUATION_H_
+#define GQE_CQS_EVALUATION_H_
+
+#include <vector>
+
+#include "base/instance.h"
+#include "cqs/cqs.h"
+
+namespace gqe {
+
+/// CQS-Evaluation (Section 3.2): the database is *promised* to satisfy
+/// the constraints; evaluation is plain closed-world UCQ evaluation.
+/// `check_promise` verifies D |= Σ first (aborting the promise violation
+/// into a `promise_ok=false` result rather than crashing).
+struct CqsEvalResult {
+  std::vector<std::vector<Term>> answers;
+  bool promise_ok = true;
+};
+
+CqsEvalResult EvaluateCqs(const Cqs& cqs, const Instance& db,
+                          bool check_promise = false);
+
+/// Decides c̄ ∈ q(D) under the promise. With `use_tree_dp`, uses the
+/// Prop. 2.1 DP — the PTime algorithm behind Theorem 5.7(1) when
+/// q ∈ UCQ_k.
+bool CqsHolds(const Cqs& cqs, const Instance& db,
+              const std::vector<Term>& answer, bool use_tree_dp = false);
+
+}  // namespace gqe
+
+#endif  // GQE_CQS_EVALUATION_H_

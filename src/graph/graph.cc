@@ -1,0 +1,199 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+#include <cassert>
+#include <ostream>
+#include <sstream>
+#include <unordered_map>
+
+namespace gqe {
+
+int Graph::num_edges() const {
+  int total = 0;
+  for (const auto& nbrs : adjacency_) total += static_cast<int>(nbrs.size());
+  return total / 2;
+}
+
+void Graph::AddEdge(int u, int v) {
+  assert(u >= 0 && u < num_vertices() && v >= 0 && v < num_vertices());
+  if (u == v) return;
+  adjacency_[u].insert(v);
+  adjacency_[v].insert(u);
+}
+
+bool Graph::HasEdge(int u, int v) const {
+  if (u < 0 || v < 0 || u >= num_vertices() || v >= num_vertices()) {
+    return false;
+  }
+  return adjacency_[u].count(v) > 0;
+}
+
+int Graph::AddVertex() {
+  adjacency_.emplace_back();
+  return num_vertices() - 1;
+}
+
+std::vector<std::pair<int, int>> Graph::Edges() const {
+  std::vector<std::pair<int, int>> edges;
+  for (int u = 0; u < num_vertices(); ++u) {
+    for (int v : adjacency_[u]) {
+      if (u < v) edges.emplace_back(u, v);
+    }
+  }
+  return edges;
+}
+
+std::vector<std::vector<int>> Graph::ConnectedComponents() const {
+  std::vector<int> component(num_vertices(), -1);
+  std::vector<std::vector<int>> components;
+  for (int start = 0; start < num_vertices(); ++start) {
+    if (component[start] != -1) continue;
+    const int id = static_cast<int>(components.size());
+    components.emplace_back();
+    std::vector<int> stack = {start};
+    component[start] = id;
+    while (!stack.empty()) {
+      int v = stack.back();
+      stack.pop_back();
+      components[id].push_back(v);
+      for (int w : adjacency_[v]) {
+        if (component[w] == -1) {
+          component[w] = id;
+          stack.push_back(w);
+        }
+      }
+    }
+  }
+  return components;
+}
+
+bool Graph::IsConnected() const {
+  return num_vertices() == 0 || ConnectedComponents().size() == 1;
+}
+
+Graph Graph::InducedSubgraph(const std::vector<int>& vertices,
+                             std::vector<int>* out_index) const {
+  std::vector<int> index(num_vertices(), -1);
+  for (size_t i = 0; i < vertices.size(); ++i) {
+    index[vertices[i]] = static_cast<int>(i);
+  }
+  Graph sub(static_cast<int>(vertices.size()));
+  for (size_t i = 0; i < vertices.size(); ++i) {
+    for (int w : adjacency_[vertices[i]]) {
+      if (index[w] >= 0) sub.AddEdge(static_cast<int>(i), index[w]);
+    }
+  }
+  if (out_index != nullptr) *out_index = std::move(index);
+  return sub;
+}
+
+bool Graph::IsClique(const std::vector<int>& vertices) const {
+  for (size_t i = 0; i < vertices.size(); ++i) {
+    for (size_t j = i + 1; j < vertices.size(); ++j) {
+      if (vertices[i] != vertices[j] && !HasEdge(vertices[i], vertices[j])) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+std::string Graph::ToString() const {
+  std::ostringstream out;
+  out << "Graph(n=" << num_vertices() << ", edges=[";
+  bool first = true;
+  for (auto [u, v] : Edges()) {
+    if (!first) out << ", ";
+    first = false;
+    out << u << "-" << v;
+  }
+  out << "])";
+  return out.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const Graph& graph) {
+  return os << graph.ToString();
+}
+
+Graph Graph::Grid(int k, int l) {
+  Graph g(k * l);
+  for (int i = 1; i <= k; ++i) {
+    for (int j = 1; j <= l; ++j) {
+      if (i + 1 <= k) g.AddEdge(GridVertex(k, l, i, j), GridVertex(k, l, i + 1, j));
+      if (j + 1 <= l) g.AddEdge(GridVertex(k, l, i, j), GridVertex(k, l, i, j + 1));
+    }
+  }
+  return g;
+}
+
+int Graph::GridVertex(int k, int l, int i, int j) {
+  assert(i >= 1 && i <= k && j >= 1 && j <= l);
+  (void)k;
+  return (i - 1) * l + (j - 1);
+}
+
+Graph Graph::Clique(int n) {
+  Graph g(n);
+  for (int u = 0; u < n; ++u) {
+    for (int v = u + 1; v < n; ++v) g.AddEdge(u, v);
+  }
+  return g;
+}
+
+Graph Graph::Path(int n) {
+  Graph g(n);
+  for (int v = 0; v + 1 < n; ++v) g.AddEdge(v, v + 1);
+  return g;
+}
+
+Graph Graph::Cycle(int n) {
+  Graph g = Path(n);
+  if (n >= 3) g.AddEdge(n - 1, 0);
+  return g;
+}
+
+namespace {
+
+Graph GaifmanFromTermAtoms(const std::vector<Atom>& atoms,
+                           std::vector<Term>* vertex_terms,
+                           bool ground_only) {
+  std::vector<Term> terms;
+  std::unordered_map<Term, int> index;
+  for (const Atom& atom : atoms) {
+    for (Term t : atom.args()) {
+      if (ground_only && !t.IsGround()) continue;
+      if (index.emplace(t, static_cast<int>(terms.size())).second) {
+        terms.push_back(t);
+      }
+    }
+  }
+  Graph g(static_cast<int>(terms.size()));
+  for (const Atom& atom : atoms) {
+    const auto& args = atom.args();
+    for (size_t i = 0; i < args.size(); ++i) {
+      auto it_i = index.find(args[i]);
+      if (it_i == index.end()) continue;
+      for (size_t j = i + 1; j < args.size(); ++j) {
+        auto it_j = index.find(args[j]);
+        if (it_j == index.end()) continue;
+        if (it_i->second != it_j->second) g.AddEdge(it_i->second, it_j->second);
+      }
+    }
+  }
+  if (vertex_terms != nullptr) *vertex_terms = std::move(terms);
+  return g;
+}
+
+}  // namespace
+
+Graph GaifmanGraph(const Instance& instance, std::vector<Term>* vertex_terms) {
+  return GaifmanFromTermAtoms(instance.atoms(), vertex_terms,
+                              /*ground_only=*/true);
+}
+
+Graph GaifmanGraphOfAtoms(const std::vector<Atom>& atoms,
+                          std::vector<Term>* vertex_terms) {
+  return GaifmanFromTermAtoms(atoms, vertex_terms, /*ground_only=*/false);
+}
+
+}  // namespace gqe

@@ -1,0 +1,90 @@
+#ifndef GQE_GRAPH_GRAPH_H_
+#define GQE_GRAPH_GRAPH_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "base/instance.h"
+#include "base/term.h"
+
+namespace gqe {
+
+/// A finite simple undirected graph over vertices 0..n-1 (no self loops,
+/// matching the paper's Gaifman-graph definition).
+class Graph {
+ public:
+  Graph() = default;
+  explicit Graph(int num_vertices) : adjacency_(num_vertices) {}
+
+  int num_vertices() const { return static_cast<int>(adjacency_.size()); }
+  int num_edges() const;
+
+  /// Adds an undirected edge {u, v}. Self loops are ignored.
+  void AddEdge(int u, int v);
+  bool HasEdge(int u, int v) const;
+
+  const std::set<int>& Neighbors(int v) const { return adjacency_[v]; }
+  int Degree(int v) const { return static_cast<int>(adjacency_[v].size()); }
+
+  /// Adds a fresh isolated vertex and returns its index.
+  int AddVertex();
+
+  /// All edges as (u, v) pairs with u < v.
+  std::vector<std::pair<int, int>> Edges() const;
+
+  /// Connected components as vertex lists; singleton vertices form their
+  /// own components.
+  std::vector<std::vector<int>> ConnectedComponents() const;
+
+  bool IsConnected() const;
+
+  /// The subgraph induced by `vertices`; out_index maps old vertex ids to
+  /// new ids (-1 for dropped vertices) when non-null.
+  Graph InducedSubgraph(const std::vector<int>& vertices,
+                        std::vector<int>* out_index = nullptr) const;
+
+  /// True if `vertices` forms a clique (every pair adjacent).
+  bool IsClique(const std::vector<int>& vertices) const;
+
+  std::string ToString() const;
+
+  // --- Standard constructions -------------------------------------------
+
+  /// The k x l grid graph: vertices (i,j), i in [k], j in [l], edges
+  /// between orthogonally adjacent cells (paper, Section 6). Vertex id of
+  /// (i, j) is (i-1)*l + (j-1) for 1-based i, j.
+  static Graph Grid(int k, int l);
+  static int GridVertex(int k, int l, int i, int j);
+
+  /// The complete graph on n vertices.
+  static Graph Clique(int n);
+
+  /// The path on n vertices.
+  static Graph Path(int n);
+
+  /// The cycle on n vertices.
+  static Graph Cycle(int n);
+
+ private:
+  std::vector<std::set<int>> adjacency_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Graph& graph);
+
+/// The Gaifman graph of an instance: vertices are domain elements, with an
+/// edge whenever two distinct elements co-occur in a fact (paper,
+/// Section 2). `vertex_terms` receives the term of each vertex id.
+Graph GaifmanGraph(const Instance& instance,
+                   std::vector<Term>* vertex_terms);
+
+/// Gaifman graph of an atom list containing variables and/or ground terms;
+/// every distinct term becomes a vertex.
+Graph GaifmanGraphOfAtoms(const std::vector<Atom>& atoms,
+                          std::vector<Term>* vertex_terms);
+
+}  // namespace gqe
+
+#endif  // GQE_GRAPH_GRAPH_H_

@@ -1,0 +1,154 @@
+#include "graph/minor.h"
+
+#include <algorithm>
+#include <cassert>
+#include <functional>
+#include <set>
+
+namespace gqe {
+
+void MinorMap::SetBranchSet(int h_vertex, std::vector<int> g_vertices) {
+  assert(h_vertex >= 0 && h_vertex < num_h_vertices());
+  std::sort(g_vertices.begin(), g_vertices.end());
+  g_vertices.erase(std::unique(g_vertices.begin(), g_vertices.end()),
+                   g_vertices.end());
+  branch_sets_[h_vertex] = std::move(g_vertices);
+}
+
+std::vector<int> MinorMap::UsedVertices() const {
+  std::vector<int> used;
+  for (const auto& set : branch_sets_) {
+    used.insert(used.end(), set.begin(), set.end());
+  }
+  std::sort(used.begin(), used.end());
+  used.erase(std::unique(used.begin(), used.end()), used.end());
+  return used;
+}
+
+bool MinorMap::Validate(const Graph& h, const Graph& g, bool onto,
+                        std::string* why) const {
+  auto fail = [why](const std::string& message) {
+    if (why != nullptr) *why = message;
+    return false;
+  };
+  if (num_h_vertices() != h.num_vertices()) {
+    return fail("branch-set count differs from |V(H)|");
+  }
+  std::vector<int> owner(g.num_vertices(), -1);
+  for (int hv = 0; hv < num_h_vertices(); ++hv) {
+    const auto& set = branch_sets_[hv];
+    if (set.empty()) return fail("empty branch set");
+    for (int gv : set) {
+      if (gv < 0 || gv >= g.num_vertices()) return fail("vertex out of range");
+      if (owner[gv] != -1) return fail("branch sets not disjoint");
+      owner[gv] = hv;
+    }
+    // Connectivity of the branch set in G.
+    std::set<int> in_set(set.begin(), set.end());
+    std::set<int> reached = {set[0]};
+    std::vector<int> stack = {set[0]};
+    while (!stack.empty()) {
+      int v = stack.back();
+      stack.pop_back();
+      for (int w : g.Neighbors(v)) {
+        if (in_set.count(w) && !reached.count(w)) {
+          reached.insert(w);
+          stack.push_back(w);
+        }
+      }
+    }
+    if (reached.size() != in_set.size()) {
+      return fail("branch set " + std::to_string(hv) + " not connected");
+    }
+  }
+  for (auto [hu, hv] : h.Edges()) {
+    bool adjacent = false;
+    for (int gu : branch_sets_[hu]) {
+      for (int gv : branch_sets_[hv]) {
+        if (g.HasEdge(gu, gv)) {
+          adjacent = true;
+          break;
+        }
+      }
+      if (adjacent) break;
+    }
+    if (!adjacent) {
+      return fail("H-edge " + std::to_string(hu) + "-" + std::to_string(hv) +
+                  " not represented");
+    }
+  }
+  if (onto) {
+    for (int gv = 0; gv < g.num_vertices(); ++gv) {
+      if (owner[gv] == -1) {
+        return fail("not onto: G-vertex " + std::to_string(gv) + " unused");
+      }
+    }
+  }
+  return true;
+}
+
+std::optional<MinorMap> FindMinorBruteForce(const Graph& h, const Graph& g) {
+  const int hn = h.num_vertices();
+  const int gn = g.num_vertices();
+  // Assign each G-vertex an owner in {-1, 0..hn-1}; check validity.
+  // Exponential (hn+1)^gn: keep gn tiny.
+  std::vector<int> owner(gn, -1);
+  MinorMap result(hn);
+  std::function<bool(int)> assign = [&](int gv) -> bool {
+    if (gv == gn) {
+      MinorMap candidate(hn);
+      std::vector<std::vector<int>> sets(hn);
+      for (int v = 0; v < gn; ++v) {
+        if (owner[v] >= 0) sets[owner[v]].push_back(v);
+      }
+      for (int hv = 0; hv < hn; ++hv) {
+        if (sets[hv].empty()) return false;
+        candidate.SetBranchSet(hv, sets[hv]);
+      }
+      if (candidate.Validate(h, g)) {
+        result = candidate;
+        return true;
+      }
+      return false;
+    }
+    for (int choice = -1; choice < hn; ++choice) {
+      owner[gv] = choice;
+      if (assign(gv + 1)) return true;
+    }
+    owner[gv] = -1;
+    return false;
+  };
+  if (assign(0)) return result;
+  return std::nullopt;
+}
+
+MinorMap GridOntoGridMinorMap(int k, int kk, int n, int m) {
+  assert(n >= k && m >= kk);
+  MinorMap map(k * kk);
+  // Partition rows 1..n into k consecutive bands and columns 1..m into kk
+  // bands, as evenly as possible.
+  auto band = [](int total, int parts, int index) {
+    // Rows of band `index` (0-based): balanced partition.
+    const int base = total / parts;
+    const int extra = total % parts;
+    const int start = index * base + std::min(index, extra);
+    const int size = base + (index < extra ? 1 : 0);
+    return std::make_pair(start + 1, start + size);  // 1-based inclusive
+  };
+  for (int i = 1; i <= k; ++i) {
+    for (int p = 1; p <= kk; ++p) {
+      auto [r0, r1] = band(n, k, i - 1);
+      auto [c0, c1] = band(m, kk, p - 1);
+      std::vector<int> block;
+      for (int r = r0; r <= r1; ++r) {
+        for (int c = c0; c <= c1; ++c) {
+          block.push_back(Graph::GridVertex(n, m, r, c));
+        }
+      }
+      map.SetBranchSet(Graph::GridVertex(k, kk, i, p), std::move(block));
+    }
+  }
+  return map;
+}
+
+}  // namespace gqe

@@ -1,0 +1,52 @@
+#ifndef GQE_GRAPH_MINOR_H_
+#define GQE_GRAPH_MINOR_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace gqe {
+
+/// A minor map mu from a graph H to a graph G (Appendix D/H of the paper):
+/// mu assigns to each H-vertex a nonempty, connected, pairwise-disjoint
+/// branch set of G-vertices such that every H-edge has adjacent
+/// representatives. H is a minor of G iff such a map exists.
+class MinorMap {
+ public:
+  MinorMap() = default;
+  explicit MinorMap(int h_vertices) : branch_sets_(h_vertices) {}
+
+  void SetBranchSet(int h_vertex, std::vector<int> g_vertices);
+  const std::vector<int>& BranchSet(int h_vertex) const {
+    return branch_sets_[h_vertex];
+  }
+  int num_h_vertices() const { return static_cast<int>(branch_sets_.size()); }
+
+  /// All G-vertices used by some branch set.
+  std::vector<int> UsedVertices() const;
+
+  /// Checks the three minor-map conditions. `onto` additionally requires
+  /// the branch sets to cover all of G (paper: "onto minor map").
+  bool Validate(const Graph& h, const Graph& g, bool onto = false,
+                std::string* why = nullptr) const;
+
+ private:
+  std::vector<std::vector<int>> branch_sets_;
+};
+
+/// Brute-force minor test for tiny graphs: searches for a minor map from
+/// `h` into `g`. Exponential; intended for validation on graphs with at
+/// most ~8+8 vertices.
+std::optional<MinorMap> FindMinorBruteForce(const Graph& h, const Graph& g);
+
+/// The canonical *onto* minor map from the k x kk grid to the n x m grid
+/// (requires n >= k, m >= kk): rows and columns are partitioned into
+/// consecutive bands and branch set (i, p) is the (i, p) band block. Grid
+/// vertex ids follow Graph::GridVertex.
+MinorMap GridOntoGridMinorMap(int k, int kk, int n, int m);
+
+}  // namespace gqe
+
+#endif  // GQE_GRAPH_MINOR_H_

@@ -1,0 +1,196 @@
+#include "graph/tree_decomposition.h"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+#include <sstream>
+
+namespace gqe {
+
+int TreeDecomposition::AddBag(std::vector<int> bag) {
+  std::sort(bag.begin(), bag.end());
+  bag.erase(std::unique(bag.begin(), bag.end()), bag.end());
+  bags_.push_back(std::move(bag));
+  return num_bags() - 1;
+}
+
+void TreeDecomposition::AddTreeEdge(int a, int b) {
+  assert(a >= 0 && a < num_bags() && b >= 0 && b < num_bags() && a != b);
+  tree_edges_.emplace_back(a, b);
+}
+
+int TreeDecomposition::Width() const {
+  int width = -1;
+  for (const auto& bag : bags_) {
+    width = std::max(width, static_cast<int>(bag.size()) - 1);
+  }
+  return width;
+}
+
+bool TreeDecomposition::Validate(const Graph& graph, std::string* why) const {
+  auto fail = [why](const std::string& message) {
+    if (why != nullptr) *why = message;
+    return false;
+  };
+  if (bags_.empty()) {
+    return graph.num_vertices() == 0 ? true : fail("no bags");
+  }
+  // Tree structure: connected and acyclic over bags.
+  if (static_cast<int>(tree_edges_.size()) != num_bags() - 1) {
+    return fail("edge count is not |bags|-1");
+  }
+  std::vector<std::vector<int>> adj(num_bags());
+  for (auto [a, b] : tree_edges_) {
+    adj[a].push_back(b);
+    adj[b].push_back(a);
+  }
+  std::vector<int> seen(num_bags(), 0);
+  std::vector<int> stack = {0};
+  seen[0] = 1;
+  int count = 0;
+  while (!stack.empty()) {
+    int v = stack.back();
+    stack.pop_back();
+    ++count;
+    for (int w : adj[v]) {
+      if (!seen[w]) {
+        seen[w] = 1;
+        stack.push_back(w);
+      }
+    }
+  }
+  if (count != num_bags()) return fail("decomposition tree not connected");
+
+  // (1) vertex coverage.
+  std::vector<char> covered(graph.num_vertices(), 0);
+  for (const auto& bag : bags_) {
+    for (int v : bag) {
+      if (v < 0 || v >= graph.num_vertices()) return fail("bag vertex out of range");
+      covered[v] = 1;
+    }
+  }
+  for (int v = 0; v < graph.num_vertices(); ++v) {
+    if (!covered[v]) return fail("vertex " + std::to_string(v) + " uncovered");
+  }
+  // (2) edge coverage.
+  for (auto [u, v] : graph.Edges()) {
+    bool found = false;
+    for (const auto& bag : bags_) {
+      if (std::binary_search(bag.begin(), bag.end(), u) &&
+          std::binary_search(bag.begin(), bag.end(), v)) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      return fail("edge " + std::to_string(u) + "-" + std::to_string(v) +
+                  " not in any bag");
+    }
+  }
+  // (3) connectivity of occurrences.
+  for (int v = 0; v < graph.num_vertices(); ++v) {
+    std::vector<int> holders;
+    for (int b = 0; b < num_bags(); ++b) {
+      if (std::binary_search(bags_[b].begin(), bags_[b].end(), v)) {
+        holders.push_back(b);
+      }
+    }
+    if (holders.empty()) continue;
+    std::set<int> holder_set(holders.begin(), holders.end());
+    std::set<int> reached = {holders[0]};
+    std::vector<int> frontier = {holders[0]};
+    while (!frontier.empty()) {
+      int b = frontier.back();
+      frontier.pop_back();
+      for (int nb : adj[b]) {
+        if (holder_set.count(nb) && !reached.count(nb)) {
+          reached.insert(nb);
+          frontier.push_back(nb);
+        }
+      }
+    }
+    if (reached.size() != holder_set.size()) {
+      return fail("occurrences of vertex " + std::to_string(v) +
+                  " not connected");
+    }
+  }
+  return true;
+}
+
+std::string TreeDecomposition::ToString() const {
+  std::ostringstream out;
+  out << "TD(width=" << Width() << ", bags=[";
+  for (int b = 0; b < num_bags(); ++b) {
+    if (b > 0) out << " ";
+    out << "{";
+    for (size_t i = 0; i < bags_[b].size(); ++i) {
+      if (i > 0) out << ",";
+      out << bags_[b][i];
+    }
+    out << "}";
+  }
+  out << "])";
+  return out.str();
+}
+
+TreeDecomposition DecompositionFromEliminationOrder(
+    const Graph& graph, const std::vector<int>& order) {
+  const int n = graph.num_vertices();
+  assert(static_cast<int>(order.size()) == n);
+  TreeDecomposition td;
+  if (n == 0) return td;
+
+  // Fill graph maintained as adjacency sets; position[v] = elimination
+  // index of v.
+  std::vector<std::set<int>> adj(n);
+  for (auto [u, v] : graph.Edges()) {
+    adj[u].insert(v);
+    adj[v].insert(u);
+  }
+  std::vector<int> position(n);
+  for (int i = 0; i < n; ++i) position[order[i]] = i;
+
+  std::vector<int> bag_of(n, -1);
+  std::vector<std::vector<int>> later_neighbors(n);
+  for (int i = 0; i < n; ++i) {
+    const int v = order[i];
+    std::vector<int> later;
+    for (int w : adj[v]) {
+      if (position[w] > i) later.push_back(w);
+    }
+    later_neighbors[v] = later;
+    std::vector<int> bag = later;
+    bag.push_back(v);
+    bag_of[v] = td.AddBag(bag);
+    // Eliminate: make the later neighbors a clique.
+    for (size_t a = 0; a < later.size(); ++a) {
+      for (size_t b = a + 1; b < later.size(); ++b) {
+        adj[later[a]].insert(later[b]);
+        adj[later[b]].insert(later[a]);
+      }
+      adj[later[a]].erase(v);
+    }
+  }
+  // Connect each bag to the bag of its earliest-later neighbor; chain any
+  // roots together so the result is a single tree.
+  std::vector<int> roots;
+  for (int i = 0; i < n; ++i) {
+    const int v = order[i];
+    const auto& later = later_neighbors[v];
+    if (later.empty()) {
+      roots.push_back(bag_of[v]);
+      continue;
+    }
+    int earliest = later[0];
+    for (int w : later) {
+      if (position[w] < position[earliest]) earliest = w;
+    }
+    td.AddTreeEdge(bag_of[v], bag_of[earliest]);
+  }
+  for (size_t i = 1; i < roots.size(); ++i) {
+    td.AddTreeEdge(roots[i - 1], roots[i]);
+  }
+  return td;
+}
+
+}  // namespace gqe

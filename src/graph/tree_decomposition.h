@@ -1,0 +1,55 @@
+#ifndef GQE_GRAPH_TREE_DECOMPOSITION_H_
+#define GQE_GRAPH_TREE_DECOMPOSITION_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace gqe {
+
+/// A tree decomposition (T, chi) of a graph (paper, Section 2): a tree
+/// whose nodes carry bags of vertices such that (1) bags cover all
+/// vertices, (2) every edge is inside some bag, and (3) the bags
+/// containing any fixed vertex form a connected subtree.
+class TreeDecomposition {
+ public:
+  TreeDecomposition() = default;
+
+  /// Adds a bag and returns its node id.
+  int AddBag(std::vector<int> bag);
+
+  /// Connects two decomposition nodes.
+  void AddTreeEdge(int a, int b);
+
+  int num_bags() const { return static_cast<int>(bags_.size()); }
+  const std::vector<int>& bag(int node) const { return bags_[node]; }
+  const std::vector<std::pair<int, int>>& tree_edges() const {
+    return tree_edges_;
+  }
+
+  /// max |bag| - 1, or -1 when there are no bags.
+  int Width() const;
+
+  /// Checks the three tree-decomposition conditions against `graph`, plus
+  /// that the decomposition's own edge structure is a tree (acyclic and
+  /// connected over bags). Failure reason in `*why` when provided.
+  bool Validate(const Graph& graph, std::string* why = nullptr) const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<std::vector<int>> bags_;
+  std::vector<std::pair<int, int>> tree_edges_;
+};
+
+/// Builds a tree decomposition by eliminating vertices of `graph` in
+/// `order` (a permutation of the vertices): the classic fill-in
+/// construction. The resulting width equals the maximum back-degree of
+/// the order in the fill graph.
+TreeDecomposition DecompositionFromEliminationOrder(
+    const Graph& graph, const std::vector<int>& order);
+
+}  // namespace gqe
+
+#endif  // GQE_GRAPH_TREE_DECOMPOSITION_H_

@@ -1,0 +1,255 @@
+#include "graph/treewidth.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdlib>
+#include <limits>
+#include <set>
+
+namespace gqe {
+
+namespace {
+
+/// Number of vertices outside S and distinct from v that are reachable
+/// from v by a path whose internal vertices all lie in S. This equals the
+/// back-degree of v in the fill graph when the vertices of S are
+/// eliminated first.
+int ReachThrough(const Graph& g, uint32_t s_mask, int v) {
+  const int n = g.num_vertices();
+  std::vector<char> visited(n, 0);
+  visited[v] = 1;
+  std::vector<int> stack = {v};
+  int count = 0;
+  while (!stack.empty()) {
+    int u = stack.back();
+    stack.pop_back();
+    for (int w : g.Neighbors(u)) {
+      if (visited[w]) continue;
+      visited[w] = 1;
+      if (s_mask & (1u << w)) {
+        stack.push_back(w);
+      } else {
+        ++count;
+      }
+    }
+  }
+  return count;
+}
+
+/// Held–Karp style DP over elimination prefixes; returns the exact
+/// treewidth of a graph with <= 30 vertices and (optionally) an optimal
+/// elimination order.
+int ExactTreewidthDp(const Graph& g, std::vector<int>* order_out) {
+  const int n = g.num_vertices();
+  assert(n <= 30);
+  if (n == 0) {
+    if (order_out != nullptr) order_out->clear();
+    return -1;
+  }
+  const uint32_t full = (n == 32) ? ~0u : ((1u << n) - 1);
+  // memo[s] = treewidth contribution of eliminating the remaining
+  // vertices, given s already eliminated; -2 = unknown.
+  std::vector<int8_t> memo(static_cast<size_t>(1) << n, -2);
+  memo[full] = -1;  // nothing left: no bag created beyond those so far
+
+  // Bottom-up over decreasing popcount is awkward; use explicit stack
+  // recursion instead.
+  struct Frame {
+    uint32_t s;
+    int v;        // next candidate vertex to try
+    int best;     // best value so far
+  };
+  std::vector<Frame> stack;
+  stack.push_back({0u, 0, std::numeric_limits<int>::max()});
+  while (!stack.empty()) {
+    Frame& f = stack.back();
+    if (memo[f.s] != -2) {
+      stack.pop_back();
+      continue;
+    }
+    bool descended = false;
+    while (f.v < n) {
+      if (f.s & (1u << f.v)) {
+        ++f.v;
+        continue;
+      }
+      const uint32_t child = f.s | (1u << f.v);
+      if (memo[child] == -2) {
+        stack.push_back({child, 0, std::numeric_limits<int>::max()});
+        descended = true;
+        break;
+      }
+      const int q = ReachThrough(g, f.s, f.v);
+      const int value = std::max(q, static_cast<int>(memo[child]));
+      f.best = std::min(f.best, value);
+      ++f.v;
+    }
+    if (!descended) {
+      memo[f.s] = static_cast<int8_t>(f.best == std::numeric_limits<int>::max()
+                                          ? -1
+                                          : f.best);
+      stack.pop_back();
+    }
+  }
+
+  if (order_out != nullptr) {
+    order_out->clear();
+    uint32_t s = 0;
+    while (s != full) {
+      int best_v = -1;
+      int best_val = std::numeric_limits<int>::max();
+      for (int v = 0; v < n; ++v) {
+        if (s & (1u << v)) continue;
+        const uint32_t child = s | (1u << v);
+        const int value = std::max(ReachThrough(g, s, v),
+                                   static_cast<int>(memo[child]));
+        if (value < best_val) {
+          best_val = value;
+          best_v = v;
+        }
+      }
+      order_out->push_back(best_v);
+      s |= (1u << best_v);
+    }
+  }
+  return memo[0];
+}
+
+/// Greedy elimination order minimizing a per-step score.
+template <typename ScoreFn>
+std::vector<int> GreedyOrder(const Graph& graph, ScoreFn score) {
+  const int n = graph.num_vertices();
+  std::vector<std::set<int>> adj(n);
+  for (auto [u, v] : graph.Edges()) {
+    adj[u].insert(v);
+    adj[v].insert(u);
+  }
+  std::vector<char> eliminated(n, 0);
+  std::vector<int> order;
+  order.reserve(n);
+  for (int step = 0; step < n; ++step) {
+    int best = -1;
+    long best_score = std::numeric_limits<long>::max();
+    for (int v = 0; v < n; ++v) {
+      if (eliminated[v]) continue;
+      const long s = score(adj, v);
+      if (s < best_score) {
+        best_score = s;
+        best = v;
+      }
+    }
+    order.push_back(best);
+    eliminated[best] = 1;
+    std::vector<int> nbrs(adj[best].begin(), adj[best].end());
+    for (size_t a = 0; a < nbrs.size(); ++a) {
+      adj[nbrs[a]].erase(best);
+      for (size_t b = a + 1; b < nbrs.size(); ++b) {
+        adj[nbrs[a]].insert(nbrs[b]);
+        adj[nbrs[b]].insert(nbrs[a]);
+      }
+    }
+    adj[best].clear();
+  }
+  return order;
+}
+
+}  // namespace
+
+std::vector<int> MinFillOrder(const Graph& graph) {
+  return GreedyOrder(graph, [](const std::vector<std::set<int>>& adj, int v) {
+    long fill = 0;
+    std::vector<int> nbrs(adj[v].begin(), adj[v].end());
+    for (size_t a = 0; a < nbrs.size(); ++a) {
+      for (size_t b = a + 1; b < nbrs.size(); ++b) {
+        if (adj[nbrs[a]].count(nbrs[b]) == 0) ++fill;
+      }
+    }
+    return fill;
+  });
+}
+
+std::vector<int> MinDegreeOrder(const Graph& graph) {
+  return GreedyOrder(graph, [](const std::vector<std::set<int>>& adj, int v) {
+    return static_cast<long>(adj[v].size());
+  });
+}
+
+int Degeneracy(const Graph& graph) {
+  const int n = graph.num_vertices();
+  std::vector<std::set<int>> adj(n);
+  for (auto [u, v] : graph.Edges()) {
+    adj[u].insert(v);
+    adj[v].insert(u);
+  }
+  std::vector<char> removed(n, 0);
+  int degeneracy = 0;
+  for (int step = 0; step < n; ++step) {
+    int best = -1;
+    size_t best_deg = std::numeric_limits<size_t>::max();
+    for (int v = 0; v < n; ++v) {
+      if (!removed[v] && adj[v].size() < best_deg) {
+        best_deg = adj[v].size();
+        best = v;
+      }
+    }
+    degeneracy = std::max(degeneracy, static_cast<int>(best_deg));
+    removed[best] = 1;
+    for (int w : adj[best]) adj[w].erase(best);
+    adj[best].clear();
+  }
+  return degeneracy;
+}
+
+TreewidthResult ComputeTreewidth(const Graph& graph,
+                                 const TreewidthOptions& options) {
+  TreewidthResult result;
+  const int n = graph.num_vertices();
+  if (n == 0) {
+    result.lower_bound = result.upper_bound = -1;
+    return result;
+  }
+
+  // Work per connected component; treewidth is the max over components.
+  int lower = 0;
+  int upper = 0;
+  bool all_exact = true;
+  std::vector<int> global_order;
+  for (const std::vector<int>& component : graph.ConnectedComponents()) {
+    Graph sub = graph.InducedSubgraph(component);
+    std::vector<int> sub_order;
+    if (sub.num_vertices() <= options.exact_vertex_limit) {
+      const int tw = ExactTreewidthDp(sub, &sub_order);
+      lower = std::max(lower, tw);
+      upper = std::max(upper, tw);
+    } else {
+      sub_order = MinFillOrder(sub);
+      TreeDecomposition td = DecompositionFromEliminationOrder(sub, sub_order);
+      upper = std::max(upper, td.Width());
+      lower = std::max(lower, Degeneracy(sub));
+      all_exact = false;
+    }
+    for (int v : sub_order) global_order.push_back(component[v]);
+  }
+  result.lower_bound = std::max(lower, 0);
+  result.upper_bound = upper;
+  if (!all_exact) result.lower_bound = std::min(lower, upper);
+  result.decomposition = DecompositionFromEliminationOrder(graph, global_order);
+  // The merged decomposition realizes the max component width.
+  result.upper_bound = std::max(result.upper_bound, result.decomposition.Width());
+  return result;
+}
+
+int TreewidthExact(const Graph& graph) {
+  TreewidthOptions options;
+  options.exact_vertex_limit = 30;
+  TreewidthResult result = ComputeTreewidth(graph, options);
+  assert(result.exact());
+  return result.upper_bound;
+}
+
+int PaperTreewidth(const Graph& graph) {
+  if (graph.num_edges() == 0) return 1;
+  return std::max(1, ComputeTreewidth(graph).upper_bound);
+}
+
+}  // namespace gqe

@@ -1,0 +1,53 @@
+#ifndef GQE_GRAPH_TREEWIDTH_H_
+#define GQE_GRAPH_TREEWIDTH_H_
+
+#include <optional>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/tree_decomposition.h"
+
+namespace gqe {
+
+/// Result of a treewidth computation. `lower_bound == upper_bound` means
+/// the value is exact; `decomposition` always realizes `upper_bound`.
+struct TreewidthResult {
+  int lower_bound = 0;
+  int upper_bound = 0;
+  TreeDecomposition decomposition;
+
+  bool exact() const { return lower_bound == upper_bound; }
+};
+
+struct TreewidthOptions {
+  /// Maximum number of vertices (per connected component) for which the
+  /// exact exponential DP runs; larger components fall back to heuristics.
+  int exact_vertex_limit = 16;
+};
+
+/// Computes the treewidth of `graph`: exact via the Held–Karp style
+/// elimination-ordering DP on small components, min-fill heuristic plus a
+/// degeneracy lower bound on large ones. Standard convention: the empty
+/// graph / edgeless graphs have treewidth 0; trees have treewidth 1.
+TreewidthResult ComputeTreewidth(const Graph& graph,
+                                 const TreewidthOptions& options = {});
+
+/// Exact treewidth; aborts if any component exceeds the exact limit.
+int TreewidthExact(const Graph& graph);
+
+/// The paper's convention (Section 2): if the graph has no edges its
+/// treewidth is *one*; otherwise the standard minimum width.
+int PaperTreewidth(const Graph& graph);
+
+/// Min-fill elimination order (heuristic upper bound).
+std::vector<int> MinFillOrder(const Graph& graph);
+
+/// Min-degree elimination order (heuristic upper bound).
+std::vector<int> MinDegreeOrder(const Graph& graph);
+
+/// Degeneracy of the graph: a lower bound on treewidth.
+int Degeneracy(const Graph& graph);
+
+}  // namespace gqe
+
+#endif  // GQE_GRAPH_TREEWIDTH_H_

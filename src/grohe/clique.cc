@@ -1,0 +1,60 @@
+#include "grohe/clique.h"
+
+#include <algorithm>
+#include <functional>
+
+namespace gqe {
+
+std::optional<std::vector<int>> FindClique(const Graph& g, int k) {
+  if (k <= 0) return std::vector<int>{};
+  const int n = g.num_vertices();
+  std::vector<int> current;
+  std::optional<std::vector<int>> result;
+  std::function<bool(int)> extend = [&](int start) -> bool {
+    if (static_cast<int>(current.size()) == k) {
+      result = current;
+      return true;
+    }
+    for (int v = start; v < n; ++v) {
+      if (g.Degree(v) < k - 1) continue;
+      bool adjacent_to_all = true;
+      for (int u : current) {
+        if (!g.HasEdge(u, v)) {
+          adjacent_to_all = false;
+          break;
+        }
+      }
+      if (!adjacent_to_all) continue;
+      current.push_back(v);
+      if (extend(v + 1)) return true;
+      current.pop_back();
+    }
+    return false;
+  };
+  extend(0);
+  return result;
+}
+
+bool HasClique(const Graph& g, int k) { return FindClique(g, k).has_value(); }
+
+Graph BlowUpGraph(const Graph& g, int c) {
+  Graph blown(g.num_vertices() * c);
+  auto copy_id = [c](int v, int i) { return v * c + i; };
+  for (int v = 0; v < g.num_vertices(); ++v) {
+    for (int i = 0; i < c; ++i) {
+      for (int j = i + 1; j < c; ++j) {
+        blown.AddEdge(copy_id(v, i), copy_id(v, j));
+      }
+    }
+  }
+  for (auto [u, v] : g.Edges()) {
+    for (int i = 0; i < c; ++i) {
+      for (int j = 0; j < c; ++j) {
+        blown.AddEdge(copy_id(u, i), copy_id(v, j));
+      }
+    }
+  }
+  return blown;
+}
+
+}  // namespace gqe

@@ -1,0 +1,27 @@
+#ifndef GQE_GROHE_CLIQUE_H_
+#define GQE_GROHE_CLIQUE_H_
+
+#include <optional>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace gqe {
+
+/// Finds a k-clique in `g` by backtracking with degree pruning (the
+/// p-Clique oracle used to verify the fpt-reductions).
+std::optional<std::vector<int>> FindClique(const Graph& g, int k);
+
+bool HasClique(const Graph& g, int k);
+
+/// Replaces every vertex by a clique of `c` copies, fully connecting
+/// copies of adjacent vertices. G has a k-clique iff the blow-up has a
+/// (k*c)-clique, and every clique of size <= s in the blow-up is inside a
+/// clique of size >= c — the Section 7 precondition ("every clique of
+/// size at most 3r is contained in a clique of size 3rm") holds for
+/// c >= 3*r*m.
+Graph BlowUpGraph(const Graph& g, int c);
+
+}  // namespace gqe
+
+#endif  // GQE_GROHE_CLIQUE_H_

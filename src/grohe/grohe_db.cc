@@ -1,0 +1,154 @@
+#include "grohe/grohe_db.h"
+
+#include <cassert>
+#include <functional>
+#include <unordered_set>
+
+namespace gqe {
+
+std::vector<Term> MinorMapUnion(const GridMinorTermMap& mu) {
+  std::vector<Term> all;
+  for (const auto& row : mu) {
+    for (const auto& block : row) {
+      all.insert(all.end(), block.begin(), block.end());
+    }
+  }
+  return all;
+}
+
+std::pair<int, int> RhoPair(int k, int p) {
+  int index = 0;
+  for (int j = 1; j <= k; ++j) {
+    for (int l = j + 1; l <= k; ++l) {
+      ++index;
+      if (index == p) return {j, l};
+    }
+  }
+  assert(false && "p out of range");
+  return {0, 0};
+}
+
+namespace {
+
+/// Encodes the Theorem 6.1 domain element (v, e, i, p, a) as a constant.
+Term ElementTerm(int v, std::pair<int, int> e, int i, int p, Term a) {
+  return Term::Constant("#g_v" + std::to_string(v) + "_e" +
+                        std::to_string(e.first) + "-" +
+                        std::to_string(e.second) + "_i" + std::to_string(i) +
+                        "_p" + std::to_string(p) + "_" + a.ToString());
+}
+
+struct Block {
+  int i = 0;
+  int p = 0;
+};
+
+}  // namespace
+
+bool GroheDatabase::ValidateProjection(const Instance& d,
+                                       std::string* why) const {
+  auto fail = [why](const std::string& message) {
+    if (why != nullptr) *why = message;
+    return false;
+  };
+  std::unordered_set<Term> image;
+  for (const Atom& atom : dg.atoms()) {
+    std::vector<Term> mapped;
+    for (Term t : atom.args()) {
+      mapped.push_back(h0.Apply(t));
+      image.insert(mapped.back());
+    }
+    if (!d.Contains(Atom(atom.predicate(), mapped))) {
+      return fail("h0 image of " + atom.ToString() + " not in D");
+    }
+  }
+  for (Term t : d.ActiveDomain()) {
+    if (image.count(t) == 0) {
+      return fail("h0 not surjective: " + t.ToString() + " unreached");
+    }
+  }
+  return true;
+}
+
+GroheDatabase BuildGroheDatabase(const Graph& g, int k, const Instance& d,
+                                 const GridMinorTermMap& mu) {
+  GroheDatabase out;
+  // Block lookup: element of A -> (i, p).
+  std::unordered_map<Term, Block> block_of;
+  for (int i = 1; i <= static_cast<int>(mu.size()); ++i) {
+    for (int p = 1; p <= static_cast<int>(mu[i - 1].size()); ++p) {
+      for (Term a : mu[i - 1][p - 1]) {
+        block_of[a] = Block{i, p};
+      }
+    }
+  }
+  const std::vector<std::pair<int, int>> edges = g.Edges();
+
+  // For every fact, enumerate the admissible replacement tuples by
+  // backtracking over its A-positions, maintaining the (C1) choice of v
+  // per grid row i and the (C2) choice of e per grid column p.
+  for (const Atom& fact : d.atoms()) {
+    std::vector<int> a_positions;
+    for (int pos = 0; pos < fact.arity(); ++pos) {
+      if (block_of.count(fact.args()[pos]) > 0) a_positions.push_back(pos);
+    }
+    std::vector<Term> args(fact.args());
+    std::unordered_map<int, int> v_of_i;   // row -> chosen vertex
+    std::unordered_map<int, int> e_of_p;   // column -> chosen edge index
+    std::function<void(size_t)> assign = [&](size_t index) {
+      if (index == a_positions.size()) {
+        Atom atom(fact.predicate(), args);
+        if (out.dg.Insert(atom)) {
+          for (int pos : a_positions) {
+            out.h0.Set(args[pos], fact.args()[pos]);
+          }
+        }
+        return;
+      }
+      const int pos = a_positions[index];
+      const Term a = fact.args()[pos];
+      const Block block = block_of.at(a);
+      auto [j, l] = RhoPair(k, block.p);
+      const bool i_in_p = (block.i == j || block.i == l);
+      // Candidate vertices for row i and edges for column p, honoring
+      // prior choices.
+      std::vector<int> vertex_choices;
+      if (auto it = v_of_i.find(block.i); it != v_of_i.end()) {
+        vertex_choices.push_back(it->second);
+      } else {
+        for (int v = 0; v < g.num_vertices(); ++v) vertex_choices.push_back(v);
+      }
+      std::vector<int> edge_choices;
+      if (auto it = e_of_p.find(block.p); it != e_of_p.end()) {
+        edge_choices.push_back(it->second);
+      } else {
+        for (int e = 0; e < static_cast<int>(edges.size()); ++e) {
+          edge_choices.push_back(e);
+        }
+      }
+      for (int v : vertex_choices) {
+        for (int e : edge_choices) {
+          const bool v_in_e = (edges[e].first == v || edges[e].second == v);
+          if (v_in_e != i_in_p) continue;  // the (v ∈ e ⟺ i ∈ p) condition
+          const bool new_v = v_of_i.count(block.i) == 0;
+          const bool new_e = e_of_p.count(block.p) == 0;
+          if (new_v) v_of_i[block.i] = v;
+          if (new_e) e_of_p[block.p] = e;
+          args[pos] = ElementTerm(v, edges[e], block.i, block.p, a);
+          assign(index + 1);
+          if (new_v) v_of_i.erase(block.i);
+          if (new_e) e_of_p.erase(block.p);
+        }
+      }
+      args[pos] = a;
+    };
+    assign(0);
+  }
+  // Identity on dom(D) \ A.
+  for (Term t : d.ActiveDomain()) {
+    if (block_of.count(t) == 0) out.h0.Set(t, t);
+  }
+  return out;
+}
+
+}  // namespace gqe

@@ -1,0 +1,51 @@
+#ifndef GQE_GROHE_GROHE_DB_H_
+#define GQE_GROHE_GROHE_DB_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "base/instance.h"
+#include "base/term.h"
+#include "graph/graph.h"
+#include "query/substitution.h"
+
+namespace gqe {
+
+/// A minor map from the k x K grid to the Gaifman graph of a database
+/// restricted to A, expressed over terms: blocks[i-1][p-1] is the branch
+/// set mu(i, p) (1-based grid coordinates, K = C(k,2)). Branch sets are
+/// pairwise disjoint; their union is the set A.
+using GridMinorTermMap = std::vector<std::vector<std::vector<Term>>>;
+
+/// All elements of A (the union of the branch sets).
+std::vector<Term> MinorMapUnion(const GridMinorTermMap& mu);
+
+/// The p-th 2-element subset of [k] under the fixed bijection rho
+/// (lexicographic pairs, 1-based p in [C(k,2)]).
+std::pair<int, int> RhoPair(int k, int p);
+
+/// Output of the Theorem 6.1 construction.
+struct GroheDatabase {
+  Instance dg;
+
+  /// The surjective homomorphism h0 from D_G to D (Point 1): maps every
+  /// element of dom(dg) to an element of dom(D); identity on
+  /// dom(D) \ A.
+  Substitution h0;
+
+  /// Validates Point 1 (h0 is a homomorphism onto D). Point 2 is checked
+  /// end-to-end by callers (clique iff query satisfaction).
+  bool ValidateProjection(const Instance& d, std::string* why = nullptr) const;
+};
+
+/// Builds D_G per Theorem 6.1 / Appendix D: domain
+/// (dom(D)\A) ∪ {(v,e,i,p,a) | v∈e ⟺ i∈rho(p), a ∈ mu(i,p)}, and an atom
+/// R(b̄) for every R(h0(b̄)) ∈ D satisfying (C1) equal i ⟹ equal v and
+/// (C2) equal p ⟹ equal e.
+GroheDatabase BuildGroheDatabase(const Graph& g, int k, const Instance& d,
+                                 const GridMinorTermMap& mu);
+
+}  // namespace gqe
+
+#endif  // GQE_GROHE_GROHE_DB_H_

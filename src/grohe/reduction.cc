@@ -1,0 +1,109 @@
+#include "grohe/reduction.h"
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+
+#include "chase/chase.h"
+#include "graph/minor.h"
+#include "query/evaluation.h"
+
+namespace gqe {
+
+namespace {
+
+Term GridVarTerm(const std::string& prefix, int i, int j) {
+  return Term::Variable(prefix + "_" + std::to_string(i) + "_" +
+                        std::to_string(j));
+}
+
+}  // namespace
+
+CliqueReduction MakeGridCliqueReduction(int k, int rows, int cols,
+                                        const std::string& h_rel,
+                                        const std::string& v_rel,
+                                        const TgdSet& sigma) {
+  const int kk = k * (k - 1) / 2;
+  if (rows < k || cols < kk) {
+    std::fprintf(stderr,
+                 "MakeGridCliqueReduction: need rows >= k and cols >= C(k,2)"
+                 " (got %dx%d for k=%d)\n",
+                 rows, cols, k);
+    std::abort();
+  }
+  CliqueReduction reduction;
+  reduction.k = k;
+  reduction.sigma = sigma;
+
+  const std::string prefix = "x" + h_rel;  // variable namespace per relation
+  std::vector<Atom> atoms;
+  for (int i = 1; i <= rows; ++i) {
+    for (int j = 1; j <= cols; ++j) {
+      if (j + 1 <= cols) {
+        atoms.push_back(Atom::Make(
+            h_rel, {GridVarTerm(prefix, i, j), GridVarTerm(prefix, i, j + 1)}));
+      }
+      if (i + 1 <= rows) {
+        atoms.push_back(Atom::Make(
+            v_rel, {GridVarTerm(prefix, i, j), GridVarTerm(prefix, i + 1, j)}));
+      }
+    }
+  }
+  reduction.query = CQ({}, std::move(atoms));
+  reduction.d = reduction.query.CanonicalInstance();
+
+  if (sigma.empty()) {
+    reduction.d_prime = reduction.d;
+  } else {
+    ChaseResult chased = Chase(reduction.d, sigma);
+    if (!chased.complete) {
+      std::fprintf(stderr,
+                   "MakeGridCliqueReduction: sigma's chase did not "
+                   "terminate\n");
+      std::abort();
+    }
+    reduction.d_prime = chased.instance;
+  }
+
+  // Band minor map from the k x C(k,2) grid onto the query grid, over the
+  // frozen canonical-database terms.
+  MinorMap band = GridOntoGridMinorMap(k, kk, rows, cols);
+  reduction.mu.assign(k, std::vector<std::vector<Term>>(kk));
+  for (int i = 1; i <= k; ++i) {
+    for (int p = 1; p <= kk; ++p) {
+      for (int grid_vertex : band.BranchSet(Graph::GridVertex(k, kk, i, p))) {
+        const int r = grid_vertex / cols + 1;
+        const int c = grid_vertex % cols + 1;
+        reduction.mu[i - 1][p - 1].push_back(
+            CQ::FrozenConstant(GridVarTerm(prefix, r, c)));
+      }
+    }
+  }
+  return reduction;
+}
+
+ReductionOutcome RunVariantReduction(const Graph& g, const CliqueReduction& r,
+                                     bool check_sigma) {
+  VariantDatabase variant = BuildVariantDatabase(g, r.k, r.d_prime, r.mu);
+  ReductionOutcome outcome;
+  outcome.dstar = std::move(variant.dstar);
+  outcome.dstar_atoms = outcome.dstar.size();
+  outcome.dstar_domain = outcome.dstar.ActiveDomain().size();
+  if (check_sigma && !r.sigma.empty()) {
+    outcome.satisfies_sigma = Satisfies(outcome.dstar, r.sigma);
+  }
+  outcome.query_holds = HoldsBooleanCQ(r.query, outcome.dstar);
+  return outcome;
+}
+
+ReductionOutcome RunGroheReduction(const Graph& g, const CliqueReduction& r) {
+  GroheDatabase grohe = BuildGroheDatabase(g, r.k, r.d, r.mu);
+  ReductionOutcome outcome;
+  outcome.dstar = std::move(grohe.dg);
+  outcome.dstar_atoms = outcome.dstar.size();
+  outcome.dstar_domain = outcome.dstar.ActiveDomain().size();
+  outcome.query_holds = HoldsBooleanCQ(r.query, outcome.dstar);
+  return outcome;
+}
+
+}  // namespace gqe

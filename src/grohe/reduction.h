@@ -1,0 +1,59 @@
+#ifndef GQE_GROHE_REDUCTION_H_
+#define GQE_GROHE_REDUCTION_H_
+
+#include <string>
+
+#include "base/instance.h"
+#include "grohe/grohe_db.h"
+#include "grohe/variant_db.h"
+#include "graph/graph.h"
+#include "query/cq.h"
+#include "tgd/tgd.h"
+
+namespace gqe {
+
+/// A prepared instance of the p-Clique fpt-reduction of Sections 6/7:
+/// a Boolean connected grid CQ playing the role of the Lemma 7.2 query p
+/// (grid queries are cores, so X is all of dom(D[p])), optional
+/// constraints Σ with D' = chase(D[p], Σ) finite, and the onto minor map
+/// from the k x K grid.
+struct CliqueReduction {
+  int k = 0;
+  CQ query;              // Boolean rows x cols grid CQ
+  TgdSet sigma;          // constraints; empty for the pure Grohe reduction
+  Instance d;            // D[p], the canonical database of the query
+  Instance d_prime;      // D' ⊇ D with D' |= Σ
+  GridMinorTermMap mu;   // mu: k x C(k,2) grid onto Gaifman(D)|A, A = vars
+};
+
+/// Builds the Boolean rows x cols grid CQ over binary relations
+/// `h_rel`/`v_rel`, its canonical database, the band minor map, and
+/// D' = chase(D, sigma) (sigma must have a terminating chase). Requires
+/// rows >= k and cols >= C(k,2).
+CliqueReduction MakeGridCliqueReduction(int k, int rows, int cols,
+                                        const std::string& h_rel,
+                                        const std::string& v_rel,
+                                        const TgdSet& sigma = {});
+
+/// Outcome of running a reduction on a concrete graph.
+struct ReductionOutcome {
+  Instance dstar;
+  bool query_holds = false;
+  bool satisfies_sigma = true;
+  size_t dstar_atoms = 0;
+  size_t dstar_domain = 0;
+};
+
+/// Executes the Appendix H variant reduction (Theorem 7.1 construction):
+/// builds D*(G, D, D', A, mu), optionally checks D* |= Σ, and evaluates
+/// the query. Theorems 4.1/5.13: query_holds iff G has a k-clique.
+ReductionOutcome RunVariantReduction(const Graph& g, const CliqueReduction& r,
+                                     bool check_sigma = true);
+
+/// Executes the Theorem 6.1 construction (used for the OMQ-side lower
+/// bound, Section 6.1) and evaluates the query.
+ReductionOutcome RunGroheReduction(const Graph& g, const CliqueReduction& r);
+
+}  // namespace gqe
+
+#endif  // GQE_GROHE_REDUCTION_H_

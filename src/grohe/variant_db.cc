@@ -1,0 +1,138 @@
+#include "grohe/variant_db.h"
+
+#include <algorithm>
+#include <cassert>
+#include <functional>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace gqe {
+
+namespace {
+
+struct Block {
+  int i = 0;
+  int j = 0;  // the pair {j, l} with j < l
+  int l = 0;
+};
+
+/// Encodes (v, e, i, {j,l}, z) as a constant.
+Term ElementTerm(int v, std::pair<int, int> e, const Block& block, Term z) {
+  return Term::Constant("#s_v" + std::to_string(v) + "_e" +
+                        std::to_string(e.first) + "-" +
+                        std::to_string(e.second) + "_i" +
+                        std::to_string(block.i) + "_p" +
+                        std::to_string(block.j) + "-" +
+                        std::to_string(block.l) + "_" + z.ToString());
+}
+
+}  // namespace
+
+bool VariantDatabase::ValidateProjection(const Instance& d_prime,
+                                         std::string* why) const {
+  auto fail = [why](const std::string& message) {
+    if (why != nullptr) *why = message;
+    return false;
+  };
+  std::unordered_set<Term> image;
+  for (const Atom& atom : dstar.atoms()) {
+    std::vector<Term> mapped;
+    for (Term t : atom.args()) {
+      mapped.push_back(h0.Apply(t));
+      image.insert(mapped.back());
+    }
+    if (!d_prime.Contains(Atom(atom.predicate(), mapped))) {
+      return fail("h0 image of " + atom.ToString() + " not in D'");
+    }
+  }
+  for (Term t : d_prime.ActiveDomain()) {
+    if (image.count(t) == 0) {
+      return fail("h0 not surjective: " + t.ToString() + " unreached");
+    }
+  }
+  return true;
+}
+
+VariantDatabase BuildVariantDatabase(const Graph& g, int k,
+                                     const Instance& d_prime,
+                                     const GridMinorTermMap& mu) {
+  VariantDatabase out;
+  // chi maps 2-subsets of [k] to column indices: reuse RhoPair's
+  // bijection (chi({j,l}) = p iff RhoPair(k, p) == (j,l)).
+  std::unordered_map<Term, Block> block_of;
+  for (int i = 1; i <= static_cast<int>(mu.size()); ++i) {
+    for (int p = 1; p <= static_cast<int>(mu[i - 1].size()); ++p) {
+      auto [j, l] = RhoPair(k, p);
+      for (Term z : mu[i - 1][p - 1]) {
+        block_of[z] = Block{i, j, l};
+      }
+    }
+  }
+
+  for (const Atom& fact : d_prime.atoms()) {
+    // Indices of [k] that a covering labelled clique must assign.
+    std::vector<int> needed;
+    std::vector<int> a_positions;
+    for (int pos = 0; pos < fact.arity(); ++pos) {
+      auto it = block_of.find(fact.args()[pos]);
+      if (it == block_of.end()) continue;
+      a_positions.push_back(pos);
+      for (int index : {it->second.i, it->second.j, it->second.l}) {
+        if (std::find(needed.begin(), needed.end(), index) == needed.end()) {
+          needed.push_back(index);
+        }
+      }
+    }
+    if (a_positions.empty()) {
+      out.dstar.Insert(fact);
+      continue;
+    }
+    std::sort(needed.begin(), needed.end());
+    // Enumerate labelled cliques eta on exactly the needed indices:
+    // assignments of pairwise-adjacent vertices.
+    std::unordered_map<int, int> eta;
+    std::function<void(size_t)> assign = [&](size_t index) {
+      if (index == needed.size()) {
+        std::vector<Term> args(fact.args());
+        for (int pos : a_positions) {
+          const Term z = fact.args()[pos];
+          const Block& block = block_of.at(z);
+          const int v = eta.at(block.i);
+          int e1 = eta.at(block.j);
+          int e2 = eta.at(block.l);
+          if (e1 > e2) std::swap(e1, e2);
+          args[pos] = ElementTerm(v, {e1, e2}, block, z);
+        }
+        Atom atom(fact.predicate(), args);
+        if (out.dstar.Insert(atom)) {
+          for (int pos : a_positions) {
+            out.h0.Set(atom.args()[pos], fact.args()[pos]);
+          }
+        }
+        return;
+      }
+      const int idx = needed[index];
+      for (int v = 0; v < g.num_vertices(); ++v) {
+        bool adjacent_to_all = true;
+        for (size_t prev = 0; prev < index; ++prev) {
+          if (!g.HasEdge(eta.at(needed[prev]), v)) {
+            adjacent_to_all = false;
+            break;
+          }
+        }
+        if (!adjacent_to_all) continue;
+        eta[idx] = v;
+        assign(index + 1);
+        eta.erase(idx);
+      }
+    };
+    assign(0);
+  }
+  // Identity on dom(D') \ A.
+  for (Term t : d_prime.ActiveDomain()) {
+    if (block_of.count(t) == 0) out.h0.Set(t, t);
+  }
+  return out;
+}
+
+}  // namespace gqe

@@ -1,0 +1,39 @@
+#ifndef GQE_GROHE_VARIANT_DB_H_
+#define GQE_GROHE_VARIANT_DB_H_
+
+#include <string>
+
+#include "base/instance.h"
+#include "grohe/grohe_db.h"
+#include "graph/graph.h"
+#include "query/substitution.h"
+
+namespace gqe {
+
+/// Output of the Theorem 7.1 / Appendix H.1 construction
+/// D* = D*(G, D, D', A, mu) — the paper's constraint-compatible variant
+/// of Grohe's database, built from *labelled cliques* of G.
+struct VariantDatabase {
+  Instance dstar;
+
+  /// The projection h0: dom(D*) -> dom(D') (Lemma H.2 (2)).
+  Substitution h0;
+
+  bool ValidateProjection(const Instance& d_prime,
+                          std::string* why = nullptr) const;
+};
+
+/// Builds D*: every fact R(z̄) ∈ D' contributes R(z̄_eta) for every
+/// labelled clique eta of G covering the elements of z̄, where an element
+/// z ∈ mu(i, chi({j,l})) is replaced by (eta(i), {eta(j),eta(l)}, i,
+/// {j,l}, z). Elements outside A are kept. Lemma H.2: (2) h0 is a
+/// surjective homomorphism onto D'; (3) G has a k-clique iff some
+/// homomorphism h: D -> D* has h0∘h = id on A; (4) if D' |= Σ for
+/// frontier-guarded Σ and cliques of G extend as required, then D* |= Σ.
+VariantDatabase BuildVariantDatabase(const Graph& g, int k,
+                                     const Instance& d_prime,
+                                     const GridMinorTermMap& mu);
+
+}  // namespace gqe
+
+#endif  // GQE_GROHE_VARIANT_DB_H_

@@ -1,0 +1,64 @@
+#include "guarded/omq_eval.h"
+
+#include <algorithm>
+
+#include "query/evaluation.h"
+#include "query/tw_evaluation.h"
+
+namespace gqe {
+
+namespace {
+
+size_t MaxQueryVariables(const UCQ& query) {
+  size_t max_vars = 0;
+  for (const CQ& cq : query.disjuncts()) {
+    max_vars = std::max(max_vars, cq.AllVariables().size());
+  }
+  return max_vars;
+}
+
+ChaseTree BuildPortion(const Instance& db, const TgdSet& sigma,
+                       const UCQ& query, const GuardedEvalOptions& options,
+                       TypeClosureEngine* engine) {
+  ChaseTreeOptions tree_options;
+  tree_options.blocking_repeats =
+      static_cast<int>(MaxQueryVariables(query)) + options.extra_blocking;
+  tree_options.max_depth = options.max_depth;
+  tree_options.max_facts = options.max_facts;
+  return BuildChaseTree(db, sigma, tree_options, engine);
+}
+
+}  // namespace
+
+std::vector<std::vector<Term>> GuardedCertainAnswers(
+    const Instance& db, const TgdSet& sigma, const UCQ& query,
+    const GuardedEvalOptions& options, TypeClosureEngine* engine) {
+  ChaseTree tree = BuildPortion(db, sigma, query, options, engine);
+  std::vector<std::vector<Term>> raw = EvaluateUCQ(query, tree.portion);
+  // Certain answers range over the constants of the input database only.
+  std::vector<std::vector<Term>> answers;
+  for (auto& tuple : raw) {
+    bool over_db = true;
+    for (Term t : tuple) {
+      if (!db.InDomain(t)) {
+        over_db = false;
+        break;
+      }
+    }
+    if (over_db) answers.push_back(std::move(tuple));
+  }
+  return answers;
+}
+
+bool GuardedCertainlyHolds(const Instance& db, const TgdSet& sigma,
+                           const UCQ& query, const std::vector<Term>& answer,
+                           const GuardedEvalOptions& options,
+                           TypeClosureEngine* engine) {
+  ChaseTree tree = BuildPortion(db, sigma, query, options, engine);
+  if (options.use_tree_dp) {
+    return HoldsUcqTreeDp(query, tree.portion, answer);
+  }
+  return HoldsUCQ(query, tree.portion, answer);
+}
+
+}  // namespace gqe

@@ -1,0 +1,46 @@
+#ifndef GQE_GUARDED_OMQ_EVAL_H_
+#define GQE_GUARDED_OMQ_EVAL_H_
+
+#include <vector>
+
+#include "base/instance.h"
+#include "guarded/chase_tree.h"
+#include "guarded/type_closure.h"
+#include "query/cq.h"
+#include "tgd/tgd.h"
+
+namespace gqe {
+
+/// Options for guarded certain-answer evaluation.
+struct GuardedEvalOptions {
+  /// Extra shape repetitions beyond the query's variable count before
+  /// blocking (completeness slack; see DESIGN.md §2.3).
+  int extra_blocking = 1;
+
+  size_t max_facts = 5000000;
+  int max_depth = 128;
+
+  /// Use the Proposition 2.1 tree-decomposition DP to evaluate the UCQ
+  /// over the materialized portion (the FPT algorithm of Prop. 3.3(3)
+  /// when the query is in UCQ_k); otherwise plain backtracking join.
+  bool use_tree_dp = false;
+};
+
+/// Certain answers Q(D) = q(chase(D,Σ)) of a UCQ under a guarded set
+/// (Proposition 3.1): materializes a finite chase portion with n-fold
+/// blocking (n = query variables) and evaluates q over it, keeping only
+/// tuples over dom(D).
+std::vector<std::vector<Term>> GuardedCertainAnswers(
+    const Instance& db, const TgdSet& sigma, const UCQ& query,
+    const GuardedEvalOptions& options = {}, TypeClosureEngine* engine = nullptr);
+
+/// Decides c̄ ∈ Q(D) (the paper's OMQ-Evaluation problem for guarded
+/// ontologies).
+bool GuardedCertainlyHolds(const Instance& db, const TgdSet& sigma,
+                           const UCQ& query, const std::vector<Term>& answer,
+                           const GuardedEvalOptions& options = {},
+                           TypeClosureEngine* engine = nullptr);
+
+}  // namespace gqe
+
+#endif  // GQE_GUARDED_OMQ_EVAL_H_

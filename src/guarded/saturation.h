@@ -1,0 +1,27 @@
+#ifndef GQE_GUARDED_SATURATION_H_
+#define GQE_GUARDED_SATURATION_H_
+
+#include "base/instance.h"
+#include "guarded/type_closure.h"
+#include "tgd/tgd.h"
+
+namespace gqe {
+
+/// Computes D⁺ = D ∪ {R(ā) ∈ chase(D,Σ) | ā ⊆ dom(D)} — the ground part
+/// chase↓(D,Σ) of the chase under a guarded set (Section 6.2). Runs in
+/// time ‖D‖^{O(1)} · f(‖Σ‖): per guarded fact the engine closes its bag,
+/// iterated to a fixpoint over the ground instance.
+///
+/// `engine`, when provided, is reused across calls (its shape table only
+/// depends on Σ); it must have been constructed for the same `sigma`.
+Instance GroundSaturation(const Instance& db, const TgdSet& sigma,
+                          TypeClosureEngine* engine = nullptr);
+
+/// Certain answers of an *atomic* query over (D, Σ): is `fact` (over
+/// dom(D)) entailed? Equivalent to fact ∈ GroundSaturation(db, sigma).
+bool CertainAtom(const Instance& db, const TgdSet& sigma, const Atom& fact,
+                 TypeClosureEngine* engine = nullptr);
+
+}  // namespace gqe
+
+#endif  // GQE_GUARDED_SATURATION_H_

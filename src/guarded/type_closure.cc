@@ -1,0 +1,245 @@
+#include "guarded/type_closure.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+#include <unordered_set>
+
+#include "query/homomorphism.h"
+#include "query/substitution.h"
+
+namespace gqe {
+
+namespace {
+
+/// Serializes atoms over placeholder indices for canonical comparison.
+std::string SerializeAtoms(const std::vector<Atom>& atoms,
+                           const std::unordered_map<Term, int>& index) {
+  std::vector<std::string> parts;
+  parts.reserve(atoms.size());
+  for (const Atom& atom : atoms) {
+    std::string s = std::to_string(atom.predicate());
+    s += "(";
+    for (Term t : atom.args()) {
+      s += std::to_string(index.at(t));
+      s += ",";
+    }
+    s += ")";
+    parts.push_back(std::move(s));
+  }
+  std::sort(parts.begin(), parts.end());
+  parts.erase(std::unique(parts.begin(), parts.end()), parts.end());
+  std::string key;
+  for (const auto& p : parts) {
+    key += p;
+    key += ";";
+  }
+  return key;
+}
+
+}  // namespace
+
+Term TypeClosureEngine::Placeholder(int i) {
+  static std::vector<Term>* const kPlaceholders = new std::vector<Term>();
+  while (static_cast<int>(kPlaceholders->size()) <= i) {
+    kPlaceholders->push_back(Term::FreshNull());
+  }
+  return (*kPlaceholders)[i];
+}
+
+TypeClosureEngine::TypeClosureEngine(const TgdSet& sigma) : sigma_(sigma) {
+  if (!IsGuardedSet(sigma)) {
+    std::fprintf(stderr, "TypeClosureEngine requires a guarded TGD set\n");
+    std::abort();
+  }
+}
+
+std::string TypeClosureEngine::Canonicalize(const std::vector<Atom>& atoms,
+                                            const std::vector<Term>& elements,
+                                            std::vector<Term>* order) const {
+  std::vector<Term> perm = elements;
+  std::sort(perm.begin(), perm.end());
+  perm.erase(std::unique(perm.begin(), perm.end()), perm.end());
+  std::string best;
+  std::vector<Term> best_order;
+  std::vector<Term> current = perm;
+  // Try all orderings; pick the lexicographically smallest serialization.
+  // Bag sizes are bounded by the schema arity / rule width, so the
+  // factorial blow-up is a small constant.
+  std::sort(current.begin(), current.end());
+  do {
+    std::unordered_map<Term, int> index;
+    for (size_t i = 0; i < current.size(); ++i) {
+      index[current[i]] = static_cast<int>(i);
+    }
+    std::string key = SerializeAtoms(atoms, index);
+    if (best.empty() || key < best) {
+      best = key;
+      best_order = current;
+    }
+  } while (std::next_permutation(current.begin(), current.end()));
+  if (best.empty()) {
+    // No elements (0-ary bag).
+    std::unordered_map<Term, int> index;
+    best = SerializeAtoms(atoms, index);
+    best_order.clear();
+  }
+  *order = best_order;
+  return best;
+}
+
+std::string TypeClosureEngine::InternBag(const std::vector<Atom>& atoms,
+                                         const std::vector<Term>& elements,
+                                         std::vector<Term>* order) {
+  std::string key = Canonicalize(atoms, elements, order);
+  auto it = entries_.find(key);
+  if (it != entries_.end()) return key;
+  Entry entry;
+  entry.num_elements = static_cast<int>(order->size());
+  std::unordered_map<Term, Term> rename;
+  for (size_t i = 0; i < order->size(); ++i) {
+    rename[(*order)[i]] = Placeholder(static_cast<int>(i));
+  }
+  for (const Atom& atom : atoms) {
+    std::vector<Term> args;
+    args.reserve(atom.args().size());
+    for (Term t : atom.args()) args.push_back(rename.at(t));
+    Atom canonical(atom.predicate(), std::move(args));
+    entry.base_atoms.push_back(canonical);
+    entry.closure.Insert(canonical);
+  }
+  entries_.emplace(key, std::move(entry));
+  return key;
+}
+
+bool TypeClosureEngine::ProcessEntry(const std::string& key) {
+  // NOTE: InternBag may rehash entries_, so references into the map are
+  // re-acquired after every call that can insert.
+  bool changed = false;
+  const int num_elements = entries_.at(key).num_elements;
+  std::unordered_set<Term> parent_set;
+  for (int i = 0; i < num_elements; ++i) parent_set.insert(Placeholder(i));
+
+  for (const Tgd& tgd : sigma_) {
+    const std::vector<Term> frontier = tgd.Frontier();
+    const std::vector<Term> existentials = tgd.ExistentialVariables();
+    // Collect triggers first: inserting while iterating the closure's
+    // index vectors would invalidate them.
+    std::vector<Substitution> triggers =
+        HomomorphismSearch(tgd.body(), entries_.at(key).closure).FindAll();
+    for (const Substitution& sub : triggers) {
+      if (existentials.empty()) {
+        Entry& parent = entries_.at(key);
+        for (const Atom& head_atom : tgd.head()) {
+          if (parent.closure.Insert(sub.Apply(head_atom))) changed = true;
+        }
+        continue;
+      }
+      // Existential rule: build the child bag.
+      std::vector<Term> frontier_images;
+      for (Term x : frontier) {
+        Term image = sub.Apply(x);
+        if (std::find(frontier_images.begin(), frontier_images.end(),
+                      image) == frontier_images.end()) {
+          frontier_images.push_back(image);
+        }
+      }
+      Substitution extended = sub;
+      std::vector<Term> child_elements = frontier_images;
+      for (size_t i = 0; i < existentials.size(); ++i) {
+        // Temporary child-local elements, distinct from all parent
+        // placeholders.
+        Term fresh = Placeholder(num_elements + static_cast<int>(i));
+        extended.Set(existentials[i], fresh);
+        child_elements.push_back(fresh);
+      }
+      std::vector<Atom> child_atoms;
+      for (const Atom& head_atom : tgd.head()) {
+        child_atoms.push_back(extended.Apply(head_atom));
+      }
+      // The child inherits every known atom over the frontier images.
+      for (const Atom& atom : entries_.at(key).closure.atoms()) {
+        bool inside = true;
+        for (Term t : atom.args()) {
+          if (std::find(frontier_images.begin(), frontier_images.end(), t) ==
+              frontier_images.end()) {
+            inside = false;
+            break;
+          }
+        }
+        if (inside) child_atoms.push_back(atom);
+      }
+      std::vector<Term> child_order;
+      const std::string child_key =
+          InternBag(child_atoms, child_elements, &child_order);
+      // Pull back the child's current closure over the frontier images.
+      // child_order[i] is the element of `child_elements` playing
+      // Placeholder(i) inside the child entry.
+      Substitution back;
+      for (size_t i = 0; i < child_order.size(); ++i) {
+        back.Set(Placeholder(static_cast<int>(i)), child_order[i]);
+      }
+      std::vector<Atom> pulled_atoms;
+      for (const Atom& atom : entries_.at(child_key).closure.atoms()) {
+        Atom pulled = back.Apply(atom);
+        bool over_parent = true;
+        for (Term t : pulled.args()) {
+          if (parent_set.count(t) == 0) {
+            over_parent = false;
+            break;
+          }
+        }
+        if (over_parent) pulled_atoms.push_back(std::move(pulled));
+      }
+      Entry& parent = entries_.at(key);
+      for (const Atom& atom : pulled_atoms) {
+        if (parent.closure.Insert(atom)) changed = true;
+      }
+    }
+  }
+  return changed;
+}
+
+void TypeClosureEngine::FixpointAll() {
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    // Snapshot keys: processing may add entries (picked up next round).
+    std::vector<std::string> keys;
+    keys.reserve(entries_.size());
+    for (const auto& [key, entry] : entries_) keys.push_back(key);
+    const size_t entries_before = entries_.size();
+    for (const std::string& key : keys) {
+      if (ProcessEntry(key)) changed = true;
+    }
+    // Newly created child entries have not been processed yet.
+    if (entries_.size() != entries_before) changed = true;
+  }
+}
+
+std::vector<Atom> TypeClosureEngine::Closure(
+    const std::vector<Atom>& atoms, const std::vector<Term>& elements) {
+#ifndef NDEBUG
+  std::unordered_set<Term> element_set(elements.begin(), elements.end());
+  for (const Atom& atom : atoms) {
+    for (Term t : atom.args()) assert(element_set.count(t) > 0);
+  }
+#endif
+  std::vector<Term> order;
+  const std::string key = InternBag(atoms, elements, &order);
+  FixpointAll();
+  const Entry& entry = entries_[key];
+  Substitution back;
+  for (size_t i = 0; i < order.size(); ++i) {
+    back.Set(Placeholder(static_cast<int>(i)), order[i]);
+  }
+  std::vector<Atom> result;
+  result.reserve(entry.closure.size());
+  for (const Atom& atom : entry.closure.atoms()) {
+    result.push_back(back.Apply(atom));
+  }
+  return result;
+}
+
+}  // namespace gqe

@@ -1,0 +1,49 @@
+#ifndef GQE_GUARDED_UNRAVELING_H_
+#define GQE_GUARDED_UNRAVELING_H_
+
+#include <vector>
+
+#include "base/instance.h"
+#include "omq/omq.h"
+#include "query/substitution.h"
+
+namespace gqe {
+
+/// The guarded unraveling D^ā of a database at a guarded set ā
+/// (Appendix D preliminaries), truncated at `depth` levels: a tree of
+/// copies of D's guarded sets, adjacent nodes overlapping in shared
+/// elements, root elements kept un-copied. By construction the result
+/// (i) has a width-(ar(S)-1) tree decomposition (tree-like except the
+/// root), (ii) maps homomorphically onto D by the copy map — returned in
+/// `to_original` — and (iii) preserves the atomic consequences of guarded
+/// ontologies at the root (Lemma D.7; validated in tests).
+Instance GuardedUnraveling(const Instance& db, const std::vector<Term>& root,
+                           int depth, Substitution* to_original = nullptr,
+                           size_t max_nodes = 4096);
+
+/// A treewidth-k unraveling D^k_c̄ of D up to the tuple c̄ (Appendix C.3):
+/// a tree of copies of (≤ k+1)-element sub-bags of dom(D), with the
+/// elements of c̄ shared globally. Properties (used by Lemma C.7):
+/// treewidth ≤ k up to c̄, homomorphism to D fixing c̄, and preservation
+/// of (G, UCQ_k) OMQ answers (checked in tests on small inputs).
+/// `max_nodes` caps the materialized tree.
+Instance KUnraveling(const Instance& db, const std::vector<Term>& anchors,
+                     int k, int depth, size_t max_nodes = 4096,
+                     Substitution* to_original = nullptr);
+
+/// One greedy diversification pass (Section 6.1, Examples D.8/D.9):
+/// repeatedly replaces a single occurrence of a shared, unprotected
+/// constant by a fresh constant whenever the Boolean OMQ still holds on
+/// the result — approaching the ≼-minimal "untangled" database D1 that
+/// the Theorem 5.4 reduction feeds into the Grohe construction.
+struct DiversifyResult {
+  Instance diversified;
+  size_t splits = 0;
+};
+
+DiversifyResult DiversifyDatabase(const Instance& db, const Omq& query,
+                                  const std::vector<Term>& protect);
+
+}  // namespace gqe
+
+#endif  // GQE_GUARDED_UNRAVELING_H_

@@ -1,0 +1,69 @@
+#include "linear/linear_chase.h"
+
+#include <algorithm>
+
+#include "chase/chase.h"
+#include "linear/rewriting.h"
+#include "query/evaluation.h"
+
+namespace gqe {
+
+namespace {
+
+/// Keeps only tuples over dom(db).
+std::vector<std::vector<Term>> FilterToDomain(
+    std::vector<std::vector<Term>> tuples, const Instance& db) {
+  std::vector<std::vector<Term>> out;
+  for (auto& tuple : tuples) {
+    bool inside = true;
+    for (Term t : tuple) {
+      if (!db.InDomain(t)) {
+        inside = false;
+        break;
+      }
+    }
+    if (inside) out.push_back(std::move(tuple));
+  }
+  return out;
+}
+
+}  // namespace
+
+LinearChaseEvalResult LinearCertainAnswersViaChase(const Instance& db,
+                                                   const TgdSet& sigma,
+                                                   const UCQ& query,
+                                                   int max_level,
+                                                   int stable_window) {
+  // `stable_window` is retained for API stability but unused: an early
+  // exit on a temporarily-stable answer set is unsound (answers can first
+  // appear at any level up to the Lemma A.1 bound), so the evaluation
+  // always runs to max_level and reports where the answers last changed.
+  (void)stable_window;
+  LinearChaseEvalResult result;
+  ChaseOptions options;
+  options.max_level = max_level;
+  ChaseResult chased = Chase(db, sigma, options);
+  result.levels_built = chased.max_level_built;
+  result.hit_level_cap = !chased.complete;
+
+  std::vector<std::vector<Term>> previous;
+  int last_change = 0;
+  for (int level = 0; level <= chased.max_level_built; ++level) {
+    Instance portion = chased.UpToLevel(level);
+    std::vector<std::vector<Term>> answers =
+        FilterToDomain(EvaluateUCQ(query, portion), db);
+    if (level == 0 || answers != previous) last_change = level;
+    previous = std::move(answers);
+  }
+  result.answers = std::move(previous);
+  result.stabilization_level = last_change;
+  return result;
+}
+
+std::vector<std::vector<Term>> LinearCertainAnswersViaRewriting(
+    const Instance& db, const TgdSet& sigma, const UCQ& query) {
+  RewriteResult rewrite = RewriteUnderLinearTgds(query, sigma);
+  return FilterToDomain(EvaluateUCQ(rewrite.rewriting, db), db);
+}
+
+}  // namespace gqe

@@ -1,0 +1,284 @@
+#include "linear/rewriting.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+#include <deque>
+#include <functional>
+#include <map>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "query/containment.h"
+#include "query/substitution.h"
+
+namespace gqe {
+
+namespace {
+
+/// Union-find over terms for unification. A class is inconsistent if it
+/// contains two distinct constants.
+class Unifier {
+ public:
+  Term Find(Term t) {
+    auto it = parent_.find(t);
+    if (it == parent_.end()) {
+      parent_[t] = t;
+      return t;
+    }
+    if (it->second == t) return t;
+    Term root = Find(it->second);
+    parent_[t] = root;
+    return root;
+  }
+
+  /// Unions the classes of a and b; returns false on constant clash.
+  bool Union(Term a, Term b) {
+    Term ra = Find(a);
+    Term rb = Find(b);
+    if (ra == rb) return true;
+    if (ra.IsGround() && rb.IsGround()) return false;  // two constants
+    // Keep the ground term (or an arbitrary one) as representative.
+    if (rb.IsGround()) std::swap(ra, rb);
+    parent_[rb] = ra;
+    return true;
+  }
+
+  /// The members of each class.
+  std::map<Term, std::vector<Term>> Classes() {
+    std::map<Term, std::vector<Term>> classes;
+    std::vector<Term> keys;
+    for (const auto& [t, _] : parent_) keys.push_back(t);
+    for (Term t : keys) classes[Find(t)].push_back(t);
+    return classes;
+  }
+
+ private:
+  std::unordered_map<Term, Term> parent_;
+};
+
+std::string CanonicalCqKey(const CQ& cq) {
+  // Canonicalize variable names by order of first occurrence so that
+  // alpha-equivalent CQs deduplicate.
+  std::unordered_map<Term, int> index;
+  for (Term v : cq.answer_vars()) {
+    index.emplace(v, static_cast<int>(index.size()));
+  }
+  std::vector<std::string> parts;
+  // Two passes: assign indexes in a canonical atom order is hard; use
+  // first-occurrence order over the (sorted-by-string) atom list.
+  std::vector<Atom> atoms = cq.atoms();
+  std::sort(atoms.begin(), atoms.end());
+  for (const Atom& atom : atoms) {
+    for (Term t : atom.args()) {
+      if (t.IsVariable()) index.emplace(t, static_cast<int>(index.size()));
+    }
+  }
+  for (const Atom& atom : atoms) {
+    std::string s = std::to_string(atom.predicate()) + "(";
+    for (Term t : atom.args()) {
+      if (t.IsVariable()) {
+        s += "v" + std::to_string(index.at(t));
+      } else {
+        s += t.ToString();
+      }
+      s += ",";
+    }
+    s += ")";
+    parts.push_back(std::move(s));
+  }
+  std::sort(parts.begin(), parts.end());
+  std::string key;
+  for (const auto& p : parts) {
+    key += p;
+    key += ";";
+  }
+  return key;
+}
+
+/// Renames the variables of a TGD with fresh ones (so repeated
+/// applications do not clash with query variables).
+Tgd FreshenTgd(const Tgd& tgd) {
+  Substitution rename;
+  for (Term v : tgd.BodyVariables()) rename.Set(v, Term::FreshVariable());
+  for (Term v : tgd.HeadVariables()) {
+    if (!rename.Has(v)) rename.Set(v, Term::FreshVariable());
+  }
+  return Tgd(rename.Apply(tgd.body()), rename.Apply(tgd.head()));
+}
+
+/// Attempts one piece rewriting of `cq`: unify the atom subset given by
+/// `choice` (query-atom index -> head-atom index) with the head of `tgd`
+/// and replace it by the body atom. Returns the rewritten CQ on success.
+bool TryPieceRewrite(const CQ& cq, const Tgd& tgd,
+                     const std::vector<std::pair<size_t, size_t>>& choice,
+                     CQ* out) {
+  Unifier unifier;
+  for (auto [query_index, head_index] : choice) {
+    const Atom& query_atom = cq.atoms()[query_index];
+    const Atom& head_atom = tgd.head()[head_index];
+    if (query_atom.predicate() != head_atom.predicate()) return false;
+    for (int i = 0; i < query_atom.arity(); ++i) {
+      if (!unifier.Union(query_atom.args()[i], head_atom.args()[i])) {
+        return false;
+      }
+    }
+  }
+  // Existential-variable conditions: each class containing an existential
+  // head variable may contain (a) no constants, (b) no answer variables,
+  // (c) no query variables that occur outside the replaced piece, and
+  // (d) no frontier variables of the TGD.
+  std::vector<Term> existentials = tgd.ExistentialVariables();
+  std::unordered_set<Term> existential_set(existentials.begin(),
+                                           existentials.end());
+  std::unordered_set<Term> frontier_set;
+  for (Term v : tgd.Frontier()) frontier_set.insert(v);
+  std::unordered_set<Term> answer_set(cq.answer_vars().begin(),
+                                      cq.answer_vars().end());
+  std::unordered_set<size_t> replaced;
+  for (auto [query_index, _] : choice) replaced.insert(query_index);
+  std::unordered_set<Term> outside_vars;  // query vars occurring outside
+  for (size_t i = 0; i < cq.atoms().size(); ++i) {
+    if (replaced.count(i) > 0) continue;
+    for (Term t : cq.atoms()[i].args()) {
+      if (t.IsVariable()) outside_vars.insert(t);
+    }
+  }
+  for (auto& [representative, members] : unifier.Classes()) {
+    bool has_existential = false;
+    for (Term t : members) {
+      if (existential_set.count(t) > 0) has_existential = true;
+    }
+    if (!has_existential) continue;
+    for (Term t : members) {
+      if (existential_set.count(t) > 0) continue;
+      if (t.IsGround()) return false;
+      if (answer_set.count(t) > 0) return false;
+      if (outside_vars.count(t) > 0) return false;
+      if (frontier_set.count(t) > 0) return false;
+    }
+  }
+  // Build the substitution: map every term to its class representative,
+  // preferring ground members, then answer variables, then query
+  // variables (so answer variables survive).
+  Substitution theta;
+  for (auto& [representative, members] : unifier.Classes()) {
+    Term image = representative;
+    for (Term t : members) {
+      if (t.IsGround()) {
+        image = t;
+        break;
+      }
+      if (answer_set.count(t) > 0) image = t;
+    }
+    for (Term t : members) {
+      if (t != image) theta.Set(t, image);
+    }
+  }
+  // Answer variables must remain distinct (no two merged).
+  std::unordered_set<Term> images;
+  for (Term a : cq.answer_vars()) {
+    if (!images.insert(theta.Apply(a)).second) return false;
+    if (!theta.Apply(a).IsVariable()) return false;
+  }
+  // New CQ: theta(untouched atoms) + theta(body atom).
+  std::vector<Atom> new_atoms;
+  std::unordered_set<Atom, AtomHash> seen;
+  for (size_t i = 0; i < cq.atoms().size(); ++i) {
+    if (replaced.count(i) > 0) continue;
+    Atom mapped = theta.Apply(cq.atoms()[i]);
+    if (seen.insert(mapped).second) new_atoms.push_back(mapped);
+  }
+  assert(tgd.body().size() == 1);
+  Atom body_mapped = theta.Apply(tgd.body()[0]);
+  if (seen.insert(body_mapped).second) new_atoms.push_back(body_mapped);
+  std::vector<Term> new_answer;
+  for (Term a : cq.answer_vars()) new_answer.push_back(theta.Apply(a));
+  *out = CQ(std::move(new_answer), std::move(new_atoms));
+  return true;
+}
+
+/// Enumerates piece choices: non-empty partial maps from query atoms to
+/// head atoms (same predicate), and calls TryPieceRewrite on each.
+void RewriteStep(const CQ& cq, const Tgd& tgd,
+                 std::vector<CQ>* out) {
+  const size_t num_query_atoms = cq.atoms().size();
+  std::vector<std::pair<size_t, size_t>> choice;
+  // Recursive enumeration over query atoms: for each, either skip or
+  // unify with one head atom.
+  std::vector<size_t> head_candidates;
+  std::function<void(size_t)> recurse = [&](size_t index) {
+    if (index == num_query_atoms) {
+      if (choice.empty()) return;
+      CQ rewritten;
+      if (TryPieceRewrite(cq, tgd, choice, &rewritten)) {
+        out->push_back(std::move(rewritten));
+      }
+      return;
+    }
+    // Skip this atom.
+    recurse(index + 1);
+    // Or unify it with a matching head atom.
+    for (size_t h = 0; h < tgd.head().size(); ++h) {
+      if (tgd.head()[h].predicate() != cq.atoms()[index].predicate()) {
+        continue;
+      }
+      choice.emplace_back(index, h);
+      recurse(index + 1);
+      choice.pop_back();
+    }
+  };
+  recurse(0);
+}
+
+}  // namespace
+
+RewriteResult RewriteUnderLinearTgds(const UCQ& query, const TgdSet& sigma,
+                                     const RewriteOptions& options) {
+  if (!IsLinearSet(sigma)) {
+    std::fprintf(stderr, "RewriteUnderLinearTgds requires linear TGDs\n");
+    std::abort();
+  }
+  RewriteResult result;
+  std::vector<CQ> all;
+  std::unordered_set<std::string> seen;
+  std::deque<CQ> frontier;
+  for (const CQ& cq : query.disjuncts()) {
+    if (seen.insert(CanonicalCqKey(cq)).second) {
+      all.push_back(cq);
+      frontier.push_back(cq);
+    }
+  }
+  while (!frontier.empty()) {
+    if (all.size() >= options.max_disjuncts) {
+      result.complete = false;
+      break;
+    }
+    CQ cq = std::move(frontier.front());
+    frontier.pop_front();
+    ++result.rounds;
+    for (const Tgd& tgd : sigma) {
+      Tgd fresh = FreshenTgd(tgd);
+      std::vector<CQ> rewritten;
+      RewriteStep(cq, fresh, &rewritten);
+      for (CQ& candidate : rewritten) {
+        if (seen.insert(CanonicalCqKey(candidate)).second) {
+          all.push_back(candidate);
+          frontier.push_back(std::move(candidate));
+          if (all.size() >= options.max_disjuncts) break;
+        }
+      }
+      if (all.size() >= options.max_disjuncts) break;
+    }
+  }
+  UCQ rewriting(all);
+  if (options.minimize && result.complete) {
+    rewriting = MinimizeUcq(rewriting);
+  }
+  result.rewriting = std::move(rewriting);
+  return result;
+}
+
+}  // namespace gqe

@@ -1,0 +1,39 @@
+#ifndef GQE_LINEAR_REWRITING_H_
+#define GQE_LINEAR_REWRITING_H_
+
+#include <cstddef>
+
+#include "query/cq.h"
+#include "tgd/tgd.h"
+
+namespace gqe {
+
+/// Options for the backward-rewriting procedure.
+struct RewriteOptions {
+  /// Cap on the number of CQs generated (safety valve; the rewriting of a
+  /// UCQ under linear TGDs is finite but can be exponential).
+  size_t max_disjuncts = 20000;
+
+  /// Drop disjuncts subsumed by others in a final minimization pass.
+  bool minimize = true;
+};
+
+/// Result of rewriting.
+struct RewriteResult {
+  UCQ rewriting;
+  bool complete = true;  // false if max_disjuncts was hit
+  size_t rounds = 0;
+};
+
+/// UCQ rewriting for *linear* TGDs (Proposition D.2, the XRewrite
+/// procedure of [15]): produces a UCQ q' with
+/// q(chase(D,Σ)) = q'(D) for every database D. Uses piece unification:
+/// a subset of query atoms is unified with the head of a TGD and replaced
+/// by its (single) body atom; existential head variables may only absorb
+/// query variables that are local to the replaced piece.
+RewriteResult RewriteUnderLinearTgds(const UCQ& query, const TgdSet& sigma,
+                                     const RewriteOptions& options = {});
+
+}  // namespace gqe
+
+#endif  // GQE_LINEAR_REWRITING_H_

@@ -1,0 +1,32 @@
+#include "omq/containment.h"
+
+#include <cassert>
+
+#include "guarded/omq_eval.h"
+
+namespace gqe {
+
+bool OmqContainedSameOntology(const Omq& q1, const Omq& q2,
+                              TypeClosureEngine* engine) {
+  assert(q1.query.arity() == q2.query.arity());
+  for (const CQ& p : q1.query.disjuncts()) {
+    Instance canonical = p.CanonicalInstance();
+    std::vector<Term> frozen_answer;
+    for (Term v : p.answer_vars()) {
+      frozen_answer.push_back(CQ::FrozenConstant(v));
+    }
+    if (!GuardedCertainlyHolds(canonical, q1.sigma, q2.query, frozen_answer,
+                               GuardedEvalOptions{}, engine)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool OmqEquivalentSameOntology(const Omq& q1, const Omq& q2,
+                               TypeClosureEngine* engine) {
+  return OmqContainedSameOntology(q1, q2, engine) &&
+         OmqContainedSameOntology(q2, q1, engine);
+}
+
+}  // namespace gqe

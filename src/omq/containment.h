@@ -1,0 +1,25 @@
+#ifndef GQE_OMQ_CONTAINMENT_H_
+#define GQE_OMQ_CONTAINMENT_H_
+
+#include "guarded/type_closure.h"
+#include "omq/omq.h"
+
+namespace gqe {
+
+/// Containment Q1 ⊆ Q2 for OMQs with full data schema sharing the same
+/// guarded ontology Σ (the case needed by the meta-problem procedures,
+/// Sections 4–5): Q1 ⊆ Q2 iff for every disjunct p of q1, the frozen
+/// answer tuple of p is a certain answer of q2 over (D[p], Σ)
+/// (Proposition 4.5 lifted through Proposition 5.5). Sound and complete
+/// for guarded Σ by finite controllability.
+///
+/// `engine`, when given, must have been built for q1's/q2's shared Σ.
+bool OmqContainedSameOntology(const Omq& q1, const Omq& q2,
+                              TypeClosureEngine* engine = nullptr);
+
+bool OmqEquivalentSameOntology(const Omq& q1, const Omq& q2,
+                               TypeClosureEngine* engine = nullptr);
+
+}  // namespace gqe
+
+#endif  // GQE_OMQ_CONTAINMENT_H_

@@ -1,0 +1,90 @@
+#include "omq/evaluation.h"
+
+#include "chase/chase.h"
+#include "guarded/omq_eval.h"
+#include "query/evaluation.h"
+#include "query/tw_evaluation.h"
+
+namespace gqe {
+
+namespace {
+
+std::vector<std::vector<Term>> FilterToDomain(
+    std::vector<std::vector<Term>> tuples, const Instance& db) {
+  std::vector<std::vector<Term>> out;
+  for (auto& tuple : tuples) {
+    bool inside = true;
+    for (Term t : tuple) {
+      if (!db.InDomain(t)) {
+        inside = false;
+        break;
+      }
+    }
+    if (inside) out.push_back(std::move(tuple));
+  }
+  return out;
+}
+
+}  // namespace
+
+OmqEvalResult EvaluateOmq(const Omq& omq, const Instance& db,
+                          const OmqEvalOptions& options) {
+  OmqEvalResult result;
+  if (omq.sigma.empty()) {
+    result.method = "empty-ontology";
+    result.answers = EvaluateUCQ(omq.query, db);
+    return result;
+  }
+  if (IsGuardedSet(omq.sigma)) {
+    result.method = "guarded-portion";
+    GuardedEvalOptions guarded_options;
+    guarded_options.max_facts = options.max_facts;
+    guarded_options.use_tree_dp = options.use_tree_dp;
+    result.answers = GuardedCertainAnswers(db, omq.sigma, omq.query,
+                                           guarded_options);
+    return result;
+  }
+  ChaseOptions chase_options;
+  chase_options.max_facts = options.max_facts;
+  if (IsObliviousChaseTerminating(omq.sigma)) {
+    result.method = "terminating-chase";
+  } else {
+    result.method = "bounded-chase";
+    result.exact = false;
+    chase_options.max_level = options.fallback_chase_level;
+  }
+  ChaseResult chased = Chase(db, omq.sigma, chase_options);
+  if (!chased.complete && result.method == "terminating-chase") {
+    // Fact budget hit despite a terminating set.
+    result.exact = false;
+  }
+  result.answers = FilterToDomain(EvaluateUCQ(omq.query, chased.instance), db);
+  return result;
+}
+
+bool OmqHolds(const Omq& omq, const Instance& db,
+              const std::vector<Term>& answer,
+              const OmqEvalOptions& options) {
+  if (omq.sigma.empty()) {
+    return options.use_tree_dp ? HoldsUcqTreeDp(omq.query, db, answer)
+                               : HoldsUCQ(omq.query, db, answer);
+  }
+  if (IsGuardedSet(omq.sigma)) {
+    GuardedEvalOptions guarded_options;
+    guarded_options.max_facts = options.max_facts;
+    guarded_options.use_tree_dp = options.use_tree_dp;
+    return GuardedCertainlyHolds(db, omq.sigma, omq.query, answer,
+                                 guarded_options);
+  }
+  ChaseOptions chase_options;
+  chase_options.max_facts = options.max_facts;
+  if (!IsObliviousChaseTerminating(omq.sigma)) {
+    chase_options.max_level = options.fallback_chase_level;
+  }
+  ChaseResult chased = Chase(db, omq.sigma, chase_options);
+  return options.use_tree_dp
+             ? HoldsUcqTreeDp(omq.query, chased.instance, answer)
+             : HoldsUCQ(omq.query, chased.instance, answer);
+}
+
+}  // namespace gqe

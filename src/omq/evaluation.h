@@ -1,0 +1,52 @@
+#ifndef GQE_OMQ_EVALUATION_H_
+#define GQE_OMQ_EVALUATION_H_
+
+#include <string>
+#include <vector>
+
+#include "base/instance.h"
+#include "omq/omq.h"
+
+namespace gqe {
+
+/// How an OMQ was evaluated, with an exactness guarantee.
+struct OmqEvalResult {
+  std::vector<std::vector<Term>> answers;
+
+  /// True if the method is sound and complete for the ontology class
+  /// (guarded / terminating sets); false for the bounded-chase fallback.
+  bool exact = true;
+
+  /// One of "empty-ontology", "guarded-portion", "terminating-chase",
+  /// "bounded-chase".
+  std::string method;
+};
+
+/// Options for OMQ evaluation.
+struct OmqEvalOptions {
+  /// Level bound for the bounded-chase fallback (non-guarded,
+  /// non-terminating ontologies, e.g. general frontier-guarded sets).
+  int fallback_chase_level = 16;
+
+  size_t max_facts = 5000000;
+
+  /// Use the Prop. 2.1 tree-decomposition DP when deciding candidate
+  /// answers (the Prop. 3.3(3) FPT algorithm when q ∈ UCQ_k).
+  bool use_tree_dp = false;
+};
+
+/// Certain answers Q(D) (Section 3.1 / Proposition 3.1). Dispatches by
+/// ontology class: direct evaluation (empty Σ), guarded chase portion
+/// (Σ ∈ G, exact), full chase (oblivious-terminating Σ, exact), bounded
+/// chase (otherwise, sound but possibly incomplete — flagged).
+OmqEvalResult EvaluateOmq(const Omq& omq, const Instance& db,
+                          const OmqEvalOptions& options = {});
+
+/// Decides c̄ ∈ Q(D) — the paper's OMQ-Evaluation problem.
+bool OmqHolds(const Omq& omq, const Instance& db,
+              const std::vector<Term>& answer,
+              const OmqEvalOptions& options = {});
+
+}  // namespace gqe
+
+#endif  // GQE_OMQ_EVALUATION_H_

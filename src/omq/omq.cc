@@ -1,0 +1,61 @@
+#include "omq/omq.h"
+
+namespace gqe {
+
+Schema Omq::ExtendedSchema() const {
+  Schema extended = SchemaOf(sigma);
+  for (PredicateId id : data_schema.predicate_ids()) extended.Add(id);
+  for (const CQ& cq : query.disjuncts()) {
+    for (const Atom& atom : cq.atoms()) extended.Add(atom.predicate());
+  }
+  return extended;
+}
+
+bool Omq::HasFullDataSchema() const {
+  Schema extended = ExtendedSchema();
+  for (PredicateId id : extended.predicate_ids()) {
+    if (!data_schema.Contains(id)) return false;
+  }
+  return true;
+}
+
+Omq Omq::WithFullDataSchema(TgdSet sigma, UCQ query) {
+  Omq omq;
+  omq.sigma = std::move(sigma);
+  omq.query = std::move(query);
+  omq.data_schema = omq.ExtendedSchema();
+  return omq;
+}
+
+size_t Omq::Size() const {
+  size_t total = query.Size();
+  for (const Tgd& tgd : sigma) {
+    for (const Atom& atom : tgd.body()) total += 1 + atom.args().size();
+    for (const Atom& atom : tgd.head()) total += 1 + atom.args().size();
+  }
+  return total;
+}
+
+bool Omq::Validate(const std::string& require, std::string* why) const {
+  auto fail = [why](const std::string& message) {
+    if (why != nullptr) *why = message;
+    return false;
+  };
+  if (!query.Validate(why)) return false;
+  for (const Tgd& tgd : sigma) {
+    if (!tgd.Validate(why)) return false;
+  }
+  if (require == "G" && !IsGuardedSet(sigma)) return fail("ontology not guarded");
+  if (require == "FG" && !IsFrontierGuardedSet(sigma)) {
+    return fail("ontology not frontier-guarded");
+  }
+  if (require == "L" && !IsLinearSet(sigma)) return fail("ontology not linear");
+  return true;
+}
+
+std::string Omq::ToString() const {
+  return "OMQ(S=" + data_schema.ToString() + ", |Sigma|=" +
+         std::to_string(sigma.size()) + ", q=" + query.ToString() + ")";
+}
+
+}  // namespace gqe

@@ -1,0 +1,43 @@
+#ifndef GQE_OMQ_OMQ_H_
+#define GQE_OMQ_OMQ_H_
+
+#include <string>
+
+#include "base/schema.h"
+#include "query/cq.h"
+#include "tgd/tgd.h"
+
+namespace gqe {
+
+/// An ontology-mediated query Q = (S, Σ, q) (Section 3.1): a data schema
+/// S, an ontology Σ over an extended schema T ⊇ S, and a UCQ q over T.
+/// Q is evaluated over S-databases under certain-answer semantics.
+struct Omq {
+  Schema data_schema;
+  TgdSet sigma;
+  UCQ query;
+
+  /// The extended schema T: every predicate in S, Σ and q.
+  Schema ExtendedSchema() const;
+
+  /// True if S = T (Section 3.1, "full data schema").
+  bool HasFullDataSchema() const;
+
+  /// Builds an OMQ with full data schema from Σ and q (the omq(S)
+  /// operator of Section 5.1 applied to a CQS).
+  static Omq WithFullDataSchema(TgdSet sigma, UCQ query);
+
+  /// ‖Q‖-ish size measure.
+  size_t Size() const;
+
+  /// Well-formedness; also checks the ontology class passed in `require`
+  /// ("G", "FG", "L", "" for none).
+  bool Validate(const std::string& require = "",
+                std::string* why = nullptr) const;
+
+  std::string ToString() const;
+};
+
+}  // namespace gqe
+
+#endif  // GQE_OMQ_OMQ_H_

@@ -1,0 +1,319 @@
+#include "parser/parser.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+namespace gqe {
+
+namespace {
+
+enum class TokenKind {
+  kIdentifier,
+  kLParen,
+  kRParen,
+  kComma,
+  kDot,
+  kArrow,      // ->
+  kTurnstile,  // :-
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind;
+  std::string text;
+  int line;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view text) : text_(text) {}
+
+  bool Tokenize(std::vector<Token>* out, std::string* error, int* error_line) {
+    int line = 1;
+    size_t i = 0;
+    while (i < text_.size()) {
+      const char c = text_[i];
+      if (c == '\n') {
+        ++line;
+        ++i;
+        continue;
+      }
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++i;
+        continue;
+      }
+      if (c == '%' || c == '#') {
+        while (i < text_.size() && text_[i] != '\n') ++i;
+        continue;
+      }
+      if (c == '(') {
+        out->push_back({TokenKind::kLParen, "(", line});
+        ++i;
+        continue;
+      }
+      if (c == ')') {
+        out->push_back({TokenKind::kRParen, ")", line});
+        ++i;
+        continue;
+      }
+      if (c == ',') {
+        out->push_back({TokenKind::kComma, ",", line});
+        ++i;
+        continue;
+      }
+      if (c == '.') {
+        out->push_back({TokenKind::kDot, ".", line});
+        ++i;
+        continue;
+      }
+      if (c == '-' && i + 1 < text_.size() && text_[i + 1] == '>') {
+        out->push_back({TokenKind::kArrow, "->", line});
+        i += 2;
+        continue;
+      }
+      if (c == ':' && i + 1 < text_.size() && text_[i + 1] == '-') {
+        out->push_back({TokenKind::kTurnstile, ":-", line});
+        i += 2;
+        continue;
+      }
+      if (std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+          c == '@') {
+        size_t start = i;
+        while (i < text_.size() &&
+               (std::isalnum(static_cast<unsigned char>(text_[i])) ||
+                text_[i] == '_' || text_[i] == '@')) {
+          ++i;
+        }
+        out->push_back({TokenKind::kIdentifier,
+                        std::string(text_.substr(start, i - start)), line});
+        continue;
+      }
+      *error = std::string("unexpected character '") + c + "'";
+      *error_line = line;
+      return false;
+    }
+    out->push_back({TokenKind::kEnd, "", line});
+    return true;
+  }
+
+ private:
+  std::string_view text_;
+};
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  bool Run(Program* program, std::string* error, int* error_line) {
+    while (Peek().kind != TokenKind::kEnd) {
+      if (!Statement(program)) {
+        *error = error_;
+        *error_line = error_token_line_;
+        return false;
+      }
+    }
+    return true;
+  }
+
+ private:
+  const Token& Peek(int ahead = 0) const {
+    size_t index = pos_ + ahead;
+    if (index >= tokens_.size()) index = tokens_.size() - 1;
+    return tokens_[index];
+  }
+
+  const Token& Advance() { return tokens_[pos_++]; }
+
+  bool Expect(TokenKind kind, const char* what) {
+    if (Peek().kind != kind) return Fail(std::string("expected ") + what);
+    Advance();
+    return true;
+  }
+
+  bool Fail(const std::string& message) {
+    error_ = message + " (got '" + Peek().text + "')";
+    error_token_line_ = Peek().line;
+    return false;
+  }
+
+  static bool IsVariableName(const std::string& name) {
+    return !name.empty() && std::isupper(static_cast<unsigned char>(name[0]));
+  }
+
+  /// atom := identifier '(' term (',' term)* ')' | identifier '(' ')'
+  bool ParseAtom(Atom* out) {
+    if (Peek().kind != TokenKind::kIdentifier) {
+      return Fail("expected predicate name");
+    }
+    std::string predicate = Advance().text;
+    if (!Expect(TokenKind::kLParen, "'('")) return false;
+    std::vector<Term> args;
+    if (Peek().kind != TokenKind::kRParen) {
+      for (;;) {
+        if (Peek().kind != TokenKind::kIdentifier) {
+          return Fail("expected term");
+        }
+        std::string name = Advance().text;
+        args.push_back(IsVariableName(name) ? Term::Variable(name)
+                                            : Term::Constant(name));
+        if (Peek().kind != TokenKind::kComma) break;
+        Advance();
+      }
+    }
+    if (!Expect(TokenKind::kRParen, "')'")) return false;
+    const PredicateId existing = predicates::Lookup(predicate);
+    if (existing != static_cast<PredicateId>(-1) &&
+        predicates::Arity(existing) != static_cast<int>(args.size())) {
+      return Fail("predicate '" + predicate + "' used with arity " +
+                  std::to_string(args.size()) + " but registered with " +
+                  std::to_string(predicates::Arity(existing)));
+    }
+    *out = Atom::Make(predicate, std::move(args));
+    return true;
+  }
+
+  bool ParseAtomList(std::vector<Atom>* out) {
+    for (;;) {
+      Atom atom;
+      if (!ParseAtom(&atom)) return false;
+      out->push_back(std::move(atom));
+      if (Peek().kind != TokenKind::kComma) break;
+      Advance();
+    }
+    return true;
+  }
+
+  /// statement := fact '.' | tgd '.' | query '.'
+  /// tgd := [atomlist] '->' atomlist
+  /// query := atom ':-' atomlist
+  bool Statement(Program* program) {
+    // Empty-body TGD: leading '->'.
+    if (Peek().kind == TokenKind::kArrow) {
+      Advance();
+      std::vector<Atom> head;
+      if (!ParseAtomList(&head)) return false;
+      if (!Expect(TokenKind::kDot, "'.'")) return false;
+      program->tgds.emplace_back(std::vector<Atom>{}, std::move(head));
+      return true;
+    }
+    std::vector<Atom> first;
+    Atom head_atom;
+    if (!ParseAtom(&head_atom)) return false;
+    // Query?
+    if (Peek().kind == TokenKind::kTurnstile) {
+      Advance();
+      std::vector<Atom> body;
+      if (!ParseAtomList(&body)) return false;
+      if (!Expect(TokenKind::kDot, "'.'")) return false;
+      std::vector<Term> answer_vars;
+      for (Term t : head_atom.args()) {
+        if (!t.IsVariable()) {
+          return Fail("query head arguments must be variables");
+        }
+        answer_vars.push_back(t);
+      }
+      CQ cq(std::move(answer_vars), std::move(body));
+      std::string why;
+      if (!cq.Validate(&why)) return Fail("invalid query: " + why);
+      std::string name(predicates::Name(head_atom.predicate()));
+      auto it = program->queries.find(name);
+      if (it == program->queries.end()) {
+        program->queries.emplace(name, UCQ({cq}));
+      } else {
+        if (it->second.arity() != cq.arity()) {
+          return Fail("query '" + name + "' redeclared with different arity");
+        }
+        it->second.AddDisjunct(cq);
+      }
+      return true;
+    }
+    first.push_back(std::move(head_atom));
+    while (Peek().kind == TokenKind::kComma) {
+      Advance();
+      Atom atom;
+      if (!ParseAtom(&atom)) return false;
+      first.push_back(std::move(atom));
+    }
+    // TGD?
+    if (Peek().kind == TokenKind::kArrow) {
+      Advance();
+      std::vector<Atom> head;
+      if (!ParseAtomList(&head)) return false;
+      if (!Expect(TokenKind::kDot, "'.'")) return false;
+      Tgd tgd(std::move(first), std::move(head));
+      std::string why;
+      if (!tgd.Validate(&why)) return Fail("invalid TGD: " + why);
+      program->tgds.push_back(std::move(tgd));
+      return true;
+    }
+    // Facts. Check groundness before consuming the dot so the error
+    // points at the offending statement's line.
+    for (const Atom& atom : first) {
+      if (!atom.IsGround()) {
+        return Fail("fact contains a variable: " + atom.ToString());
+      }
+    }
+    if (!Expect(TokenKind::kDot, "'.', '->' or ':-'")) return false;
+    for (const Atom& atom : first) program->database.Insert(atom);
+    return true;
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+  std::string error_;
+  int error_token_line_ = 0;
+};
+
+Program MustParse(std::string_view text) {
+  ParseResult result = ParseProgram(text);
+  if (!result.ok) {
+    std::fprintf(stderr, "gqe parse error (line %d): %s\n", result.error_line,
+                 result.error.c_str());
+    std::abort();
+  }
+  return std::move(result.program);
+}
+
+}  // namespace
+
+ParseResult ParseProgram(std::string_view text) {
+  ParseResult result;
+  std::vector<Token> tokens;
+  Lexer lexer(text);
+  if (!lexer.Tokenize(&tokens, &result.error, &result.error_line)) {
+    return result;
+  }
+  Parser parser(std::move(tokens));
+  result.ok = parser.Run(&result.program, &result.error, &result.error_line);
+  return result;
+}
+
+Instance ParseDatabase(std::string_view text) {
+  return MustParse(text).database;
+}
+
+TgdSet ParseTgds(std::string_view text) { return MustParse(text).tgds; }
+
+UCQ ParseUcq(std::string_view text) {
+  Program program = MustParse(text);
+  if (program.queries.size() != 1) {
+    std::fprintf(stderr, "gqe: expected exactly one query, found %zu\n",
+                 program.queries.size());
+    std::abort();
+  }
+  return program.queries.begin()->second;
+}
+
+CQ ParseCq(std::string_view text) {
+  UCQ ucq = ParseUcq(text);
+  if (ucq.num_disjuncts() != 1) {
+    std::fprintf(stderr, "gqe: expected a single CQ, found %zu disjuncts\n",
+                 ucq.num_disjuncts());
+    std::abort();
+  }
+  return ucq.disjuncts()[0];
+}
+
+}  // namespace gqe

@@ -1,0 +1,54 @@
+#ifndef GQE_PARSER_PARSER_H_
+#define GQE_PARSER_PARSER_H_
+
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "base/instance.h"
+#include "query/cq.h"
+#include "tgd/tgd.h"
+
+namespace gqe {
+
+/// A parsed program: facts, TGDs and named (U)CQs.
+///
+/// Surface syntax (Datalog±-style, one statement per '.'):
+///
+///   % comments run to end of line (also '#')
+///   edge(a, b).                          % fact: lowercase args are constants
+///   edge(X,Y), edge(Y,Z) -> edge(X,Z).   % TGD; head vars not in the body
+///   person(X) -> parent(X,Y).            %   are existentially quantified
+///   q(X) :- edge(X,Y), label(Y).         % CQ with answer variables
+///   q(X) :- loop(X).                     % same head name: UCQ disjunct
+///
+/// Identifiers starting with an uppercase letter are variables; everything
+/// else (including numbers) is a constant. Predicate arity is fixed by
+/// first use.
+struct Program {
+  Instance database;
+  TgdSet tgds;
+  std::map<std::string, UCQ> queries;
+};
+
+struct ParseResult {
+  bool ok = false;
+  Program program;
+  std::string error;
+  int error_line = 0;
+};
+
+/// Parses a program from text. On failure, `error`/`error_line` describe
+/// the first problem.
+ParseResult ParseProgram(std::string_view text);
+
+/// Parses a single statement kind from text (convenience for tests and
+/// examples); aborts on parse failure.
+Instance ParseDatabase(std::string_view text);
+TgdSet ParseTgds(std::string_view text);
+UCQ ParseUcq(std::string_view text);
+CQ ParseCq(std::string_view text);
+
+}  // namespace gqe
+
+#endif  // GQE_PARSER_PARSER_H_

@@ -1,0 +1,35 @@
+#ifndef GQE_QUERY_ACYCLIC_H_
+#define GQE_QUERY_ACYCLIC_H_
+
+#include <optional>
+#include <vector>
+
+#include "base/instance.h"
+#include "query/cq.h"
+
+namespace gqe {
+
+/// A join tree for an acyclic CQ: one node per atom, tree edges, with the
+/// connectedness property (shared variables of two atoms appear on the
+/// path between them).
+struct JoinTree {
+  std::vector<int> parent;  // per atom index; -1 for roots
+  std::vector<int> order;   // leaves-first elimination order of atoms
+};
+
+/// GYO reduction: returns a join tree iff the CQ's hypergraph is
+/// alpha-acyclic. Acyclic CQs are exactly the CQs of hypertree-width 1 —
+/// the classical tractable class predating bounded treewidth.
+std::optional<JoinTree> GyoJoinTree(const CQ& cq);
+
+bool IsAcyclicCq(const CQ& cq);
+
+/// Yannakakis' algorithm: decides c̄ ∈ q(D) for an acyclic CQ in time
+/// O(‖q‖ · ‖D‖ · log ‖D‖) via bottom-up semijoin reduction over the join
+/// tree. Falls back to std::nullopt if the query is not acyclic.
+std::optional<bool> HoldsAcyclicCq(const CQ& cq, const Instance& db,
+                                   const std::vector<Term>& answer);
+
+}  // namespace gqe
+
+#endif  // GQE_QUERY_ACYCLIC_H_

@@ -1,0 +1,66 @@
+#include "query/containment.h"
+
+#include <cassert>
+
+#include "query/homomorphism.h"
+
+namespace gqe {
+
+bool CqContained(const CQ& q1, const CQ& q2) {
+  assert(q1.arity() == q2.arity());
+  Instance canonical = q1.CanonicalInstance();
+  HomOptions options;
+  for (int i = 0; i < q2.arity(); ++i) {
+    Term target = q1.answer_vars()[i].IsVariable()
+                      ? CQ::FrozenConstant(q1.answer_vars()[i])
+                      : q1.answer_vars()[i];
+    options.fixed.Set(q2.answer_vars()[i], target);
+  }
+  HomomorphismSearch search(q2.atoms(), canonical, options);
+  return search.Exists();
+}
+
+bool CqEquivalent(const CQ& q1, const CQ& q2) {
+  return CqContained(q1, q2) && CqContained(q2, q1);
+}
+
+bool UcqContained(const UCQ& q1, const UCQ& q2) {
+  for (const CQ& p1 : q1.disjuncts()) {
+    bool contained = false;
+    for (const CQ& p2 : q2.disjuncts()) {
+      if (CqContained(p1, p2)) {
+        contained = true;
+        break;
+      }
+    }
+    if (!contained) return false;
+  }
+  return true;
+}
+
+bool UcqEquivalent(const UCQ& q1, const UCQ& q2) {
+  return UcqContained(q1, q2) && UcqContained(q2, q1);
+}
+
+UCQ MinimizeUcq(const UCQ& ucq) {
+  const auto& disjuncts = ucq.disjuncts();
+  std::vector<bool> keep(disjuncts.size(), true);
+  for (size_t i = 0; i < disjuncts.size(); ++i) {
+    if (!keep[i]) continue;
+    for (size_t j = 0; j < disjuncts.size(); ++j) {
+      if (i == j || !keep[j]) continue;
+      // Drop disjunct j if it is contained in disjunct i (j's answers are
+      // already produced by i).
+      if (CqContained(disjuncts[j], disjuncts[i])) {
+        keep[j] = false;
+      }
+    }
+  }
+  UCQ out;
+  for (size_t i = 0; i < disjuncts.size(); ++i) {
+    if (keep[i]) out.AddDisjunct(disjuncts[i]);
+  }
+  return out;
+}
+
+}  // namespace gqe

@@ -1,0 +1,27 @@
+#ifndef GQE_QUERY_CONTAINMENT_H_
+#define GQE_QUERY_CONTAINMENT_H_
+
+#include "query/cq.h"
+
+namespace gqe {
+
+/// Chandra–Merlin containment: q1 ⊆ q2 iff there is a homomorphism from
+/// q2 to the canonical database of q1 mapping answer variables
+/// positionally (q1 and q2 must have equal arity).
+bool CqContained(const CQ& q1, const CQ& q2);
+
+bool CqEquivalent(const CQ& q1, const CQ& q2);
+
+/// UCQ containment: every disjunct of q1 is contained in some disjunct of
+/// q2 (sound and complete for UCQs).
+bool UcqContained(const UCQ& q1, const UCQ& q2);
+
+bool UcqEquivalent(const UCQ& q1, const UCQ& q2);
+
+/// Removes disjuncts contained in other disjuncts (keeps the first of any
+/// equivalent pair), yielding an equivalent, irredundant UCQ.
+UCQ MinimizeUcq(const UCQ& ucq);
+
+}  // namespace gqe
+
+#endif  // GQE_QUERY_CONTAINMENT_H_

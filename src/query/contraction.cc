@@ -1,0 +1,140 @@
+#include "query/contraction.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace gqe {
+
+namespace {
+
+/// Recursively assigns each variable to an existing block or a fresh one.
+/// Blocks carry at most one answer variable.
+class ContractionEnumerator {
+ public:
+  ContractionEnumerator(
+      const CQ& cq,
+      const std::function<bool(const CQ&, const Substitution&)>& callback)
+      : cq_(cq),
+        callback_(callback),
+        vars_(cq.AllVariables()),
+        is_answer_(vars_.size(), false) {
+    for (size_t i = 0; i < vars_.size(); ++i) {
+      is_answer_[i] =
+          std::find(cq.answer_vars().begin(), cq.answer_vars().end(),
+                    vars_[i]) != cq.answer_vars().end();
+    }
+  }
+
+  size_t Run() {
+    count_ = 0;
+    stopped_ = false;
+    Recurse(0);
+    return count_;
+  }
+
+ private:
+  void Recurse(size_t index) {
+    if (stopped_) return;
+    if (index == vars_.size()) {
+      Emit();
+      return;
+    }
+    // Join an existing block.
+    for (size_t b = 0; b < blocks_.size() && !stopped_; ++b) {
+      if (is_answer_[index] && block_has_answer_[b]) continue;
+      blocks_[b].push_back(index);
+      const bool had_answer = block_has_answer_[b];
+      block_has_answer_[b] = block_has_answer_[b] || is_answer_[index];
+      Recurse(index + 1);
+      block_has_answer_[b] = had_answer;
+      blocks_[b].pop_back();
+    }
+    if (stopped_) return;
+    // Open a fresh block.
+    blocks_.push_back({index});
+    block_has_answer_.push_back(is_answer_[index]);
+    Recurse(index + 1);
+    blocks_.pop_back();
+    block_has_answer_.pop_back();
+  }
+
+  void Emit() {
+    Substitution identify;
+    for (size_t b = 0; b < blocks_.size(); ++b) {
+      // Representative: the answer variable if present, else the first.
+      size_t rep = blocks_[b][0];
+      for (size_t i : blocks_[b]) {
+        if (is_answer_[i]) {
+          rep = i;
+          break;
+        }
+      }
+      for (size_t i : blocks_[b]) {
+        if (i != rep) identify.Set(vars_[i], vars_[rep]);
+      }
+    }
+    std::vector<Atom> atoms;
+    std::unordered_set<Atom, AtomHash> seen;
+    for (const Atom& atom : cq_.atoms()) {
+      Atom mapped = identify.Apply(atom);
+      if (seen.insert(mapped).second) atoms.push_back(mapped);
+    }
+    CQ contraction(cq_.answer_vars(), std::move(atoms));
+    ++count_;
+    if (!callback_(contraction, identify)) stopped_ = true;
+  }
+
+  const CQ& cq_;
+  const std::function<bool(const CQ&, const Substitution&)>& callback_;
+  std::vector<Term> vars_;
+  std::vector<bool> is_answer_;
+  std::vector<std::vector<size_t>> blocks_;
+  std::vector<bool> block_has_answer_;
+  size_t count_ = 0;
+  bool stopped_ = false;
+};
+
+std::string CanonicalKey(const CQ& cq) {
+  std::vector<std::string> atom_strings;
+  for (const Atom& atom : cq.atoms()) atom_strings.push_back(atom.ToString());
+  std::sort(atom_strings.begin(), atom_strings.end());
+  std::string key;
+  for (const auto& s : atom_strings) key += s + ";";
+  return key;
+}
+
+}  // namespace
+
+size_t ForEachContraction(
+    const CQ& cq,
+    const std::function<bool(const CQ&, const Substitution&)>& callback) {
+  ContractionEnumerator enumerator(cq, callback);
+  return enumerator.Run();
+}
+
+std::vector<CQ> AllContractions(const CQ& cq) {
+  std::vector<CQ> out;
+  std::unordered_set<std::string> seen;
+  ForEachContraction(cq, [&](const CQ& contraction, const Substitution&) {
+    if (seen.insert(CanonicalKey(contraction)).second) {
+      out.push_back(contraction);
+    }
+    return true;
+  });
+  return out;
+}
+
+std::vector<CQ> ContractionsWithTreewidthAtMost(const CQ& cq, int k) {
+  std::vector<CQ> out;
+  std::unordered_set<std::string> seen;
+  ForEachContraction(cq, [&](const CQ& contraction, const Substitution&) {
+    if (contraction.TreewidthOfExistentialPart() <= k &&
+        seen.insert(CanonicalKey(contraction)).second) {
+      out.push_back(contraction);
+    }
+    return true;
+  });
+  return out;
+}
+
+}  // namespace gqe

@@ -1,0 +1,34 @@
+#ifndef GQE_QUERY_CONTRACTION_H_
+#define GQE_QUERY_CONTRACTION_H_
+
+#include <functional>
+#include <vector>
+
+#include "query/cq.h"
+#include "query/substitution.h"
+
+namespace gqe {
+
+/// Enumerates the contractions of a CQ (Section 5.2 / Appendix C): CQs
+/// obtained by identifying variables, where identifying an answer
+/// variable x with a non-answer variable yields x, and identifying two
+/// answer variables is not allowed. The identity contraction (q itself)
+/// is included. Invokes `callback(contraction, identification)` for each;
+/// stop early by returning false. Returns the number visited.
+///
+/// The number of contractions is the Bell-number-sized set of admissible
+/// variable partitions; keep queries small (≤ 10 variables).
+size_t ForEachContraction(
+    const CQ& cq,
+    const std::function<bool(const CQ&, const Substitution&)>& callback);
+
+/// Collects all contractions (syntactic duplicates removed).
+std::vector<CQ> AllContractions(const CQ& cq);
+
+/// Collects the contractions whose existential-part treewidth is at most
+/// k — the UCQ_k-approximation building block of Proposition 5.11.
+std::vector<CQ> ContractionsWithTreewidthAtMost(const CQ& cq, int k);
+
+}  // namespace gqe
+
+#endif  // GQE_QUERY_CONTRACTION_H_

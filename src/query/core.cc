@@ -1,0 +1,71 @@
+#include "query/core.h"
+
+#include <unordered_set>
+
+#include "query/containment.h"
+#include "query/homomorphism.h"
+
+namespace gqe {
+
+namespace {
+
+/// Searches for an endomorphism of q (a homomorphism from q's atoms to
+/// q's canonical database fixing the answer variables) whose image omits
+/// at least one existential variable. Returns the image CQ on success.
+bool TryShrink(const CQ& cq, CQ* out) {
+  std::unordered_map<Term, Term> frozen;
+  Instance canonical = cq.CanonicalInstance(&frozen);
+  HomOptions options;
+  for (Term v : cq.answer_vars()) {
+    options.fixed.Set(v, CQ::FrozenConstant(v));
+  }
+  const size_t num_terms = canonical.ActiveDomain().size();
+  bool shrunk = false;
+  HomomorphismSearch search(cq.atoms(), canonical, options);
+  search.ForEach([&](const Substitution& sub) {
+    std::unordered_set<Term> image;
+    for (const auto& [var, value] : sub.map()) image.insert(value);
+    // Ground terms of the query map to themselves.
+    for (Term t : GroundTermsOf(cq.atoms())) image.insert(t);
+    if (image.size() >= num_terms) return true;  // surjective; keep looking
+    // Build the retract: apply the endomorphism to every atom, then
+    // translate frozen constants back to variables.
+    Substitution unfreeze;
+    for (const auto& [var, constant] : frozen) unfreeze.Set(constant, var);
+    std::vector<Atom> new_atoms;
+    std::unordered_set<std::string> seen;
+    for (const Atom& atom : cq.atoms()) {
+      Atom mapped = unfreeze.Apply(sub.Apply(atom));
+      if (seen.insert(mapped.ToString()).second) new_atoms.push_back(mapped);
+    }
+    *out = CQ(cq.answer_vars(), std::move(new_atoms));
+    shrunk = true;
+    return false;
+  });
+  return shrunk;
+}
+
+}  // namespace
+
+CQ CqCore(const CQ& cq) {
+  CQ current = cq;
+  CQ next;
+  while (TryShrink(current, &next)) current = next;
+  return current;
+}
+
+bool IsCore(const CQ& cq) {
+  CQ scratch;
+  return !TryShrink(cq, &scratch);
+}
+
+UCQ UcqCore(const UCQ& ucq) {
+  UCQ minimized = MinimizeUcq(ucq);
+  UCQ out;
+  for (const CQ& disjunct : minimized.disjuncts()) {
+    out.AddDisjunct(CqCore(disjunct));
+  }
+  return out;
+}
+
+}  // namespace gqe

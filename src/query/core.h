@@ -1,0 +1,26 @@
+#ifndef GQE_QUERY_CORE_H_
+#define GQE_QUERY_CORE_H_
+
+#include "query/cq.h"
+
+namespace gqe {
+
+/// Computes the core of a CQ (Section 4): a ⊆-minimal subquery equivalent
+/// to q. Implemented by repeatedly finding proper retractions
+/// (endomorphisms of the canonical database fixing the answer variables
+/// whose image is a proper subset) and restricting to the image.
+/// Exponential in query size; intended for query-sized inputs.
+CQ CqCore(const CQ& cq);
+
+/// True if the CQ is its own core (every answer-preserving endomorphism
+/// is surjective).
+bool IsCore(const CQ& cq);
+
+/// The core of a UCQ: drops disjuncts contained in other disjuncts and
+/// replaces each survivor with its CQ core — the canonical equivalent
+/// form used when reasoning about classes of UCQs (Section 4).
+UCQ UcqCore(const UCQ& ucq);
+
+}  // namespace gqe
+
+#endif  // GQE_QUERY_CORE_H_

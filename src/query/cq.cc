@@ -1,0 +1,167 @@
+#include "query/cq.h"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+#include "graph/graph.h"
+#include "graph/treewidth.h"
+
+namespace gqe {
+
+CQ::CQ(std::vector<Term> answer_vars, std::vector<Atom> atoms)
+    : answer_vars_(std::move(answer_vars)), atoms_(std::move(atoms)) {}
+
+std::vector<Term> CQ::AllVariables() const {
+  std::vector<Term> vars = answer_vars_;
+  for (const Atom& atom : atoms_) atom.CollectVariables(&vars);
+  return vars;
+}
+
+std::vector<Term> CQ::ExistentialVariables() const {
+  std::vector<Term> all = AllVariables();
+  std::vector<Term> existential;
+  for (Term v : all) {
+    if (std::find(answer_vars_.begin(), answer_vars_.end(), v) ==
+        answer_vars_.end()) {
+      existential.push_back(v);
+    }
+  }
+  return existential;
+}
+
+size_t CQ::Size() const {
+  size_t total = 0;
+  for (const Atom& atom : atoms_) total += 1 + atom.args().size();
+  return total;
+}
+
+bool CQ::Validate(std::string* why) const {
+  auto fail = [why](const std::string& message) {
+    if (why != nullptr) *why = message;
+    return false;
+  };
+  if (atoms_.empty()) return fail("CQ has no atoms");
+  std::vector<Term> body_vars = VariablesOf(atoms_);
+  for (size_t i = 0; i < answer_vars_.size(); ++i) {
+    if (!answer_vars_[i].IsVariable()) return fail("answer term not a variable");
+    for (size_t j = i + 1; j < answer_vars_.size(); ++j) {
+      if (answer_vars_[i] == answer_vars_[j]) {
+        return fail("duplicate answer variable " + answer_vars_[i].ToString());
+      }
+    }
+    if (std::find(body_vars.begin(), body_vars.end(), answer_vars_[i]) ==
+        body_vars.end()) {
+      return fail("unsafe answer variable " + answer_vars_[i].ToString());
+    }
+  }
+  return true;
+}
+
+Term CQ::FrozenConstant(Term variable) {
+  return Term::Constant("@" + variable.ToString());
+}
+
+Instance CQ::CanonicalInstance(
+    std::unordered_map<Term, Term>* frozen) const {
+  Instance db;
+  std::unordered_map<Term, Term> map;
+  for (const Atom& atom : atoms_) {
+    std::vector<Term> args;
+    args.reserve(atom.args().size());
+    for (Term t : atom.args()) {
+      if (t.IsVariable()) {
+        auto it = map.find(t);
+        if (it == map.end()) {
+          it = map.emplace(t, FrozenConstant(t)).first;
+        }
+        args.push_back(it->second);
+      } else {
+        args.push_back(t);
+      }
+    }
+    db.Insert(Atom(atom.predicate(), std::move(args)));
+  }
+  if (frozen != nullptr) *frozen = std::move(map);
+  return db;
+}
+
+int CQ::TreewidthOfExistentialPart() const {
+  std::vector<Term> vertex_terms;
+  Graph gaifman = GaifmanGraphOfAtoms(atoms_, &vertex_terms);
+  std::vector<Term> existential = ExistentialVariables();
+  std::vector<int> keep;
+  for (size_t i = 0; i < vertex_terms.size(); ++i) {
+    if (std::find(existential.begin(), existential.end(), vertex_terms[i]) !=
+        existential.end()) {
+      keep.push_back(static_cast<int>(i));
+    }
+  }
+  Graph induced = gaifman.InducedSubgraph(keep);
+  return PaperTreewidth(induced);
+}
+
+std::string CQ::ToString() const {
+  std::ostringstream out;
+  out << "q(";
+  for (size_t i = 0; i < answer_vars_.size(); ++i) {
+    if (i > 0) out << ",";
+    out << answer_vars_[i];
+  }
+  out << ") :- " << AtomsToString(atoms_);
+  return out.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const CQ& cq) {
+  return os << cq.ToString();
+}
+
+UCQ::UCQ(std::vector<CQ> disjuncts) : disjuncts_(std::move(disjuncts)) {}
+
+int UCQ::arity() const {
+  return disjuncts_.empty() ? 0 : disjuncts_.front().arity();
+}
+
+void UCQ::AddDisjunct(CQ cq) { disjuncts_.push_back(std::move(cq)); }
+
+bool UCQ::Validate(std::string* why) const {
+  auto fail = [why](const std::string& message) {
+    if (why != nullptr) *why = message;
+    return false;
+  };
+  if (disjuncts_.empty()) return fail("UCQ has no disjuncts");
+  for (const CQ& cq : disjuncts_) {
+    if (!cq.Validate(why)) return false;
+    if (cq.arity() != arity()) return fail("disjuncts with differing arity");
+  }
+  return true;
+}
+
+int UCQ::TreewidthOfExistentialPart() const {
+  int width = 1;
+  for (const CQ& cq : disjuncts_) {
+    width = std::max(width, cq.TreewidthOfExistentialPart());
+  }
+  return width;
+}
+
+size_t UCQ::Size() const {
+  size_t total = 0;
+  for (const CQ& cq : disjuncts_) total += cq.Size();
+  return total;
+}
+
+std::string UCQ::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < disjuncts_.size(); ++i) {
+    if (i > 0) out += "  |  ";
+    out += disjuncts_[i].ToString();
+  }
+  return out;
+}
+
+std::ostream& operator<<(std::ostream& os, const UCQ& ucq) {
+  return os << ucq.ToString();
+}
+
+}  // namespace gqe

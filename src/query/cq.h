@@ -1,0 +1,100 @@
+#ifndef GQE_QUERY_CQ_H_
+#define GQE_QUERY_CQ_H_
+
+#include <iosfwd>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "base/atom.h"
+#include "base/instance.h"
+#include "base/term.h"
+
+namespace gqe {
+
+/// A conjunctive query q(x̄) = ∃ȳ (R1(x̄1) ∧ ... ∧ Rm(x̄m)) (paper,
+/// Section 2). Answer variables x̄ are explicit; every other variable is
+/// implicitly existentially quantified. Atoms may mention constants.
+class CQ {
+ public:
+  CQ() = default;
+  CQ(std::vector<Term> answer_vars, std::vector<Atom> atoms);
+
+  const std::vector<Term>& answer_vars() const { return answer_vars_; }
+  const std::vector<Atom>& atoms() const { return atoms_; }
+  int arity() const { return static_cast<int>(answer_vars_.size()); }
+  bool IsBoolean() const { return answer_vars_.empty(); }
+
+  /// All distinct variables: answer variables first, then existential
+  /// variables in order of first occurrence.
+  std::vector<Term> AllVariables() const;
+
+  /// The existentially quantified variables ȳ.
+  std::vector<Term> ExistentialVariables() const;
+
+  /// ‖q‖-ish size measure: total number of term occurrences.
+  size_t Size() const;
+
+  /// Checks well-formedness: at least one atom, answer variables are
+  /// distinct variables each occurring in some atom.
+  bool Validate(std::string* why = nullptr) const;
+
+  /// The canonical database D[q] (paper, Section 2): variables frozen to
+  /// constants. `frozen` (optional) receives the variable-to-constant
+  /// mapping; the frozen constant of variable `v` is named `@<v>`.
+  Instance CanonicalInstance(
+      std::unordered_map<Term, Term>* frozen = nullptr) const;
+
+  /// The frozen constant used by CanonicalInstance for variable `v`.
+  static Term FrozenConstant(Term variable);
+
+  /// The paper's query treewidth (Section 2): the treewidth — under the
+  /// paper's convention that edgeless graphs have treewidth one — of the
+  /// subgraph of the Gaifman graph of q induced by the existential
+  /// variables.
+  int TreewidthOfExistentialPart() const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<Term> answer_vars_;
+  std::vector<Atom> atoms_;
+};
+
+std::ostream& operator<<(std::ostream& os, const CQ& cq);
+
+/// A union of conjunctive queries q1(x̄) ∨ ... ∨ qn(x̄): all disjuncts
+/// share the answer arity (paper, Section 2). Answer variable *names* may
+/// differ across disjuncts; positions align them.
+class UCQ {
+ public:
+  UCQ() = default;
+  explicit UCQ(std::vector<CQ> disjuncts);
+
+  const std::vector<CQ>& disjuncts() const { return disjuncts_; }
+  std::vector<CQ>& mutable_disjuncts() { return disjuncts_; }
+  size_t num_disjuncts() const { return disjuncts_.size(); }
+  int arity() const;
+  bool IsBoolean() const { return arity() == 0; }
+
+  void AddDisjunct(CQ cq);
+
+  bool Validate(std::string* why = nullptr) const;
+
+  /// Max over disjuncts of the paper's query treewidth; a UCQ is in UCQ_k
+  /// iff this is <= k.
+  int TreewidthOfExistentialPart() const;
+
+  size_t Size() const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<CQ> disjuncts_;
+};
+
+std::ostream& operator<<(std::ostream& os, const UCQ& ucq);
+
+}  // namespace gqe
+
+#endif  // GQE_QUERY_CQ_H_

@@ -1,0 +1,97 @@
+#include "query/evaluation.h"
+
+#include <algorithm>
+#include <set>
+
+#include "query/homomorphism.h"
+
+namespace gqe {
+
+namespace {
+
+void CollectAnswers(const CQ& cq, const Instance& db, size_t limit,
+                    std::set<std::vector<Term>>* answers) {
+  HomomorphismSearch search(cq.atoms(), db);
+  search.ForEach([&](const Substitution& sub) {
+    answers->insert(sub.Apply(cq.answer_vars()));
+    return limit == 0 || answers->size() < limit;
+  });
+}
+
+}  // namespace
+
+std::vector<std::vector<Term>> EvaluateCQ(const CQ& cq, const Instance& db,
+                                          size_t limit) {
+  std::set<std::vector<Term>> answers;
+  CollectAnswers(cq, db, limit, &answers);
+  return {answers.begin(), answers.end()};
+}
+
+std::vector<std::vector<Term>> EvaluateUCQ(const UCQ& ucq, const Instance& db,
+                                           size_t limit) {
+  std::set<std::vector<Term>> answers;
+  for (const CQ& cq : ucq.disjuncts()) {
+    CollectAnswers(cq, db, limit, &answers);
+    if (limit > 0 && answers.size() >= limit) break;
+  }
+  return {answers.begin(), answers.end()};
+}
+
+bool HoldsCQ(const CQ& cq, const Instance& db,
+             const std::vector<Term>& answer) {
+  if (answer.size() != cq.answer_vars().size()) return false;
+  HomOptions options;
+  for (size_t i = 0; i < cq.answer_vars().size(); ++i) {
+    options.fixed.Set(cq.answer_vars()[i], answer[i]);
+  }
+  HomomorphismSearch search(cq.atoms(), db, options);
+  return search.Exists();
+}
+
+bool HoldsUCQ(const UCQ& ucq, const Instance& db,
+              const std::vector<Term>& answer) {
+  for (const CQ& cq : ucq.disjuncts()) {
+    if (HoldsCQ(cq, db, answer)) return true;
+  }
+  return false;
+}
+
+bool HoldsBooleanCQ(const CQ& cq, const Instance& db) {
+  return HoldsCQ(cq, db, {});
+}
+
+bool HoldsBooleanUCQ(const UCQ& ucq, const Instance& db) {
+  return HoldsUCQ(ucq, db, {});
+}
+
+bool HoldsInjectivelyOnly(const CQ& cq, const Instance& db,
+                          const std::vector<Term>& answer) {
+  HomOptions options;
+  for (size_t i = 0; i < cq.answer_vars().size(); ++i) {
+    options.fixed.Set(cq.answer_vars()[i], answer[i]);
+  }
+  HomomorphismSearch search(cq.atoms(), db, options);
+  bool any = false;
+  bool all_injective = true;
+  search.ForEach([&](const Substitution& sub) {
+    any = true;
+    if (!sub.IsInjective()) {
+      all_injective = false;
+      return false;
+    }
+    // Injectivity with respect to pattern constants: a variable mapping
+    // onto a constant of the pattern breaks injectivity of h on D[q].
+    for (Term c : GroundTermsOf(cq.atoms())) {
+      for (const auto& [var, image] : sub.map()) {
+        if (var != c && image == c) {
+          all_injective = false;
+          return false;
+        }
+      }
+    }
+    return true;
+  });
+  return any && all_injective;
+}
+
+}  // namespace gqe

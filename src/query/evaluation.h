@@ -1,0 +1,40 @@
+#ifndef GQE_QUERY_EVALUATION_H_
+#define GQE_QUERY_EVALUATION_H_
+
+#include <vector>
+
+#include "base/instance.h"
+#include "query/cq.h"
+#include "query/substitution.h"
+
+namespace gqe {
+
+/// Evaluates q over an instance: the set of answers q(I) (paper,
+/// Section 2). Tuples are returned sorted and deduplicated. `limit` > 0
+/// stops after that many distinct answers.
+std::vector<std::vector<Term>> EvaluateCQ(const CQ& cq, const Instance& db,
+                                          size_t limit = 0);
+
+std::vector<std::vector<Term>> EvaluateUCQ(const UCQ& ucq, const Instance& db,
+                                           size_t limit = 0);
+
+/// Decides c̄ ∈ q(I) for a candidate answer (the paper's evaluation
+/// problem). A candidate whose arity differs from the query's is never
+/// an answer (returns false).
+bool HoldsCQ(const CQ& cq, const Instance& db,
+             const std::vector<Term>& answer);
+bool HoldsUCQ(const UCQ& ucq, const Instance& db,
+              const std::vector<Term>& answer);
+
+/// Boolean query satisfaction I |= q.
+bool HoldsBooleanCQ(const CQ& cq, const Instance& db);
+bool HoldsBooleanUCQ(const UCQ& ucq, const Instance& db);
+
+/// I |=io q(ā) (Appendix D): q holds with answer ā and *every*
+/// homomorphism witnessing it is injective.
+bool HoldsInjectivelyOnly(const CQ& cq, const Instance& db,
+                          const std::vector<Term>& answer);
+
+}  // namespace gqe
+
+#endif  // GQE_QUERY_EVALUATION_H_

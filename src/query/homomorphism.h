@@ -1,0 +1,71 @@
+#ifndef GQE_QUERY_HOMOMORPHISM_H_
+#define GQE_QUERY_HOMOMORPHISM_H_
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "base/atom.h"
+#include "base/instance.h"
+#include "query/substitution.h"
+
+namespace gqe {
+
+/// Options for homomorphism search.
+struct HomOptions {
+  /// Require the mapping to be injective over variables *and* with respect
+  /// to the constants/nulls occurring in the pattern (the paper's |=io
+  /// checks need full injectivity of h on dom(D[q])).
+  bool injective = false;
+
+  /// Pre-assigned variables (e.g. candidate answers). Assignments must map
+  /// variables to ground terms.
+  Substitution fixed;
+};
+
+/// Backtracking homomorphism search: maps the variables of `pattern` into
+/// the active domain of `target` such that every instantiated atom is a
+/// fact of `target`. Constants and nulls occurring in `pattern` must map
+/// to themselves (freeze non-fixed elements as variables to relax this;
+/// see PatternFromInstance).
+class HomomorphismSearch {
+ public:
+  HomomorphismSearch(const std::vector<Atom>& pattern, const Instance& target,
+                     HomOptions options = {});
+
+  /// Finds one homomorphism, if any.
+  std::optional<Substitution> FindOne();
+
+  /// Invokes `callback` for every homomorphism until it returns false.
+  /// Returns the number of homomorphisms visited.
+  size_t ForEach(const std::function<bool(const Substitution&)>& callback);
+
+  /// Collects up to `limit` homomorphisms (0 = all).
+  std::vector<Substitution> FindAll(size_t limit = 0);
+
+  bool Exists();
+
+ private:
+  const std::vector<Atom>& pattern_;
+  const Instance& target_;
+  HomOptions options_;
+};
+
+/// Convenience: is there a homomorphism from `from` to `to` (instances),
+/// treating every domain element of `from` except those in `fixed` as a
+/// variable, and requiring elements of `fixed` to map to themselves?
+/// Returns the witnessing element mapping.
+std::optional<Substitution> InstanceHomomorphism(
+    const Instance& from, const Instance& to,
+    const std::vector<Term>& fixed = {}, bool injective = false);
+
+/// Rewrites the facts of `from` into a pattern where every domain element
+/// not in `fixed` becomes a variable. `element_to_var` receives the
+/// element-to-variable correspondence.
+std::vector<Atom> PatternFromInstance(
+    const Instance& from, const std::vector<Term>& fixed,
+    std::unordered_map<Term, Term>* element_to_var);
+
+}  // namespace gqe
+
+#endif  // GQE_QUERY_HOMOMORPHISM_H_

@@ -1,0 +1,48 @@
+#include "query/substitution.h"
+
+#include <unordered_set>
+
+namespace gqe {
+
+Atom Substitution::Apply(const Atom& atom) const {
+  std::vector<Term> args;
+  args.reserve(atom.args().size());
+  for (Term t : atom.args()) args.push_back(Apply(t));
+  return Atom(atom.predicate(), std::move(args));
+}
+
+std::vector<Atom> Substitution::Apply(const std::vector<Atom>& atoms) const {
+  std::vector<Atom> out;
+  out.reserve(atoms.size());
+  for (const Atom& atom : atoms) out.push_back(Apply(atom));
+  return out;
+}
+
+std::vector<Term> Substitution::Apply(const std::vector<Term>& terms) const {
+  std::vector<Term> out;
+  out.reserve(terms.size());
+  for (Term t : terms) out.push_back(Apply(t));
+  return out;
+}
+
+bool Substitution::IsInjective() const {
+  std::unordered_set<Term> images;
+  for (const auto& [from, to] : map_) {
+    if (!images.insert(to).second) return false;
+  }
+  return true;
+}
+
+std::string Substitution::ToString() const {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [from, to] : map_) {
+    if (!first) out += ", ";
+    first = false;
+    out += from.ToString() + "->" + to.ToString();
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace gqe

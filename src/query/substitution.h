@@ -1,0 +1,47 @@
+#ifndef GQE_QUERY_SUBSTITUTION_H_
+#define GQE_QUERY_SUBSTITUTION_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "base/atom.h"
+#include "base/term.h"
+
+namespace gqe {
+
+/// A mapping from terms (usually variables) to terms. Applying a
+/// substitution leaves unmapped terms unchanged, so it also serves as a
+/// (partial) homomorphism witness.
+class Substitution {
+ public:
+  Substitution() = default;
+
+  void Set(Term from, Term to) { map_[from] = to; }
+  bool Has(Term t) const { return map_.count(t) > 0; }
+
+  /// Returns the image of `t`, or `t` itself if unmapped.
+  Term Apply(Term t) const {
+    auto it = map_.find(t);
+    return it == map_.end() ? t : it->second;
+  }
+
+  Atom Apply(const Atom& atom) const;
+  std::vector<Atom> Apply(const std::vector<Atom>& atoms) const;
+  std::vector<Term> Apply(const std::vector<Term>& terms) const;
+
+  size_t size() const { return map_.size(); }
+  const std::unordered_map<Term, Term>& map() const { return map_; }
+
+  /// True if no two mapped terms share an image.
+  bool IsInjective() const;
+
+  std::string ToString() const;
+
+ private:
+  std::unordered_map<Term, Term> map_;
+};
+
+}  // namespace gqe
+
+#endif  // GQE_QUERY_SUBSTITUTION_H_

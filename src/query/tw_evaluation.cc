@@ -1,0 +1,231 @@
+#include "query/tw_evaluation.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "graph/graph.h"
+#include "graph/tree_decomposition.h"
+#include "graph/treewidth.h"
+#include "query/homomorphism.h"
+#include "query/substitution.h"
+
+namespace gqe {
+
+namespace {
+
+struct TupleHash {
+  size_t operator()(const std::vector<Term>& tuple) const {
+    size_t h = 0x9e3779b97f4a7c15ull;
+    for (Term t : tuple) {
+      h ^= TermHash{}(t) + 0x9e3779b9u + (h << 6) + (h >> 2);
+    }
+    return h;
+  }
+};
+
+using TupleSet = std::unordered_set<std::vector<Term>, TupleHash>;
+
+/// Enumerates all assignments of `bag_vars` such that every atom in
+/// `bag_atoms` holds in `db`; variables of the bag not constrained by a
+/// bag atom range over the active domain (the paper's |D|^{k+1} step).
+std::vector<std::vector<Term>> BagSolutions(
+    const std::vector<Term>& bag_vars, const std::vector<Atom>& bag_atoms,
+    const Instance& db) {
+  std::vector<std::vector<Term>> solutions;
+  // Variables covered by bag atoms.
+  std::vector<Term> covered = VariablesOf(bag_atoms);
+  std::vector<Term> free_vars;
+  for (Term v : bag_vars) {
+    if (std::find(covered.begin(), covered.end(), v) == covered.end()) {
+      free_vars.push_back(v);
+    }
+  }
+  const std::vector<Term>& domain = db.ActiveDomain();
+
+  auto extend_free = [&](const Substitution& base) {
+    // Cross-product the free bag variables with the active domain.
+    std::vector<Term> tuple;
+    tuple.reserve(bag_vars.size());
+    std::vector<size_t> counters(free_vars.size(), 0);
+    for (;;) {
+      tuple.clear();
+      size_t free_index = 0;
+      for (Term v : bag_vars) {
+        if (std::find(free_vars.begin(), free_vars.end(), v) !=
+            free_vars.end()) {
+          tuple.push_back(domain[counters[free_index++]]);
+        } else {
+          tuple.push_back(base.Apply(v));
+        }
+      }
+      solutions.push_back(tuple);
+      // Advance the odometer.
+      size_t i = 0;
+      while (i < counters.size()) {
+        if (++counters[i] < domain.size()) break;
+        counters[i] = 0;
+        ++i;
+      }
+      if (i == counters.size()) break;
+    }
+  };
+
+  if (!free_vars.empty() && domain.empty()) return solutions;
+  if (bag_atoms.empty()) {
+    extend_free(Substitution());
+    return solutions;
+  }
+  HomomorphismSearch search(bag_atoms, db);
+  search.ForEach([&](const Substitution& sub) {
+    extend_free(sub);
+    return true;
+  });
+  // Distinct homomorphisms can agree on the bag variables; deduplicate.
+  std::sort(solutions.begin(), solutions.end());
+  solutions.erase(std::unique(solutions.begin(), solutions.end()),
+                  solutions.end());
+  return solutions;
+}
+
+}  // namespace
+
+bool HoldsCqTreeDp(const CQ& cq, const Instance& db,
+                   const std::vector<Term>& answer) {
+  Substitution candidate;
+  for (size_t i = 0; i < cq.answer_vars().size(); ++i) {
+    candidate.Set(cq.answer_vars()[i], answer[i]);
+  }
+  std::vector<Atom> residual;
+  for (const Atom& atom : cq.atoms()) {
+    Atom grounded = candidate.Apply(atom);
+    if (grounded.IsGround()) {
+      if (!db.Contains(grounded)) return false;
+    } else {
+      residual.push_back(grounded);
+    }
+  }
+  if (residual.empty()) return true;
+
+  // Gaifman graph over the residual variables.
+  std::vector<Term> vars = VariablesOf(residual);
+  std::unordered_map<Term, int> var_index;
+  for (size_t i = 0; i < vars.size(); ++i) {
+    var_index[vars[i]] = static_cast<int>(i);
+  }
+  Graph gaifman(static_cast<int>(vars.size()));
+  for (const Atom& atom : residual) {
+    const auto& args = atom.args();
+    for (size_t i = 0; i < args.size(); ++i) {
+      if (!args[i].IsVariable()) continue;
+      for (size_t j = i + 1; j < args.size(); ++j) {
+        if (!args[j].IsVariable() || args[i] == args[j]) continue;
+        gaifman.AddEdge(var_index[args[i]], var_index[args[j]]);
+      }
+    }
+  }
+  TreeDecomposition td = ComputeTreewidth(gaifman).decomposition;
+
+  // Assign every residual atom to a bag containing all its variables.
+  std::vector<std::vector<Atom>> bag_atoms(td.num_bags());
+  for (const Atom& atom : residual) {
+    std::vector<int> needed;
+    for (Term t : atom.args()) {
+      if (t.IsVariable()) needed.push_back(var_index[t]);
+    }
+    std::sort(needed.begin(), needed.end());
+    needed.erase(std::unique(needed.begin(), needed.end()), needed.end());
+    int home = -1;
+    for (int b = 0; b < td.num_bags(); ++b) {
+      const auto& bag = td.bag(b);
+      if (std::includes(bag.begin(), bag.end(), needed.begin(),
+                        needed.end())) {
+        home = b;
+        break;
+      }
+    }
+    if (home < 0) return false;  // cannot happen for a valid decomposition
+    bag_atoms[home].push_back(atom);
+  }
+
+  // Root the decomposition tree at bag 0 and order children-first.
+  std::vector<std::vector<int>> adjacency(td.num_bags());
+  for (auto [a, b] : td.tree_edges()) {
+    adjacency[a].push_back(b);
+    adjacency[b].push_back(a);
+  }
+  std::vector<int> order;       // BFS order from the root
+  std::vector<int> parent(td.num_bags(), -1);
+  std::vector<char> visited(td.num_bags(), 0);
+  order.push_back(0);
+  visited[0] = 1;
+  for (size_t head = 0; head < order.size(); ++head) {
+    int b = order[head];
+    for (int nb : adjacency[b]) {
+      if (!visited[nb]) {
+        visited[nb] = 1;
+        parent[nb] = b;
+        order.push_back(nb);
+      }
+    }
+  }
+
+  // Bottom-up semijoins.
+  std::vector<std::vector<std::vector<Term>>> solutions(td.num_bags());
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const int b = *it;
+    std::vector<Term> bag_vars;
+    for (int v : td.bag(b)) bag_vars.push_back(vars[v]);
+    solutions[b] = BagSolutions(bag_vars, bag_atoms[b], db);
+    for (int child : adjacency[b]) {
+      if (parent[child] != b) continue;
+      // Shared variables between this bag and the child.
+      std::vector<Term> child_vars;
+      for (int v : td.bag(child)) child_vars.push_back(vars[v]);
+      std::vector<size_t> parent_pos, child_pos;
+      for (size_t i = 0; i < bag_vars.size(); ++i) {
+        for (size_t j = 0; j < child_vars.size(); ++j) {
+          if (bag_vars[i] == child_vars[j]) {
+            parent_pos.push_back(i);
+            child_pos.push_back(j);
+          }
+        }
+      }
+      TupleSet child_projections;
+      for (const auto& tuple : solutions[child]) {
+        std::vector<Term> projection;
+        for (size_t j : child_pos) projection.push_back(tuple[j]);
+        child_projections.insert(projection);
+      }
+      std::vector<std::vector<Term>> filtered;
+      for (const auto& tuple : solutions[b]) {
+        std::vector<Term> projection;
+        for (size_t i : parent_pos) projection.push_back(tuple[i]);
+        if (child_projections.count(projection) > 0) {
+          filtered.push_back(tuple);
+        }
+      }
+      solutions[b] = std::move(filtered);
+      solutions[child].clear();  // release memory
+    }
+  }
+  return !solutions[0].empty();
+}
+
+bool HoldsUcqTreeDp(const UCQ& ucq, const Instance& db,
+                    const std::vector<Term>& answer) {
+  for (const CQ& cq : ucq.disjuncts()) {
+    if (HoldsCqTreeDp(cq, db, answer)) return true;
+  }
+  return false;
+}
+
+bool HoldsBooleanCqTreeDp(const CQ& cq, const Instance& db) {
+  return HoldsCqTreeDp(cq, db, {});
+}
+
+bool HoldsBooleanUcqTreeDp(const UCQ& ucq, const Instance& db) {
+  return HoldsUcqTreeDp(ucq, db, {});
+}
+
+}  // namespace gqe

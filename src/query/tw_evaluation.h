@@ -1,0 +1,29 @@
+#ifndef GQE_QUERY_TW_EVALUATION_H_
+#define GQE_QUERY_TW_EVALUATION_H_
+
+#include <vector>
+
+#include "base/instance.h"
+#include "query/cq.h"
+
+namespace gqe {
+
+/// Decides c̄ ∈ q(D) by the bounded-treewidth dynamic program of
+/// Proposition 2.1 [Chekuri–Rajaraman]: substitute the candidate answer,
+/// compute a tree decomposition of the residual query's Gaifman graph,
+/// enumerate the satisfying bag assignments (O(‖D‖^{w+1}) per bag) and
+/// semijoin them up the tree. Sound and complete for every CQ; runs in
+/// time O(‖D‖^{w+1}·‖q‖) where w is the width of the decomposition found.
+bool HoldsCqTreeDp(const CQ& cq, const Instance& db,
+                   const std::vector<Term>& answer);
+
+bool HoldsUcqTreeDp(const UCQ& ucq, const Instance& db,
+                    const std::vector<Term>& answer);
+
+/// Boolean variants.
+bool HoldsBooleanCqTreeDp(const CQ& cq, const Instance& db);
+bool HoldsBooleanUcqTreeDp(const UCQ& ucq, const Instance& db);
+
+}  // namespace gqe
+
+#endif  // GQE_QUERY_TW_EVALUATION_H_

@@ -1,0 +1,237 @@
+#include "tgd/tgd.h"
+
+#include <algorithm>
+#include <map>
+#include <ostream>
+#include <set>
+
+namespace gqe {
+
+Tgd::Tgd(std::vector<Atom> body, std::vector<Atom> head)
+    : body_(std::move(body)), head_(std::move(head)) {}
+
+std::vector<Term> Tgd::Frontier() const {
+  std::vector<Term> body_vars = BodyVariables();
+  std::vector<Term> frontier;
+  std::vector<Term> head_vars = HeadVariables();
+  for (Term v : body_vars) {
+    if (std::find(head_vars.begin(), head_vars.end(), v) != head_vars.end()) {
+      frontier.push_back(v);
+    }
+  }
+  return frontier;
+}
+
+std::vector<Term> Tgd::ExistentialVariables() const {
+  std::vector<Term> body_vars = BodyVariables();
+  std::vector<Term> existential;
+  for (Term v : HeadVariables()) {
+    if (std::find(body_vars.begin(), body_vars.end(), v) == body_vars.end()) {
+      existential.push_back(v);
+    }
+  }
+  return existential;
+}
+
+bool Tgd::IsGuarded() const { return body_.empty() || GuardIndex() >= 0; }
+
+bool Tgd::IsFrontierGuarded() const {
+  return body_.empty() || FrontierGuardIndex() >= 0;
+}
+
+int Tgd::GuardIndex() const {
+  std::vector<Term> body_vars = BodyVariables();
+  for (size_t i = 0; i < body_.size(); ++i) {
+    if (body_[i].ContainsAll(body_vars)) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+int Tgd::FrontierGuardIndex() const {
+  std::vector<Term> frontier = Frontier();
+  for (size_t i = 0; i < body_.size(); ++i) {
+    if (body_[i].ContainsAll(frontier)) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+bool Tgd::Validate(std::string* why) const {
+  auto fail = [why](const std::string& message) {
+    if (why != nullptr) *why = message;
+    return false;
+  };
+  if (head_.empty()) return fail("TGD with empty head");
+  for (const Atom& atom : body_) {
+    for (Term t : atom.args()) {
+      if (!t.IsVariable()) return fail("TGD body mentions a constant");
+    }
+  }
+  for (const Atom& atom : head_) {
+    for (Term t : atom.args()) {
+      if (!t.IsVariable()) return fail("TGD head mentions a constant");
+    }
+  }
+  return true;
+}
+
+std::string Tgd::ToString() const {
+  std::string out = body_.empty() ? "true" : AtomsToString(body_);
+  out += " -> ";
+  std::vector<Term> existential = ExistentialVariables();
+  if (!existential.empty()) {
+    out += "exists ";
+    for (size_t i = 0; i < existential.size(); ++i) {
+      if (i > 0) out += ",";
+      out += existential[i].ToString();
+    }
+    out += ". ";
+  }
+  out += AtomsToString(head_);
+  return out;
+}
+
+std::ostream& operator<<(std::ostream& os, const Tgd& tgd) {
+  return os << tgd.ToString();
+}
+
+bool IsGuardedSet(const TgdSet& tgds) {
+  return std::all_of(tgds.begin(), tgds.end(),
+                     [](const Tgd& t) { return t.IsGuarded(); });
+}
+
+bool IsFrontierGuardedSet(const TgdSet& tgds) {
+  return std::all_of(tgds.begin(), tgds.end(),
+                     [](const Tgd& t) { return t.IsFrontierGuarded(); });
+}
+
+bool IsLinearSet(const TgdSet& tgds) {
+  return std::all_of(tgds.begin(), tgds.end(),
+                     [](const Tgd& t) { return t.IsLinear(); });
+}
+
+bool IsFullSet(const TgdSet& tgds) {
+  return std::all_of(tgds.begin(), tgds.end(),
+                     [](const Tgd& t) { return t.IsFull(); });
+}
+
+int MaxHeadAtoms(const TgdSet& tgds) {
+  int max_atoms = 0;
+  for (const Tgd& tgd : tgds) {
+    max_atoms = std::max(max_atoms, static_cast<int>(tgd.head().size()));
+  }
+  return max_atoms;
+}
+
+int MaxRuleVariables(const TgdSet& tgds) {
+  int max_vars = 0;
+  for (const Tgd& tgd : tgds) {
+    max_vars = std::max(max_vars,
+                        static_cast<int>(tgd.BodyVariables().size()));
+    max_vars = std::max(max_vars,
+                        static_cast<int>(tgd.HeadVariables().size()));
+  }
+  return max_vars;
+}
+
+Schema SchemaOf(const TgdSet& tgds) {
+  Schema schema;
+  for (const Tgd& tgd : tgds) {
+    for (const Atom& atom : tgd.body()) schema.Add(atom.predicate());
+    for (const Atom& atom : tgd.head()) schema.Add(atom.predicate());
+  }
+  return schema;
+}
+
+bool IsWeaklyAcyclic(const TgdSet& tgds) {
+  // Positions are (predicate, index) pairs.
+  using Position = std::pair<PredicateId, int>;
+  std::set<Position> positions;
+  std::map<Position, std::set<Position>> normal_edges;
+  std::map<Position, std::set<Position>> special_edges;
+  for (const Tgd& tgd : tgds) {
+    for (const Atom& atom : tgd.body()) {
+      for (int i = 0; i < atom.arity(); ++i) {
+        positions.insert({atom.predicate(), i});
+      }
+    }
+    for (const Atom& atom : tgd.head()) {
+      for (int i = 0; i < atom.arity(); ++i) {
+        positions.insert({atom.predicate(), i});
+      }
+    }
+    std::vector<Term> frontier = tgd.Frontier();
+    std::vector<Term> existential = tgd.ExistentialVariables();
+    for (Term x : frontier) {
+      for (const Atom& body_atom : tgd.body()) {
+        for (int i = 0; i < body_atom.arity(); ++i) {
+          if (body_atom.args()[i] != x) continue;
+          const Position from{body_atom.predicate(), i};
+          for (const Atom& head_atom : tgd.head()) {
+            for (int j = 0; j < head_atom.arity(); ++j) {
+              if (head_atom.args()[j] == x) {
+                normal_edges[from].insert({head_atom.predicate(), j});
+              }
+              if (std::find(existential.begin(), existential.end(),
+                            head_atom.args()[j]) != existential.end()) {
+                special_edges[from].insert({head_atom.predicate(), j});
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  // Reachability over the union graph.
+  auto reaches = [&](const Position& from, const Position& to) {
+    std::set<Position> seen = {from};
+    std::vector<Position> stack = {from};
+    while (!stack.empty()) {
+      Position p = stack.back();
+      stack.pop_back();
+      if (p == to) return true;
+      for (const auto& edges : {normal_edges, special_edges}) {
+        auto it = edges.find(p);
+        if (it == edges.end()) continue;
+        for (const Position& q : it->second) {
+          if (seen.insert(q).second) stack.push_back(q);
+        }
+      }
+    }
+    return false;
+  };
+  // A special edge u -> v lies on a cycle iff v reaches u.
+  for (const auto& [u, targets] : special_edges) {
+    for (const Position& v : targets) {
+      if (reaches(v, u)) return false;
+    }
+  }
+  return true;
+}
+
+bool IsObliviousChaseTerminating(const TgdSet& tgds) {
+  TgdSet enriched;
+  enriched.reserve(tgds.size());
+  for (size_t i = 0; i < tgds.size(); ++i) {
+    std::vector<Term> body_vars = tgds[i].BodyVariables();
+    std::vector<Atom> head = tgds[i].head();
+    if (!body_vars.empty()) {
+      const PredicateId aux = predicates::Intern(
+          "_obliv_aux" + std::to_string(i) + "_" +
+              std::to_string(body_vars.size()),
+          static_cast<int>(body_vars.size()));
+      head.push_back(Atom(aux, body_vars));
+    }
+    enriched.emplace_back(tgds[i].body(), std::move(head));
+  }
+  return IsWeaklyAcyclic(enriched);
+}
+
+std::string TgdSetToString(const TgdSet& tgds) {
+  std::string out;
+  for (const Tgd& tgd : tgds) {
+    out += tgd.ToString() + ".\n";
+  }
+  return out;
+}
+
+}  // namespace gqe

@@ -1,0 +1,104 @@
+#ifndef GQE_TGD_TGD_H_
+#define GQE_TGD_TGD_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "base/atom.h"
+#include "base/schema.h"
+#include "base/term.h"
+
+namespace gqe {
+
+/// A tuple-generating dependency ϕ(x̄,ȳ) → ∃z̄ ψ(x̄,z̄) (paper, Section 2):
+/// body ϕ (possibly empty), head ψ (non-empty). All terms are variables
+/// (TGDs are constant-free); head variables absent from the body are
+/// implicitly existentially quantified.
+class Tgd {
+ public:
+  Tgd() = default;
+  Tgd(std::vector<Atom> body, std::vector<Atom> head);
+
+  const std::vector<Atom>& body() const { return body_; }
+  const std::vector<Atom>& head() const { return head_; }
+
+  /// Variables occurring in the body (order of first occurrence).
+  std::vector<Term> BodyVariables() const { return VariablesOf(body_); }
+  std::vector<Term> HeadVariables() const { return VariablesOf(head_); }
+
+  /// fr(σ): variables occurring in both body and head.
+  std::vector<Term> Frontier() const;
+
+  /// z̄: head variables not occurring in the body.
+  std::vector<Term> ExistentialVariables() const;
+
+  /// Guarded (class G): empty body, or some body atom contains every body
+  /// variable.
+  bool IsGuarded() const;
+
+  /// Frontier-guarded (class FG): empty body, or some body atom contains
+  /// every frontier variable.
+  bool IsFrontierGuarded() const;
+
+  /// Linear (class L): exactly one body atom.
+  bool IsLinear() const { return body_.size() == 1; }
+
+  /// Full (class FULL): no existentially quantified head variables.
+  bool IsFull() const { return ExistentialVariables().empty(); }
+
+  /// Index into body() of a guard atom (containing all body variables),
+  /// or -1.
+  int GuardIndex() const;
+
+  /// Index into body() of a frontier guard (containing all frontier
+  /// variables), or -1.
+  int FrontierGuardIndex() const;
+
+  /// Well-formedness: non-empty head, constant-free, frontier-safe.
+  bool Validate(std::string* why = nullptr) const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<Atom> body_;
+  std::vector<Atom> head_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Tgd& tgd);
+
+/// A finite set of TGDs (the paper's Σ).
+using TgdSet = std::vector<Tgd>;
+
+/// Class tests for sets.
+bool IsGuardedSet(const TgdSet& tgds);
+bool IsFrontierGuardedSet(const TgdSet& tgds);
+bool IsLinearSet(const TgdSet& tgds);
+bool IsFullSet(const TgdSet& tgds);
+
+/// Max number of head atoms over the set (the m of FG_m).
+int MaxHeadAtoms(const TgdSet& tgds);
+
+/// Max number of body variables / head variables over the set (bag width
+/// for guarded reasoning).
+int MaxRuleVariables(const TgdSet& tgds);
+
+/// sch(Σ): all predicates occurring in the set.
+Schema SchemaOf(const TgdSet& tgds);
+
+/// Weak acyclicity [Fagin et al.]: the *restricted* chase of any database
+/// terminates. Builds the position dependency graph and rejects cycles
+/// through "special" (existential-creating) edges.
+bool IsWeaklyAcyclic(const TgdSet& tgds);
+
+/// Sufficient condition for termination of the *oblivious* chase (the
+/// paper's reference chase): weak acyclicity of the set enriched with one
+/// auxiliary head atom per TGD carrying all its body variables, which
+/// makes every body variable relevant to trigger identity.
+bool IsObliviousChaseTerminating(const TgdSet& tgds);
+
+std::string TgdSetToString(const TgdSet& tgds);
+
+}  // namespace gqe
+
+#endif  // GQE_TGD_TGD_H_

@@ -1,0 +1,155 @@
+#include "workload/generators.h"
+
+#include <cassert>
+
+namespace gqe {
+
+Graph RandomGraph(int n, int percent, uint64_t seed) {
+  WorkloadRng rng(seed);
+  Graph g(n);
+  for (int u = 0; u < n; ++u) {
+    for (int v = u + 1; v < n; ++v) {
+      if (rng.Chance(percent)) g.AddEdge(u, v);
+    }
+  }
+  return g;
+}
+
+Graph PlantedCliqueGraph(int n, int percent, int k, uint64_t seed) {
+  assert(k <= n);
+  Graph g = RandomGraph(n, percent, seed);
+  WorkloadRng rng(seed ^ 0x5eedf00du);
+  // Plant the clique on k distinct random vertices.
+  std::vector<int> vertices;
+  while (static_cast<int>(vertices.size()) < k) {
+    int v = static_cast<int>(rng.Below(static_cast<uint32_t>(n)));
+    bool fresh = true;
+    for (int u : vertices) {
+      if (u == v) fresh = false;
+    }
+    if (fresh) vertices.push_back(v);
+  }
+  for (size_t i = 0; i < vertices.size(); ++i) {
+    for (size_t j = i + 1; j < vertices.size(); ++j) {
+      g.AddEdge(vertices[i], vertices[j]);
+    }
+  }
+  return g;
+}
+
+Instance RandomBinaryDatabase(const std::string& rel, int domain_size,
+                              int facts, uint64_t seed,
+                              const std::string& prefix) {
+  WorkloadRng rng(seed);
+  Instance db;
+  auto constant = [&prefix](uint32_t i) {
+    return Term::Constant(prefix + std::to_string(i));
+  };
+  for (int i = 0; i < facts; ++i) {
+    db.Insert(Atom::Make(
+        rel, {constant(rng.Below(static_cast<uint32_t>(domain_size))),
+              constant(rng.Below(static_cast<uint32_t>(domain_size)))}));
+  }
+  return db;
+}
+
+Instance GridDatabase(const std::string& h_rel, const std::string& v_rel,
+                      int rows, int cols, const std::string& prefix) {
+  Instance db;
+  auto cell = [&prefix](int i, int j) {
+    return Term::Constant(prefix + std::to_string(i) + "_" +
+                          std::to_string(j));
+  };
+  for (int i = 0; i < rows; ++i) {
+    for (int j = 0; j < cols; ++j) {
+      if (j + 1 < cols) {
+        db.Insert(Atom::Make(h_rel, {cell(i, j), cell(i, j + 1)}));
+      }
+      if (i + 1 < rows) {
+        db.Insert(Atom::Make(v_rel, {cell(i, j), cell(i + 1, j)}));
+      }
+    }
+  }
+  return db;
+}
+
+CQ PathQuery(const std::string& rel, int length) {
+  std::vector<Atom> atoms;
+  auto var = [&rel](int i) {
+    return Term::Variable("p" + rel + std::to_string(i));
+  };
+  for (int i = 0; i < length; ++i) {
+    atoms.push_back(Atom::Make(rel, {var(i), var(i + 1)}));
+  }
+  return CQ({}, std::move(atoms));
+}
+
+CQ GridQuery(const std::string& h_rel, const std::string& v_rel, int rows,
+             int cols) {
+  std::vector<Atom> atoms;
+  auto var = [&h_rel](int i, int j) {
+    return Term::Variable("q" + h_rel + std::to_string(i) + "_" +
+                          std::to_string(j));
+  };
+  for (int i = 0; i < rows; ++i) {
+    for (int j = 0; j < cols; ++j) {
+      if (j + 1 < cols) {
+        atoms.push_back(Atom::Make(h_rel, {var(i, j), var(i, j + 1)}));
+      }
+      if (i + 1 < rows) {
+        atoms.push_back(Atom::Make(v_rel, {var(i, j), var(i + 1, j)}));
+      }
+    }
+  }
+  return CQ({}, std::move(atoms));
+}
+
+CQ CliqueQuery(const std::string& rel, int k) {
+  std::vector<Atom> atoms;
+  auto var = [&rel](int i) {
+    return Term::Variable("c" + rel + std::to_string(i));
+  };
+  for (int i = 0; i < k; ++i) {
+    for (int j = 0; j < k; ++j) {
+      if (i != j) atoms.push_back(Atom::Make(rel, {var(i), var(j)}));
+    }
+  }
+  return CQ({}, std::move(atoms));
+}
+
+TgdSet UnaryChainOntology(const std::string& prefix, int depth) {
+  TgdSet tgds;
+  Term x = Term::Variable("X");
+  for (int i = 0; i < depth; ++i) {
+    tgds.push_back(Tgd({Atom::Make(prefix + std::to_string(i), {x})},
+                       {Atom::Make(prefix + std::to_string(i + 1), {x})}));
+  }
+  return tgds;
+}
+
+TgdSet RandomInclusionDependencies(const std::string& prefix, int num_preds,
+                                   int num_tgds, int existential_percent,
+                                   uint64_t seed) {
+  WorkloadRng rng(seed);
+  TgdSet tgds;
+  Term x = Term::Variable("X");
+  Term y = Term::Variable("Y");
+  Term z = Term::Variable("Z");
+  auto pred = [&prefix](uint32_t i) {
+    return prefix + std::to_string(i);
+  };
+  for (int i = 0; i < num_tgds; ++i) {
+    const std::string body_pred = pred(rng.Below(num_preds));
+    const std::string head_pred = pred(rng.Below(num_preds));
+    // Body R(X, Y); head: permutation or existential variant.
+    Atom body = Atom::Make(body_pred, {x, y});
+    Atom head = rng.Chance(existential_percent)
+                    ? Atom::Make(head_pred, {x, z})   // existential Z
+                    : (rng.Chance(50) ? Atom::Make(head_pred, {y, x})
+                                      : Atom::Make(head_pred, {x, y}));
+    tgds.push_back(Tgd({body}, {head}));
+  }
+  return tgds;
+}
+
+}  // namespace gqe

@@ -1,0 +1,86 @@
+#ifndef GQE_WORKLOAD_GENERATORS_H_
+#define GQE_WORKLOAD_GENERATORS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/instance.h"
+#include "graph/graph.h"
+#include "query/cq.h"
+#include "tgd/tgd.h"
+
+namespace gqe {
+
+/// Deterministic pseudo-random generator for workloads (benches must be
+/// reproducible).
+class WorkloadRng {
+ public:
+  explicit WorkloadRng(uint64_t seed) : state_(seed * 2654435761u + 88172645u) {}
+
+  uint32_t Next() {
+    state_ ^= state_ << 13;
+    state_ ^= state_ >> 7;
+    state_ ^= state_ << 17;
+    return static_cast<uint32_t>(state_ >> 32);
+  }
+
+  /// Uniform in [0, bound).
+  uint32_t Below(uint32_t bound) { return bound == 0 ? 0 : Next() % bound; }
+
+  bool Chance(int percent) { return static_cast<int>(Below(100)) < percent; }
+
+ private:
+  uint64_t state_;
+};
+
+// --- Graphs ---------------------------------------------------------------
+
+/// Erdős–Rényi G(n, p) with edge probability `percent`/100.
+Graph RandomGraph(int n, int percent, uint64_t seed);
+
+/// A random graph with a planted k-clique (guaranteed to contain one).
+Graph PlantedCliqueGraph(int n, int percent, int k, uint64_t seed);
+
+// --- Databases ------------------------------------------------------------
+
+/// A random binary-relation database: `facts` facts over `domain_size`
+/// constants using relation `rel`. Constant names are prefixed for
+/// isolation between benches.
+Instance RandomBinaryDatabase(const std::string& rel, int domain_size,
+                              int facts, uint64_t seed,
+                              const std::string& prefix = "d");
+
+/// Directed grid data: rows x cols cells with `h_rel` / `v_rel` facts
+/// (satisfiable target for grid queries).
+Instance GridDatabase(const std::string& h_rel, const std::string& v_rel,
+                      int rows, int cols, const std::string& prefix = "g");
+
+// --- Queries ----------------------------------------------------------------
+
+/// Boolean path CQ of `length` edges over `rel` (treewidth 1).
+CQ PathQuery(const std::string& rel, int length);
+
+/// Boolean rows x cols grid CQ over `h_rel`/`v_rel` (treewidth
+/// min(rows, cols)).
+CQ GridQuery(const std::string& h_rel, const std::string& v_rel, int rows,
+             int cols);
+
+/// Boolean k-clique CQ over `rel` (treewidth k-1).
+CQ CliqueQuery(const std::string& rel, int k);
+
+// --- Ontologies -------------------------------------------------------------
+
+/// A chain of unary inclusion dependencies a0 ⊆ a1 ⊆ ... ⊆ a_depth over
+/// predicates `<prefix><i>` (linear, guarded, full).
+TgdSet UnaryChainOntology(const std::string& prefix, int depth);
+
+/// Random inclusion dependencies over `num_preds` binary predicates
+/// (linear ⊆ guarded), possibly with existential heads.
+TgdSet RandomInclusionDependencies(const std::string& prefix, int num_preds,
+                                   int num_tgds, int existential_percent,
+                                   uint64_t seed);
+
+}  // namespace gqe
+
+#endif  // GQE_WORKLOAD_GENERATORS_H_

@@ -1,0 +1,53 @@
+#include "workload/report.h"
+
+#include <cstdio>
+
+namespace gqe {
+
+ReportTable::ReportTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void ReportTable::AddRow(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+std::string ReportTable::Cell(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.3f", value);
+  return buffer;
+}
+
+std::string ReportTable::Cell(size_t value) { return std::to_string(value); }
+std::string ReportTable::Cell(int value) { return std::to_string(value); }
+std::string ReportTable::Cell(bool value) { return value ? "yes" : "no"; }
+
+void ReportTable::Print(const std::string& title) const {
+  std::printf("\n== %s ==\n", title.c_str());
+  std::vector<size_t> widths(headers_.size(), 0);
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      if (row[c].size() > widths[c]) widths[c] = row[c].size();
+    }
+  }
+  auto print_row = [&widths](const std::vector<std::string>& cells) {
+    std::printf("|");
+    for (size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : "";
+      std::printf(" %-*s |", static_cast<int>(widths[c]), cell.c_str());
+    }
+    std::printf("\n");
+  };
+  print_row(headers_);
+  std::printf("|");
+  for (size_t c = 0; c < widths.size(); ++c) {
+    for (size_t i = 0; i < widths[c] + 2; ++i) std::printf("-");
+    std::printf("|");
+  }
+  std::printf("\n");
+  for (const auto& row : rows_) print_row(row);
+}
+
+}  // namespace gqe

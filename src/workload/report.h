@@ -1,0 +1,49 @@
+#ifndef GQE_WORKLOAD_REPORT_H_
+#define GQE_WORKLOAD_REPORT_H_
+
+#include <chrono>
+#include <string>
+#include <vector>
+
+namespace gqe {
+
+/// A plain-text table printer for benchmark reports (the "rows/series"
+/// the experiments print; see EXPERIMENTS.md).
+class ReportTable {
+ public:
+  explicit ReportTable(std::vector<std::string> headers);
+
+  void AddRow(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with 3 significant decimals.
+  static std::string Cell(double value);
+  static std::string Cell(size_t value);
+  static std::string Cell(int value);
+  static std::string Cell(bool value);
+
+  /// Prints with aligned columns to stdout.
+  void Print(const std::string& title) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Wall-clock stopwatch for bench loops.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+  double ElapsedMs() const {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+  void Reset() { start_ = std::chrono::steady_clock::now(); }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace gqe
+
+#endif  // GQE_WORKLOAD_REPORT_H_

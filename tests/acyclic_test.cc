@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include "parser/parser.h"
+#include "query/acyclic.h"
+#include "query/evaluation.h"
+#include "query/tw_evaluation.h"
+#include "workload/generators.h"
+
+namespace gqe {
+namespace {
+
+TEST(GyoTest, PathIsAcyclic) {
+  CQ cq = ParseCq("ay1() :- aye(X, Y), aye(Y, Z), aye(Z, W).");
+  EXPECT_TRUE(IsAcyclicCq(cq));
+}
+
+TEST(GyoTest, TriangleIsCyclic) {
+  CQ cq = ParseCq("ay2() :- aye(X, Y), aye(Y, Z), aye(Z, X).");
+  EXPECT_FALSE(IsAcyclicCq(cq));
+}
+
+TEST(GyoTest, TernaryGuardMakesTriangleAcyclic) {
+  // alpha-acyclicity: the triangle plus a covering ternary atom IS
+  // acyclic (the guard is an ear witness).
+  CQ cq = ParseCq(
+      "ay3() :- aye(X, Y), aye(Y, Z), aye(Z, X), ayg(X, Y, Z).");
+  EXPECT_TRUE(IsAcyclicCq(cq));
+}
+
+TEST(GyoTest, StarIsAcyclic) {
+  CQ cq = ParseCq("ay4() :- aye(C, A), aye(C, B), aye(C, D2).");
+  EXPECT_TRUE(IsAcyclicCq(cq));
+}
+
+TEST(GyoTest, CycleLengthFourIsCyclic) {
+  CQ cq = ParseCq("ay5() :- aye(A, B), aye(B, C), aye(C, D2), aye(D2, A).");
+  EXPECT_FALSE(IsAcyclicCq(cq));
+}
+
+TEST(YannakakisTest, MatchesBacktrackingOnPaths) {
+  Instance db = GridDatabase("ayh", "ayv", 4, 4);
+  for (int len : {1, 2, 3, 5}) {
+    CQ cq = PathQuery("ayh", len);
+    auto result = HoldsAcyclicCq(cq, db, {});
+    ASSERT_TRUE(result.has_value()) << len;
+    EXPECT_EQ(*result, HoldsBooleanCQ(cq, db)) << len;
+  }
+}
+
+TEST(YannakakisTest, RejectsCyclicQueries) {
+  CQ cq = ParseCq("ay6() :- aye(X, Y), aye(Y, Z), aye(Z, X).");
+  Instance db = RandomBinaryDatabase("aye", 6, 12, 3, "ay");
+  EXPECT_FALSE(HoldsAcyclicCq(cq, db, {}).has_value());
+}
+
+TEST(YannakakisTest, CandidateAnswers) {
+  Instance db = ParseDatabase("aye(a, b). aye(b, c). ayl(c).");
+  CQ cq = ParseCq("ay7(X) :- aye(X, Y), ayl(Y).");
+  auto yes = HoldsAcyclicCq(cq, db, {Term::Constant("b")});
+  ASSERT_TRUE(yes.has_value());
+  EXPECT_TRUE(*yes);
+  auto no = HoldsAcyclicCq(cq, db, {Term::Constant("a")});
+  ASSERT_TRUE(no.has_value());
+  EXPECT_FALSE(*no);
+}
+
+TEST(YannakakisTest, DisconnectedComponentsBothChecked) {
+  CQ cq = ParseCq("ay8() :- aye(X, Y), ayl(Z).");
+  Instance with_both = ParseDatabase("aye(a, b). ayl(c).");
+  Instance missing = ParseDatabase("aye(a, b).");
+  EXPECT_TRUE(*HoldsAcyclicCq(cq, with_both, {}));
+  EXPECT_FALSE(*HoldsAcyclicCq(cq, missing, {}));
+}
+
+class YannakakisRandomAgreement : public ::testing::TestWithParam<int> {};
+
+TEST_P(YannakakisRandomAgreement, AgreesWithTreeDpAndBacktracking) {
+  const int seed = GetParam();
+  WorkloadRng rng(seed);
+  Instance db = RandomBinaryDatabase("aye", 8, 20, seed, "ar");
+  // Random acyclic (star/path-shaped) query.
+  std::vector<Atom> atoms;
+  const int len = 2 + rng.Below(3);
+  for (int i = 0; i < len; ++i) {
+    atoms.push_back(
+        Atom::Make("aye", {Term::Variable("av" + std::to_string(i)),
+                           Term::Variable("av" + std::to_string(i + 1))}));
+  }
+  CQ cq({}, atoms);
+  auto yannakakis = HoldsAcyclicCq(cq, db, {});
+  ASSERT_TRUE(yannakakis.has_value());
+  EXPECT_EQ(*yannakakis, HoldsBooleanCQ(cq, db));
+  EXPECT_EQ(*yannakakis, HoldsBooleanCqTreeDp(cq, db));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, YannakakisRandomAgreement,
+                         ::testing::Range(0, 12));
+
+}  // namespace
+}  // namespace gqe

@@ -1,0 +1,190 @@
+#include <gtest/gtest.h>
+
+#include "approx/approximation.h"
+#include "approx/meta.h"
+#include "approx/specialization.h"
+#include "cqs/containment.h"
+#include "query/containment.h"
+#include "parser/parser.h"
+#include "query/core.h"
+
+namespace gqe {
+namespace {
+
+/// The exact OMQ/CQS of Example 4.4: S = {R1,R2,R3,R4,P},
+/// Σ = {R2(x) -> R4(x)}, q the 4-cycle query over P with the four unary
+/// markers. The paper: q alone has treewidth 2 (and is a core), but with
+/// Σ it is uniformly UCQ_1-equivalent.
+Cqs Example44() {
+  Cqs cqs;
+  cqs.sigma = ParseTgds("xr2(X) -> xr4(X).");
+  cqs.query = ParseUcq(R"(
+    xq() :- xp(X2, X1), xp(X4, X1), xp(X2, X3), xp(X4, X3),
+            xr1(X1), xr2(X2), xr3(X3), xr4(X4).
+  )");
+  return cqs;
+}
+
+TEST(Example44Test, QueryIsACoreOfTreewidth2) {
+  Cqs cqs = Example44();
+  const CQ& q = cqs.query.disjuncts()[0];
+  EXPECT_EQ(q.TreewidthOfExistentialPart(), 2);
+  EXPECT_TRUE(IsCore(q));
+}
+
+TEST(Example44Test, NotUcq1EquivalentWithoutConstraints) {
+  Cqs cqs = Example44();
+  Cqs unconstrained{{}, cqs.query};
+  MetaResult result = DecideUniformUcqkEquivalenceCqs(unconstrained, 1);
+  EXPECT_FALSE(result.equivalent);
+}
+
+TEST(Example44Test, Ucq1EquivalentWithConstraints) {
+  // The paper's Example 4.4 headline: the constraint R2 ⊆ R4 collapses
+  // the 4-cycle to a path of treewidth 1.
+  Cqs cqs = Example44();
+  MetaResult result = DecideUniformUcqkEquivalenceCqs(cqs, 1);
+  EXPECT_TRUE(result.equivalent);
+  ASSERT_GT(result.rewriting.num_disjuncts(), 0u);
+  EXPECT_LE(result.rewriting.TreewidthOfExistentialPart(), 1);
+  // The rewriting really is equivalent under the constraints.
+  Cqs rewritten{cqs.sigma, result.rewriting};
+  EXPECT_TRUE(CqsEquivalent(cqs, rewritten));
+}
+
+TEST(Example44Test, SemanticTreewidth) {
+  Cqs cqs = Example44();
+  EXPECT_EQ(SemanticTreewidthCqs(cqs, 3), 1);
+  Cqs unconstrained{{}, cqs.query};
+  EXPECT_EQ(SemanticTreewidthCqs(unconstrained, 3), 2);
+}
+
+TEST(Example44Test, SecondOntologyDoesNotCollapse) {
+  // Q2 of Example 4.4: Σ' = {S(x) -> R1(x), S(x) -> R3(x)} with full
+  // data schema does not make q UCQ_1-equivalent.
+  Cqs cqs;
+  cqs.sigma = ParseTgds(R"(
+    xs(X) -> xr1(X).
+    xs(X) -> xr3(X).
+  )");
+  cqs.query = Example44().query;
+  MetaResult result = DecideUniformUcqkEquivalenceCqs(cqs, 1);
+  EXPECT_FALSE(result.equivalent);
+  // At k = 2 it trivially is (the identity contraction qualifies).
+  EXPECT_TRUE(DecideUniformUcqkEquivalenceCqs(cqs, 2).equivalent);
+}
+
+TEST(ApproximationTest, ContainedInOriginal) {
+  Cqs cqs = Example44();
+  Cqs approximation = UcqkApproximationCqs(cqs, 1);
+  ASSERT_GT(approximation.query.num_disjuncts(), 0u);
+  EXPECT_TRUE(CqsContained(approximation, cqs));
+}
+
+TEST(ApproximationTest, EmptyWhenNothingFits) {
+  // A clique query on a ternary guard cannot contract to treewidth 1
+  // while keeping three distinct answer variables... use a Boolean clique
+  // query of treewidth 3 with distinguished relations per edge, which has
+  // no treewidth-1 contraction: contractions only merge vertices,
+  // creating loops, and the Gaifman graph stays dense until everything
+  // merges; at full merge treewidth is 1 though. So instead check the
+  // approximation at k=1 is strictly weaker than the original.
+  Cqs cqs;
+  cqs.sigma = {};
+  cqs.query = ParseUcq(R"(
+    yq() :- ye1(A, B), ye2(B, C2), ye3(C2, A).
+  )");
+  MetaResult result = DecideUniformUcqkEquivalenceCqs(cqs, 1);
+  EXPECT_FALSE(result.equivalent);
+}
+
+TEST(ApproximationTest, MinimumValidK) {
+  Cqs cqs = Example44();  // arity 2 schema, single-head rules
+  EXPECT_EQ(MinimumValidK(cqs), 1);
+  Cqs multi_head;
+  multi_head.sigma = ParseTgds("ma2(X) -> mb2(X, Y), mc2(Y, Z).");
+  multi_head.query = ParseUcq("mq9() :- mb2(X, Y).");
+  EXPECT_EQ(MinimumValidK(multi_head), 2 * 2 - 1);
+}
+
+TEST(SpecializationTest, CountForSingleAtomQuery) {
+  // q(X) :- E(X, Y): contractions = {identity, Y->X} = 2; V-subsets:
+  // identity has 1 existential var (2 subsets), loop has none (1).
+  CQ cq = ParseCq("sq(X) :- se9(X, Y).");
+  size_t count = ForEachSpecialization(
+      cq, [](const Specialization&) { return true; });
+  EXPECT_EQ(count, 3u);
+}
+
+TEST(SpecializationTest, ComponentsSplitOutsideV) {
+  // q() :- E(X,Y), E(Y,Z), E(U,W): with V = {Y}, components of q[V] are
+  // {E(X,Y)}, {E(Y,Z)} (connected only through V) and {E(U,W)}.
+  CQ cq = ParseCq("sq2() :- se9(X, Y), se9(Y, Z), se9(U, W).");
+  std::vector<Term> v = {Term::Variable("Y")};
+  auto components = MaximallyConnectedComponents(cq, v);
+  EXPECT_EQ(components.size(), 3u);
+}
+
+TEST(SpecializationTest, AtomsInsideVDropped) {
+  CQ cq = ParseCq("sq3() :- se9(X, Y), sl9(X).");
+  std::vector<Term> v = {Term::Variable("X")};
+  auto outside = AtomsOutsideV(cq, v);
+  ASSERT_EQ(outside.size(), 1u);
+  EXPECT_EQ(outside[0].predicate(), predicates::Lookup("se9"));
+}
+
+TEST(CoreTest, UcqCoreMinimizesAndFolds) {
+  // One redundant disjunct (contained in the other) plus a foldable one.
+  UCQ ucq = ParseUcq(R"(
+    ucq1() :- uce(X, Y), uce(X, Z).
+    ucq1() :- uce(X, Y), uce(Y, Z), uce(X, W).
+  )");
+  UCQ core = UcqCore(ucq);
+  // The 2-path disjunct is contained in the 1-edge disjunct; the
+  // survivor folds to a single atom.
+  ASSERT_EQ(core.num_disjuncts(), 1u);
+  EXPECT_EQ(core.disjuncts()[0].atoms().size(), 1u);
+  EXPECT_TRUE(UcqEquivalent(ucq, core));
+}
+
+// DOCUMENTED LIMITATION (Example 4.4, second half): when the data schema
+// omits a predicate the UCQ mentions (here R1), the paper's Q2 becomes
+// UCQ_1-equivalent via a rewriting that swaps R1 for R3 — detecting this
+// requires the Definition C.6 approximation over the *restricted* data
+// schema, which this library does not implement (DESIGN.md §2.6). Our
+// full-data-schema procedure answers "not equivalent", which is correct
+// for the full data schema; this test pins that documented behaviour.
+TEST(MetaTest, RestrictedDataSchemaCaseIsConservative) {
+  Cqs cqs;
+  cqs.sigma = ParseTgds(R"(
+    xls(X) -> xlr1(X).
+    xls(X) -> xlr3(X).
+  )");
+  cqs.query = ParseUcq(R"(
+    xlq() :- xlp(X2,X1), xlp(X4,X1), xlp(X2,X3), xlp(X4,X3),
+             xlr1(X1), xlr2(X2), xlr3(X3), xlr4(X4).
+  )");
+  // Full data schema: not equivalent (matches the paper's Q2 claim).
+  EXPECT_FALSE(DecideUniformUcqkEquivalenceCqs(cqs, 1).equivalent);
+}
+
+TEST(MetaTest, PathQueryAlwaysTreewidth1) {
+  Cqs cqs{{}, ParseUcq("mq10() :- me9(X, Y), me9(Y, Z).")};
+  MetaResult result = DecideUniformUcqkEquivalenceCqs(cqs, 1);
+  EXPECT_TRUE(result.equivalent);
+}
+
+TEST(MetaTest, RedundantGridCollapsesWithoutConstraints) {
+  // A "grid" whose two columns are copies: contraction folds it to a
+  // path, even with empty Σ (core-style collapse).
+  Cqs cqs{{}, ParseUcq(R"(
+    mq11() :- mp9(X1, Y1), mp9(X1, Y2), mr9(X2, Y1), mr9(X2, Y2).
+  )")};
+  // Identifying Y2 with Y1 gives mp9(X1,Y1), mq9(X2,Y1): treewidth 1 and
+  // homomorphically equivalent.
+  MetaResult result = DecideUniformUcqkEquivalenceCqs(cqs, 1);
+  EXPECT_TRUE(result.equivalent);
+}
+
+}  // namespace
+}  // namespace gqe

@@ -1,0 +1,189 @@
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "base/atom.h"
+#include "base/instance.h"
+#include "base/interner.h"
+#include "base/schema.h"
+#include "base/term.h"
+
+namespace gqe {
+namespace {
+
+TEST(TermTest, ConstantsInternedOnce) {
+  Term a1 = Term::Constant("alpha");
+  Term a2 = Term::Constant("alpha");
+  Term b = Term::Constant("beta");
+  EXPECT_EQ(a1, a2);
+  EXPECT_NE(a1, b);
+  EXPECT_TRUE(a1.IsConstant());
+  EXPECT_TRUE(a1.IsGround());
+  EXPECT_EQ(a1.ToString(), "alpha");
+}
+
+TEST(TermTest, VariablesDistinctFromConstants) {
+  Term c = Term::Constant("x");
+  Term v = Term::Variable("x");
+  EXPECT_NE(c, v);
+  EXPECT_TRUE(v.IsVariable());
+  EXPECT_FALSE(v.IsGround());
+  EXPECT_EQ(v.ToString(), "x");
+}
+
+TEST(TermTest, NullsAreGroundAndFresh) {
+  Term n1 = Term::FreshNull();
+  Term n2 = Term::FreshNull();
+  EXPECT_NE(n1, n2);
+  EXPECT_TRUE(n1.IsNull());
+  EXPECT_TRUE(n1.IsGround());
+  EXPECT_EQ(Term::Null(n1.id()), n1);
+  EXPECT_EQ(n1.ToString().substr(0, 3), "_:n");
+}
+
+TEST(TermTest, FreshVariableDoesNotCollide) {
+  Term v1 = Term::FreshVariable();
+  Term v2 = Term::FreshVariable();
+  EXPECT_NE(v1, v2);
+  EXPECT_TRUE(v1.IsVariable());
+}
+
+TEST(TermTest, RoundTripBits) {
+  Term t = Term::Constant("roundtrip");
+  EXPECT_EQ(Term::FromBits(t.bits()), t);
+}
+
+TEST(TermTest, HashableInUnorderedSet) {
+  std::unordered_set<Term> set;
+  set.insert(Term::Constant("h1"));
+  set.insert(Term::Constant("h1"));
+  set.insert(Term::Variable("h1"));
+  EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(PredicateTest, InternAndLookup) {
+  PredicateId r = predicates::Intern("TestRel", 3);
+  EXPECT_EQ(predicates::Arity(r), 3);
+  EXPECT_EQ(predicates::Name(r), "TestRel");
+  EXPECT_EQ(predicates::Lookup("TestRel"), r);
+  EXPECT_EQ(predicates::Intern("TestRel", 3), r);
+}
+
+TEST(SchemaTest, MaxArityAndContains) {
+  Schema schema;
+  PredicateId r = schema.Add("SchemaR", 2);
+  PredicateId s = schema.Add("SchemaS", 4);
+  EXPECT_TRUE(schema.Contains(r));
+  EXPECT_TRUE(schema.Contains(s));
+  EXPECT_EQ(schema.MaxArity(), 4);
+  EXPECT_EQ(schema.size(), 2u);
+  schema.Add(r);  // idempotent
+  EXPECT_EQ(schema.size(), 2u);
+}
+
+TEST(AtomTest, MakeAndPrint) {
+  Atom atom = Atom::Make("Edge", {Term::Constant("a"), Term::Constant("b")});
+  EXPECT_EQ(atom.arity(), 2);
+  EXPECT_TRUE(atom.IsGround());
+  EXPECT_EQ(atom.ToString(), "Edge(a,b)");
+}
+
+TEST(AtomTest, VariableCollection) {
+  Term x = Term::Variable("X");
+  Term y = Term::Variable("Y");
+  Atom atom = Atom::Make("Tri", {x, y, x});
+  std::vector<Term> vars;
+  atom.CollectVariables(&vars);
+  EXPECT_EQ(vars.size(), 2u);
+  EXPECT_EQ(vars[0], x);
+  EXPECT_EQ(vars[1], y);
+  EXPECT_FALSE(atom.IsGround());
+}
+
+TEST(AtomTest, ContainsAll) {
+  Term x = Term::Variable("X");
+  Term y = Term::Variable("Y");
+  Term z = Term::Variable("Z");
+  Atom atom = Atom::Make("Tri2", {x, y, x});
+  EXPECT_TRUE(atom.ContainsAll({x, y}));
+  EXPECT_FALSE(atom.ContainsAll({x, z}));
+}
+
+TEST(AtomTest, EqualityAndHash) {
+  Atom a1 = Atom::Make("EqR", {Term::Constant("a")});
+  Atom a2 = Atom::Make("EqR", {Term::Constant("a")});
+  Atom a3 = Atom::Make("EqR", {Term::Constant("b")});
+  EXPECT_EQ(a1, a2);
+  EXPECT_NE(a1, a3);
+  EXPECT_EQ(AtomHash{}(a1), AtomHash{}(a2));
+}
+
+class InstanceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    a_ = Term::Constant("ia");
+    b_ = Term::Constant("ib");
+    c_ = Term::Constant("ic");
+    db_.Insert(Atom::Make("IEdge", {a_, b_}));
+    db_.Insert(Atom::Make("IEdge", {b_, c_}));
+    db_.Insert(Atom::Make("ILabel", {a_}));
+  }
+
+  Instance db_;
+  Term a_, b_, c_;
+};
+
+TEST_F(InstanceTest, InsertDeduplicates) {
+  EXPECT_EQ(db_.size(), 3u);
+  EXPECT_FALSE(db_.Insert(Atom::Make("IEdge", {a_, b_})));
+  EXPECT_EQ(db_.size(), 3u);
+  EXPECT_TRUE(db_.Insert(Atom::Make("IEdge", {c_, a_})));
+  EXPECT_EQ(db_.size(), 4u);
+}
+
+TEST_F(InstanceTest, ContainsAndDomain) {
+  EXPECT_TRUE(db_.Contains(Atom::Make("IEdge", {a_, b_})));
+  EXPECT_FALSE(db_.Contains(Atom::Make("IEdge", {b_, a_})));
+  EXPECT_EQ(db_.ActiveDomain().size(), 3u);
+  EXPECT_TRUE(db_.InDomain(a_));
+  EXPECT_FALSE(db_.InDomain(Term::Constant("not_there")));
+}
+
+TEST_F(InstanceTest, PositionIndex) {
+  PredicateId edge = predicates::Lookup("IEdge");
+  EXPECT_EQ(db_.FactsWith(edge, 0, a_).size(), 1u);
+  EXPECT_EQ(db_.FactsWith(edge, 1, b_).size(), 1u);
+  EXPECT_EQ(db_.FactsWith(edge, 0, c_).size(), 0u);
+  EXPECT_EQ(db_.FactsWithPredicate(edge).size(), 2u);
+}
+
+TEST_F(InstanceTest, Restrict) {
+  Instance restricted = db_.Restrict({a_, b_});
+  EXPECT_EQ(restricted.size(), 2u);  // IEdge(a,b), ILabel(a)
+  EXPECT_TRUE(restricted.Contains(Atom::Make("IEdge", {a_, b_})));
+  EXPECT_TRUE(restricted.Contains(Atom::Make("ILabel", {a_})));
+}
+
+TEST_F(InstanceTest, SubsetAndEquality) {
+  Instance copy;
+  copy.InsertAll(db_);
+  EXPECT_TRUE(copy.SetEquals(db_));
+  copy.Insert(Atom::Make("ILabel", {b_}));
+  EXPECT_FALSE(copy.SetEquals(db_));
+  EXPECT_TRUE(db_.SubsetOf(copy));
+  EXPECT_FALSE(copy.SubsetOf(db_));
+}
+
+TEST_F(InstanceTest, FactsMentioning) {
+  EXPECT_EQ(db_.FactsMentioning(b_).size(), 2u);
+  EXPECT_EQ(db_.FactsMentioning(c_).size(), 1u);
+}
+
+TEST_F(InstanceTest, InducedSchema) {
+  Schema schema = db_.InducedSchema();
+  EXPECT_EQ(schema.size(), 2u);
+  EXPECT_EQ(schema.MaxArity(), 2);
+}
+
+}  // namespace
+}  // namespace gqe

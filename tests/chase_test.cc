@@ -1,0 +1,173 @@
+#include <gtest/gtest.h>
+
+#include "chase/chase.h"
+#include "query/evaluation.h"
+#include "query/homomorphism.h"
+
+namespace gqe {
+namespace {
+
+Term C(const char* name) { return Term::Constant(name); }
+Term V(const char* name) { return Term::Variable(name); }
+
+TEST(ChaseTest, FullTgdsReachFixpoint) {
+  // Transitive closure: E(X,Y), E(Y,Z) -> E(X,Z) on a path of 4.
+  TgdSet sigma = {Tgd({Atom::Make("CE", {V("X"), V("Y")}),
+                       Atom::Make("CE", {V("Y"), V("Z")})},
+                      {Atom::Make("CE", {V("X"), V("Z")})})};
+  Instance db;
+  db.Insert(Atom::Make("CE", {C("c1"), C("c2")}));
+  db.Insert(Atom::Make("CE", {C("c2"), C("c3")}));
+  db.Insert(Atom::Make("CE", {C("c3"), C("c4")}));
+  ChaseResult result = Chase(db, sigma);
+  EXPECT_TRUE(result.complete);
+  // Transitive closure of a 4-path: 3+2+1 = 6 edges.
+  EXPECT_EQ(result.instance.size(), 6u);
+  EXPECT_TRUE(result.instance.Contains(Atom::Make("CE", {C("c1"), C("c4")})));
+  EXPECT_TRUE(Satisfies(result.instance, sigma));
+}
+
+TEST(ChaseTest, ExistentialCreatesNulls) {
+  // Person(X) -> exists Y. HasParent(X,Y), Person(Y): infinite chase;
+  // bound the level.
+  TgdSet sigma = {Tgd({Atom::Make("CPerson", {V("X")})},
+                      {Atom::Make("CHasParent", {V("X"), V("Y")}),
+                       Atom::Make("CPerson", {V("Y")})})};
+  Instance db;
+  db.Insert(Atom::Make("CPerson", {C("alice")}));
+  ChaseOptions options;
+  options.max_level = 3;
+  ChaseResult result = Chase(db, sigma, options);
+  EXPECT_FALSE(result.complete);
+  EXPECT_EQ(result.max_level_built, 3);
+  // Levels: 1 person at 0; each level adds one person + one edge.
+  EXPECT_EQ(result.instance.size(), 1u + 2u * 3u);
+  // The new parent is a labelled null.
+  bool found_null = false;
+  for (const Atom& atom : result.instance.atoms()) {
+    for (Term t : atom.args()) {
+      if (t.IsNull()) found_null = true;
+    }
+  }
+  EXPECT_TRUE(found_null);
+}
+
+TEST(ChaseTest, LevelsFollowLemmaA1) {
+  // Linear rules forming a chain: A(X) -> B(X) -> C(X).
+  TgdSet sigma = {
+      Tgd({Atom::Make("CA", {V("X")})}, {Atom::Make("CB", {V("X")})}),
+      Tgd({Atom::Make("CB", {V("X")})}, {Atom::Make("CC", {V("X")})})};
+  Instance db;
+  db.Insert(Atom::Make("CA", {C("lv")}));
+  ChaseResult result = Chase(db, sigma);
+  EXPECT_TRUE(result.complete);
+  EXPECT_EQ(result.levels.at(Atom::Make("CA", {C("lv")})), 0);
+  EXPECT_EQ(result.levels.at(Atom::Make("CB", {C("lv")})), 1);
+  EXPECT_EQ(result.levels.at(Atom::Make("CC", {C("lv")})), 2);
+  Instance level1 = result.UpToLevel(1);
+  EXPECT_EQ(level1.size(), 2u);
+  EXPECT_FALSE(level1.Contains(Atom::Make("CC", {C("lv")})));
+}
+
+TEST(ChaseTest, ObliviousFiresSatisfiedTriggers) {
+  // R(X,Y) -> exists Z. R(X,Z): oblivious chase fires even though the
+  // head is already satisfied; restricted chase does not.
+  TgdSet sigma = {Tgd({Atom::Make("CR", {V("X"), V("Y")})},
+                      {Atom::Make("CR", {V("X"), V("Z")})})};
+  Instance db;
+  db.Insert(Atom::Make("CR", {C("r1"), C("r2")}));
+  ChaseOptions oblivious;
+  oblivious.max_level = 2;
+  ChaseResult ob = Chase(db, sigma, oblivious);
+  EXPECT_GT(ob.instance.size(), 1u);
+
+  ChaseOptions restricted;
+  restricted.restricted = true;
+  ChaseResult re = Chase(db, sigma, restricted);
+  EXPECT_TRUE(re.complete);
+  EXPECT_EQ(re.instance.size(), 1u);
+}
+
+TEST(ChaseTest, UniversalityHomomorphismIntoAnyModel) {
+  // Proposition 2.2: chase(D, Σ) maps homomorphically into every model of
+  // D and Σ fixing dom(D).
+  TgdSet sigma = {Tgd({Atom::Make("CPj", {V("X")})},
+                      {Atom::Make("CWorksAt", {V("X"), V("Y")}),
+                       Atom::Make("CDept", {V("Y")})})};
+  Instance db;
+  db.Insert(Atom::Make("CPj", {C("uma")}));
+  ChaseResult chase = Chase(db, sigma);
+  EXPECT_TRUE(chase.complete);
+
+  // A hand-built model: uma works at d0.
+  Instance model;
+  model.Insert(Atom::Make("CPj", {C("uma")}));
+  model.Insert(Atom::Make("CWorksAt", {C("uma"), C("d0")}));
+  model.Insert(Atom::Make("CDept", {C("d0")}));
+  ASSERT_TRUE(Satisfies(model, sigma));
+  auto hom = InstanceHomomorphism(chase.instance, model, {C("uma")});
+  EXPECT_TRUE(hom.has_value());
+}
+
+TEST(ChaseTest, EmptyBodyTgdFiresOnce) {
+  TgdSet sigma = {Tgd({}, {Atom::Make("CInit", {V("Z")})})};
+  Instance db;
+  db.Insert(Atom::Make("CSeed", {C("s")}));
+  ChaseResult result = Chase(db, sigma);
+  EXPECT_TRUE(result.complete);
+  EXPECT_EQ(result.instance.FactsWithPredicate(predicates::Lookup("CInit"))
+                .size(),
+            1u);
+}
+
+TEST(ChaseTest, FactBudgetStopsCleanly) {
+  TgdSet sigma = {Tgd({Atom::Make("CPerson", {V("X")})},
+                      {Atom::Make("CHasParent", {V("X"), V("Y")}),
+                       Atom::Make("CPerson", {V("Y")})})};
+  Instance db;
+  db.Insert(Atom::Make("CPerson", {C("fb")}));
+  ChaseOptions options;
+  options.max_facts = 20;
+  ChaseResult result = Chase(db, sigma, options);
+  EXPECT_FALSE(result.complete);
+  EXPECT_LE(result.instance.size(), 25u);
+}
+
+TEST(SatisfiesTest, DetectsViolation) {
+  TgdSet sigma = {Tgd({Atom::Make("CE", {V("X"), V("Y")})},
+                      {Atom::Make("CE", {V("Y"), V("X")})})};
+  Instance db;
+  db.Insert(Atom::Make("CE", {C("s1"), C("s2")}));
+  EXPECT_FALSE(Satisfies(db, sigma));
+  db.Insert(Atom::Make("CE", {C("s2"), C("s1")}));
+  EXPECT_TRUE(Satisfies(db, sigma));
+}
+
+TEST(SatisfiesTest, ExistentialHeadSatisfiedByAnyWitness) {
+  TgdSet sigma = {Tgd({Atom::Make("CPj", {V("X")})},
+                      {Atom::Make("CWorksAt", {V("X"), V("Y")})})};
+  Instance db;
+  db.Insert(Atom::Make("CPj", {C("w")}));
+  EXPECT_FALSE(Satisfies(db, sigma));
+  db.Insert(Atom::Make("CWorksAt", {C("w"), C("anywhere")}));
+  EXPECT_TRUE(Satisfies(db, sigma));
+}
+
+TEST(ChaseTest, ChaseAnswersCertainly) {
+  // Proposition 3.1 shape: Q(D) = q(chase(D,Σ)) for a terminating chase.
+  TgdSet sigma = {
+      Tgd({Atom::Make("CGrad", {V("X")})}, {Atom::Make("CStudent", {V("X")})}),
+      Tgd({Atom::Make("CStudent", {V("X")})},
+          {Atom::Make("CEnrolled", {V("X"), V("Y")})})};
+  Instance db;
+  db.Insert(Atom::Make("CGrad", {C("gina")}));
+  ChaseResult chase = Chase(db, sigma);
+  ASSERT_TRUE(chase.complete);
+  CQ q({V("X")}, {Atom::Make("CEnrolled", {V("X"), V("Y")})});
+  auto answers = EvaluateCQ(q, chase.instance);
+  ASSERT_EQ(answers.size(), 1u);
+  EXPECT_EQ(answers[0][0], C("gina"));
+}
+
+}  // namespace
+}  // namespace gqe

@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include "chase/chase.h"
+#include "cqs/evaluation.h"
+#include "fc/witness.h"
+#include "guarded/omq_eval.h"
+#include "omq/evaluation.h"
+#include "parser/parser.h"
+#include "query/evaluation.h"
+
+namespace gqe {
+namespace {
+
+
+TEST(WitnessTest, TerminatingChaseIsExact) {
+  TgdSet sigma = ParseTgds("wstud(X) -> wenr(X, U), wuni(U).");
+  Instance db = ParseDatabase("wstud(amy).");
+  FiniteWitness witness = BuildFiniteWitness(db, sigma, 3);
+  EXPECT_TRUE(witness.is_model);
+  EXPECT_TRUE(witness.from_terminating_chase);
+  EXPECT_TRUE(Satisfies(witness.model, sigma));
+  EXPECT_TRUE(db.SubsetOf(witness.model));
+}
+
+TEST(WitnessTest, InfiniteChaseFoldsToFiniteModel) {
+  // person(X) -> parent(X,Y), person(Y): infinite chase, folded witness.
+  TgdSet sigma = ParseTgds("fperson(X) -> fparent(X, Y), fperson(Y).");
+  Instance db = ParseDatabase("fperson(eve2).");
+  FiniteWitness witness = BuildFiniteWitness(db, sigma, 2);
+  EXPECT_TRUE(witness.is_model);
+  EXPECT_FALSE(witness.from_terminating_chase);
+  EXPECT_GT(witness.folds, 0u);
+  EXPECT_TRUE(Satisfies(witness.model, sigma));
+  EXPECT_TRUE(db.SubsetOf(witness.model));
+  EXPECT_LT(witness.model.size(), 100u);
+}
+
+TEST(WitnessTest, FoldedCyclesInvisibleToSmallQueries) {
+  // The n-fold blocking must keep ancestor cycles longer than the query.
+  TgdSet sigma = ParseTgds("gperson2(X) -> gparent2(X, Y), gperson2(Y).");
+  Instance db = ParseDatabase("gperson2(adam2).");
+  const int n = 3;
+  FiniteWitness witness = BuildFiniteWitness(db, sigma, n);
+  ASSERT_TRUE(witness.is_model);
+  // Queries with <= n variables agree with the chase.
+  UCQ q1 = ParseUcq("wq1(X) :- gparent2(X, Y).");
+  UCQ q2 = ParseUcq("wq2() :- gparent2(X, Y), gparent2(Y, Z).");
+  // A 2-cycle query: certainly false over the chase (it is a tree).
+  UCQ q3 = ParseUcq("wq3() :- gparent2(X, Y), gparent2(Y, X).");
+  EXPECT_TRUE(WitnessAgreesOnQuery(witness, db, sigma, q1));
+  EXPECT_TRUE(WitnessAgreesOnQuery(witness, db, sigma, q2));
+  EXPECT_TRUE(WitnessAgreesOnQuery(witness, db, sigma, q3));
+}
+
+TEST(WitnessTest, AgreementSweepOverBlockingDepths) {
+  TgdSet sigma = ParseTgds(R"(
+    hsub(X, Y) -> hrel(X, Y).
+    hrel(X, Y) -> hrel2(Y, Z).
+    hrel2(X, Y) -> hrel(X, Y).
+  )");
+  Instance db = ParseDatabase("hsub(h8, h9).");
+  for (int n = 1; n <= 4; ++n) {
+    FiniteWitness witness = BuildFiniteWitness(db, sigma, n);
+    EXPECT_TRUE(witness.is_model) << "n=" << n;
+    UCQ q = ParseUcq("hq8() :- hrel(X, Y), hrel2(Y, Z).");
+    if (static_cast<int>(3) <= n + 1) {
+      EXPECT_TRUE(WitnessAgreesOnQuery(witness, db, sigma, q)) << "n=" << n;
+    }
+  }
+}
+
+TEST(OmqToCqsTest, DstarSatisfiesSigma) {
+  // Proposition 5.8 / Lemma 6.8 item (1).
+  TgdSet sigma = ParseTgds("remp(X) -> rboss(X, Y), remp(Y).");
+  Instance db = ParseDatabase("remp(rob).");
+  Omq omq = Omq::WithFullDataSchema(sigma, ParseUcq("rq(X) :- rboss(X, Y)."));
+  OmqToCqsReduction reduction = ReduceOmqToCqs(omq, db);
+  EXPECT_TRUE(reduction.exact);
+  EXPECT_TRUE(Satisfies(reduction.dstar, sigma));
+}
+
+TEST(OmqToCqsTest, ClosedWorldAnswersMatchCertainAnswers) {
+  // Proposition 5.8 / Lemma 6.8 item (2): Q(D) = q(D*).
+  TgdSet sigma = ParseTgds(R"(
+    semp2(X) -> sworks2(X, D2), sdept2(D2).
+    smgr2(X, Y) -> semp2(X), semp2(Y).
+  )");
+  Instance db = ParseDatabase("smgr2(sue, tom). sworks2(uma2, hr2).");
+  UCQ q = ParseUcq("sq2(X) :- sworks2(X, D2).");
+  Omq omq = Omq::WithFullDataSchema(sigma, q);
+  OmqToCqsReduction reduction = ReduceOmqToCqs(omq, db);
+  ASSERT_TRUE(reduction.exact);
+  ASSERT_TRUE(Satisfies(reduction.dstar, sigma));
+
+  auto certain = EvaluateOmq(omq, db).answers;
+  // Closed-world evaluation of q over D*, restricted to dom(D).
+  std::vector<std::vector<Term>> closed;
+  for (auto& tuple : EvaluateUCQ(q, reduction.dstar)) {
+    bool over_db = true;
+    for (Term t : tuple) {
+      if (!db.InDomain(t)) over_db = false;
+    }
+    if (over_db) closed.push_back(std::move(tuple));
+  }
+  EXPECT_EQ(closed, certain);
+  EXPECT_EQ(closed.size(), 3u);  // sue, tom, uma2
+}
+
+TEST(OmqToCqsTest, JoinQueriesAcrossWitnesses) {
+  // A query joining the ground part with the anonymous part.
+  TgdSet sigma = ParseTgds("tcustomer(X) -> torder(X, O), tord(O).");
+  Instance db = ParseDatabase("tcustomer(tina). tcustomer(theo).");
+  UCQ q = ParseUcq("tq9(X) :- torder(X, O), tord(O).");
+  Omq omq = Omq::WithFullDataSchema(sigma, q);
+  OmqToCqsReduction reduction = ReduceOmqToCqs(omq, db);
+  ASSERT_TRUE(reduction.exact);
+  std::vector<std::vector<Term>> closed;
+  for (auto& tuple : EvaluateUCQ(q, reduction.dstar)) {
+    if (db.InDomain(tuple[0])) closed.push_back(std::move(tuple));
+  }
+  EXPECT_EQ(closed.size(), 2u);
+  // And no cross-talk: distinct customers do not share anonymous orders.
+  UCQ cross = ParseUcq("tq10(X, Y) :- torder(X, O), torder(Y, O).");
+  auto certain_cross = GuardedCertainAnswers(db, sigma, cross);
+  std::vector<std::vector<Term>> closed_cross;
+  for (auto& tuple : EvaluateUCQ(cross, reduction.dstar)) {
+    if (db.InDomain(tuple[0]) && db.InDomain(tuple[1])) {
+      closed_cross.push_back(std::move(tuple));
+    }
+  }
+  EXPECT_EQ(closed_cross, certain_cross);
+}
+
+}  // namespace
+}  // namespace gqe

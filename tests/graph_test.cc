@@ -1,0 +1,254 @@
+#include <gtest/gtest.h>
+
+#include "base/atom.h"
+#include "base/instance.h"
+#include "graph/graph.h"
+#include "graph/minor.h"
+#include "graph/tree_decomposition.h"
+#include "graph/treewidth.h"
+
+namespace gqe {
+namespace {
+
+TEST(GraphTest, BasicEdgeOps) {
+  Graph g(4);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  g.AddEdge(1, 1);  // self loop ignored
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_TRUE(g.HasEdge(1, 0));
+  EXPECT_FALSE(g.HasEdge(0, 2));
+  EXPECT_FALSE(g.HasEdge(1, 1));
+  EXPECT_EQ(g.num_edges(), 2);
+  EXPECT_EQ(g.Degree(1), 2);
+}
+
+TEST(GraphTest, ConnectedComponents) {
+  Graph g(5);
+  g.AddEdge(0, 1);
+  g.AddEdge(2, 3);
+  auto components = g.ConnectedComponents();
+  EXPECT_EQ(components.size(), 3u);
+  EXPECT_FALSE(g.IsConnected());
+  g.AddEdge(1, 2);
+  g.AddEdge(3, 4);
+  EXPECT_TRUE(g.IsConnected());
+}
+
+TEST(GraphTest, InducedSubgraph) {
+  Graph g = Graph::Cycle(5);
+  std::vector<int> index;
+  Graph sub = g.InducedSubgraph({0, 1, 2}, &index);
+  EXPECT_EQ(sub.num_vertices(), 3);
+  EXPECT_EQ(sub.num_edges(), 2);  // 0-1, 1-2; the chord 0-2 is absent in C5
+  EXPECT_EQ(index[3], -1);
+  EXPECT_EQ(index[1], 1);
+}
+
+TEST(GraphTest, CliqueDetection) {
+  Graph g = Graph::Clique(4);
+  EXPECT_TRUE(g.IsClique({0, 1, 2, 3}));
+  Graph p = Graph::Path(4);
+  EXPECT_FALSE(p.IsClique({0, 1, 2}));
+  EXPECT_TRUE(p.IsClique({0, 1}));
+}
+
+TEST(GraphTest, GridShape) {
+  Graph g = Graph::Grid(3, 4);
+  EXPECT_EQ(g.num_vertices(), 12);
+  EXPECT_EQ(g.num_edges(), 3 * 3 + 2 * 4);  // horizontal + vertical
+  EXPECT_TRUE(g.HasEdge(Graph::GridVertex(3, 4, 1, 1),
+                        Graph::GridVertex(3, 4, 1, 2)));
+  EXPECT_TRUE(g.HasEdge(Graph::GridVertex(3, 4, 1, 1),
+                        Graph::GridVertex(3, 4, 2, 1)));
+  EXPECT_FALSE(g.HasEdge(Graph::GridVertex(3, 4, 1, 1),
+                         Graph::GridVertex(3, 4, 2, 2)));
+}
+
+TEST(GaifmanTest, FromInstance) {
+  Instance db;
+  Term a = Term::Constant("ga"), b = Term::Constant("gb"),
+       c = Term::Constant("gc");
+  db.Insert(Atom::Make("GR3", {a, b, c}));
+  db.Insert(Atom::Make("GR1", {a}));
+  std::vector<Term> terms;
+  Graph g = GaifmanGraph(db, &terms);
+  EXPECT_EQ(g.num_vertices(), 3);
+  EXPECT_EQ(g.num_edges(), 3);  // a triangle from the ternary fact
+}
+
+TEST(TreeDecompositionTest, ValidatePathDecomposition) {
+  Graph g = Graph::Path(4);
+  TreeDecomposition td;
+  int b0 = td.AddBag({0, 1});
+  int b1 = td.AddBag({1, 2});
+  int b2 = td.AddBag({2, 3});
+  td.AddTreeEdge(b0, b1);
+  td.AddTreeEdge(b1, b2);
+  std::string why;
+  EXPECT_TRUE(td.Validate(g, &why)) << why;
+  EXPECT_EQ(td.Width(), 1);
+}
+
+TEST(TreeDecompositionTest, RejectsMissingEdge) {
+  Graph g = Graph::Path(3);
+  TreeDecomposition td;
+  int b0 = td.AddBag({0, 1});
+  int b1 = td.AddBag({2});
+  td.AddTreeEdge(b0, b1);
+  std::string why;
+  EXPECT_FALSE(td.Validate(g, &why));
+  EXPECT_NE(why.find("edge"), std::string::npos);
+}
+
+TEST(TreeDecompositionTest, RejectsDisconnectedOccurrences) {
+  Graph g(3);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  TreeDecomposition td;
+  int b0 = td.AddBag({0, 1});
+  int b1 = td.AddBag({1, 2});
+  int b2 = td.AddBag({0});  // 0 occurs in b0 and b2, separated by b1
+  td.AddTreeEdge(b0, b1);
+  td.AddTreeEdge(b1, b2);
+  std::string why;
+  EXPECT_FALSE(td.Validate(g, &why));
+}
+
+TEST(TreeDecompositionTest, EliminationOrderConstruction) {
+  Graph g = Graph::Cycle(5);
+  TreeDecomposition td =
+      DecompositionFromEliminationOrder(g, {0, 1, 2, 3, 4});
+  std::string why;
+  EXPECT_TRUE(td.Validate(g, &why)) << why;
+  EXPECT_EQ(td.Width(), 2);  // cycles have treewidth 2
+}
+
+struct TreewidthCase {
+  const char* name;
+  Graph graph;
+  int expected;
+};
+
+class TreewidthParamTest : public ::testing::TestWithParam<TreewidthCase> {};
+
+TEST_P(TreewidthParamTest, ExactValue) {
+  const TreewidthCase& tc = GetParam();
+  TreewidthResult result = ComputeTreewidth(tc.graph);
+  EXPECT_TRUE(result.exact()) << tc.name;
+  EXPECT_EQ(result.upper_bound, tc.expected) << tc.name;
+  std::string why;
+  EXPECT_TRUE(result.decomposition.Validate(tc.graph, &why)) << tc.name
+                                                             << ": " << why;
+  EXPECT_LE(result.decomposition.Width(), tc.expected) << tc.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    KnownGraphs, TreewidthParamTest,
+    ::testing::Values(
+        TreewidthCase{"path5", Graph::Path(5), 1},
+        TreewidthCase{"cycle6", Graph::Cycle(6), 2},
+        TreewidthCase{"clique4", Graph::Clique(4), 3},
+        TreewidthCase{"clique6", Graph::Clique(6), 5},
+        TreewidthCase{"grid2x4", Graph::Grid(2, 4), 2},
+        TreewidthCase{"grid3x3", Graph::Grid(3, 3), 3},
+        TreewidthCase{"grid3x5", Graph::Grid(3, 5), 3},
+        TreewidthCase{"grid4x4", Graph::Grid(4, 4), 4},
+        TreewidthCase{"single", Graph(1), 0},
+        TreewidthCase{"edgeless3", Graph(3), 0}),
+    [](const ::testing::TestParamInfo<TreewidthCase>& info) {
+      return info.param.name;
+    });
+
+TEST(TreewidthTest, PaperConventionEdgeless) {
+  EXPECT_EQ(PaperTreewidth(Graph(3)), 1);
+  EXPECT_EQ(PaperTreewidth(Graph::Path(4)), 1);
+  EXPECT_EQ(PaperTreewidth(Graph::Grid(2, 2)), 2);
+}
+
+TEST(TreewidthTest, HeuristicOnLargeGrid) {
+  Graph g = Graph::Grid(4, 10);  // 40 vertices: heuristic path
+  TreewidthResult result = ComputeTreewidth(g);
+  EXPECT_GE(result.upper_bound, 4);
+  EXPECT_LE(result.upper_bound, 6);  // min-fill is near-optimal on grids
+  std::string why;
+  EXPECT_TRUE(result.decomposition.Validate(g, &why)) << why;
+  EXPECT_GE(result.lower_bound, 2);
+}
+
+TEST(TreewidthTest, DisconnectedGraphTakesMax) {
+  Graph g(9);
+  // Component 1: a triangle (tw 2). Component 2: K4 (tw 3). Plus isolated.
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  g.AddEdge(0, 2);
+  for (int u = 3; u < 7; ++u) {
+    for (int v = u + 1; v < 7; ++v) g.AddEdge(u, v);
+  }
+  TreewidthResult result = ComputeTreewidth(g);
+  EXPECT_TRUE(result.exact());
+  EXPECT_EQ(result.upper_bound, 3);
+  std::string why;
+  EXPECT_TRUE(result.decomposition.Validate(g, &why)) << why;
+}
+
+TEST(TreewidthTest, DegeneracyLowerBound) {
+  EXPECT_EQ(Degeneracy(Graph::Clique(5)), 4);
+  EXPECT_EQ(Degeneracy(Graph::Path(5)), 1);
+  EXPECT_EQ(Degeneracy(Graph::Grid(3, 3)), 2);
+}
+
+TEST(MinorTest, ValidGridBandMap) {
+  MinorMap map = GridOntoGridMinorMap(2, 3, 4, 6);
+  Graph h = Graph::Grid(2, 3);
+  Graph g = Graph::Grid(4, 6);
+  std::string why;
+  EXPECT_TRUE(map.Validate(h, g, /*onto=*/true, &why)) << why;
+}
+
+TEST(MinorTest, IdentityMap) {
+  MinorMap map = GridOntoGridMinorMap(3, 3, 3, 3);
+  Graph g = Graph::Grid(3, 3);
+  std::string why;
+  EXPECT_TRUE(map.Validate(g, g, /*onto=*/true, &why)) << why;
+}
+
+TEST(MinorTest, ValidatorRejectsDisconnectedBranchSet) {
+  Graph h(1);
+  Graph g = Graph::Path(3);
+  MinorMap map(1);
+  map.SetBranchSet(0, {0, 2});  // 0 and 2 are not adjacent in P3
+  EXPECT_FALSE(map.Validate(h, g));
+}
+
+TEST(MinorTest, ValidatorRejectsMissingEdge) {
+  Graph h(2);
+  h.AddEdge(0, 1);
+  Graph g(4);
+  g.AddEdge(0, 1);
+  g.AddEdge(2, 3);
+  MinorMap map(2);
+  map.SetBranchSet(0, {0, 1});
+  map.SetBranchSet(1, {2, 3});
+  EXPECT_FALSE(map.Validate(h, g));
+}
+
+TEST(MinorTest, BruteForceFindsTriangleInK4) {
+  auto map = FindMinorBruteForce(Graph::Clique(3), Graph::Clique(4));
+  ASSERT_TRUE(map.has_value());
+  EXPECT_TRUE(map->Validate(Graph::Clique(3), Graph::Clique(4)));
+}
+
+TEST(MinorTest, BruteForceFindsTriangleMinorOfC5) {
+  // C5 contains K3 as a minor (contract two edges).
+  auto map = FindMinorBruteForce(Graph::Clique(3), Graph::Cycle(5));
+  ASSERT_TRUE(map.has_value());
+}
+
+TEST(MinorTest, BruteForceRejectsK3InTree) {
+  auto map = FindMinorBruteForce(Graph::Clique(3), Graph::Path(5));
+  EXPECT_FALSE(map.has_value());
+}
+
+}  // namespace
+}  // namespace gqe

@@ -1,0 +1,164 @@
+#include <gtest/gtest.h>
+
+#include "chase/chase.h"
+#include "grohe/clique.h"
+#include "grohe/grohe_db.h"
+#include "grohe/reduction.h"
+#include "grohe/variant_db.h"
+#include "parser/parser.h"
+#include "query/core.h"
+#include "query/evaluation.h"
+
+namespace gqe {
+namespace {
+
+/// A triangle-free graph with edges: the 3x3 rook-free bipartite-ish
+/// C6 cycle.
+Graph TriangleFree() { return Graph::Cycle(6); }
+
+/// A graph with a triangle (and some noise edges).
+Graph WithTriangle() {
+  Graph g(6);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  g.AddEdge(0, 2);  // triangle 0-1-2
+  g.AddEdge(2, 3);
+  g.AddEdge(3, 4);
+  g.AddEdge(4, 5);
+  return g;
+}
+
+TEST(CliqueTest, FindCliqueBasics) {
+  EXPECT_TRUE(HasClique(Graph::Clique(5), 5));
+  EXPECT_FALSE(HasClique(Graph::Clique(5), 6));
+  EXPECT_TRUE(HasClique(WithTriangle(), 3));
+  EXPECT_FALSE(HasClique(TriangleFree(), 3));
+  auto clique = FindClique(WithTriangle(), 3);
+  ASSERT_TRUE(clique.has_value());
+  EXPECT_TRUE(WithTriangle().IsClique(*clique));
+}
+
+TEST(CliqueTest, BlowUpPreservesCliqueStructure) {
+  Graph g = TriangleFree();
+  Graph blown = BlowUpGraph(g, 3);
+  EXPECT_EQ(blown.num_vertices(), 18);
+  // Edges of G become 6-cliques; no triangle in G means no 7-clique here.
+  EXPECT_TRUE(HasClique(blown, 6));
+  EXPECT_FALSE(HasClique(blown, 7));
+  Graph t = WithTriangle();
+  Graph blown_t = BlowUpGraph(t, 3);
+  EXPECT_TRUE(HasClique(blown_t, 9));
+}
+
+TEST(RhoTest, BijectionOnPairs) {
+  // k = 4: 6 pairs, lexicographic.
+  EXPECT_EQ(RhoPair(4, 1), std::make_pair(1, 2));
+  EXPECT_EQ(RhoPair(4, 2), std::make_pair(1, 3));
+  EXPECT_EQ(RhoPair(4, 6), std::make_pair(3, 4));
+}
+
+TEST(GridReductionTest, GridQueryIsACore) {
+  CliqueReduction r = MakeGridCliqueReduction(3, 3, 3, "rh", "rv");
+  EXPECT_TRUE(IsCore(r.query));
+  EXPECT_EQ(r.query.AllVariables().size(), 9u);
+  EXPECT_EQ(r.d.size(), 12u);
+}
+
+TEST(GridReductionTest, MinorMapPartitionsGrid) {
+  CliqueReduction r = MakeGridCliqueReduction(3, 3, 3, "rh", "rv");
+  std::vector<Term> all = MinorMapUnion(r.mu);
+  EXPECT_EQ(all.size(), 9u);  // every grid element in exactly one block
+}
+
+class VariantReductionIff : public ::testing::TestWithParam<int> {};
+
+TEST_P(VariantReductionIff, CliqueIffQueryHolds) {
+  // Theorem 5.13 / Theorem 4.1 shape on k = 3 with several graphs.
+  const int seed = GetParam();
+  Graph g(6);
+  // Deterministic pseudo-random graph from the seed.
+  uint32_t state = static_cast<uint32_t>(seed) * 2654435761u + 12345u;
+  auto next = [&state]() {
+    state = state * 1664525u + 1013904223u;
+    return state >> 16;
+  };
+  for (int u = 0; u < 6; ++u) {
+    for (int v = u + 1; v < 6; ++v) {
+      if (next() % 100 < 45) g.AddEdge(u, v);
+    }
+  }
+  CliqueReduction r = MakeGridCliqueReduction(3, 3, 3, "rh", "rv");
+  ReductionOutcome outcome = RunVariantReduction(g, r);
+  EXPECT_EQ(outcome.query_holds, HasClique(g, 3)) << "seed " << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, VariantReductionIff,
+                         ::testing::Range(0, 10));
+
+TEST(VariantReductionTest, KnownGraphs) {
+  CliqueReduction r = MakeGridCliqueReduction(3, 3, 3, "rh", "rv");
+  EXPECT_FALSE(RunVariantReduction(TriangleFree(), r).query_holds);
+  EXPECT_TRUE(RunVariantReduction(WithTriangle(), r).query_holds);
+  EXPECT_TRUE(RunVariantReduction(Graph::Clique(4), r).query_holds);
+}
+
+TEST(VariantReductionTest, ProjectionValidates) {
+  CliqueReduction r = MakeGridCliqueReduction(3, 3, 3, "rh", "rv");
+  Graph g = WithTriangle();
+  VariantDatabase variant = BuildVariantDatabase(g, r.k, r.d_prime, r.mu);
+  std::string why;
+  EXPECT_TRUE(variant.ValidateProjection(r.d_prime, &why)) << why;
+}
+
+TEST(VariantReductionTest, ConstraintsSatisfiedByDstar) {
+  // CQS-flavoured reduction (Theorem 7.1(3) / Lemma H.2(4)): with the
+  // decorating constraints h ⊆ e, v ⊆ e, D* satisfies Σ.
+  TgdSet sigma = ParseTgds(R"(
+    ch(X, Y) -> ce(X, Y).
+    cv(X, Y) -> ce(X, Y).
+  )");
+  CliqueReduction r = MakeGridCliqueReduction(3, 3, 3, "ch", "cv", sigma);
+  ASSERT_TRUE(Satisfies(r.d_prime, sigma));
+  ReductionOutcome with_clique = RunVariantReduction(WithTriangle(), r);
+  EXPECT_TRUE(with_clique.satisfies_sigma);
+  EXPECT_TRUE(with_clique.query_holds);
+  ReductionOutcome without = RunVariantReduction(TriangleFree(), r);
+  EXPECT_TRUE(without.satisfies_sigma);
+  EXPECT_FALSE(without.query_holds);
+}
+
+TEST(GroheReductionTest, CliqueIffQueryHolds) {
+  CliqueReduction r = MakeGridCliqueReduction(3, 3, 3, "gh", "gv");
+  EXPECT_TRUE(RunGroheReduction(WithTriangle(), r).query_holds);
+  EXPECT_FALSE(RunGroheReduction(TriangleFree(), r).query_holds);
+}
+
+TEST(GroheReductionTest, ProjectionValidates) {
+  CliqueReduction r = MakeGridCliqueReduction(3, 3, 3, "gh", "gv");
+  GroheDatabase grohe = BuildGroheDatabase(WithTriangle(), r.k, r.d, r.mu);
+  std::string why;
+  EXPECT_TRUE(grohe.ValidateProjection(r.d, &why)) << why;
+}
+
+TEST(GroheReductionTest, K2DegeneratesToEdgeSearch) {
+  // k=2: K=1, 2x1 grid query = a single v-edge; a 2-clique is an edge.
+  CliqueReduction r = MakeGridCliqueReduction(2, 2, 1, "kh", "kv");
+  Graph no_edges(4);
+  EXPECT_FALSE(RunVariantReduction(no_edges, r).query_holds);
+  Graph one_edge(4);
+  one_edge.AddEdge(1, 3);
+  EXPECT_TRUE(RunVariantReduction(one_edge, r).query_holds);
+}
+
+TEST(ReductionSizeTest, OutputPolynomialInGraph) {
+  CliqueReduction r = MakeGridCliqueReduction(3, 3, 3, "sh", "sv");
+  ReductionOutcome small = RunVariantReduction(Graph::Clique(4), r);
+  ReductionOutcome larger = RunVariantReduction(Graph::Clique(6), r);
+  EXPECT_GT(larger.dstar_atoms, small.dstar_atoms);
+  // f(k) * poly(G): for fixed k the growth is polynomial — sanity bound.
+  EXPECT_LT(larger.dstar_atoms,
+            small.dstar_atoms * 100);
+}
+
+}  // namespace
+}  // namespace gqe

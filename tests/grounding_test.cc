@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include "approx/grounding.h"
+#include "approx/meta.h"
+#include "omq/containment.h"
+#include "omq/evaluation.h"
+#include "parser/parser.h"
+
+namespace gqe {
+namespace {
+
+TEST(GroundingTest, GuardAtomDerivesComponent) {
+  // Σ = {r(X,Y) -> s(X)} (full, guarded): the piece s(X) is derivable
+  // from the single guard atom r(X, Y'), so a grounding with an r-atom
+  // must appear.
+  TgdSet sigma = ParseTgds("zr(X, Y) -> zs(X).");
+  CQ cq = ParseCq("zq() :- zs(X).");
+  Schema schema;
+  schema.Add("zr", 2);
+  schema.Add("zs", 1);
+  auto groundings = EnumerateSigmaGroundings(cq, sigma, schema, -1);
+  ASSERT_FALSE(groundings.empty());
+  bool found_r_grounding = false;
+  bool found_s_grounding = false;
+  for (const auto& g : groundings) {
+    for (const Atom& atom : g.grounding.atoms()) {
+      if (atom.predicate() == predicates::Lookup("zr")) {
+        found_r_grounding = true;
+      }
+      if (atom.predicate() == predicates::Lookup("zs")) {
+        found_s_grounding = true;
+      }
+    }
+  }
+  EXPECT_TRUE(found_r_grounding);
+  EXPECT_TRUE(found_s_grounding);
+}
+
+TEST(GroundingTest, ApproximationContainedInOriginal) {
+  // Lemma C.7 (1): Q_k^a ⊆ Q.
+  TgdSet sigma = ParseTgds("zr2(X, Y) -> zs2(X).");
+  UCQ q = ParseUcq("zq2(X) :- zs2(X).");
+  Omq omq = Omq::WithFullDataSchema(sigma, q);
+  Omq approximation = GroundingApproximationOmq(omq, 2);
+  ASSERT_GT(approximation.query.num_disjuncts(), 0u);
+  EXPECT_TRUE(OmqContainedSameOntology(approximation, omq));
+}
+
+TEST(GroundingTest, AgreesOnLowTreewidthDatabases) {
+  // Lemma C.7 (2): on databases of treewidth <= k, Q and Q_k^a agree.
+  TgdSet sigma = ParseTgds("zr3(X, Y) -> zs3(X).");
+  UCQ q = ParseUcq("zq3() :- zs3(X), zr3(X, Y).");
+  Omq omq = Omq::WithFullDataSchema(sigma, q);
+  Omq approximation = GroundingApproximationOmq(omq, 1);
+  ASSERT_GT(approximation.query.num_disjuncts(), 0u);
+  // Tree-shaped (treewidth-1) databases.
+  Instance db1 = ParseDatabase("zr3(a, b). zr3(b, c).");
+  EXPECT_EQ(OmqHolds(omq, db1, {}), OmqHolds(approximation, db1, {}));
+  Instance db2 = ParseDatabase("zs3(solo).");
+  EXPECT_EQ(OmqHolds(omq, db2, {}), OmqHolds(approximation, db2, {}));
+}
+
+TEST(GroundingTest, Example44ViaGroundings) {
+  // The grounding-based approximation reaches the same Example 4.4
+  // verdict as the contraction-based procedure.
+  TgdSet sigma = ParseTgds("zrr2(X) -> zrr4(X).");
+  UCQ q = ParseUcq(R"(
+    zq4() :- zp(X2,X1), zp(X4,X1), zp(X2,X3), zp(X4,X3),
+             zrr1(X1), zrr2(X2), zrr3(X3), zrr4(X4).
+  )");
+  Omq omq = Omq::WithFullDataSchema(sigma, q);
+  Omq approximation = GroundingApproximationOmq(omq, 1);
+  ASSERT_GT(approximation.query.num_disjuncts(), 0u);
+  // Both directions hold: the OMQ is UCQ_1-equivalent.
+  EXPECT_TRUE(OmqContainedSameOntology(approximation, omq));
+  EXPECT_TRUE(OmqContainedSameOntology(omq, approximation));
+}
+
+TEST(GroundingTest, TreewidthFilterApplies) {
+  TgdSet sigma = ParseTgds("zr5(X, Y) -> zs5(X).");
+  CQ cq = ParseCq("zq5() :- zp5(A, B), zp5(B, C), zp5(C, A).");
+  Schema schema;
+  schema.Add("zp5", 2);
+  schema.Add("zr5", 2);
+  schema.Add("zs5", 1);
+  for (const auto& g : EnumerateSigmaGroundings(cq, sigma, schema, 1)) {
+    EXPECT_LE(g.grounding.TreewidthOfExistentialPart(), 1);
+  }
+}
+
+TEST(GroundingTest, MetaDecisionsAgreeAcrossRoutes) {
+  // The contraction-based (Prop 5.11 route) and grounding-based
+  // (Prop 5.2 route) meta decisions agree on Example 4.4 and friends.
+  struct Case {
+    const char* sigma;
+    const char* query;
+    int k;
+  };
+  const Case cases[] = {
+      {"zmr2(X) -> zmr4(X).",
+       "zmq1() :- zmp(X2,X1), zmp(X4,X1), zmp(X2,X3), zmp(X4,X3), "
+       "zmr1(X1), zmr2(X2), zmr3(X3), zmr4(X4).",
+       1},
+      {"zmr2(X) -> zmr4(X).", "zmq2() :- zmp(X, Y), zmp(Y, Z).", 1},
+      {"zma(X) -> zmb(X).", "zmq3() :- zme(X,Y), zme(Y,Z), zme(Z,X).", 1},
+  };
+  for (const Case& c : cases) {
+    TgdSet sigma = ParseTgds(c.sigma);
+    UCQ q = ParseUcq(c.query);
+    Omq omq = Omq::WithFullDataSchema(sigma, q);
+    MetaResult via_contractions = DecideUcqkEquivalenceOmqFullSchema(omq, c.k);
+    MetaResult via_groundings = DecideUcqkEquivalenceOmqViaGroundings(omq, c.k);
+    EXPECT_EQ(via_contractions.equivalent, via_groundings.equivalent)
+        << c.query;
+  }
+}
+
+TEST(GroundingTest, RejectsNonFullOntologies) {
+  TgdSet sigma = ParseTgds("zr6(X) -> zs6(X, Y).");
+  CQ cq = ParseCq("zq6() :- zs6(X, Y).");
+  Schema schema;
+  schema.Add("zr6", 1);
+  schema.Add("zs6", 2);
+  EXPECT_DEATH(EnumerateSigmaGroundings(cq, sigma, schema, 1),
+               "full guarded");
+}
+
+}  // namespace
+}  // namespace gqe

@@ -1,0 +1,153 @@
+// End-to-end integration tests: full programs through the parser, the
+// two evaluation semantics, semantic-treewidth rewriting, and the
+// hardness reduction — the workflows the examples and benches exercise.
+
+#include <gtest/gtest.h>
+
+#include "approx/meta.h"
+#include "chase/chase.h"
+#include "cqs/evaluation.h"
+#include "fc/witness.h"
+#include "grohe/clique.h"
+#include "grohe/reduction.h"
+#include "omq/evaluation.h"
+#include "parser/parser.h"
+#include "query/evaluation.h"
+#include "workload/generators.h"
+
+namespace gqe {
+namespace {
+
+Term C(const char* name) { return Term::Constant(name); }
+
+TEST(IntegrationTest, UniversityScenarioEndToEnd) {
+  ParseResult parsed = ParseProgram(R"(
+    iundergrad(uma). igrad(gil).
+    iadvises(ada, gil).
+    iundergrad(X) -> istudent(X).
+    igrad(X) -> istudent(X).
+    istudent(X) -> ienrolled(X, U), iuniversity(U).
+    igrad(S) -> iadvises(Q, S), iprof(Q).
+    iadvises(P, S) -> iprof(P).
+    enrolled_q(X) :- ienrolled(X, U), iuniversity(U).
+    advised_q(S) :- iadvises(P, S), iprof(P).
+  )");
+  ASSERT_TRUE(parsed.ok) << parsed.error;
+  const Program& p = parsed.program;
+  ASSERT_TRUE(IsGuardedSet(p.tgds));
+
+  Omq enrolled = Omq::WithFullDataSchema(p.tgds, p.queries.at("enrolled_q"));
+  OmqEvalResult r1 = EvaluateOmq(enrolled, p.database);
+  EXPECT_TRUE(r1.exact);
+  EXPECT_EQ(r1.answers.size(), 2u);  // uma and gil
+
+  Omq advised = Omq::WithFullDataSchema(p.tgds, p.queries.at("advised_q"));
+  OmqEvalResult r2 = EvaluateOmq(advised, p.database);
+  ASSERT_EQ(r2.answers.size(), 1u);
+  EXPECT_EQ(r2.answers[0][0], C("gil"));
+
+  // Closed world sees only recorded facts.
+  Cqs cqs{p.tgds, p.queries.at("enrolled_q")};
+  EXPECT_EQ(EvaluateCqs(cqs, p.database).answers.size(), 0u);
+}
+
+TEST(IntegrationTest, RewritingSpeedsUpAndPreservesAnswers) {
+  // Example 4.4 pipeline: decide equivalence, rewrite, compare answers on
+  // a constraint-satisfying database.
+  Cqs cqs;
+  cqs.sigma = ParseTgds("ir2(X) -> ir4(X).");
+  cqs.query = ParseUcq(R"(
+    iq() :- ip(X2,X1), ip(X4,X1), ip(X2,X3), ip(X4,X3),
+            ir1(X1), ir2(X2), ir3(X3), ir4(X4).
+  )");
+  MetaResult meta = DecideUniformUcqkEquivalenceCqs(cqs, 1);
+  ASSERT_TRUE(meta.equivalent);
+
+  for (int seed = 0; seed < 5; ++seed) {
+    WorkloadRng rng(seed);
+    Instance db;
+    auto constant = [seed](uint32_t i) {
+      return Term::Constant("i" + std::to_string(seed) + "_" +
+                            std::to_string(i));
+    };
+    for (int i = 0; i < 40; ++i) {
+      db.Insert(Atom::Make("ip", {constant(rng.Below(12)),
+                                  constant(rng.Below(12))}));
+    }
+    for (uint32_t i = 0; i < 12; ++i) {
+      if (rng.Chance(50)) db.Insert(Atom::Make("ir1", {constant(i)}));
+      if (rng.Chance(50)) {
+        db.Insert(Atom::Make("ir2", {constant(i)}));
+        db.Insert(Atom::Make("ir4", {constant(i)}));
+      }
+      if (rng.Chance(50)) db.Insert(Atom::Make("ir3", {constant(i)}));
+    }
+    ASSERT_TRUE(Satisfies(db, cqs.sigma));
+    EXPECT_EQ(HoldsBooleanUCQ(cqs.query, db),
+              HoldsBooleanUCQ(meta.rewriting, db))
+        << "seed " << seed;
+  }
+}
+
+TEST(IntegrationTest, HardnessReductionSweep) {
+  // The full Theorem 5.13 pipeline over a batch of graphs, both with and
+  // without constraints.
+  TgdSet sigma = ParseTgds(R"(
+    izh(X, Y) -> ize(X, Y).
+    izv(X, Y) -> ize(X, Y).
+  )");
+  CliqueReduction with_sigma =
+      MakeGridCliqueReduction(3, 3, 3, "izh", "izv", sigma);
+  for (int seed = 20; seed < 26; ++seed) {
+    Graph g = RandomGraph(6, 50, seed);
+    ReductionOutcome outcome = RunVariantReduction(g, with_sigma);
+    EXPECT_TRUE(outcome.satisfies_sigma) << "seed " << seed;
+    EXPECT_EQ(outcome.query_holds, HasClique(g, 3)) << "seed " << seed;
+  }
+}
+
+TEST(IntegrationTest, OpenWorldReductionToClosedWorld) {
+  // Prop 5.8 pipeline on a parsed program: certain answers through the
+  // closed-world engine on D*.
+  ParseResult parsed = ParseProgram(R"(
+    jcust(cora). jcust(dave). jvip(cora).
+    jcust(X) -> jorder(X, O), jord(O).
+    jvip(X) -> jpriority(X).
+    jq(X) :- jorder(X, O), jord(O).
+  )");
+  ASSERT_TRUE(parsed.ok) << parsed.error;
+  const Program& p = parsed.program;
+  Omq omq = Omq::WithFullDataSchema(p.tgds, p.queries.at("jq"));
+  OmqToCqsReduction reduction = ReduceOmqToCqs(omq, p.database);
+  ASSERT_TRUE(reduction.exact);
+  ASSERT_TRUE(Satisfies(reduction.dstar, p.tgds));
+  std::vector<std::vector<Term>> closed;
+  for (auto& tuple : EvaluateUCQ(p.queries.at("jq"), reduction.dstar)) {
+    if (p.database.InDomain(tuple[0])) closed.push_back(std::move(tuple));
+  }
+  EXPECT_EQ(closed, EvaluateOmq(omq, p.database).answers);
+}
+
+TEST(IntegrationTest, TwoSemanticsCoincideOnSatisfyingData) {
+  // On databases satisfying Σ, open and closed world agree for guarded
+  // full sets (no anonymous part): randomized sweep.
+  TgdSet sigma = ParseTgds(R"(
+    ka(X, Y) -> kb(Y, X).
+    kb(X, Y) -> kc(X).
+  )");
+  UCQ q = ParseUcq("kq(X) :- kb(X, Y), kc(X).");
+  for (int seed = 0; seed < 6; ++seed) {
+    Instance raw = RandomBinaryDatabase("ka", 7, 9, seed, "k");
+    ChaseResult chased = Chase(raw, sigma);
+    ASSERT_TRUE(chased.complete);
+    const Instance& db = chased.instance;
+    ASSERT_TRUE(Satisfies(db, sigma));
+    Omq omq = Omq::WithFullDataSchema(sigma, q);
+    Cqs cqs{sigma, q};
+    EXPECT_EQ(EvaluateOmq(omq, db).answers, EvaluateCqs(cqs, db).answers)
+        << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace gqe

@@ -1,0 +1,138 @@
+// Lemma C.2 (Appendix C.1): every witnessing homomorphism of a certain
+// answer decomposes as a *specialization*: variables split into a
+// ground-mapped set V and components of q[V] that each live inside the
+// chase subtree rooted at a single database atom's bag ("squid
+// decomposition"). These tests verify that structure on live chase
+// portions, using the bag forest's parentage to identify subtrees.
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <unordered_map>
+
+#include "guarded/chase_tree.h"
+#include "guarded/saturation.h"
+#include "parser/parser.h"
+#include "query/homomorphism.h"
+#include "query/substitution.h"
+
+namespace gqe {
+namespace {
+
+/// Root bag (index) of the subtree containing a null, or -1 for ground.
+int RootOfNull(const ChaseTree& tree, Term t) {
+  if (!t.IsNull()) return -1;
+  int bag = tree.BagOfNull(t);
+  if (bag < 0) return -1;
+  while (tree.bags[bag].parent != -1) bag = tree.bags[bag].parent;
+  return bag;
+}
+
+/// Verifies the Lemma C.2 shape for one homomorphism: components of the
+/// query connected through null-mapped variables must map into a single
+/// root subtree each.
+bool DecomposesPerLemmaC2(const ChaseTree& tree, const CQ& cq,
+                          const Substitution& hom) {
+  // Union-find over query variables joined when they share an atom and
+  // both map to nulls.
+  std::vector<Term> vars = cq.AllVariables();
+  std::unordered_map<Term, Term> parent;
+  for (Term v : vars) parent[v] = v;
+  std::function<Term(Term)> find = [&](Term v) {
+    while (parent[v] != v) {
+      parent[v] = parent[parent[v]];
+      v = parent[v];
+    }
+    return v;
+  };
+  for (const Atom& atom : cq.atoms()) {
+    Term first = Term();
+    bool has_first = false;
+    for (Term t : atom.args()) {
+      if (!t.IsVariable() || !hom.Apply(t).IsNull()) continue;
+      if (!has_first) {
+        first = t;
+        has_first = true;
+      } else {
+        parent[find(first)] = find(t);
+      }
+    }
+  }
+  // Each null-component must live in one root subtree.
+  std::unordered_map<Term, int> component_root;
+  for (Term v : vars) {
+    Term image = hom.Apply(v);
+    if (!image.IsNull()) continue;
+    const int root = RootOfNull(tree, image);
+    if (root < 0) return false;  // untracked null
+    Term rep = find(v);
+    auto it = component_root.find(rep);
+    if (it == component_root.end()) {
+      component_root[rep] = root;
+    } else if (it->second != root) {
+      return false;  // one component spans two subtrees: impossible
+    }
+  }
+  return true;
+}
+
+class LemmaC2Test : public ::testing::Test {
+ protected:
+  /// Checks all witnessing homs of `query_text` over (db, sigma).
+  void ExpectDecomposition(const char* db_text, const char* sigma_text,
+                           const char* query_text, bool expect_answer) {
+    Instance db = ParseDatabase(db_text);
+    TgdSet sigma = ParseTgds(sigma_text);
+    CQ cq = ParseCq(query_text);
+    ChaseTreeOptions options;
+    options.blocking_repeats =
+        static_cast<int>(cq.AllVariables().size()) + 1;
+    ChaseTree tree = BuildChaseTree(db, sigma, options);
+    std::vector<Substitution> homs =
+        HomomorphismSearch(cq.atoms(), tree.portion).FindAll();
+    EXPECT_EQ(!homs.empty(), expect_answer);
+    for (const Substitution& hom : homs) {
+      EXPECT_TRUE(DecomposesPerLemmaC2(tree, cq, hom));
+    }
+  }
+};
+
+TEST_F(LemmaC2Test, PurelyGroundWitness) {
+  ExpectDecomposition("c2r(a, b). c2s(b).", "c2r(X, Y) -> c2t(X).",
+                      "c2q() :- c2r(X, Y), c2s(Y), c2t(X).", true);
+}
+
+TEST_F(LemmaC2Test, SingleAnonymousComponent) {
+  ExpectDecomposition("c2p(u).", "c2p(X) -> c2e(X, Y), c2e(Y, Z).",
+                      "c2q2() :- c2e(X, Y), c2e(Y, Z).", true);
+}
+
+TEST_F(LemmaC2Test, TwoIndependentComponents) {
+  // Two employees get separate anonymous departments: two components,
+  // each inside its own subtree.
+  ExpectDecomposition("c2emp(e1). c2emp(e2).",
+                      "c2emp(X) -> c2w(X, D2).",
+                      "c2q3() :- c2w(X, D2), c2w(Y, E2).", true);
+}
+
+TEST_F(LemmaC2Test, MixedGroundAndAnonymous) {
+  ExpectDecomposition(
+      "c2stud(s). c2uni(mit).",
+      "c2stud(X) -> c2enr(X, U), c2uni(U).",
+      "c2q4() :- c2enr(X, U), c2uni(U), c2uni(W).", true);
+}
+
+TEST_F(LemmaC2Test, NoWitnessNoAnswer) {
+  ExpectDecomposition("c2lone(z).", "c2p2(X) -> c2e2(X, Y).",
+                      "c2q5() :- c2e2(X, Y).", false);
+}
+
+TEST_F(LemmaC2Test, DeepSubtreeComponent) {
+  ExpectDecomposition(
+      "c2seed(r).",
+      "c2seed(X) -> c2n(X, Y). c2n(X, Y) -> c2n(Y, Z).",
+      "c2q6() :- c2n(A, B), c2n(B, C2), c2n(C2, D2).", true);
+}
+
+}  // namespace
+}  // namespace gqe

@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include "parser/parser.h"
+
+namespace gqe {
+namespace {
+
+TEST(ParserTest, FactsAndComments) {
+  ParseResult result = ParseProgram(R"(
+    % a friendly comment
+    pedge(a, b).  # trailing comment style two
+    pedge(b, c).
+    plabel(a).
+  )");
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.program.database.size(), 3u);
+  EXPECT_TRUE(result.program.database.Contains(
+      Atom::Make("pedge", {Term::Constant("a"), Term::Constant("b")})));
+}
+
+TEST(ParserTest, TgdWithExistential) {
+  ParseResult result = ParseProgram(R"(
+    pperson(X) -> pparent(X, Y), pperson(Y).
+  )");
+  ASSERT_TRUE(result.ok) << result.error;
+  ASSERT_EQ(result.program.tgds.size(), 1u);
+  const Tgd& tgd = result.program.tgds[0];
+  EXPECT_TRUE(tgd.IsGuarded());
+  EXPECT_EQ(tgd.ExistentialVariables().size(), 1u);
+  EXPECT_EQ(tgd.head().size(), 2u);
+}
+
+TEST(ParserTest, EmptyBodyTgd) {
+  ParseResult result = ParseProgram("-> pinit(Z).");
+  ASSERT_TRUE(result.ok) << result.error;
+  ASSERT_EQ(result.program.tgds.size(), 1u);
+  EXPECT_TRUE(result.program.tgds[0].body().empty());
+}
+
+TEST(ParserTest, UcqFromRepeatedHeads) {
+  ParseResult result = ParseProgram(R"(
+    pq(X) :- pedge(X, Y).
+    pq(X) :- plabel(X).
+  )");
+  ASSERT_TRUE(result.ok) << result.error;
+  ASSERT_EQ(result.program.queries.size(), 1u);
+  const UCQ& ucq = result.program.queries.at("pq");
+  EXPECT_EQ(ucq.num_disjuncts(), 2u);
+  EXPECT_EQ(ucq.arity(), 1);
+}
+
+TEST(ParserTest, BooleanQuery) {
+  ParseResult result = ParseProgram("pqb() :- pedge(X, Y), pedge(Y, X).");
+  ASSERT_TRUE(result.ok) << result.error;
+  const UCQ& ucq = result.program.queries.at("pqb");
+  EXPECT_TRUE(ucq.IsBoolean());
+}
+
+TEST(ParserTest, ZeroAryPredicate) {
+  ParseResult result = ParseProgram(R"(
+    pflag().
+    pedge(X, Y) -> pans().
+  )");
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.program.database.size(), 1u);
+  EXPECT_EQ(result.program.tgds.size(), 1u);
+}
+
+TEST(ParserTest, ErrorOnVariableInFact) {
+  ParseResult result = ParseProgram("pedge(X, b).");
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("variable"), std::string::npos);
+}
+
+TEST(ParserTest, ErrorOnArityMismatch) {
+  ParseResult result = ParseProgram(R"(
+    pbin(a, b).
+    pbin(c).
+  )");
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("arity"), std::string::npos);
+}
+
+TEST(ParserTest, ErrorOnConstantInTgd) {
+  ParseResult result = ParseProgram("pedge(X, Y) -> plabel2(X, c).");
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("constant"), std::string::npos);
+}
+
+TEST(ParserTest, ErrorOnUnsafeQuery) {
+  ParseResult result = ParseProgram("pq2(X) :- pedge(Y, Z).");
+  EXPECT_FALSE(result.ok);
+}
+
+TEST(ParserTest, ErrorLineNumbers) {
+  ParseResult result = ParseProgram("pedge(a, b).\npedge(X, b).\n");
+  EXPECT_FALSE(result.ok);
+  EXPECT_EQ(result.error_line, 2);
+}
+
+TEST(ParserTest, ConvenienceParsers) {
+  Instance db = ParseDatabase("pedge(a,b). pedge(b,c).");
+  EXPECT_EQ(db.size(), 2u);
+  TgdSet tgds = ParseTgds("pedge(X,Y) -> pedge(Y,X).");
+  EXPECT_EQ(tgds.size(), 1u);
+  CQ cq = ParseCq("pq3(X) :- pedge(X, Y).");
+  EXPECT_EQ(cq.arity(), 1);
+  UCQ ucq = ParseUcq("pq4() :- pedge(X,Y). pq4() :- plabel(X).");
+  EXPECT_EQ(ucq.num_disjuncts(), 2u);
+}
+
+TEST(ParserTest, MixedProgram) {
+  ParseResult result = ParseProgram(R"(
+    % a database
+    memployee(ann). mmanages(ann, bob).
+    % an ontology
+    memployee(X) -> mworksin(X, D), mdept(D).
+    mmanages(X, Y), mworksin(Y, D) -> mbigboss(X).
+    % a query
+    mq(X) :- mworksin(X, D), mdept(D).
+  )");
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.program.database.size(), 2u);
+  EXPECT_EQ(result.program.tgds.size(), 2u);
+  EXPECT_EQ(result.program.queries.size(), 1u);
+  EXPECT_FALSE(result.program.tgds[1].IsGuarded());
+  EXPECT_TRUE(result.program.tgds[1].IsFrontierGuarded());
+}
+
+}  // namespace
+}  // namespace gqe

@@ -1,0 +1,249 @@
+// Property-based tests: randomized cross-checks of independent engines
+// and classical invariants, swept over seeds with TEST_P.
+
+#include <gtest/gtest.h>
+
+#include "chase/chase.h"
+#include "graph/treewidth.h"
+#include "guarded/omq_eval.h"
+#include "linear/linear_chase.h"
+#include "query/containment.h"
+#include "query/contraction.h"
+#include "query/core.h"
+#include "query/evaluation.h"
+#include "query/homomorphism.h"
+#include "query/tw_evaluation.h"
+#include "workload/generators.h"
+
+namespace gqe {
+namespace {
+
+// ---------------------------------------------------------------------
+// Random CQ evaluation: backtracking join vs Prop 2.1 tree DP.
+// ---------------------------------------------------------------------
+
+class RandomCqAgreement : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomCqAgreement, TreeDpMatchesBacktracking) {
+  const int seed = GetParam();
+  WorkloadRng rng(seed);
+  Instance db = RandomBinaryDatabase("pr1e", 10, 25, seed, "p1");
+  // Random Boolean CQ: 3-5 atoms over 3-5 variables.
+  const int num_vars = 3 + rng.Below(3);
+  const int num_atoms = 3 + rng.Below(3);
+  std::vector<Atom> atoms;
+  for (int i = 0; i < num_atoms; ++i) {
+    atoms.push_back(Atom::Make(
+        "pr1e",
+        {Term::Variable("pv" + std::to_string(rng.Below(num_vars))),
+         Term::Variable("pv" + std::to_string(rng.Below(num_vars)))}));
+  }
+  CQ cq({}, atoms);
+  EXPECT_EQ(HoldsBooleanCQ(cq, db), HoldsBooleanCqTreeDp(cq, db))
+      << cq.ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomCqAgreement, ::testing::Range(0, 25));
+
+// ---------------------------------------------------------------------
+// Chase universality (Prop 2.2) on random weakly-acyclic guarded sets.
+// ---------------------------------------------------------------------
+
+class ChaseUniversality : public ::testing::TestWithParam<int> {};
+
+TEST_P(ChaseUniversality, ChaseMapsIntoEveryModel) {
+  const int seed = GetParam();
+  // Acyclic inclusion dependencies: pr2a -> pr2b -> pr2c (with random
+  // argument permutations), so the chase terminates.
+  WorkloadRng rng(seed);
+  Term x = Term::Variable("X");
+  Term y = Term::Variable("Y");
+  Term z = Term::Variable("Z");
+  TgdSet sigma;
+  sigma.push_back(Tgd({Atom::Make("pr2a", {x, y})},
+                      {rng.Chance(50) ? Atom::Make("pr2b", {x, y})
+                                      : Atom::Make("pr2b", {y, x})}));
+  sigma.push_back(Tgd({Atom::Make("pr2b", {x, y})},
+                      {rng.Chance(50) ? Atom::Make("pr2c", {x, z})
+                                      : Atom::Make("pr2c", {y, z})}));
+  ASSERT_TRUE(IsObliviousChaseTerminating(sigma));
+  Instance db = RandomBinaryDatabase("pr2a", 5, 6, seed, "p2");
+  ChaseResult chased = Chase(db, sigma);
+  ASSERT_TRUE(chased.complete);
+  // Build another model by over-saturating: add pr2b/pr2c facts over a
+  // fixed constant.
+  Instance model;
+  model.InsertAll(db);
+  Term w = Term::Constant("p2w");
+  for (Term t : db.ActiveDomain()) {
+    model.Insert(Atom::Make("pr2b", {t, w}));
+    model.Insert(Atom::Make("pr2b", {w, t}));
+    model.Insert(Atom::Make("pr2c", {t, w}));
+    model.Insert(Atom::Make("pr2c", {w, t}));
+  }
+  model.Insert(Atom::Make("pr2b", {w, w}));
+  model.Insert(Atom::Make("pr2c", {w, w}));
+  if (!Satisfies(model, sigma)) return;  // rare orientation mismatch: skip
+  std::vector<Term> fixed = db.ActiveDomain();
+  EXPECT_TRUE(
+      InstanceHomomorphism(chased.instance, model, fixed).has_value());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChaseUniversality, ::testing::Range(0, 15));
+
+// ---------------------------------------------------------------------
+// Core invariants on random queries.
+// ---------------------------------------------------------------------
+
+class CoreProperties : public ::testing::TestWithParam<int> {};
+
+TEST_P(CoreProperties, CoreIsEquivalentMinimalAndIdempotent) {
+  const int seed = GetParam();
+  WorkloadRng rng(seed);
+  const int num_vars = 3 + rng.Below(3);
+  std::vector<Atom> atoms;
+  for (int i = 0; i < 4; ++i) {
+    atoms.push_back(Atom::Make(
+        "pr3e",
+        {Term::Variable("cv" + std::to_string(rng.Below(num_vars))),
+         Term::Variable("cv" + std::to_string(rng.Below(num_vars)))}));
+  }
+  CQ cq({}, atoms);
+  CQ core = CqCore(cq);
+  EXPECT_TRUE(CqEquivalent(cq, core));
+  EXPECT_TRUE(IsCore(core));
+  EXPECT_LE(core.atoms().size(), cq.atoms().size());
+  CQ core2 = CqCore(core);
+  EXPECT_EQ(core2.atoms().size(), core.atoms().size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CoreProperties, ::testing::Range(0, 20));
+
+// ---------------------------------------------------------------------
+// Contraction counts equal admissible-partition counts (Bell numbers).
+// ---------------------------------------------------------------------
+
+TEST(ContractionCounts, BellNumbersForBooleanQueries) {
+  // Boolean CQs with v variables: count = Bell(v).
+  const size_t bell[] = {1, 1, 2, 5, 15, 52};
+  for (int v = 2; v <= 5; ++v) {
+    std::vector<Atom> atoms;
+    for (int i = 0; i + 1 < v; ++i) {
+      atoms.push_back(
+          Atom::Make("pr4e", {Term::Variable("bv" + std::to_string(i)),
+                              Term::Variable("bv" + std::to_string(i + 1))}));
+    }
+    CQ cq({}, atoms);
+    size_t count = ForEachContraction(
+        cq, [](const CQ&, const Substitution&) { return true; });
+    EXPECT_EQ(count, bell[v]) << "v=" << v;
+  }
+}
+
+TEST(ContractionCounts, AnswerVariableRestrictions) {
+  // 1 answer var + 2 existential vars: partitions of 3 elements where the
+  // answer var's block constraint is vacuous (only one answer var) = 5.
+  CQ cq({Term::Variable("AV")},
+        {Atom::Make("pr4e", {Term::Variable("AV"), Term::Variable("E1")}),
+         Atom::Make("pr4e", {Term::Variable("E1"), Term::Variable("E2")})});
+  size_t count = ForEachContraction(
+      cq, [](const CQ&, const Substitution&) { return true; });
+  EXPECT_EQ(count, 5u);
+}
+
+// ---------------------------------------------------------------------
+// Containment sanity: contraction => containment; core equivalence.
+// ---------------------------------------------------------------------
+
+class ContractionContainment : public ::testing::TestWithParam<int> {};
+
+TEST_P(ContractionContainment, EveryContractionIsContained) {
+  const int seed = GetParam();
+  WorkloadRng rng(seed);
+  std::vector<Atom> atoms;
+  for (int i = 0; i < 3; ++i) {
+    atoms.push_back(Atom::Make(
+        "pr5e", {Term::Variable("kv" + std::to_string(rng.Below(4))),
+                 Term::Variable("kv" + std::to_string(rng.Below(4)))}));
+  }
+  CQ cq({}, atoms);
+  for (const CQ& contraction : AllContractions(cq)) {
+    EXPECT_TRUE(CqContained(contraction, cq))
+        << contraction.ToString() << " vs " << cq.ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ContractionContainment,
+                         ::testing::Range(0, 10));
+
+// ---------------------------------------------------------------------
+// Linear engines agree on random inclusion-dependency workloads.
+// ---------------------------------------------------------------------
+
+class LinearEnginesAgree : public ::testing::TestWithParam<int> {};
+
+TEST_P(LinearEnginesAgree, RewritingVsChaseVsGuarded) {
+  const int seed = GetParam();
+  TgdSet sigma =
+      RandomInclusionDependencies("pr6r", 3, 4, /*existential=*/25, seed);
+  Instance db = RandomBinaryDatabase("pr6r0", 8, 10, seed * 7 + 1, "p6");
+  db.InsertAll(RandomBinaryDatabase("pr6r1", 8, 10, seed * 7 + 2, "p6"));
+  CQ q({Term::Variable("QX")},
+       {Atom::Make("pr6r" + std::to_string(seed % 3),
+                   {Term::Variable("QX"), Term::Variable("QY")})});
+  UCQ ucq({q});
+  auto via_rewriting = LinearCertainAnswersViaRewriting(db, sigma, ucq);
+  auto via_chase = LinearCertainAnswersViaChase(db, sigma, ucq, 14).answers;
+  auto via_guarded = GuardedCertainAnswers(db, sigma, ucq);
+  EXPECT_EQ(via_rewriting, via_chase) << "seed " << seed;
+  EXPECT_EQ(via_rewriting, via_guarded) << "seed " << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LinearEnginesAgree, ::testing::Range(0, 15));
+
+// ---------------------------------------------------------------------
+// Treewidth invariants on random graphs.
+// ---------------------------------------------------------------------
+
+class TreewidthInvariants : public ::testing::TestWithParam<int> {};
+
+TEST_P(TreewidthInvariants, BoundsAndValidDecompositions) {
+  const int seed = GetParam();
+  Graph g = RandomGraph(11, 25 + (seed % 4) * 15, seed);
+  TreewidthResult result = ComputeTreewidth(g);
+  ASSERT_TRUE(result.exact());
+  std::string why;
+  EXPECT_TRUE(result.decomposition.Validate(g, &why)) << why;
+  EXPECT_EQ(result.decomposition.Width(), result.upper_bound);
+  EXPECT_GE(result.upper_bound, Degeneracy(g));
+  // Heuristics are upper bounds.
+  int min_fill =
+      DecompositionFromEliminationOrder(g, MinFillOrder(g)).Width();
+  EXPECT_GE(min_fill, result.upper_bound);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TreewidthInvariants, ::testing::Range(0, 12));
+
+// ---------------------------------------------------------------------
+// Homomorphism composition: hom(A->B) and hom(B->C) compose.
+// ---------------------------------------------------------------------
+
+class HomComposition : public ::testing::TestWithParam<int> {};
+
+TEST_P(HomComposition, ComposesThroughChase) {
+  const int seed = GetParam();
+  Instance a = RandomBinaryDatabase("pr7e", 4, 5, seed, "p7a");
+  Instance b = RandomBinaryDatabase("pr7e", 6, 14, seed + 100, "p7b");
+  Instance c = RandomBinaryDatabase("pr7e", 8, 30, seed + 200, "p7c");
+  auto ab = InstanceHomomorphism(a, b);
+  auto bc = InstanceHomomorphism(b, c);
+  if (ab.has_value() && bc.has_value()) {
+    // The composition witnesses a -> c.
+    EXPECT_TRUE(InstanceHomomorphism(a, c).has_value());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HomComposition, ::testing::Range(0, 15));
+
+}  // namespace
+}  // namespace gqe

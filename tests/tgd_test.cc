@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include "tgd/tgd.h"
+
+namespace gqe {
+namespace {
+
+Term V(const char* name) { return Term::Variable(name); }
+
+TEST(TgdTest, FrontierAndExistentials) {
+  // R(X,Y) -> exists Z. S(X,Z)
+  Tgd tgd({Atom::Make("TR", {V("X"), V("Y")})},
+          {Atom::Make("TS", {V("X"), V("Z")})});
+  auto frontier = tgd.Frontier();
+  ASSERT_EQ(frontier.size(), 1u);
+  EXPECT_EQ(frontier[0], V("X"));
+  auto existential = tgd.ExistentialVariables();
+  ASSERT_EQ(existential.size(), 1u);
+  EXPECT_EQ(existential[0], V("Z"));
+  EXPECT_FALSE(tgd.IsFull());
+  EXPECT_TRUE(tgd.IsLinear());
+  EXPECT_TRUE(tgd.IsGuarded());
+}
+
+TEST(TgdTest, GuardednessClassification) {
+  // Guarded: G(X,Y,Z), R(X,Y) -> S(X)   (G guards all body vars)
+  Tgd guarded({Atom::Make("TG3", {V("X"), V("Y"), V("Z")}),
+               Atom::Make("TR", {V("X"), V("Y")})},
+              {Atom::Make("TS1", {V("X")})});
+  EXPECT_TRUE(guarded.IsGuarded());
+  EXPECT_EQ(guarded.GuardIndex(), 0);
+  EXPECT_TRUE(guarded.IsFrontierGuarded());
+
+  // Frontier-guarded but not guarded: R(X,Y), R(Y,Z) -> S(X)
+  // frontier {X} is guarded by R(X,Y) but no atom has X,Y,Z.
+  Tgd fg({Atom::Make("TR", {V("X"), V("Y")}),
+          Atom::Make("TR", {V("Y"), V("Z")})},
+         {Atom::Make("TS1", {V("X")})});
+  EXPECT_FALSE(fg.IsGuarded());
+  EXPECT_TRUE(fg.IsFrontierGuarded());
+  EXPECT_EQ(fg.FrontierGuardIndex(), 0);
+
+  // Not frontier-guarded: R(X,Y), R(Y,Z) -> S(X,Z)
+  Tgd not_fg({Atom::Make("TR", {V("X"), V("Y")}),
+              Atom::Make("TR", {V("Y"), V("Z")})},
+             {Atom::Make("TS", {V("X"), V("Z")})});
+  EXPECT_FALSE(not_fg.IsGuarded());
+  EXPECT_FALSE(not_fg.IsFrontierGuarded());
+}
+
+TEST(TgdTest, EmptyBodyIsGuarded) {
+  Tgd tgd({}, {Atom::Make("TS1", {V("Z")})});
+  EXPECT_TRUE(tgd.IsGuarded());
+  EXPECT_TRUE(tgd.IsFrontierGuarded());
+  EXPECT_FALSE(tgd.IsFull());
+}
+
+TEST(TgdTest, BooleanCqAsFrontierGuardedTgd) {
+  // Section 3: ϕ(x̄) -> Ans with 0-ary Ans is frontier-guarded (empty
+  // frontier).
+  Tgd tgd({Atom::Make("TR", {V("X"), V("Y")}),
+           Atom::Make("TR", {V("Y"), V("Z")}),
+           Atom::Make("TR", {V("Z"), V("X")})},
+          {Atom::Make("TAns", std::vector<Term>{})});
+  EXPECT_TRUE(tgd.Frontier().empty());
+  EXPECT_TRUE(tgd.IsFrontierGuarded());
+  EXPECT_FALSE(tgd.IsGuarded());
+}
+
+TEST(TgdTest, SetClassification) {
+  Tgd linear({Atom::Make("TR", {V("X"), V("Y")})},
+             {Atom::Make("TS", {V("Y"), V("X")})});
+  Tgd guarded_not_linear({Atom::Make("TG3", {V("X"), V("Y"), V("Z")}),
+                          Atom::Make("TR", {V("X"), V("Y")})},
+                         {Atom::Make("TS1", {V("X")})});
+  TgdSet set = {linear, guarded_not_linear};
+  EXPECT_TRUE(IsGuardedSet(set));
+  EXPECT_FALSE(IsLinearSet(set));
+  EXPECT_TRUE(IsFullSet(set));
+  EXPECT_EQ(MaxHeadAtoms(set), 1);
+  EXPECT_GE(MaxRuleVariables(set), 3);
+  Schema schema = SchemaOf(set);
+  EXPECT_TRUE(schema.Contains(predicates::Lookup("TR")));
+  EXPECT_TRUE(schema.Contains(predicates::Lookup("TG3")));
+}
+
+TEST(TgdTest, ValidateRejectsConstants) {
+  Tgd bad({Atom::Make("TR", {V("X"), Term::Constant("c")})},
+          {Atom::Make("TS1", {V("X")})});
+  std::string why;
+  EXPECT_FALSE(bad.Validate(&why));
+}
+
+TEST(WeakAcyclicityTest, FullSetsAreWeaklyAcyclic) {
+  TgdSet set = {Tgd({Atom::Make("TR", {V("X"), V("Y")})},
+                    {Atom::Make("TR", {V("Y"), V("X")})})};
+  EXPECT_TRUE(IsWeaklyAcyclic(set));
+}
+
+TEST(WeakAcyclicityTest, SelfFeedingExistentialCycles) {
+  // R(X,Y) -> exists Z. R(Y,Z): classic non-terminating chase.
+  TgdSet set = {Tgd({Atom::Make("TR", {V("X"), V("Y")})},
+                    {Atom::Make("TR", {V("Y"), V("Z")})})};
+  EXPECT_FALSE(IsWeaklyAcyclic(set));
+}
+
+TEST(WeakAcyclicityTest, AcyclicExistentialOk) {
+  // R(X,Y) -> exists Z. S(Y,Z): S never feeds back into R.
+  TgdSet set = {Tgd({Atom::Make("TR", {V("X"), V("Y")})},
+                    {Atom::Make("TS", {V("Y"), V("Z")})})};
+  EXPECT_TRUE(IsWeaklyAcyclic(set));
+}
+
+TEST(WeakAcyclicityTest, TwoStepExistentialCycle) {
+  // R(X,Y) -> exists Z. S(Y,Z) and S(X,Y) -> R(Y,X). The restricted
+  // chase terminates (weakly acyclic: the null only ever reaches R's
+  // first position, which creates no new nulls), but the oblivious chase
+  // loops because trigger identity depends on the non-frontier body
+  // variable X.
+  TgdSet set = {Tgd({Atom::Make("TR", {V("X"), V("Y")})},
+                    {Atom::Make("TS", {V("Y"), V("Z")})}),
+                Tgd({Atom::Make("TS", {V("X"), V("Y")})},
+                    {Atom::Make("TR", {V("Y"), V("X")})})};
+  EXPECT_TRUE(IsWeaklyAcyclic(set));
+  EXPECT_FALSE(IsObliviousChaseTerminating(set));
+}
+
+TEST(WeakAcyclicityTest, ObliviousTerminationImpliesWeakAcyclicity) {
+  TgdSet ok = {Tgd({Atom::Make("TR", {V("X"), V("Y")})},
+                   {Atom::Make("TS", {V("Y"), V("Z")})})};
+  EXPECT_TRUE(IsObliviousChaseTerminating(ok));
+  EXPECT_TRUE(IsWeaklyAcyclic(ok));
+  TgdSet loop = {Tgd({Atom::Make("TR", {V("X"), V("Y")})},
+                     {Atom::Make("TR", {V("Y"), V("Z")})})};
+  EXPECT_FALSE(IsObliviousChaseTerminating(loop));
+}
+
+}  // namespace
+}  // namespace gqe

@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include "chase/chase.h"
+#include "graph/graph.h"
+#include "graph/treewidth.h"
+#include "guarded/omq_eval.h"
+#include "guarded/saturation.h"
+#include "guarded/unraveling.h"
+#include "omq/evaluation.h"
+#include "parser/parser.h"
+#include "query/evaluation.h"
+#include "query/homomorphism.h"
+
+namespace gqe {
+namespace {
+
+Term C(const char* name) { return Term::Constant(name); }
+
+TEST(GuardedUnravelingTest, MapsHomomorphicallyToOriginal) {
+  Instance db = ParseDatabase(R"(
+    gue(a, b). gue(b, c). gue(c, a).
+  )");
+  Substitution to_original;
+  Instance unraveled =
+      GuardedUnraveling(db, {C("a"), C("b")}, /*depth=*/3, &to_original);
+  // Every unraveled fact maps to a db fact under the copy map.
+  for (const Atom& atom : unraveled.atoms()) {
+    std::vector<Term> mapped;
+    for (Term t : atom.args()) mapped.push_back(to_original.Apply(t));
+    EXPECT_TRUE(db.Contains(Atom(atom.predicate(), mapped)))
+        << atom.ToString();
+  }
+  // The root facts appear uncopied.
+  EXPECT_TRUE(unraveled.Contains(Atom::Make("gue", {C("a"), C("b")})));
+}
+
+TEST(GuardedUnravelingTest, BreaksCycles) {
+  // The triangle unravels into a tree: no copy-level triangle except at
+  // the (uncopied) root atoms.
+  Instance db = ParseDatabase("gue2(a, b). gue2(b, c). gue2(c, a).");
+  Instance unraveled = GuardedUnraveling(db, {C("a"), C("b")}, 4);
+  // Treewidth stays 1 away from the root (tree of binary bags).
+  std::vector<Term> vertex_terms;
+  Graph gaifman = GaifmanGraph(unraveled, &vertex_terms);
+  TreewidthResult tw = ComputeTreewidth(gaifman);
+  EXPECT_LE(tw.upper_bound, 2);
+  EXPECT_GT(unraveled.size(), db.size());
+}
+
+TEST(GuardedUnravelingTest, PreservesAtomicConsequencesAtRoot) {
+  // Lemma D.7 shape: guarded Σ derives the same root atoms on D and on
+  // the unraveling.
+  TgdSet sigma = ParseTgds(R"(
+    gur(X, Y) -> gum(X).
+    gum(X), gur(X, Y) -> gud(Y).
+  )");
+  Instance db = ParseDatabase("gur(a, b). gur(b, c).");
+  Instance unraveled = GuardedUnraveling(db, {C("a"), C("b")}, 4);
+  Instance sat_db = GroundSaturation(db, sigma);
+  Instance sat_un = GroundSaturation(unraveled, sigma);
+  // Atoms over the root elements coincide.
+  for (const Atom& atom : sat_db.AtomsOver({C("a"), C("b")})) {
+    EXPECT_TRUE(sat_un.Contains(atom)) << atom.ToString();
+  }
+  for (const Atom& atom : sat_un.AtomsOver({C("a"), C("b")})) {
+    EXPECT_TRUE(sat_db.Contains(atom)) << atom.ToString();
+  }
+}
+
+TEST(KUnravelingTest, TreewidthBoundedUpToAnchors) {
+  Instance db = ParseDatabase(R"(
+    kue(a, b). kue(b, c). kue(c, d). kue(d, a). kue(a, c).
+  )");
+  Substitution to_original;
+  Instance unraveled = KUnraveling(db, {C("a")}, /*k=*/1, /*depth=*/3, 512,
+                                   &to_original);
+  // Remove the anchor and check the rest has treewidth <= 1... the
+  // Gaifman graph without a is a forest of copied bags.
+  std::vector<Term> vertex_terms;
+  Graph gaifman = GaifmanGraph(unraveled, &vertex_terms);
+  std::vector<int> keep;
+  for (size_t i = 0; i < vertex_terms.size(); ++i) {
+    if (vertex_terms[i] != C("a")) keep.push_back(static_cast<int>(i));
+  }
+  Graph without_anchor = gaifman.InducedSubgraph(keep);
+  EXPECT_LE(ComputeTreewidth(without_anchor).upper_bound, 1);
+  // Homomorphism to D fixing the anchor.
+  for (const Atom& atom : unraveled.atoms()) {
+    std::vector<Term> mapped;
+    for (Term t : atom.args()) mapped.push_back(to_original.Apply(t));
+    EXPECT_TRUE(db.Contains(Atom(atom.predicate(), mapped)));
+  }
+}
+
+TEST(KUnravelingTest, PreservesTreewidth1OmqAnswers) {
+  // Lemma C.7(3) infrastructure: a (G, UCQ_1) OMQ true on D stays true on
+  // the k=1 unraveling (for the Boolean query case).
+  TgdSet sigma = ParseTgds("kur(X, Y) -> kum(X).");
+  Instance db = ParseDatabase("kur(a, b). kur(b, c).");
+  Omq omq = Omq::WithFullDataSchema(
+      sigma, ParseUcq("kuq() :- kum(X), kur(X, Y), kum(Y)."));
+  ASSERT_TRUE(OmqHolds(omq, db, {}));
+  Instance unraveled = KUnraveling(db, {}, 1, 3, 512);
+  EXPECT_TRUE(OmqHolds(omq, unraveled, {}));
+}
+
+TEST(DiversifyTest, ExampleD9Untangles) {
+  // Example D.9: the shared tag constant b is split per atom because the
+  // grid query only needs the first two positions.
+  TgdSet sigma = ParseTgds(R"(
+    dxp(X, Y, Z) -> dxe(X, Y).
+  )");
+  Instance db = ParseDatabase(R"(
+    dxp(a1, a2, tag). dxp(a2, a3, tag).
+  )");
+  Omq omq = Omq::WithFullDataSchema(
+      sigma, ParseUcq("dxq() :- dxe(X, Y), dxe(Y, Z)."));
+  ASSERT_TRUE(OmqHolds(omq, db, {}));
+  DiversifyResult result = DiversifyDatabase(db, omq, {C("a1"), C("a2"),
+                                                       C("a3")});
+  EXPECT_GE(result.splits, 1u);
+  EXPECT_TRUE(OmqHolds(omq, result.diversified, {}));
+  // The tag column no longer shares a constant across the two atoms.
+  Term shared = C("tag");
+  int occurrences = 0;
+  for (const Atom& atom : result.diversified.atoms()) {
+    for (Term t : atom.args()) {
+      if (t == shared) ++occurrences;
+    }
+  }
+  EXPECT_LE(occurrences, 1);
+}
+
+TEST(DiversifyTest, NeededSharingSurvives) {
+  // A join the query relies on cannot be split away.
+  Omq omq = Omq::WithFullDataSchema(
+      {}, ParseUcq("dyq() :- dye(X, Y), dye(Y, Z)."));
+  Instance db = ParseDatabase("dye(u, v). dye(v, w).");
+  DiversifyResult result = DiversifyDatabase(db, omq, {});
+  EXPECT_TRUE(OmqHolds(omq, result.diversified, {}));
+  // v's join position must survive in some form: the query still needs a
+  // 2-path.
+  EXPECT_EQ(result.diversified.size(), 2u);
+}
+
+}  // namespace
+}  // namespace gqe

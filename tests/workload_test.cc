@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include "grohe/clique.h"
+#include "graph/treewidth.h"
+#include "query/acyclic.h"
+#include "query/core.h"
+#include "workload/generators.h"
+#include "workload/report.h"
+
+namespace gqe {
+namespace {
+
+TEST(GeneratorTest, RandomGraphDeterministic) {
+  Graph g1 = RandomGraph(10, 40, 7);
+  Graph g2 = RandomGraph(10, 40, 7);
+  EXPECT_EQ(g1.Edges(), g2.Edges());
+  Graph g3 = RandomGraph(10, 40, 8);
+  EXPECT_NE(g1.Edges(), g3.Edges());
+}
+
+TEST(GeneratorTest, PlantedCliqueExists) {
+  for (int seed = 0; seed < 5; ++seed) {
+    Graph g = PlantedCliqueGraph(12, 10, 4, seed);
+    EXPECT_TRUE(HasClique(g, 4)) << seed;
+  }
+}
+
+TEST(GeneratorTest, RandomDatabaseRespectsBounds) {
+  Instance db = RandomBinaryDatabase("wge", 20, 50, 3, "wg");
+  EXPECT_LE(db.size(), 50u);  // duplicates collapse
+  EXPECT_LE(db.ActiveDomain().size(), 20u);
+  for (const Atom& atom : db.atoms()) {
+    EXPECT_EQ(atom.arity(), 2);
+  }
+}
+
+TEST(GeneratorTest, GridDatabaseShape) {
+  Instance db = GridDatabase("wgh", "wgv", 3, 4);
+  EXPECT_EQ(db.size(), static_cast<size_t>(3 * 3 + 2 * 4));
+  EXPECT_EQ(db.ActiveDomain().size(), 12u);
+}
+
+TEST(GeneratorTest, QueryShapes) {
+  CQ path = PathQuery("wqe", 5);
+  EXPECT_EQ(path.atoms().size(), 5u);
+  EXPECT_EQ(path.TreewidthOfExistentialPart(), 1);
+  EXPECT_TRUE(IsAcyclicCq(path));
+
+  CQ grid = GridQuery("wqh", "wqv", 3, 3);
+  EXPECT_EQ(grid.AllVariables().size(), 9u);
+  EXPECT_EQ(grid.TreewidthOfExistentialPart(), 3);
+  EXPECT_TRUE(IsCore(grid));
+
+  CQ clique = CliqueQuery("wqe", 4);
+  EXPECT_EQ(clique.AllVariables().size(), 4u);
+  EXPECT_EQ(clique.TreewidthOfExistentialPart(), 3);
+  EXPECT_FALSE(IsAcyclicCq(clique));
+}
+
+TEST(GeneratorTest, UnaryChainIsLinearGuardedFull) {
+  TgdSet chain = UnaryChainOntology("wgc", 5);
+  EXPECT_EQ(chain.size(), 5u);
+  EXPECT_TRUE(IsLinearSet(chain));
+  EXPECT_TRUE(IsGuardedSet(chain));
+  EXPECT_TRUE(IsFullSet(chain));
+  EXPECT_TRUE(IsWeaklyAcyclic(chain));
+}
+
+TEST(GeneratorTest, InclusionDependenciesAreLinear) {
+  TgdSet tgds = RandomInclusionDependencies("wgi", 4, 8, 30, 5);
+  EXPECT_EQ(tgds.size(), 8u);
+  EXPECT_TRUE(IsLinearSet(tgds));
+  EXPECT_TRUE(IsGuardedSet(tgds));
+}
+
+TEST(ReportTest, TableFormatsAndPrints) {
+  ReportTable table({"a", "bb"});
+  table.AddRow({ReportTable::Cell(1), ReportTable::Cell(2.5)});
+  table.AddRow({ReportTable::Cell(true), ReportTable::Cell(size_t{42})});
+  // Printing must not crash; cells format per type.
+  EXPECT_EQ(ReportTable::Cell(2.5), "2.500");
+  EXPECT_EQ(ReportTable::Cell(true), "yes");
+  EXPECT_EQ(ReportTable::Cell(size_t{42}), "42");
+  table.Print("report test");
+}
+
+TEST(ReportTest, StopwatchMovesForward) {
+  Stopwatch watch;
+  volatile int sink = 0;
+  for (int i = 0; i < 100000; ++i) sink = sink + i;
+  EXPECT_GE(watch.ElapsedMs(), 0.0);
+  watch.Reset();
+  EXPECT_GE(watch.ElapsedMs(), 0.0);
+}
+
+}  // namespace
+}  // namespace gqe

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_cq_treewidth"
+  "../bench/bench_cq_treewidth.pdb"
+  "CMakeFiles/bench_cq_treewidth.dir/bench_cq_treewidth.cc.o"
+  "CMakeFiles/bench_cq_treewidth.dir/bench_cq_treewidth.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cq_treewidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

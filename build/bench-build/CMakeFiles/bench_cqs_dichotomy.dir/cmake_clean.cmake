@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_cqs_dichotomy"
+  "../bench/bench_cqs_dichotomy.pdb"
+  "CMakeFiles/bench_cqs_dichotomy.dir/bench_cqs_dichotomy.cc.o"
+  "CMakeFiles/bench_cqs_dichotomy.dir/bench_cqs_dichotomy.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cqs_dichotomy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_cqs_reduction"
+  "../bench/bench_cqs_reduction.pdb"
+  "CMakeFiles/bench_cqs_reduction.dir/bench_cqs_reduction.cc.o"
+  "CMakeFiles/bench_cqs_reduction.dir/bench_cqs_reduction.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cqs_reduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_finite_witness"
+  "../bench/bench_finite_witness.pdb"
+  "CMakeFiles/bench_finite_witness.dir/bench_finite_witness.cc.o"
+  "CMakeFiles/bench_finite_witness.dir/bench_finite_witness.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_finite_witness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_grohe_dichotomy"
+  "../bench/bench_grohe_dichotomy.pdb"
+  "CMakeFiles/bench_grohe_dichotomy.dir/bench_grohe_dichotomy.cc.o"
+  "CMakeFiles/bench_grohe_dichotomy.dir/bench_grohe_dichotomy.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_grohe_dichotomy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_grohe_dichotomy.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_linear_rewriting"
+  "../bench/bench_linear_rewriting.pdb"
+  "CMakeFiles/bench_linear_rewriting.dir/bench_linear_rewriting.cc.o"
+  "CMakeFiles/bench_linear_rewriting.dir/bench_linear_rewriting.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_linear_rewriting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

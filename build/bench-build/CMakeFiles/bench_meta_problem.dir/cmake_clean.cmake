@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_meta_problem"
+  "../bench/bench_meta_problem.pdb"
+  "CMakeFiles/bench_meta_problem.dir/bench_meta_problem.cc.o"
+  "CMakeFiles/bench_meta_problem.dir/bench_meta_problem.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_meta_problem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_omq_dichotomy"
+  "../bench/bench_omq_dichotomy.pdb"
+  "CMakeFiles/bench_omq_dichotomy.dir/bench_omq_dichotomy.cc.o"
+  "CMakeFiles/bench_omq_dichotomy.dir/bench_omq_dichotomy.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_omq_dichotomy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_omq_fpt"
+  "../bench/bench_omq_fpt.pdb"
+  "CMakeFiles/bench_omq_fpt.dir/bench_omq_fpt.cc.o"
+  "CMakeFiles/bench_omq_fpt.dir/bench_omq_fpt.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_omq_fpt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

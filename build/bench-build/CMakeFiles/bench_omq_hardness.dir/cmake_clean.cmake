@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_omq_hardness"
+  "../bench/bench_omq_hardness.pdb"
+  "CMakeFiles/bench_omq_hardness.dir/bench_omq_hardness.cc.o"
+  "CMakeFiles/bench_omq_hardness.dir/bench_omq_hardness.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_omq_hardness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

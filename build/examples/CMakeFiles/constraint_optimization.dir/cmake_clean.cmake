@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/constraint_optimization.dir/constraint_optimization.cpp.o"
+  "CMakeFiles/constraint_optimization.dir/constraint_optimization.cpp.o.d"
+  "constraint_optimization"
+  "constraint_optimization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/constraint_optimization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/finite_models.dir/finite_models.cpp.o"
+  "CMakeFiles/finite_models.dir/finite_models.cpp.o.d"
+  "finite_models"
+  "finite_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/finite_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

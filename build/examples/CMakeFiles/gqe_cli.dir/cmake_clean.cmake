@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gqe_cli.dir/gqe_cli.cpp.o"
+  "CMakeFiles/gqe_cli.dir/gqe_cli.cpp.o.d"
+  "gqe_cli"
+  "gqe_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gqe_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/semantic_treewidth.dir/semantic_treewidth.cpp.o"
+  "CMakeFiles/semantic_treewidth.dir/semantic_treewidth.cpp.o.d"
+  "semantic_treewidth"
+  "semantic_treewidth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/semantic_treewidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

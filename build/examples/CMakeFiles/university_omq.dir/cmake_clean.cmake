@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/university_omq.dir/university_omq.cpp.o"
+  "CMakeFiles/university_omq.dir/university_omq.cpp.o.d"
+  "university_omq"
+  "university_omq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/university_omq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

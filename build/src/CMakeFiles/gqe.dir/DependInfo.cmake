@@ -1,0 +1,63 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/approx/approximation.cc" "src/CMakeFiles/gqe.dir/approx/approximation.cc.o" "gcc" "src/CMakeFiles/gqe.dir/approx/approximation.cc.o.d"
+  "/root/repo/src/approx/grounding.cc" "src/CMakeFiles/gqe.dir/approx/grounding.cc.o" "gcc" "src/CMakeFiles/gqe.dir/approx/grounding.cc.o.d"
+  "/root/repo/src/approx/meta.cc" "src/CMakeFiles/gqe.dir/approx/meta.cc.o" "gcc" "src/CMakeFiles/gqe.dir/approx/meta.cc.o.d"
+  "/root/repo/src/approx/specialization.cc" "src/CMakeFiles/gqe.dir/approx/specialization.cc.o" "gcc" "src/CMakeFiles/gqe.dir/approx/specialization.cc.o.d"
+  "/root/repo/src/base/atom.cc" "src/CMakeFiles/gqe.dir/base/atom.cc.o" "gcc" "src/CMakeFiles/gqe.dir/base/atom.cc.o.d"
+  "/root/repo/src/base/instance.cc" "src/CMakeFiles/gqe.dir/base/instance.cc.o" "gcc" "src/CMakeFiles/gqe.dir/base/instance.cc.o.d"
+  "/root/repo/src/base/interner.cc" "src/CMakeFiles/gqe.dir/base/interner.cc.o" "gcc" "src/CMakeFiles/gqe.dir/base/interner.cc.o.d"
+  "/root/repo/src/base/schema.cc" "src/CMakeFiles/gqe.dir/base/schema.cc.o" "gcc" "src/CMakeFiles/gqe.dir/base/schema.cc.o.d"
+  "/root/repo/src/base/term.cc" "src/CMakeFiles/gqe.dir/base/term.cc.o" "gcc" "src/CMakeFiles/gqe.dir/base/term.cc.o.d"
+  "/root/repo/src/chase/chase.cc" "src/CMakeFiles/gqe.dir/chase/chase.cc.o" "gcc" "src/CMakeFiles/gqe.dir/chase/chase.cc.o.d"
+  "/root/repo/src/cqs/containment.cc" "src/CMakeFiles/gqe.dir/cqs/containment.cc.o" "gcc" "src/CMakeFiles/gqe.dir/cqs/containment.cc.o.d"
+  "/root/repo/src/cqs/cqs.cc" "src/CMakeFiles/gqe.dir/cqs/cqs.cc.o" "gcc" "src/CMakeFiles/gqe.dir/cqs/cqs.cc.o.d"
+  "/root/repo/src/cqs/evaluation.cc" "src/CMakeFiles/gqe.dir/cqs/evaluation.cc.o" "gcc" "src/CMakeFiles/gqe.dir/cqs/evaluation.cc.o.d"
+  "/root/repo/src/fc/witness.cc" "src/CMakeFiles/gqe.dir/fc/witness.cc.o" "gcc" "src/CMakeFiles/gqe.dir/fc/witness.cc.o.d"
+  "/root/repo/src/graph/graph.cc" "src/CMakeFiles/gqe.dir/graph/graph.cc.o" "gcc" "src/CMakeFiles/gqe.dir/graph/graph.cc.o.d"
+  "/root/repo/src/graph/minor.cc" "src/CMakeFiles/gqe.dir/graph/minor.cc.o" "gcc" "src/CMakeFiles/gqe.dir/graph/minor.cc.o.d"
+  "/root/repo/src/graph/tree_decomposition.cc" "src/CMakeFiles/gqe.dir/graph/tree_decomposition.cc.o" "gcc" "src/CMakeFiles/gqe.dir/graph/tree_decomposition.cc.o.d"
+  "/root/repo/src/graph/treewidth.cc" "src/CMakeFiles/gqe.dir/graph/treewidth.cc.o" "gcc" "src/CMakeFiles/gqe.dir/graph/treewidth.cc.o.d"
+  "/root/repo/src/grohe/clique.cc" "src/CMakeFiles/gqe.dir/grohe/clique.cc.o" "gcc" "src/CMakeFiles/gqe.dir/grohe/clique.cc.o.d"
+  "/root/repo/src/grohe/grohe_db.cc" "src/CMakeFiles/gqe.dir/grohe/grohe_db.cc.o" "gcc" "src/CMakeFiles/gqe.dir/grohe/grohe_db.cc.o.d"
+  "/root/repo/src/grohe/reduction.cc" "src/CMakeFiles/gqe.dir/grohe/reduction.cc.o" "gcc" "src/CMakeFiles/gqe.dir/grohe/reduction.cc.o.d"
+  "/root/repo/src/grohe/variant_db.cc" "src/CMakeFiles/gqe.dir/grohe/variant_db.cc.o" "gcc" "src/CMakeFiles/gqe.dir/grohe/variant_db.cc.o.d"
+  "/root/repo/src/guarded/chase_tree.cc" "src/CMakeFiles/gqe.dir/guarded/chase_tree.cc.o" "gcc" "src/CMakeFiles/gqe.dir/guarded/chase_tree.cc.o.d"
+  "/root/repo/src/guarded/omq_eval.cc" "src/CMakeFiles/gqe.dir/guarded/omq_eval.cc.o" "gcc" "src/CMakeFiles/gqe.dir/guarded/omq_eval.cc.o.d"
+  "/root/repo/src/guarded/saturation.cc" "src/CMakeFiles/gqe.dir/guarded/saturation.cc.o" "gcc" "src/CMakeFiles/gqe.dir/guarded/saturation.cc.o.d"
+  "/root/repo/src/guarded/type_closure.cc" "src/CMakeFiles/gqe.dir/guarded/type_closure.cc.o" "gcc" "src/CMakeFiles/gqe.dir/guarded/type_closure.cc.o.d"
+  "/root/repo/src/guarded/unraveling.cc" "src/CMakeFiles/gqe.dir/guarded/unraveling.cc.o" "gcc" "src/CMakeFiles/gqe.dir/guarded/unraveling.cc.o.d"
+  "/root/repo/src/linear/linear_chase.cc" "src/CMakeFiles/gqe.dir/linear/linear_chase.cc.o" "gcc" "src/CMakeFiles/gqe.dir/linear/linear_chase.cc.o.d"
+  "/root/repo/src/linear/rewriting.cc" "src/CMakeFiles/gqe.dir/linear/rewriting.cc.o" "gcc" "src/CMakeFiles/gqe.dir/linear/rewriting.cc.o.d"
+  "/root/repo/src/omq/containment.cc" "src/CMakeFiles/gqe.dir/omq/containment.cc.o" "gcc" "src/CMakeFiles/gqe.dir/omq/containment.cc.o.d"
+  "/root/repo/src/omq/evaluation.cc" "src/CMakeFiles/gqe.dir/omq/evaluation.cc.o" "gcc" "src/CMakeFiles/gqe.dir/omq/evaluation.cc.o.d"
+  "/root/repo/src/omq/omq.cc" "src/CMakeFiles/gqe.dir/omq/omq.cc.o" "gcc" "src/CMakeFiles/gqe.dir/omq/omq.cc.o.d"
+  "/root/repo/src/parser/parser.cc" "src/CMakeFiles/gqe.dir/parser/parser.cc.o" "gcc" "src/CMakeFiles/gqe.dir/parser/parser.cc.o.d"
+  "/root/repo/src/query/acyclic.cc" "src/CMakeFiles/gqe.dir/query/acyclic.cc.o" "gcc" "src/CMakeFiles/gqe.dir/query/acyclic.cc.o.d"
+  "/root/repo/src/query/containment.cc" "src/CMakeFiles/gqe.dir/query/containment.cc.o" "gcc" "src/CMakeFiles/gqe.dir/query/containment.cc.o.d"
+  "/root/repo/src/query/contraction.cc" "src/CMakeFiles/gqe.dir/query/contraction.cc.o" "gcc" "src/CMakeFiles/gqe.dir/query/contraction.cc.o.d"
+  "/root/repo/src/query/core.cc" "src/CMakeFiles/gqe.dir/query/core.cc.o" "gcc" "src/CMakeFiles/gqe.dir/query/core.cc.o.d"
+  "/root/repo/src/query/cq.cc" "src/CMakeFiles/gqe.dir/query/cq.cc.o" "gcc" "src/CMakeFiles/gqe.dir/query/cq.cc.o.d"
+  "/root/repo/src/query/evaluation.cc" "src/CMakeFiles/gqe.dir/query/evaluation.cc.o" "gcc" "src/CMakeFiles/gqe.dir/query/evaluation.cc.o.d"
+  "/root/repo/src/query/homomorphism.cc" "src/CMakeFiles/gqe.dir/query/homomorphism.cc.o" "gcc" "src/CMakeFiles/gqe.dir/query/homomorphism.cc.o.d"
+  "/root/repo/src/query/substitution.cc" "src/CMakeFiles/gqe.dir/query/substitution.cc.o" "gcc" "src/CMakeFiles/gqe.dir/query/substitution.cc.o.d"
+  "/root/repo/src/query/tw_evaluation.cc" "src/CMakeFiles/gqe.dir/query/tw_evaluation.cc.o" "gcc" "src/CMakeFiles/gqe.dir/query/tw_evaluation.cc.o.d"
+  "/root/repo/src/tgd/tgd.cc" "src/CMakeFiles/gqe.dir/tgd/tgd.cc.o" "gcc" "src/CMakeFiles/gqe.dir/tgd/tgd.cc.o.d"
+  "/root/repo/src/workload/generators.cc" "src/CMakeFiles/gqe.dir/workload/generators.cc.o" "gcc" "src/CMakeFiles/gqe.dir/workload/generators.cc.o.d"
+  "/root/repo/src/workload/report.cc" "src/CMakeFiles/gqe.dir/workload/report.cc.o" "gcc" "src/CMakeFiles/gqe.dir/workload/report.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fc_test.dir/fc_test.cc.o"
+  "CMakeFiles/fc_test.dir/fc_test.cc.o.d"
+  "fc_test"
+  "fc_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

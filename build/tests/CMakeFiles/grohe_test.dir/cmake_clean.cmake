@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grohe_test.dir/grohe_test.cc.o"
+  "CMakeFiles/grohe_test.dir/grohe_test.cc.o.d"
+  "grohe_test"
+  "grohe_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grohe_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

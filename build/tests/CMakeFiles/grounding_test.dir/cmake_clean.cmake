@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grounding_test.dir/grounding_test.cc.o"
+  "CMakeFiles/grounding_test.dir/grounding_test.cc.o.d"
+  "grounding_test"
+  "grounding_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grounding_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

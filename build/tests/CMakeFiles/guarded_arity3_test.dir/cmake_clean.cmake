@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/guarded_arity3_test.dir/guarded_arity3_test.cc.o"
+  "CMakeFiles/guarded_arity3_test.dir/guarded_arity3_test.cc.o.d"
+  "guarded_arity3_test"
+  "guarded_arity3_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/guarded_arity3_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/guarded_test.dir/guarded_test.cc.o"
+  "CMakeFiles/guarded_test.dir/guarded_test.cc.o.d"
+  "guarded_test"
+  "guarded_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/guarded_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

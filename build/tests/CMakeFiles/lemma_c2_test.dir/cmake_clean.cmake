@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lemma_c2_test.dir/lemma_c2_test.cc.o"
+  "CMakeFiles/lemma_c2_test.dir/lemma_c2_test.cc.o.d"
+  "lemma_c2_test"
+  "lemma_c2_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lemma_c2_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omq_cqs_test.dir/omq_cqs_test.cc.o"
+  "CMakeFiles/omq_cqs_test.dir/omq_cqs_test.cc.o.d"
+  "omq_cqs_test"
+  "omq_cqs_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omq_cqs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for omq_cqs_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tgd_test.dir/tgd_test.cc.o"
+  "CMakeFiles/tgd_test.dir/tgd_test.cc.o.d"
+  "tgd_test"
+  "tgd_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tgd_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

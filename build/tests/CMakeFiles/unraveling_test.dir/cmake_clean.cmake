@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unraveling_test.dir/unraveling_test.cc.o"
+  "CMakeFiles/unraveling_test.dir/unraveling_test.cc.o.d"
+  "unraveling_test"
+  "unraveling_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unraveling_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

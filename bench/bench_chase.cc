@@ -1,6 +1,11 @@
 // E3 (Proposition 3.1 + chase engine): chase throughput and the identity
 // Q(D) = q(chase(D, Σ)). google-benchmark series over growing databases
-// and rule sets, then a verification table.
+// and rule sets, then a verification table and a thread-scaling table
+// for the parallel trigger-discovery engine.
+//
+// --threads=N sets ChaseOptions::threads for the benchmark series
+// (1 sequential, 0 hardware concurrency); the thread-scaling summary
+// always sweeps {1, 2, 4, 8} and cross-checks bit-identical output.
 
 #include <benchmark/benchmark.h>
 
@@ -14,6 +19,8 @@
 namespace gqe {
 namespace {
 
+int g_threads = 1;
+
 TgdSet TransitiveClosure() {
   return ParseTgds("e3e(X, Y), e3e(Y, Z) -> e3e(X, Z).");
 }
@@ -26,6 +33,14 @@ TgdSet UniversityOntology() {
   )");
 }
 
+Instance UniversityDatabase(int n) {
+  Instance db;
+  for (int i = 0; i < n; ++i) {
+    db.Insert(Atom::Make("e3grad", {Term::Constant("s" + std::to_string(i))}));
+  }
+  return db;
+}
+
 void BM_ChaseTransitiveClosure(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
   Instance db;
@@ -34,8 +49,10 @@ void BM_ChaseTransitiveClosure(benchmark::State& state) {
                                  Term::Constant("a" + std::to_string(i + 1))}));
   }
   TgdSet sigma = TransitiveClosure();
+  ChaseOptions options;
+  options.threads = g_threads;
   for (auto _ : state) {
-    ChaseResult result = Chase(db, sigma);
+    ChaseResult result = Chase(db, sigma, options);
     benchmark::DoNotOptimize(result.instance.size());
   }
   state.counters["facts_out"] = static_cast<double>(n * (n + 1) / 2);
@@ -44,13 +61,12 @@ BENCHMARK(BM_ChaseTransitiveClosure)->Arg(8)->Arg(16)->Arg(32);
 
 void BM_ChaseGuardedExistential(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
-  Instance db;
-  for (int i = 0; i < n; ++i) {
-    db.Insert(Atom::Make("e3grad", {Term::Constant("s" + std::to_string(i))}));
-  }
+  Instance db = UniversityDatabase(n);
   TgdSet sigma = UniversityOntology();
+  ChaseOptions options;
+  options.threads = g_threads;
   for (auto _ : state) {
-    ChaseResult result = Chase(db, sigma);
+    ChaseResult result = Chase(db, sigma, options);
     benchmark::DoNotOptimize(result.complete);
   }
 }
@@ -64,11 +80,7 @@ void PrintSummary() {
   TgdSet sigma = UniversityOntology();
   UCQ q = ParseUcq("e3q(X) :- e3active(X).");
   for (int n : {4, 16, 64}) {
-    Instance db;
-    for (int i = 0; i < n; ++i) {
-      db.Insert(
-          Atom::Make("e3grad", {Term::Constant("s" + std::to_string(i))}));
-    }
+    Instance db = UniversityDatabase(n);
     ChaseResult chased = Chase(db, sigma);
     auto via_chase = EvaluateUCQ(q, chased.instance);
     auto via_engine = GuardedCertainAnswers(db, sigma, q);
@@ -81,12 +93,80 @@ void PrintSummary() {
   table.Print("E3 / Prop 3.1: Q(D) = q(chase(D, Sigma))");
 }
 
+void PrintThreadScaling() {
+  // Thread scaling of the parallel trigger-discovery engine: the largest
+  // university-workload configuration plus a join-heavy transitive
+  // closure. Every row re-runs the identical chase (null counter reset),
+  // so "identical" asserts the bit-identical-output guarantee, and
+  // discovery/merge columns expose the parallel vs sequential split.
+  struct Workload {
+    const char* name;
+    Instance db;
+    TgdSet sigma;
+  };
+  std::vector<Workload> workloads;
+  workloads.push_back({"university n=4096", UniversityDatabase(4096),
+                       UniversityOntology()});
+  Instance tc_db;
+  const int tc_n = 48;
+  for (int i = 0; i < tc_n; ++i) {
+    tc_db.Insert(Atom::Make("e3e",
+                            {Term::Constant("a" + std::to_string(i)),
+                             Term::Constant("a" + std::to_string(i + 1))}));
+  }
+  workloads.push_back({"transitive closure n=48", std::move(tc_db),
+                       TransitiveClosure()});
+
+  ReportTable table({"workload", "threads", "chase ms", "speedup",
+                     "discovery ms", "merge ms", "identical"});
+  for (Workload& w : workloads) {
+    const uint32_t null_base = Term::NextNullId();
+    double base_ms = 0.0;
+    ChaseResult reference;
+    for (int threads : {1, 2, 4, 8}) {
+      Term::SetNextNullId(null_base);
+      ChaseOptions options;
+      options.threads = threads;
+      Stopwatch watch;
+      ChaseResult result = Chase(w.db, w.sigma, options);
+      const double ms = watch.ElapsedMs();
+      double discovery_ms = 0.0;
+      double merge_ms = 0.0;
+      for (const ChaseRoundStats& round : result.round_stats) {
+        discovery_ms += round.discovery_ms;
+        merge_ms += round.merge_ms;
+      }
+      bool identical = true;
+      if (threads == 1) {
+        base_ms = ms;
+        reference = std::move(result);
+      } else {
+        identical = result.instance.size() == reference.instance.size() &&
+                    result.triggers_fired == reference.triggers_fired &&
+                    result.levels == reference.levels;
+        for (size_t i = 0; identical && i < result.instance.size(); ++i) {
+          identical = result.instance.atom(i) == reference.instance.atom(i);
+        }
+      }
+      table.AddRow({w.name, ReportTable::Cell(threads),
+                    ReportTable::Cell(ms),
+                    ReportTable::Cell(ms > 0 ? base_ms / ms : 0.0),
+                    ReportTable::Cell(discovery_ms),
+                    ReportTable::Cell(merge_ms),
+                    ReportTable::Cell(identical)});
+    }
+  }
+  table.Print("E3b: chase thread scaling (deterministic parallel discovery)");
+}
+
 }  // namespace
 }  // namespace gqe
 
 int main(int argc, char** argv) {
+  gqe::g_threads = gqe::ParseThreadsFlag(&argc, argv, 1);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   gqe::PrintSummary();
+  gqe::PrintThreadScaling();
   return 0;
 }

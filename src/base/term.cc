@@ -30,9 +30,20 @@ Term Term::Variable(std::string_view name) {
 
 Term Term::Null(uint32_t id) { return Term(MakeBits(Kind::kNull, id)); }
 
+namespace {
+std::atomic<uint32_t> null_counter{0};
+}  // namespace
+
 Term Term::FreshNull() {
-  static uint32_t counter = 0;
-  return Null(counter++);
+  return Null(null_counter.fetch_add(1, std::memory_order_relaxed));
+}
+
+uint32_t Term::NextNullId() {
+  return null_counter.load(std::memory_order_relaxed);
+}
+
+void Term::SetNextNullId(uint32_t id) {
+  null_counter.store(id, std::memory_order_relaxed);
 }
 
 Term Term::FreshVariable() {

@@ -35,8 +35,15 @@ class Term {
   static Term Null(uint32_t id);
 
   /// Returns a labelled null distinct from every null created so far in
-  /// this process.
+  /// this process. Thread-safe; ids are allocated from a process-wide
+  /// atomic counter.
   static Term FreshNull();
+
+  /// The id the next FreshNull() will use. Together with SetNextNullId
+  /// this lets deterministic replays (differential tests, chase
+  /// re-execution) reproduce bit-identical labelled nulls.
+  static uint32_t NextNullId();
+  static void SetNextNullId(uint32_t id);
 
   /// Returns a variable distinct from every interned variable.
   static Term FreshVariable();

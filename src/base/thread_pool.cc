@@ -1,0 +1,80 @@
+#include "base/thread_pool.h"
+
+#include <algorithm>
+
+namespace gqe {
+
+size_t ThreadPool::ResolveThreads(int requested) {
+  if (requested < 0) return 1;
+  if (requested == 0) {
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : static_cast<size_t>(hw);
+  }
+  return static_cast<size_t>(requested);
+}
+
+ThreadPool::ThreadPool(size_t threads) : threads_(std::max<size_t>(1, threads)) {
+  workers_.reserve(threads_ - 1);
+  for (size_t i = 0; i + 1 < threads_; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  job_ready_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::DrainIndices() {
+  for (;;) {
+    size_t i = next_index_.fetch_add(1, std::memory_order_relaxed);
+    if (i >= job_size_) return;
+    (*job_fn_)(i);
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  uint64_t seen = 0;
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    job_ready_.wait(lock, [&] { return shutdown_ || generation_ != seen; });
+    if (shutdown_) return;
+    seen = generation_;
+    --not_started_;
+    ++active_;
+    lock.unlock();
+    DrainIndices();
+    lock.lock();
+    --active_;
+    if (not_started_ == 0 && active_ == 0) job_done_.notify_all();
+  }
+}
+
+void ThreadPool::ParallelFor(size_t n,
+                             const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  if (workers_.empty() || n == 1) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    job_fn_ = &fn;
+    job_size_ = n;
+    next_index_.store(0, std::memory_order_relaxed);
+    not_started_ = workers_.size();
+    ++generation_;
+  }
+  job_ready_.notify_all();
+  DrainIndices();
+  std::unique_lock<std::mutex> lock(mutex_);
+  job_done_.wait(lock, [&] { return not_started_ == 0 && active_ == 0; });
+  job_fn_ = nullptr;
+  job_size_ = 0;
+}
+
+}  // namespace gqe

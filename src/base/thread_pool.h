@@ -1,0 +1,66 @@
+#ifndef GQE_BASE_THREAD_POOL_H_
+#define GQE_BASE_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace gqe {
+
+/// A reusable fixed-size pool of worker threads for data-parallel loops
+/// (chase trigger discovery, homomorphism shard search). Workers idle
+/// between jobs; ParallelFor blocks until every index has been processed.
+/// The calling thread participates in each loop, so a pool of size 1 runs
+/// everything inline with no cross-thread synchronization — that is the
+/// `threads = 1` "today's code path" guarantee of ChaseOptions/HomOptions.
+class ThreadPool {
+ public:
+  /// Resolves a user-facing thread-count option: n >= 1 means n threads,
+  /// 0 means hardware concurrency (at least 1), negative clamps to 1.
+  static size_t ResolveThreads(int requested);
+
+  /// Creates a pool running loops on `threads` threads total: the caller
+  /// plus `threads - 1` background workers.
+  explicit ThreadPool(size_t threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t threads() const { return threads_; }
+
+  /// Runs fn(i) for every i in [0, n), distributing indices dynamically
+  /// across the pool (atomic work stealing, so uneven units balance).
+  /// Blocks until all calls return. fn must be safe to call concurrently
+  /// from different threads; with threads() == 1 it runs inline in index
+  /// order.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+  /// Drains indices of the current job on the calling thread.
+  void DrainIndices();
+
+  size_t threads_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mutex_;
+  std::condition_variable job_ready_;
+  std::condition_variable job_done_;
+  const std::function<void(size_t)>* job_fn_ = nullptr;
+  size_t job_size_ = 0;
+  std::atomic<size_t> next_index_{0};
+  size_t not_started_ = 0;  // workers that have not yet joined this job
+  size_t active_ = 0;       // workers currently inside the job
+  uint64_t generation_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace gqe
+
+#endif  // GQE_BASE_THREAD_POOL_H_

@@ -1,8 +1,10 @@
 #include "chase/chase.h"
 
 #include <algorithm>
+#include <chrono>
 #include <unordered_set>
 
+#include "base/thread_pool.h"
 #include "query/homomorphism.h"
 #include "query/substitution.h"
 
@@ -40,6 +42,72 @@ bool HeadSatisfied(const Instance& instance, const Tgd& tgd,
   return search.Exists();
 }
 
+/// One unit of trigger-discovery work: the sequential discovery loop,
+/// split at its natural grain. anchor < 0 is the initial full pass over a
+/// TGD's body; anchor >= 0 searches with body[anchor] bound onto each
+/// fact of [delta_begin, delta_end) — a contiguous chunk of the delta
+/// frontier, so one TGD × anchor pair can span several units when the
+/// delta is large. Units are created — and their outputs merged — in the
+/// exact order the sequential loop visits the (tgd, anchor, fact)
+/// triples, which is what makes the parallel chase bit-identical to the
+/// sequential one.
+struct DiscoveryUnit {
+  size_t tgd_index;
+  int anchor;
+  size_t delta_begin;
+  size_t delta_end;
+};
+
+double MsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+/// Runs one discovery unit against a frozen instance, appending every
+/// body homomorphism found to `out`. Read-only on the instance; safe to
+/// run concurrently with other units.
+void RunDiscoveryUnit(const DiscoveryUnit& unit, const TgdSet& tgds,
+                      const Instance& instance, int hom_threads,
+                      std::vector<Substitution>* out) {
+  const auto& body = tgds[unit.tgd_index].body();
+  if (unit.anchor < 0) {
+    // Initial full pass. FindAll's parallel path preserves sequential
+    // enumeration order, so sharding here keeps the merge canonical.
+    HomOptions options;
+    options.threads = hom_threads;
+    HomomorphismSearch search(body, instance, options);
+    *out = search.FindAll();
+    return;
+  }
+  // Anchor one body atom at each fact of this unit's delta chunk.
+  const Atom& anchor_atom = body[unit.anchor];
+  for (size_t f = unit.delta_begin; f < unit.delta_end; ++f) {
+    const Atom& fact = instance.atom(f);
+    if (fact.predicate() != anchor_atom.predicate()) continue;
+    // Bind the anchor atom's variables against this fact.
+    HomOptions options;
+    bool ok = true;
+    for (int pos = 0; pos < fact.arity() && ok; ++pos) {
+      Term t_pat = anchor_atom.args()[pos];
+      Term image = fact.args()[pos];
+      if (t_pat.IsGround()) {
+        ok = (t_pat == image);
+      } else if (options.fixed.Has(t_pat)) {
+        ok = (options.fixed.Apply(t_pat) == image);
+      } else {
+        options.fixed.Set(t_pat, image);
+      }
+    }
+    if (!ok) continue;
+    HomomorphismSearch search(body, instance, options);
+    search.ForEach([&](const Substitution& sub) {
+      out->push_back(sub);
+      return true;
+    });
+  }
+}
+
 }  // namespace
 
 ChaseResult Chase(const Instance& db, const TgdSet& tgds,
@@ -47,6 +115,10 @@ ChaseResult Chase(const Instance& db, const TgdSet& tgds,
   ChaseResult result;
   result.instance.InsertAll(db);
   for (const Atom& atom : db.atoms()) result.levels[atom] = 0;
+
+  const size_t threads = ThreadPool::ResolveThreads(options.threads);
+  result.threads_used = threads;
+  ThreadPool pool(threads);
 
   std::unordered_set<std::vector<uint32_t>, TriggerKeyHash> fired;
   std::vector<std::vector<Term>> body_vars(tgds.size());
@@ -92,48 +164,70 @@ ChaseResult Chase(const Instance& db, const TgdSet& tgds,
       pending.push_back({t, sub, level});
     };
     const size_t delta_end = result.instance.size();
+
+    // Discovery units in the order the sequential loop visits them. Large
+    // deltas are chunked so a round with few TGDs still spreads across
+    // the pool; chunk boundaries never affect the merge order (chunks of
+    // one TGD × anchor pair are merged in ascending fact order).
+    const size_t delta_size = delta_end - delta_start;
+    const size_t chunk =
+        std::max<size_t>(64, (delta_size + 4 * threads - 1) /
+                                 std::max<size_t>(1, 4 * threads));
+    std::vector<DiscoveryUnit> units;
     for (size_t t = 0; t < tgds.size(); ++t) {
       if (delta_start == 0) {
-        // Initial full pass.
-        HomomorphismSearch search(tgds[t].body(), result.instance);
-        search.ForEach([&](const Substitution& sub) {
-          consider(t, sub);
-          return true;
-        });
+        units.push_back({t, -1, 0, 0});
         continue;
       }
-      // Anchor one body atom at each delta fact.
       const auto& body = tgds[t].body();
       if (body.empty()) continue;  // fired during the full pass
       for (size_t anchor = 0; anchor < body.size(); ++anchor) {
-        for (size_t f = delta_start; f < delta_end; ++f) {
-          const Atom& fact = result.instance.atom(f);
-          if (fact.predicate() != body[anchor].predicate()) continue;
-          // Bind the anchor atom's variables against this fact.
-          HomOptions options;
-          bool ok = true;
-          for (int pos = 0; pos < fact.arity() && ok; ++pos) {
-            Term t_pat = body[anchor].args()[pos];
-            Term image = fact.args()[pos];
-            if (t_pat.IsGround()) {
-              ok = (t_pat == image);
-            } else if (options.fixed.Has(t_pat)) {
-              ok = (options.fixed.Apply(t_pat) == image);
-            } else {
-              options.fixed.Set(t_pat, image);
-            }
-          }
-          if (!ok) continue;
-          HomomorphismSearch search(body, result.instance, options);
-          search.ForEach([&](const Substitution& sub) {
-            consider(t, sub);
-            return true;
-          });
+        for (size_t begin = delta_start; begin < delta_end; begin += chunk) {
+          units.push_back({t, static_cast<int>(anchor), begin,
+                           std::min(begin + chunk, delta_end)});
         }
       }
     }
+
+    ChaseRoundStats stats;
+    stats.work_units = units.size();
+    auto discovery_start = std::chrono::steady_clock::now();
+    // Workers only read the (frozen) instance and write their own unit
+    // buffer; all shared-state updates happen in the merge below.
+    std::vector<std::vector<Substitution>> found(units.size());
+    if (delta_start == 0) {
+      // First round: one full-pass unit per TGD, each internally
+      // parallelized through the homomorphism engine (keeps the pool
+      // saturated even for single-rule programs).
+      for (size_t u = 0; u < units.size(); ++u) {
+        RunDiscoveryUnit(units[u], tgds, result.instance,
+                         static_cast<int>(threads), &found[u]);
+      }
+    } else {
+      pool.ParallelFor(units.size(), [&](size_t u) {
+        RunDiscoveryUnit(units[u], tgds, result.instance, /*hom_threads=*/1,
+                         &found[u]);
+      });
+    }
+    stats.discovery_ms = MsSince(discovery_start);
+
+    // Deterministic sequential merge: visiting units (and candidates
+    // within a unit) in canonical order reproduces the pending list —
+    // and hence null allocation and fact insertion order — of the
+    // sequential engine exactly.
+    auto merge_start = std::chrono::steady_clock::now();
+    for (size_t u = 0; u < units.size(); ++u) {
+      stats.candidates += found[u].size();
+      for (const Substitution& sub : found[u]) {
+        consider(units[u].tgd_index, sub);
+      }
+    }
+    found.clear();
+
     delta_start = delta_end;
     if (pending.empty()) {
+      stats.merge_ms = MsSince(merge_start);
+      result.round_stats.push_back(stats);
       result.complete = true;
       break;
     }
@@ -145,6 +239,8 @@ ChaseResult Chase(const Instance& db, const TgdSet& tgds,
     if (options.max_level >= 0 && min_level >= options.max_level) {
       // Every remaining trigger would create facts beyond the level
       // budget.
+      stats.merge_ms = MsSince(merge_start);
+      result.round_stats.push_back(stats);
       result.complete = false;
       break;
     }
@@ -166,23 +262,30 @@ ChaseResult Chase(const Instance& db, const TgdSet& tgds,
         continue;
       }
       ++result.triggers_fired;
+      ++stats.triggers_fired;
       Substitution extended = trigger.sub;
       for (Term z : existentials[trigger.tgd_index]) {
         extended.Set(z, Term::FreshNull());
       }
       for (const Atom& head_atom : tgd.head()) {
         Atom fact = extended.Apply(head_atom);
-        if (result.instance.Insert(fact)) {
-          result.levels[fact] = trigger.level + 1;
-          result.max_level_built =
-              std::max(result.max_level_built, trigger.level + 1);
+        // The budget gates every insertion, not just round boundaries:
+        // a run never holds more than max_facts facts (unless the input
+        // database already does).
+        if (result.instance.Contains(fact)) continue;
+        if (result.instance.size() >= options.max_facts) {
+          budget_hit = true;
+          break;
         }
+        result.instance.Insert(fact);
+        result.levels[fact] = trigger.level + 1;
+        result.max_level_built =
+            std::max(result.max_level_built, trigger.level + 1);
       }
-      if (result.instance.size() >= options.max_facts) {
-        budget_hit = true;
-        break;
-      }
+      if (budget_hit) break;
     }
+    stats.merge_ms = MsSince(merge_start);
+    result.round_stats.push_back(stats);
     if (budget_hit) {
       result.complete = false;
       break;

@@ -30,6 +30,34 @@ struct ChaseOptions {
   /// every trigger each round (the naive engine — same output, used as an
   /// ablation baseline).
   bool semi_naive = true;
+
+  /// Worker threads for trigger discovery. Each round, the delta-anchored
+  /// discovery units (per TGD × per body-atom anchor) run on a pool;
+  /// workers emit candidate triggers into per-unit buffers and a
+  /// deterministic sequential merge dedupes, assigns levels, allocates
+  /// labelled nulls in canonical order and fires heads. The result is
+  /// bit-identical to the sequential chase (same facts in the same
+  /// insertion order, same levels, same null ids) at every thread count.
+  /// 1 (default) is the sequential code path; 0 means hardware
+  /// concurrency.
+  int threads = 1;
+};
+
+/// Per-round instrumentation of the chase engine, for parallel-efficiency
+/// reporting (bench_chase --threads).
+struct ChaseRoundStats {
+  /// Discovery work units the round was split into (first round: one per
+  /// TGD; later rounds: one per TGD × body-atom anchor with a non-empty
+  /// delta).
+  size_t work_units = 0;
+  /// Candidate triggers emitted by the units, before deduplication.
+  size_t candidates = 0;
+  /// Triggers fired after the merge.
+  size_t triggers_fired = 0;
+  /// Wall-clock time of the (parallel) discovery phase.
+  double discovery_ms = 0.0;
+  /// Wall-clock time of the sequential merge + fire phase.
+  double merge_ms = 0.0;
 };
 
 /// Result of a chase run.
@@ -45,6 +73,12 @@ struct ChaseResult {
 
   int max_level_built = 0;
   size_t triggers_fired = 0;
+
+  /// Threads the run actually used (after resolving threads == 0).
+  size_t threads_used = 1;
+
+  /// One entry per chase round, in order.
+  std::vector<ChaseRoundStats> round_stats;
 
   /// chase^l: the sub-instance of facts with level <= l.
   Instance UpToLevel(int level) const;

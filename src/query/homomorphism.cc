@@ -1,16 +1,21 @@
 #include "query/homomorphism.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
 #include <limits>
+#include <mutex>
 #include <unordered_map>
 #include <unordered_set>
+
+#include "base/thread_pool.h"
 
 namespace gqe {
 
 namespace {
 
-/// Backtracking state for one search.
+/// Backtracking state for one search (one per thread in parallel runs; the
+/// substitution and bookkeeping are private to the searcher).
 class Searcher {
  public:
   Searcher(const std::vector<Atom>& pattern, const Instance& target,
@@ -21,14 +26,15 @@ class Searcher {
         options_(options),
         callback_(callback) {}
 
-  size_t Run() {
+  /// Seeds the assignment with fixed variables and injectivity
+  /// bookkeeping. Returns false if the seed itself is contradictory, in
+  /// which case no homomorphism exists.
+  bool Seed() {
     processed_.assign(pattern_.size(), false);
-    // Seed the assignment with fixed variables and check pattern ground
-    // terms exist in the target where needed.
     for (const auto& [var, value] : options_.fixed.map()) {
       assert(var.IsVariable() && value.IsGround());
       assignment_.Set(var, value);
-      if (options_.injective && !used_.insert(value).second) return 0;
+      if (options_.injective && !used_.insert(value).second) return false;
     }
     if (options_.injective) {
       // Ground terms of the pattern map to themselves; they occupy their
@@ -37,17 +43,47 @@ class Searcher {
         if (!used_.insert(t).second) {
           // A fixed variable already maps onto this constant: only
           // admissible if... it is not (images must be distinct).
-          return 0;
+          return false;
         }
       }
     }
+    return true;
+  }
+
+  size_t Run() {
     count_ = 0;
     stopped_ = false;
     Recurse(0);
     return count_;
   }
 
+  /// Runs the search with the given atom forced as the root of the
+  /// backtracking tree, mapped only onto candidates[begin, end). Used by
+  /// the parallel path to split the root candidate set across workers.
+  size_t RunShard(int root, const std::vector<uint32_t>& candidates,
+                  size_t begin, size_t end) {
+    count_ = 0;
+    stopped_ = false;
+    ExpandAtom(root, candidates, begin, end, 0);
+    return count_;
+  }
+
+  /// Exposes the root-atom choice the sequential search would make from
+  /// the seeded state: the unprocessed atom with the fewest candidates.
+  bool PickRoot(int* atom, std::vector<uint32_t>* candidates) {
+    return PickAtom(atom, candidates);
+  }
+
+  /// A flag shared between shard searchers: when set, every searcher
+  /// abandons its subtree (used by Exists / early-stopping ForEach).
+  void set_shared_stop(std::atomic<bool>* stop) { shared_stop_ = stop; }
+
  private:
+  bool Stopped() const {
+    return stopped_ || (shared_stop_ != nullptr &&
+                        shared_stop_->load(std::memory_order_relaxed));
+  }
+
   /// Picks the unprocessed atom with the fewest candidate facts under the
   /// current partial assignment; returns false if none remain.
   bool PickAtom(int* best_atom, std::vector<uint32_t>* best_candidates) {
@@ -85,7 +121,7 @@ class Searcher {
   }
 
   void Recurse(size_t depth) {
-    if (stopped_) return;
+    if (Stopped()) return;
     if (depth == pattern_.size()) {
       ++count_;
       if (!callback_(assignment_)) stopped_ = true;
@@ -94,10 +130,17 @@ class Searcher {
     int atom_index;
     std::vector<uint32_t> candidates;
     if (!PickAtom(&atom_index, &candidates)) return;
+    ExpandAtom(atom_index, candidates, 0, candidates.size(), depth);
+  }
+
+  /// Tries every candidate fact for `atom_index` in turn, recursing into
+  /// the rest of the pattern on each successful unification.
+  void ExpandAtom(int atom_index, const std::vector<uint32_t>& candidates,
+                  size_t begin, size_t end, size_t depth) {
     processed_[atom_index] = true;
     const Atom& atom = pattern_[atom_index];
-    for (uint32_t fact_index : candidates) {
-      const Atom& fact = target_.atom(fact_index);
+    for (size_t c = begin; c < end; ++c) {
+      const Atom& fact = target_.atom(candidates[c]);
       if (fact.predicate() != atom.predicate()) continue;
       // Attempt unification; record newly bound variables for rollback.
       std::vector<Term> newly_bound;
@@ -127,7 +170,7 @@ class Searcher {
         if (options_.injective) used_.erase(assignment_.Apply(t));
         assignment_.Set(t, t);  // unbind: map back to itself
       }
-      if (stopped_) break;
+      if (Stopped()) break;
     }
     processed_[atom_index] = false;
   }
@@ -140,9 +183,20 @@ class Searcher {
   Substitution assignment_;
   std::vector<char> processed_;
   std::unordered_set<Term> used_;
+  std::atomic<bool>* shared_stop_ = nullptr;
   size_t count_ = 0;
   bool stopped_ = false;
 };
+
+/// Contiguous [begin, end) shard bounds splitting `n` candidates as evenly
+/// as possible across `shards` workers.
+std::pair<size_t, size_t> ShardBounds(size_t n, size_t shards, size_t shard) {
+  size_t base = n / shards;
+  size_t extra = n % shards;
+  size_t begin = shard * base + std::min(shard, extra);
+  size_t end = begin + base + (shard < extra ? 1 : 0);
+  return {begin, end};
+}
 
 }  // namespace
 
@@ -159,17 +213,61 @@ std::optional<Substitution> HomomorphismSearch::FindOne() {
         return false;  // stop after the first
       };
   Searcher searcher(pattern_, target_, options_, callback);
+  if (!searcher.Seed()) return std::nullopt;
   searcher.Run();
   return result;
 }
 
 size_t HomomorphismSearch::ForEach(
     const std::function<bool(const Substitution&)>& callback) {
-  Searcher searcher(pattern_, target_, options_, callback);
-  return searcher.Run();
+  const size_t threads = ThreadPool::ResolveThreads(options_.threads);
+  if (threads <= 1 || pattern_.empty()) {
+    Searcher searcher(pattern_, target_, options_, callback);
+    if (!searcher.Seed()) return 0;
+    return searcher.Run();
+  }
+  return ParallelForEach(threads, callback);
+}
+
+size_t HomomorphismSearch::ParallelForEach(
+    size_t threads, const std::function<bool(const Substitution&)>& callback) {
+  Searcher probe(pattern_, target_, options_, callback);
+  if (!probe.Seed()) return 0;
+  int root;
+  std::vector<uint32_t> candidates;
+  if (!probe.PickRoot(&root, &candidates)) return 0;
+  if (candidates.size() <= 1) return probe.Run();
+  const size_t shards = std::min(threads, candidates.size());
+
+  std::atomic<bool> shared_stop{false};
+  std::atomic<size_t> total{0};
+  std::mutex callback_mutex;
+  const std::function<bool(const Substitution&)> locked_callback =
+      [&](const Substitution& sub) {
+        std::lock_guard<std::mutex> lock(callback_mutex);
+        if (shared_stop.load(std::memory_order_relaxed)) return false;
+        if (!callback(sub)) {
+          shared_stop.store(true, std::memory_order_relaxed);
+          return false;
+        }
+        return true;
+      };
+
+  ThreadPool pool(threads);
+  pool.ParallelFor(shards, [&](size_t shard) {
+    auto [begin, end] = ShardBounds(candidates.size(), shards, shard);
+    Searcher searcher(pattern_, target_, options_, locked_callback);
+    if (!searcher.Seed()) return;
+    searcher.set_shared_stop(&shared_stop);
+    total.fetch_add(searcher.RunShard(root, candidates, begin, end),
+                    std::memory_order_relaxed);
+  });
+  return total.load();
 }
 
 std::vector<Substitution> HomomorphismSearch::FindAll(size_t limit) {
+  const size_t threads = ThreadPool::ResolveThreads(options_.threads);
+  if (threads > 1 && !pattern_.empty()) return ParallelFindAll(threads, limit);
   std::vector<Substitution> all;
   const std::function<bool(const Substitution&)> callback =
       [&all, limit](const Substitution& sub) {
@@ -177,11 +275,88 @@ std::vector<Substitution> HomomorphismSearch::FindAll(size_t limit) {
         return limit == 0 || all.size() < limit;
       };
   Searcher searcher(pattern_, target_, options_, callback);
+  if (!searcher.Seed()) return all;
   searcher.Run();
   return all;
 }
 
-bool HomomorphismSearch::Exists() { return FindOne().has_value(); }
+std::vector<Substitution> HomomorphismSearch::ParallelFindAll(size_t threads,
+                                                              size_t limit) {
+  std::vector<Substitution> all;
+  const std::function<bool(const Substitution&)> collect_all =
+      [&all](const Substitution& sub) {
+        all.push_back(sub);
+        return true;
+      };
+  Searcher probe(pattern_, target_, options_, collect_all);
+  if (!probe.Seed()) return all;
+  int root;
+  std::vector<uint32_t> candidates;
+  if (!probe.PickRoot(&root, &candidates)) return all;
+  if (candidates.size() <= 1) {
+    probe.Run();
+    if (limit > 0 && all.size() > limit) all.resize(limit);
+    return all;
+  }
+  const size_t shards = std::min(threads, candidates.size());
+  std::vector<std::vector<Substitution>> per_shard(shards);
+  ThreadPool pool(threads);
+  pool.ParallelFor(shards, [&](size_t shard) {
+    auto [begin, end] = ShardBounds(candidates.size(), shards, shard);
+    const std::function<bool(const Substitution&)> collect =
+        [&per_shard, shard](const Substitution& sub) {
+          per_shard[shard].push_back(sub);
+          return true;
+        };
+    Searcher searcher(pattern_, target_, options_, collect);
+    if (!searcher.Seed()) return;
+    searcher.RunShard(root, candidates, begin, end);
+  });
+  // Shards are contiguous slices of the root candidate order, so this
+  // concatenation reproduces sequential enumeration order exactly.
+  for (auto& shard_results : per_shard) {
+    for (auto& sub : shard_results) {
+      if (limit > 0 && all.size() >= limit) return all;
+      all.push_back(std::move(sub));
+    }
+  }
+  return all;
+}
+
+bool HomomorphismSearch::Exists() {
+  const size_t threads = ThreadPool::ResolveThreads(options_.threads);
+  if (threads <= 1 || pattern_.empty()) return FindOne().has_value();
+  return ParallelExists(threads);
+}
+
+bool HomomorphismSearch::ParallelExists(size_t threads) {
+  std::atomic<bool> found{false};
+  const std::function<bool(const Substitution&)> witness =
+      [&found](const Substitution&) {
+        found.store(true, std::memory_order_relaxed);
+        return false;
+      };
+  Searcher probe(pattern_, target_, options_, witness);
+  if (!probe.Seed()) return false;
+  int root;
+  std::vector<uint32_t> candidates;
+  if (!probe.PickRoot(&root, &candidates)) return false;
+  if (candidates.size() <= 1) {
+    probe.Run();
+    return found.load();
+  }
+  const size_t shards = std::min(threads, candidates.size());
+  ThreadPool pool(threads);
+  pool.ParallelFor(shards, [&](size_t shard) {
+    if (found.load(std::memory_order_relaxed)) return;
+    auto [begin, end] = ShardBounds(candidates.size(), shards, shard);
+    Searcher searcher(pattern_, target_, options_, witness);
+    if (!searcher.Seed()) return;
+    searcher.set_shared_stop(&found);
+    searcher.RunShard(root, candidates, begin, end);
+  });
+  return found.load();
+}
 
 std::vector<Atom> PatternFromInstance(
     const Instance& from, const std::vector<Term>& fixed,

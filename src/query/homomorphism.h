@@ -21,6 +21,14 @@ struct HomOptions {
   /// Pre-assigned variables (e.g. candidate answers). Assignments must map
   /// variables to ground terms.
   Substitution fixed;
+
+  /// Worker threads for ForEach/FindAll/Exists: the candidate facts of the
+  /// most selective atom are split across workers, each running the
+  /// backtracking core on a private substitution. 1 (default) is the
+  /// sequential code path; 0 means hardware concurrency. FindAll returns
+  /// the same substitutions in the same order at every thread count;
+  /// ForEach callbacks are serialized but arrive in unspecified order.
+  int threads = 1;
 };
 
 /// Backtracking homomorphism search: maps the variables of `pattern` into
@@ -33,19 +41,30 @@ class HomomorphismSearch {
   HomomorphismSearch(const std::vector<Atom>& pattern, const Instance& target,
                      HomOptions options = {});
 
-  /// Finds one homomorphism, if any.
+  /// Finds one homomorphism, if any. Always sequential (the witness is
+  /// the first one in deterministic enumeration order).
   std::optional<Substitution> FindOne();
 
   /// Invokes `callback` for every homomorphism until it returns false.
-  /// Returns the number of homomorphisms visited.
+  /// Returns the number of homomorphisms visited. With threads > 1 the
+  /// callback is invoked (serialized) from pool threads in unspecified
+  /// order, and an early stop may count homomorphisms the callback never
+  /// saw.
   size_t ForEach(const std::function<bool(const Substitution&)>& callback);
 
-  /// Collects up to `limit` homomorphisms (0 = all).
+  /// Collects up to `limit` homomorphisms (0 = all). Deterministic at any
+  /// thread count: the parallel path concatenates shard results in
+  /// candidate order, which equals sequential enumeration order.
   std::vector<Substitution> FindAll(size_t limit = 0);
 
   bool Exists();
 
  private:
+  size_t ParallelForEach(
+      size_t threads, const std::function<bool(const Substitution&)>& callback);
+  std::vector<Substitution> ParallelFindAll(size_t threads, size_t limit);
+  bool ParallelExists(size_t threads);
+
   const std::vector<Atom>& pattern_;
   const Instance& target_;
   HomOptions options_;

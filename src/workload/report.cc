@@ -1,6 +1,7 @@
 #include "workload/report.h"
 
 #include <cstdio>
+#include <cstdlib>
 
 namespace gqe {
 
@@ -48,6 +49,25 @@ void ReportTable::Print(const std::string& title) const {
   }
   std::printf("\n");
   for (const auto& row : rows_) print_row(row);
+}
+
+int ParseThreadsFlag(int* argc, char** argv, int default_threads) {
+  int threads = default_threads;
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--threads=", 0) == 0) {
+      threads = std::atoi(arg.c_str() + 10);
+      continue;
+    }
+    if (arg == "--threads" && i + 1 < *argc) {
+      threads = std::atoi(argv[++i]);
+      continue;
+    }
+    argv[out++] = argv[i];
+  }
+  *argc = out;
+  return threads;
 }
 
 }  // namespace gqe

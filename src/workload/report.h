@@ -29,6 +29,12 @@ class ReportTable {
   std::vector<std::vector<std::string>> rows_;
 };
 
+/// Parses and strips a `--threads=N` / `--threads N` flag from argv
+/// (benches share the flag with ChaseOptions::threads / HomOptions
+/// semantics: 1 sequential, 0 hardware concurrency). Returns
+/// `default_threads` when the flag is absent.
+int ParseThreadsFlag(int* argc, char** argv, int default_threads = 1);
+
 /// Wall-clock stopwatch for bench loops.
 class Stopwatch {
  public:

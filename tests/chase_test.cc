@@ -133,6 +133,28 @@ TEST(ChaseTest, FactBudgetStopsCleanly) {
   EXPECT_LE(result.instance.size(), 25u);
 }
 
+TEST(ChaseTest, FactBudgetNeverOvershoots) {
+  // Multi-atom heads used to overshoot: the budget was only checked after
+  // a trigger's whole head had been inserted. It now gates every single
+  // insertion, so the instance never exceeds max_facts — even budgets that
+  // land mid-head.
+  TgdSet sigma = {Tgd({Atom::Make("CBud", {V("X")})},
+                      {Atom::Make("CBudNext", {V("X"), V("Y")}),
+                       Atom::Make("CBud", {V("Y")}),
+                       Atom::Make("CBudMark", {V("X")})})};
+  Instance db;
+  db.Insert(Atom::Make("CBud", {C("fb0")}));
+  db.Insert(Atom::Make("CBud", {C("fb1")}));
+  for (size_t budget : {3u, 4u, 5u, 6u, 7u}) {
+    ChaseOptions options;
+    options.max_facts = budget;
+    ChaseResult result = Chase(db, sigma, options);
+    EXPECT_LE(result.instance.size(), budget) << "budget " << budget;
+    EXPECT_FALSE(result.complete) << "budget " << budget;
+    EXPECT_TRUE(db.SubsetOf(result.instance)) << "budget " << budget;
+  }
+}
+
 TEST(SatisfiesTest, DetectsViolation) {
   TgdSet sigma = {Tgd({Atom::Make("CE", {V("X"), V("Y")})},
                       {Atom::Make("CE", {V("Y"), V("X")})})};

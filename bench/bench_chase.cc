@@ -6,6 +6,8 @@
 // --threads=N sets ChaseOptions::threads for the benchmark series
 // (1 sequential, 0 hardware concurrency); the thread-scaling summary
 // always sweeps {1, 2, 4, 8} and cross-checks bit-identical output.
+// --deadline-ms=X / --budget-facts=N run every chase under that budget;
+// a watchdog table then reports timeout-vs-complete per configuration.
 
 #include <benchmark/benchmark.h>
 
@@ -20,6 +22,8 @@ namespace gqe {
 namespace {
 
 int g_threads = 1;
+ExecutionBudget g_budget;
+BenchWatchdog g_watchdog;
 
 TgdSet TransitiveClosure() {
   return ParseTgds("e3e(X, Y), e3e(Y, Z) -> e3e(X, Z).");
@@ -51,6 +55,7 @@ void BM_ChaseTransitiveClosure(benchmark::State& state) {
   TgdSet sigma = TransitiveClosure();
   ChaseOptions options;
   options.threads = g_threads;
+  options.budget = g_budget;
   for (auto _ : state) {
     ChaseResult result = Chase(db, sigma, options);
     benchmark::DoNotOptimize(result.instance.size());
@@ -65,6 +70,7 @@ void BM_ChaseGuardedExistential(benchmark::State& state) {
   TgdSet sigma = UniversityOntology();
   ChaseOptions options;
   options.threads = g_threads;
+  options.budget = g_budget;
   for (auto _ : state) {
     ChaseResult result = Chase(db, sigma, options);
     benchmark::DoNotOptimize(result.complete);
@@ -81,7 +87,11 @@ void PrintSummary() {
   UCQ q = ParseUcq("e3q(X) :- e3active(X).");
   for (int n : {4, 16, 64}) {
     Instance db = UniversityDatabase(n);
-    ChaseResult chased = Chase(db, sigma);
+    ChaseOptions options;
+    options.budget = g_budget;
+    ChaseResult chased = Chase(db, sigma, options);
+    g_watchdog.Record("E3 university n=" + std::to_string(n),
+                      chased.outcome);
     auto via_chase = EvaluateUCQ(q, chased.instance);
     auto via_engine = GuardedCertainAnswers(db, sigma, q);
     table.AddRow({ReportTable::Cell(db.size()),
@@ -127,9 +137,13 @@ void PrintThreadScaling() {
       Term::SetNextNullId(null_base);
       ChaseOptions options;
       options.threads = threads;
+      options.budget = g_budget;
       Stopwatch watch;
       ChaseResult result = Chase(w.db, w.sigma, options);
       const double ms = watch.ElapsedMs();
+      g_watchdog.Record(std::string(w.name) + " threads=" +
+                            std::to_string(threads),
+                        result.outcome);
       double discovery_ms = 0.0;
       double merge_ms = 0.0;
       for (const ChaseRoundStats& round : result.round_stats) {
@@ -164,9 +178,11 @@ void PrintThreadScaling() {
 
 int main(int argc, char** argv) {
   gqe::g_threads = gqe::ParseThreadsFlag(&argc, argv, 1);
+  gqe::g_budget = gqe::ParseBudgetFlags(&argc, argv);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   gqe::PrintSummary();
   gqe::PrintThreadScaling();
+  gqe::g_watchdog.Print("E3 watchdog: timeout vs complete");
   return 0;
 }

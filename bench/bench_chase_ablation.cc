@@ -54,7 +54,7 @@ void Run() {
     Instance db = ParseDatabase("abr(s0, s1).");
     ChaseOptions semi;
     semi.threads = g_threads;
-    semi.max_facts = budget;
+    semi.budget.max_facts = budget;
     ChaseOptions naive = semi;
     naive.semi_naive = false;
     Stopwatch w1;

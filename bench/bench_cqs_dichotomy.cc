@@ -4,6 +4,10 @@
 // grows. Family B (true cliques) is not UCQ_k-equivalent for any fixed
 // k: direct evaluation cost climbs with the parameter. The crossover IS
 // the dichotomy boundary.
+//
+// --deadline-ms=X / --budget-facts=N run every configuration under that
+// budget; timeout rows show "deadline"/"budget" in the status column and
+// the closing watchdog table tallies timeout-vs-complete.
 
 #include <cstdio>
 
@@ -48,7 +52,7 @@ Cqs FamilyB(int k) {
   return cqs;
 }
 
-void Run() {
+void Run(const ExecutionBudget& budget) {
   Instance db = RandomBinaryDatabase("e10e", 40, 400, 3, "t");
   {
     std::vector<Atom> copy = db.atoms();
@@ -56,48 +60,57 @@ void Run() {
       db.Insert(Atom(atom.predicate(), {atom.args()[1], atom.args()[0]}));
     }
   }
+  BenchWatchdog watchdog;
 
   ReportTable table({"family", "param", "UCQ_1-equiv", "direct ms",
-                     "rewritten ms", "holds"});
+                     "rewritten ms", "holds", "status"});
   for (int n : {2, 3, 4}) {
+    Governor governor(budget);
     Cqs a = FamilyA(n);
-    MetaResult meta = DecideUniformUcqkEquivalenceCqs(a, 1);
+    MetaResult meta = DecideUniformUcqkEquivalenceCqs(a, 1, &governor);
     Stopwatch w1;
-    bool direct = HoldsBooleanUCQ(a.query, db);
+    bool direct = HoldsBooleanUCQ(a.query, db, &governor);
     double direct_ms = w1.ElapsedMs();
     double rewritten_ms = -1;
     bool rewritten = direct;
     if (meta.equivalent) {
       Stopwatch w2;
-      rewritten = HoldsBooleanUCQ(meta.rewriting, db);
+      rewritten = HoldsBooleanUCQ(meta.rewriting, db, &governor);
       rewritten_ms = w2.ElapsedMs();
     }
+    watchdog.Record("A n=" + std::to_string(n), governor.MakeOutcome());
     table.AddRow({"A: foldable 2n-cycle", ReportTable::Cell(n),
                   ReportTable::Cell(meta.equivalent),
                   ReportTable::Cell(direct_ms),
                   ReportTable::Cell(rewritten_ms),
-                  ReportTable::Cell(direct && rewritten)});
+                  ReportTable::Cell(direct && rewritten),
+                  StatusName(governor.status())});
   }
   for (int k : {3, 4, 5}) {
+    Governor governor(budget);
     Cqs b = FamilyB(k);
-    MetaResult meta = DecideUniformUcqkEquivalenceCqs(b, 1);
+    MetaResult meta = DecideUniformUcqkEquivalenceCqs(b, 1, &governor);
     Stopwatch w1;
-    bool direct = HoldsBooleanUCQ(b.query, db);
+    bool direct = HoldsBooleanUCQ(b.query, db, &governor);
     double direct_ms = w1.ElapsedMs();
+    watchdog.Record("B k=" + std::to_string(k), governor.MakeOutcome());
     table.AddRow({"B: k-clique", ReportTable::Cell(k),
                   ReportTable::Cell(meta.equivalent),
                   ReportTable::Cell(direct_ms), std::string("-"),
-                  ReportTable::Cell(direct)});
+                  ReportTable::Cell(direct),
+                  StatusName(governor.status())});
   }
   table.Print(
       "E10 / Thm 5.7: CQS dichotomy — collapsible classes stay cheap, "
       "clique classes climb");
+  watchdog.Print("E10 watchdog: timeout vs complete");
 }
 
 }  // namespace
 }  // namespace gqe
 
-int main() {
-  gqe::Run();
+int main(int argc, char** argv) {
+  gqe::ExecutionBudget budget = gqe::ParseBudgetFlags(&argc, argv);
+  gqe::Run(budget);
   return 0;
 }

@@ -4,6 +4,10 @@
 // the rewriting stay cheap. Family B: the same queries with an inert
 // ontology are stuck at treewidth 2. The shape: A's rewriting wins and
 // is available; for B no treewidth-1 rewriting exists.
+//
+// --deadline-ms=X / --budget-facts=N run every configuration under that
+// budget; timeout rows show "deadline"/"budget" in the status column and
+// the closing watchdog table tallies timeout-vs-complete.
 
 #include <cstdio>
 
@@ -57,59 +61,77 @@ Instance MakeData(int n, uint64_t seed) {
   return db;
 }
 
-void Run() {
+void Run(const ExecutionBudget& budget) {
   TgdSet collapsing = ParseTgds("e11r2(X) -> e11r4(X).");
   TgdSet inert = ParseTgds("e11mark(X) -> e11marked(X).");
+  BenchWatchdog watchdog;
 
   ReportTable table({"family", "copies", "UCQ_1-equivalent",
-                     "eval via rewriting ms", "direct certain ms", "agree"});
+                     "eval via rewriting ms", "direct certain ms", "agree",
+                     "status"});
   Instance db = MakeData(60, 21);
   for (int copies : {1, 2}) {
     UCQ q = ScaledQuery(copies);
     // Family A: collapsing ontology.
     {
+      Governor governor(budget);
       Omq omq = Omq::WithFullDataSchema(collapsing, q);
-      MetaResult meta = DecideUcqkEquivalenceOmqFullSchema(omq, 1);
+      MetaResult meta =
+          DecideUcqkEquivalenceOmqFullSchema(omq, 1, &governor);
+      OmqEvalOptions eval_options;
+      eval_options.governor = &governor;
       double rewriting_ms = -1;
       bool via_rewriting = false;
       if (meta.equivalent) {
         Omq rewritten = Omq::WithFullDataSchema(collapsing, meta.rewriting);
         Stopwatch w;
-        via_rewriting = OmqHolds(rewritten, db, {});
+        via_rewriting = OmqHolds(rewritten, db, {}, eval_options);
         rewriting_ms = w.ElapsedMs();
       }
       Stopwatch w2;
-      bool direct = OmqHolds(omq, db, {});
+      bool direct = OmqHolds(omq, db, {}, eval_options);
       double direct_ms = w2.ElapsedMs();
+      watchdog.Record("A copies=" + std::to_string(copies),
+                      governor.MakeOutcome());
       table.AddRow({"A: R2 c R4 ontology", ReportTable::Cell(copies),
                     ReportTable::Cell(meta.equivalent),
                     ReportTable::Cell(rewriting_ms),
                     ReportTable::Cell(direct_ms),
                     ReportTable::Cell(!meta.equivalent ||
-                                      via_rewriting == direct)});
+                                      via_rewriting == direct),
+                    StatusName(governor.status())});
     }
     // Family B: inert ontology.
     {
+      Governor governor(budget);
       Omq omq = Omq::WithFullDataSchema(inert, q);
-      MetaResult meta = DecideUcqkEquivalenceOmqFullSchema(omq, 1);
+      MetaResult meta =
+          DecideUcqkEquivalenceOmqFullSchema(omq, 1, &governor);
+      OmqEvalOptions eval_options;
+      eval_options.governor = &governor;
       Stopwatch w2;
-      bool direct = OmqHolds(omq, db, {});
+      bool direct = OmqHolds(omq, db, {}, eval_options);
       double direct_ms = w2.ElapsedMs();
       (void)direct;
+      watchdog.Record("B copies=" + std::to_string(copies),
+                      governor.MakeOutcome());
       table.AddRow({"B: inert ontology", ReportTable::Cell(copies),
                     ReportTable::Cell(meta.equivalent), std::string("-"),
-                    ReportTable::Cell(direct_ms), ReportTable::Cell(true)});
+                    ReportTable::Cell(direct_ms), ReportTable::Cell(true),
+                    StatusName(governor.status())});
     }
   }
   table.Print(
       "E11 / Thm 5.3: OMQ dichotomy — the ontology decides which side of "
       "the FPT boundary a class sits on");
+  watchdog.Print("E11 watchdog: timeout vs complete");
 }
 
 }  // namespace
 }  // namespace gqe
 
-int main() {
-  gqe::Run();
+int main(int argc, char** argv) {
+  gqe::ExecutionBudget budget = gqe::ParseBudgetFlags(&argc, argv);
+  gqe::Run(budget);
   return 0;
 }

@@ -8,7 +8,8 @@
 
 namespace gqe {
 
-MetaResult DecideUniformUcqkEquivalenceCqs(const Cqs& cqs, int k) {
+MetaResult DecideUniformUcqkEquivalenceCqs(const Cqs& cqs, int k,
+                                           Governor* governor) {
   MetaResult result;
   result.k_in_valid_range = k >= MinimumValidK(cqs);
   Cqs approximation = UcqkApproximationCqs(cqs, k);
@@ -19,21 +20,25 @@ MetaResult DecideUniformUcqkEquivalenceCqs(const Cqs& cqs, int k) {
   }
   // approximation ⊆ cqs holds by construction (contractions map into the
   // original); the decision is cqs ⊆ approximation.
-  if (CqsContained(cqs, approximation)) {
+  if (CqsContained(cqs, approximation, /*engine=*/nullptr,
+                   /*fg_chase_level=*/12, governor)) {
     result.equivalent = true;
     result.rewriting = approximation.query;
   }
+  if (governor != nullptr) result.status = governor->status();
   return result;
 }
 
-MetaResult DecideUcqkEquivalenceOmqFullSchema(const Omq& omq, int k) {
+MetaResult DecideUcqkEquivalenceOmqFullSchema(const Omq& omq, int k,
+                                              Governor* governor) {
   Cqs as_cqs;
   as_cqs.sigma = omq.sigma;
   as_cqs.query = omq.query;
-  return DecideUniformUcqkEquivalenceCqs(as_cqs, k);
+  return DecideUniformUcqkEquivalenceCqs(as_cqs, k, governor);
 }
 
-MetaResult DecideUcqkEquivalenceOmqViaGroundings(const Omq& omq, int k) {
+MetaResult DecideUcqkEquivalenceOmqViaGroundings(const Omq& omq, int k,
+                                                 Governor* governor) {
   MetaResult result;
   Cqs as_cqs;
   as_cqs.sigma = omq.sigma;
@@ -43,16 +48,21 @@ MetaResult DecideUcqkEquivalenceOmqViaGroundings(const Omq& omq, int k) {
   result.approximation_disjuncts = approximation.query.num_disjuncts();
   if (result.approximation_disjuncts == 0) return result;
   // Q_k^a ⊆ Q holds by Lemma C.7(1); decide Q ⊆ Q_k^a.
-  if (OmqContainedSameOntology(omq, approximation)) {
+  if (OmqContainedSameOntology(omq, approximation, /*engine=*/nullptr,
+                               governor)) {
     result.equivalent = true;
     result.rewriting = approximation.query;
   }
+  if (governor != nullptr) result.status = governor->status();
   return result;
 }
 
-int SemanticTreewidthCqs(const Cqs& cqs, int max_k) {
+int SemanticTreewidthCqs(const Cqs& cqs, int max_k, Governor* governor) {
   for (int k = 1; k <= max_k; ++k) {
-    if (DecideUniformUcqkEquivalenceCqs(cqs, k).equivalent) return k;
+    if (governor != nullptr && governor->Tripped()) break;
+    if (DecideUniformUcqkEquivalenceCqs(cqs, k, governor).equivalent) {
+      return k;
+    }
   }
   return -1;
 }

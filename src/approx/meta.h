@@ -3,6 +3,7 @@
 
 #include <string>
 
+#include "base/governor.h"
 #include "cqs/cqs.h"
 #include "omq/omq.h"
 
@@ -25,28 +26,39 @@ struct MetaResult {
   /// is still sound for "equivalent" answers but "not equivalent" may be
   /// conservative (Appendix C.5 shows the regime genuinely differs).
   bool k_in_valid_range = true;
+
+  /// Why the decision ended; a non-Completed status means the containment
+  /// tests were cut short, so `equivalent == false` is inconclusive.
+  Status status = Status::kCompleted;
 };
 
 /// Decides uniform UCQ_k-equivalence of a CQS from (FG_m, UCQ)
 /// (Theorem 5.10 shape): compute the approximation S_k^a and test
-/// S ⊆ S_k^a via Proposition 4.5.
-MetaResult DecideUniformUcqkEquivalenceCqs(const Cqs& cqs, int k);
+/// S ⊆ S_k^a via Proposition 4.5. All decision procedures below take an
+/// optional shared `governor` bounding the containment chases; results
+/// with a non-Completed `status` are inconclusive negatives.
+MetaResult DecideUniformUcqkEquivalenceCqs(const Cqs& cqs, int k,
+                                           Governor* governor = nullptr);
 
 /// Decides (uniform) UCQ_k-equivalence of a *full-data-schema* guarded
 /// OMQ via Proposition 5.5 + Theorem 5.6.
-MetaResult DecideUcqkEquivalenceOmqFullSchema(const Omq& omq, int k);
+MetaResult DecideUcqkEquivalenceOmqFullSchema(const Omq& omq, int k,
+                                              Governor* governor = nullptr);
 
 /// The same decision through the Definition C.6 Σ-grounding
 /// approximation (Proposition 5.2's route), available when the ontology
 /// is full guarded (the Theorem D.1 regime). Cross-checks the
 /// contraction-based procedure; `equivalent` is sound, and complete
 /// whenever the grounding enumeration caps are not hit.
-MetaResult DecideUcqkEquivalenceOmqViaGroundings(const Omq& omq, int k);
+MetaResult DecideUcqkEquivalenceOmqViaGroundings(const Omq& omq, int k,
+                                                 Governor* governor = nullptr);
 
 /// The smallest k (if any, up to `max_k`) for which the CQS is uniformly
 /// UCQ_k-equivalent; -1 if none found. The "semantic treewidth" of the
-/// specification.
-int SemanticTreewidthCqs(const Cqs& cqs, int max_k);
+/// specification. A tripped governor stops the search early (-1 then
+/// means "none found up to the k reached").
+int SemanticTreewidthCqs(const Cqs& cqs, int max_k,
+                         Governor* governor = nullptr);
 
 }  // namespace gqe
 

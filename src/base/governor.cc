@@ -1,0 +1,111 @@
+#include "base/governor.h"
+
+namespace gqe {
+
+const char* StatusName(Status status) {
+  switch (status) {
+    case Status::kCompleted:
+      return "completed";
+    case Status::kBudgetExceeded:
+      return "budget-exceeded";
+    case Status::kDeadlineExceeded:
+      return "deadline-exceeded";
+    case Status::kCancelled:
+      return "cancelled";
+  }
+  return "unknown";
+}
+
+CancelToken CancelToken::Create() {
+  CancelToken token;
+  token.flag_ = std::make_shared<std::atomic<bool>>(false);
+  return token;
+}
+
+void CancelToken::RequestCancel() const {
+  if (flag_ != nullptr) flag_->store(true, std::memory_order_release);
+}
+
+bool CancelToken::CancelRequested() const {
+  return flag_ != nullptr && flag_->load(std::memory_order_acquire);
+}
+
+Governor::Governor(const ExecutionBudget& budget,
+                   const TestFaultInjector* injector)
+    : budget_(budget),
+      injector_(injector),
+      start_(std::chrono::steady_clock::now()) {
+  if (budget_.deadline_ms > 0) {
+    has_deadline_ = true;
+    deadline_ = start_ + std::chrono::duration_cast<
+                             std::chrono::steady_clock::duration>(
+                             std::chrono::duration<double, std::milli>(
+                                 budget_.deadline_ms));
+  }
+}
+
+void Governor::Trip(Status cause) {
+  int expected = static_cast<int>(Status::kCompleted);
+  status_.compare_exchange_strong(expected, static_cast<int>(cause),
+                                  std::memory_order_relaxed);
+}
+
+Status Governor::Charge(uint64_t nodes, size_t facts) {
+  // The sticky status gates everything, counters included: charges
+  // refused after the trip are work the caller does not perform, so
+  // counting them would drift facts_charged arbitrarily past the budget
+  // (engines entered post-trip still charge their inputs before their
+  // first Check). Only the trip-crossing charge itself overshoots, by at
+  // most its own size.
+  Status current = status();
+  if (current != Status::kCompleted) return current;
+  if (nodes > 0) nodes_.fetch_add(nodes, std::memory_order_relaxed);
+  if (facts > 0) facts_.fetch_add(facts, std::memory_order_relaxed);
+
+  const uint64_t count =
+      checkpoints_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (injector_ != nullptr && count >= injector_->at_checkpoint()) {
+    Trip(injector_->status());
+    return status();
+  }
+  if (budget_.cancel.CancelRequested()) {
+    Trip(Status::kCancelled);
+    return status();
+  }
+  // With per-node charging (injector mode) the clock is only probed every
+  // kNodeBatch checkpoints; in normal batched mode every checkpoint
+  // already represents a batch of work, so probe unconditionally.
+  const bool probe_clock =
+      injector_ == nullptr || nodes == 0 || count % kNodeBatch == 0;
+  if (has_deadline_ && probe_clock &&
+      std::chrono::steady_clock::now() >= deadline_) {
+    Trip(Status::kDeadlineExceeded);
+    return status();
+  }
+  if (budget_.max_search_nodes > 0 &&
+      nodes_.load(std::memory_order_relaxed) > budget_.max_search_nodes) {
+    Trip(Status::kBudgetExceeded);
+    return status();
+  }
+  if (budget_.max_facts > 0 &&
+      facts_.load(std::memory_order_relaxed) > budget_.max_facts) {
+    Trip(Status::kBudgetExceeded);
+    return status();
+  }
+  return Status::kCompleted;
+}
+
+Outcome Governor::MakeOutcome() const {
+  Outcome outcome;
+  outcome.status = status();
+  outcome.elapsed_ms = std::chrono::duration<double, std::milli>(
+                           std::chrono::steady_clock::now() - start_)
+                           .count();
+  outcome.facts_charged =
+      static_cast<size_t>(facts_.load(std::memory_order_relaxed));
+  outcome.nodes_charged = nodes_.load(std::memory_order_relaxed);
+  outcome.checkpoints = checkpoints_.load(std::memory_order_relaxed);
+  return outcome;
+}
+
+}  // namespace gqe

@@ -35,8 +35,9 @@ std::vector<uint32_t> TriggerKey(size_t tgd_index,
 /// True if the head of `tgd` is satisfied in `instance` with the frontier
 /// fixed as in `sub`.
 bool HeadSatisfied(const Instance& instance, const Tgd& tgd,
-                   const Substitution& sub) {
+                   const Substitution& sub, Governor* governor = nullptr) {
   HomOptions options;
+  options.governor = governor;
   for (Term v : tgd.Frontier()) options.fixed.Set(v, sub.Apply(v));
   HomomorphismSearch search(tgd.head(), instance, options);
   return search.Exists();
@@ -69,13 +70,15 @@ double MsSince(std::chrono::steady_clock::time_point start) {
 /// run concurrently with other units.
 void RunDiscoveryUnit(const DiscoveryUnit& unit, const TgdSet& tgds,
                       const Instance& instance, int hom_threads,
-                      std::vector<Substitution>* out) {
+                      Governor* governor, std::vector<Substitution>* out) {
+  if (governor->Tripped()) return;
   const auto& body = tgds[unit.tgd_index].body();
   if (unit.anchor < 0) {
     // Initial full pass. FindAll's parallel path preserves sequential
     // enumeration order, so sharding here keeps the merge canonical.
     HomOptions options;
     options.threads = hom_threads;
+    options.governor = governor;
     HomomorphismSearch search(body, instance, options);
     *out = search.FindAll();
     return;
@@ -83,6 +86,7 @@ void RunDiscoveryUnit(const DiscoveryUnit& unit, const TgdSet& tgds,
   // Anchor one body atom at each fact of this unit's delta chunk.
   const Atom& anchor_atom = body[unit.anchor];
   for (size_t f = unit.delta_begin; f < unit.delta_end; ++f) {
+    if (governor->Tripped()) return;
     const Atom& fact = instance.atom(f);
     if (fact.predicate() != anchor_atom.predicate()) continue;
     // Bind the anchor atom's variables against this fact.
@@ -100,6 +104,7 @@ void RunDiscoveryUnit(const DiscoveryUnit& unit, const TgdSet& tgds,
       }
     }
     if (!ok) continue;
+    options.governor = governor;
     HomomorphismSearch search(body, instance, options);
     search.ForEach([&](const Substitution& sub) {
       out->push_back(sub);
@@ -113,8 +118,14 @@ void RunDiscoveryUnit(const DiscoveryUnit& unit, const TgdSet& tgds,
 ChaseResult Chase(const Instance& db, const TgdSet& tgds,
                   const ChaseOptions& options) {
   ChaseResult result;
+  GovernorScope scope(options.governor, options.budget);
+  Governor* governor = scope.get();
+
   result.instance.InsertAll(db);
   for (const Atom& atom : db.atoms()) result.levels[atom] = 0;
+  // Copying the input counts toward the fact budget, so nested engines
+  // sharing a governor cannot multiply caps by re-copying.
+  governor->ChargeFacts(db.size());
 
   const size_t threads = ThreadPool::ResolveThreads(options.threads);
   result.threads_used = threads;
@@ -143,6 +154,12 @@ ChaseResult Chase(const Instance& db, const TgdSet& tgds,
   std::unordered_set<std::vector<uint32_t>, TriggerKeyHash> pending_keys;
 
   for (;;) {
+    // Round-boundary checkpoint: probes the deadline, cancellation and the
+    // injector. One checkpoint per round, deterministically placed.
+    if (governor->Check() != Status::kCompleted) {
+      result.complete = false;
+      break;
+    }
     if (!options.semi_naive) {
       // Naive mode: rediscover everything each round.
       carried.clear();
@@ -201,12 +218,12 @@ ChaseResult Chase(const Instance& db, const TgdSet& tgds,
       // saturated even for single-rule programs).
       for (size_t u = 0; u < units.size(); ++u) {
         RunDiscoveryUnit(units[u], tgds, result.instance,
-                         static_cast<int>(threads), &found[u]);
+                         static_cast<int>(threads), governor, &found[u]);
       }
     } else {
       pool.ParallelFor(units.size(), [&](size_t u) {
         RunDiscoveryUnit(units[u], tgds, result.instance, /*hom_threads=*/1,
-                         &found[u]);
+                         governor, &found[u]);
       });
     }
     stats.discovery_ms = MsSince(discovery_start);
@@ -225,6 +242,14 @@ ChaseResult Chase(const Instance& db, const TgdSet& tgds,
     found.clear();
 
     delta_start = delta_end;
+    // A trip during discovery leaves an incomplete pending list; discard
+    // the round rather than fire from it.
+    if (governor->Check() != Status::kCompleted) {
+      stats.merge_ms = MsSince(merge_start);
+      result.round_stats.push_back(stats);
+      result.complete = false;
+      break;
+    }
     if (pending.empty()) {
       stats.merge_ms = MsSince(merge_start);
       result.round_stats.push_back(stats);
@@ -244,12 +269,42 @@ ChaseResult Chase(const Instance& db, const TgdSet& tgds,
       result.complete = false;
       break;
     }
+    // Fire phase (sequential, deterministic). Insertions are staged and
+    // committed at the round boundary: a cancellation / deadline /
+    // injected trip detected at a per-trigger checkpoint discards the
+    // partial round, so the committed prefix is identical at every thread
+    // count. A fact-budget trip instead commits the staged prefix (the
+    // budget gates every insertion — a run never holds more than
+    // budget.max_facts facts unless the input database already does, and
+    // the sequential fire order makes the kept prefix deterministic too).
+    // The restricted chase flushes after each trigger instead of at the
+    // round boundary: head-satisfaction checks must see the facts fired
+    // earlier in the same round, which is the paper-exact restricted
+    // semantics.
     bool budget_hit = false;
+    Status abort_status = Status::kCompleted;
+    std::vector<std::pair<Atom, int>> staged;
+    std::unordered_set<Atom, AtomHash> staged_set;
+    size_t round_fired = 0;
+    auto commit_staged = [&]() {
+      for (auto& [fact, level] : staged) {
+        result.instance.Insert(fact);
+        result.levels[fact] = level;
+        result.max_level_built = std::max(result.max_level_built, level);
+      }
+      staged.clear();
+      staged_set.clear();
+    };
     for (const auto& trigger : pending) {
       if (trigger.level != min_level) {
         // Keep for a later round (its level's turn has not come).
         carried.push_back(trigger);
         continue;
+      }
+      const Status at_trigger = governor->Check();
+      if (at_trigger != Status::kCompleted) {
+        abort_status = at_trigger;
+        break;
       }
       std::vector<uint32_t> key =
           TriggerKey(trigger.tgd_index, body_vars[trigger.tgd_index],
@@ -258,32 +313,46 @@ ChaseResult Chase(const Instance& db, const TgdSet& tgds,
       if (!fired.insert(key).second) continue;
       const Tgd& tgd = tgds[trigger.tgd_index];
       if (options.restricted &&
-          HeadSatisfied(result.instance, tgd, trigger.sub)) {
+          HeadSatisfied(result.instance, tgd, trigger.sub, governor)) {
         continue;
       }
-      ++result.triggers_fired;
-      ++stats.triggers_fired;
+      ++round_fired;
       Substitution extended = trigger.sub;
       for (Term z : existentials[trigger.tgd_index]) {
         extended.Set(z, Term::FreshNull());
       }
       for (const Atom& head_atom : tgd.head()) {
         Atom fact = extended.Apply(head_atom);
-        // The budget gates every insertion, not just round boundaries:
-        // a run never holds more than max_facts facts (unless the input
-        // database already does).
-        if (result.instance.Contains(fact)) continue;
-        if (result.instance.size() >= options.max_facts) {
+        if (result.instance.Contains(fact) || staged_set.count(fact) > 0) {
+          continue;
+        }
+        if (governor->ChargeFacts(1) != Status::kCompleted) {
           budget_hit = true;
           break;
         }
-        result.instance.Insert(fact);
-        result.levels[fact] = trigger.level + 1;
-        result.max_level_built =
-            std::max(result.max_level_built, trigger.level + 1);
+        staged.push_back({fact, trigger.level + 1});
+        staged_set.insert(fact);
       }
+      if (options.restricted) commit_staged();
       if (budget_hit) break;
     }
+    if (abort_status != Status::kCompleted) {
+      // Discard the staged partial round (already-flushed restricted-mode
+      // triggers stay; restricted rounds are per-trigger transactional).
+      staged.clear();
+      staged_set.clear();
+      if (options.restricted) {
+        result.triggers_fired += round_fired;
+        stats.triggers_fired = round_fired;
+      }
+      stats.merge_ms = MsSince(merge_start);
+      result.round_stats.push_back(stats);
+      result.complete = false;
+      break;
+    }
+    commit_staged();
+    result.triggers_fired += round_fired;
+    stats.triggers_fired = round_fired;
     stats.merge_ms = MsSince(merge_start);
     result.round_stats.push_back(stats);
     if (budget_hit) {
@@ -291,6 +360,7 @@ ChaseResult Chase(const Instance& db, const TgdSet& tgds,
       break;
     }
   }
+  result.outcome = governor->MakeOutcome();
   return result;
 }
 

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "base/atom.h"
+#include "base/governor.h"
 #include "base/instance.h"
 #include "tgd/tgd.h"
 
@@ -13,8 +14,16 @@ namespace gqe {
 
 /// Options for the chase procedure (paper, Section 2).
 struct ChaseOptions {
-  /// Stop (incomplete) once the instance holds this many facts.
-  size_t max_facts = 1000000;
+  /// Resource limits (fact budget, search-node budget, deadline, cancel
+  /// token). Replaces the old `max_facts` field: set
+  /// `budget.max_facts` to bound materialization. Ignored when `governor`
+  /// is set.
+  ExecutionBudget budget;
+
+  /// Optional shared governor (e.g. from an enclosing OMQ evaluation) so
+  /// nested engines draw on one budget. When null the chase governs
+  /// itself from `budget`.
+  Governor* governor = nullptr;
 
   /// Build the chase only up to this level (Lemma A.1 levels: database
   /// facts have level 0; a fact created by a trigger has level
@@ -71,6 +80,14 @@ struct ChaseResult {
   /// remains, hence instance |= Σ.
   bool complete = false;
 
+  /// Why (and with how much work) the run ended. `outcome.status` is
+  /// kCompleted for a fixpoint or a max_level stop (a requested bound,
+  /// not a resource trip); any other status means a guard rail fired and
+  /// `instance` is the last committed prefix. Chase rounds are
+  /// transactional: a cancellation or deadline trip discards the partial
+  /// round, so the committed prefix is identical at every thread count.
+  Outcome outcome;
+
   int max_level_built = 0;
   size_t triggers_fired = 0;
 
@@ -86,8 +103,8 @@ struct ChaseResult {
 
 /// Runs the (oblivious, level-wise) chase of `db` under `tgds`
 /// (Section 2). With default options this terminates only when the chase
-/// is finite (e.g. full or weakly-acyclic sets); use max_level/max_facts
-/// to bound it otherwise.
+/// is finite (e.g. full or weakly-acyclic sets); use max_level or the
+/// options' budget (facts / deadline / cancel) to bound it otherwise.
 ChaseResult Chase(const Instance& db, const TgdSet& tgds,
                   const ChaseOptions& options = {});
 

@@ -12,43 +12,49 @@ namespace {
 
 /// x̄ ∈ q2(chase(D[p1], Σ)) — the Proposition 4.5 test for one disjunct.
 bool DisjunctContained(const CQ& p1, const UCQ& q2, const TgdSet& sigma,
-                       TypeClosureEngine* engine, int fg_chase_level) {
+                       TypeClosureEngine* engine, int fg_chase_level,
+                       Governor* governor) {
   Instance canonical = p1.CanonicalInstance();
   std::vector<Term> frozen_answer;
   for (Term v : p1.answer_vars()) {
     frozen_answer.push_back(CQ::FrozenConstant(v));
   }
   if (sigma.empty()) {
-    return HoldsUCQ(q2, canonical, frozen_answer);
+    return HoldsUCQ(q2, canonical, frozen_answer, governor);
   }
   if (IsGuardedSet(sigma)) {
+    GuardedEvalOptions guarded_options;
+    guarded_options.governor = governor;
     return GuardedCertainlyHolds(canonical, sigma, q2, frozen_answer,
-                                 GuardedEvalOptions{}, engine);
+                                 guarded_options, engine);
   }
   // Frontier-guarded (or general) fallback: level-bounded chase.
   ChaseOptions options;
   options.max_level = fg_chase_level;
+  options.governor = governor;
   ChaseResult chased = Chase(canonical, sigma, options);
-  return HoldsUCQ(q2, chased.instance, frozen_answer);
+  return HoldsUCQ(q2, chased.instance, frozen_answer, governor);
 }
 
 }  // namespace
 
 bool CqsContained(const Cqs& s1, const Cqs& s2, TypeClosureEngine* engine,
-                  int fg_chase_level) {
+                  int fg_chase_level, Governor* governor) {
   assert(s1.query.arity() == s2.query.arity());
   for (const CQ& p1 : s1.query.disjuncts()) {
-    if (!DisjunctContained(p1, s2.query, s1.sigma, engine, fg_chase_level)) {
+    if (!DisjunctContained(p1, s2.query, s1.sigma, engine, fg_chase_level,
+                           governor)) {
       return false;
     }
+    if (governor != nullptr && governor->Tripped()) return false;
   }
   return true;
 }
 
 bool CqsEquivalent(const Cqs& s1, const Cqs& s2, TypeClosureEngine* engine,
-                   int fg_chase_level) {
-  return CqsContained(s1, s2, engine, fg_chase_level) &&
-         CqsContained(s2, s1, engine, fg_chase_level);
+                   int fg_chase_level, Governor* governor) {
+  return CqsContained(s1, s2, engine, fg_chase_level, governor) &&
+         CqsContained(s2, s1, engine, fg_chase_level, governor);
 }
 
 }  // namespace gqe

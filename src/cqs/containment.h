@@ -1,6 +1,7 @@
 #ifndef GQE_CQS_CONTAINMENT_H_
 #define GQE_CQS_CONTAINMENT_H_
 
+#include "base/governor.h"
 #include "cqs/cqs.h"
 #include "guarded/type_closure.h"
 
@@ -15,13 +16,16 @@ namespace gqe {
 /// check is then sound for "contained" answers up to the bound
 /// (`fg_chase_level`); all shipped workloads have chases that stabilize
 /// well below it.
+/// The optional shared `governor` bounds the per-disjunct chase and
+/// query evaluation; a tripped run returns false conservatively (check
+/// the governor's status before trusting a negative answer).
 bool CqsContained(const Cqs& s1, const Cqs& s2,
                   TypeClosureEngine* engine = nullptr,
-                  int fg_chase_level = 12);
+                  int fg_chase_level = 12, Governor* governor = nullptr);
 
 bool CqsEquivalent(const Cqs& s1, const Cqs& s2,
                    TypeClosureEngine* engine = nullptr,
-                   int fg_chase_level = 12);
+                   int fg_chase_level = 12, Governor* governor = nullptr);
 
 }  // namespace gqe
 

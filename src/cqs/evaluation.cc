@@ -7,20 +7,22 @@
 namespace gqe {
 
 CqsEvalResult EvaluateCqs(const Cqs& cqs, const Instance& db,
-                          bool check_promise) {
+                          bool check_promise, Governor* governor) {
   CqsEvalResult result;
   if (check_promise && !Satisfies(db, cqs.sigma)) {
     result.promise_ok = false;
     return result;
   }
-  result.answers = EvaluateUCQ(cqs.query, db);
+  result.answers = EvaluateUCQ(cqs.query, db, /*limit=*/0, governor);
+  if (governor != nullptr) result.status = governor->status();
   return result;
 }
 
 bool CqsHolds(const Cqs& cqs, const Instance& db,
-              const std::vector<Term>& answer, bool use_tree_dp) {
-  return use_tree_dp ? HoldsUcqTreeDp(cqs.query, db, answer)
-                     : HoldsUCQ(cqs.query, db, answer);
+              const std::vector<Term>& answer, bool use_tree_dp,
+              Governor* governor) {
+  return use_tree_dp ? HoldsUcqTreeDp(cqs.query, db, answer, governor)
+                     : HoldsUCQ(cqs.query, db, answer, governor);
 }
 
 }  // namespace gqe

@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "base/governor.h"
 #include "base/instance.h"
 #include "cqs/cqs.h"
 
@@ -15,16 +16,22 @@ namespace gqe {
 struct CqsEvalResult {
   std::vector<std::vector<Term>> answers;
   bool promise_ok = true;
+
+  /// Why the run ended. A non-Completed status means the answer set may
+  /// be incomplete (the enumeration was cut short by a guard rail).
+  Status status = Status::kCompleted;
 };
 
 CqsEvalResult EvaluateCqs(const Cqs& cqs, const Instance& db,
-                          bool check_promise = false);
+                          bool check_promise = false,
+                          Governor* governor = nullptr);
 
 /// Decides c̄ ∈ q(D) under the promise. With `use_tree_dp`, uses the
 /// Prop. 2.1 DP — the PTime algorithm behind Theorem 5.7(1) when
 /// q ∈ UCQ_k.
 bool CqsHolds(const Cqs& cqs, const Instance& db,
-              const std::vector<Term>& answer, bool use_tree_dp = false);
+              const std::vector<Term>& answer, bool use_tree_dp = false,
+              Governor* governor = nullptr);
 
 }  // namespace gqe
 

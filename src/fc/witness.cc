@@ -30,18 +30,29 @@ struct WitnessBag {
 FiniteWitness BuildFiniteWitness(const Instance& db, const TgdSet& sigma,
                                  int n, const WitnessOptions& options) {
   FiniteWitness witness;
+  GovernorScope scope(options.governor, options.budget);
+  Governor* governor = scope.get();
 
   // Attempt 1: a terminating restricted chase is a perfect witness (it is
-  // a sub-instance of the oblivious chase and a model).
+  // a sub-instance of the oblivious chase and a model). The probe runs on
+  // a sub-budget of its own so it cannot drain the shared budget; it
+  // inherits the cancel token (a cancelled build stops here too) but gets
+  // a fresh deadline window.
   {
     ChaseOptions chase_options;
     chase_options.restricted = true;
-    chase_options.max_facts = options.restricted_chase_facts;
+    chase_options.budget = governor->budget();
+    chase_options.budget.max_facts = options.restricted_chase_facts;
     ChaseResult result = Chase(db, sigma, chase_options);
     if (result.complete) {
       witness.model = std::move(result.instance);
       witness.is_model = true;
       witness.from_terminating_chase = true;
+      witness.status = governor->status();
+      return witness;
+    }
+    if (result.outcome.status == Status::kCancelled) {
+      witness.status = Status::kCancelled;
       return witness;
     }
   }
@@ -51,6 +62,13 @@ FiniteWitness BuildFiniteWitness(const Instance& db, const TgdSet& sigma,
   // distinguish the folded model from the chase.
   TypeClosureEngine engine(sigma);
   Instance portion = GroundSaturation(db, sigma, &engine);
+  governor->ChargeFacts(portion.size());
+  auto try_insert = [&](const Atom& atom) {
+    if (portion.Contains(atom)) return true;
+    if (governor->ChargeFacts(1) != Status::kCompleted) return false;
+    portion.Insert(atom);
+    return true;
+  };
   std::vector<WitnessBag> bags;
   std::deque<int> queue;
   std::unordered_set<std::string> roots_seen;
@@ -72,13 +90,16 @@ FiniteWitness BuildFiniteWitness(const Instance& db, const TgdSet& sigma,
 
   std::unordered_set<std::string> fired;
   while (!queue.empty()) {
+    if (governor->Check() != Status::kCompleted) break;
     const int bag_index = queue.front();
     queue.pop_front();
-    if (portion.size() >= options.max_facts) break;
     const std::vector<Term> elements = bags[bag_index].elements;
     std::vector<Atom> closed =
         engine.Closure(portion.AtomsOver(elements), elements);
-    for (const Atom& atom : closed) portion.Insert(atom);
+    for (const Atom& atom : closed) {
+      if (!try_insert(atom)) break;
+    }
+    if (governor->Tripped()) break;
     Instance bag_instance;
     bag_instance.InsertAll(closed);
 
@@ -88,9 +109,12 @@ FiniteWitness BuildFiniteWitness(const Instance& db, const TgdSet& sigma,
       const std::vector<Term> frontier = tgd.Frontier();
       const std::vector<Term> existentials = tgd.ExistentialVariables();
       const std::vector<Term> body_vars = tgd.BodyVariables();
+      HomOptions hom_options;
+      hom_options.governor = governor;
       std::vector<Substitution> triggers =
-          HomomorphismSearch(tgd.body(), bag_instance).FindAll();
+          HomomorphismSearch(tgd.body(), bag_instance, hom_options).FindAll();
       for (const Substitution& sub : triggers) {
+        if (governor->Tripped()) break;
         std::string trigger_key = std::to_string(tgd_index);
         for (Term v : body_vars) {
           trigger_key += ":" + std::to_string(sub.Apply(v).bits());
@@ -149,13 +173,15 @@ FiniteWitness BuildFiniteWitness(const Instance& db, const TgdSet& sigma,
             fold.Set(existentials[z], target.order[position]);
           }
           for (const Atom& head_atom : tgd.head()) {
-            portion.Insert(fold.Apply(head_atom));
+            if (!try_insert(fold.Apply(head_atom))) break;
           }
           ++witness.folds;
           continue;
         }
         // Materialize the child normally.
-        for (const Atom& atom : child_closed) portion.Insert(atom);
+        for (const Atom& atom : child_closed) {
+          if (!try_insert(atom)) break;
+        }
         WitnessBag child;
         child.elements = child_elements;
         child.parent = bag_index;
@@ -168,13 +194,16 @@ FiniteWitness BuildFiniteWitness(const Instance& db, const TgdSet& sigma,
   }
 
   // Attempt 3: patch residual violations (folding can expose new guarded
-  // sets) with a bounded restricted chase.
+  // sets) with a bounded restricted chase, sharing the same governor (the
+  // patch draws on whatever budget the fold loop left).
   ChaseOptions patch_options;
   patch_options.restricted = true;
-  patch_options.max_facts = options.max_facts;
+  patch_options.governor = governor;
   ChaseResult patched = Chase(portion, sigma, patch_options);
   witness.model = std::move(patched.instance);
   witness.is_model = patched.complete;
+  witness.status = governor->status();
+  if (witness.status != Status::kCompleted) witness.is_model = false;
   return witness;
 }
 
@@ -236,6 +265,10 @@ OmqToCqsReduction ReduceOmqToCqs(const Omq& omq, const Instance& db,
   reduction.exact = true;
   reduction.witness_count = maximal.size();
   for (const auto& guarded_set : maximal) {
+    if (options.governor != nullptr && options.governor->Tripped()) {
+      reduction.exact = false;
+      break;
+    }
     Instance restricted;
     restricted.InsertAll(dplus.AtomsOver(guarded_set));
     FiniteWitness witness =

@@ -3,6 +3,7 @@
 
 #include <string>
 
+#include "base/governor.h"
 #include "base/instance.h"
 #include "omq/omq.h"
 #include "query/cq.h"
@@ -32,12 +33,26 @@ struct FiniteWitness {
   bool from_terminating_chase = false;
 
   size_t folds = 0;
+
+  /// Why the build ended; non-Completed implies is_model == false.
+  Status status = Status::kCompleted;
 };
 
 struct WitnessOptions {
-  size_t max_facts = 50000;
   int max_depth = 64;
-  /// Budget for the initial restricted-chase attempt.
+
+  /// Resource limits for the fold loop and the validation patch chase.
+  /// Ignored when `governor` is set.
+  ExecutionBudget budget;
+
+  /// Optional shared governor (see ChaseOptions::governor). The initial
+  /// restricted-chase probe always runs under its own sub-budget governor
+  /// (capped at `restricted_chase_facts`, inheriting the cancel token but
+  /// with a fresh deadline window) so an aggressive probe cannot drain
+  /// the shared budget.
+  Governor* governor = nullptr;
+
+  /// Fact budget for the initial restricted-chase attempt.
   size_t restricted_chase_facts = 5000;
 };
 

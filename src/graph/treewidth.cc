@@ -5,10 +5,45 @@
 #include <cstdlib>
 #include <limits>
 #include <set>
+#include <unordered_map>
 
 namespace gqe {
 
 namespace {
+
+/// Memoization table over elimination-prefix bitmasks. Dense for small n
+/// (one byte per subset); sparse above kDenseLimit, where the dense table
+/// would cost 2^n bytes up front — under a governor the DP on such
+/// components is expected to trip long before visiting most subsets, and
+/// the sparse table keeps the abandoned attempt cheap in both time and
+/// memory.
+class PrefixMemo {
+ public:
+  static constexpr int kDenseLimit = 24;
+
+  explicit PrefixMemo(int n) : dense_(n <= kDenseLimit) {
+    if (dense_) vec_.assign(static_cast<size_t>(1) << n, -2);
+  }
+
+  int8_t Get(uint32_t s) const {
+    if (dense_) return vec_[s];
+    auto it = map_.find(s);
+    return it == map_.end() ? int8_t{-2} : it->second;
+  }
+
+  void Set(uint32_t s, int8_t value) {
+    if (dense_) {
+      vec_[s] = value;
+    } else {
+      map_[s] = value;
+    }
+  }
+
+ private:
+  bool dense_;
+  std::vector<int8_t> vec_;
+  std::unordered_map<uint32_t, int8_t> map_;
+};
 
 /// Number of vertices outside S and distinct from v that are reachable
 /// from v by a path whose internal vertices all lie in S. This equals the
@@ -38,8 +73,12 @@ int ReachThrough(const Graph& g, uint32_t s_mask, int v) {
 
 /// Held–Karp style DP over elimination prefixes; returns the exact
 /// treewidth of a graph with <= 30 vertices and (optionally) an optimal
-/// elimination order.
-int ExactTreewidthDp(const Graph& g, std::vector<int>* order_out) {
+/// elimination order. Every frame visit is charged as a search node
+/// against `governor`; on a trip the DP abandons its work and sets
+/// `*aborted` (the caller degrades to a heuristic).
+int ExactTreewidthDp(const Graph& g, std::vector<int>* order_out,
+                     Governor* governor, bool* aborted) {
+  *aborted = false;
   const int n = g.num_vertices();
   assert(n <= 30);
   if (n == 0) {
@@ -49,8 +88,11 @@ int ExactTreewidthDp(const Graph& g, std::vector<int>* order_out) {
   const uint32_t full = (n == 32) ? ~0u : ((1u << n) - 1);
   // memo[s] = treewidth contribution of eliminating the remaining
   // vertices, given s already eliminated; -2 = unknown.
-  std::vector<int8_t> memo(static_cast<size_t>(1) << n, -2);
-  memo[full] = -1;  // nothing left: no bag created beyond those so far
+  PrefixMemo memo(n);
+  memo.Set(full, -1);  // nothing left: no bag created beyond those so far
+
+  const uint64_t charge_batch = governor->NodeChargeBatch();
+  uint64_t pending_nodes = 0;
 
   // Bottom-up over decreasing popcount is awkward; use explicit stack
   // recursion instead.
@@ -62,8 +104,16 @@ int ExactTreewidthDp(const Graph& g, std::vector<int>* order_out) {
   std::vector<Frame> stack;
   stack.push_back({0u, 0, std::numeric_limits<int>::max()});
   while (!stack.empty()) {
+    if (++pending_nodes >= charge_batch) {
+      governor->ChargeNodes(pending_nodes);
+      pending_nodes = 0;
+    }
+    if (governor->Tripped()) {
+      *aborted = true;
+      return -1;
+    }
     Frame& f = stack.back();
-    if (memo[f.s] != -2) {
+    if (memo.Get(f.s) != -2) {
       stack.pop_back();
       continue;
     }
@@ -74,23 +124,25 @@ int ExactTreewidthDp(const Graph& g, std::vector<int>* order_out) {
         continue;
       }
       const uint32_t child = f.s | (1u << f.v);
-      if (memo[child] == -2) {
+      if (memo.Get(child) == -2) {
         stack.push_back({child, 0, std::numeric_limits<int>::max()});
         descended = true;
         break;
       }
       const int q = ReachThrough(g, f.s, f.v);
-      const int value = std::max(q, static_cast<int>(memo[child]));
+      const int value = std::max(q, static_cast<int>(memo.Get(child)));
       f.best = std::min(f.best, value);
       ++f.v;
     }
     if (!descended) {
-      memo[f.s] = static_cast<int8_t>(f.best == std::numeric_limits<int>::max()
-                                          ? -1
-                                          : f.best);
+      memo.Set(f.s,
+               static_cast<int8_t>(f.best == std::numeric_limits<int>::max()
+                                       ? -1
+                                       : f.best));
       stack.pop_back();
     }
   }
+  if (pending_nodes > 0) governor->ChargeNodes(pending_nodes);
 
   if (order_out != nullptr) {
     order_out->clear();
@@ -102,7 +154,7 @@ int ExactTreewidthDp(const Graph& g, std::vector<int>* order_out) {
         if (s & (1u << v)) continue;
         const uint32_t child = s | (1u << v);
         const int value = std::max(ReachThrough(g, s, v),
-                                   static_cast<int>(memo[child]));
+                                   static_cast<int>(memo.Get(child)));
         if (value < best_val) {
           best_val = value;
           best_v = v;
@@ -112,7 +164,7 @@ int ExactTreewidthDp(const Graph& g, std::vector<int>* order_out) {
       s |= (1u << best_v);
     }
   }
-  return memo[0];
+  return memo.Get(0);
 }
 
 /// Greedy elimination order minimizing a per-step score.
@@ -203,9 +255,12 @@ int Degeneracy(const Graph& graph) {
 TreewidthResult ComputeTreewidth(const Graph& graph,
                                  const TreewidthOptions& options) {
   TreewidthResult result;
+  GovernorScope scope(options.governor, options.budget);
+  Governor* governor = scope.get();
   const int n = graph.num_vertices();
   if (n == 0) {
     result.lower_bound = result.upper_bound = -1;
+    result.status = governor->status();
     return result;
   }
 
@@ -215,13 +270,28 @@ TreewidthResult ComputeTreewidth(const Graph& graph,
   bool all_exact = true;
   std::vector<int> global_order;
   for (const std::vector<int>& component : graph.ConnectedComponents()) {
+    governor->Check();  // probe the deadline once per component
     Graph sub = graph.InducedSubgraph(component);
     std::vector<int> sub_order;
-    if (sub.num_vertices() <= options.exact_vertex_limit) {
-      const int tw = ExactTreewidthDp(sub, &sub_order);
-      lower = std::max(lower, tw);
-      upper = std::max(upper, tw);
-    } else {
+    const bool wants_exact =
+        sub.num_vertices() <= options.exact_vertex_limit;
+    bool exact_ok = false;
+    if (wants_exact && !governor->Tripped()) {
+      bool aborted = false;
+      const int tw = ExactTreewidthDp(sub, &sub_order, governor, &aborted);
+      if (!aborted) {
+        lower = std::max(lower, tw);
+        upper = std::max(upper, tw);
+        exact_ok = true;
+      }
+    }
+    if (!exact_ok) {
+      // A component the exact DP would have solved was pre-empted by a
+      // trip (mid-DP or before it started): the answer is degraded even
+      // if the heuristic bounds happen to coincide. The heuristic itself
+      // is polynomial and runs ungoverned — a tripped governor must not
+      // block it.
+      if (wants_exact) result.degraded = true;
       sub_order = MinFillOrder(sub);
       TreeDecomposition td = DecompositionFromEliminationOrder(sub, sub_order);
       upper = std::max(upper, td.Width());
@@ -236,6 +306,7 @@ TreewidthResult ComputeTreewidth(const Graph& graph,
   result.decomposition = DecompositionFromEliminationOrder(graph, global_order);
   // The merged decomposition realizes the max component width.
   result.upper_bound = std::max(result.upper_bound, result.decomposition.Width());
+  result.status = governor->status();
   return result;
 }
 

@@ -4,6 +4,7 @@
 #include <optional>
 #include <vector>
 
+#include "base/governor.h"
 #include "graph/graph.h"
 #include "graph/tree_decomposition.h"
 
@@ -16,13 +17,35 @@ struct TreewidthResult {
   int upper_bound = 0;
   TreeDecomposition decomposition;
 
-  bool exact() const { return lower_bound == upper_bound; }
+  /// Why the computation stopped. A non-Completed status never aborts the
+  /// call: the decomposition is still valid (graceful degradation — the
+  /// exact DP is abandoned and the min-fill heuristic answer is returned
+  /// with exact() == false).
+  Status status = Status::kCompleted;
+
+  /// True iff at least one component the exact DP would have solved fell
+  /// back to the heuristic because a guard rail tripped.
+  bool degraded = false;
+
+  /// A degraded result is never reported exact, even when the heuristic
+  /// bounds happen to coincide: the caller asked for the exact DP and a
+  /// guard rail pre-empted it.
+  bool exact() const { return !degraded && lower_bound == upper_bound; }
 };
 
 struct TreewidthOptions {
   /// Maximum number of vertices (per connected component) for which the
   /// exact exponential DP runs; larger components fall back to heuristics.
   int exact_vertex_limit = 16;
+
+  /// Resource limits: every DP frame expansion is charged as a search
+  /// node. On a trip the exact DP degrades to the (ungoverned,
+  /// polynomial) min-fill heuristic instead of aborting. Ignored when
+  /// `governor` is set.
+  ExecutionBudget budget;
+
+  /// Optional shared governor (see ChaseOptions::governor).
+  Governor* governor = nullptr;
 };
 
 /// Computes the treewidth of `graph`: exact via the Held–Karp style

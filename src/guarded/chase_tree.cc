@@ -75,7 +75,22 @@ ChaseTree BuildChaseTree(const Instance& db, const TgdSet& sigma,
     engine = owned.get();
   }
   ChaseTree tree;
+  GovernorScope scope(options.governor, options.budget);
+  Governor* governor = scope.get();
   tree.portion = GroundSaturation(db, sigma, engine);
+  governor->ChargeFacts(tree.portion.size());
+
+  // Gate every portion insertion on the fact budget; a budget trip marks
+  // the tree truncated and (via the sticky status) stops the build.
+  auto try_insert = [&](const Atom& atom) {
+    if (tree.portion.Contains(atom)) return true;
+    if (governor->ChargeFacts(1) != Status::kCompleted) {
+      tree.truncated = true;
+      return false;
+    }
+    tree.portion.Insert(atom);
+    return true;
+  };
 
   // Root bags: one per ground fact (its guarded set).
   std::deque<int> queue;
@@ -104,20 +119,28 @@ ChaseTree BuildChaseTree(const Instance& db, const TgdSet& sigma,
 
   // Expand bags breadth-first.
   while (!queue.empty()) {
+    // Per-bag checkpoint: probes the deadline, cancellation and the
+    // injector.
+    if (governor->Check() != Status::kCompleted) {
+      tree.truncated = true;
+      break;
+    }
     const int bag_index = queue.front();
     queue.pop_front();
     // Copy what we need: tree.bags may reallocate as children are added.
     const std::vector<Term> elements = tree.bags[bag_index].elements;
     const int depth = tree.bags[bag_index].depth;
-    if (depth >= options.max_depth ||
-        tree.portion.size() >= options.max_facts) {
+    if (depth >= options.max_depth) {
       tree.truncated = true;
       continue;
     }
     // Saturate the bag and add everything to the portion.
     std::vector<Atom> bag_atoms = tree.portion.AtomsOver(elements);
     std::vector<Atom> closed = engine->Closure(bag_atoms, elements);
-    for (const Atom& atom : closed) tree.portion.Insert(atom);
+    for (const Atom& atom : closed) {
+      if (!try_insert(atom)) break;
+    }
+    if (governor->Tripped()) break;
 
     // Fire existential rules one level.
     Instance bag_instance;
@@ -128,8 +151,10 @@ ChaseTree BuildChaseTree(const Instance& db, const TgdSet& sigma,
       const std::vector<Term> frontier = tgd.Frontier();
       const std::vector<Term> existentials = tgd.ExistentialVariables();
       const std::vector<Term> body_vars = tgd.BodyVariables();
+      HomOptions hom_options;
+      hom_options.governor = governor;
       std::vector<Substitution> triggers =
-          HomomorphismSearch(tgd.body(), bag_instance).FindAll();
+          HomomorphismSearch(tgd.body(), bag_instance, hom_options).FindAll();
       for (const Substitution& sub : triggers) {
         std::string trigger_key = std::to_string(tgd_index);
         for (Term v : body_vars) {
@@ -177,7 +202,9 @@ ChaseTree BuildChaseTree(const Instance& db, const TgdSet& sigma,
         child.blocked = repeats >= options.blocking_repeats;
         // Materialize the child's atoms either way (the bag exists in the
         // chase); only expansion below it is cut when blocked.
-        for (const Atom& atom : child_closed) tree.portion.Insert(atom);
+        for (const Atom& atom : child_closed) {
+          if (!try_insert(atom)) break;
+        }
         for (Term null : new_nulls) {
           tree.null_home.emplace_back(null,
                                       static_cast<int>(tree.bags.size()));
@@ -186,14 +213,17 @@ ChaseTree BuildChaseTree(const Instance& db, const TgdSet& sigma,
         if (!child.blocked) {
           queue.push_back(static_cast<int>(tree.bags.size()) - 1);
         }
-        if (tree.portion.size() >= options.max_facts) {
-          tree.truncated = true;
-          break;
-        }
+        if (governor->Tripped()) break;
       }
-      if (tree.truncated) break;
+      if (governor->Tripped()) break;
+    }
+    if (governor->Tripped()) {
+      tree.truncated = true;
+      break;
     }
   }
+  if (governor->Tripped()) tree.truncated = true;
+  tree.status = governor->status();
   return tree;
 }
 

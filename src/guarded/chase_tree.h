@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "base/governor.h"
 #include "base/instance.h"
 #include "guarded/type_closure.h"
 #include "tgd/tgd.h"
@@ -23,8 +24,14 @@ struct ChaseTreeOptions {
   /// Hard depth cap on the bag forest (safety net).
   int max_depth = 128;
 
-  /// Hard fact cap (safety net).
-  size_t max_facts = 5000000;
+  /// Resource limits: every portion fact is charged against
+  /// `budget.max_facts`, and the deadline / cancel token / node budget
+  /// govern the bag expansion and its trigger searches. Ignored when
+  /// `governor` is set.
+  ExecutionBudget budget;
+
+  /// Optional shared governor (see ChaseOptions::governor).
+  Governor* governor = nullptr;
 };
 
 /// One bag (node) of the materialized chase forest.
@@ -44,6 +51,11 @@ struct ChaseTree {
   Instance portion;
   std::vector<ChaseBag> bags;
   bool truncated = false;  // a safety cap was hit (not just blocking)
+
+  /// Why the build stopped: kCompleted for a full (possibly blocked)
+  /// forest — including a max_depth stop, which is a requested bound —
+  /// any other value is the guard rail that truncated it.
+  Status status = Status::kCompleted;
 
   /// Index of the bag that introduced each null (by term), -1 for ground.
   int BagOfNull(Term null_term) const;

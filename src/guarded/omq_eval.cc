@@ -19,24 +19,28 @@ size_t MaxQueryVariables(const UCQ& query) {
 
 ChaseTree BuildPortion(const Instance& db, const TgdSet& sigma,
                        const UCQ& query, const GuardedEvalOptions& options,
-                       TypeClosureEngine* engine) {
+                       Governor* governor, TypeClosureEngine* engine) {
   ChaseTreeOptions tree_options;
   tree_options.blocking_repeats =
       static_cast<int>(MaxQueryVariables(query)) + options.extra_blocking;
   tree_options.max_depth = options.max_depth;
-  tree_options.max_facts = options.max_facts;
+  tree_options.governor = governor;
   return BuildChaseTree(db, sigma, tree_options, engine);
 }
 
 }  // namespace
 
-std::vector<std::vector<Term>> GuardedCertainAnswers(
+GuardedAnswersResult EvaluateGuardedCertainAnswers(
     const Instance& db, const TgdSet& sigma, const UCQ& query,
     const GuardedEvalOptions& options, TypeClosureEngine* engine) {
-  ChaseTree tree = BuildPortion(db, sigma, query, options, engine);
-  std::vector<std::vector<Term>> raw = EvaluateUCQ(query, tree.portion);
+  GovernorScope scope(options.governor, options.budget);
+  Governor* governor = scope.get();
+  GuardedAnswersResult result;
+  ChaseTree tree = BuildPortion(db, sigma, query, options, governor, engine);
+  result.portion_truncated = tree.truncated;
+  std::vector<std::vector<Term>> raw =
+      EvaluateUCQ(query, tree.portion, /*limit=*/0, governor);
   // Certain answers range over the constants of the input database only.
-  std::vector<std::vector<Term>> answers;
   for (auto& tuple : raw) {
     bool over_db = true;
     for (Term t : tuple) {
@@ -45,20 +49,30 @@ std::vector<std::vector<Term>> GuardedCertainAnswers(
         break;
       }
     }
-    if (over_db) answers.push_back(std::move(tuple));
+    if (over_db) result.answers.push_back(std::move(tuple));
   }
-  return answers;
+  result.status = governor->status();
+  return result;
+}
+
+std::vector<std::vector<Term>> GuardedCertainAnswers(
+    const Instance& db, const TgdSet& sigma, const UCQ& query,
+    const GuardedEvalOptions& options, TypeClosureEngine* engine) {
+  return EvaluateGuardedCertainAnswers(db, sigma, query, options, engine)
+      .answers;
 }
 
 bool GuardedCertainlyHolds(const Instance& db, const TgdSet& sigma,
                            const UCQ& query, const std::vector<Term>& answer,
                            const GuardedEvalOptions& options,
                            TypeClosureEngine* engine) {
-  ChaseTree tree = BuildPortion(db, sigma, query, options, engine);
+  GovernorScope scope(options.governor, options.budget);
+  Governor* governor = scope.get();
+  ChaseTree tree = BuildPortion(db, sigma, query, options, governor, engine);
   if (options.use_tree_dp) {
-    return HoldsUcqTreeDp(query, tree.portion, answer);
+    return HoldsUcqTreeDp(query, tree.portion, answer, governor);
   }
-  return HoldsUCQ(query, tree.portion, answer);
+  return HoldsUCQ(query, tree.portion, answer, governor);
 }
 
 }  // namespace gqe

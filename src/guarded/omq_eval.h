@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "base/governor.h"
 #include "base/instance.h"
 #include "guarded/chase_tree.h"
 #include "guarded/type_closure.h"
@@ -17,8 +18,14 @@ struct GuardedEvalOptions {
   /// blocking (completeness slack; see DESIGN.md §2.3).
   int extra_blocking = 1;
 
-  size_t max_facts = 5000000;
   int max_depth = 128;
+
+  /// Resource limits shared by the portion build and the query
+  /// evaluation over it. Ignored when `governor` is set.
+  ExecutionBudget budget;
+
+  /// Optional shared governor (see ChaseOptions::governor).
+  Governor* governor = nullptr;
 
   /// Use the Proposition 2.1 tree-decomposition DP to evaluate the UCQ
   /// over the materialized portion (the FPT algorithm of Prop. 3.3(3)
@@ -26,10 +33,26 @@ struct GuardedEvalOptions {
   bool use_tree_dp = false;
 };
 
+/// Certain answers plus the governed status of the run. When `status` is
+/// not kCompleted (or `portion_truncated` is set) the answer set is a
+/// sound *under*-approximation: every tuple reported is a certain answer
+/// over the materialized portion, but certain answers may be missing.
+struct GuardedAnswersResult {
+  std::vector<std::vector<Term>> answers;
+  Status status = Status::kCompleted;
+  bool portion_truncated = false;
+};
+
 /// Certain answers Q(D) = q(chase(D,Σ)) of a UCQ under a guarded set
 /// (Proposition 3.1): materializes a finite chase portion with n-fold
 /// blocking (n = query variables) and evaluates q over it, keeping only
 /// tuples over dom(D).
+GuardedAnswersResult EvaluateGuardedCertainAnswers(
+    const Instance& db, const TgdSet& sigma, const UCQ& query,
+    const GuardedEvalOptions& options = {},
+    TypeClosureEngine* engine = nullptr);
+
+/// Back-compat wrapper returning only the answer tuples.
 std::vector<std::vector<Term>> GuardedCertainAnswers(
     const Instance& db, const TgdSet& sigma, const UCQ& query,
     const GuardedEvalOptions& options = {}, TypeClosureEngine* engine = nullptr);

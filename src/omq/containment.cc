@@ -7,7 +7,7 @@
 namespace gqe {
 
 bool OmqContainedSameOntology(const Omq& q1, const Omq& q2,
-                              TypeClosureEngine* engine) {
+                              TypeClosureEngine* engine, Governor* governor) {
   assert(q1.query.arity() == q2.query.arity());
   for (const CQ& p : q1.query.disjuncts()) {
     Instance canonical = p.CanonicalInstance();
@@ -15,18 +15,21 @@ bool OmqContainedSameOntology(const Omq& q1, const Omq& q2,
     for (Term v : p.answer_vars()) {
       frozen_answer.push_back(CQ::FrozenConstant(v));
     }
+    GuardedEvalOptions guarded_options;
+    guarded_options.governor = governor;
     if (!GuardedCertainlyHolds(canonical, q1.sigma, q2.query, frozen_answer,
-                               GuardedEvalOptions{}, engine)) {
+                               guarded_options, engine)) {
       return false;
     }
+    if (governor != nullptr && governor->Tripped()) return false;
   }
   return true;
 }
 
 bool OmqEquivalentSameOntology(const Omq& q1, const Omq& q2,
-                               TypeClosureEngine* engine) {
-  return OmqContainedSameOntology(q1, q2, engine) &&
-         OmqContainedSameOntology(q2, q1, engine);
+                               TypeClosureEngine* engine, Governor* governor) {
+  return OmqContainedSameOntology(q1, q2, engine, governor) &&
+         OmqContainedSameOntology(q2, q1, engine, governor);
 }
 
 }  // namespace gqe

@@ -1,6 +1,7 @@
 #ifndef GQE_OMQ_CONTAINMENT_H_
 #define GQE_OMQ_CONTAINMENT_H_
 
+#include "base/governor.h"
 #include "guarded/type_closure.h"
 #include "omq/omq.h"
 
@@ -14,11 +15,16 @@ namespace gqe {
 /// for guarded Σ by finite controllability.
 ///
 /// `engine`, when given, must have been built for q1's/q2's shared Σ.
+/// The optional shared `governor` bounds every per-disjunct certain-answer
+/// check; a tripped run returns false conservatively (check the governor's
+/// status before trusting a negative answer).
 bool OmqContainedSameOntology(const Omq& q1, const Omq& q2,
-                              TypeClosureEngine* engine = nullptr);
+                              TypeClosureEngine* engine = nullptr,
+                              Governor* governor = nullptr);
 
 bool OmqEquivalentSameOntology(const Omq& q1, const Omq& q2,
-                               TypeClosureEngine* engine = nullptr);
+                               TypeClosureEngine* engine = nullptr,
+                               Governor* governor = nullptr);
 
 }  // namespace gqe
 

@@ -1,5 +1,7 @@
 #include "omq/evaluation.h"
 
+#include <utility>
+
 #include "chase/chase.h"
 #include "guarded/omq_eval.h"
 #include "query/evaluation.h"
@@ -30,61 +32,76 @@ std::vector<std::vector<Term>> FilterToDomain(
 OmqEvalResult EvaluateOmq(const Omq& omq, const Instance& db,
                           const OmqEvalOptions& options) {
   OmqEvalResult result;
+  // One governor spans the whole pipeline (portion build / chase plus
+  // the query evaluation over the materialized instance).
+  GovernorScope scope(options.governor, options.budget);
+  Governor* governor = scope.get();
   if (omq.sigma.empty()) {
     result.method = "empty-ontology";
-    result.answers = EvaluateUCQ(omq.query, db);
-    return result;
-  }
-  if (IsGuardedSet(omq.sigma)) {
+    result.answers = EvaluateUCQ(omq.query, db, /*limit=*/0, governor);
+  } else if (IsGuardedSet(omq.sigma)) {
     result.method = "guarded-portion";
     GuardedEvalOptions guarded_options;
-    guarded_options.max_facts = options.max_facts;
+    guarded_options.governor = governor;
     guarded_options.use_tree_dp = options.use_tree_dp;
-    result.answers = GuardedCertainAnswers(db, omq.sigma, omq.query,
-                                           guarded_options);
-    return result;
-  }
-  ChaseOptions chase_options;
-  chase_options.max_facts = options.max_facts;
-  if (IsObliviousChaseTerminating(omq.sigma)) {
-    result.method = "terminating-chase";
+    GuardedAnswersResult guarded = EvaluateGuardedCertainAnswers(
+        db, omq.sigma, omq.query, guarded_options);
+    result.answers = std::move(guarded.answers);
+    if (guarded.portion_truncated) result.exact = false;
   } else {
-    result.method = "bounded-chase";
-    result.exact = false;
-    chase_options.max_level = options.fallback_chase_level;
+    ChaseOptions chase_options;
+    chase_options.governor = governor;
+    if (IsObliviousChaseTerminating(omq.sigma)) {
+      result.method = "terminating-chase";
+    } else {
+      result.method = "bounded-chase";
+      result.exact = false;
+      chase_options.max_level = options.fallback_chase_level;
+    }
+    ChaseResult chased = Chase(db, omq.sigma, chase_options);
+    if (!chased.complete && result.method == "terminating-chase") {
+      // A guard rail fired despite a terminating set.
+      result.exact = false;
+    }
+    result.answers = FilterToDomain(
+        EvaluateUCQ(omq.query, chased.instance, /*limit=*/0, governor), db);
   }
-  ChaseResult chased = Chase(db, omq.sigma, chase_options);
-  if (!chased.complete && result.method == "terminating-chase") {
-    // Fact budget hit despite a terminating set.
+  result.status = governor->status();
+  if (result.status != Status::kCompleted) {
+    // Partial certain-answer status: the reported tuples are sound, the
+    // enumeration was cut short.
+    result.partial = true;
     result.exact = false;
   }
-  result.answers = FilterToDomain(EvaluateUCQ(omq.query, chased.instance), db);
   return result;
 }
 
 bool OmqHolds(const Omq& omq, const Instance& db,
               const std::vector<Term>& answer,
               const OmqEvalOptions& options) {
+  GovernorScope scope(options.governor, options.budget);
+  Governor* governor = scope.get();
   if (omq.sigma.empty()) {
-    return options.use_tree_dp ? HoldsUcqTreeDp(omq.query, db, answer)
-                               : HoldsUCQ(omq.query, db, answer);
+    return options.use_tree_dp
+               ? HoldsUcqTreeDp(omq.query, db, answer, governor)
+               : HoldsUCQ(omq.query, db, answer, governor);
   }
   if (IsGuardedSet(omq.sigma)) {
     GuardedEvalOptions guarded_options;
-    guarded_options.max_facts = options.max_facts;
+    guarded_options.governor = governor;
     guarded_options.use_tree_dp = options.use_tree_dp;
     return GuardedCertainlyHolds(db, omq.sigma, omq.query, answer,
                                  guarded_options);
   }
   ChaseOptions chase_options;
-  chase_options.max_facts = options.max_facts;
+  chase_options.governor = governor;
   if (!IsObliviousChaseTerminating(omq.sigma)) {
     chase_options.max_level = options.fallback_chase_level;
   }
   ChaseResult chased = Chase(db, omq.sigma, chase_options);
   return options.use_tree_dp
-             ? HoldsUcqTreeDp(omq.query, chased.instance, answer)
-             : HoldsUCQ(omq.query, chased.instance, answer);
+             ? HoldsUcqTreeDp(omq.query, chased.instance, answer, governor)
+             : HoldsUCQ(omq.query, chased.instance, answer, governor);
 }
 
 }  // namespace gqe

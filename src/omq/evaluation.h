@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "base/governor.h"
 #include "base/instance.h"
 #include "omq/omq.h"
 
@@ -14,12 +15,21 @@ struct OmqEvalResult {
   std::vector<std::vector<Term>> answers;
 
   /// True if the method is sound and complete for the ontology class
-  /// (guarded / terminating sets); false for the bounded-chase fallback.
+  /// (guarded / terminating sets); false for the bounded-chase fallback
+  /// or any governed (partial) run.
   bool exact = true;
 
   /// One of "empty-ontology", "guarded-portion", "terminating-chase",
   /// "bounded-chase".
   std::string method;
+
+  /// Why the run ended (a guard rail, or kCompleted).
+  Status status = Status::kCompleted;
+
+  /// True when a guard rail tripped somewhere in the pipeline: the
+  /// reported answers are a sound under-approximation of the certain
+  /// answers, not necessarily all of them.
+  bool partial = false;
 };
 
 /// Options for OMQ evaluation.
@@ -28,7 +38,14 @@ struct OmqEvalOptions {
   /// non-terminating ontologies, e.g. general frontier-guarded sets).
   int fallback_chase_level = 16;
 
-  size_t max_facts = 5000000;
+  /// One budget for the whole pipeline: the nested engines (guarded
+  /// portion build or chase, then query evaluation) share a single
+  /// governor, so OMQ → chase no longer multiplies caps. Ignored when
+  /// `governor` is set.
+  ExecutionBudget budget;
+
+  /// Optional shared governor (see ChaseOptions::governor).
+  Governor* governor = nullptr;
 
   /// Use the Prop. 2.1 tree-decomposition DP when deciding candidate
   /// answers (the Prop. 3.3(3) FPT algorithm when q ∈ UCQ_k).

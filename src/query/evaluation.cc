@@ -10,8 +10,11 @@ namespace gqe {
 namespace {
 
 void CollectAnswers(const CQ& cq, const Instance& db, size_t limit,
+                    Governor* governor,
                     std::set<std::vector<Term>>* answers) {
-  HomomorphismSearch search(cq.atoms(), db);
+  HomOptions options;
+  options.governor = governor;
+  HomomorphismSearch search(cq.atoms(), db, options);
   search.ForEach([&](const Substitution& sub) {
     answers->insert(sub.Apply(cq.answer_vars()));
     return limit == 0 || answers->size() < limit;
@@ -21,26 +24,28 @@ void CollectAnswers(const CQ& cq, const Instance& db, size_t limit,
 }  // namespace
 
 std::vector<std::vector<Term>> EvaluateCQ(const CQ& cq, const Instance& db,
-                                          size_t limit) {
+                                          size_t limit, Governor* governor) {
   std::set<std::vector<Term>> answers;
-  CollectAnswers(cq, db, limit, &answers);
+  CollectAnswers(cq, db, limit, governor, &answers);
   return {answers.begin(), answers.end()};
 }
 
 std::vector<std::vector<Term>> EvaluateUCQ(const UCQ& ucq, const Instance& db,
-                                           size_t limit) {
+                                           size_t limit, Governor* governor) {
   std::set<std::vector<Term>> answers;
   for (const CQ& cq : ucq.disjuncts()) {
-    CollectAnswers(cq, db, limit, &answers);
+    CollectAnswers(cq, db, limit, governor, &answers);
     if (limit > 0 && answers.size() >= limit) break;
+    if (governor != nullptr && governor->Tripped()) break;
   }
   return {answers.begin(), answers.end()};
 }
 
-bool HoldsCQ(const CQ& cq, const Instance& db,
-             const std::vector<Term>& answer) {
+bool HoldsCQ(const CQ& cq, const Instance& db, const std::vector<Term>& answer,
+             Governor* governor) {
   if (answer.size() != cq.answer_vars().size()) return false;
   HomOptions options;
+  options.governor = governor;
   for (size_t i = 0; i < cq.answer_vars().size(); ++i) {
     options.fixed.Set(cq.answer_vars()[i], answer[i]);
   }
@@ -49,24 +54,27 @@ bool HoldsCQ(const CQ& cq, const Instance& db,
 }
 
 bool HoldsUCQ(const UCQ& ucq, const Instance& db,
-              const std::vector<Term>& answer) {
+              const std::vector<Term>& answer, Governor* governor) {
   for (const CQ& cq : ucq.disjuncts()) {
-    if (HoldsCQ(cq, db, answer)) return true;
+    if (HoldsCQ(cq, db, answer, governor)) return true;
+    if (governor != nullptr && governor->Tripped()) break;
   }
   return false;
 }
 
-bool HoldsBooleanCQ(const CQ& cq, const Instance& db) {
-  return HoldsCQ(cq, db, {});
+bool HoldsBooleanCQ(const CQ& cq, const Instance& db, Governor* governor) {
+  return HoldsCQ(cq, db, {}, governor);
 }
 
-bool HoldsBooleanUCQ(const UCQ& ucq, const Instance& db) {
-  return HoldsUCQ(ucq, db, {});
+bool HoldsBooleanUCQ(const UCQ& ucq, const Instance& db, Governor* governor) {
+  return HoldsUCQ(ucq, db, {}, governor);
 }
 
 bool HoldsInjectivelyOnly(const CQ& cq, const Instance& db,
-                          const std::vector<Term>& answer) {
+                          const std::vector<Term>& answer,
+                          Governor* governor) {
   HomOptions options;
+  options.governor = governor;
   for (size_t i = 0; i < cq.answer_vars().size(); ++i) {
     options.fixed.Set(cq.answer_vars()[i], answer[i]);
   }

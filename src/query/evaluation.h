@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "base/governor.h"
 #include "base/instance.h"
 #include "query/cq.h"
 #include "query/substitution.h"
@@ -11,29 +12,37 @@ namespace gqe {
 
 /// Evaluates q over an instance: the set of answers q(I) (paper,
 /// Section 2). Tuples are returned sorted and deduplicated. `limit` > 0
-/// stops after that many distinct answers.
+/// stops after that many distinct answers. All entry points take an
+/// optional shared `governor`: homomorphism-search nodes are charged
+/// against it and a trip makes the enumeration stop early (check the
+/// governor's status; a tripped run may under-report answers).
 std::vector<std::vector<Term>> EvaluateCQ(const CQ& cq, const Instance& db,
-                                          size_t limit = 0);
+                                          size_t limit = 0,
+                                          Governor* governor = nullptr);
 
 std::vector<std::vector<Term>> EvaluateUCQ(const UCQ& ucq, const Instance& db,
-                                           size_t limit = 0);
+                                           size_t limit = 0,
+                                           Governor* governor = nullptr);
 
 /// Decides c̄ ∈ q(I) for a candidate answer (the paper's evaluation
 /// problem). A candidate whose arity differs from the query's is never
 /// an answer (returns false).
-bool HoldsCQ(const CQ& cq, const Instance& db,
-             const std::vector<Term>& answer);
+bool HoldsCQ(const CQ& cq, const Instance& db, const std::vector<Term>& answer,
+             Governor* governor = nullptr);
 bool HoldsUCQ(const UCQ& ucq, const Instance& db,
-              const std::vector<Term>& answer);
+              const std::vector<Term>& answer, Governor* governor = nullptr);
 
 /// Boolean query satisfaction I |= q.
-bool HoldsBooleanCQ(const CQ& cq, const Instance& db);
-bool HoldsBooleanUCQ(const UCQ& ucq, const Instance& db);
+bool HoldsBooleanCQ(const CQ& cq, const Instance& db,
+                    Governor* governor = nullptr);
+bool HoldsBooleanUCQ(const UCQ& ucq, const Instance& db,
+                     Governor* governor = nullptr);
 
 /// I |=io q(ā) (Appendix D): q holds with answer ā and *every*
 /// homomorphism witnessing it is injective.
 bool HoldsInjectivelyOnly(const CQ& cq, const Instance& db,
-                          const std::vector<Term>& answer);
+                          const std::vector<Term>& answer,
+                          Governor* governor = nullptr);
 
 }  // namespace gqe
 

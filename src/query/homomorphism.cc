@@ -24,7 +24,11 @@ class Searcher {
       : pattern_(pattern),
         target_(target),
         options_(options),
-        callback_(callback) {}
+        callback_(callback),
+        governor_(options.governor),
+        charge_batch_(options.governor != nullptr
+                          ? options.governor->NodeChargeBatch()
+                          : 0) {}
 
   /// Seeds the assignment with fixed variables and injectivity
   /// bookkeeping. Returns false if the seed itself is contradictory, in
@@ -54,6 +58,7 @@ class Searcher {
     count_ = 0;
     stopped_ = false;
     Recurse(0);
+    FlushNodeCharges();
     return count_;
   }
 
@@ -65,6 +70,7 @@ class Searcher {
     count_ = 0;
     stopped_ = false;
     ExpandAtom(root, candidates, begin, end, 0);
+    FlushNodeCharges();
     return count_;
   }
 
@@ -80,8 +86,24 @@ class Searcher {
 
  private:
   bool Stopped() const {
-    return stopped_ || (shared_stop_ != nullptr &&
-                        shared_stop_->load(std::memory_order_relaxed));
+    return stopped_ ||
+           (shared_stop_ != nullptr &&
+            shared_stop_->load(std::memory_order_relaxed)) ||
+           (governor_ != nullptr && governor_->Tripped());
+  }
+
+  /// Accounts one candidate fact tried against the governor's search-node
+  /// budget. Charges are batched (batch 1 under a fault injector so
+  /// checkpoint counts are sharding-invariant).
+  void ChargeNode() {
+    if (governor_ == nullptr) return;
+    if (++pending_nodes_ >= charge_batch_) FlushNodeCharges();
+  }
+
+  void FlushNodeCharges() {
+    if (governor_ == nullptr || pending_nodes_ == 0) return;
+    governor_->ChargeNodes(pending_nodes_);
+    pending_nodes_ = 0;
   }
 
   /// Picks the unprocessed atom with the fewest candidate facts under the
@@ -140,6 +162,8 @@ class Searcher {
     processed_[atom_index] = true;
     const Atom& atom = pattern_[atom_index];
     for (size_t c = begin; c < end; ++c) {
+      ChargeNode();
+      if (Stopped()) break;
       const Atom& fact = target_.atom(candidates[c]);
       if (fact.predicate() != atom.predicate()) continue;
       // Attempt unification; record newly bound variables for rollback.
@@ -186,6 +210,10 @@ class Searcher {
   std::atomic<bool>* shared_stop_ = nullptr;
   size_t count_ = 0;
   bool stopped_ = false;
+
+  Governor* governor_;
+  uint64_t charge_batch_;
+  uint64_t pending_nodes_ = 0;
 };
 
 /// Contiguous [begin, end) shard bounds splitting `n` candidates as evenly
@@ -205,6 +233,11 @@ HomomorphismSearch::HomomorphismSearch(const std::vector<Atom>& pattern,
                                        HomOptions options)
     : pattern_(pattern), target_(target), options_(std::move(options)) {}
 
+void HomomorphismSearch::RecordStatus() {
+  status_ = options_.governor != nullptr ? options_.governor->status()
+                                         : Status::kCompleted;
+}
+
 std::optional<Substitution> HomomorphismSearch::FindOne() {
   std::optional<Substitution> result;
   const std::function<bool(const Substitution&)> callback =
@@ -213,8 +246,12 @@ std::optional<Substitution> HomomorphismSearch::FindOne() {
         return false;  // stop after the first
       };
   Searcher searcher(pattern_, target_, options_, callback);
-  if (!searcher.Seed()) return std::nullopt;
+  if (!searcher.Seed()) {
+    RecordStatus();
+    return std::nullopt;
+  }
   searcher.Run();
+  RecordStatus();
   return result;
 }
 
@@ -223,10 +260,17 @@ size_t HomomorphismSearch::ForEach(
   const size_t threads = ThreadPool::ResolveThreads(options_.threads);
   if (threads <= 1 || pattern_.empty()) {
     Searcher searcher(pattern_, target_, options_, callback);
-    if (!searcher.Seed()) return 0;
-    return searcher.Run();
+    if (!searcher.Seed()) {
+      RecordStatus();
+      return 0;
+    }
+    size_t count = searcher.Run();
+    RecordStatus();
+    return count;
   }
-  return ParallelForEach(threads, callback);
+  size_t count = ParallelForEach(threads, callback);
+  RecordStatus();
+  return count;
 }
 
 size_t HomomorphismSearch::ParallelForEach(
@@ -267,7 +311,11 @@ size_t HomomorphismSearch::ParallelForEach(
 
 std::vector<Substitution> HomomorphismSearch::FindAll(size_t limit) {
   const size_t threads = ThreadPool::ResolveThreads(options_.threads);
-  if (threads > 1 && !pattern_.empty()) return ParallelFindAll(threads, limit);
+  if (threads > 1 && !pattern_.empty()) {
+    std::vector<Substitution> all = ParallelFindAll(threads, limit);
+    RecordStatus();
+    return all;
+  }
   std::vector<Substitution> all;
   const std::function<bool(const Substitution&)> callback =
       [&all, limit](const Substitution& sub) {
@@ -275,8 +323,12 @@ std::vector<Substitution> HomomorphismSearch::FindAll(size_t limit) {
         return limit == 0 || all.size() < limit;
       };
   Searcher searcher(pattern_, target_, options_, callback);
-  if (!searcher.Seed()) return all;
+  if (!searcher.Seed()) {
+    RecordStatus();
+    return all;
+  }
   searcher.Run();
+  RecordStatus();
   return all;
 }
 
@@ -326,7 +378,9 @@ std::vector<Substitution> HomomorphismSearch::ParallelFindAll(size_t threads,
 bool HomomorphismSearch::Exists() {
   const size_t threads = ThreadPool::ResolveThreads(options_.threads);
   if (threads <= 1 || pattern_.empty()) return FindOne().has_value();
-  return ParallelExists(threads);
+  bool found = ParallelExists(threads);
+  RecordStatus();
+  return found;
 }
 
 bool HomomorphismSearch::ParallelExists(size_t threads) {

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "base/atom.h"
+#include "base/governor.h"
 #include "base/instance.h"
 #include "query/substitution.h"
 
@@ -29,6 +30,13 @@ struct HomOptions {
   /// the same substitutions in the same order at every thread count;
   /// ForEach callbacks are serialized but arrive in unspecified order.
   int threads = 1;
+
+  /// Optional shared resource governor. Every candidate fact tried is a
+  /// search node charged against the governor's budget; once the governor
+  /// trips, all searchers (including parallel shards) abandon their
+  /// subtrees promptly and the enumeration is incomplete — check
+  /// HomomorphismSearch::status() or the governor itself.
+  Governor* governor = nullptr;
 };
 
 /// Backtracking homomorphism search: maps the variables of `pattern` into
@@ -59,7 +67,14 @@ class HomomorphismSearch {
 
   bool Exists();
 
+  /// Status of the most recent FindOne/ForEach/FindAll/Exists call:
+  /// kCompleted for a full enumeration, else the governor's trip cause
+  /// (the results seen so far are a sound subset).
+  Status status() const { return status_; }
+
  private:
+  /// Records the governed status after a public entry point ran.
+  void RecordStatus();
   size_t ParallelForEach(
       size_t threads, const std::function<bool(const Substitution&)>& callback);
   std::vector<Substitution> ParallelFindAll(size_t threads, size_t limit);
@@ -68,6 +83,7 @@ class HomomorphismSearch {
   const std::vector<Atom>& pattern_;
   const Instance& target_;
   HomOptions options_;
+  Status status_ = Status::kCompleted;
 };
 
 /// Convenience: is there a homomorphism from `from` to `to` (instances),

@@ -31,7 +31,7 @@ using TupleSet = std::unordered_set<std::vector<Term>, TupleHash>;
 /// bag atom range over the active domain (the paper's |D|^{k+1} step).
 std::vector<std::vector<Term>> BagSolutions(
     const std::vector<Term>& bag_vars, const std::vector<Atom>& bag_atoms,
-    const Instance& db) {
+    const Instance& db, Governor* governor) {
   std::vector<std::vector<Term>> solutions;
   // Variables covered by bag atoms.
   std::vector<Term> covered = VariablesOf(bag_atoms);
@@ -76,7 +76,9 @@ std::vector<std::vector<Term>> BagSolutions(
     extend_free(Substitution());
     return solutions;
   }
-  HomomorphismSearch search(bag_atoms, db);
+  HomOptions hom_options;
+  hom_options.governor = governor;
+  HomomorphismSearch search(bag_atoms, db, hom_options);
   search.ForEach([&](const Substitution& sub) {
     extend_free(sub);
     return true;
@@ -91,7 +93,7 @@ std::vector<std::vector<Term>> BagSolutions(
 }  // namespace
 
 bool HoldsCqTreeDp(const CQ& cq, const Instance& db,
-                   const std::vector<Term>& answer) {
+                   const std::vector<Term>& answer, Governor* governor) {
   Substitution candidate;
   for (size_t i = 0; i < cq.answer_vars().size(); ++i) {
     candidate.Set(cq.answer_vars()[i], answer[i]);
@@ -124,7 +126,9 @@ bool HoldsCqTreeDp(const CQ& cq, const Instance& db,
       }
     }
   }
-  TreeDecomposition td = ComputeTreewidth(gaifman).decomposition;
+  TreewidthOptions tw_options;
+  tw_options.governor = governor;
+  TreeDecomposition td = ComputeTreewidth(gaifman, tw_options).decomposition;
 
   // Assign every residual atom to a bag containing all its variables.
   std::vector<std::vector<Atom>> bag_atoms(td.num_bags());
@@ -173,10 +177,13 @@ bool HoldsCqTreeDp(const CQ& cq, const Instance& db,
   // Bottom-up semijoins.
   std::vector<std::vector<std::vector<Term>>> solutions(td.num_bags());
   for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    if (governor != nullptr && governor->Check() != Status::kCompleted) {
+      return false;  // conservative: a tripped run claims nothing
+    }
     const int b = *it;
     std::vector<Term> bag_vars;
     for (int v : td.bag(b)) bag_vars.push_back(vars[v]);
-    solutions[b] = BagSolutions(bag_vars, bag_atoms[b], db);
+    solutions[b] = BagSolutions(bag_vars, bag_atoms[b], db, governor);
     for (int child : adjacency[b]) {
       if (parent[child] != b) continue;
       // Shared variables between this bag and the child.
@@ -213,19 +220,22 @@ bool HoldsCqTreeDp(const CQ& cq, const Instance& db,
 }
 
 bool HoldsUcqTreeDp(const UCQ& ucq, const Instance& db,
-                    const std::vector<Term>& answer) {
+                    const std::vector<Term>& answer, Governor* governor) {
   for (const CQ& cq : ucq.disjuncts()) {
-    if (HoldsCqTreeDp(cq, db, answer)) return true;
+    if (HoldsCqTreeDp(cq, db, answer, governor)) return true;
+    if (governor != nullptr && governor->Tripped()) break;
   }
   return false;
 }
 
-bool HoldsBooleanCqTreeDp(const CQ& cq, const Instance& db) {
-  return HoldsCqTreeDp(cq, db, {});
+bool HoldsBooleanCqTreeDp(const CQ& cq, const Instance& db,
+                          Governor* governor) {
+  return HoldsCqTreeDp(cq, db, {}, governor);
 }
 
-bool HoldsBooleanUcqTreeDp(const UCQ& ucq, const Instance& db) {
-  return HoldsUcqTreeDp(ucq, db, {});
+bool HoldsBooleanUcqTreeDp(const UCQ& ucq, const Instance& db,
+                           Governor* governor) {
+  return HoldsUcqTreeDp(ucq, db, {}, governor);
 }
 
 }  // namespace gqe

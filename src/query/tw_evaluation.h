@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "base/governor.h"
 #include "base/instance.h"
 #include "query/cq.h"
 
@@ -14,15 +15,23 @@ namespace gqe {
 /// enumerate the satisfying bag assignments (O(‖D‖^{w+1}) per bag) and
 /// semijoin them up the tree. Sound and complete for every CQ; runs in
 /// time O(‖D‖^{w+1}·‖q‖) where w is the width of the decomposition found.
+/// The optional shared `governor` bounds the decomposition search and the
+/// per-bag homomorphism enumeration; a tripped run returns false
+/// conservatively (check the governor's status before trusting a
+/// negative answer).
 bool HoldsCqTreeDp(const CQ& cq, const Instance& db,
-                   const std::vector<Term>& answer);
+                   const std::vector<Term>& answer,
+                   Governor* governor = nullptr);
 
 bool HoldsUcqTreeDp(const UCQ& ucq, const Instance& db,
-                    const std::vector<Term>& answer);
+                    const std::vector<Term>& answer,
+                    Governor* governor = nullptr);
 
 /// Boolean variants.
-bool HoldsBooleanCqTreeDp(const CQ& cq, const Instance& db);
-bool HoldsBooleanUcqTreeDp(const UCQ& ucq, const Instance& db);
+bool HoldsBooleanCqTreeDp(const CQ& cq, const Instance& db,
+                          Governor* governor = nullptr);
+bool HoldsBooleanUcqTreeDp(const UCQ& ucq, const Instance& db,
+                           Governor* governor = nullptr);
 
 }  // namespace gqe
 

@@ -70,4 +70,59 @@ int ParseThreadsFlag(int* argc, char** argv, int default_threads) {
   return threads;
 }
 
+ExecutionBudget ParseBudgetFlags(int* argc, char** argv) {
+  ExecutionBudget budget;
+  budget.max_facts = 0;  // benches default to unlimited, not engine caps
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--deadline-ms=", 0) == 0) {
+      budget.deadline_ms = std::atof(arg.c_str() + 14);
+      continue;
+    }
+    if (arg == "--deadline-ms" && i + 1 < *argc) {
+      budget.deadline_ms = std::atof(argv[++i]);
+      continue;
+    }
+    if (arg.rfind("--budget-facts=", 0) == 0) {
+      budget.max_facts = static_cast<size_t>(std::atoll(arg.c_str() + 15));
+      continue;
+    }
+    if (arg == "--budget-facts" && i + 1 < *argc) {
+      budget.max_facts = static_cast<size_t>(std::atoll(argv[++i]));
+      continue;
+    }
+    argv[out++] = argv[i];
+  }
+  *argc = out;
+  return budget;
+}
+
+void BenchWatchdog::Record(const std::string& config, const Outcome& outcome) {
+  entries_.push_back({config, outcome});
+}
+
+size_t BenchWatchdog::incomplete() const {
+  size_t n = 0;
+  for (const Entry& entry : entries_) {
+    if (!entry.outcome.ok()) ++n;
+  }
+  return n;
+}
+
+void BenchWatchdog::Print(const std::string& title) const {
+  if (entries_.empty()) return;
+  ReportTable table({"configuration", "status", "elapsed ms", "facts",
+                     "nodes"});
+  for (const Entry& entry : entries_) {
+    table.AddRow({entry.config, StatusName(entry.outcome.status),
+                  ReportTable::Cell(entry.outcome.elapsed_ms),
+                  ReportTable::Cell(entry.outcome.facts_charged),
+                  ReportTable::Cell(entry.outcome.nodes_charged)});
+  }
+  table.Print(title);
+  std::printf("watchdog: %zu/%zu configurations timed out or were cut\n",
+              incomplete(), entries_.size());
+}
+
 }  // namespace gqe

@@ -5,6 +5,8 @@
 #include <string>
 #include <vector>
 
+#include "base/governor.h"
+
 namespace gqe {
 
 /// A plain-text table printer for benchmark reports (the "rows/series"
@@ -34,6 +36,36 @@ class ReportTable {
 /// semantics: 1 sequential, 0 hardware concurrency). Returns
 /// `default_threads` when the flag is absent.
 int ParseThreadsFlag(int* argc, char** argv, int default_threads = 1);
+
+/// Parses and strips `--deadline-ms=X` / `--deadline-ms X` and
+/// `--budget-facts=N` / `--budget-facts N` flags from argv into an
+/// ExecutionBudget (0 in either field means unlimited, the default).
+/// Benches pass the result into engine options so entire configurations
+/// run under one budget.
+ExecutionBudget ParseBudgetFlags(int* argc, char** argv);
+
+/// Watchdog for governed bench runs: records each configuration's
+/// Outcome and prints a timeout-vs-complete summary. Dichotomy benches
+/// use it so a run under `--deadline-ms` shows *which* configurations
+/// were cut off rather than silently reporting partial numbers.
+class BenchWatchdog {
+ public:
+  void Record(const std::string& config, const Outcome& outcome);
+
+  /// Number of recorded configurations that did not complete.
+  size_t incomplete() const;
+
+  /// Prints config | status | elapsed | facts | nodes rows plus a
+  /// one-line timed-out-vs-complete tally. No-op when nothing recorded.
+  void Print(const std::string& title) const;
+
+ private:
+  struct Entry {
+    std::string config;
+    Outcome outcome;
+  };
+  std::vector<Entry> entries_;
+};
 
 /// Wall-clock stopwatch for bench loops.
 class Stopwatch {

@@ -127,7 +127,7 @@ TEST(ChaseTest, FactBudgetStopsCleanly) {
   Instance db;
   db.Insert(Atom::Make("CPerson", {C("fb")}));
   ChaseOptions options;
-  options.max_facts = 20;
+  options.budget.max_facts = 20;
   ChaseResult result = Chase(db, sigma, options);
   EXPECT_FALSE(result.complete);
   EXPECT_LE(result.instance.size(), 25u);
@@ -147,7 +147,7 @@ TEST(ChaseTest, FactBudgetNeverOvershoots) {
   db.Insert(Atom::Make("CBud", {C("fb1")}));
   for (size_t budget : {3u, 4u, 5u, 6u, 7u}) {
     ChaseOptions options;
-    options.max_facts = budget;
+    options.budget.max_facts = budget;
     ChaseResult result = Chase(db, sigma, options);
     EXPECT_LE(result.instance.size(), budget) << "budget " << budget;
     EXPECT_FALSE(result.complete) << "budget " << budget;

@@ -18,7 +18,7 @@ TEST(FailureTest, ChaseFactBudgetReportsIncomplete) {
   TgdSet sigma = ParseTgds("fla(X) -> flb(X, Y), fla(Y).");
   Instance db = ParseDatabase("fla(f1).");
   ChaseOptions options;
-  options.max_facts = 10;
+  options.budget.max_facts = 10;
   ChaseResult result = Chase(db, sigma, options);
   EXPECT_FALSE(result.complete);
   EXPECT_LE(result.instance.size(), 13u);
@@ -41,7 +41,7 @@ TEST(FailureTest, ChaseTreeTruncationFlagged) {
   TgdSet sigma = ParseTgds("fle(X) -> flf(X, Y), fle(Y).");
   Instance db = ParseDatabase("fle(f3).");
   ChaseTreeOptions options;
-  options.max_facts = 5;
+  options.budget.max_facts = 5;
   options.blocking_repeats = 100;  // effectively no blocking
   ChaseTree tree = BuildChaseTree(db, sigma, options);
   EXPECT_TRUE(tree.truncated);
@@ -86,7 +86,7 @@ TEST(FailureTest, WitnessBudgetFailureIsHonest) {
   Instance db = ParseDatabase("fva(f6).");
   WitnessOptions options;
   options.restricted_chase_facts = 3;
-  options.max_facts = 4;
+  options.budget.max_facts = 4;
   FiniteWitness witness = BuildFiniteWitness(db, sigma, 2, options);
   if (witness.is_model) {
     EXPECT_TRUE(Satisfies(witness.model, sigma));

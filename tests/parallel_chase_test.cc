@@ -94,7 +94,7 @@ ChaseResult RunAt(const RandomWorkload& w, int threads, uint32_t null_base) {
   Term::SetNextNullId(null_base);
   ChaseOptions options;
   options.threads = threads;
-  options.max_facts = 1200;  // caps the (rare) non-terminating draws
+  options.budget.max_facts = 1200;  // caps the (rare) non-terminating draws
   return Chase(w.db, w.sigma, options);
 }
 
@@ -130,6 +130,70 @@ TEST_P(ParallelChaseDifferential, BitIdenticalAcrossThreadCounts) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ParallelChaseDifferential,
                          ::testing::Range(0, 50));
+
+// ---------------------------------------------------------------------
+// Cooperative cancellation determinism: a fault injector trips
+// kCancelled at the Nth governor checkpoint — typically mid-round — and
+// because rounds are transactional (a round cut by a trip is discarded
+// whole), the committed prefix must be bit-identical at every thread
+// count, not just "some prefix".
+// ---------------------------------------------------------------------
+
+TEST(ParallelChaseCancellation, InjectedCancelCommitsIdenticalPrefixes) {
+  // Diverging workload (never reaches a fixpoint) with enough parallel
+  // branches and joins that rounds have many triggers.
+  TgdSet sigma;
+  Term x = Term::Variable("X");
+  Term y = Term::Variable("Y");
+  Term z = Term::Variable("Z");
+  Term w = Term::Variable("W");
+  sigma.push_back(Tgd({Atom::Make("pcc", {x, y}), Atom::Make("pcc", {y, z})},
+                      {Atom::Make("pcc", {x, z})}));
+  sigma.push_back(Tgd({Atom::Make("pcc", {x, y})},
+                      {Atom::Make("pcc", {y, w})}));
+  Instance db;
+  for (int i = 0; i < 4; ++i) {
+    db.Insert(Atom::Make("pcc",
+                         {Term::Constant("pc" + std::to_string(i)),
+                          Term::Constant("pc" + std::to_string(i + 1))}));
+  }
+
+  for (uint64_t at : {30u, 150u, 600u}) {
+    const uint32_t null_base = Term::NextNullId();
+    ChaseResult reference;
+    bool have_reference = false;
+    for (int threads : {1, 2, 8}) {
+      Term::SetNextNullId(null_base);
+      TestFaultInjector injector(Status::kCancelled, at);
+      ExecutionBudget budget;
+      budget.max_facts = 0;  // the injector is the only guard rail
+      Governor governor(budget, &injector);
+      ChaseOptions options;
+      options.threads = threads;
+      options.governor = &governor;
+      ChaseResult result = Chase(db, sigma, options);
+      EXPECT_EQ(result.outcome.status, Status::kCancelled)
+          << "at " << at << " threads " << threads;
+      EXPECT_FALSE(result.complete)
+          << "at " << at << " threads " << threads;
+      if (!have_reference) {
+        reference = std::move(result);
+        have_reference = true;
+        continue;
+      }
+      ASSERT_EQ(result.instance.size(), reference.instance.size())
+          << "at " << at << " threads " << threads;
+      for (size_t i = 0; i < reference.instance.size(); ++i) {
+        ASSERT_EQ(result.instance.atom(i), reference.instance.atom(i))
+            << "at " << at << " threads " << threads << " fact " << i;
+      }
+      EXPECT_EQ(result.levels, reference.levels)
+          << "at " << at << " threads " << threads;
+      EXPECT_EQ(result.triggers_fired, reference.triggers_fired)
+          << "at " << at << " threads " << threads;
+    }
+  }
+}
 
 // ---------------------------------------------------------------------
 // Homomorphism engine: FindAll result sets agree (sorted) at every

@@ -8,10 +8,25 @@
 // always sweeps {1, 2, 4, 8} and cross-checks bit-identical output.
 // --deadline-ms=X / --budget-facts=N run every chase under that budget;
 // a watchdog table then reports timeout-vs-complete per configuration.
+//
+// --checkpoint-dir=PATH switches to the durable-chase mode: a fixed
+// deterministic workload (--durable-n=N chain, transitive closure) runs
+// under round-boundary checkpointing with --checkpoint-every granularity,
+// resuming from the directory's latest good snapshot. The final line
+// prints status/rounds/facts plus the instance CRC-32, so the CI crash
+// recovery smoke can kill -9 the run, resume it, and diff against an
+// uninterrupted run. SIGINT/SIGTERM cancel cooperatively: the run stops
+// at a round boundary, writes a final checkpoint and still reports.
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "base/serialize.h"
 #include "chase/chase.h"
+#include "chase/checkpoint.h"
 #include "guarded/omq_eval.h"
 #include "parser/parser.h"
 #include "query/evaluation.h"
@@ -24,6 +39,8 @@ namespace {
 int g_threads = 1;
 ExecutionBudget g_budget;
 BenchWatchdog g_watchdog;
+CheckpointFlags g_checkpoint;
+int g_durable_n = 320;
 
 TgdSet TransitiveClosure() {
   return ParseTgds("e3e(X, Y), e3e(Y, Z) -> e3e(X, Z).");
@@ -173,12 +190,90 @@ void PrintThreadScaling() {
   table.Print("E3b: chase thread scaling (deterministic parallel discovery)");
 }
 
+int ParseDurableN(int* argc, char** argv, int default_n) {
+  int n = default_n;
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--durable-n=", 0) == 0) {
+      n = std::atoi(arg.c_str() + 12);
+      continue;
+    }
+    if (arg == "--durable-n" && i + 1 < *argc) {
+      n = std::atoi(argv[++i]);
+      continue;
+    }
+    argv[out++] = argv[i];
+  }
+  *argc = out;
+  return n > 0 ? n : default_n;
+}
+
+/// Durable-chase mode: one deterministic transitive-closure chase under
+/// round-boundary checkpointing. Re-invoking with the same flags after a
+/// kill resumes from the newest good snapshot; the "final:" line is
+/// invariant under kills and resumes (that is the property the CI smoke
+/// diffs).
+int RunDurableChase() {
+  Instance db;
+  for (int i = 0; i < g_durable_n; ++i) {
+    db.Insert(Atom::Make("e3e",
+                         {Term::Constant("a" + std::to_string(i)),
+                          Term::Constant("a" + std::to_string(i + 1))}));
+  }
+  TgdSet sigma = TransitiveClosure();
+  ChaseOptions options;
+  options.threads = g_threads;
+  options.budget = g_budget;
+  options.checkpoint_every = g_checkpoint.every;
+
+  ResumeInfo info;
+  Stopwatch watch;
+  ChaseResult result = ResumeChase(g_checkpoint.dir, db, sigma, options, &info);
+  const double ms = watch.ElapsedMs();
+  g_watchdog.Record("durable chase n=" + std::to_string(g_durable_n),
+                    result.outcome);
+
+  std::printf("durable chase: dir=%s every=%d n=%d threads=%zu\n",
+              g_checkpoint.dir.c_str(), g_checkpoint.every, g_durable_n,
+              result.threads_used);
+  std::printf("resume: resumed=%s generation=%llu skipped=%d (%s)\n",
+              info.resumed ? "yes" : "no",
+              static_cast<unsigned long long>(info.generation),
+              info.skipped_generations,
+              info.load_status.ok()
+                  ? "ok"
+                  : SnapshotErrorName(info.load_status.error));
+  std::printf("elapsed: %.1f ms\n", ms);
+
+  BinaryWriter writer;
+  EncodeInstance(result.instance, &writer);
+  std::printf("final: status=%s complete=%s rounds=%llu facts=%zu "
+              "levels=%d crc32=%08x\n",
+              StatusName(result.outcome.status),
+              result.complete ? "yes" : "no",
+              static_cast<unsigned long long>(result.rounds_completed),
+              result.instance.size(), result.max_level_built,
+              Crc32(writer.buffer()));
+  g_watchdog.Print("E3 watchdog: timeout vs complete");
+  return 0;
+}
+
 }  // namespace
 }  // namespace gqe
 
 int main(int argc, char** argv) {
   gqe::g_threads = gqe::ParseThreadsFlag(&argc, argv, 1);
   gqe::g_budget = gqe::ParseBudgetFlags(&argc, argv);
+  gqe::g_checkpoint = gqe::ParseCheckpointFlags(&argc, argv);
+  gqe::g_durable_n = gqe::ParseDurableN(&argc, argv, gqe::g_durable_n);
+  // SIGINT/SIGTERM cancel cooperatively: every chase below runs under
+  // this token, stops at a round boundary (writing a final checkpoint in
+  // durable mode) and the partial tables still print.
+  gqe::CancelToken cancel = gqe::CancelToken::Create();
+  gqe::g_budget.cancel = cancel;
+  gqe::InstallBenchSignalHandlers(cancel);
+  if (gqe::g_checkpoint.enabled()) return gqe::RunDurableChase();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   gqe::PrintSummary();

@@ -8,6 +8,12 @@
 // --deadline-ms=X / --budget-facts=N run every configuration under that
 // budget; timeout rows show "deadline"/"budget" in the status column and
 // the closing watchdog table tallies timeout-vs-complete.
+//
+// --checkpoint-dir=PATH makes every OMQ evaluation crash-safe: chase
+// paths resume from round-boundary snapshots and the guarded path reuses
+// a saturated-portion snapshot instead of re-saturating. SIGINT/SIGTERM
+// cancel cooperatively, so an interrupted run still prints the partial
+// table (with "cancelled" rows) after a final checkpoint.
 
 #include <cstdio>
 
@@ -61,7 +67,7 @@ Instance MakeData(int n, uint64_t seed) {
   return db;
 }
 
-void Run(const ExecutionBudget& budget) {
+void Run(const ExecutionBudget& budget, const CheckpointFlags& checkpoint) {
   TgdSet collapsing = ParseTgds("e11r2(X) -> e11r4(X).");
   TgdSet inert = ParseTgds("e11mark(X) -> e11marked(X).");
   BenchWatchdog watchdog;
@@ -80,6 +86,7 @@ void Run(const ExecutionBudget& budget) {
           DecideUcqkEquivalenceOmqFullSchema(omq, 1, &governor);
       OmqEvalOptions eval_options;
       eval_options.governor = &governor;
+      eval_options.checkpoint_dir = checkpoint.dir;
       double rewriting_ms = -1;
       bool via_rewriting = false;
       if (meta.equivalent) {
@@ -109,6 +116,7 @@ void Run(const ExecutionBudget& budget) {
           DecideUcqkEquivalenceOmqFullSchema(omq, 1, &governor);
       OmqEvalOptions eval_options;
       eval_options.governor = &governor;
+      eval_options.checkpoint_dir = checkpoint.dir;
       Stopwatch w2;
       bool direct = OmqHolds(omq, db, {}, eval_options);
       double direct_ms = w2.ElapsedMs();
@@ -132,6 +140,10 @@ void Run(const ExecutionBudget& budget) {
 
 int main(int argc, char** argv) {
   gqe::ExecutionBudget budget = gqe::ParseBudgetFlags(&argc, argv);
-  gqe::Run(budget);
+  gqe::CheckpointFlags checkpoint = gqe::ParseCheckpointFlags(&argc, argv);
+  gqe::CancelToken cancel = gqe::CancelToken::Create();
+  budget.cancel = cancel;
+  gqe::InstallBenchSignalHandlers(cancel);
+  gqe::Run(budget, checkpoint);
   return 0;
 }

@@ -70,8 +70,8 @@ int main(int argc, char** argv) {
 
   gqe::ParseResult parsed = gqe::ParseProgram(text);
   if (!parsed.ok) {
-    std::fprintf(stderr, "parse error (line %d): %s\n", parsed.error_line,
-                 parsed.error.c_str());
+    std::fprintf(stderr, "parse error (line %d, column %d): %s\n",
+                 parsed.error_line, parsed.error_column, parsed.error.c_str());
     return 1;
   }
   const gqe::Program& program = parsed.program;

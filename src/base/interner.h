@@ -45,6 +45,12 @@ class Interner {
   /// Returns a fresh constant id (names look like `_c17`).
   uint32_t FreshConstant();
 
+  /// The fresh-name counter backing FreshVariable/FreshConstant. Exposed
+  /// so snapshots (base/serialize) can persist and restore it: a resumed
+  /// run must not re-issue fresh names the checkpointed run already used.
+  uint64_t fresh_counter() const { return fresh_counter_; }
+  void set_fresh_counter(uint64_t value) { fresh_counter_ = value; }
+
  private:
   Interner() = default;
 

@@ -48,8 +48,11 @@ class Term {
   /// Returns a variable distinct from every interned variable.
   static Term FreshVariable();
 
+  /// Largest id representable in the 30-bit payload.
+  static constexpr uint32_t kMaxId = 0x3fffffffu;
+
   Kind kind() const { return static_cast<Kind>(bits_ >> 30); }
-  uint32_t id() const { return bits_ & 0x3fffffffu; }
+  uint32_t id() const { return bits_ & kMaxId; }
 
   bool IsConstant() const { return kind() == Kind::kConstant; }
   bool IsNull() const { return kind() == Kind::kNull; }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <unordered_set>
+#include <utility>
 
 #include "base/thread_pool.h"
 #include "query/homomorphism.h"
@@ -113,19 +114,14 @@ void RunDiscoveryUnit(const DiscoveryUnit& unit, const TgdSet& tgds,
   }
 }
 
-}  // namespace
-
-ChaseResult Chase(const Instance& db, const TgdSet& tgds,
-                  const ChaseOptions& options) {
+/// Shared implementation of Chase and ResumeChaseFromState: exactly one
+/// of `db` (fresh run) / `resume` (continue from a round boundary) is
+/// non-null.
+ChaseResult ChaseImpl(const Instance* db, const ChaseCheckpointState* resume,
+                      const TgdSet& tgds, const ChaseOptions& options) {
   ChaseResult result;
   GovernorScope scope(options.governor, options.budget);
   Governor* governor = scope.get();
-
-  result.instance.InsertAll(db);
-  for (const Atom& atom : db.atoms()) result.levels[atom] = 0;
-  // Copying the input counts toward the fact budget, so nested engines
-  // sharing a governor cannot multiply caps by re-copying.
-  governor->ChargeFacts(db.size());
 
   const size_t threads = ThreadPool::ResolveThreads(options.threads);
   result.threads_used = threads;
@@ -153,11 +149,125 @@ ChaseResult Chase(const Instance& db, const TgdSet& tgds,
 
   std::unordered_set<std::vector<uint32_t>, TriggerKeyHash> pending_keys;
 
+  if (resume != nullptr) {
+    // Rebuild the round-boundary state. Insertion order, levels and the
+    // null counter come straight from the snapshot, so the continued run
+    // interleaves with the committed prefix exactly as the original
+    // would have.
+    Term::SetNextNullId(resume->next_null_id);
+    for (size_t i = 0; i < resume->atoms.size(); ++i) {
+      result.instance.Insert(resume->atoms[i]);
+      result.levels[resume->atoms[i]] =
+          i < resume->levels.size() ? resume->levels[i] : 0;
+    }
+    // The committed prefix counts toward the fact budget just as the
+    // original run charged it, so a resumed run sees the same rails.
+    governor->ChargeFacts(resume->atoms.size());
+    result.rounds_completed = resume->rounds_completed;
+    result.triggers_fired = resume->triggers_fired;
+    result.max_level_built = resume->max_level_built;
+    delta_start = static_cast<size_t>(resume->delta_start);
+    for (const auto& key : resume->fired) fired.insert(key);
+    for (const ChaseCheckpointState::CarriedTrigger& c : resume->carried) {
+      PendingTrigger trigger;
+      trigger.tgd_index = c.tgd_index;
+      trigger.level = c.level;
+      for (const auto& [from, to] : c.bindings) {
+        trigger.sub.Set(Term::FromBits(from), Term::FromBits(to));
+      }
+      if (trigger.tgd_index < tgds.size()) {
+        pending_keys.insert(TriggerKey(trigger.tgd_index,
+                                       body_vars[trigger.tgd_index],
+                                       trigger.sub));
+        carried.push_back(std::move(trigger));
+      }
+    }
+  } else {
+    result.instance.InsertAll(*db);
+    for (const Atom& atom : db->atoms()) result.levels[atom] = 0;
+    // Copying the input counts toward the fact budget, so nested engines
+    // sharing a governor cannot multiply caps by re-copying.
+    governor->ChargeFacts(db->size());
+  }
+
+  if (resume != nullptr && resume->complete) {
+    // A saturated snapshot: the restored instance is chase(D, Σ).
+    result.complete = true;
+    result.outcome = governor->MakeOutcome();
+    return result;
+  }
+
+  // Checkpoint tracking: `boundary` mirrors the state at the most recent
+  // round boundary, maintained incrementally (append-only facts and
+  // fired keys; carried is replaced). A guard-rail trip mid-round leaves
+  // `boundary` untouched, so the final snapshot delivered on a trip is
+  // always the last *consistent* state — rounds stay transactional on
+  // disk just as they are in memory.
+  ChaseCheckpointSink* sink = options.checkpoint_sink;
+  const bool tracking = sink != nullptr;
+  const uint64_t checkpoint_every =
+      options.checkpoint_every < 1
+          ? 1
+          : static_cast<uint64_t>(options.checkpoint_every);
+  ChaseCheckpointState boundary;
+  std::vector<std::vector<uint32_t>> fired_log;  // firing order, tracking only
+  // Generation already delivered to the sink (the resumed-from state is
+  // durable by definition).
+  uint64_t delivered = resume != nullptr ? resume->rounds_completed
+                                         : ~static_cast<uint64_t>(0);
+  if (tracking && resume != nullptr) {
+    boundary = *resume;
+    fired_log = resume->fired;
+  }
+  auto sync_boundary = [&]() {
+    for (size_t i = boundary.atoms.size(); i < result.instance.size(); ++i) {
+      const Atom& atom = result.instance.atom(i);
+      boundary.atoms.push_back(atom);
+      boundary.levels.push_back(result.levels.at(atom));
+    }
+    for (size_t i = boundary.fired.size(); i < fired_log.size(); ++i) {
+      boundary.fired.push_back(fired_log[i]);
+    }
+    boundary.carried.clear();
+    for (const PendingTrigger& trigger : carried) {
+      ChaseCheckpointState::CarriedTrigger c;
+      c.tgd_index = static_cast<uint32_t>(trigger.tgd_index);
+      c.level = trigger.level;
+      for (const auto& [from, to] : trigger.sub.map()) {
+        c.bindings.emplace_back(from.bits(), to.bits());
+      }
+      std::sort(c.bindings.begin(), c.bindings.end());
+      boundary.carried.push_back(std::move(c));
+    }
+    boundary.delta_start = delta_start;
+    boundary.rounds_completed = result.rounds_completed;
+    boundary.triggers_fired = result.triggers_fired;
+    boundary.max_level_built = result.max_level_built;
+    boundary.next_null_id = Term::NextNullId();
+    boundary.complete = result.complete;
+  };
+  // Delivers the last consistent boundary once when the run ends.
+  auto final_checkpoint = [&]() {
+    if (!tracking) return;
+    if (delivered == boundary.rounds_completed && !boundary.complete) return;
+    sink->Write(boundary, /*final_write=*/true);
+    delivered = boundary.rounds_completed;
+  };
+
   for (;;) {
+    if (tracking) {
+      sync_boundary();
+      if (result.rounds_completed % checkpoint_every == 0 &&
+          delivered != result.rounds_completed) {
+        sink->Write(boundary, /*final_write=*/false);
+        delivered = result.rounds_completed;
+      }
+    }
     // Round-boundary checkpoint: probes the deadline, cancellation and the
     // injector. One checkpoint per round, deterministically placed.
     if (governor->Check() != Status::kCompleted) {
       result.complete = false;
+      final_checkpoint();
       break;
     }
     if (!options.semi_naive) {
@@ -248,12 +358,20 @@ ChaseResult Chase(const Instance& db, const TgdSet& tgds,
       stats.merge_ms = MsSince(merge_start);
       result.round_stats.push_back(stats);
       result.complete = false;
+      final_checkpoint();
       break;
     }
     if (pending.empty()) {
       stats.merge_ms = MsSince(merge_start);
       result.round_stats.push_back(stats);
       result.complete = true;
+      if (tracking) {
+        // Deliver the fixpoint as a *complete* snapshot: loading it
+        // yields the saturated chase with no further work (OMQ
+        // evaluation resumes from it instead of re-chasing).
+        sync_boundary();
+        final_checkpoint();
+      }
       break;
     }
     // Level-wise: fire only the triggers at the minimum pending level.
@@ -267,6 +385,7 @@ ChaseResult Chase(const Instance& db, const TgdSet& tgds,
       stats.merge_ms = MsSince(merge_start);
       result.round_stats.push_back(stats);
       result.complete = false;
+      final_checkpoint();
       break;
     }
     // Fire phase (sequential, deterministic). Insertions are staged and
@@ -311,6 +430,7 @@ ChaseResult Chase(const Instance& db, const TgdSet& tgds,
                      trigger.sub);
       pending_keys.erase(key);
       if (!fired.insert(key).second) continue;
+      if (tracking) fired_log.push_back(key);
       const Tgd& tgd = tgds[trigger.tgd_index];
       if (options.restricted &&
           HeadSatisfied(result.instance, tgd, trigger.sub, governor)) {
@@ -348,6 +468,7 @@ ChaseResult Chase(const Instance& db, const TgdSet& tgds,
       stats.merge_ms = MsSince(merge_start);
       result.round_stats.push_back(stats);
       result.complete = false;
+      final_checkpoint();
       break;
     }
     commit_staged();
@@ -356,12 +477,30 @@ ChaseResult Chase(const Instance& db, const TgdSet& tgds,
     stats.merge_ms = MsSince(merge_start);
     result.round_stats.push_back(stats);
     if (budget_hit) {
+      // The staged prefix is committed in memory but the round is
+      // partial: the durable state stays at the previous boundary, so a
+      // resume with a larger budget replays and completes the round.
       result.complete = false;
+      final_checkpoint();
       break;
     }
+    ++result.rounds_completed;
   }
   result.outcome = governor->MakeOutcome();
   return result;
+}
+
+}  // namespace
+
+ChaseResult Chase(const Instance& db, const TgdSet& tgds,
+                  const ChaseOptions& options) {
+  return ChaseImpl(&db, nullptr, tgds, options);
+}
+
+ChaseResult ResumeChaseFromState(const ChaseCheckpointState& state,
+                                 const TgdSet& tgds,
+                                 const ChaseOptions& options) {
+  return ChaseImpl(nullptr, &state, tgds, options);
 }
 
 Instance ChaseResult::UpToLevel(int level) const {

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "base/atom.h"
@@ -11,6 +12,64 @@
 #include "tgd/tgd.h"
 
 namespace gqe {
+
+/// The complete engine state at a chase round boundary, sufficient to
+/// continue the run and reproduce the bit-identical final instance a
+/// straight-through run produces (same facts in the same insertion
+/// order, same labelled-null ids, same levels) at every thread count.
+/// Round boundaries are the only consistent snapshot points: rounds are
+/// transactional (PR 2), so mid-round state never escapes.
+struct ChaseCheckpointState {
+  /// Value Term::NextNullId() held at the boundary; restored on resume
+  /// so re-fired triggers allocate the same labelled nulls.
+  uint32_t next_null_id = 0;
+
+  /// Committed rounds so far — the checkpoint's generation number.
+  uint64_t rounds_completed = 0;
+
+  /// First fact index of the semi-naive delta frontier.
+  uint64_t delta_start = 0;
+
+  uint64_t triggers_fired = 0;
+  int32_t max_level_built = 0;
+
+  /// True iff this snapshot is a fixpoint (a saturated chase): loading
+  /// it yields chase(D, Σ) with no further work.
+  bool complete = false;
+
+  /// Committed facts in insertion order, with their Lemma A.1 levels.
+  std::vector<Atom> atoms;
+  std::vector<int32_t> levels;
+
+  /// Keys of fired triggers (tgd index + body-variable images), in
+  /// firing order.
+  std::vector<std::vector<uint32_t>> fired;
+
+  /// Discovered-but-unfired triggers carried to a later round (their
+  /// level's turn has not come). Bindings are (variable bits, term
+  /// bits), sorted, so equal states serialize to equal bytes.
+  struct CarriedTrigger {
+    uint32_t tgd_index = 0;
+    int32_t level = 0;
+    std::vector<std::pair<uint32_t, uint32_t>> bindings;
+  };
+  std::vector<CarriedTrigger> carried;
+};
+
+/// Receives round-boundary snapshots from a running chase. Implemented
+/// by chase/checkpoint.h's DirectoryCheckpointSink (atomic tmp-file +
+/// rename persistence); tests plug in in-memory sinks.
+class ChaseCheckpointSink {
+ public:
+  virtual ~ChaseCheckpointSink() = default;
+
+  /// Called with the committed boundary state every
+  /// ChaseOptions::checkpoint_every rounds, and once more (`final_write`
+  /// true) when the run stops — fixpoint, guard rail or budget. Work
+  /// performed after the last delivered boundary is not covered: that is
+  /// the time-lost-vs-granularity trade documented in EXPERIMENTS.md.
+  virtual void Write(const ChaseCheckpointState& state, bool final_write) = 0;
+};
 
 /// Options for the chase procedure (paper, Section 2).
 struct ChaseOptions {
@@ -50,6 +109,16 @@ struct ChaseOptions {
   /// 1 (default) is the sequential code path; 0 means hardware
   /// concurrency.
   int threads = 1;
+
+  /// When set, the engine delivers round-boundary state snapshots to
+  /// this sink every `checkpoint_every` rounds plus a final one when the
+  /// run stops; the sink owns persistence. Null disables checkpointing
+  /// (no tracking overhead is paid).
+  ChaseCheckpointSink* checkpoint_sink = nullptr;
+
+  /// Rounds between snapshot deliveries (1 = every round boundary).
+  /// Values < 1 behave as 1.
+  int checkpoint_every = 1;
 };
 
 /// Per-round instrumentation of the chase engine, for parallel-efficiency
@@ -94,6 +163,11 @@ struct ChaseResult {
   /// Threads the run actually used (after resolving threads == 0).
   size_t threads_used = 1;
 
+  /// Committed rounds over the whole logical run (resumed runs continue
+  /// the checkpoint's count, so this is also the generation number of
+  /// the last consistent boundary).
+  uint64_t rounds_completed = 0;
+
   /// One entry per chase round, in order.
   std::vector<ChaseRoundStats> round_stats;
 
@@ -107,6 +181,17 @@ struct ChaseResult {
 /// options' budget (facts / deadline / cancel) to bound it otherwise.
 ChaseResult Chase(const Instance& db, const TgdSet& tgds,
                   const ChaseOptions& options = {});
+
+/// Continues a chase from a round-boundary checkpoint state (the
+/// in-memory half of crash recovery; chase/checkpoint.h adds the disk
+/// layer). Restores the instance, levels, fired-trigger set, carried
+/// triggers, delta frontier and the labelled-null counter, then runs the
+/// ordinary round loop: killed at any round and resumed, the final
+/// instance is bit-identical to an uninterrupted run — at every thread
+/// count. `tgds` must be the rule set the checkpointed run used.
+ChaseResult ResumeChaseFromState(const ChaseCheckpointState& state,
+                                 const TgdSet& tgds,
+                                 const ChaseOptions& options = {});
 
 /// I |= σ: every homomorphism from the body extends to a homomorphism of
 /// the head (Section 2, via q_ϕ(I) ⊆ q_ψ(I)).

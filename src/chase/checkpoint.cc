@@ -1,0 +1,365 @@
+#include "chase/checkpoint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace gqe {
+
+namespace {
+
+constexpr std::string_view kManifestName = "MANIFEST";
+constexpr std::string_view kSnapshotPrefix = "chase-";
+constexpr std::string_view kSnapshotSuffix = ".snap";
+
+}  // namespace
+
+std::string EncodeChaseSnapshot(const ChaseCheckpointState& state,
+                                uint32_t fingerprint) {
+  BinaryWriter writer;
+  writer.WriteU32(fingerprint);
+  EncodeInterner(&writer);
+  writer.WriteU32(state.next_null_id);
+  writer.WriteU64(state.rounds_completed);
+  writer.WriteU64(state.delta_start);
+  writer.WriteU64(state.triggers_fired);
+  writer.WriteI32(state.max_level_built);
+  writer.WriteBool(state.complete);
+  EncodeAtomVector(state.atoms, &writer);
+  writer.WriteU64(state.levels.size());
+  for (int32_t level : state.levels) writer.WriteI32(level);
+  writer.WriteU64(state.fired.size());
+  for (const std::vector<uint32_t>& key : state.fired) {
+    writer.WriteU64(key.size());
+    for (uint32_t word : key) writer.WriteU32(word);
+  }
+  writer.WriteU64(state.carried.size());
+  for (const ChaseCheckpointState::CarriedTrigger& trigger : state.carried) {
+    writer.WriteU32(trigger.tgd_index);
+    writer.WriteI32(trigger.level);
+    writer.WriteU64(trigger.bindings.size());
+    for (const auto& [var_bits, term_bits] : trigger.bindings) {
+      writer.WriteU32(var_bits);
+      writer.WriteU32(term_bits);
+    }
+  }
+  return writer.Take();
+}
+
+SnapshotStatus DecodeChaseSnapshot(std::string_view payload,
+                                   ChaseCheckpointState* state,
+                                   uint32_t* fingerprint) {
+  BinaryReader reader(payload);
+  uint32_t stored_fingerprint = 0;
+  if (!reader.ReadU32(&stored_fingerprint)) {
+    return SnapshotStatus::Fail(SnapshotError::kFormatError,
+                                "chase snapshot fingerprint cut short");
+  }
+  SnapshotStatus status = DecodeInterner(&reader);
+  if (!status.ok()) return status;
+
+  ChaseCheckpointState decoded;
+  uint64_t level_count = 0;
+  if (!reader.ReadU32(&decoded.next_null_id) ||
+      !reader.ReadU64(&decoded.rounds_completed) ||
+      !reader.ReadU64(&decoded.delta_start) ||
+      !reader.ReadU64(&decoded.triggers_fired) ||
+      !reader.ReadI32(&decoded.max_level_built) ||
+      !reader.ReadBool(&decoded.complete)) {
+    return SnapshotStatus::Fail(SnapshotError::kFormatError,
+                                "chase snapshot header cut short");
+  }
+  status = DecodeAtomVector(&reader, &decoded.atoms);
+  if (!status.ok()) return status;
+  if (!reader.ReadU64(&level_count)) {
+    return SnapshotStatus::Fail(SnapshotError::kFormatError,
+                                "chase snapshot level count cut short");
+  }
+  if (level_count != decoded.atoms.size()) {
+    return SnapshotStatus::Fail(
+        SnapshotError::kFormatError,
+        "chase snapshot has " + std::to_string(level_count) +
+            " levels for " + std::to_string(decoded.atoms.size()) + " facts");
+  }
+  decoded.levels.reserve(decoded.atoms.size());
+  for (uint64_t i = 0; i < level_count; ++i) {
+    int32_t level = 0;
+    if (!reader.ReadI32(&level)) {
+      return SnapshotStatus::Fail(SnapshotError::kFormatError,
+                                  "chase snapshot levels cut short");
+    }
+    decoded.levels.push_back(level);
+  }
+
+  uint64_t fired_count = 0;
+  if (!reader.ReadU64(&fired_count)) {
+    return SnapshotStatus::Fail(SnapshotError::kFormatError,
+                                "chase snapshot fired count cut short");
+  }
+  for (uint64_t i = 0; i < fired_count; ++i) {
+    uint64_t key_size = 0;
+    if (!reader.ReadU64(&key_size) ||
+        key_size * sizeof(uint32_t) > reader.remaining()) {
+      return SnapshotStatus::Fail(SnapshotError::kFormatError,
+                                  "chase snapshot fired keys cut short");
+    }
+    std::vector<uint32_t> key;
+    key.reserve(key_size);
+    for (uint64_t w = 0; w < key_size; ++w) {
+      uint32_t word = 0;
+      reader.ReadU32(&word);
+      key.push_back(word);
+    }
+    decoded.fired.push_back(std::move(key));
+  }
+
+  uint64_t carried_count = 0;
+  if (!reader.ReadU64(&carried_count)) {
+    return SnapshotStatus::Fail(SnapshotError::kFormatError,
+                                "chase snapshot carried count cut short");
+  }
+  for (uint64_t i = 0; i < carried_count; ++i) {
+    ChaseCheckpointState::CarriedTrigger trigger;
+    uint64_t binding_count = 0;
+    if (!reader.ReadU32(&trigger.tgd_index) ||
+        !reader.ReadI32(&trigger.level) ||
+        !reader.ReadU64(&binding_count) ||
+        binding_count * 2 * sizeof(uint32_t) > reader.remaining()) {
+      return SnapshotStatus::Fail(SnapshotError::kFormatError,
+                                  "chase snapshot carried triggers cut short");
+    }
+    trigger.bindings.reserve(binding_count);
+    for (uint64_t b = 0; b < binding_count; ++b) {
+      uint32_t var_bits = 0, term_bits = 0;
+      reader.ReadU32(&var_bits);
+      reader.ReadU32(&term_bits);
+      trigger.bindings.emplace_back(var_bits, term_bits);
+    }
+    decoded.carried.push_back(std::move(trigger));
+  }
+  if (!reader.ok() || !reader.AtEnd()) {
+    return SnapshotStatus::Fail(SnapshotError::kFormatError,
+                                "chase snapshot has trailing bytes");
+  }
+  *state = std::move(decoded);
+  if (fingerprint != nullptr) *fingerprint = stored_fingerprint;
+  return SnapshotStatus::Ok();
+}
+
+uint32_t ChaseWorkloadFingerprint(const Instance& db, const TgdSet& tgds,
+                                  const ChaseOptions& options) {
+  // Only the inputs that determine the chase *output* participate:
+  // threads, budgets and checkpoint cadence may differ between the
+  // checkpointed run and the resuming run.
+  BinaryWriter writer;
+  EncodeInstance(db, &writer);
+  writer.WriteString(TgdSetToString(tgds));
+  writer.WriteBool(options.restricted);
+  writer.WriteBool(options.semi_naive);
+  writer.WriteI32(options.max_level);
+  return Crc32(writer.buffer());
+}
+
+CheckpointDir::CheckpointDir(std::string dir, CheckpointDirOptions options)
+    : dir_(std::move(dir)), options_(options) {
+  if (options_.keep_generations < 2) options_.keep_generations = 2;
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+  // A failure here surfaces as kIoError on the first Save.
+}
+
+std::string CheckpointDir::GenerationPath(uint64_t generation) const {
+  return dir_ + "/" + std::string(kSnapshotPrefix) +
+         std::to_string(generation) + std::string(kSnapshotSuffix);
+}
+
+std::vector<uint64_t> CheckpointDir::Generations() const {
+  std::vector<uint64_t> generations;
+  std::string manifest;
+  bool manifest_ok = false;
+  if (ReadFileBytes(dir_ + "/" + std::string(kManifestName), &manifest).ok()) {
+    manifest_ok = true;
+    size_t pos = 0;
+    while (pos < manifest.size()) {
+      size_t end = manifest.find('\n', pos);
+      if (end == std::string::npos) end = manifest.size();
+      std::string_view line(manifest.data() + pos, end - pos);
+      pos = end + 1;
+      if (line.empty()) continue;
+      uint64_t value = 0;
+      bool numeric = true;
+      for (char c : line) {
+        if (!std::isdigit(static_cast<unsigned char>(c))) {
+          numeric = false;
+          break;
+        }
+        value = value * 10 + static_cast<uint64_t>(c - '0');
+      }
+      if (!numeric) {
+        // Damaged manifest: distrust it wholesale and scan instead.
+        manifest_ok = false;
+        generations.clear();
+        break;
+      }
+      generations.push_back(value);
+    }
+  }
+  if (!manifest_ok) {
+    std::error_code ec;
+    for (const auto& entry :
+         std::filesystem::directory_iterator(dir_, ec)) {
+      const std::string name = entry.path().filename().string();
+      if (name.size() <= kSnapshotPrefix.size() + kSnapshotSuffix.size() ||
+          name.compare(0, kSnapshotPrefix.size(), kSnapshotPrefix) != 0 ||
+          name.compare(name.size() - kSnapshotSuffix.size(),
+                       kSnapshotSuffix.size(), kSnapshotSuffix) != 0) {
+        continue;
+      }
+      std::string_view digits(name.data() + kSnapshotPrefix.size(),
+                              name.size() - kSnapshotPrefix.size() -
+                                  kSnapshotSuffix.size());
+      uint64_t value = 0;
+      bool numeric = !digits.empty();
+      for (char c : digits) {
+        if (!std::isdigit(static_cast<unsigned char>(c))) {
+          numeric = false;
+          break;
+        }
+        value = value * 10 + static_cast<uint64_t>(c - '0');
+      }
+      if (numeric) generations.push_back(value);
+    }
+  }
+  std::sort(generations.begin(), generations.end());
+  generations.erase(std::unique(generations.begin(), generations.end()),
+                    generations.end());
+  return generations;
+}
+
+SnapshotStatus CheckpointDir::WriteManifest(
+    const std::vector<uint64_t>& generations) {
+  std::string body;
+  for (uint64_t generation : generations) {
+    body += std::to_string(generation);
+    body += '\n';
+  }
+  return WriteFileAtomic(dir_ + "/" + std::string(kManifestName), body);
+}
+
+SnapshotStatus CheckpointDir::Save(const ChaseCheckpointState& state,
+                                   uint32_t fingerprint) {
+  const std::string bytes = WrapSnapshot(
+      kSnapshotKindChase, EncodeChaseSnapshot(state, fingerprint));
+  SnapshotStatus status =
+      WriteFileAtomic(GenerationPath(state.rounds_completed), bytes);
+  if (!status.ok()) return status;
+
+  std::vector<uint64_t> generations = Generations();
+  generations.push_back(state.rounds_completed);
+  std::sort(generations.begin(), generations.end());
+  generations.erase(std::unique(generations.begin(), generations.end()),
+                    generations.end());
+  std::vector<uint64_t> pruned;
+  const size_t keep = static_cast<size_t>(options_.keep_generations);
+  while (generations.size() > keep) {
+    pruned.push_back(generations.front());
+    generations.erase(generations.begin());
+  }
+  status = WriteManifest(generations);
+  if (!status.ok()) return status;
+  // Remove pruned files only after the manifest stopped referencing them:
+  // a crash in between leaves stale files, never dangling manifest rows.
+  for (uint64_t generation : pruned) {
+    std::error_code ec;
+    std::filesystem::remove(GenerationPath(generation), ec);
+  }
+  return SnapshotStatus::Ok();
+}
+
+SnapshotStatus CheckpointDir::LoadLatest(ChaseCheckpointState* state,
+                                         uint32_t* fingerprint,
+                                         uint64_t* generation, int* skipped) {
+  if (skipped != nullptr) *skipped = 0;
+  const std::vector<uint64_t> generations = Generations();
+  SnapshotStatus last = SnapshotStatus::Fail(
+      SnapshotError::kNotFound, "no snapshot in '" + dir_ + "'");
+  for (auto it = generations.rbegin(); it != generations.rend(); ++it) {
+    const std::string path = GenerationPath(*it);
+    std::string bytes;
+    SnapshotStatus status = ReadFileBytes(path, &bytes);
+    std::string_view payload;
+    if (status.ok()) {
+      status = UnwrapSnapshot(bytes, kSnapshotKindChase, &payload);
+    }
+    if (status.ok()) {
+      status = DecodeChaseSnapshot(payload, state, fingerprint);
+    }
+    if (status.ok()) {
+      if (generation != nullptr) *generation = *it;
+      return status;
+    }
+    status.message = path + ": " + status.message;
+    last = std::move(status);
+    if (skipped != nullptr) ++*skipped;
+  }
+  return last;
+}
+
+DirectoryCheckpointSink::DirectoryCheckpointSink(std::string dir,
+                                                uint32_t fingerprint,
+                                                CheckpointDirOptions options)
+    : dir_(std::move(dir), options), fingerprint_(fingerprint) {}
+
+void DirectoryCheckpointSink::Write(const ChaseCheckpointState& state,
+                                    bool final_write) {
+  (void)final_write;
+  last_status_ = dir_.Save(state, fingerprint_);
+  ++writes_;
+  if (!last_status_.ok()) ++failed_writes_;
+}
+
+ChaseResult ResumeChase(const std::string& checkpoint_dir, const Instance& db,
+                        const TgdSet& tgds, const ChaseOptions& options,
+                        ResumeInfo* info) {
+  ResumeInfo local_info;
+  ResumeInfo* out = info != nullptr ? info : &local_info;
+  *out = ResumeInfo{};
+
+  const uint32_t fingerprint = ChaseWorkloadFingerprint(db, tgds, options);
+  CheckpointDir dir(checkpoint_dir);
+
+  ChaseCheckpointState state;
+  uint32_t stored_fingerprint = 0;
+  uint64_t generation = 0;
+  int skipped = 0;
+  SnapshotStatus load =
+      dir.LoadLatest(&state, &stored_fingerprint, &generation, &skipped);
+  if (load.ok() && stored_fingerprint != fingerprint) {
+    load = SnapshotStatus::Fail(
+        SnapshotError::kFormatError,
+        "'" + checkpoint_dir +
+            "' holds snapshots of a different workload (fingerprint " +
+            std::to_string(stored_fingerprint) + ", expected " +
+            std::to_string(fingerprint) + "); starting fresh");
+  }
+  out->load_status = load;
+  out->skipped_generations = skipped;
+
+  DirectoryCheckpointSink sink(checkpoint_dir, fingerprint);
+  ChaseOptions run_options = options;
+  run_options.checkpoint_sink = &sink;
+  if (run_options.checkpoint_every < 1) run_options.checkpoint_every = 1;
+
+  if (load.ok()) {
+    out->resumed = true;
+    out->generation = generation;
+    out->resumed_complete = state.complete;
+    return ResumeChaseFromState(state, tgds, run_options);
+  }
+  return Chase(db, tgds, run_options);
+}
+
+}  // namespace gqe

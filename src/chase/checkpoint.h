@@ -1,0 +1,147 @@
+#ifndef GQE_CHASE_CHECKPOINT_H_
+#define GQE_CHASE_CHECKPOINT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/serialize.h"
+#include "chase/chase.h"
+
+namespace gqe {
+
+/// Encodes a round-boundary chase state (plus the interner it depends on
+/// and a workload fingerprint) into a snapshot payload. Equal states
+/// encode to equal bytes, so the smoke test can diff snapshots directly.
+std::string EncodeChaseSnapshot(const ChaseCheckpointState& state,
+                                uint32_t fingerprint);
+
+/// Decodes a payload produced by EncodeChaseSnapshot. Replays the
+/// embedded interner section first (kInternerConflict when this process
+/// already interned conflicting names), then validates every stored atom
+/// and trigger against it. `fingerprint` receives the stored workload
+/// fingerprint.
+SnapshotStatus DecodeChaseSnapshot(std::string_view payload,
+                                   ChaseCheckpointState* state,
+                                   uint32_t* fingerprint);
+
+/// Deterministic fingerprint of a chase workload: the database facts,
+/// the TGD set and the options that change chase semantics (restricted
+/// mode, max_level). A checkpoint directory is only resumable for the
+/// workload it was written by; the fingerprint is how ResumeChase tells,
+/// instead of silently continuing a different run's snapshot.
+uint32_t ChaseWorkloadFingerprint(const Instance& db, const TgdSet& tgds,
+                                  const ChaseOptions& options);
+
+/// Retention/layout knobs for a checkpoint directory.
+struct CheckpointDirOptions {
+  /// Snapshot generations kept on disk. Older generations beyond this
+  /// many are pruned after each successful save. Must be >= 2 so a crash
+  /// during a save (or a corrupted latest file) always leaves a previous
+  /// good generation to fall back to; smaller values behave as 2.
+  int keep_generations = 3;
+};
+
+/// A directory of chase snapshot generations:
+///
+///   <dir>/chase-<rounds_completed>.snap   one file per generation
+///   <dir>/MANIFEST                        generation numbers, ascending
+///
+/// Every file is written via tmp-file + fsync + rename (WriteFileAtomic),
+/// so readers never observe a torn snapshot: a crash at any point leaves
+/// the directory with the previous consistent contents. LoadLatest walks
+/// generations newest-first and falls back past files that fail the
+/// envelope checksum or decode, so one corrupted snapshot costs one
+/// generation of progress, not the run.
+class CheckpointDir {
+ public:
+  explicit CheckpointDir(std::string dir, CheckpointDirOptions options = {});
+
+  const std::string& dir() const { return dir_; }
+
+  /// Persists `state` as generation `state.rounds_completed`, updates the
+  /// manifest and prunes generations beyond keep_generations.
+  SnapshotStatus Save(const ChaseCheckpointState& state,
+                      uint32_t fingerprint);
+
+  /// Loads the newest generation that unwraps and decodes cleanly.
+  /// `generation` receives its number and `skipped` how many newer
+  /// generations were rejected as corrupt on the way (0 = the latest was
+  /// good). kNotFound when the directory holds no usable snapshot; the
+  /// last rejection reason is reported when all candidates fail.
+  SnapshotStatus LoadLatest(ChaseCheckpointState* state,
+                            uint32_t* fingerprint,
+                            uint64_t* generation = nullptr,
+                            int* skipped = nullptr);
+
+  /// Generations with a snapshot file present, ascending. Prefers the
+  /// manifest; falls back to a directory scan when the manifest is
+  /// missing or damaged (the manifest is an optimisation, not a single
+  /// point of failure).
+  std::vector<uint64_t> Generations() const;
+
+  /// Path of a generation's snapshot file.
+  std::string GenerationPath(uint64_t generation) const;
+
+ private:
+  SnapshotStatus WriteManifest(const std::vector<uint64_t>& generations);
+
+  std::string dir_;
+  CheckpointDirOptions options_;
+};
+
+/// ChaseCheckpointSink that persists every delivered boundary to a
+/// CheckpointDir. Persistence failures are remembered (last_status) but
+/// do not stop the chase: losing a snapshot degrades crash recovery, not
+/// the computation.
+class DirectoryCheckpointSink : public ChaseCheckpointSink {
+ public:
+  DirectoryCheckpointSink(std::string dir, uint32_t fingerprint,
+                          CheckpointDirOptions options = {});
+
+  void Write(const ChaseCheckpointState& state, bool final_write) override;
+
+  const SnapshotStatus& last_status() const { return last_status_; }
+  size_t writes() const { return writes_; }
+  size_t failed_writes() const { return failed_writes_; }
+
+ private:
+  CheckpointDir dir_;
+  uint32_t fingerprint_;
+  SnapshotStatus last_status_;
+  size_t writes_ = 0;
+  size_t failed_writes_ = 0;
+};
+
+/// What ResumeChase found on disk and what it did about it.
+struct ResumeInfo {
+  /// True iff the run continued from a snapshot (false: started fresh).
+  bool resumed = false;
+  /// Generation (rounds_completed) resumed from, when resumed.
+  uint64_t generation = 0;
+  /// Corrupt newer generations skipped before a good one was found.
+  int skipped_generations = 0;
+  /// The snapshot resumed from was already a fixpoint — no chase work ran.
+  bool resumed_complete = false;
+  /// Status of the load attempt (kNotFound for an empty/new directory;
+  /// a corruption status when every generation was rejected; kFormatError
+  /// with a fingerprint message when the directory belongs to a different
+  /// workload — all of which fall back to a fresh run).
+  SnapshotStatus load_status;
+};
+
+/// Crash-safe chase entry point. Looks for a usable snapshot of this
+/// exact workload (db + tgds + semantics-relevant options) in
+/// `checkpoint_dir`; resumes from the newest good generation, or starts
+/// fresh when none is usable. Either way new round-boundary snapshots are
+/// written to the directory (every options.checkpoint_every rounds), so
+/// the run can itself be killed and resumed. The final instance is
+/// bit-identical to an uninterrupted Chase(db, tgds, options) — at every
+/// thread count and wherever the previous run was killed.
+ChaseResult ResumeChase(const std::string& checkpoint_dir, const Instance& db,
+                        const TgdSet& tgds, const ChaseOptions& options = {},
+                        ResumeInfo* info = nullptr);
+
+}  // namespace gqe
+
+#endif  // GQE_CHASE_CHECKPOINT_H_

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "guarded/portion_snapshot.h"
 #include "query/evaluation.h"
 #include "query/tw_evaluation.h"
 
@@ -25,7 +26,8 @@ ChaseTree BuildPortion(const Instance& db, const TgdSet& sigma,
       static_cast<int>(MaxQueryVariables(query)) + options.extra_blocking;
   tree_options.max_depth = options.max_depth;
   tree_options.governor = governor;
-  return BuildChaseTree(db, sigma, tree_options, engine);
+  return BuildOrLoadChaseTree(options.checkpoint_dir, db, sigma, tree_options,
+                              engine);
 }
 
 }  // namespace

@@ -1,0 +1,210 @@
+#include "guarded/portion_snapshot.h"
+
+#include <filesystem>
+#include <utility>
+#include <vector>
+
+#include "base/interner.h"
+#include "base/term.h"
+
+namespace gqe {
+
+namespace {
+
+/// Validates a stored term against the interner pools: portions contain
+/// only constants and labelled nulls.
+bool ValidGroundTerm(Term t, size_t num_constants) {
+  if (t.kind() == Term::Kind::kConstant) return t.id() < num_constants;
+  return t.kind() == Term::Kind::kNull;
+}
+
+}  // namespace
+
+uint32_t ChaseTreeWorkloadFingerprint(const Instance& db, const TgdSet& sigma,
+                                      const ChaseTreeOptions& options) {
+  BinaryWriter writer;
+  EncodeInstance(db, &writer);
+  writer.WriteString(TgdSetToString(sigma));
+  writer.WriteI32(options.blocking_repeats);
+  writer.WriteI32(options.max_depth);
+  return Crc32(writer.buffer());
+}
+
+std::string EncodeChaseTreeSnapshot(const ChaseTree& tree,
+                                    uint32_t fingerprint) {
+  BinaryWriter writer;
+  writer.WriteU32(fingerprint);
+  EncodeInterner(&writer);
+  writer.WriteU32(Term::NextNullId());
+  writer.WriteBool(tree.truncated);
+  writer.WriteU32(static_cast<uint32_t>(tree.status));
+  EncodeInstance(tree.portion, &writer);
+  writer.WriteU64(tree.bags.size());
+  for (const ChaseBag& bag : tree.bags) {
+    writer.WriteU64(bag.elements.size());
+    for (Term t : bag.elements) writer.WriteU32(t.bits());
+    writer.WriteI32(bag.parent);
+    writer.WriteI32(bag.depth);
+    writer.WriteString(bag.shape_key);
+    writer.WriteBool(bag.blocked);
+  }
+  writer.WriteU64(tree.null_home.size());
+  for (const auto& [term, bag] : tree.null_home) {
+    writer.WriteU32(term.bits());
+    writer.WriteI32(bag);
+  }
+  return writer.Take();
+}
+
+SnapshotStatus DecodeChaseTreeSnapshot(std::string_view payload,
+                                       ChaseTree* tree,
+                                       uint32_t* fingerprint) {
+  BinaryReader reader(payload);
+  uint32_t stored_fingerprint = 0;
+  if (!reader.ReadU32(&stored_fingerprint)) {
+    return SnapshotStatus::Fail(SnapshotError::kFormatError,
+                                "portion snapshot fingerprint cut short");
+  }
+  SnapshotStatus status = DecodeInterner(&reader);
+  if (!status.ok()) return status;
+  const size_t num_constants =
+      Interner::Global().PoolSize(Interner::Pool::kConstant);
+
+  ChaseTree decoded;
+  uint32_t next_null_id = 0;
+  uint32_t status_value = 0;
+  if (!reader.ReadU32(&next_null_id) || !reader.ReadBool(&decoded.truncated) ||
+      !reader.ReadU32(&status_value)) {
+    return SnapshotStatus::Fail(SnapshotError::kFormatError,
+                                "portion snapshot header cut short");
+  }
+  if (status_value > static_cast<uint32_t>(Status::kCancelled)) {
+    return SnapshotStatus::Fail(SnapshotError::kFormatError,
+                                "portion snapshot has an unknown status");
+  }
+  decoded.status = static_cast<Status>(status_value);
+  status = DecodeInstance(&reader, &decoded.portion);
+  if (!status.ok()) return status;
+
+  uint64_t bag_count = 0;
+  if (!reader.ReadU64(&bag_count)) {
+    return SnapshotStatus::Fail(SnapshotError::kFormatError,
+                                "portion snapshot bag count cut short");
+  }
+  for (uint64_t i = 0; i < bag_count; ++i) {
+    ChaseBag bag;
+    uint64_t element_count = 0;
+    if (!reader.ReadU64(&element_count) ||
+        element_count * sizeof(uint32_t) > reader.remaining()) {
+      return SnapshotStatus::Fail(SnapshotError::kFormatError,
+                                  "portion snapshot bag cut short");
+    }
+    bag.elements.reserve(element_count);
+    for (uint64_t e = 0; e < element_count; ++e) {
+      uint32_t bits = 0;
+      reader.ReadU32(&bits);
+      Term t = Term::FromBits(bits);
+      if (!ValidGroundTerm(t, num_constants)) {
+        return SnapshotStatus::Fail(SnapshotError::kFormatError,
+                                    "portion snapshot bag element invalid");
+      }
+      bag.elements.push_back(t);
+    }
+    if (!reader.ReadI32(&bag.parent) || !reader.ReadI32(&bag.depth) ||
+        !reader.ReadString(&bag.shape_key) || !reader.ReadBool(&bag.blocked)) {
+      return SnapshotStatus::Fail(SnapshotError::kFormatError,
+                                  "portion snapshot bag fields cut short");
+    }
+    if (bag.parent < -1 ||
+        (bag.parent >= 0 && static_cast<uint64_t>(bag.parent) >= i)) {
+      return SnapshotStatus::Fail(SnapshotError::kFormatError,
+                                  "portion snapshot bag parent out of order");
+    }
+    decoded.bags.push_back(std::move(bag));
+  }
+
+  uint64_t home_count = 0;
+  if (!reader.ReadU64(&home_count)) {
+    return SnapshotStatus::Fail(SnapshotError::kFormatError,
+                                "portion snapshot null-home count cut short");
+  }
+  for (uint64_t i = 0; i < home_count; ++i) {
+    uint32_t bits = 0;
+    int32_t bag = 0;
+    if (!reader.ReadU32(&bits) || !reader.ReadI32(&bag)) {
+      return SnapshotStatus::Fail(SnapshotError::kFormatError,
+                                  "portion snapshot null-home cut short");
+    }
+    Term t = Term::FromBits(bits);
+    if (!t.IsNull() || bag < 0 ||
+        static_cast<uint64_t>(bag) >= decoded.bags.size()) {
+      return SnapshotStatus::Fail(SnapshotError::kFormatError,
+                                  "portion snapshot null-home entry invalid");
+    }
+    decoded.null_home.emplace_back(t, static_cast<int>(bag));
+  }
+  if (!reader.ok() || !reader.AtEnd()) {
+    return SnapshotStatus::Fail(SnapshotError::kFormatError,
+                                "portion snapshot has trailing bytes");
+  }
+  if (next_null_id > Term::NextNullId()) {
+    Term::SetNextNullId(next_null_id);
+  }
+  *tree = std::move(decoded);
+  if (fingerprint != nullptr) *fingerprint = stored_fingerprint;
+  return SnapshotStatus::Ok();
+}
+
+ChaseTree BuildOrLoadChaseTree(const std::string& checkpoint_dir,
+                               const Instance& db, const TgdSet& sigma,
+                               const ChaseTreeOptions& options,
+                               TypeClosureEngine* engine,
+                               PortionSnapshotInfo* info) {
+  PortionSnapshotInfo local_info;
+  PortionSnapshotInfo* out = info != nullptr ? info : &local_info;
+  *out = PortionSnapshotInfo{};
+  if (checkpoint_dir.empty()) {
+    return BuildChaseTree(db, sigma, options, engine);
+  }
+
+  const uint32_t fingerprint =
+      ChaseTreeWorkloadFingerprint(db, sigma, options);
+  out->path = checkpoint_dir + "/portion-" + std::to_string(fingerprint) +
+              ".snap";
+
+  std::string bytes;
+  SnapshotStatus load = ReadFileBytes(out->path, &bytes);
+  std::string_view payload;
+  if (load.ok()) {
+    load = UnwrapSnapshot(bytes, kSnapshotKindChaseTree, &payload);
+  }
+  ChaseTree cached;
+  uint32_t stored_fingerprint = 0;
+  if (load.ok()) {
+    load = DecodeChaseTreeSnapshot(payload, &cached, &stored_fingerprint);
+  }
+  if (load.ok() && stored_fingerprint != fingerprint) {
+    load = SnapshotStatus::Fail(
+        SnapshotError::kFormatError,
+        "'" + out->path + "' was written for a different portion build");
+  }
+  out->load_status = load;
+  if (load.ok()) {
+    out->loaded = true;
+    return cached;
+  }
+
+  ChaseTree tree = BuildChaseTree(db, sigma, options, engine);
+  // Only a finished, untruncated portion is worth caching: a governed
+  // partial build would poison later runs with an under-approximation.
+  if (tree.status == Status::kCompleted && !tree.truncated) {
+    std::error_code ec;
+    std::filesystem::create_directories(checkpoint_dir, ec);
+    const std::string snapshot = WrapSnapshot(
+        kSnapshotKindChaseTree, EncodeChaseTreeSnapshot(tree, fingerprint));
+    out->saved = WriteFileAtomic(out->path, snapshot).ok();
+  }
+  return tree;
+}
+
+}  // namespace gqe

@@ -1,0 +1,59 @@
+#ifndef GQE_GUARDED_PORTION_SNAPSHOT_H_
+#define GQE_GUARDED_PORTION_SNAPSHOT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "base/serialize.h"
+#include "guarded/chase_tree.h"
+
+namespace gqe {
+
+/// Deterministic fingerprint of a chase-tree build: the database, the
+/// guarded set and the options that shape the portion (blocking repeats,
+/// depth cap). A snapshot is only reused for the exact build that wrote
+/// it.
+uint32_t ChaseTreeWorkloadFingerprint(const Instance& db, const TgdSet& sigma,
+                                      const ChaseTreeOptions& options);
+
+/// Encodes a materialized chase tree (portion instance, bag forest,
+/// null-home map) plus the interner and the labelled-null counter.
+std::string EncodeChaseTreeSnapshot(const ChaseTree& tree,
+                                    uint32_t fingerprint);
+
+/// Decodes a payload produced by EncodeChaseTreeSnapshot, validating
+/// every id against the (replayed) interner. Advances the global null
+/// counter past the snapshot's so later fresh nulls cannot collide with
+/// portion nulls.
+SnapshotStatus DecodeChaseTreeSnapshot(std::string_view payload,
+                                       ChaseTree* tree, uint32_t* fingerprint);
+
+/// What BuildOrLoadChaseTree did.
+struct PortionSnapshotInfo {
+  /// True iff the portion came from disk (no build ran).
+  bool loaded = false;
+  /// True iff this call wrote a fresh snapshot.
+  bool saved = false;
+  /// Status of the load attempt (kNotFound on a cold cache; corruption
+  /// and fingerprint mismatches fall through to a rebuild).
+  SnapshotStatus load_status;
+  /// The snapshot file used or written.
+  std::string path;
+};
+
+/// BuildChaseTree with a snapshot cache: when `checkpoint_dir` holds a
+/// valid snapshot of this exact build (same db, Σ and options), returns
+/// it without re-running saturation; otherwise builds the portion and —
+/// if it completed untruncated — persists it atomically for the next
+/// run. Corrupt or foreign snapshots are rejected by checksum /
+/// fingerprint and rebuilt from scratch, never trusted.
+ChaseTree BuildOrLoadChaseTree(const std::string& checkpoint_dir,
+                               const Instance& db, const TgdSet& sigma,
+                               const ChaseTreeOptions& options = {},
+                               TypeClosureEngine* engine = nullptr,
+                               PortionSnapshotInfo* info = nullptr);
+
+}  // namespace gqe
+
+#endif  // GQE_GUARDED_PORTION_SNAPSHOT_H_

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "chase/chase.h"
+#include "chase/checkpoint.h"
 #include "guarded/omq_eval.h"
 #include "query/evaluation.h"
 #include "query/tw_evaluation.h"
@@ -27,6 +28,16 @@ std::vector<std::vector<Term>> FilterToDomain(
   return out;
 }
 
+/// Chase with optional crash-safe resume: with a checkpoint directory
+/// the saturated (or level-bounded) chase is resumed from its last good
+/// snapshot — a complete snapshot short-circuits the whole re-chase.
+ChaseResult CheckpointedChase(const std::string& checkpoint_dir,
+                              const Instance& db, const TgdSet& sigma,
+                              const ChaseOptions& options) {
+  if (checkpoint_dir.empty()) return Chase(db, sigma, options);
+  return ResumeChase(checkpoint_dir, db, sigma, options);
+}
+
 }  // namespace
 
 OmqEvalResult EvaluateOmq(const Omq& omq, const Instance& db,
@@ -44,6 +55,7 @@ OmqEvalResult EvaluateOmq(const Omq& omq, const Instance& db,
     GuardedEvalOptions guarded_options;
     guarded_options.governor = governor;
     guarded_options.use_tree_dp = options.use_tree_dp;
+    guarded_options.checkpoint_dir = options.checkpoint_dir;
     GuardedAnswersResult guarded = EvaluateGuardedCertainAnswers(
         db, omq.sigma, omq.query, guarded_options);
     result.answers = std::move(guarded.answers);
@@ -58,7 +70,9 @@ OmqEvalResult EvaluateOmq(const Omq& omq, const Instance& db,
       result.exact = false;
       chase_options.max_level = options.fallback_chase_level;
     }
-    ChaseResult chased = Chase(db, omq.sigma, chase_options);
+    ChaseResult chased =
+        CheckpointedChase(options.checkpoint_dir, db, omq.sigma,
+                          chase_options);
     if (!chased.complete && result.method == "terminating-chase") {
       // A guard rail fired despite a terminating set.
       result.exact = false;
@@ -90,6 +104,7 @@ bool OmqHolds(const Omq& omq, const Instance& db,
     GuardedEvalOptions guarded_options;
     guarded_options.governor = governor;
     guarded_options.use_tree_dp = options.use_tree_dp;
+    guarded_options.checkpoint_dir = options.checkpoint_dir;
     return GuardedCertainlyHolds(db, omq.sigma, omq.query, answer,
                                  guarded_options);
   }
@@ -98,7 +113,8 @@ bool OmqHolds(const Omq& omq, const Instance& db,
   if (!IsObliviousChaseTerminating(omq.sigma)) {
     chase_options.max_level = options.fallback_chase_level;
   }
-  ChaseResult chased = Chase(db, omq.sigma, chase_options);
+  ChaseResult chased =
+      CheckpointedChase(options.checkpoint_dir, db, omq.sigma, chase_options);
   return options.use_tree_dp
              ? HoldsUcqTreeDp(omq.query, chased.instance, answer, governor)
              : HoldsUCQ(omq.query, chased.instance, answer, governor);

@@ -50,6 +50,15 @@ struct OmqEvalOptions {
   /// Use the Prop. 2.1 tree-decomposition DP when deciding candidate
   /// answers (the Prop. 3.3(3) FPT algorithm when q ∈ UCQ_k).
   bool use_tree_dp = false;
+
+  /// When non-empty, crash-safe evaluation: the chase paths resume from
+  /// (and write) round-boundary snapshots in this directory instead of
+  /// re-chasing from scratch, and the guarded path reuses a
+  /// saturated-portion snapshot. Snapshot kinds share the directory
+  /// without clashing (chase-<round>.snap vs portion-<fp>.snap), and a
+  /// directory written by a different workload is detected by
+  /// fingerprint and ignored.
+  std::string checkpoint_dir;
 };
 
 /// Certain answers Q(D) (Section 3.1 / Proposition 3.1). Dispatches by

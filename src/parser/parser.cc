@@ -11,6 +11,7 @@ namespace {
 
 enum class TokenKind {
   kIdentifier,
+  kNull,  // _:n<id> — a labelled null, as printed by Term::ToString
   kLParen,
   kRParen,
   kComma,
@@ -24,20 +25,46 @@ struct Token {
   TokenKind kind;
   std::string text;
   int line;
+  int column;
 };
+
+/// Renders `text` printably for diagnostics: non-printable bytes
+/// (embedded NULs, stray control characters) appear as \xNN escapes so
+/// the message itself stays a clean single-line string.
+std::string EscapeForMessage(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    const unsigned char u = static_cast<unsigned char>(c);
+    if (std::isprint(u)) {
+      out.push_back(c);
+    } else {
+      static const char kHex[] = "0123456789abcdef";
+      out += "\\x";
+      out.push_back(kHex[u >> 4]);
+      out.push_back(kHex[u & 0xF]);
+    }
+  }
+  return out;
+}
 
 class Lexer {
  public:
   explicit Lexer(std::string_view text) : text_(text) {}
 
-  bool Tokenize(std::vector<Token>* out, std::string* error, int* error_line) {
+  bool Tokenize(std::vector<Token>* out, ParseResult* result) {
     int line = 1;
+    size_t line_start = 0;
     size_t i = 0;
+    const auto column = [&](size_t at) {
+      return static_cast<int>(at - line_start) + 1;
+    };
     while (i < text_.size()) {
       const char c = text_[i];
       if (c == '\n') {
         ++line;
         ++i;
+        line_start = i;
         continue;
       }
       if (std::isspace(static_cast<unsigned char>(c))) {
@@ -49,33 +76,49 @@ class Lexer {
         continue;
       }
       if (c == '(') {
-        out->push_back({TokenKind::kLParen, "(", line});
+        out->push_back({TokenKind::kLParen, "(", line, column(i)});
         ++i;
         continue;
       }
       if (c == ')') {
-        out->push_back({TokenKind::kRParen, ")", line});
+        out->push_back({TokenKind::kRParen, ")", line, column(i)});
         ++i;
         continue;
       }
       if (c == ',') {
-        out->push_back({TokenKind::kComma, ",", line});
+        out->push_back({TokenKind::kComma, ",", line, column(i)});
         ++i;
         continue;
       }
       if (c == '.') {
-        out->push_back({TokenKind::kDot, ".", line});
+        out->push_back({TokenKind::kDot, ".", line, column(i)});
         ++i;
         continue;
       }
       if (c == '-' && i + 1 < text_.size() && text_[i + 1] == '>') {
-        out->push_back({TokenKind::kArrow, "->", line});
+        out->push_back({TokenKind::kArrow, "->", line, column(i)});
         i += 2;
         continue;
       }
       if (c == ':' && i + 1 < text_.size() && text_[i + 1] == '-') {
-        out->push_back({TokenKind::kTurnstile, ":-", line});
+        out->push_back({TokenKind::kTurnstile, ":-", line, column(i)});
         i += 2;
+        continue;
+      }
+      // Labelled null `_:n<digits>` (the Term::ToString spelling), checked
+      // before the identifier rule so `_` does not swallow the prefix.
+      if (c == '_' && i + 2 < text_.size() && text_[i + 1] == ':' &&
+          text_[i + 2] == 'n' && i + 3 < text_.size() &&
+          std::isdigit(static_cast<unsigned char>(text_[i + 3]))) {
+        size_t start = i;
+        i += 3;
+        while (i < text_.size() &&
+               std::isdigit(static_cast<unsigned char>(text_[i]))) {
+          ++i;
+        }
+        out->push_back({TokenKind::kNull,
+                        std::string(text_.substr(start, i - start)), line,
+                        column(start)});
         continue;
       }
       if (std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
@@ -87,14 +130,17 @@ class Lexer {
           ++i;
         }
         out->push_back({TokenKind::kIdentifier,
-                        std::string(text_.substr(start, i - start)), line});
+                        std::string(text_.substr(start, i - start)), line,
+                        column(start)});
         continue;
       }
-      *error = std::string("unexpected character '") + c + "'";
-      *error_line = line;
+      result->error_token = EscapeForMessage(text_.substr(i, 1));
+      result->error = "unexpected character '" + result->error_token + "'";
+      result->error_line = line;
+      result->error_column = column(i);
       return false;
     }
-    out->push_back({TokenKind::kEnd, "", line});
+    out->push_back({TokenKind::kEnd, "", line, column(i)});
     return true;
   }
 
@@ -106,13 +152,19 @@ class Parser {
  public:
   explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
 
-  bool Run(Program* program, std::string* error, int* error_line) {
+  bool Run(Program* program, ParseResult* result) {
     while (Peek().kind != TokenKind::kEnd) {
       if (!Statement(program)) {
-        *error = error_;
-        *error_line = error_token_line_;
+        result->error = error_;
+        result->error_line = error_token_line_;
+        result->error_column = error_token_column_;
+        result->error_token = error_token_text_;
         return false;
       }
+    }
+    // Keep later fresh nulls disjoint from every null the program named.
+    if (saw_null_ && max_null_id_ + 1 > Term::NextNullId()) {
+      Term::SetNextNullId(max_null_id_ + 1);
     }
     return true;
   }
@@ -133,8 +185,15 @@ class Parser {
   }
 
   bool Fail(const std::string& message) {
-    error_ = message + " (got '" + Peek().text + "')";
-    error_token_line_ = Peek().line;
+    const Token& at = Peek();
+    error_token_text_ = at.kind == TokenKind::kEnd
+                            ? "end of input"
+                            : EscapeForMessage(at.text);
+    error_ = message + (at.kind == TokenKind::kEnd
+                            ? " (got end of input)"
+                            : " (got '" + error_token_text_ + "')");
+    error_token_line_ = at.line;
+    error_token_column_ = at.column;
     return false;
   }
 
@@ -152,12 +211,29 @@ class Parser {
     std::vector<Term> args;
     if (Peek().kind != TokenKind::kRParen) {
       for (;;) {
-        if (Peek().kind != TokenKind::kIdentifier) {
+        if (Peek().kind == TokenKind::kNull) {
+          // `_:n<id>` — digits follow the fixed 3-byte prefix.
+          const std::string& text = Peek().text;
+          uint64_t id = 0;
+          for (size_t d = 3; d < text.size(); ++d) {
+            id = id * 10 + static_cast<uint64_t>(text[d] - '0');
+            if (id > Term::kMaxId) {
+              return Fail("labelled-null id out of range");
+            }
+          }
+          Advance();
+          args.push_back(Term::Null(static_cast<uint32_t>(id)));
+          saw_null_ = true;
+          if (static_cast<uint32_t>(id) > max_null_id_) {
+            max_null_id_ = static_cast<uint32_t>(id);
+          }
+        } else if (Peek().kind == TokenKind::kIdentifier) {
+          std::string name = Advance().text;
+          args.push_back(IsVariableName(name) ? Term::Variable(name)
+                                              : Term::Constant(name));
+        } else {
           return Fail("expected term");
         }
-        std::string name = Advance().text;
-        args.push_back(IsVariableName(name) ? Term::Variable(name)
-                                            : Term::Constant(name));
         if (Peek().kind != TokenKind::kComma) break;
         Advance();
       }
@@ -264,12 +340,17 @@ class Parser {
   size_t pos_ = 0;
   std::string error_;
   int error_token_line_ = 0;
+  int error_token_column_ = 0;
+  std::string error_token_text_;
+  bool saw_null_ = false;
+  uint32_t max_null_id_ = 0;
 };
 
 Program MustParse(std::string_view text) {
   ParseResult result = ParseProgram(text);
   if (!result.ok) {
-    std::fprintf(stderr, "gqe parse error (line %d): %s\n", result.error_line,
+    std::fprintf(stderr, "gqe parse error (line %d, column %d): %s\n",
+                 result.error_line, result.error_column,
                  result.error.c_str());
     std::abort();
   }
@@ -282,11 +363,11 @@ ParseResult ParseProgram(std::string_view text) {
   ParseResult result;
   std::vector<Token> tokens;
   Lexer lexer(text);
-  if (!lexer.Tokenize(&tokens, &result.error, &result.error_line)) {
+  if (!lexer.Tokenize(&tokens, &result)) {
     return result;
   }
   Parser parser(std::move(tokens));
-  result.ok = parser.Run(&result.program, &result.error, &result.error_line);
+  result.ok = parser.Run(&result.program, &result);
   return result;
 }
 

@@ -34,12 +34,24 @@ struct Program {
 struct ParseResult {
   bool ok = false;
   Program program;
+  /// First problem found: message, 1-based line/column of the offending
+  /// token, and the token's text (escaped printably; "end of input" when
+  /// the program just stops short).
   std::string error;
   int error_line = 0;
+  int error_column = 0;
+  std::string error_token;
 };
 
-/// Parses a program from text. On failure, `error`/`error_line` describe
-/// the first problem.
+/// Parses a program from text. On failure, `error` / `error_line` /
+/// `error_column` / `error_token` describe the first problem. Arbitrary
+/// bytes — including embedded NULs — are rejected with a diagnostic,
+/// never a crash.
+///
+/// Labelled nulls print as `_:n<id>` (Term::ToString) and parse back to
+/// Term::Null(id), so Instance::ToString output round-trips. Parsing a
+/// null advances the global null counter past its id, keeping later
+/// fresh nulls collision-free.
 ParseResult ParseProgram(std::string_view text);
 
 /// Parses a single statement kind from text (convenience for tests and

@@ -1,5 +1,6 @@
 #include "workload/report.h"
 
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 
@@ -96,6 +97,51 @@ ExecutionBudget ParseBudgetFlags(int* argc, char** argv) {
   }
   *argc = out;
   return budget;
+}
+
+CheckpointFlags ParseCheckpointFlags(int* argc, char** argv) {
+  CheckpointFlags flags;
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--checkpoint-dir=", 0) == 0) {
+      flags.dir = arg.substr(17);
+      continue;
+    }
+    if (arg == "--checkpoint-dir" && i + 1 < *argc) {
+      flags.dir = argv[++i];
+      continue;
+    }
+    if (arg.rfind("--checkpoint-every=", 0) == 0) {
+      flags.every = std::atoi(arg.c_str() + 19);
+      continue;
+    }
+    if (arg == "--checkpoint-every" && i + 1 < *argc) {
+      flags.every = std::atoi(argv[++i]);
+      continue;
+    }
+    argv[out++] = argv[i];
+  }
+  *argc = out;
+  if (flags.every < 1) flags.every = 1;
+  return flags;
+}
+
+namespace {
+
+// The token the signal handlers cancel. CancelToken copies share one
+// atomic flag and RequestCancel is a lock-free store, so calling it from
+// a signal handler is async-signal-safe.
+CancelToken g_signal_token;
+
+void BenchSignalHandler(int) { g_signal_token.RequestCancel(); }
+
+}  // namespace
+
+void InstallBenchSignalHandlers(const CancelToken& token) {
+  g_signal_token = token;
+  std::signal(SIGINT, BenchSignalHandler);
+  std::signal(SIGTERM, BenchSignalHandler);
 }
 
 void BenchWatchdog::Record(const std::string& config, const Outcome& outcome) {

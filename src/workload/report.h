@@ -44,6 +44,27 @@ int ParseThreadsFlag(int* argc, char** argv, int default_threads = 1);
 /// run under one budget.
 ExecutionBudget ParseBudgetFlags(int* argc, char** argv);
 
+/// `--checkpoint-dir=PATH` / `--checkpoint-every=N` bench flags. An
+/// empty dir means checkpointing is off (the default); `every` is the
+/// round granularity passed to ChaseOptions::checkpoint_every.
+struct CheckpointFlags {
+  std::string dir;
+  int every = 1;
+
+  bool enabled() const { return !dir.empty(); }
+};
+
+/// Parses and strips the checkpoint flags from argv.
+CheckpointFlags ParseCheckpointFlags(int* argc, char** argv);
+
+/// Routes SIGINT/SIGTERM to `token.RequestCancel()`. Chase rounds are
+/// transactional and cancellation trips at a round boundary, so an
+/// interrupted bench still writes a final consistent checkpoint and
+/// prints its partial report table before exiting — only `kill -9`
+/// (untrappable) loses the tail since the last snapshot. Call once per
+/// process; a second call rebinds the handlers to the new token.
+void InstallBenchSignalHandlers(const CancelToken& token);
+
 /// Watchdog for governed bench runs: records each configuration's
 /// Outcome and prints a timeout-vs-complete summary. Dichotomy benches
 /// use it so a run under `--deadline-ms` shows *which* configurations

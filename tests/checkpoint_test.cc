@@ -1,0 +1,317 @@
+// Crash-safe checkpoint/resume tests (chase/checkpoint + the engine's
+// round-boundary snapshots): kill-and-resume determinism — a chase
+// tripped by the governor fault injector at checkpoints 1, 3, 7 (and
+// deeper), resumed from disk, produces the bit-identical final instance
+// an uninterrupted run produces, at 1 and 8 threads — plus corruption
+// handling: flipped bytes and truncations are rejected by checksum with
+// a distinct status and recovery falls back to the previous good
+// generation (or a fresh run), never a crash or a silently wrong
+// instance.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "base/serialize.h"
+#include "chase/chase.h"
+#include "chase/checkpoint.h"
+#include "parser/parser.h"
+
+namespace gqe {
+namespace {
+
+/// University-style existential rules (labelled nulls) plus transitive
+/// closure (several rounds of joins): nulls, levels and multi-round
+/// delta frontiers are all in play.
+TgdSet CkSigma() {
+  return ParseTgds(R"(
+    ckgrad(X) -> ckstud(X).
+    ckstud(X) -> ckenr(X, U), ckuni(U).
+    ckenr(X, U) -> ckactive(X).
+    cke(X, Y), cke(Y, Z) -> cke(X, Z).
+  )");
+}
+
+Instance CkDb() {
+  Instance db;
+  for (int i = 0; i < 6; ++i) {
+    db.Insert(
+        Atom::Make("ckgrad", {Term::Constant("cks" + std::to_string(i))}));
+  }
+  for (int i = 0; i < 24; ++i) {
+    db.Insert(Atom::Make("cke",
+                         {Term::Constant("cka" + std::to_string(i)),
+                          Term::Constant("cka" + std::to_string(i + 1))}));
+  }
+  return db;
+}
+
+std::string FreshDir(const std::string& name) {
+  std::string dir = ::testing::TempDir() + "gqe_ckpt_" + name;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+/// Bit-identical: same facts in the same insertion order (terms compared
+/// by their 32-bit representation, so labelled-null ids count), same
+/// levels, same completion.
+void ExpectBitIdentical(const ChaseResult& got, const ChaseResult& want,
+                        const std::string& label) {
+  ASSERT_EQ(got.instance.size(), want.instance.size()) << label;
+  for (size_t i = 0; i < want.instance.size(); ++i) {
+    ASSERT_EQ(got.instance.atom(i), want.instance.atom(i))
+        << label << " fact " << i;
+  }
+  EXPECT_EQ(got.levels, want.levels) << label;
+  EXPECT_EQ(got.complete, want.complete) << label;
+  EXPECT_EQ(got.max_level_built, want.max_level_built) << label;
+}
+
+/// In-memory sink recording every delivered boundary.
+struct CollectingSink : ChaseCheckpointSink {
+  std::vector<ChaseCheckpointState> states;
+  void Write(const ChaseCheckpointState& state, bool) override {
+    states.push_back(state);
+  }
+};
+
+TEST(CheckpointTest, ResumeFromEveryBoundaryIsBitIdentical) {
+  Instance db = CkDb();
+  TgdSet sigma = CkSigma();
+  const uint32_t null_base = Term::NextNullId();
+
+  Term::SetNextNullId(null_base);
+  CollectingSink sink;
+  ChaseOptions options;
+  options.checkpoint_sink = &sink;
+  ChaseResult reference = Chase(db, sigma, options);
+  ASSERT_TRUE(reference.complete);
+  ASSERT_GE(sink.states.size(), 3u);
+  EXPECT_TRUE(sink.states.back().complete);
+
+  for (size_t i = 0; i < sink.states.size(); ++i) {
+    // Clobber the null counter: resume must restore it from the state.
+    Term::SetNextNullId(null_base + 1000);
+    ChaseResult resumed = ResumeChaseFromState(sink.states[i], sigma);
+    ExpectBitIdentical(resumed, reference,
+                       "boundary " + std::to_string(i));
+    EXPECT_EQ(resumed.rounds_completed, reference.rounds_completed);
+  }
+  Term::SetNextNullId(null_base);
+}
+
+TEST(CheckpointTest, KillAtInjectedCheckpointResumeFromDisk) {
+  Instance db = CkDb();
+  TgdSet sigma = CkSigma();
+  const uint32_t null_base = Term::NextNullId();
+
+  Term::SetNextNullId(null_base);
+  ChaseResult reference = Chase(db, sigma);
+  ASSERT_TRUE(reference.complete);
+
+  for (uint64_t at : {1u, 3u, 7u, 40u, 400u}) {
+    for (int threads : {1, 8}) {
+      const std::string label =
+          "at=" + std::to_string(at) + " threads=" + std::to_string(threads);
+      const std::string dir =
+          FreshDir("kill_" + std::to_string(at) + "_" +
+                   std::to_string(threads));
+
+      // The "crash": a run whose governor trips kCancelled at a fixed
+      // logical checkpoint. Only the snapshots it wrote survive.
+      Term::SetNextNullId(null_base);
+      TestFaultInjector injector(Status::kCancelled, at);
+      ExecutionBudget budget;
+      budget.max_facts = 0;
+      Governor governor(budget, &injector);
+      ChaseOptions killed_options;
+      killed_options.threads = threads;
+      killed_options.governor = &governor;
+      ResumeInfo killed_info;
+      ChaseResult killed =
+          ResumeChase(dir, db, sigma, killed_options, &killed_info);
+      ASSERT_EQ(killed.outcome.status, Status::kCancelled) << label;
+      ASSERT_FALSE(killed.complete) << label;
+
+      // The recovery: a fresh entry through ResumeChase, null counter
+      // deliberately clobbered — the snapshot must restore it.
+      Term::SetNextNullId(null_base + 5000);
+      ChaseOptions resume_options;
+      resume_options.threads = threads;
+      ResumeInfo info;
+      ChaseResult resumed = ResumeChase(dir, db, sigma, resume_options, &info);
+      EXPECT_TRUE(info.resumed) << label;
+      ASSERT_TRUE(resumed.complete) << label;
+      ExpectBitIdentical(resumed, reference, label);
+
+      std::filesystem::remove_all(dir);
+    }
+  }
+  Term::SetNextNullId(null_base);
+}
+
+TEST(CheckpointTest, CompleteSnapshotShortCircuits) {
+  Instance db = CkDb();
+  TgdSet sigma = CkSigma();
+  const uint32_t null_base = Term::NextNullId();
+  const std::string dir = FreshDir("complete");
+
+  Term::SetNextNullId(null_base);
+  ResumeInfo first_info;
+  ChaseResult first = ResumeChase(dir, db, sigma, {}, &first_info);
+  ASSERT_TRUE(first.complete);
+  EXPECT_FALSE(first_info.resumed);
+
+  Term::SetNextNullId(null_base + 1234);
+  ResumeInfo second_info;
+  ChaseResult second = ResumeChase(dir, db, sigma, {}, &second_info);
+  EXPECT_TRUE(second_info.resumed);
+  EXPECT_TRUE(second_info.resumed_complete);
+  ExpectBitIdentical(second, first, "complete-snapshot reuse");
+
+  std::filesystem::remove_all(dir);
+  Term::SetNextNullId(null_base);
+}
+
+TEST(CheckpointTest, CorruptionIsRejectedWithDistinctStatus) {
+  Instance db = CkDb();
+  TgdSet sigma = CkSigma();
+  const uint32_t null_base = Term::NextNullId();
+  const std::string dir = FreshDir("corrupt");
+
+  Term::SetNextNullId(null_base);
+  ChaseResult reference = ResumeChase(dir, db, sigma);
+  ASSERT_TRUE(reference.complete);
+
+  CheckpointDir checkpoints(dir);
+  std::vector<uint64_t> generations = checkpoints.Generations();
+  ASSERT_GE(generations.size(), 2u);
+  const std::string newest = checkpoints.GenerationPath(generations.back());
+
+  // Flip one payload byte in the newest snapshot.
+  std::string bytes;
+  ASSERT_TRUE(ReadFileBytes(newest, &bytes).ok());
+  std::string flipped = bytes;
+  flipped[flipped.size() / 2] ^= 0x40;
+  ASSERT_TRUE(WriteFileAtomic(newest, flipped).ok());
+
+  // The corruption is diagnosed as exactly a checksum mismatch...
+  std::string_view payload;
+  EXPECT_EQ(UnwrapSnapshot(flipped, kSnapshotKindChase, &payload).error,
+            SnapshotError::kChecksumMismatch);
+
+  // ...and recovery silently falls back to the previous good generation,
+  // still reproducing the bit-identical final instance.
+  ChaseCheckpointState state;
+  uint32_t fingerprint = 0;
+  uint64_t generation = 0;
+  int skipped = 0;
+  ASSERT_TRUE(checkpoints
+                  .LoadLatest(&state, &fingerprint, &generation, &skipped)
+                  .ok());
+  EXPECT_EQ(skipped, 1);
+  EXPECT_EQ(generation, generations[generations.size() - 2]);
+
+  Term::SetNextNullId(null_base + 777);
+  ResumeInfo info;
+  ChaseResult resumed = ResumeChase(dir, db, sigma, {}, &info);
+  EXPECT_TRUE(info.resumed);
+  EXPECT_EQ(info.skipped_generations, 1);
+  ExpectBitIdentical(resumed, reference, "fallback after bit flip");
+
+  // Truncate the (rewritten) newest generation mid-payload: kTruncated,
+  // same fallback.
+  generations = checkpoints.Generations();
+  const std::string newest2 = checkpoints.GenerationPath(generations.back());
+  ASSERT_TRUE(ReadFileBytes(newest2, &bytes).ok());
+  ASSERT_TRUE(WriteFileAtomic(newest2, bytes.substr(0, bytes.size() / 2))
+                  .ok());
+  EXPECT_EQ(UnwrapSnapshot(bytes.substr(0, bytes.size() / 2),
+                           kSnapshotKindChase, &payload)
+                .error,
+            SnapshotError::kTruncated);
+  Term::SetNextNullId(null_base + 778);
+  ChaseResult after_truncation = ResumeChase(dir, db, sigma, {}, &info);
+  EXPECT_TRUE(info.resumed);
+  ExpectBitIdentical(after_truncation, reference, "fallback after truncation");
+
+  // Corrupt every generation: the load fails (with the last distinct
+  // reason), ResumeChase starts fresh and the output is still right.
+  for (uint64_t g : checkpoints.Generations()) {
+    const std::string path = checkpoints.GenerationPath(g);
+    ASSERT_TRUE(ReadFileBytes(path, &bytes).ok());
+    bytes[bytes.size() - 1] ^= 0xFF;
+    ASSERT_TRUE(WriteFileAtomic(path, bytes).ok());
+  }
+  Term::SetNextNullId(null_base);
+  ChaseResult fresh = ResumeChase(dir, db, sigma, {}, &info);
+  EXPECT_FALSE(info.resumed);
+  EXPECT_EQ(info.load_status.error, SnapshotError::kChecksumMismatch);
+  ExpectBitIdentical(fresh, reference, "fresh run after total corruption");
+
+  std::filesystem::remove_all(dir);
+  Term::SetNextNullId(null_base);
+}
+
+TEST(CheckpointTest, ForeignWorkloadIsNotResumed) {
+  Instance db = CkDb();
+  TgdSet sigma = CkSigma();
+  const uint32_t null_base = Term::NextNullId();
+  const std::string dir = FreshDir("foreign");
+
+  Term::SetNextNullId(null_base);
+  ChaseResult first = ResumeChase(dir, db, sigma);
+  ASSERT_TRUE(first.complete);
+
+  // Same directory, different rule set: the fingerprint mismatch is
+  // reported and the run starts fresh instead of continuing foreign
+  // state.
+  TgdSet other = ParseTgds("ckgrad(X) -> ckother(X).");
+  Term::SetNextNullId(null_base);
+  ResumeInfo info;
+  ChaseResult fresh = ResumeChase(dir, db, other, {}, &info);
+  EXPECT_FALSE(info.resumed);
+  EXPECT_EQ(info.load_status.error, SnapshotError::kFormatError);
+  EXPECT_TRUE(fresh.complete);
+
+  std::filesystem::remove_all(dir);
+  Term::SetNextNullId(null_base);
+}
+
+TEST(CheckpointTest, ChaseSnapshotPayloadRoundTrips) {
+  Instance db = CkDb();
+  TgdSet sigma = CkSigma();
+  const uint32_t null_base = Term::NextNullId();
+
+  Term::SetNextNullId(null_base);
+  CollectingSink sink;
+  ChaseOptions options;
+  options.checkpoint_sink = &sink;
+  ChaseResult run = Chase(db, sigma, options);
+  ASSERT_TRUE(run.complete);
+  ASSERT_FALSE(sink.states.empty());
+
+  const ChaseCheckpointState& state = sink.states[sink.states.size() / 2];
+  const std::string payload = EncodeChaseSnapshot(state, 0xC0FFEE);
+  ChaseCheckpointState decoded;
+  uint32_t fingerprint = 0;
+  ASSERT_TRUE(DecodeChaseSnapshot(payload, &decoded, &fingerprint).ok());
+  EXPECT_EQ(fingerprint, 0xC0FFEEu);
+  // Equal states re-encode to equal bytes (deterministic encoding).
+  EXPECT_EQ(EncodeChaseSnapshot(decoded, 0xC0FFEE), payload);
+
+  // A decode of mangled payload bytes reports kFormatError (the envelope
+  // checksum normally catches this first; the decoder must still never
+  // crash or fabricate state).
+  std::string mangled = payload;
+  mangled.resize(mangled.size() / 3);
+  EXPECT_FALSE(DecodeChaseSnapshot(mangled, &decoded, &fingerprint).ok());
+
+  Term::SetNextNullId(null_base);
+}
+
+}  // namespace
+}  // namespace gqe

@@ -109,6 +109,95 @@ TEST(ParserTest, ConvenienceParsers) {
   EXPECT_EQ(ucq.num_disjuncts(), 2u);
 }
 
+TEST(ParserTest, ErrorCarriesColumnAndToken) {
+  // The second ',' on line 2 (column 12) is where a term was expected.
+  ParseResult result = ParseProgram("pedge(a, b).\npedge(a, b,, ).\n");
+  ASSERT_FALSE(result.ok);
+  EXPECT_EQ(result.error_line, 2);
+  EXPECT_EQ(result.error_column, 12);
+  EXPECT_EQ(result.error_token, ",");
+}
+
+TEST(ParserTest, TruncatedRuleReportsEndOfInput) {
+  ParseResult result = ParseProgram("pedge(X, Y) ->");
+  ASSERT_FALSE(result.ok);
+  EXPECT_EQ(result.error_token, "end of input");
+  EXPECT_NE(result.error.find("end of input"), std::string::npos);
+  EXPECT_EQ(result.error_line, 1);
+  EXPECT_GT(result.error_column, 0);
+
+  // Truncated mid-atom, mid-statement and after a head atom.
+  for (const char* text :
+       {"pedge(a", "pedge(a, b). pother(", "pq(X) :- ", "pedge(a,"}) {
+    ParseResult truncated = ParseProgram(text);
+    EXPECT_FALSE(truncated.ok) << text;
+    EXPECT_EQ(truncated.error_token, "end of input") << text;
+  }
+}
+
+TEST(ParserTest, UnbalancedParens) {
+  ParseResult missing_close = ParseProgram("pedge(a, b.");
+  ASSERT_FALSE(missing_close.ok);
+  EXPECT_NE(missing_close.error.find("')'"), std::string::npos);
+  EXPECT_EQ(missing_close.error_token, ".");
+
+  ParseResult extra_close = ParseProgram("pedge(a, b)).");
+  ASSERT_FALSE(extra_close.ok);
+  EXPECT_EQ(extra_close.error_token, ")");
+
+  ParseResult bare_open = ParseProgram("(a, b).");
+  ASSERT_FALSE(bare_open.ok);
+  EXPECT_EQ(bare_open.error_column, 1);
+}
+
+TEST(ParserTest, EmbeddedNulRejectedPrintably) {
+  const char text[] = "pedge(a\0b, c).";
+  ParseResult result = ParseProgram(std::string_view(text, sizeof(text) - 1));
+  ASSERT_FALSE(result.ok);
+  // The diagnostic must stay printable: the NUL appears as an escape,
+  // never as a raw byte.
+  EXPECT_EQ(result.error.find('\0'), std::string::npos);
+  EXPECT_NE(result.error.find("\\x00"), std::string::npos);
+  EXPECT_EQ(result.error_line, 1);
+  EXPECT_EQ(result.error_column, 8);
+  EXPECT_EQ(result.error_token, "\\x00");
+}
+
+TEST(ParserTest, LexerErrorHasPosition) {
+  ParseResult result = ParseProgram("pedge(a, b).\n  pedge(a ! b).\n");
+  ASSERT_FALSE(result.ok);
+  EXPECT_EQ(result.error_line, 2);
+  EXPECT_EQ(result.error_column, 11);
+  EXPECT_EQ(result.error_token, "!");
+}
+
+TEST(ParserTest, LabelledNullTermsParse) {
+  ParseResult result = ParseProgram("pedge(_:n3, _:n7). plabel(_:n3).");
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.program.database.size(), 2u);
+  EXPECT_TRUE(result.program.database.Contains(
+      Atom::Make("pedge", {Term::Null(3), Term::Null(7)})));
+  // Parsing a null advances the global counter past it: fresh nulls can
+  // no longer collide with the program's.
+  EXPECT_GE(Term::NextNullId(), 8u);
+}
+
+TEST(ParserTest, LabelledNullOutOfRange) {
+  // 2^30 does not fit the 30-bit id payload.
+  ParseResult result = ParseProgram("pedge(_:n1073741824, a).");
+  ASSERT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("out of range"), std::string::npos);
+}
+
+TEST(ParserTest, UnderscoreIdentifierStillConstant) {
+  // `_` and `_:x` do not form a null token; plain `_`-led names stay
+  // ordinary constants.
+  ParseResult result = ParseProgram("pedge(_abc, _).");
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_TRUE(result.program.database.Contains(
+      Atom::Make("pedge", {Term::Constant("_abc"), Term::Constant("_")})));
+}
+
 TEST(ParserTest, MixedProgram) {
   ParseResult result = ParseProgram(R"(
     % a database

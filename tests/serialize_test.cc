@@ -1,0 +1,240 @@
+// Round-trip and corruption tests for the snapshot layer
+// (base/serialize): writer/reader primitives, the checksummed envelope,
+// interner and instance codecs, and the ToString -> parse -> serialize ->
+// deserialize identity including labelled-null numbering.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "base/serialize.h"
+#include "parser/parser.h"
+
+namespace gqe {
+namespace {
+
+TEST(SerializeTest, WriterReaderRoundTrip) {
+  BinaryWriter writer;
+  writer.WriteU8(7);
+  writer.WriteU16(300);
+  writer.WriteU32(70000);
+  writer.WriteU64(0x0123456789abcdefull);
+  writer.WriteI32(-42);
+  writer.WriteBool(true);
+  writer.WriteString("hello\0world");  // literal truncates at NUL — fine
+  writer.WriteString(std::string("a\0b", 3));
+
+  BinaryReader reader(writer.buffer());
+  uint8_t u8 = 0;
+  uint16_t u16 = 0;
+  uint32_t u32 = 0;
+  uint64_t u64 = 0;
+  int32_t i32 = 0;
+  bool flag = false;
+  std::string s1, s2;
+  EXPECT_TRUE(reader.ReadU8(&u8));
+  EXPECT_TRUE(reader.ReadU16(&u16));
+  EXPECT_TRUE(reader.ReadU32(&u32));
+  EXPECT_TRUE(reader.ReadU64(&u64));
+  EXPECT_TRUE(reader.ReadI32(&i32));
+  EXPECT_TRUE(reader.ReadBool(&flag));
+  EXPECT_TRUE(reader.ReadString(&s1));
+  EXPECT_TRUE(reader.ReadString(&s2));
+  EXPECT_EQ(u8, 7);
+  EXPECT_EQ(u16, 300);
+  EXPECT_EQ(u32, 70000u);
+  EXPECT_EQ(u64, 0x0123456789abcdefull);
+  EXPECT_EQ(i32, -42);
+  EXPECT_TRUE(flag);
+  EXPECT_EQ(s1, "hello");
+  EXPECT_EQ(s2, std::string("a\0b", 3));
+  EXPECT_TRUE(reader.AtEnd());
+}
+
+TEST(SerializeTest, ReaderIsStickyAndBoundsChecked) {
+  BinaryWriter writer;
+  writer.WriteU16(9);
+  BinaryReader reader(writer.buffer());
+  uint32_t u32 = 0;
+  EXPECT_FALSE(reader.ReadU32(&u32));  // only 2 bytes available
+  EXPECT_FALSE(reader.ok());
+  uint8_t u8 = 0;
+  EXPECT_FALSE(reader.ReadU8(&u8));  // sticky after first failure
+}
+
+TEST(SerializeTest, Crc32KnownVector) {
+  // The IEEE CRC-32 check value for "123456789".
+  EXPECT_EQ(Crc32("123456789"), 0xCBF43926u);
+  EXPECT_EQ(Crc32(""), 0u);
+}
+
+TEST(SerializeTest, EnvelopeRoundTrip) {
+  const std::string payload = "some payload bytes";
+  std::string bytes = WrapSnapshot(kSnapshotKindChase, payload);
+  std::string_view out;
+  SnapshotStatus status = UnwrapSnapshot(bytes, kSnapshotKindChase, &out);
+  ASSERT_TRUE(status.ok()) << status.message;
+  EXPECT_EQ(out, payload);
+}
+
+TEST(SerializeTest, EnvelopeRejectsCorruption) {
+  const std::string payload(64, 'x');
+  const std::string good = WrapSnapshot(kSnapshotKindChase, payload);
+  std::string_view out;
+
+  // Bit flip in the payload: checksum mismatch.
+  std::string flipped = good;
+  flipped[flipped.size() - 5] ^= 0x01;
+  EXPECT_EQ(UnwrapSnapshot(flipped, kSnapshotKindChase, &out).error,
+            SnapshotError::kChecksumMismatch);
+
+  // Truncated tail.
+  EXPECT_EQ(UnwrapSnapshot(std::string_view(good).substr(0, good.size() - 8),
+                           kSnapshotKindChase, &out)
+                .error,
+            SnapshotError::kTruncated);
+
+  // Shorter than the header itself.
+  EXPECT_EQ(UnwrapSnapshot("GQ", kSnapshotKindChase, &out).error,
+            SnapshotError::kTruncated);
+
+  // Wrong magic.
+  std::string magic = good;
+  magic[0] = 'X';
+  EXPECT_EQ(UnwrapSnapshot(magic, kSnapshotKindChase, &out).error,
+            SnapshotError::kBadMagic);
+
+  // Wrong kind.
+  EXPECT_EQ(UnwrapSnapshot(good, kSnapshotKindChaseTree, &out).error,
+            SnapshotError::kFormatError);
+
+  // Every rejection has a distinct, printable name.
+  EXPECT_STREQ(SnapshotErrorName(SnapshotError::kChecksumMismatch),
+               "checksum-mismatch");
+  EXPECT_STREQ(SnapshotErrorName(SnapshotError::kTruncated), "truncated");
+}
+
+TEST(SerializeTest, FileRoundTripAndMissingFile) {
+  const std::string path = ::testing::TempDir() + "serialize_file_test.bin";
+  const std::string bytes = "atomic write payload";
+  ASSERT_TRUE(WriteFileAtomic(path, bytes).ok());
+  std::string back;
+  ASSERT_TRUE(ReadFileBytes(path, &back).ok());
+  EXPECT_EQ(back, bytes);
+  std::remove(path.c_str());
+  EXPECT_EQ(ReadFileBytes(path, &back).error, SnapshotError::kNotFound);
+}
+
+TEST(SerializeTest, InstanceRoundTripWithNulls) {
+  Instance original;
+  original.Insert(Atom::Make("sedge", {Term::Constant("sa"), Term::Null(11)}));
+  original.Insert(Atom::Make("sedge", {Term::Null(11), Term::Null(12)}));
+  original.Insert(Atom::Make("slabel", {Term::Constant("sb")}));
+
+  BinaryWriter writer;
+  EncodeInterner(&writer);
+  EncodeInstance(original, &writer);
+
+  BinaryReader reader(writer.buffer());
+  ASSERT_TRUE(DecodeInterner(&reader).ok());
+  Instance decoded;
+  ASSERT_TRUE(DecodeInstance(&reader, &decoded).ok());
+  ASSERT_EQ(decoded.size(), original.size());
+  for (size_t i = 0; i < original.size(); ++i) {
+    // Bit-identical atoms in the same insertion order.
+    EXPECT_EQ(decoded.atom(i), original.atom(i)) << i;
+  }
+}
+
+TEST(SerializeTest, InstanceDecodeRejectsGarbage) {
+  BinaryWriter writer;
+  EncodeInterner(&writer);
+  writer.WriteU64(1);           // one fact
+  writer.WriteU32(0xFFFFFF);    // nonexistent predicate id
+  writer.WriteU32(2);
+  writer.WriteU32(0);
+  writer.WriteU32(0);
+  BinaryReader reader(writer.buffer());
+  ASSERT_TRUE(DecodeInterner(&reader).ok());
+  Instance decoded;
+  EXPECT_EQ(DecodeInstance(&reader, &decoded).error,
+            SnapshotError::kFormatError);
+}
+
+TEST(SerializeTest, ToStringParseSerializeRoundTrip) {
+  // The full loop of the round-trip guarantee: an instance with labelled
+  // nulls prints (Instance::ToString), the text parses back, and the
+  // parsed instance serializes to the same bytes — null numbering
+  // included.
+  Instance original;
+  original.Insert(
+      Atom::Make("rtedge", {Term::Constant("rta"), Term::Constant("rtb")}));
+  original.Insert(Atom::Make("rtedge", {Term::Constant("rtb"), Term::Null(21)}));
+  original.Insert(Atom::Make("rtlives", {Term::Null(21), Term::Null(23)}));
+
+  // ToString renders `{f1, f2, ...}`; strip the braces and terminate each
+  // fact to form a parseable program. Facts end with ')', so splitting on
+  // "), " never cuts inside an atom's argument list.
+  std::string text = original.ToString();
+  ASSERT_GE(text.size(), 2u);
+  ASSERT_EQ(text.front(), '{');
+  ASSERT_EQ(text.back(), '}');
+  std::string program_text = text.substr(1, text.size() - 2);
+  size_t pos = 0;
+  while ((pos = program_text.find("), ", pos)) != std::string::npos) {
+    program_text.replace(pos, 3, ").\n");
+  }
+  program_text += ".";
+
+  ParseResult parsed = ParseProgram(program_text);
+  ASSERT_TRUE(parsed.ok) << parsed.error << "\nprogram:\n" << program_text;
+
+  // ToString sorts facts, so compare order-insensitively first...
+  EXPECT_EQ(parsed.program.database.ToString(), original.ToString());
+
+  // ...then serialize both and require bit-identical payloads: the same
+  // facts, the same term bits, the same labelled-null ids.
+  BinaryWriter a, b;
+  EncodeInstance(parsed.program.database, &a);
+  Instance reordered;
+  // Rebuild `original` in ToString (sorted) order so insertion order
+  // matches what the parser saw.
+  {
+    ParseResult reparse = ParseProgram(program_text);
+    ASSERT_TRUE(reparse.ok);
+    reordered = reparse.program.database;
+  }
+  EncodeInstance(reordered, &b);
+  ASSERT_EQ(a.buffer(), b.buffer());
+
+  // And the serialized form itself round-trips bit-identically.
+  BinaryWriter with_interner;
+  EncodeInterner(&with_interner);
+  EncodeInstance(parsed.program.database, &with_interner);
+  BinaryReader reader(with_interner.buffer());
+  ASSERT_TRUE(DecodeInterner(&reader).ok());
+  Instance decoded;
+  ASSERT_TRUE(DecodeInstance(&reader, &decoded).ok());
+  BinaryWriter c;
+  EncodeInstance(decoded, &c);
+  EXPECT_EQ(c.buffer(), a.buffer());
+}
+
+TEST(SerializeTest, ToStringRoundTripCommaInsideAtoms) {
+  // Multi-argument atoms carry ", " inside their parens; round-tripping a
+  // ternary atom checks the null token and argument list survive intact.
+  Instance original;
+  original.Insert(Atom::Make("rt3", {Term::Constant("u"), Term::Constant("v"),
+                                     Term::Null(31)}));
+  std::string text = original.ToString();
+  // One fact: no top-level ", " split needed at all.
+  std::string program_text = text.substr(1, text.size() - 2) + ".";
+  ParseResult parsed = ParseProgram(program_text);
+  ASSERT_TRUE(parsed.ok) << parsed.error;
+  ASSERT_EQ(parsed.program.database.size(), 1u);
+  EXPECT_EQ(parsed.program.database.atom(0), original.atom(0));
+}
+
+}  // namespace
+}  // namespace gqe

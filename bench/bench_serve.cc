@@ -1,0 +1,111 @@
+// Serving-layer overheads: what does fork isolation cost per request,
+// and how does manifest throughput scale with supervisor concurrency?
+//
+// BM_WorkerSpawnRoundTrip isolates the containment tax — fork + pipes +
+// setrlimit + result round-trip + reap for a trivial body. The chase
+// inside a real worker dwarfs this; the bench proves it.
+//
+// BM_ServeManifest runs a real manifest of chase requests end to end
+// through ServeManifest at varying concurrency.
+
+#include <benchmark/benchmark.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include "base/subprocess.h"
+#include "serve/request.h"
+#include "serve/service.h"
+#include "workload/report.h"
+
+namespace {
+
+// The 12-stage pipeline program from examples/serve/chain.gqe, inlined
+// so the bench is self-contained and writes its own temp program file.
+constexpr const char* kChainProgram = R"(
+s0(a). s0(b). s0(c). s0(d).
+s0(X) -> s1(X).
+s1(X) -> s2(X).
+s2(X) -> s3(X).
+s3(X) -> s4(X).
+s4(X) -> s5(X).
+s5(X) -> s6(X).
+s6(X) -> s7(X).
+s7(X) -> s8(X).
+s8(X) -> s9(X).
+s9(X) -> s10(X).
+s10(X) -> s11(X).
+s11(X) -> s12(X).
+q(X) :- s12(X).
+)";
+
+std::string WriteTempProgram() {
+  std::string path =
+      std::filesystem::temp_directory_path() / "gqe_bench_serve_chain.gqe";
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file != nullptr) {
+    std::fputs(kChainProgram, file);
+    std::fclose(file);
+  }
+  return path;
+}
+
+void BM_WorkerSpawnRoundTrip(benchmark::State& state) {
+  for (auto _ : state) {
+    gqe::WorkerProcess worker;
+    std::string error;
+    const bool ok = gqe::WorkerProcess::Spawn(
+        gqe::WorkerLimits{},
+        [](int result_fd, int heartbeat_fd) {
+          (void)heartbeat_fd;
+          return gqe::WriteAllToFd(result_fd, "pong") ? 0 : 1;
+        },
+        &worker, &error);
+    if (!ok) state.SkipWithError("spawn failed");
+    while (!worker.Poll()) {
+      // Spin: the body is trivial, the exit is imminent.
+    }
+    worker.DrainResult();
+    benchmark::DoNotOptimize(worker.result_bytes().size());
+  }
+}
+BENCHMARK(BM_WorkerSpawnRoundTrip)->Unit(benchmark::kMicrosecond);
+
+void BM_ServeManifest(benchmark::State& state) {
+  const int concurrency = static_cast<int>(state.range(0));
+  const int requests = 8;
+  const std::string program = WriteTempProgram();
+
+  gqe::Manifest manifest;
+  for (int i = 0; i < requests; ++i) {
+    gqe::EvalRequest request;
+    request.id = "chase-" + std::to_string(i);
+    request.kind = gqe::RequestKind::kChase;
+    request.program_path = program;
+    request.budget.max_facts = 100000;
+    manifest.requests.push_back(request);
+  }
+
+  gqe::ServeOptions options;
+  options.concurrency = concurrency;
+  for (auto _ : state) {
+    gqe::ServeReport report = gqe::ServeManifest(manifest, options);
+    if (report.completed != static_cast<size_t>(requests)) {
+      state.SkipWithError("requests did not complete");
+    }
+    benchmark::DoNotOptimize(report.rows.size());
+  }
+  state.counters["req_per_s"] = benchmark::Counter(
+      static_cast<double>(requests) * state.iterations(),
+      benchmark::Counter::kIsRate);
+}
+// Real time, not CPU: the supervisor sleeps while workers run, so CPU
+// time would overstate throughput by orders of magnitude.
+BENCHMARK(BM_ServeManifest)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->UseRealTime()->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,68 @@
+#!/usr/bin/env bash
+# Chaos smoke test for the serving daemon: run a manifest fault-free,
+# run it again under --chaos (random SIGKILLs and SIGSTOP stalls
+# injected into workers), and require the deterministic `result:` lines
+# to be bit-identical — faults may cost retries, never answers. A third
+# run with the same chaos seed must reproduce the same report, and a
+# manifest-pinned kill must show a checkpoint resume in the ops table.
+#
+# Usage: scripts/chaos_smoke.sh <path-to-gqe_serve> [manifest]
+set -u
+
+SERVE="${1:?usage: $0 <gqe_serve> [manifest]}"
+MANIFEST="${2:-examples/serve/manifest.txt}"
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT INT TERM HUP
+
+# ckpt=64 scales the injection points to these small workloads so the
+# kills land mid-run rather than after the answer is already computed.
+CHAOS="kill=0.3,stall=0.1,seed=11,ckpt=64"
+
+echo "== fault-free run =="
+if ! "$SERVE" "$MANIFEST" --heartbeat-timeout-ms 400 \
+    >"$WORK/clean.out" 2>"$WORK/clean.err"; then
+  echo "FAIL: fault-free serve run failed"; cat "$WORK/clean.err"; exit 1
+fi
+grep '^result:' "$WORK/clean.out" > "$WORK/clean.results"
+if ! [ -s "$WORK/clean.results" ]; then
+  echo "FAIL: fault-free run produced no result lines"; exit 1
+fi
+cat "$WORK/clean.results"
+
+echo "== chaos run: --chaos $CHAOS =="
+if ! "$SERVE" "$MANIFEST" --chaos "$CHAOS" --heartbeat-timeout-ms 400 \
+    --backoff-base-ms 5 >"$WORK/chaos.out" 2>"$WORK/chaos.err"; then
+  echo "FAIL: the daemon itself died under chaos"; cat "$WORK/chaos.err"; exit 1
+fi
+grep '^result:' "$WORK/chaos.out" > "$WORK/chaos.results"
+
+if ! diff -u "$WORK/clean.results" "$WORK/chaos.results"; then
+  echo "FAIL: chaos changed the deterministic result lines"; exit 1
+fi
+echo "result lines bit-identical under chaos"
+
+echo "== chaos determinism: same seed, same report =="
+"$SERVE" "$MANIFEST" --chaos "$CHAOS" --heartbeat-timeout-ms 400 \
+  --backoff-base-ms 5 >"$WORK/chaos2.out" 2>/dev/null || {
+  echo "FAIL: second chaos run failed"; exit 1; }
+grep '^result:' "$WORK/chaos2.out" > "$WORK/chaos2.results"
+if ! diff -q "$WORK/chaos.results" "$WORK/chaos2.results" >/dev/null; then
+  echo "FAIL: same chaos seed produced different results"; exit 1
+fi
+
+echo "== checkpoint resume: the manifest's pinned kill must resume =="
+# The sample manifest pins fault=kill@40 on chain-faulty; its retry must
+# report a positive resume generation in the ops table.
+if grep -q 'chain-faulty' "$MANIFEST"; then
+  # Ops table row: | chain-faulty | chase | completed | 2 | sigkill,ok
+  # | <gen> | ... — the resume generation must be a positive number (a
+  # dash would mean the retry recomputed from scratch).
+  if ! grep -E 'chain-faulty \| chase \| completed \| 2 +\| sigkill,ok +\| [1-9]' \
+      "$WORK/clean.out" >/dev/null; then
+    echo "FAIL: killed worker's retry did not resume from its checkpoint"
+    sed -n '/chain-faulty/p' "$WORK/clean.out"
+    exit 1
+  fi
+fi
+
+echo "PASS: chaos run bit-identical to fault-free run"

@@ -13,7 +13,17 @@ set -u
 BENCH="${1:?usage: $0 <bench_chase> [n]}"
 N="${2:-200}"
 WORK="$(mktemp -d)"
-trap 'rm -rf "$WORK"' EXIT
+BENCH_PID=""
+# Clean up the temp dir — and any still-running backgrounded bench — on
+# every exit path, including Ctrl-C and a terminated CI job.
+cleanup() {
+  if [ -n "$BENCH_PID" ]; then
+    kill -9 "$BENCH_PID" 2>/dev/null
+    wait "$BENCH_PID" 2>/dev/null
+  fi
+  rm -rf "$WORK"
+}
+trap cleanup EXIT INT TERM HUP
 
 run_final_line() {
   # Prints only the diffable `final: ...` line of a durable run.
@@ -40,10 +50,12 @@ for _ in $(seq 1 100); do
 done
 kill -9 "$BENCH_PID" 2>/dev/null
 wait "$BENCH_PID" 2>/dev/null
+KILLED_PID="$BENCH_PID"
+BENCH_PID=""
 if ! ls "$KILL_DIR"/chase-*.snap >/dev/null 2>&1; then
   echo "FAIL: no checkpoint was written before the kill"; exit 1
 fi
-echo "killed pid $BENCH_PID; generations on disk:"
+echo "killed pid $KILLED_PID; generations on disk:"
 ls "$KILL_DIR"
 
 echo "== resume from disk =="

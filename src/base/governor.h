@@ -56,6 +56,13 @@ class CancelToken {
 
   bool valid() const { return flag_ != nullptr; }
 
+  /// The raw shared flag, for async-signal-safe cancellation from signal
+  /// handlers: storing to a lock-free std::atomic<bool> is signal-safe,
+  /// while copying the token (a shared_ptr op) is not. The caller must
+  /// keep a token copy alive for as long as a handler may dereference the
+  /// pointer. Null for a null token.
+  std::atomic<bool>* SignalSafeFlag() const { return flag_.get(); }
+
  private:
   std::shared_ptr<std::atomic<bool>> flag_;
 };

@@ -249,6 +249,60 @@ SnapshotStatus ReadFileBytes(const std::string& path, std::string* out) {
   return SnapshotStatus::Ok();
 }
 
+namespace {
+
+WriteFaultInjectorForTest* g_write_fault_injector = nullptr;
+
+// The write syscall as seen by WriteFileAtomic: defers to the injector
+// (short writes, then a hard errno) when one is installed.
+ssize_t WriteForSnapshot(int fd, const char* data, size_t size) {
+  WriteFaultInjectorForTest* injector = g_write_fault_injector;
+  if (injector != nullptr) {
+    if (injector->written >= injector->fail_after_bytes) {
+      errno = injector->error != 0 ? injector->error : ENOSPC;
+      return -1;
+    }
+    // Model a device with limited room: accept only what fits, so the
+    // caller's short-write loop is exercised before the hard failure.
+    const size_t room = injector->fail_after_bytes - injector->written;
+    if (size > room) size = room;
+    injector->written += size;
+  }
+  return ::write(fd, data, size);
+}
+
+}  // namespace
+
+void SetWriteFaultInjectorForTest(WriteFaultInjectorForTest* injector) {
+  g_write_fault_injector = injector;
+}
+
+SnapshotStatus FsyncParentDir(const std::string& path) {
+  std::string dir;
+  const size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) {
+    dir = ".";
+  } else if (slash == 0) {
+    dir = "/";
+  } else {
+    dir = path.substr(0, slash);
+  }
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) {
+    return SnapshotStatus::Fail(SnapshotError::kIoError,
+                                dir + ": open for fsync: " +
+                                    std::strerror(errno));
+  }
+  if (::fsync(fd) != 0) {
+    const int saved = errno;
+    ::close(fd);
+    return SnapshotStatus::Fail(SnapshotError::kIoError,
+                                dir + ": fsync: " + std::strerror(saved));
+  }
+  ::close(fd);
+  return SnapshotStatus::Ok();
+}
+
 SnapshotStatus WriteFileAtomic(const std::string& path,
                                std::string_view bytes) {
   const std::string tmp =
@@ -261,7 +315,7 @@ SnapshotStatus WriteFileAtomic(const std::string& path,
   size_t written = 0;
   while (written < bytes.size()) {
     const ssize_t n =
-        ::write(fd, bytes.data() + written, bytes.size() - written);
+        WriteForSnapshot(fd, bytes.data() + written, bytes.size() - written);
     if (n < 0) {
       if (errno == EINTR) continue;
       const int saved = errno;
@@ -288,7 +342,12 @@ SnapshotStatus WriteFileAtomic(const std::string& path,
     return SnapshotStatus::Fail(SnapshotError::kIoError,
                                 path + ": rename: " + std::strerror(saved));
   }
-  return SnapshotStatus::Ok();
+  // Make the rename durable: without fsyncing the directory, a power
+  // loss can forget the new directory entry even though the file's own
+  // bytes were fsynced — the snapshot would survive a crash but not an
+  // outage. The old entry (if any) remains valid either way, so a
+  // failure here degrades durability of *this* generation only.
+  return FsyncParentDir(path);
 }
 
 void EncodeInterner(BinaryWriter* writer) {

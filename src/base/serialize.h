@@ -113,6 +113,8 @@ uint32_t Crc32(std::string_view data);
 constexpr uint16_t kSnapshotKindChase = 1;
 constexpr uint16_t kSnapshotKindChaseTree = 2;
 constexpr uint16_t kSnapshotKindInstance = 3;
+/// Result blob a serve worker writes to its result pipe (serve/worker.h).
+constexpr uint16_t kSnapshotKindWorkerResult = 4;
 
 /// Current snapshot format version (bumped on incompatible changes).
 constexpr uint16_t kSnapshotVersion = 1;
@@ -132,11 +134,30 @@ SnapshotStatus UnwrapSnapshot(std::string_view bytes, uint16_t kind,
 SnapshotStatus ReadFileBytes(const std::string& path, std::string* out);
 
 /// Writes `bytes` to `path` crash-safely: the data goes to a temporary
-/// file in the same directory, is flushed to disk (fsync), and is then
-/// atomically renamed over `path`. A reader never observes a partially
-/// written file — a crash leaves either the old snapshot or the new one.
+/// file in the same directory, is flushed to disk (fsync), is atomically
+/// renamed over `path`, and the containing directory is then fsynced so
+/// the rename itself survives power loss (file fsync alone only covers
+/// process death — the new directory entry lives in the directory inode).
+/// A reader never observes a partially written file — a crash leaves
+/// either the old snapshot or the new one.
 SnapshotStatus WriteFileAtomic(const std::string& path,
                                std::string_view bytes);
+
+/// fsyncs the directory containing `path` (or `path` itself when it is a
+/// directory), making previously renamed/created entries durable.
+SnapshotStatus FsyncParentDir(const std::string& path);
+
+/// Test-only write fault injection for WriteFileAtomic: after
+/// `fail_after_bytes` have been written the next write fails with `error`
+/// (e.g. ENOSPC), optionally after a short write of the remaining room.
+/// Pass nullptr to clear. The injector pointer must outlive its
+/// installation; not thread-safe (tests only).
+struct WriteFaultInjectorForTest {
+  size_t fail_after_bytes = 0;
+  int error = 0;  // errno to report, e.g. ENOSPC
+  size_t written = 0;  // bytes the faulty "device" accepted so far
+};
+void SetWriteFaultInjectorForTest(WriteFaultInjectorForTest* injector);
 
 /// Serializes the global interner (constant / variable / predicate pools,
 /// predicate arities, fresh-name counter). A snapshot embeds this so its

@@ -1,0 +1,227 @@
+#include "base/subprocess.h"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/resource.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cmath>
+#include <cstring>
+#include <utility>
+
+namespace gqe {
+
+namespace {
+
+bool SetNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+void CloseQuietly(int* fd) {
+  if (*fd >= 0) {
+    ::close(*fd);
+    *fd = -1;
+  }
+}
+
+// Drains whatever is available from a non-blocking fd. Appends to `out`
+// when non-null; returns bytes read this call.
+size_t DrainFd(int fd, std::string* out) {
+  if (fd < 0) return 0;
+  size_t total = 0;
+  char buffer[4096];
+  for (;;) {
+    const ssize_t n = ::read(fd, buffer, sizeof(buffer));
+    if (n > 0) {
+      if (out != nullptr) out->append(buffer, static_cast<size_t>(n));
+      total += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    break;  // 0 = writer gone, EAGAIN = drained for now
+  }
+  return total;
+}
+
+}  // namespace
+
+void InstallWorkerLimits(const WorkerLimits& limits) {
+  if (limits.cpu_seconds > 0) {
+    struct rlimit rl;
+    rl.rlim_cur = static_cast<rlim_t>(std::ceil(limits.cpu_seconds));
+    if (rl.rlim_cur < 1) rl.rlim_cur = 1;
+    // Leave one second of hard-limit headroom so SIGXCPU (catchable,
+    // classifiable) arrives before the unconditional SIGKILL.
+    rl.rlim_max = rl.rlim_cur + 1;
+    ::setrlimit(RLIMIT_CPU, &rl);
+  }
+  if (limits.address_space_bytes > 0) {
+    struct rlimit rl;
+    rl.rlim_cur = static_cast<rlim_t>(limits.address_space_bytes);
+    rl.rlim_max = static_cast<rlim_t>(limits.address_space_bytes);
+    ::setrlimit(RLIMIT_AS, &rl);
+  }
+}
+
+bool WriteAllToFd(int fd, std::string_view data) {
+  size_t written = 0;
+  while (written < data.size()) {
+    const ssize_t n = ::write(fd, data.data() + written, data.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    written += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+WorkerProcess::WorkerProcess(WorkerProcess&& other) noexcept {
+  *this = std::move(other);
+}
+
+WorkerProcess& WorkerProcess::operator=(WorkerProcess&& other) noexcept {
+  if (this != &other) {
+    CloseFds();
+    pid_ = other.pid_;
+    result_fd_ = other.result_fd_;
+    heartbeat_fd_ = other.heartbeat_fd_;
+    exit_ = other.exit_;
+    result_ = std::move(other.result_);
+    other.pid_ = -1;
+    other.result_fd_ = -1;
+    other.heartbeat_fd_ = -1;
+    other.exit_ = WorkerExit{};
+  }
+  return *this;
+}
+
+WorkerProcess::~WorkerProcess() {
+  // A destroyed handle must not leak a live child or a zombie: kill hard
+  // and reap synchronously. Supervisors normally reap via Poll first, so
+  // this is the abnormal-path cleanup only.
+  if (pid_ > 0 && !exit_.reaped) {
+    ::kill(pid_, SIGKILL);
+    int status = 0;
+    while (::waitpid(pid_, &status, 0) < 0 && errno == EINTR) {
+    }
+  }
+  CloseFds();
+}
+
+void WorkerProcess::CloseFds() {
+  CloseQuietly(&result_fd_);
+  CloseQuietly(&heartbeat_fd_);
+}
+
+bool WorkerProcess::Spawn(
+    const WorkerLimits& limits,
+    const std::function<int(int result_fd, int heartbeat_fd)>& body,
+    WorkerProcess* out, std::string* error) {
+  int result_pipe[2] = {-1, -1};
+  int heartbeat_pipe[2] = {-1, -1};
+  if (::pipe(result_pipe) != 0) {
+    if (error != nullptr) *error = std::string("pipe: ") + std::strerror(errno);
+    return false;
+  }
+  if (::pipe(heartbeat_pipe) != 0) {
+    if (error != nullptr) *error = std::string("pipe: ") + std::strerror(errno);
+    CloseQuietly(&result_pipe[0]);
+    CloseQuietly(&result_pipe[1]);
+    return false;
+  }
+
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    if (error != nullptr) *error = std::string("fork: ") + std::strerror(errno);
+    CloseQuietly(&result_pipe[0]);
+    CloseQuietly(&result_pipe[1]);
+    CloseQuietly(&heartbeat_pipe[0]);
+    CloseQuietly(&heartbeat_pipe[1]);
+    return false;
+  }
+
+  if (pid == 0) {
+    // Child. Only async-signal-safe calls until `body` takes over: close,
+    // signal disposition, setrlimit.
+    ::close(result_pipe[0]);
+    ::close(heartbeat_pipe[0]);
+    // A supervisor that died mid-run must not SIGPIPE the worker; the
+    // write error is handled instead.
+    ::signal(SIGPIPE, SIG_IGN);
+    // Workers are their own delivery targets for SIGINT/SIGTERM: reset
+    // any cooperative-cancel handler inherited from the parent.
+    ::signal(SIGINT, SIG_DFL);
+    ::signal(SIGTERM, SIG_DFL);
+    InstallWorkerLimits(limits);
+    int code = 127;
+    code = body(result_pipe[1], heartbeat_pipe[1]);
+    ::_exit(code);
+  }
+
+  // Parent.
+  ::close(result_pipe[1]);
+  ::close(heartbeat_pipe[1]);
+  SetNonBlocking(result_pipe[0]);
+  SetNonBlocking(heartbeat_pipe[0]);
+  *out = WorkerProcess();
+  out->pid_ = pid;
+  out->result_fd_ = result_pipe[0];
+  out->heartbeat_fd_ = heartbeat_pipe[0];
+  return true;
+}
+
+bool WorkerProcess::Poll() {
+  if (pid_ <= 0 || exit_.reaped) return exit_.reaped;
+  int status = 0;
+  const pid_t r = ::waitpid(pid_, &status, WNOHANG);
+  if (r == pid_) {
+    exit_.reaped = true;
+    if (WIFEXITED(status)) {
+      exit_.exited = true;
+      exit_.exit_code = WEXITSTATUS(status);
+    } else if (WIFSIGNALED(status)) {
+      exit_.signaled = true;
+      exit_.term_signal = WTERMSIG(status);
+    }
+    // The final result write may still sit in the pipe buffer.
+    DrainResult();
+  }
+  return exit_.reaped;
+}
+
+void WorkerProcess::DrainResult() { DrainFd(result_fd_, &result_); }
+
+size_t WorkerProcess::DrainHeartbeats() {
+  return DrainFd(heartbeat_fd_, nullptr);
+}
+
+void WorkerProcess::Kill(int sig) {
+  if (pid_ > 0 && !exit_.reaped) ::kill(pid_, sig);
+}
+
+HeartbeatWriter::HeartbeatWriter(int fd, double interval_ms) {
+  const auto interval = std::chrono::duration<double, std::milli>(
+      interval_ms > 0 ? interval_ms : 25.0);
+  thread_ = std::thread([this, fd, interval] {
+    const char beat = '.';
+    while (!stop_.load(std::memory_order_acquire)) {
+      // A full pipe or dead supervisor is not the worker's problem;
+      // compute on regardless.
+      (void)!::write(fd, &beat, 1);
+      std::this_thread::sleep_for(interval);
+    }
+  });
+}
+
+HeartbeatWriter::~HeartbeatWriter() {
+  stop_.store(true, std::memory_order_release);
+  if (thread_.joinable()) thread_.join();
+}
+
+}  // namespace gqe

@@ -1,0 +1,132 @@
+#ifndef GQE_BASE_SUBPROCESS_H_
+#define GQE_BASE_SUBPROCESS_H_
+
+#include <sys/types.h>
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <thread>
+
+namespace gqe {
+
+/// Hard per-worker resource caps installed in the child via setrlimit
+/// before any request work runs. Zero means "no cap" for that dimension.
+/// These are the out-of-process guard rails behind the in-process
+/// Governor: a worker that ignores its budget (a runaway loop, a leak, a
+/// pathological allocation) is stopped by the kernel, not trusted to stop
+/// itself.
+struct WorkerLimits {
+  /// RLIMIT_CPU, in whole seconds (rounded up). Exceeding it delivers
+  /// SIGXCPU (default: kills the worker), which the supervisor classifies
+  /// as a cpu-limit death.
+  double cpu_seconds = 0.0;
+
+  /// RLIMIT_AS, in bytes. An allocation past the cap fails (std::bad_alloc
+  /// / nullptr), which the worker entry point turns into a dedicated OOM
+  /// exit code instead of an abort.
+  size_t address_space_bytes = 0;
+};
+
+/// How a reaped worker ended.
+struct WorkerExit {
+  /// True once waitpid reported the process gone (exited or signaled).
+  bool reaped = false;
+  bool exited = false;
+  int exit_code = 0;
+  bool signaled = false;
+  int term_signal = 0;
+};
+
+/// A fork-isolated worker process plus the two pipes the supervisor reads:
+/// `result_fd` carries the worker's serialized result (written once,
+/// before exit) and `heartbeat_fd` carries liveness bytes. Both parent
+/// ends are non-blocking.
+///
+/// IMPORTANT: Spawn forks without exec, so the child runs full C++ in the
+/// parent's address-space image. That is only safe when the parent is
+/// single-threaded at fork time (otherwise another thread may hold the
+/// malloc lock forever in the child) — the serve supervisor is a
+/// single-threaded event loop for exactly this reason.
+class WorkerProcess {
+ public:
+  WorkerProcess() = default;
+  WorkerProcess(const WorkerProcess&) = delete;
+  WorkerProcess& operator=(const WorkerProcess&) = delete;
+  WorkerProcess(WorkerProcess&& other) noexcept;
+  WorkerProcess& operator=(WorkerProcess&& other) noexcept;
+  ~WorkerProcess();
+
+  /// Forks a worker. In the child: installs `limits` (setrlimit), ignores
+  /// SIGPIPE, closes the parent pipe ends, runs `body(result_fd,
+  /// heartbeat_fd)` and passes its return value to _exit. Everything
+  /// between fork and `body` is async-signal-safe. Returns false (with
+  /// `error` set) when pipe/fork creation fails; the caller treats that as
+  /// a retryable spawn error, not a crash.
+  static bool Spawn(const WorkerLimits& limits,
+                    const std::function<int(int result_fd, int heartbeat_fd)>& body,
+                    WorkerProcess* out, std::string* error);
+
+  pid_t pid() const { return pid_; }
+  bool running() const { return pid_ > 0 && !exit_.reaped; }
+  const WorkerExit& exit_status() const { return exit_; }
+
+  /// Non-blocking reap attempt (waitpid WNOHANG). Returns true when the
+  /// worker is gone and `exit_status()` is final. Safe to call repeatedly.
+  bool Poll();
+
+  /// Drains available bytes from the result pipe into `result_bytes()`.
+  /// Non-blocking; call from the supervisor loop and once more after the
+  /// worker is reaped (the pipe buffers the final write).
+  void DrainResult();
+
+  /// Drains the heartbeat pipe; returns the number of beats consumed.
+  size_t DrainHeartbeats();
+
+  /// Sends `sig` to the worker (no-op once reaped). SIGKILL also reaches
+  /// a SIGSTOP'd worker, which is how stalls are put down.
+  void Kill(int sig);
+
+  const std::string& result_bytes() const { return result_; }
+
+ private:
+  void CloseFds();
+
+  pid_t pid_ = -1;
+  int result_fd_ = -1;
+  int heartbeat_fd_ = -1;
+  WorkerExit exit_;
+  std::string result_;
+};
+
+/// Child-side liveness: writes one byte to `fd` every `interval_ms` from a
+/// background thread until destroyed. A worker that stalls wholesale
+/// (SIGSTOP, kernel livelock) stops beating — its threads stop with it —
+/// and the supervisor's heartbeat timeout reaps it.
+class HeartbeatWriter {
+ public:
+  HeartbeatWriter(int fd, double interval_ms);
+  ~HeartbeatWriter();
+
+  HeartbeatWriter(const HeartbeatWriter&) = delete;
+  HeartbeatWriter& operator=(const HeartbeatWriter&) = delete;
+
+ private:
+  std::atomic<bool> stop_{false};
+  std::thread thread_;
+};
+
+/// Writes all of `data` to `fd`, retrying on EINTR / short writes.
+/// Returns false on the first hard write error.
+bool WriteAllToFd(int fd, std::string_view data);
+
+/// Installs `limits` on the calling process via setrlimit. Used by the
+/// worker child setup and by deterministic OOM fault injection (a tiny
+/// address-space cap makes the next big allocation fail). Async-signal-safe.
+void InstallWorkerLimits(const WorkerLimits& limits);
+
+}  // namespace gqe
+
+#endif  // GQE_BASE_SUBPROCESS_H_

@@ -47,8 +47,10 @@ struct CheckpointDirOptions {
 ///   <dir>/chase-<rounds_completed>.snap   one file per generation
 ///   <dir>/MANIFEST                        generation numbers, ascending
 ///
-/// Every file is written via tmp-file + fsync + rename (WriteFileAtomic),
-/// so readers never observe a torn snapshot: a crash at any point leaves
+/// Every file is written via tmp-file + fsync + rename + directory fsync
+/// (WriteFileAtomic), so readers never observe a torn snapshot and the
+/// renamed generation / MANIFEST survive power loss, not just process
+/// death: a crash at any point leaves
 /// the directory with the previous consistent contents. LoadLatest walks
 /// generations newest-first and falls back past files that fail the
 /// envelope checksum or decode, so one corrupted snapshot costs one

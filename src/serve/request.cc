@@ -1,0 +1,227 @@
+#include "serve/request.h"
+
+#include <cstdlib>
+#include <set>
+#include <sstream>
+
+#include "base/serialize.h"
+
+namespace gqe {
+
+namespace {
+
+bool ParseKind(std::string_view value, RequestKind* kind) {
+  if (value == "chase") *kind = RequestKind::kChase;
+  else if (value == "cq") *kind = RequestKind::kCq;
+  else if (value == "cqs") *kind = RequestKind::kCqs;
+  else if (value == "omq") *kind = RequestKind::kOmq;
+  else return false;
+  return true;
+}
+
+bool ParseU64(std::string_view value, uint64_t* out) {
+  if (value.empty()) return false;
+  uint64_t parsed = 0;
+  for (char c : value) {
+    if (c < '0' || c > '9') return false;
+    parsed = parsed * 10 + static_cast<uint64_t>(c - '0');
+  }
+  *out = parsed;
+  return true;
+}
+
+// fault=kill@12 | stall@3 | oom | cpu | exit:7 — with an optional
+// trailing "/attempt=N" selecting which attempt the fault fires on.
+bool ParseFault(std::string_view value, FaultSpec* fault) {
+  const size_t slash = value.find('/');
+  if (slash != std::string_view::npos) {
+    std::string_view attempt_part = value.substr(slash + 1);
+    if (attempt_part.rfind("attempt=", 0) != 0) return false;
+    uint64_t attempt = 0;
+    if (!ParseU64(attempt_part.substr(8), &attempt) || attempt < 1) {
+      return false;
+    }
+    fault->on_attempt = static_cast<int>(attempt);
+    value = value.substr(0, slash);
+  }
+  const size_t at = value.find('@');
+  std::string_view name = at == std::string_view::npos ? value
+                                                       : value.substr(0, at);
+  uint64_t checkpoint = 0;
+  if (at != std::string_view::npos &&
+      !ParseU64(value.substr(at + 1), &checkpoint)) {
+    return false;
+  }
+  if (name == "kill") {
+    fault->type = FaultSpec::Type::kKill;
+  } else if (name == "stall") {
+    fault->type = FaultSpec::Type::kStall;
+  } else if (name == "oom") {
+    fault->type = FaultSpec::Type::kOom;
+  } else if (name == "cpu") {
+    fault->type = FaultSpec::Type::kCpu;
+  } else if (name.rfind("exit:", 0) == 0) {
+    uint64_t code = 0;
+    if (!ParseU64(name.substr(5), &code) || code > 255) return false;
+    fault->type = FaultSpec::Type::kExit;
+    fault->exit_code = static_cast<int>(code);
+  } else {
+    return false;
+  }
+  fault->at_checkpoint = checkpoint;
+  return true;
+}
+
+std::string JoinPath(const std::string& base, const std::string& path) {
+  if (path.empty() || path.front() == '/' || base.empty()) return path;
+  return base + "/" + path;
+}
+
+}  // namespace
+
+const char* RequestKindName(RequestKind kind) {
+  switch (kind) {
+    case RequestKind::kChase:
+      return "chase";
+    case RequestKind::kCq:
+      return "cq";
+    case RequestKind::kCqs:
+      return "cqs";
+    case RequestKind::kOmq:
+      return "omq";
+  }
+  return "unknown";
+}
+
+bool ParseManifest(std::string_view text, const std::string& base_dir,
+                   Manifest* manifest, std::string* error) {
+  manifest->requests.clear();
+  std::set<std::string> seen_ids;
+  int line_number = 0;
+  size_t pos = 0;
+  while (pos <= text.size()) {
+    size_t end = text.find('\n', pos);
+    if (end == std::string_view::npos) end = text.size();
+    std::string_view line = text.substr(pos, end - pos);
+    pos = end + 1;
+    ++line_number;
+    // Strip comments and surrounding whitespace.
+    const size_t comment = line.find_first_of("#%");
+    if (comment != std::string_view::npos) line = line.substr(0, comment);
+    while (!line.empty() && (line.front() == ' ' || line.front() == '\t' ||
+                             line.front() == '\r')) {
+      line.remove_prefix(1);
+    }
+    while (!line.empty() && (line.back() == ' ' || line.back() == '\t' ||
+                             line.back() == '\r')) {
+      line.remove_suffix(1);
+    }
+    if (line.empty()) {
+      if (end == text.size()) break;
+      continue;
+    }
+
+    EvalRequest request;
+    bool has_id = false, has_kind = false, has_program = false;
+    std::stringstream fields{std::string(line)};
+    std::string field;
+    bool ok = true;
+    std::string problem;
+    while (ok && fields >> field) {
+      const size_t eq = field.find('=');
+      if (eq == std::string::npos) {
+        ok = false;
+        problem = "field '" + field + "' is not key=value";
+        break;
+      }
+      const std::string key = field.substr(0, eq);
+      const std::string value = field.substr(eq + 1);
+      uint64_t number = 0;
+      if (key == "id") {
+        request.id = value;
+        has_id = !value.empty();
+      } else if (key == "kind") {
+        ok = ParseKind(value, &request.kind);
+        has_kind = ok;
+        if (!ok) problem = "unknown kind '" + value + "'";
+      } else if (key == "program") {
+        request.program_path = JoinPath(base_dir, value);
+        has_program = !value.empty();
+      } else if (key == "query") {
+        request.query = value;
+      } else if (key == "max_facts") {
+        ok = ParseU64(value, &number);
+        request.budget.max_facts = static_cast<size_t>(number);
+        if (!ok) problem = "bad max_facts '" + value + "'";
+      } else if (key == "max_nodes") {
+        ok = ParseU64(value, &number);
+        request.budget.max_search_nodes = number;
+        if (!ok) problem = "bad max_nodes '" + value + "'";
+      } else if (key == "deadline_ms") {
+        char* parse_end = nullptr;
+        request.budget.deadline_ms = std::strtod(value.c_str(), &parse_end);
+        ok = parse_end != nullptr && *parse_end == '\0' &&
+             request.budget.deadline_ms >= 0;
+        if (!ok) problem = "bad deadline_ms '" + value + "'";
+      } else if (key == "as_mb") {
+        ok = ParseU64(value, &number);
+        request.address_space_mb = static_cast<size_t>(number);
+        if (!ok) problem = "bad as_mb '" + value + "'";
+      } else if (key == "max_level") {
+        ok = ParseU64(value, &number);
+        request.max_level = static_cast<int>(number);
+        if (!ok) problem = "bad max_level '" + value + "'";
+      } else if (key == "fault") {
+        ok = ParseFault(value, &request.fault);
+        if (!ok) problem = "bad fault spec '" + value + "'";
+      } else {
+        ok = false;
+        problem = "unknown key '" + key + "'";
+      }
+    }
+    if (ok && !has_id) {
+      ok = false;
+      problem = "missing id=";
+    }
+    if (ok && !has_kind) {
+      ok = false;
+      problem = "missing kind=";
+    }
+    if (ok && !has_program) {
+      ok = false;
+      problem = "missing program=";
+    }
+    if (ok && !seen_ids.insert(request.id).second) {
+      ok = false;
+      problem = "duplicate id '" + request.id + "'";
+    }
+    if (!ok) {
+      if (error != nullptr) {
+        *error = "manifest line " + std::to_string(line_number) + ": " +
+                 problem;
+      }
+      return false;
+    }
+    manifest->requests.push_back(std::move(request));
+    if (end == text.size()) break;
+  }
+  return true;
+}
+
+bool ParseManifestFile(const std::string& path, Manifest* manifest,
+                       std::string* error) {
+  std::string text;
+  SnapshotStatus status = ReadFileBytes(path, &text);
+  if (!status.ok()) {
+    if (error != nullptr) *error = status.message;
+    return false;
+  }
+  std::string base_dir = ".";
+  const size_t slash = path.find_last_of('/');
+  if (slash != std::string::npos) {
+    base_dir = slash == 0 ? "/" : path.substr(0, slash);
+  }
+  return ParseManifest(text, base_dir, manifest, error);
+}
+
+}  // namespace gqe

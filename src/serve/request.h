@@ -1,0 +1,110 @@
+#ifndef GQE_SERVE_REQUEST_H_
+#define GQE_SERVE_REQUEST_H_
+
+#include <string>
+#include <vector>
+
+#include "base/governor.h"
+
+namespace gqe {
+
+/// What an evaluation request asks for. Each kind maps onto one of the
+/// repo's engines over a `.gqe` program in the existing parser syntax:
+///   chase  materialize chase(D, Σ) (crash-safe, resumable)
+///   cq     closed-world UCQ evaluation q(D) (no constraints consulted)
+///   cqs    CQS-Evaluation under the constraint promise (Section 3.2)
+///   omq    open-world certain answers Q(D) (Section 3.1)
+enum class RequestKind : int { kChase = 0, kCq = 1, kCqs = 2, kOmq = 3 };
+
+const char* RequestKindName(RequestKind kind);
+
+/// A deterministic fault a worker injects into itself, used by the chaos
+/// tests to exercise every containment path without racing wall clocks.
+/// `at_checkpoint` counts governor checkpoints — deterministic for a
+/// fixed workload — so the fault lands at the same logical point every
+/// run. Applied only on attempt `on_attempt` (default: the first), so a
+/// retry of the same request runs clean.
+struct FaultSpec {
+  enum class Type : int {
+    kNone = 0,
+    /// raise(SIGKILL) at the checkpoint — the kernel's `kill -9`.
+    kKill = 1,
+    /// raise(SIGSTOP) at the checkpoint: the whole worker (heartbeat
+    /// thread included) freezes until the supervisor's heartbeat timeout
+    /// puts it down.
+    kStall = 2,
+    /// A tiny RLIMIT_AS installed before evaluation: the next sizable
+    /// allocation fails and the worker exits with the OOM code.
+    kOom = 3,
+    /// _exit(exit_code) before any work — a spurious worker death.
+    kExit = 4,
+    /// A one-second RLIMIT_CPU installed before evaluation, then a spin
+    /// loop: the kernel delivers SIGXCPU (a cpu-limit death).
+    kCpu = 5,
+  };
+
+  Type type = Type::kNone;
+  /// Governor checkpoint the kill/stall fires at (0 = immediately).
+  uint64_t at_checkpoint = 0;
+  int exit_code = 1;
+  int on_attempt = 1;
+
+  bool active() const { return type != Type::kNone; }
+};
+
+/// One manifest entry.
+struct EvalRequest {
+  std::string id;
+  RequestKind kind = RequestKind::kChase;
+
+  /// Path of the `.gqe` program (facts + TGDs + named queries). Relative
+  /// paths are resolved against the manifest file's directory.
+  std::string program_path;
+
+  /// Query name for cq/cqs/omq kinds. Empty = evaluate every query in
+  /// the program (results are folded in name order, so the answer CRC is
+  /// deterministic).
+  std::string query;
+
+  /// Per-request budget: max_facts / deadline_ms feed the in-process
+  /// governor AND derive the worker's setrlimit caps.
+  ExecutionBudget budget;
+
+  /// Extra address-space headroom knob: hard RLIMIT_AS for the worker in
+  /// megabytes (0 = no cap).
+  size_t address_space_mb = 0;
+
+  /// Chase level bound (chase kind only; negative = unlimited).
+  int max_level = -1;
+
+  /// Deterministic self-fault for chaos tests (manifest syntax:
+  /// fault=kill@12 | stall@12 | oom | cpu | exit:3, optional
+  /// "/attempt=N").
+  FaultSpec fault;
+};
+
+struct Manifest {
+  std::vector<EvalRequest> requests;
+};
+
+/// Parses manifest text. One request per line, `#`/`%` comments, blank
+/// lines ignored. Each line is space-separated key=value fields:
+///
+///   id=r1 kind=chase program=tc.gqe max_facts=100000 deadline_ms=5000
+///   id=r2 kind=omq program=univ.gqe query=q as_mb=512
+///   id=r3 kind=cqs program=promise.gqe query=q fault=kill@8
+///
+/// Required: id (unique), kind, program. Unknown keys are an error (a
+/// typo must not silently change a request). `base_dir` resolves
+/// relative program paths.
+bool ParseManifest(std::string_view text, const std::string& base_dir,
+                   Manifest* manifest, std::string* error);
+
+/// Reads and parses a manifest file; relative program paths resolve
+/// against the file's directory.
+bool ParseManifestFile(const std::string& path, Manifest* manifest,
+                       std::string* error);
+
+}  // namespace gqe
+
+#endif  // GQE_SERVE_REQUEST_H_

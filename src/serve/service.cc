@@ -1,0 +1,604 @@
+#include "serve/service.h"
+
+#include <signal.h>
+#include <stdlib.h>
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <thread>
+#include <utility>
+
+#include "base/subprocess.h"
+#include "workload/report.h"
+
+namespace gqe {
+
+namespace {
+
+// splitmix64 / xorshift-style mixing for deterministic, order-independent
+// chaos and jitter draws: every (request id, attempt) pair gets its own
+// stream, so concurrent scheduling cannot reorder the randomness.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+uint64_t HashId(const std::string& id) {
+  uint64_t h = 0xcbf29ce484222325ull;
+  for (char c : id) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+double UnitDraw(uint64_t* state) {
+  *state = Mix64(*state);
+  return static_cast<double>(*state >> 11) /
+         static_cast<double>(1ull << 53);
+}
+
+std::string SanitizeId(const std::string& id) {
+  std::string out;
+  out.reserve(id.size());
+  for (char c : id) {
+    const bool keep = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                      (c >= '0' && c <= '9') || c == '-' || c == '_' ||
+                      c == '.';
+    out.push_back(keep ? c : '_');
+  }
+  return out.empty() ? "request" : out;
+}
+
+std::string SignalCauseName(int sig) {
+  switch (sig) {
+    case SIGKILL:
+      return "sigkill";
+    case SIGSEGV:
+      return "sigsegv";
+    case SIGBUS:
+      return "sigbus";
+    case SIGABRT:
+      return "sigabrt";
+    case SIGXCPU:
+      return "cpu-limit";
+    case SIGTERM:
+      return "sigterm";
+    default:
+      return "signal:" + std::to_string(sig);
+  }
+}
+
+bool PermanentExitCode(int code) {
+  return code == kWorkerExitParseError || code == kWorkerExitBadRequest;
+}
+
+struct Job {
+  const EvalRequest* request = nullptr;
+  size_t index = 0;
+  bool done = false;
+  bool running = false;
+  bool degraded_phase = false;
+  int exact_attempts = 0;     // exact attempts finished
+  int degraded_attempts = 0;  // degraded attempts finished
+  int attempt_number = 0;     // 1-based across both phases
+  double ready_at = 0.0;
+  double next_backoff_ms = 0.0;
+  RequestRow row;
+};
+
+struct Inflight {
+  WorkerProcess proc;
+  size_t job = 0;
+  double started_at = 0.0;
+  double last_beat = 0.0;
+  AttemptRecord record;
+  std::string kill_cause;  // set when the supervisor decided the death
+};
+
+class Supervisor {
+ public:
+  Supervisor(const Manifest& manifest, const ServeOptions& options)
+      : options_(options) {
+    jobs_.reserve(manifest.requests.size());
+    for (size_t i = 0; i < manifest.requests.size(); ++i) {
+      Job job;
+      job.request = &manifest.requests[i];
+      job.index = i;
+      job.row.manifest_index = i;
+      job.row.id = job.request->id;
+      job.row.kind = job.request->kind;
+      jobs_.push_back(std::move(job));
+    }
+  }
+
+  ServeReport Run() {
+    SetUpWorkDir();
+    AdmitOrShed();
+    while (!AllDone()) {
+      const double now = clock_.ElapsedMs();
+      LaunchReady(now);
+      const bool progressed = PollInflight(now);
+      if (!progressed) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    }
+    ServeReport report;
+    for (Job& job : jobs_) {
+      job.row.total_ms = clock_.ElapsedMs();
+      switch (job.row.state) {
+        case TerminalState::kCompleted:
+          ++report.completed;
+          break;
+        case TerminalState::kDegraded:
+          ++report.degraded;
+          break;
+        case TerminalState::kFailed:
+          ++report.failed;
+          break;
+        case TerminalState::kShed:
+          ++report.shed;
+          break;
+      }
+      report.rows.push_back(std::move(job.row));
+    }
+    report.wall_ms = clock_.ElapsedMs();
+    TearDownWorkDir();
+    return report;
+  }
+
+ private:
+  void SetUpWorkDir() {
+    if (!options_.work_dir.empty()) {
+      work_dir_ = options_.work_dir;
+      std::error_code ec;
+      std::filesystem::create_directories(work_dir_, ec);
+      return;
+    }
+    const char* tmpdir = ::getenv("TMPDIR");
+    std::string templ = std::string(tmpdir != nullptr ? tmpdir : "/tmp") +
+                        "/gqe-serve-XXXXXX";
+    std::vector<char> buffer(templ.begin(), templ.end());
+    buffer.push_back('\0');
+    if (::mkdtemp(buffer.data()) != nullptr) {
+      work_dir_ = buffer.data();
+      owns_work_dir_ = true;
+    }
+    // On mkdtemp failure workers run without checkpoint dirs: retries
+    // recompute from scratch — degraded crash recovery, not a crash.
+  }
+
+  void TearDownWorkDir() {
+    if (owns_work_dir_ && !options_.keep_work_dir && !work_dir_.empty()) {
+      std::error_code ec;
+      std::filesystem::remove_all(work_dir_, ec);
+    }
+  }
+
+  /// Admission control: the batch arrives at once; waiting requests past
+  /// queue_capacity are shed with a structured row, never silently
+  /// dropped and never allowed to grow the queue without bound.
+  void AdmitOrShed() {
+    if (options_.queue_capacity == 0) return;
+    for (Job& job : jobs_) {
+      if (job.index < options_.queue_capacity) continue;
+      job.done = true;
+      job.row.state = TerminalState::kShed;
+      job.row.failure_cause = "queue-full";
+    }
+  }
+
+  bool AllDone() const {
+    for (const Job& job : jobs_) {
+      if (!job.done) return false;
+    }
+    return true;
+  }
+
+  int MaxConcurrency() const {
+    return options_.concurrency > 0 ? options_.concurrency : 1;
+  }
+
+  /// Draws the fault this attempt self-injects: a manifest fault pinned
+  /// to this attempt wins; otherwise chaos rolls its per-(id, attempt)
+  /// dice. Degraded attempts and (by default) the final exact attempt
+  /// are spared — see ChaosConfig::spare_final_attempt.
+  FaultSpec ResolveFault(const Job& job, bool* chaos_injected) {
+    *chaos_injected = false;
+    FaultSpec fault;
+    if (job.degraded_phase) return fault;
+    const int upcoming = job.exact_attempts + 1;
+    const EvalRequest& request = *job.request;
+    if (request.fault.active() && request.fault.on_attempt == upcoming) {
+      return request.fault;
+    }
+    const ChaosConfig& chaos = options_.chaos;
+    if (!chaos.enabled()) return fault;
+    if (chaos.spare_final_attempt && upcoming >= options_.max_attempts) {
+      return fault;
+    }
+    uint64_t state = Mix64(chaos.seed ^ HashId(request.id) ^
+                           (static_cast<uint64_t>(upcoming) << 32));
+    const double roll = UnitDraw(&state);
+    if (roll < chaos.kill_p) {
+      fault.type = FaultSpec::Type::kKill;
+    } else if (roll < chaos.kill_p + chaos.stall_p) {
+      fault.type = FaultSpec::Type::kStall;
+    } else if (roll < chaos.kill_p + chaos.stall_p + chaos.oom_p) {
+      fault.type = FaultSpec::Type::kOom;
+    } else {
+      return fault;
+    }
+    const uint64_t max_ckpt = chaos.max_checkpoint > 0 ? chaos.max_checkpoint
+                                                       : 1;
+    fault.at_checkpoint =
+        1 + (Mix64(state) % max_ckpt);
+    *chaos_injected = true;
+    return fault;
+  }
+
+  ExecutionBudget DegradedBudget(const ExecutionBudget& base) const {
+    ExecutionBudget budget = base;
+    if (options_.degraded_max_facts > 0 &&
+        (budget.max_facts == 0 ||
+         budget.max_facts > options_.degraded_max_facts)) {
+      budget.max_facts = options_.degraded_max_facts;
+    }
+    if (options_.degraded_max_nodes > 0 &&
+        (budget.max_search_nodes == 0 ||
+         budget.max_search_nodes > options_.degraded_max_nodes)) {
+      budget.max_search_nodes = options_.degraded_max_nodes;
+    }
+    if (options_.degraded_deadline_ms > 0 &&
+        (budget.deadline_ms == 0 ||
+         budget.deadline_ms > options_.degraded_deadline_ms)) {
+      budget.deadline_ms = options_.degraded_deadline_ms;
+    }
+    return budget;
+  }
+
+  void LaunchReady(double now) {
+    for (Job& job : jobs_) {
+      if (static_cast<int>(inflight_.size()) >= MaxConcurrency()) return;
+      if (job.done || job.running || job.ready_at > now) continue;
+      StartAttempt(job, now);
+    }
+  }
+
+  void StartAttempt(Job& job, double now) {
+    ++job.attempt_number;
+
+    WorkerInvocation invocation;
+    invocation.request = *job.request;
+    invocation.attempt = job.attempt_number;
+    invocation.degraded = job.degraded_phase;
+    invocation.degraded_fallback_level = options_.degraded_fallback_level;
+    invocation.heartbeat_interval_ms = options_.heartbeat_interval_ms;
+    if (!work_dir_.empty()) {
+      invocation.checkpoint_dir =
+          work_dir_ + "/" + SanitizeId(job.request->id);
+    }
+    if (job.degraded_phase) {
+      invocation.request.budget = DegradedBudget(job.request->budget);
+    }
+    bool chaos_injected = false;
+    invocation.fault = ResolveFault(job, &chaos_injected);
+
+    WorkerLimits limits;
+    if (invocation.request.budget.deadline_ms > 0) {
+      // CPU rlimit backs up the in-process deadline: generous headroom
+      // (4x + 1s) so it only fires when the governor failed to.
+      limits.cpu_seconds =
+          invocation.request.budget.deadline_ms / 1000.0 * 4.0 + 1.0;
+    }
+    limits.address_space_bytes = invocation.request.address_space_mb << 20;
+
+    Inflight flight;
+    flight.job = job.index;
+    flight.started_at = now;
+    flight.last_beat = now;
+    flight.record.attempt = job.attempt_number;
+    flight.record.degraded = job.degraded_phase;
+    flight.record.chaos = chaos_injected;
+    flight.record.backoff_ms = job.next_backoff_ms;
+    job.next_backoff_ms = 0.0;
+
+    std::string error;
+    const bool spawned = WorkerProcess::Spawn(
+        limits,
+        [invocation](int result_fd, int heartbeat_fd) {
+          return RunWorkerInProcess(invocation, result_fd, heartbeat_fd);
+        },
+        &flight.proc, &error);
+    if (options_.verbose) {
+      std::printf("serve: start id=%s attempt=%d%s%s\n",
+                  job.request->id.c_str(), job.attempt_number,
+                  job.degraded_phase ? " (degraded)" : "",
+                  chaos_injected ? " (chaos)" : "");
+    }
+    if (!spawned) {
+      flight.record.cause = "spawn-error";
+      flight.record.ms = 0.0;
+      job.row.attempts.push_back(flight.record);
+      FinishAttempt(job, flight.record.cause, /*permanent=*/false, nullptr,
+                    now);
+      return;
+    }
+    job.running = true;
+    inflight_.push_back(std::move(flight));
+  }
+
+  bool PollInflight(double now) {
+    bool progressed = false;
+    for (size_t i = 0; i < inflight_.size();) {
+      Inflight& flight = inflight_[i];
+      if (flight.proc.DrainHeartbeats() > 0) flight.last_beat = now;
+      flight.proc.DrainResult();
+
+      if (flight.proc.Poll()) {
+        progressed = true;
+        HandleExit(flight, now);
+        inflight_[i] = std::move(inflight_.back());
+        inflight_.pop_back();
+        continue;
+      }
+      if (flight.kill_cause.empty()) {
+        if (options_.heartbeat_timeout_ms > 0 &&
+            now - flight.last_beat > options_.heartbeat_timeout_ms) {
+          flight.kill_cause = "heartbeat-timeout";
+          flight.proc.Kill(SIGKILL);
+        } else if (options_.wall_timeout_ms > 0 &&
+                   now - flight.started_at > options_.wall_timeout_ms) {
+          flight.kill_cause = "wall-timeout";
+          flight.proc.Kill(SIGKILL);
+        }
+      }
+      ++i;
+    }
+    return progressed;
+  }
+
+  void HandleExit(Inflight& flight, double now) {
+    Job& job = jobs_[flight.job];
+    job.running = false;
+    flight.record.ms = now - flight.started_at;
+
+    const WorkerExit& exit = flight.proc.exit_status();
+    std::string cause;
+    bool permanent = false;
+    WorkerResult decoded;
+    const WorkerResult* result = nullptr;
+
+    if (exit.exited && exit.exit_code == kWorkerExitOk) {
+      const SnapshotStatus status =
+          DecodeWorkerResult(flight.proc.result_bytes(), &decoded);
+      if (status.ok()) {
+        cause = "ok";
+        result = &decoded;
+      } else {
+        cause = "bad-result";
+      }
+    } else if (exit.exited) {
+      cause = WorkerExitCodeName(exit.exit_code);
+      if (std::strcmp(cause.c_str(), "exit") == 0) {
+        cause = "exit:" + std::to_string(exit.exit_code);
+      }
+      permanent = PermanentExitCode(exit.exit_code);
+    } else if (exit.signaled) {
+      cause = !flight.kill_cause.empty() ? flight.kill_cause
+                                         : SignalCauseName(exit.term_signal);
+    } else {
+      cause = "unknown-exit";
+    }
+
+    flight.record.cause = cause;
+    job.row.attempts.push_back(flight.record);
+    if (options_.verbose) {
+      std::printf("serve: end id=%s attempt=%d cause=%s (%.1f ms)\n",
+                  job.request->id.c_str(), flight.record.attempt,
+                  cause.c_str(), flight.record.ms);
+    }
+    FinishAttempt(job, cause, permanent, result, now);
+  }
+
+  /// Walks the containment ladder: success -> terminal; retry budget
+  /// left -> exponential backoff + jitter; exact budget exhausted ->
+  /// degraded phase; everything exhausted -> structured FAILED row.
+  void FinishAttempt(Job& job, const std::string& cause, bool permanent,
+                     const WorkerResult* result, double now) {
+    if (job.degraded_phase) {
+      ++job.degraded_attempts;
+    } else {
+      ++job.exact_attempts;
+    }
+
+    if (result != nullptr) {
+      job.done = true;
+      job.row.state = job.degraded_phase ? TerminalState::kDegraded
+                                         : TerminalState::kCompleted;
+      job.row.result = *result;
+      return;
+    }
+    if (permanent) {
+      job.done = true;
+      job.row.state = TerminalState::kFailed;
+      job.row.failure_cause = cause;
+      return;
+    }
+
+    const bool exact_left =
+        !job.degraded_phase && job.exact_attempts < options_.max_attempts;
+    const bool can_degrade =
+        options_.enable_degraded_ladder && options_.degraded_attempts > 0 &&
+        (!job.degraded_phase ||
+         job.degraded_attempts < options_.degraded_attempts);
+
+    if (!exact_left && !job.degraded_phase) {
+      if (!can_degrade) {
+        job.done = true;
+        job.row.state = TerminalState::kFailed;
+        job.row.failure_cause = cause;
+        return;
+      }
+      job.degraded_phase = true;
+    } else if (job.degraded_phase &&
+               job.degraded_attempts >= options_.degraded_attempts) {
+      job.done = true;
+      job.row.state = TerminalState::kFailed;
+      job.row.failure_cause = cause;
+      return;
+    }
+
+    // Exponential backoff with deterministic jitter in [0.5, 1.5).
+    const int phase_attempts = job.degraded_phase ? job.degraded_attempts
+                                                  : job.exact_attempts;
+    const int exponent = phase_attempts > 0 ? phase_attempts - 1 : 0;
+    double delay = options_.backoff_base_ms * std::ldexp(1.0, exponent);
+    if (options_.backoff_cap_ms > 0 && delay > options_.backoff_cap_ms) {
+      delay = options_.backoff_cap_ms;
+    }
+    uint64_t state = Mix64(options_.jitter_seed ^ HashId(job.request->id) ^
+                           (static_cast<uint64_t>(job.attempt_number) << 40));
+    delay *= 0.5 + UnitDraw(&state);
+    job.ready_at = now + delay;
+    job.next_backoff_ms = delay;
+    job.row.retry_wait_ms += delay;
+  }
+
+  const ServeOptions& options_;
+  std::vector<Job> jobs_;
+  std::vector<Inflight> inflight_;
+  Stopwatch clock_;
+  std::string work_dir_;
+  bool owns_work_dir_ = false;
+};
+
+}  // namespace
+
+const char* TerminalStateName(TerminalState state) {
+  switch (state) {
+    case TerminalState::kCompleted:
+      return "completed";
+    case TerminalState::kDegraded:
+      return "degraded";
+    case TerminalState::kFailed:
+      return "failed";
+    case TerminalState::kShed:
+      return "shed";
+  }
+  return "unknown";
+}
+
+bool ParseChaosSpec(std::string_view spec, ChaosConfig* config,
+                    std::string* error) {
+  size_t pos = 0;
+  while (pos < spec.size()) {
+    size_t end = spec.find(',', pos);
+    if (end == std::string_view::npos) end = spec.size();
+    std::string_view field = spec.substr(pos, end - pos);
+    pos = end + 1;
+    if (field.empty()) continue;
+    const size_t eq = field.find('=');
+    if (eq == std::string_view::npos) {
+      if (error != nullptr) {
+        *error = "chaos field '" + std::string(field) + "' is not key=value";
+      }
+      return false;
+    }
+    const std::string key(field.substr(0, eq));
+    const std::string value(field.substr(eq + 1));
+    char* parse_end = nullptr;
+    const double p = std::strtod(value.c_str(), &parse_end);
+    const bool numeric = parse_end != nullptr && *parse_end == '\0';
+    if (key == "kill" && numeric && p >= 0 && p <= 1) {
+      config->kill_p = p;
+    } else if (key == "oom" && numeric && p >= 0 && p <= 1) {
+      config->oom_p = p;
+    } else if (key == "stall" && numeric && p >= 0 && p <= 1) {
+      config->stall_p = p;
+    } else if (key == "seed" && numeric && p >= 0) {
+      config->seed = static_cast<uint64_t>(p);
+    } else if (key == "ckpt" && numeric && p >= 1) {
+      config->max_checkpoint = static_cast<uint64_t>(p);
+    } else {
+      if (error != nullptr) {
+        *error = "bad chaos field '" + std::string(field) +
+                 "' (want kill|oom|stall=probability, seed=N or ckpt=N)";
+      }
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string ServeReport::DeterministicText() const {
+  std::string out;
+  char buffer[256];
+  for (const RequestRow& row : rows) {
+    out += "result: id=" + row.id +
+           " kind=" + RequestKindName(row.kind) +
+           " state=" + TerminalStateName(row.state);
+    if (row.state == TerminalState::kFailed ||
+        row.state == TerminalState::kShed) {
+      out += " cause=" + row.failure_cause;
+    } else {
+      std::snprintf(buffer, sizeof(buffer),
+                    " status=%s exact=%s method=%s answers=%llu crc=%08x "
+                    "facts=%llu rounds=%llu",
+                    StatusName(row.result.status),
+                    row.result.exact ? "yes" : "no",
+                    row.result.method.c_str(),
+                    static_cast<unsigned long long>(row.result.answer_count),
+                    row.result.answer_crc,
+                    static_cast<unsigned long long>(row.result.facts),
+                    static_cast<unsigned long long>(
+                        row.result.rounds_completed));
+      out += buffer;
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+void ServeReport::PrintOps(const std::string& title) const {
+  ReportTable table({"id", "kind", "state", "attempts", "causes",
+                     "resumed gen", "rounds", "eval ms", "retry wait ms"});
+  for (const RequestRow& row : rows) {
+    std::string causes;
+    for (const AttemptRecord& attempt : row.attempts) {
+      if (!causes.empty()) causes += ",";
+      causes += attempt.cause;
+      if (attempt.chaos) causes += "*";
+    }
+    if (causes.empty()) causes = "-";
+    table.AddRow({row.id, RequestKindName(row.kind),
+                  TerminalStateName(row.state),
+                  ReportTable::Cell(row.attempts.size()), causes,
+                  row.result.resumed
+                      ? ReportTable::Cell(
+                            static_cast<size_t>(row.result.resume_generation))
+                      : std::string("-"),
+                  ReportTable::Cell(
+                      static_cast<size_t>(row.result.rounds_completed)),
+                  ReportTable::Cell(row.result.eval_ms),
+                  ReportTable::Cell(row.retry_wait_ms)});
+  }
+  table.Print(title);
+  std::printf(
+      "serve: %zu completed, %zu degraded, %zu failed, %zu shed "
+      "in %.1f ms (chaos marked *)\n",
+      completed, degraded, failed, shed, wall_ms);
+}
+
+ServeReport ServeManifest(const Manifest& manifest,
+                          const ServeOptions& options) {
+  Supervisor supervisor(manifest, options);
+  return supervisor.Run();
+}
+
+}  // namespace gqe

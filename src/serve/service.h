@@ -1,0 +1,163 @@
+#ifndef GQE_SERVE_SERVICE_H_
+#define GQE_SERVE_SERVICE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "serve/request.h"
+#include "serve/worker.h"
+
+namespace gqe {
+
+/// Chaos-injection configuration (`--chaos kill=p,oom=p,stall=p`): each
+/// non-degraded attempt independently draws one fault with the given
+/// probabilities from a deterministic per-(request, attempt) PRNG, so a
+/// chaos run is reproducible bit-for-bit from its seed regardless of
+/// scheduling order.
+struct ChaosConfig {
+  double kill_p = 0.0;
+  double oom_p = 0.0;
+  double stall_p = 0.0;
+  uint64_t seed = 1;
+
+  /// Injected kills/stalls fire at a random governor checkpoint in
+  /// [1, max_checkpoint] — early enough to land mid-run on real work.
+  uint64_t max_checkpoint = 4096;
+
+  /// Never inject into a request's final exact attempt. This keeps chaos
+  /// a test of the *containment* path, not the degradation path: with it,
+  /// every request reaches the terminal state of a fault-free run (the
+  /// soak criterion), even at kill probability 1.
+  bool spare_final_attempt = true;
+
+  bool enabled() const { return kill_p > 0 || oom_p > 0 || stall_p > 0; }
+};
+
+/// Parses "kill=0.3,oom=0.1,stall=0.1" (any subset, any order). Also
+/// accepts "seed=N" and "ckpt=N" (max_checkpoint — match it to the
+/// workload size so injected kills land mid-run instead of after it).
+bool ParseChaosSpec(std::string_view spec, ChaosConfig* config,
+                    std::string* error);
+
+/// Daemon policy knobs.
+struct ServeOptions {
+  /// Workers running at once. The supervisor itself stays single-threaded
+  /// (fork safety); concurrency comes from overlapping children.
+  int concurrency = 4;
+
+  /// Admission control: requests beyond this many waiting are shed with a
+  /// structured row instead of queued without bound. 0 = unbounded.
+  size_t queue_capacity = 0;
+
+  /// Exact attempts per request before the degradation ladder.
+  int max_attempts = 5;
+
+  /// Exponential backoff between attempts: min(cap, base * 2^(n-1)),
+  /// scaled by deterministic jitter in [0.5, 1.5) from `jitter_seed`.
+  double backoff_base_ms = 25.0;
+  double backoff_cap_ms = 1000.0;
+  uint64_t jitter_seed = 1;
+
+  /// Worker liveness: the child heartbeats every `heartbeat_interval_ms`;
+  /// missing beats for `heartbeat_timeout_ms` gets it SIGKILLed (this is
+  /// what catches SIGSTOP stalls and livelocks). A non-zero
+  /// `wall_timeout_ms` additionally caps each attempt's wall clock.
+  double heartbeat_interval_ms = 20.0;
+  double heartbeat_timeout_ms = 1500.0;
+  double wall_timeout_ms = 0.0;
+
+  /// Checkpoint root: each request gets <work_dir>/<id>/ so retries
+  /// resume instead of recomputing. Empty = a fresh temp directory,
+  /// removed when the report is done (unless keep_work_dir).
+  std::string work_dir;
+  bool keep_work_dir = false;
+
+  ChaosConfig chaos;
+
+  /// Graceful degradation after the exact retry budget: up to
+  /// `degraded_attempts` runs under the tighter degraded_* budget
+  /// (answers flagged inexact), and only then a structured FAILED row.
+  bool enable_degraded_ladder = true;
+  int degraded_attempts = 2;
+  size_t degraded_max_facts = 20000;
+  uint64_t degraded_max_nodes = 500000;
+  double degraded_deadline_ms = 2000.0;
+  int degraded_fallback_level = 3;
+
+  /// Per-attempt progress lines on stdout.
+  bool verbose = false;
+};
+
+/// Terminal state of a request. Every admitted request ends in exactly
+/// one of these — the daemon never drops a request on the floor.
+enum class TerminalState : int {
+  kCompleted = 0,  // exact evaluation succeeded
+  kDegraded = 1,   // degraded-ladder answer (sound, flagged inexact)
+  kFailed = 2,     // structured failure row with the worker's exit cause
+  kShed = 3,       // rejected by admission control
+};
+
+const char* TerminalStateName(TerminalState state);
+
+/// One worker attempt as the supervisor saw it.
+struct AttemptRecord {
+  int attempt = 1;
+  bool degraded = false;
+  /// "ok", "sigkill", "sigsegv", "cpu-limit", "oom", "heartbeat-timeout",
+  /// "wall-timeout", "parse-error", "bad-request", "bad-result",
+  /// "spawn-error", "exit:<code>" or "signal:<n>".
+  std::string cause;
+  /// True when the supervisor injected a chaos fault into this attempt.
+  bool chaos = false;
+  double ms = 0.0;
+  /// Backoff waited before this attempt started.
+  double backoff_ms = 0.0;
+};
+
+/// Final per-request row.
+struct RequestRow {
+  size_t manifest_index = 0;
+  std::string id;
+  RequestKind kind = RequestKind::kChase;
+  TerminalState state = TerminalState::kFailed;
+  /// Valid for kCompleted / kDegraded.
+  WorkerResult result;
+  /// Last attempt's cause for kFailed ("queue-full" for kShed).
+  std::string failure_cause;
+  std::vector<AttemptRecord> attempts;
+  double total_ms = 0.0;
+  double retry_wait_ms = 0.0;
+};
+
+struct ServeReport {
+  std::vector<RequestRow> rows;  // manifest order
+  size_t completed = 0;
+  size_t degraded = 0;
+  size_t failed = 0;
+  size_t shed = 0;
+  double wall_ms = 0.0;
+
+  /// One "result:" line per request, manifest order, containing only
+  /// fault-invariant fields (terminal state, status, answer digest,
+  /// counts — no attempts, no latency). A chaos run and a fault-free run
+  /// of the same manifest produce bit-identical text; the chaos smoke
+  /// diffs exactly this.
+  std::string DeterministicText() const;
+
+  /// Operational tables (attempts, causes, resume generations, latency,
+  /// retry waits) via ReportTable — the part that legitimately differs
+  /// under chaos.
+  void PrintOps(const std::string& title) const;
+};
+
+/// Runs every manifest request to a terminal state in fork-isolated
+/// workers under the options' containment policy. Never throws for
+/// worker-side trouble; the process running ServeManifest survives any
+/// worker segfault, OOM kill, rlimit trip or stall.
+ServeReport ServeManifest(const Manifest& manifest,
+                          const ServeOptions& options);
+
+}  // namespace gqe
+
+#endif  // GQE_SERVE_SERVICE_H_

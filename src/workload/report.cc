@@ -1,8 +1,12 @@
 #include "workload/report.h"
 
+#include <signal.h>
+
+#include <atomic>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 
 namespace gqe {
 
@@ -129,20 +133,48 @@ CheckpointFlags ParseCheckpointFlags(int* argc, char** argv) {
 
 namespace {
 
-// The token the signal handlers cancel. CancelToken copies share one
-// atomic flag and RequestCancel is a lock-free store, so calling it from
-// a signal handler is async-signal-safe.
-CancelToken g_signal_token;
+// Signal-handler state. The handler itself touches only async-signal-safe
+// primitives: a volatile sig_atomic_t flag and a store through a
+// lock-free std::atomic<bool>* loaded from an atomic pointer. It must
+// NOT call CancelToken::RequestCancel directly — dereferencing the
+// token's shared_ptr control block (and especially rebinding the global
+// token while a signal is in flight) is not async-signal-safe. The
+// shared_ptr itself is kept alive by g_signal_token, which is only
+// assigned *before* the raw pointer is published.
+volatile std::sig_atomic_t g_signal_caught = 0;
+std::atomic<std::atomic<bool>*> g_signal_flag{nullptr};
+CancelToken g_signal_token;  // owns the flag the handler stores through
 
-void BenchSignalHandler(int) { g_signal_token.RequestCancel(); }
+void BenchSignalHandler(int) {
+  g_signal_caught = 1;
+  std::atomic<bool>* flag = g_signal_flag.load(std::memory_order_acquire);
+  if (flag != nullptr) flag->store(true, std::memory_order_release);
+  // No stream I/O, no allocation, no shared_ptr ops here: anything else
+  // (a progress message, a checkpoint) happens cooperatively once the
+  // engines observe the tripped token at their next governor checkpoint.
+}
 
 }  // namespace
 
 void InstallBenchSignalHandlers(const CancelToken& token) {
+  // Unpublish the old flag first so a signal landing mid-rebind either
+  // sees the old (still-owned) flag or none — never a dangling pointer.
+  g_signal_flag.store(nullptr, std::memory_order_release);
   g_signal_token = token;
-  std::signal(SIGINT, BenchSignalHandler);
-  std::signal(SIGTERM, BenchSignalHandler);
+  g_signal_flag.store(g_signal_token.SignalSafeFlag(),
+                      std::memory_order_release);
+
+  struct sigaction action;
+  std::memset(&action, 0, sizeof(action));
+  action.sa_handler = BenchSignalHandler;
+  sigemptyset(&action.sa_mask);
+  // No SA_RESTART: slow syscalls return EINTR so bench loops re-check the
+  // token promptly instead of blocking through the cancellation.
+  ::sigaction(SIGINT, &action, nullptr);
+  ::sigaction(SIGTERM, &action, nullptr);
 }
+
+bool BenchSignalCaught() { return g_signal_caught != 0; }
 
 void BenchWatchdog::Record(const std::string& config, const Outcome& outcome) {
   entries_.push_back({config, outcome});

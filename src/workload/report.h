@@ -57,13 +57,20 @@ struct CheckpointFlags {
 /// Parses and strips the checkpoint flags from argv.
 CheckpointFlags ParseCheckpointFlags(int* argc, char** argv);
 
-/// Routes SIGINT/SIGTERM to `token.RequestCancel()`. Chase rounds are
-/// transactional and cancellation trips at a round boundary, so an
+/// Routes SIGINT/SIGTERM to the token's cancellation flag. The installed
+/// handler is strictly async-signal-safe: it sets a volatile
+/// sig_atomic_t and stores through the token's lock-free atomic flag —
+/// no stream I/O, no allocation, no shared_ptr operations. Chase rounds
+/// are transactional and cancellation trips at a round boundary, so an
 /// interrupted bench still writes a final consistent checkpoint and
 /// prints its partial report table before exiting — only `kill -9`
 /// (untrappable) loses the tail since the last snapshot. Call once per
 /// process; a second call rebinds the handlers to the new token.
 void InstallBenchSignalHandlers(const CancelToken& token);
+
+/// True once a SIGINT/SIGTERM was delivered to the installed handler
+/// (reads the handler's volatile sig_atomic_t flag).
+bool BenchSignalCaught();
 
 /// Watchdog for governed bench runs: records each configuration's
 /// Outcome and prints a timeout-vs-complete summary. Dichotomy benches

@@ -5,10 +5,15 @@
 
 #include <gtest/gtest.h>
 
+#include <cerrno>
 #include <cstdio>
+#include <filesystem>
 #include <string>
+#include <vector>
 
 #include "base/serialize.h"
+#include "chase/chase.h"
+#include "chase/checkpoint.h"
 #include "parser/parser.h"
 
 namespace gqe {
@@ -234,6 +239,120 @@ TEST(SerializeTest, ToStringRoundTripCommaInsideAtoms) {
   ASSERT_TRUE(parsed.ok) << parsed.error;
   ASSERT_EQ(parsed.program.database.size(), 1u);
   EXPECT_EQ(parsed.program.database.atom(0), original.atom(0));
+}
+
+/// Clears the write fault injector even when an ASSERT unwinds the test.
+struct ScopedWriteFault {
+  explicit ScopedWriteFault(WriteFaultInjectorForTest* injector) {
+    SetWriteFaultInjectorForTest(injector);
+  }
+  ~ScopedWriteFault() { SetWriteFaultInjectorForTest(nullptr); }
+};
+
+TEST(SerializeTest, EnospcDuringAtomicWriteKeepsPreviousFile) {
+  const std::string path = ::testing::TempDir() + "gqe_fault_enospc.snap";
+  std::filesystem::remove(path);
+  ASSERT_TRUE(WriteFileAtomic(path, "generation-one").ok());
+
+  // The "device" fills up immediately: the very first write fails with
+  // ENOSPC. The failure must be a clean kIoError — and the previously
+  // renamed file must be untouched (the tmp file never reached it).
+  WriteFaultInjectorForTest injector;
+  injector.fail_after_bytes = 0;
+  injector.error = ENOSPC;
+  {
+    ScopedWriteFault scoped(&injector);
+    SnapshotStatus status = WriteFileAtomic(path, "generation-two");
+    EXPECT_EQ(status.error, SnapshotError::kIoError);
+    EXPECT_NE(status.message.find("No space"), std::string::npos)
+        << status.message;
+  }
+  std::string back;
+  ASSERT_TRUE(ReadFileBytes(path, &back).ok());
+  EXPECT_EQ(back, "generation-one");
+}
+
+TEST(SerializeTest, ShortWritesThenFailureKeepsPreviousFile) {
+  const std::string path = ::testing::TempDir() + "gqe_fault_short.snap";
+  std::filesystem::remove(path);
+  ASSERT_TRUE(WriteFileAtomic(path, "old-snapshot-bytes").ok());
+
+  // Room for 7 bytes: the write loop sees short writes (exercising its
+  // resume-at-offset arithmetic) before the hard ENOSPC. Still kIoError,
+  // still the old file.
+  WriteFaultInjectorForTest injector;
+  injector.fail_after_bytes = 7;
+  injector.error = ENOSPC;
+  {
+    ScopedWriteFault scoped(&injector);
+    SnapshotStatus status =
+        WriteFileAtomic(path, "a-much-longer-new-snapshot-payload");
+    EXPECT_EQ(status.error, SnapshotError::kIoError);
+    EXPECT_EQ(injector.written, 7u);  // the short write happened
+  }
+  std::string back;
+  ASSERT_TRUE(ReadFileBytes(path, &back).ok());
+  EXPECT_EQ(back, "old-snapshot-bytes");
+  // No half-written tmp file left behind next to the snapshot.
+  const std::string dir = ::testing::TempDir();
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    EXPECT_EQ(entry.path().string().find("gqe_fault_short.snap.tmp"),
+              std::string::npos)
+        << entry.path();
+  }
+}
+
+TEST(SerializeTest, CheckpointSaveFaultKeepsPreviousGeneration) {
+  // A real two-round chase provides genuine checkpoint states.
+  TgdSet sigma = ParseTgds("swa(X) -> swb(X). swb(X) -> swc(X).");
+  Instance db;
+  db.Insert(Atom::Make("swa", {Term::Constant("sw1")}));
+  db.Insert(Atom::Make("swa", {Term::Constant("sw2")}));
+
+  struct CollectingSink : ChaseCheckpointSink {
+    std::vector<ChaseCheckpointState> states;
+    void Write(const ChaseCheckpointState& state, bool) override {
+      states.push_back(state);
+    }
+  } sink;
+  ChaseOptions options;
+  options.checkpoint_sink = &sink;
+  options.checkpoint_every = 1;
+  Chase(db, sigma, options);
+  ASSERT_GE(sink.states.size(), 2u);
+  const uint32_t fingerprint = ChaseWorkloadFingerprint(db, sigma, options);
+
+  const std::string dir = ::testing::TempDir() + "gqe_fault_ckpt_dir";
+  std::filesystem::remove_all(dir);
+  CheckpointDir checkpoints(dir);
+  ASSERT_TRUE(checkpoints.Save(sink.states[0], fingerprint).ok());
+
+  // The next generation's save hits ENOSPC mid-snapshot: a clean
+  // kIoError, and the directory still loads the previous generation.
+  WriteFaultInjectorForTest injector;
+  injector.fail_after_bytes = 32;
+  injector.error = ENOSPC;
+  {
+    ScopedWriteFault scoped(&injector);
+    SnapshotStatus status = checkpoints.Save(sink.states[1], fingerprint);
+    EXPECT_EQ(status.error, SnapshotError::kIoError);
+  }
+
+  ChaseCheckpointState loaded;
+  uint32_t loaded_fingerprint = 0;
+  uint64_t generation = 0;
+  ASSERT_TRUE(
+      checkpoints.LoadLatest(&loaded, &loaded_fingerprint, &generation).ok());
+  EXPECT_EQ(generation, sink.states[0].rounds_completed);
+  EXPECT_EQ(loaded_fingerprint, fingerprint);
+  EXPECT_EQ(loaded.rounds_completed, sink.states[0].rounds_completed);
+
+  // With space back, the interrupted generation saves and wins.
+  ASSERT_TRUE(checkpoints.Save(sink.states[1], fingerprint).ok());
+  ASSERT_TRUE(
+      checkpoints.LoadLatest(&loaded, &loaded_fingerprint, &generation).ok());
+  EXPECT_EQ(generation, sink.states[1].rounds_completed);
+  std::filesystem::remove_all(dir);
 }
 
 }  // namespace

@@ -1,0 +1,427 @@
+// Crash-contained serving tests (serve/*): the chaos matrix — a worker
+// killed with SIGKILL, put over its CPU or address-space rlimit, or
+// stalled with SIGSTOP mid-run must leave the final report bit-identical
+// to a fault-free run of the same manifest; a killed worker's retry must
+// resume from its checkpoint instead of recomputing; plus manifest
+// parsing, admission-control shedding, the degradation ladder, permanent
+// failures and the chaos soak from the acceptance criteria.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "serve/request.h"
+#include "serve/service.h"
+#include "serve/worker.h"
+
+namespace gqe {
+namespace {
+
+/// The 12-stage pipeline (cf. examples/serve/chain.gqe): one chase round
+/// per stage, so kill/stall checkpoints in the low tens land mid-run.
+constexpr const char* kChainProgram = R"(
+sv0(a). sv0(b). sv0(c). sv0(d).
+svlink(a, b). svlink(b, c). svlink(c, d).
+sv0(X) -> sv1(X).
+sv1(X) -> sv2(X).
+sv2(X) -> sv3(X).
+sv3(X) -> sv4(X).
+sv4(X) -> sv5(X).
+sv5(X) -> sv6(X).
+sv6(X) -> sv7(X).
+sv7(X) -> sv8(X).
+sv8(X) -> sv9(X).
+sv9(X) -> sv10(X).
+sv10(X) -> sv11(X).
+sv11(X) -> sv12(X).
+svlink(X, Y) -> svconn(X, Y).
+svconn(X, Y) -> svconn(Y, X).
+svq(X) :- sv12(X).
+)";
+
+constexpr const char* kUniversityProgram = R"(
+sven(ann, cs). sven(bob, math). sven(carol, cs).
+svteach(dana, cs).
+sven(S, C) -> svteach(P, C), svprof(P).
+svteach(P, C) -> svcourse(C).
+svprof(P) -> svemp(P).
+svuq(C) :- svteach(P, C), svcourse(C).
+)";
+
+std::string WriteProgram(const std::string& name, const char* text) {
+  std::string path = ::testing::TempDir() + "gqe_serve_" + name + ".gqe";
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  EXPECT_NE(file, nullptr) << path;
+  if (file != nullptr) {
+    std::fputs(text, file);
+    std::fclose(file);
+  }
+  return path;
+}
+
+EvalRequest ChaseRequest(const std::string& id, const std::string& program) {
+  EvalRequest request;
+  request.id = id;
+  request.kind = RequestKind::kChase;
+  request.program_path = program;
+  request.budget.max_facts = 100000;
+  return request;
+}
+
+/// Options tuned for fast tests: short backoff, and a heartbeat timeout
+/// short enough that a SIGSTOP stall is reaped quickly but long enough
+/// (vs the 20ms beat interval) to never fire on a healthy worker.
+ServeOptions FastOptions() {
+  ServeOptions options;
+  options.backoff_base_ms = 2.0;
+  options.backoff_cap_ms = 20.0;
+  options.heartbeat_timeout_ms = 400.0;
+  return options;
+}
+
+const RequestRow& RowById(const ServeReport& report, const std::string& id) {
+  for (const RequestRow& row : report.rows) {
+    if (row.id == id) return row;
+  }
+  ADD_FAILURE() << "no row for " << id;
+  static RequestRow missing;
+  return missing;
+}
+
+TEST(ServeManifestParseTest, ParsesKindsBudgetsAndFaults) {
+  Manifest manifest;
+  std::string error;
+  ASSERT_TRUE(ParseManifest(
+      "# comment\n"
+      "id=r1 kind=chase program=p.gqe max_facts=100 deadline_ms=50\n"
+      "id=r2 kind=omq program=/abs/p.gqe query=q as_mb=512\n"
+      "id=r3 kind=cqs program=p.gqe query=q fault=kill@8/attempt=2\n"
+      "id=r4 kind=cq program=p.gqe fault=cpu\n",
+      "/base", &manifest, &error))
+      << error;
+  ASSERT_EQ(manifest.requests.size(), 4u);
+  EXPECT_EQ(manifest.requests[0].program_path, "/base/p.gqe");
+  EXPECT_EQ(manifest.requests[0].budget.max_facts, 100u);
+  EXPECT_EQ(manifest.requests[0].budget.deadline_ms, 50.0);
+  EXPECT_EQ(manifest.requests[1].program_path, "/abs/p.gqe");
+  EXPECT_EQ(manifest.requests[1].address_space_mb, 512u);
+  EXPECT_EQ(manifest.requests[2].fault.type, FaultSpec::Type::kKill);
+  EXPECT_EQ(manifest.requests[2].fault.at_checkpoint, 8u);
+  EXPECT_EQ(manifest.requests[2].fault.on_attempt, 2);
+  EXPECT_EQ(manifest.requests[3].fault.type, FaultSpec::Type::kCpu);
+}
+
+TEST(ServeManifestParseTest, RejectsDuplicateIdsAndUnknownKeys) {
+  Manifest manifest;
+  std::string error;
+  EXPECT_FALSE(ParseManifest(
+      "id=r1 kind=chase program=p.gqe\nid=r1 kind=cq program=p.gqe\n", "",
+      &manifest, &error));
+  EXPECT_NE(error.find("r1"), std::string::npos);
+  EXPECT_FALSE(ParseManifest("id=r2 kind=chase program=p.gqe maxfacts=3\n",
+                             "", &manifest, &error));
+}
+
+TEST(ServeChaosSpecTest, ParsesAndRejects) {
+  ChaosConfig config;
+  std::string error;
+  ASSERT_TRUE(ParseChaosSpec("kill=0.3,oom=0.1,stall=0.25,seed=7", &config,
+                             &error))
+      << error;
+  EXPECT_DOUBLE_EQ(config.kill_p, 0.3);
+  EXPECT_DOUBLE_EQ(config.oom_p, 0.1);
+  EXPECT_DOUBLE_EQ(config.stall_p, 0.25);
+  EXPECT_EQ(config.seed, 7u);
+  EXPECT_TRUE(config.enabled());
+  EXPECT_FALSE(ParseChaosSpec("kill=2.0", &config, &error));
+  EXPECT_FALSE(ParseChaosSpec("frobnicate=0.1", &config, &error));
+}
+
+TEST(ServeWorkerResultTest, EncodeDecodeRoundTrip) {
+  WorkerResult result;
+  result.id = "r-42";
+  result.status = Status::kBudgetExceeded;
+  result.exact = false;
+  result.degraded = true;
+  result.method = "omq(fallback)";
+  result.answer_count = 17;
+  result.answer_crc = 0xdeadbeef;
+  result.facts = 123;
+  result.rounds_completed = 9;
+  result.resumed = true;
+  result.resume_generation = 6;
+  result.eval_ms = 3.25;
+
+  const std::string bytes = EncodeWorkerResult(result);
+  WorkerResult decoded;
+  ASSERT_TRUE(DecodeWorkerResult(bytes, &decoded).ok());
+  EXPECT_EQ(decoded.id, result.id);
+  EXPECT_EQ(decoded.status, result.status);
+  EXPECT_FALSE(decoded.exact);
+  EXPECT_TRUE(decoded.degraded);
+  EXPECT_EQ(decoded.method, result.method);
+  EXPECT_EQ(decoded.answer_count, 17u);
+  EXPECT_EQ(decoded.answer_crc, 0xdeadbeefu);
+  EXPECT_EQ(decoded.rounds_completed, 9u);
+  EXPECT_TRUE(decoded.resumed);
+  EXPECT_EQ(decoded.resume_generation, 6u);
+
+  // A truncated blob is diagnosed, never trusted.
+  WorkerResult garbage;
+  EXPECT_FALSE(
+      DecodeWorkerResult(std::string_view(bytes).substr(0, bytes.size() / 2),
+                         &garbage)
+          .ok());
+}
+
+TEST(ServeTest, FaultFreeManifestCompletesEveryKind) {
+  const std::string chain = WriteProgram("chain", kChainProgram);
+  const std::string univ = WriteProgram("univ", kUniversityProgram);
+
+  Manifest manifest;
+  manifest.requests.push_back(ChaseRequest("chase-1", chain));
+  EvalRequest cq;
+  cq.id = "cq-1";
+  cq.kind = RequestKind::kCq;
+  cq.program_path = chain;
+  cq.query = "svq";
+  manifest.requests.push_back(cq);
+  EvalRequest omq;
+  omq.id = "omq-1";
+  omq.kind = RequestKind::kOmq;
+  omq.program_path = univ;
+  omq.query = "svuq";
+  manifest.requests.push_back(omq);
+  EvalRequest cqs;
+  cqs.id = "cqs-1";
+  cqs.kind = RequestKind::kCqs;
+  cqs.program_path = univ;
+  cqs.query = "svuq";
+  manifest.requests.push_back(cqs);
+
+  ServeReport report = ServeManifest(manifest, FastOptions());
+  ASSERT_EQ(report.rows.size(), 4u);
+  EXPECT_EQ(report.completed, 4u);
+  for (const RequestRow& row : report.rows) {
+    EXPECT_EQ(row.state, TerminalState::kCompleted) << row.id;
+    EXPECT_EQ(row.attempts.size(), 1u) << row.id;
+    EXPECT_EQ(row.attempts[0].cause, "ok") << row.id;
+  }
+  // The chase saw real multi-round work (one round per pipeline stage).
+  EXPECT_GE(RowById(report, "chase-1").result.rounds_completed, 12u);
+  // cq answers: the four chain members do NOT reach sv12 without the
+  // chase — closed-world evaluation sees only the database.
+  EXPECT_EQ(RowById(report, "cq-1").result.answer_count, 0u);
+  // omq certain answers consult the ontology.
+  EXPECT_GE(RowById(report, "omq-1").result.answer_count, 1u);
+}
+
+/// The chaos matrix: every containment path — kill -9, rlimit-CPU,
+/// rlimit-AS (OOM), SIGSTOP stall, spurious exit — produces a final
+/// report bit-identical to the fault-free run of the same manifest.
+TEST(ServeTest, ChaosMatrixReportsBitIdenticalToFaultFree) {
+  const std::string chain = WriteProgram("matrix", kChainProgram);
+
+  Manifest clean;
+  clean.requests.push_back(ChaseRequest("m-kill", chain));
+  clean.requests.push_back(ChaseRequest("m-cpu", chain));
+  clean.requests.push_back(ChaseRequest("m-oom", chain));
+  clean.requests.push_back(ChaseRequest("m-stall", chain));
+  clean.requests.push_back(ChaseRequest("m-exit", chain));
+
+  ServeOptions options = FastOptions();
+  const ServeReport clean_report = ServeManifest(clean, options);
+  ASSERT_EQ(clean_report.completed, 5u);
+
+  Manifest faulty = clean;
+  auto set_fault = [&faulty](size_t i, FaultSpec::Type type,
+                             uint64_t checkpoint) {
+    faulty.requests[i].fault.type = type;
+    faulty.requests[i].fault.at_checkpoint = checkpoint;
+  };
+  set_fault(0, FaultSpec::Type::kKill, 30);
+  set_fault(1, FaultSpec::Type::kCpu, 0);
+  set_fault(2, FaultSpec::Type::kOom, 0);
+  set_fault(3, FaultSpec::Type::kStall, 30);
+  set_fault(4, FaultSpec::Type::kExit, 0);
+  faulty.requests[4].fault.exit_code = 3;
+
+  const ServeReport faulty_report = ServeManifest(faulty, options);
+  EXPECT_EQ(faulty_report.completed, 5u);
+
+  // The soak criterion, in miniature: deterministic result lines are
+  // bit-identical; only the ops story (attempts, causes) differs.
+  EXPECT_EQ(faulty_report.DeterministicText(),
+            clean_report.DeterministicText());
+
+  EXPECT_EQ(RowById(faulty_report, "m-kill").attempts[0].cause, "sigkill");
+  EXPECT_EQ(RowById(faulty_report, "m-cpu").attempts[0].cause, "cpu-limit");
+  EXPECT_EQ(RowById(faulty_report, "m-oom").attempts[0].cause, "oom");
+  EXPECT_EQ(RowById(faulty_report, "m-stall").attempts[0].cause,
+            "heartbeat-timeout");
+  EXPECT_EQ(RowById(faulty_report, "m-exit").attempts[0].cause, "exit:3");
+  for (const RequestRow& row : faulty_report.rows) {
+    ASSERT_EQ(row.attempts.size(), 2u) << row.id;
+    EXPECT_EQ(row.attempts[1].cause, "ok") << row.id;
+    EXPECT_GT(row.attempts[1].backoff_ms, 0.0) << row.id;
+  }
+}
+
+/// A worker SIGKILLed mid-chase is retried and must RESUME from its
+/// checkpoint directory, not recompute: the retry reports resumed=true
+/// with a positive generation, and the total round count matches the
+/// fault-free run (the round counters are the resume witness).
+TEST(ServeTest, KillRetryResumesFromCheckpoint) {
+  const std::string chain = WriteProgram("resume", kChainProgram);
+
+  Manifest clean;
+  clean.requests.push_back(ChaseRequest("res-1", chain));
+  ServeOptions options = FastOptions();
+  const ServeReport clean_report = ServeManifest(clean, options);
+  const RequestRow& clean_row = RowById(clean_report, "res-1");
+  ASSERT_EQ(clean_row.state, TerminalState::kCompleted);
+  EXPECT_FALSE(clean_row.result.resumed);
+
+  Manifest faulty = clean;
+  faulty.requests[0].fault.type = FaultSpec::Type::kKill;
+  faulty.requests[0].fault.at_checkpoint = 40;
+  const ServeReport report = ServeManifest(faulty, options);
+  const RequestRow& row = RowById(report, "res-1");
+
+  ASSERT_EQ(row.state, TerminalState::kCompleted);
+  ASSERT_EQ(row.attempts.size(), 2u);
+  EXPECT_EQ(row.attempts[0].cause, "sigkill");
+  EXPECT_TRUE(row.result.resumed);
+  EXPECT_GT(row.result.resume_generation, 0u);
+  // Same logical run: same total rounds, same facts, same digest.
+  EXPECT_EQ(row.result.rounds_completed, clean_row.result.rounds_completed);
+  EXPECT_EQ(row.result.facts, clean_row.result.facts);
+  EXPECT_EQ(row.result.answer_crc, clean_row.result.answer_crc);
+}
+
+TEST(ServeTest, AdmissionControlShedsBeyondCapacity) {
+  const std::string chain = WriteProgram("shed", kChainProgram);
+  Manifest manifest;
+  for (int i = 0; i < 4; ++i) {
+    manifest.requests.push_back(
+        ChaseRequest("shed-" + std::to_string(i), chain));
+  }
+  ServeOptions options = FastOptions();
+  options.queue_capacity = 2;
+  ServeReport report = ServeManifest(manifest, options);
+  EXPECT_EQ(report.completed, 2u);
+  EXPECT_EQ(report.shed, 2u);
+  EXPECT_EQ(RowById(report, "shed-2").state, TerminalState::kShed);
+  EXPECT_EQ(RowById(report, "shed-3").failure_cause, "queue-full");
+}
+
+/// Exact retry budget exhausted -> the degradation ladder answers under
+/// the tighter degraded budget, flagged inexact, instead of failing.
+TEST(ServeTest, DegradationLadderAnswersAfterRetryBudget) {
+  const std::string chain = WriteProgram("ladder", kChainProgram);
+  Manifest manifest;
+  manifest.requests.push_back(ChaseRequest("lad-1", chain));
+  // The fault fires on every exact attempt (attempt 1 of 1).
+  manifest.requests[0].fault.type = FaultSpec::Type::kExit;
+  manifest.requests[0].fault.exit_code = 9;
+
+  ServeOptions options = FastOptions();
+  options.max_attempts = 1;
+  ServeReport report = ServeManifest(manifest, options);
+  const RequestRow& row = RowById(report, "lad-1");
+  ASSERT_EQ(row.state, TerminalState::kDegraded);
+  EXPECT_TRUE(row.result.degraded);
+  EXPECT_FALSE(row.result.exact);
+  ASSERT_EQ(row.attempts.size(), 2u);
+  EXPECT_EQ(row.attempts[0].cause, "exit:9");
+  EXPECT_TRUE(row.attempts[1].degraded);
+
+  // With the ladder disabled the same request is a structured failure.
+  options.enable_degraded_ladder = false;
+  ServeReport failed = ServeManifest(manifest, options);
+  EXPECT_EQ(RowById(failed, "lad-1").state, TerminalState::kFailed);
+  EXPECT_EQ(RowById(failed, "lad-1").failure_cause, "exit:9");
+}
+
+TEST(ServeTest, PermanentFailuresAreNotRetried) {
+  Manifest manifest;
+  manifest.requests.push_back(
+      ChaseRequest("gone-1", "/nonexistent/program.gqe"));
+  ServeReport report = ServeManifest(manifest, FastOptions());
+  const RequestRow& row = RowById(report, "gone-1");
+  EXPECT_EQ(row.state, TerminalState::kFailed);
+  EXPECT_EQ(row.failure_cause, "parse-error");
+  EXPECT_EQ(row.attempts.size(), 1u);
+}
+
+/// Acceptance-criteria soak: a 50+ request manifest under
+/// --chaos kill=0.3,stall=0.1. The daemon never crashes, every request
+/// reaches a terminal state, and completed answers are bit-identical to
+/// the fault-free run.
+TEST(ServeTest, ChaosSoakFiftyRequestsBitIdentical) {
+  const std::string chain = WriteProgram("soak_chain", kChainProgram);
+  const std::string univ = WriteProgram("soak_univ", kUniversityProgram);
+
+  Manifest manifest;
+  for (int i = 0; i < 50; ++i) {
+    if (i % 3 == 0) {
+      EvalRequest cq;
+      cq.id = "soak-" + std::to_string(i);
+      cq.kind = i % 2 == 0 ? RequestKind::kCq : RequestKind::kOmq;
+      cq.program_path = univ;
+      cq.query = "svuq";
+      manifest.requests.push_back(cq);
+    } else {
+      manifest.requests.push_back(
+          ChaseRequest("soak-" + std::to_string(i), chain));
+    }
+  }
+
+  ServeOptions options = FastOptions();
+  options.concurrency = 8;
+  const ServeReport clean_report = ServeManifest(manifest, options);
+  ASSERT_EQ(clean_report.rows.size(), 50u);
+  ASSERT_EQ(clean_report.completed, 50u);
+
+  ASSERT_TRUE(
+      ParseChaosSpec("kill=0.3,stall=0.1,seed=11", &options.chaos, nullptr));
+  options.chaos.max_checkpoint = 64;  // land inside these small runs
+  const ServeReport chaos_report = ServeManifest(manifest, options);
+
+  // Every request terminal (nothing dropped), answers bit-identical.
+  ASSERT_EQ(chaos_report.rows.size(), 50u);
+  EXPECT_EQ(chaos_report.completed + chaos_report.degraded +
+                chaos_report.failed + chaos_report.shed,
+            50u);
+  EXPECT_EQ(chaos_report.DeterministicText(),
+            clean_report.DeterministicText());
+
+  // The chaos actually did something: some attempt was injected.
+  size_t injected = 0;
+  for (const RequestRow& row : chaos_report.rows) {
+    for (const AttemptRecord& attempt : row.attempts) {
+      if (attempt.chaos) ++injected;
+    }
+  }
+  EXPECT_GT(injected, 0u);
+
+  // And the same chaos seed reproduces the same attempt history.
+  const ServeReport again = ServeManifest(manifest, options);
+  ASSERT_EQ(again.rows.size(), chaos_report.rows.size());
+  for (size_t i = 0; i < again.rows.size(); ++i) {
+    ASSERT_EQ(again.rows[i].attempts.size(),
+              chaos_report.rows[i].attempts.size())
+        << again.rows[i].id;
+    for (size_t j = 0; j < again.rows[i].attempts.size(); ++j) {
+      EXPECT_EQ(again.rows[i].attempts[j].cause,
+                chaos_report.rows[i].attempts[j].cause)
+          << again.rows[i].id << " attempt " << j;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gqe

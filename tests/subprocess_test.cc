@@ -1,0 +1,187 @@
+// Fork-isolated worker plumbing (base/subprocess): exit-code and
+// signal-death classification, result/heartbeat pipes, setrlimit guard
+// rails (CPU and address space), and putting down a SIGSTOP'd worker
+// with SIGKILL — the primitives the serve supervisor's containment is
+// built from.
+
+#include <gtest/gtest.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <new>
+#include <string>
+#include <thread>
+
+#include "base/subprocess.h"
+
+namespace gqe {
+namespace {
+
+/// Polls until the worker is reaped or `timeout_ms` passes. The timeout
+/// turns a would-be hang into a test failure with the worker killed.
+bool ReapWithin(WorkerProcess* worker, double timeout_ms) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration<double, std::milli>(timeout_ms);
+  while (std::chrono::steady_clock::now() < deadline) {
+    worker->DrainResult();
+    worker->DrainHeartbeats();
+    if (worker->Poll()) {
+      worker->DrainResult();
+      return true;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  worker->Kill(SIGKILL);
+  return false;
+}
+
+TEST(SubprocessTest, ExitCodeAndResultRoundTrip) {
+  WorkerProcess worker;
+  std::string error;
+  ASSERT_TRUE(WorkerProcess::Spawn(
+      WorkerLimits{},
+      [](int result_fd, int) {
+        return WriteAllToFd(result_fd, "payload-bytes") ? 7 : 1;
+      },
+      &worker, &error))
+      << error;
+  ASSERT_TRUE(ReapWithin(&worker, 5000));
+  EXPECT_TRUE(worker.exit_status().exited);
+  EXPECT_EQ(worker.exit_status().exit_code, 7);
+  EXPECT_EQ(worker.result_bytes(), "payload-bytes");
+}
+
+TEST(SubprocessTest, SignalDeathIsClassified) {
+  WorkerProcess worker;
+  std::string error;
+  ASSERT_TRUE(WorkerProcess::Spawn(
+      WorkerLimits{},
+      [](int, int) {
+        ::raise(SIGKILL);
+        return 0;  // unreachable
+      },
+      &worker, &error))
+      << error;
+  ASSERT_TRUE(ReapWithin(&worker, 5000));
+  EXPECT_FALSE(worker.exit_status().exited);
+  EXPECT_TRUE(worker.exit_status().signaled);
+  EXPECT_EQ(worker.exit_status().term_signal, SIGKILL);
+}
+
+TEST(SubprocessTest, AddressSpaceLimitMakesAllocationFail) {
+  WorkerLimits limits;
+  limits.address_space_bytes = 64ull << 20;
+  WorkerProcess worker;
+  std::string error;
+  ASSERT_TRUE(WorkerProcess::Spawn(
+      limits,
+      [](int, int) {
+        try {
+          // Far past the 64MB cap: must fail no matter what the process
+          // image already mapped. Direct operator-new call — a paired
+          // new[]/delete[] may be elided by the optimizer entirely.
+          void* probe = ::operator new(256ull << 20);
+          *static_cast<volatile char*>(probe) = 1;
+          ::operator delete(probe);
+          return 0;
+        } catch (const std::bad_alloc&) {
+          return 42;
+        }
+      },
+      &worker, &error))
+      << error;
+  ASSERT_TRUE(ReapWithin(&worker, 5000));
+  EXPECT_TRUE(worker.exit_status().exited);
+  EXPECT_EQ(worker.exit_status().exit_code, 42);
+}
+
+TEST(SubprocessTest, CpuLimitDeliversSigxcpu) {
+  WorkerLimits limits;
+  limits.cpu_seconds = 1.0;
+  WorkerProcess worker;
+  std::string error;
+  ASSERT_TRUE(WorkerProcess::Spawn(
+      limits,
+      [](int, int) {
+        // Burn CPU until the kernel steps in.
+        volatile uint64_t sink = 0;
+        for (;;) sink = sink + 1;
+        return 0;
+      },
+      &worker, &error))
+      << error;
+  // Soft limit 1s + 1s hard headroom; allow generous wall slack.
+  ASSERT_TRUE(ReapWithin(&worker, 30000));
+  ASSERT_TRUE(worker.exit_status().signaled);
+  EXPECT_EQ(worker.exit_status().term_signal, SIGXCPU);
+}
+
+TEST(SubprocessTest, HeartbeatsFlowWhileAlive) {
+  WorkerProcess worker;
+  std::string error;
+  ASSERT_TRUE(WorkerProcess::Spawn(
+      WorkerLimits{},
+      [](int, int heartbeat_fd) {
+        HeartbeatWriter heartbeat(heartbeat_fd, 5.0);
+        std::this_thread::sleep_for(std::chrono::milliseconds(100));
+        return 0;
+      },
+      &worker, &error))
+      << error;
+  size_t beats = 0;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (std::chrono::steady_clock::now() < deadline && !worker.Poll()) {
+    beats += worker.DrainHeartbeats();
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  beats += worker.DrainHeartbeats();
+  EXPECT_GE(beats, 3u);
+  EXPECT_TRUE(worker.exit_status().reaped);
+}
+
+TEST(SubprocessTest, SigkillReachesAStoppedWorker) {
+  WorkerProcess worker;
+  std::string error;
+  ASSERT_TRUE(WorkerProcess::Spawn(
+      WorkerLimits{},
+      [](int, int) {
+        ::raise(SIGSTOP);  // freeze: only SIGKILL/SIGCONT get through
+        return 0;
+      },
+      &worker, &error))
+      << error;
+  // Give it a moment to reach the stop, then put it down the way the
+  // supervisor's heartbeat timeout does.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(worker.Poll());
+  worker.Kill(SIGKILL);
+  ASSERT_TRUE(ReapWithin(&worker, 5000));
+  EXPECT_TRUE(worker.exit_status().signaled);
+  EXPECT_EQ(worker.exit_status().term_signal, SIGKILL);
+}
+
+TEST(SubprocessTest, DestructorReapsARunningWorker) {
+  pid_t pid = -1;
+  {
+    WorkerProcess worker;
+    std::string error;
+    ASSERT_TRUE(WorkerProcess::Spawn(
+        WorkerLimits{},
+        [](int, int) {
+          std::this_thread::sleep_for(std::chrono::seconds(60));
+          return 0;
+        },
+        &worker, &error))
+        << error;
+    pid = worker.pid();
+    ASSERT_GT(pid, 0);
+  }
+  // The destructor SIGKILLed and reaped: the pid must be gone (kill(0)
+  // probes existence; ESRCH means no such process).
+  EXPECT_EQ(::kill(pid, 0), -1);
+}
+
+}  // namespace
+}  // namespace gqe

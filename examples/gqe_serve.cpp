@@ -39,6 +39,9 @@ int Usage(const char* argv0) {
       "  --chaos-seed N            chaos PRNG seed (default 1)\n"
       "  --no-spare-final          let chaos hit the final exact attempt too\n"
       "  --no-degrade              disable the degradation ladder\n"
+      "  --verify                  certified answers: workers attach witnesses,\n"
+      "                            the supervisor independently re-checks each\n"
+      "                            one before emitting the result line\n"
       "  --quiet-ops               print only the deterministic result lines\n"
       "  --verbose                 per-attempt progress lines\n",
       argv0);
@@ -112,6 +115,8 @@ int main(int argc, char** argv) {
       options.chaos.spare_final_attempt = false;
     } else if (std::strcmp(arg, "--no-degrade") == 0) {
       options.enable_degraded_ladder = false;
+    } else if (std::strcmp(arg, "--verify") == 0) {
+      options.verify = true;
     } else if (std::strcmp(arg, "--quiet-ops") == 0) {
       quiet_ops = true;
     } else if (std::strcmp(arg, "--verbose") == 0) {

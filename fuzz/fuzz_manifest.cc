@@ -1,0 +1,49 @@
+// libFuzzer harness for the serve manifest parser (serve/request.h).
+// The manifest is the daemon's other untrusted-bytes surface besides the
+// program parser: operator-written files with per-line key=value fields,
+// budgets, rlimits and fault pins. Malformed input must produce a
+// positioned diagnostic — never a crash, hang, or out-of-bounds read.
+//
+// Build (clang required for the fuzzer runtime):
+//   cmake -B build-fuzz -S . -DGQE_FUZZ=ON -DCMAKE_CXX_COMPILER=clang++
+//   cmake --build build-fuzz -j
+//   ./build-fuzz/fuzz/fuzz_manifest -max_total_time=30 fuzz/corpus-manifest
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "serve/request.h"
+#include "serve/service.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  std::string_view text(reinterpret_cast<const char*>(data), size);
+
+  gqe::Manifest manifest;
+  std::string error;
+  if (!gqe::ParseManifest(text, "/fuzz/base", &manifest, &error)) {
+    // A rejection must carry a printable diagnostic.
+    if (error.empty()) __builtin_trap();
+    if (error.find('\0') != std::string::npos) __builtin_trap();
+  } else {
+    // Accepted manifests have internally consistent requests; touch the
+    // fields workers consume to shake out lazily-triggered UB.
+    for (const auto& request : manifest.requests) {
+      if (request.id.empty()) __builtin_trap();
+      (void)request.program_path.size();
+      (void)request.budget.max_facts;
+      (void)request.fault.at_checkpoint;
+    }
+  }
+
+  // The chaos spec shares the manifest's hand-written key=value idiom —
+  // fuzz it from the same bytes (first line only, cheap).
+  gqe::ChaosConfig chaos;
+  std::string_view first_line = text.substr(0, text.find('\n'));
+  std::string spec_error;
+  if (!gqe::ParseChaosSpec(first_line, &chaos, &spec_error)) {
+    if (spec_error.find('\0') != std::string::npos) __builtin_trap();
+  }
+  return 0;
+}

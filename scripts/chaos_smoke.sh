@@ -6,11 +6,18 @@
 # run with the same chaos seed must reproduce the same report, and a
 # manifest-pinned kill must show a checkpoint resume in the ops table.
 #
+# Every run uses --verify: workers attach machine-checkable witnesses
+# and the supervisor independently re-checks each one, so the smoke also
+# requires every emitted answer to carry verified=yes. Set VERIFY=0 to
+# drop the flag (e.g. to time the uncertified path).
+#
 # Usage: scripts/chaos_smoke.sh <path-to-gqe_serve> [manifest]
 set -u
 
 SERVE="${1:?usage: $0 <gqe_serve> [manifest]}"
 MANIFEST="${2:-examples/serve/manifest.txt}"
+VERIFY_FLAG="--verify"
+if [ "${VERIFY:-1}" = "0" ]; then VERIFY_FLAG=""; fi
 WORK="$(mktemp -d)"
 trap 'rm -rf "$WORK"' EXIT INT TERM HUP
 
@@ -19,7 +26,7 @@ trap 'rm -rf "$WORK"' EXIT INT TERM HUP
 CHAOS="kill=0.3,stall=0.1,seed=11,ckpt=64"
 
 echo "== fault-free run =="
-if ! "$SERVE" "$MANIFEST" --heartbeat-timeout-ms 400 \
+if ! "$SERVE" "$MANIFEST" $VERIFY_FLAG --heartbeat-timeout-ms 400 \
     >"$WORK/clean.out" 2>"$WORK/clean.err"; then
   echo "FAIL: fault-free serve run failed"; cat "$WORK/clean.err"; exit 1
 fi
@@ -29,8 +36,22 @@ if ! [ -s "$WORK/clean.results" ]; then
 fi
 cat "$WORK/clean.results"
 
+if [ -n "$VERIFY_FLAG" ]; then
+  # Certified answers: every answer-bearing result line must have had its
+  # witness independently re-checked by the supervisor.
+  if grep 'state=\(completed\|degraded\)' "$WORK/clean.results" \
+      | grep -v 'verified=yes' | grep -q .; then
+    echo "FAIL: a result line was not verified"
+    grep 'state=\(completed\|degraded\)' "$WORK/clean.results" \
+      | grep -v 'verified=yes'
+    exit 1
+  fi
+  echo "every result line verified"
+fi
+
 echo "== chaos run: --chaos $CHAOS =="
-if ! "$SERVE" "$MANIFEST" --chaos "$CHAOS" --heartbeat-timeout-ms 400 \
+if ! "$SERVE" "$MANIFEST" $VERIFY_FLAG --chaos "$CHAOS" \
+    --heartbeat-timeout-ms 400 \
     --backoff-base-ms 5 >"$WORK/chaos.out" 2>"$WORK/chaos.err"; then
   echo "FAIL: the daemon itself died under chaos"; cat "$WORK/chaos.err"; exit 1
 fi
@@ -42,7 +63,8 @@ fi
 echo "result lines bit-identical under chaos"
 
 echo "== chaos determinism: same seed, same report =="
-"$SERVE" "$MANIFEST" --chaos "$CHAOS" --heartbeat-timeout-ms 400 \
+"$SERVE" "$MANIFEST" $VERIFY_FLAG --chaos "$CHAOS" \
+  --heartbeat-timeout-ms 400 \
   --backoff-base-ms 5 >"$WORK/chaos2.out" 2>/dev/null || {
   echo "FAIL: second chaos run failed"; exit 1; }
 grep '^result:' "$WORK/chaos2.out" > "$WORK/chaos2.results"

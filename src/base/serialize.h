@@ -117,7 +117,10 @@ constexpr uint16_t kSnapshotKindInstance = 3;
 constexpr uint16_t kSnapshotKindWorkerResult = 4;
 
 /// Current snapshot format version (bumped on incompatible changes).
-constexpr uint16_t kSnapshotVersion = 1;
+/// v2: chase snapshots carry the per-trigger null-draw log backing
+/// derivation witnesses (verify/witness.h); worker results carry the
+/// serialized evaluation witness.
+constexpr uint16_t kSnapshotVersion = 2;
 
 /// Wraps a payload in the versioned, checksummed snapshot envelope:
 /// magic | kind | version | payload size | CRC-32(payload) | payload.

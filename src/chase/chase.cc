@@ -60,6 +60,40 @@ struct DiscoveryUnit {
   size_t delta_end;
 };
 
+/// Rebuilds a replayable derivation log from the fired-trigger keys and
+/// the parallel null-draw log: key[0] is the TGD index, key[1..] the
+/// body-variable images (term bits), nulls[i] the labelled nulls step i
+/// invented. The digest fields are only meaningful for an exact log.
+void BuildDerivationWitness(const std::vector<std::vector<uint32_t>>& keys,
+                            const std::vector<std::vector<uint32_t>>& nulls,
+                            bool exact, bool complete, ChaseResult* result) {
+  DerivationWitness& witness = result->derivation;
+  witness.collected = true;
+  witness.complete = complete;
+  witness.replay_exact = exact;
+  witness.steps.clear();
+  witness.steps.reserve(keys.size());
+  for (size_t i = 0; i < keys.size(); ++i) {
+    DerivationStep step;
+    if (!keys[i].empty()) {
+      step.tgd_index = keys[i][0];
+      step.body_images.reserve(keys[i].size() - 1);
+      for (size_t j = 1; j < keys[i].size(); ++j) {
+        step.body_images.push_back(Term::FromBits(keys[i][j]));
+      }
+    }
+    if (i < nulls.size()) {
+      step.existential_images.reserve(nulls[i].size());
+      for (uint32_t id : nulls[i]) {
+        step.existential_images.push_back(Term::Null(id));
+      }
+    }
+    witness.steps.push_back(std::move(step));
+  }
+  witness.final_facts = result->instance.size();
+  witness.instance_crc = exact ? InstanceTextCrc(result->instance) : 0;
+}
+
 double MsSince(std::chrono::steady_clock::time_point start) {
   return std::chrono::duration<double, std::milli>(
              std::chrono::steady_clock::now() - start)
@@ -127,6 +161,12 @@ ChaseResult ChaseImpl(const Instance* db, const ChaseCheckpointState* resume,
   result.threads_used = threads;
   ThreadPool pool(threads);
 
+  // Derivation-witness collection (oblivious chase only: the restricted
+  // chase's skipped triggers have no replayable step semantics). The
+  // null-draw log runs parallel to the fired-key log below.
+  bool collecting = options.collect_witness && !options.restricted;
+  bool witness_exact = true;
+
   std::unordered_set<std::vector<uint32_t>, TriggerKeyHash> fired;
   std::vector<std::vector<Term>> body_vars(tgds.size());
   std::vector<std::vector<Term>> existentials(tgds.size());
@@ -191,8 +231,15 @@ ChaseResult ChaseImpl(const Instance* db, const ChaseCheckpointState* resume,
   }
 
   if (resume != nullptr && resume->complete) {
-    // A saturated snapshot: the restored instance is chase(D, Σ).
+    // A saturated snapshot: the restored instance is chase(D, Σ). When
+    // it recorded null draws the derivation log is rebuilt from it, so
+    // a resumed-from-fixpoint run still ships a checkable witness.
     result.complete = true;
+    if (collecting && resume->witness_collected &&
+        resume->fired_nulls.size() == resume->fired.size()) {
+      BuildDerivationWitness(resume->fired, resume->fired_nulls,
+                             /*exact=*/true, /*complete=*/true, &result);
+    }
     result.outcome = governor->MakeOutcome();
     return result;
   }
@@ -210,14 +257,27 @@ ChaseResult ChaseImpl(const Instance* db, const ChaseCheckpointState* resume,
           ? 1
           : static_cast<uint64_t>(options.checkpoint_every);
   ChaseCheckpointState boundary;
-  std::vector<std::vector<uint32_t>> fired_log;  // firing order, tracking only
+  // Fired keys in firing order (tracking or witness collection) and,
+  // when collecting, the parallel per-step null draws.
+  std::vector<std::vector<uint32_t>> fired_log;
+  std::vector<std::vector<uint32_t>> null_log;
   // Generation already delivered to the sink (the resumed-from state is
   // durable by definition).
   uint64_t delivered = resume != nullptr ? resume->rounds_completed
                                          : ~static_cast<uint64_t>(0);
-  if (tracking && resume != nullptr) {
-    boundary = *resume;
-    fired_log = resume->fired;
+  if (resume != nullptr) {
+    if (collecting) {
+      if (resume->witness_collected &&
+          resume->fired_nulls.size() == resume->fired.size()) {
+        null_log = resume->fired_nulls;
+      } else if (!resume->fired.empty()) {
+        // The committed prefix never recorded its null draws: the log
+        // cannot be reconstructed, so the witness stays uncollected.
+        collecting = false;
+      }
+    }
+    if (tracking) boundary = *resume;
+    if (tracking || collecting) fired_log = resume->fired;
   }
   auto sync_boundary = [&]() {
     for (size_t i = boundary.atoms.size(); i < result.instance.size(); ++i) {
@@ -228,6 +288,12 @@ ChaseResult ChaseImpl(const Instance* db, const ChaseCheckpointState* resume,
     for (size_t i = boundary.fired.size(); i < fired_log.size(); ++i) {
       boundary.fired.push_back(fired_log[i]);
     }
+    if (collecting) {
+      for (size_t i = boundary.fired_nulls.size(); i < null_log.size(); ++i) {
+        boundary.fired_nulls.push_back(null_log[i]);
+      }
+    }
+    boundary.witness_collected = collecting;
     boundary.carried.clear();
     for (const PendingTrigger& trigger : carried) {
       ChaseCheckpointState::CarriedTrigger c;
@@ -405,6 +471,9 @@ ChaseResult ChaseImpl(const Instance* db, const ChaseCheckpointState* resume,
     std::vector<std::pair<Atom, int>> staged;
     std::unordered_set<Atom, AtomHash> staged_set;
     size_t round_fired = 0;
+    // An aborted (discarded) round truncates the witness logs back here
+    // so the derivation log only ever describes committed facts.
+    const size_t round_log_start = fired_log.size();
     auto commit_staged = [&]() {
       for (auto& [fact, level] : staged) {
         result.instance.Insert(fact);
@@ -430,7 +499,7 @@ ChaseResult ChaseImpl(const Instance* db, const ChaseCheckpointState* resume,
                      trigger.sub);
       pending_keys.erase(key);
       if (!fired.insert(key).second) continue;
-      if (tracking) fired_log.push_back(key);
+      if (tracking || collecting) fired_log.push_back(key);
       const Tgd& tgd = tgds[trigger.tgd_index];
       if (options.restricted &&
           HeadSatisfied(result.instance, tgd, trigger.sub, governor)) {
@@ -438,9 +507,13 @@ ChaseResult ChaseImpl(const Instance* db, const ChaseCheckpointState* resume,
       }
       ++round_fired;
       Substitution extended = trigger.sub;
+      std::vector<uint32_t> drawn;
       for (Term z : existentials[trigger.tgd_index]) {
-        extended.Set(z, Term::FreshNull());
+        Term fresh = Term::FreshNull();
+        if (collecting) drawn.push_back(fresh.id());
+        extended.Set(z, fresh);
       }
+      if (collecting) null_log.push_back(std::move(drawn));
       for (const Atom& head_atom : tgd.head()) {
         Atom fact = extended.Apply(head_atom);
         if (result.instance.Contains(fact) || staged_set.count(fact) > 0) {
@@ -461,6 +534,10 @@ ChaseResult ChaseImpl(const Instance* db, const ChaseCheckpointState* resume,
       // triggers stay; restricted rounds are per-trigger transactional).
       staged.clear();
       staged_set.clear();
+      if (collecting) {
+        fired_log.resize(round_log_start);
+        null_log.resize(round_log_start);
+      }
       if (options.restricted) {
         result.triggers_fired += round_fired;
         stats.triggers_fired = round_fired;
@@ -480,11 +557,18 @@ ChaseResult ChaseImpl(const Instance* db, const ChaseCheckpointState* resume,
       // The staged prefix is committed in memory but the round is
       // partial: the durable state stays at the previous boundary, so a
       // resume with a larger budget replays and completes the round.
+      // The last logged step's head facts are only partially committed,
+      // so the derivation log is sound but no longer exact.
+      witness_exact = false;
       result.complete = false;
       final_checkpoint();
       break;
     }
     ++result.rounds_completed;
+  }
+  if (collecting) {
+    BuildDerivationWitness(fired_log, null_log, witness_exact,
+                           result.complete, &result);
   }
   result.outcome = governor->MakeOutcome();
   return result;

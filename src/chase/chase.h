@@ -10,6 +10,7 @@
 #include "base/governor.h"
 #include "base/instance.h"
 #include "tgd/tgd.h"
+#include "verify/witness.h"
 
 namespace gqe {
 
@@ -44,6 +45,14 @@ struct ChaseCheckpointState {
   /// Keys of fired triggers (tgd index + body-variable images), in
   /// firing order.
   std::vector<std::vector<uint32_t>> fired;
+
+  /// When the run collects a derivation witness: the labelled-null ids
+  /// each fired trigger invented (parallel to `fired`, in
+  /// Tgd::ExistentialVariables() order), so a resumed run reproduces a
+  /// bit-identical replayable derivation log. Empty when
+  /// `witness_collected` is false.
+  std::vector<std::vector<uint32_t>> fired_nulls;
+  bool witness_collected = false;
 
   /// Discovered-but-unfired triggers carried to a later round (their
   /// level's turn has not come). Bindings are (variable bits, term
@@ -119,6 +128,14 @@ struct ChaseOptions {
   /// Rounds between snapshot deliveries (1 = every round boundary).
   /// Values < 1 behave as 1.
   int checkpoint_every = 1;
+
+  /// Collect a replayable derivation log (verify/witness.h) into
+  /// ChaseResult::derivation. Oblivious chase only: the restricted
+  /// chase's skipped-trigger semantics has no step-by-step replay, so
+  /// the flag is ignored (witness stays uncollected) when `restricted`
+  /// is set. Resuming from a snapshot that did not record null draws
+  /// also leaves the witness uncollected — the prefix is unknown.
+  bool collect_witness = false;
 };
 
 /// Per-round instrumentation of the chase engine, for parallel-efficiency
@@ -170,6 +187,14 @@ struct ChaseResult {
 
   /// One entry per chase round, in order.
   std::vector<ChaseRoundStats> round_stats;
+
+  /// Replayable derivation log (ChaseOptions::collect_witness):
+  /// re-firing its steps from the database reproduces `instance`
+  /// bit-for-bit — VerifyDerivation (verify/verifier.h) is the
+  /// independent checker. `derivation.collected` is false when
+  /// collection was off, restricted, or resumed from a witness-less
+  /// snapshot.
+  DerivationWitness derivation;
 
   /// chase^l: the sub-instance of facts with level <= l.
   Instance UpToLevel(int level) const;

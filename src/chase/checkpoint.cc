@@ -36,6 +36,12 @@ std::string EncodeChaseSnapshot(const ChaseCheckpointState& state,
     writer.WriteU64(key.size());
     for (uint32_t word : key) writer.WriteU32(word);
   }
+  writer.WriteBool(state.witness_collected);
+  writer.WriteU64(state.fired_nulls.size());
+  for (const std::vector<uint32_t>& nulls : state.fired_nulls) {
+    writer.WriteU64(nulls.size());
+    for (uint32_t id : nulls) writer.WriteU32(id);
+  }
   writer.WriteU64(state.carried.size());
   for (const ChaseCheckpointState::CarriedTrigger& trigger : state.carried) {
     writer.WriteU32(trigger.tgd_index);
@@ -114,6 +120,37 @@ SnapshotStatus DecodeChaseSnapshot(std::string_view payload,
       key.push_back(word);
     }
     decoded.fired.push_back(std::move(key));
+  }
+
+  uint64_t null_list_count = 0;
+  if (!reader.ReadBool(&decoded.witness_collected) ||
+      !reader.ReadU64(&null_list_count) ||
+      null_list_count > reader.remaining()) {
+    return SnapshotStatus::Fail(SnapshotError::kFormatError,
+                                "chase snapshot null log cut short");
+  }
+  if (decoded.witness_collected && null_list_count != fired_count) {
+    return SnapshotStatus::Fail(
+        SnapshotError::kFormatError,
+        "chase snapshot null log has " + std::to_string(null_list_count) +
+            " entries for " + std::to_string(fired_count) +
+            " fired triggers");
+  }
+  for (uint64_t i = 0; i < null_list_count; ++i) {
+    uint64_t null_count = 0;
+    if (!reader.ReadU64(&null_count) ||
+        null_count * sizeof(uint32_t) > reader.remaining()) {
+      return SnapshotStatus::Fail(SnapshotError::kFormatError,
+                                  "chase snapshot null draws cut short");
+    }
+    std::vector<uint32_t> nulls;
+    nulls.reserve(null_count);
+    for (uint64_t n = 0; n < null_count; ++n) {
+      uint32_t id = 0;
+      reader.ReadU32(&id);
+      nulls.push_back(id);
+    }
+    decoded.fired_nulls.push_back(std::move(nulls));
   }
 
   uint64_t carried_count = 0;

@@ -7,13 +7,19 @@
 namespace gqe {
 
 CqsEvalResult EvaluateCqs(const Cqs& cqs, const Instance& db,
-                          bool check_promise, Governor* governor) {
+                          bool check_promise, Governor* governor,
+                          const WitnessOptions& witness) {
   CqsEvalResult result;
   if (check_promise && !Satisfies(db, cqs.sigma)) {
     result.promise_ok = false;
     return result;
   }
-  result.answers = EvaluateUCQ(cqs.query, db, /*limit=*/0, governor);
+  if (witness.collect) {
+    result.answers = EvaluateUCQWithWitnesses(cqs.query, db, &result.witnesses,
+                                              /*limit=*/0, governor);
+  } else {
+    result.answers = EvaluateUCQ(cqs.query, db, /*limit=*/0, governor);
+  }
   if (governor != nullptr) result.status = governor->status();
   return result;
 }

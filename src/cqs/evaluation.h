@@ -6,6 +6,7 @@
 #include "base/governor.h"
 #include "base/instance.h"
 #include "cqs/cqs.h"
+#include "verify/witness.h"
 
 namespace gqe {
 
@@ -20,11 +21,16 @@ struct CqsEvalResult {
   /// Why the run ended. A non-Completed status means the answer set may
   /// be incomplete (the enumeration was cut short by a guard rail).
   Status status = Status::kCompleted;
+
+  /// One homomorphism certificate per answer (aligned with `answers`),
+  /// filled only when witness collection was requested.
+  std::vector<HomWitness> witnesses;
 };
 
 CqsEvalResult EvaluateCqs(const Cqs& cqs, const Instance& db,
                           bool check_promise = false,
-                          Governor* governor = nullptr);
+                          Governor* governor = nullptr,
+                          const WitnessOptions& witness = {});
 
 /// Decides c̄ ∈ q(D) under the promise. With `use_tree_dp`, uses the
 /// Prop. 2.1 DP — the PTime algorithm behind Theorem 5.7(1) when

@@ -28,7 +28,7 @@ struct WitnessBag {
 }  // namespace
 
 FiniteWitness BuildFiniteWitness(const Instance& db, const TgdSet& sigma,
-                                 int n, const WitnessOptions& options) {
+                                 int n, const FiniteWitnessOptions& options) {
   FiniteWitness witness;
   GovernorScope scope(options.governor, options.budget);
   Governor* governor = scope.get();
@@ -226,7 +226,7 @@ bool WitnessAgreesOnQuery(const FiniteWitness& witness, const Instance& db,
 }
 
 OmqToCqsReduction ReduceOmqToCqs(const Omq& omq, const Instance& db,
-                                 const WitnessOptions& options) {
+                                 const FiniteWitnessOptions& options) {
   OmqToCqsReduction reduction;
   TypeClosureEngine engine(omq.sigma);
   Instance dplus = GroundSaturation(db, omq.sigma, &engine);

@@ -38,7 +38,7 @@ struct FiniteWitness {
   Status status = Status::kCompleted;
 };
 
-struct WitnessOptions {
+struct FiniteWitnessOptions {
   int max_depth = 64;
 
   /// Resource limits for the fold loop and the validation patch chase.
@@ -58,7 +58,7 @@ struct WitnessOptions {
 
 /// Builds M(D, Σ, n) for guarded Σ.
 FiniteWitness BuildFiniteWitness(const Instance& db, const TgdSet& sigma,
-                                 int n, const WitnessOptions& options = {});
+                                 int n, const FiniteWitnessOptions& options = {});
 
 /// Checks the Definition 6.5 property for one concrete query: the
 /// witness's closed-world answers over dom(D) coincide with the certain
@@ -76,7 +76,7 @@ struct OmqToCqsReduction {
 };
 
 OmqToCqsReduction ReduceOmqToCqs(const Omq& omq, const Instance& db,
-                                 const WitnessOptions& options = {});
+                                 const FiniteWitnessOptions& options = {});
 
 }  // namespace gqe
 

@@ -1,7 +1,9 @@
 #include "guarded/omq_eval.h"
 
 #include <algorithm>
+#include <utility>
 
+#include "chase/chase.h"
 #include "guarded/portion_snapshot.h"
 #include "query/evaluation.h"
 #include "query/tw_evaluation.h"
@@ -30,6 +32,45 @@ ChaseTree BuildPortion(const Instance& db, const TgdSet& sigma,
                               engine);
 }
 
+/// Certifies each reported answer with a homomorphism into a bounded
+/// oblivious chase (iterative deepening: l = 1, 2, 4, … up to the
+/// witness cap, under a local fact budget separate from the request's
+/// governor). chase^l(D,Σ) ⊆ chase(D,Σ), so every homomorphism found is
+/// a sound certificate even though the full chase may be infinite.
+void CertifyAnswers(const Instance& db, const TgdSet& sigma, const UCQ& query,
+                    const WitnessOptions& witness_options,
+                    GuardedAnswersResult* result) {
+  result->certified = false;
+  for (int level = 1; level <= witness_options.certify_max_level;
+       level *= 2) {
+    ChaseOptions chase_options;
+    chase_options.max_level = level;
+    chase_options.collect_witness = true;
+    chase_options.budget.max_facts = witness_options.certify_max_facts;
+    ChaseResult chased = Chase(db, sigma, chase_options);
+    // Every round re-certifies *all* answers against this chase run:
+    // each run draws its own fresh nulls, so homomorphisms from an
+    // earlier (shallower) run would not match the derivation log kept
+    // here. chase^l ⊆ chase^{2l} semantically, so nothing certified at a
+    // shallower level is lost by redoing it deeper.
+    result->witnesses.assign(result->answers.size(), HomWitness{});
+    size_t found = 0;
+    for (size_t i = 0; i < result->answers.size(); ++i) {
+      if (FindUcqAnswerWitness(query, chased.instance, result->answers[i],
+                               &result->witnesses[i])) {
+        ++found;
+      }
+    }
+    result->derivation = std::move(chased.derivation);
+    if (found == result->answers.size()) {
+      result->certified = true;
+      break;
+    }
+    if (chased.outcome.status != Status::kCompleted) break;  // budget wall
+    if (chased.complete) break;  // chase saturated; deeper levels add nothing
+  }
+}
+
 }  // namespace
 
 GuardedAnswersResult EvaluateGuardedCertainAnswers(
@@ -54,6 +95,9 @@ GuardedAnswersResult EvaluateGuardedCertainAnswers(
     if (over_db) result.answers.push_back(std::move(tuple));
   }
   result.status = governor->status();
+  if (options.witness.collect) {
+    CertifyAnswers(db, sigma, query, options.witness, &result);
+  }
   return result;
 }
 

@@ -10,6 +10,7 @@
 #include "guarded/type_closure.h"
 #include "query/cq.h"
 #include "tgd/tgd.h"
+#include "verify/witness.h"
 
 namespace gqe {
 
@@ -38,6 +39,15 @@ struct GuardedEvalOptions {
   /// validated by checksum) instead of re-saturating, and persists a
   /// fresh snapshot after a complete build. See guarded/portion_snapshot.h.
   std::string checkpoint_dir;
+
+  /// Certificate collection. The guarded portion itself is not a chase
+  /// prefix, so answers are certified independently: an
+  /// iteratively-deepened *oblivious* chase (levels 1, 2, 4, … up to
+  /// `witness.certify_max_level`, at most `witness.certify_max_facts`
+  /// facts) is replayed until every reported answer has a homomorphism
+  /// into it. Since chase^l(D,Σ) ⊆ chase(D,Σ), any such homomorphism is
+  /// a sound certificate of certain membership.
+  WitnessOptions witness;
 };
 
 /// Certain answers plus the governed status of the run. When `status` is
@@ -48,6 +58,15 @@ struct GuardedAnswersResult {
   std::vector<std::vector<Term>> answers;
   Status status = Status::kCompleted;
   bool portion_truncated = false;
+
+  /// Certification (only with options.witness.collect): the derivation
+  /// log of the bounded certification chase, one homomorphism witness
+  /// per certified answer (aligned with `answers`; uncertified answers
+  /// hold an empty assignment), and whether *every* answer was certified
+  /// before the deepening caps were reached.
+  DerivationWitness derivation;
+  std::vector<HomWitness> witnesses;
+  bool certified = false;
 };
 
 /// Certain answers Q(D) = q(chase(D,Σ)) of a UCQ under a guarded set

@@ -66,4 +66,27 @@ std::vector<std::vector<Term>> LinearCertainAnswersViaRewriting(
   return FilterToDomain(EvaluateUCQ(rewrite.rewriting, db), db);
 }
 
+std::vector<std::vector<Term>> LinearCertainAnswersViaRewriting(
+    const Instance& db, const TgdSet& sigma, const UCQ& query,
+    std::vector<RewriteWitness>* witnesses) {
+  RewriteResult rewrite = RewriteUnderLinearTgds(query, sigma);
+  std::vector<std::vector<Term>> answers =
+      FilterToDomain(EvaluateUCQ(rewrite.rewriting, db), db);
+  witnesses->clear();
+  witnesses->reserve(answers.size());
+  for (const auto& answer : answers) {
+    RewriteWitness record;
+    record.chase_depth = static_cast<uint32_t>(rewrite.rounds);
+    if (FindUcqAnswerWitness(rewrite.rewriting, db, answer, &record.hom)) {
+      record.disjunct = record.hom.disjunct;
+      record.rewritten = rewrite.rewriting.disjuncts()[record.disjunct];
+      // The provenance record stands alone: its hom indexes into the
+      // single CQ it carries, not into the full rewriting.
+      record.hom.disjunct = 0;
+    }
+    witnesses->push_back(std::move(record));
+  }
+  return answers;
+}
+
 }  // namespace gqe

@@ -6,6 +6,7 @@
 #include "base/instance.h"
 #include "query/cq.h"
 #include "tgd/tgd.h"
+#include "verify/witness.h"
 
 namespace gqe {
 
@@ -39,6 +40,16 @@ LinearChaseEvalResult LinearCertainAnswersViaChase(const Instance& db,
 /// first, then evaluate over D directly.
 std::vector<std::vector<Term>> LinearCertainAnswersViaRewriting(
     const Instance& db, const TgdSet& sigma, const UCQ& query);
+
+/// Witness-emitting variant: `witnesses` receives one provenance record
+/// per answer (aligned index-by-index) — the rewritten disjunct that
+/// matched, the homomorphism placing it in D, and the rewriting depth.
+/// VerifyRewriteProvenance re-checks each record against the *original*
+/// query by chasing the homomorphic image forward, independent of the
+/// rewriting procedure that produced it.
+std::vector<std::vector<Term>> LinearCertainAnswersViaRewriting(
+    const Instance& db, const TgdSet& sigma, const UCQ& query,
+    std::vector<RewriteWitness>* witnesses);
 
 }  // namespace gqe
 

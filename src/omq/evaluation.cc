@@ -28,6 +28,29 @@ std::vector<std::vector<Term>> FilterToDomain(
   return out;
 }
 
+/// FilterToDomain keeping the per-answer witness list aligned.
+std::vector<std::vector<Term>> FilterToDomainWithWitnesses(
+    std::vector<std::vector<Term>> tuples, const Instance& db,
+    std::vector<HomWitness>* witnesses) {
+  std::vector<std::vector<Term>> out;
+  std::vector<HomWitness> kept;
+  for (size_t i = 0; i < tuples.size(); ++i) {
+    bool inside = true;
+    for (Term t : tuples[i]) {
+      if (!db.InDomain(t)) {
+        inside = false;
+        break;
+      }
+    }
+    if (inside) {
+      out.push_back(std::move(tuples[i]));
+      if (i < witnesses->size()) kept.push_back(std::move((*witnesses)[i]));
+    }
+  }
+  *witnesses = std::move(kept);
+  return out;
+}
+
 /// Chase with optional crash-safe resume: with a checkpoint directory
 /// the saturated (or level-bounded) chase is resumed from its last good
 /// snapshot — a complete snapshot short-circuits the whole re-chase.
@@ -47,22 +70,38 @@ OmqEvalResult EvaluateOmq(const Omq& omq, const Instance& db,
   // the query evaluation over the materialized instance).
   GovernorScope scope(options.governor, options.budget);
   Governor* governor = scope.get();
+  const bool collect = options.witness.collect;
   if (omq.sigma.empty()) {
     result.method = "empty-ontology";
-    result.answers = EvaluateUCQ(omq.query, db, /*limit=*/0, governor);
+    if (collect) {
+      result.answers = EvaluateUCQWithWitnesses(
+          omq.query, db, &result.witness.answers, /*limit=*/0, governor);
+      result.witness.kind = EvalWitness::Kind::kAnswers;
+      result.witness.certified = true;
+    } else {
+      result.answers = EvaluateUCQ(omq.query, db, /*limit=*/0, governor);
+    }
   } else if (IsGuardedSet(omq.sigma)) {
     result.method = "guarded-portion";
     GuardedEvalOptions guarded_options;
     guarded_options.governor = governor;
     guarded_options.use_tree_dp = options.use_tree_dp;
     guarded_options.checkpoint_dir = options.checkpoint_dir;
+    guarded_options.witness = options.witness;
     GuardedAnswersResult guarded = EvaluateGuardedCertainAnswers(
         db, omq.sigma, omq.query, guarded_options);
     result.answers = std::move(guarded.answers);
     if (guarded.portion_truncated) result.exact = false;
+    if (collect) {
+      result.witness.kind = EvalWitness::Kind::kChaseAndAnswers;
+      result.witness.derivation = std::move(guarded.derivation);
+      result.witness.answers = std::move(guarded.witnesses);
+      result.witness.certified = guarded.certified;
+    }
   } else {
     ChaseOptions chase_options;
     chase_options.governor = governor;
+    chase_options.collect_witness = collect;
     if (IsObliviousChaseTerminating(omq.sigma)) {
       result.method = "terminating-chase";
     } else {
@@ -77,9 +116,25 @@ OmqEvalResult EvaluateOmq(const Omq& omq, const Instance& db,
       // A guard rail fired despite a terminating set.
       result.exact = false;
     }
-    result.answers = FilterToDomain(
-        EvaluateUCQ(omq.query, chased.instance, /*limit=*/0, governor), db);
+    if (collect) {
+      result.answers = EvaluateUCQWithWitnesses(
+          omq.query, chased.instance, &result.witness.answers, /*limit=*/0,
+          governor);
+      result.answers =
+          FilterToDomainWithWitnesses(std::move(result.answers), db,
+                                      &result.witness.answers);
+      result.witness.kind = EvalWitness::Kind::kChaseAndAnswers;
+      result.witness.derivation = std::move(chased.derivation);
+      // A checkpoint resume from a witness-less (or pre-witness) snapshot
+      // cannot reconstruct the trigger log; the answers stand, but the
+      // certificate is incomplete.
+      result.witness.certified = result.witness.derivation.collected;
+    } else {
+      result.answers = FilterToDomain(
+          EvaluateUCQ(omq.query, chased.instance, /*limit=*/0, governor), db);
+    }
   }
+  if (collect) result.witness.method = result.method;
   result.status = governor->status();
   if (result.status != Status::kCompleted) {
     // Partial certain-answer status: the reported tuples are sound, the

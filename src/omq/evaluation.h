@@ -7,6 +7,7 @@
 #include "base/governor.h"
 #include "base/instance.h"
 #include "omq/omq.h"
+#include "verify/witness.h"
 
 namespace gqe {
 
@@ -30,6 +31,12 @@ struct OmqEvalResult {
   /// reported answers are a sound under-approximation of the certain
   /// answers, not necessarily all of them.
   bool partial = false;
+
+  /// Machine-checkable certificate (only with options.witness.collect):
+  /// per-answer homomorphism witnesses, plus — for the chase-backed
+  /// methods — the replayable derivation log of the instance the
+  /// homomorphisms target. See verify/verifier.h for the checkers.
+  EvalWitness witness;
 };
 
 /// Options for OMQ evaluation.
@@ -59,6 +66,12 @@ struct OmqEvalOptions {
   /// directory written by a different workload is detected by
   /// fingerprint and ignored.
   std::string checkpoint_dir;
+
+  /// Certificate collection (verify/witness.h). Off by default: the
+  /// chase logs every trigger firing and each answer is paired with its
+  /// witnessing homomorphism, which costs memory proportional to the
+  /// materialized instance.
+  WitnessOptions witness;
 };
 
 /// Certain answers Q(D) (Section 3.1 / Proposition 3.1). Dispatches by

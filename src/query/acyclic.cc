@@ -74,7 +74,9 @@ std::optional<JoinTree> GyoJoinTree(const CQ& cq) {
 bool IsAcyclicCq(const CQ& cq) { return GyoJoinTree(cq).has_value(); }
 
 std::optional<bool> HoldsAcyclicCq(const CQ& cq, const Instance& db,
-                                   const std::vector<Term>& answer) {
+                                   const std::vector<Term>& answer,
+                                   JoinTreeWitness* tree_witness,
+                                   HomWitness* hom_witness) {
   Substitution candidate;
   for (size_t i = 0; i < cq.answer_vars().size(); ++i) {
     candidate.Set(cq.answer_vars()[i], answer[i]);
@@ -84,6 +86,10 @@ std::optional<bool> HoldsAcyclicCq(const CQ& cq, const Instance& db,
   CQ grounded({}, atoms);
   std::optional<JoinTree> tree = GyoJoinTree(grounded);
   if (!tree.has_value()) return std::nullopt;
+  if (tree_witness != nullptr) {
+    tree_witness->parent.assign(tree->parent.begin(), tree->parent.end());
+    tree_witness->order.assign(tree->order.begin(), tree->order.end());
+  }
 
   // Per-atom relations: tuples of variable bindings matching the atom.
   const size_t n = atoms.size();
@@ -150,6 +156,56 @@ std::optional<bool> HoldsAcyclicCq(const CQ& cq, const Instance& db,
     }
     relations[parent] = std::move(filtered);
     if (relations[parent].empty()) return false;
+  }
+  if (hom_witness != nullptr) {
+    // Yannakakis traceback, parents before children (reverse GYO
+    // order): each atom picks a tuple consistent with its parent's
+    // choice on the shared variables. The join tree's connectedness
+    // property propagates equality along paths, so the union of choices
+    // plus the candidate grounding is a single homomorphism.
+    std::vector<std::vector<Term>> chosen(n);
+    for (auto it = tree->order.rbegin(); it != tree->order.rend(); ++it) {
+      const size_t i = static_cast<size_t>(*it);
+      const int parent = tree->parent[i];
+      if (parent < 0) {
+        chosen[i] = relations[i].front();
+        continue;
+      }
+      std::vector<size_t> child_pos, parent_pos;
+      for (size_t a = 0; a < var_lists[i].size(); ++a) {
+        for (size_t b = 0; b < var_lists[parent].size(); ++b) {
+          if (var_lists[i][a] == var_lists[parent][b]) {
+            child_pos.push_back(a);
+            parent_pos.push_back(b);
+          }
+        }
+      }
+      for (const auto& tuple : relations[i]) {
+        bool matches = true;
+        for (size_t p = 0; p < child_pos.size() && matches; ++p) {
+          matches = tuple[child_pos[p]] == chosen[parent][parent_pos[p]];
+        }
+        if (matches) {
+          chosen[i] = tuple;
+          break;
+        }
+      }
+    }
+    Substitution assignment = candidate;
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t a = 0; a < var_lists[i].size() && a < chosen[i].size();
+           ++a) {
+        assignment.Set(var_lists[i][a], chosen[i][a]);
+      }
+    }
+    hom_witness->disjunct = 0;
+    hom_witness->answer = answer;
+    hom_witness->assignment.clear();
+    for (Term v : cq.AllVariables()) {
+      if (assignment.Has(v)) {
+        hom_witness->assignment.emplace_back(v, assignment.Apply(v));
+      }
+    }
   }
   return true;
 }

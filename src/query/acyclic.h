@@ -6,6 +6,7 @@
 
 #include "base/instance.h"
 #include "query/cq.h"
+#include "verify/witness.h"
 
 namespace gqe {
 
@@ -27,8 +28,20 @@ bool IsAcyclicCq(const CQ& cq);
 /// Yannakakis' algorithm: decides c̄ ∈ q(D) for an acyclic CQ in time
 /// O(‖q‖ · ‖D‖ · log ‖D‖) via bottom-up semijoin reduction over the join
 /// tree. Falls back to std::nullopt if the query is not acyclic.
+///
+/// Certificates (verify/verifier.h checks them independently):
+/// `tree_witness` (optional) receives the join tree the run used
+/// whenever the query is acyclic; `hom_witness` (optional) receives a
+/// full homomorphism assignment — extracted by the standard Yannakakis
+/// top-down traceback over the semijoin-reduced relations — when the
+/// answer holds. The join tree is computed for the *candidate-grounded*
+/// query (answer variables replaced by `answer`, which is what the run
+/// evaluates), so pass that grounding to VerifyJoinTree — a grounding
+/// can be alpha-acyclic where the unbound query is not.
 std::optional<bool> HoldsAcyclicCq(const CQ& cq, const Instance& db,
-                                   const std::vector<Term>& answer);
+                                   const std::vector<Term>& answer,
+                                   JoinTreeWitness* tree_witness = nullptr,
+                                   HomWitness* hom_witness = nullptr);
 
 }  // namespace gqe
 

@@ -7,6 +7,7 @@
 #include "base/instance.h"
 #include "query/cq.h"
 #include "query/substitution.h"
+#include "verify/witness.h"
 
 namespace gqe {
 
@@ -23,6 +24,24 @@ std::vector<std::vector<Term>> EvaluateCQ(const CQ& cq, const Instance& db,
 std::vector<std::vector<Term>> EvaluateUCQ(const UCQ& ucq, const Instance& db,
                                            size_t limit = 0,
                                            Governor* governor = nullptr);
+
+/// Witness-collecting evaluation: like EvaluateUCQ, but `witnesses`
+/// receives one homomorphism certificate per returned answer, aligned
+/// index-by-index with the (sorted, deduplicated) answer list. Each
+/// certificate records the first disjunct and the first homomorphism (in
+/// deterministic enumeration order) that produced the answer; the full
+/// variable assignment lets VerifyHomomorphism re-check it atom-by-atom.
+std::vector<std::vector<Term>> EvaluateUCQWithWitnesses(
+    const UCQ& ucq, const Instance& db, std::vector<HomWitness>* witnesses,
+    size_t limit = 0, Governor* governor = nullptr);
+
+/// Finds a homomorphism certificate for one candidate answer: the first
+/// disjunct (and first homomorphism) placing the query in `db` at
+/// `answer`. Returns false when the answer does not hold (or the
+/// governor tripped first).
+bool FindUcqAnswerWitness(const UCQ& ucq, const Instance& db,
+                          const std::vector<Term>& answer, HomWitness* out,
+                          Governor* governor = nullptr);
 
 /// Decides c̄ ∈ q(I) for a candidate answer (the paper's evaluation
 /// problem). A candidate whose arity differs from the query's is never

@@ -90,10 +90,21 @@ std::vector<std::vector<Term>> BagSolutions(
   return solutions;
 }
 
-}  // namespace
+/// Records `sub` restricted to the query's variables as a HomWitness
+/// assignment (CQ::AllVariables() order).
+void FillWitness(const CQ& cq, const std::vector<Term>& answer,
+                 const Substitution& sub, HomWitness* witness) {
+  witness->disjunct = 0;
+  witness->answer = answer;
+  witness->assignment.clear();
+  for (Term v : cq.AllVariables()) {
+    if (sub.Has(v)) witness->assignment.emplace_back(v, sub.Apply(v));
+  }
+}
 
-bool HoldsCqTreeDp(const CQ& cq, const Instance& db,
-                   const std::vector<Term>& answer, Governor* governor) {
+bool HoldsCqTreeDpImpl(const CQ& cq, const Instance& db,
+                       const std::vector<Term>& answer, HomWitness* witness,
+                       Governor* governor) {
   Substitution candidate;
   for (size_t i = 0; i < cq.answer_vars().size(); ++i) {
     candidate.Set(cq.answer_vars()[i], answer[i]);
@@ -107,7 +118,10 @@ bool HoldsCqTreeDp(const CQ& cq, const Instance& db,
       residual.push_back(grounded);
     }
   }
-  if (residual.empty()) return true;
+  if (residual.empty()) {
+    if (witness != nullptr) FillWitness(cq, answer, candidate, witness);
+    return true;
+  }
 
   // Gaifman graph over the residual variables.
   std::vector<Term> vars = VariablesOf(residual);
@@ -213,16 +227,92 @@ bool HoldsCqTreeDp(const CQ& cq, const Instance& db,
         }
       }
       solutions[b] = std::move(filtered);
-      solutions[child].clear();  // release memory
+      // Witness extraction stitches the tables top-down afterwards, so
+      // child tables must survive; otherwise release the memory.
+      if (witness == nullptr) solutions[child].clear();
     }
   }
-  return !solutions[0].empty();
+  if (solutions[0].empty()) return false;
+  if (witness != nullptr) {
+    // Top-down stitching in BFS order: every bag picks the first of its
+    // (children-filtered) solutions consistent with its parent's pick on
+    // the shared variables; the decomposition's connectedness property
+    // turns the per-bag picks into one homomorphism.
+    std::vector<std::vector<Term>> chosen(td.num_bags());
+    for (int b : order) {
+      std::vector<Term> bag_vars;
+      for (int v : td.bag(b)) bag_vars.push_back(vars[v]);
+      const int p = parent[b];
+      if (p < 0) {
+        chosen[b] = solutions[b].front();
+      } else {
+        std::vector<Term> parent_vars;
+        for (int v : td.bag(p)) parent_vars.push_back(vars[v]);
+        std::vector<size_t> bag_pos, parent_pos;
+        for (size_t i = 0; i < bag_vars.size(); ++i) {
+          for (size_t j = 0; j < parent_vars.size(); ++j) {
+            if (bag_vars[i] == parent_vars[j]) {
+              bag_pos.push_back(i);
+              parent_pos.push_back(j);
+            }
+          }
+        }
+        for (const auto& tuple : solutions[b]) {
+          bool matches = true;
+          for (size_t s = 0; s < bag_pos.size() && matches; ++s) {
+            matches = tuple[bag_pos[s]] == chosen[p][parent_pos[s]];
+          }
+          if (matches) {
+            chosen[b] = tuple;
+            break;
+          }
+        }
+      }
+    }
+    Substitution assignment = candidate;
+    for (int b : order) {
+      size_t i = 0;
+      for (int v : td.bag(b)) {
+        if (i < chosen[b].size()) assignment.Set(vars[v], chosen[b][i]);
+        ++i;
+      }
+    }
+    FillWitness(cq, answer, assignment, witness);
+  }
+  return true;
+}
+
+}  // namespace
+
+bool HoldsCqTreeDp(const CQ& cq, const Instance& db,
+                   const std::vector<Term>& answer, Governor* governor) {
+  return HoldsCqTreeDpImpl(cq, db, answer, nullptr, governor);
+}
+
+bool HoldsCqTreeDpWithWitness(const CQ& cq, const Instance& db,
+                              const std::vector<Term>& answer,
+                              HomWitness* witness, Governor* governor) {
+  return HoldsCqTreeDpImpl(cq, db, answer, witness, governor);
 }
 
 bool HoldsUcqTreeDp(const UCQ& ucq, const Instance& db,
                     const std::vector<Term>& answer, Governor* governor) {
   for (const CQ& cq : ucq.disjuncts()) {
     if (HoldsCqTreeDp(cq, db, answer, governor)) return true;
+    if (governor != nullptr && governor->Tripped()) break;
+  }
+  return false;
+}
+
+bool HoldsUcqTreeDpWithWitness(const UCQ& ucq, const Instance& db,
+                               const std::vector<Term>& answer,
+                               HomWitness* witness, Governor* governor) {
+  for (size_t d = 0; d < ucq.num_disjuncts(); ++d) {
+    if (HoldsCqTreeDpWithWitness(ucq.disjuncts()[d], db, answer, witness,
+                                 governor)) {
+      if (witness != nullptr) witness->disjunct = static_cast<uint32_t>(d);
+      return true;
+    }
     if (governor != nullptr && governor->Tripped()) break;
   }
   return false;

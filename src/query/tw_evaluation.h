@@ -6,6 +6,7 @@
 #include "base/governor.h"
 #include "base/instance.h"
 #include "query/cq.h"
+#include "verify/witness.h"
 
 namespace gqe {
 
@@ -26,6 +27,21 @@ bool HoldsCqTreeDp(const CQ& cq, const Instance& db,
 bool HoldsUcqTreeDp(const UCQ& ucq, const Instance& db,
                     const std::vector<Term>& answer,
                     Governor* governor = nullptr);
+
+/// Witness-extracting variants: on a positive answer, `witness` receives
+/// a full homomorphism assignment stitched top-down out of the DP tables
+/// (each bag picks a solution tuple consistent with its parent's pick;
+/// the decomposition's connectedness property makes the union a single
+/// homomorphism). The certificate is checkable by VerifyHomomorphism
+/// with no reference to the decomposition that produced it.
+bool HoldsCqTreeDpWithWitness(const CQ& cq, const Instance& db,
+                              const std::vector<Term>& answer,
+                              HomWitness* witness,
+                              Governor* governor = nullptr);
+bool HoldsUcqTreeDpWithWitness(const UCQ& ucq, const Instance& db,
+                               const std::vector<Term>& answer,
+                               HomWitness* witness,
+                               Governor* governor = nullptr);
 
 /// Boolean variants.
 bool HoldsBooleanCqTreeDp(const CQ& cq, const Instance& db,

@@ -8,10 +8,14 @@
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
+#include <map>
 #include <thread>
 #include <utility>
 
 #include "base/subprocess.h"
+#include "parser/parser.h"
+#include "verify/verifier.h"
+#include "verify/witness.h"
 #include "workload/report.h"
 
 namespace gqe {
@@ -115,6 +119,21 @@ class Supervisor {
       job.row.kind = job.request->kind;
       jobs_.push_back(std::move(job));
     }
+    // Verification parses every distinct program up front, in manifest
+    // order, *before* the first fork: worker children then inherit an
+    // interner with identical ids, so the supervisor's replayed
+    // instances serialize to the same bytes as the workers' and the
+    // digest cross-checks below are exact.
+    if (options_.verify) {
+      for (const EvalRequest& request : manifest.requests) {
+        const std::string& path = request.program_path;
+        if (programs_.count(path) > 0) continue;
+        std::string text;
+        if (!ReadFileBytes(path, &text).ok()) continue;
+        ParseResult parsed = ParseProgram(text);
+        if (parsed.ok) programs_.emplace(path, std::move(parsed.program));
+      }
+    }
   }
 
   ServeReport Run() {
@@ -145,8 +164,19 @@ class Supervisor {
           ++report.shed;
           break;
       }
+      switch (job.row.verify_outcome) {
+        case VerifyOutcome::kVerified:
+          ++report.verified;
+          break;
+        case VerifyOutcome::kUnverified:
+          ++report.unverified;
+          break;
+        default:
+          break;
+      }
       report.rows.push_back(std::move(job.row));
     }
+    report.witness_rejections = witness_rejections_;
     report.wall_ms = clock_.ElapsedMs();
     TearDownWorkDir();
     return report;
@@ -279,6 +309,7 @@ class Supervisor {
     invocation.degraded = job.degraded_phase;
     invocation.degraded_fallback_level = options_.degraded_fallback_level;
     invocation.heartbeat_interval_ms = options_.heartbeat_interval_ms;
+    invocation.collect_witness = options_.verify;
     if (!work_dir_.empty()) {
       invocation.checkpoint_dir =
           work_dir_ + "/" + SanitizeId(job.request->id);
@@ -380,6 +411,26 @@ class Supervisor {
       if (status.ok()) {
         cause = "ok";
         result = &decoded;
+        if (options_.verify) {
+          std::string reason;
+          const VerifyOutcome outcome =
+              CheckWitness(*job.request, decoded, &reason);
+          if (outcome == VerifyOutcome::kRejected) {
+            // The certificate failed a check: discard the result and walk
+            // the normal retry/degradation ladder.
+            cause = "bad-witness";
+            result = nullptr;
+            ++witness_rejections_;
+            if (options_.verbose) {
+              std::printf("serve: reject id=%s attempt=%d witness: %s\n",
+                          job.request->id.c_str(), flight.record.attempt,
+                          reason.c_str());
+            }
+          } else {
+            job.row.verify_outcome = outcome;
+            job.row.verify_reason = reason;
+          }
+        }
       } else {
         cause = "bad-result";
       }
@@ -470,12 +521,153 @@ class Supervisor {
     job.row.retry_wait_ms += delay;
   }
 
+  /// Independently re-checks a worker's certificate against the
+  /// supervisor's own parse of the program. kRejected means the result
+  /// must be discarded (a check failed); kUnverified means the result
+  /// stands but no full certificate was available; kVerified means every
+  /// check — derivation replay, per-answer homomorphisms, and the digest
+  /// cross-check binding the certificate to the reported answers —
+  /// passed.
+  VerifyOutcome CheckWitness(const EvalRequest& request,
+                             const WorkerResult& result,
+                             std::string* reason) {
+    auto program_it = programs_.find(request.program_path);
+    if (program_it == programs_.end()) {
+      *reason = "program-unavailable";
+      return VerifyOutcome::kUnverified;
+    }
+    const Program& program = program_it->second;
+    if (result.witness.empty()) {
+      // Workers in verify mode always attach a witness blob, even an
+      // uncollected one; a missing blob is a protocol violation.
+      *reason = "no-witness";
+      return VerifyOutcome::kRejected;
+    }
+    EvalWitness witness;
+    const SnapshotStatus status =
+        DecodeEvalWitnessFromString(result.witness, &witness);
+    if (!status.ok()) {
+      *reason = "witness-decode: " + status.message;
+      return VerifyOutcome::kRejected;
+    }
+
+    if (request.kind == RequestKind::kChase) {
+      if (witness.kind != EvalWitness::Kind::kDerivation) {
+        *reason = "wrong-witness-kind";
+        return VerifyOutcome::kRejected;
+      }
+      if (!witness.derivation.collected) {
+        *reason = "derivation-not-collected";
+        return VerifyOutcome::kUnverified;
+      }
+      Instance replayed;
+      DerivationCheckOptions check;
+      check.check_model = true;
+      const VerifyResult replay = VerifyDerivation(
+          program.database, program.tgds, witness.derivation, &replayed,
+          check);
+      if (!replay.ok()) {
+        *reason = std::string(VerifyCodeName(replay.code)) + ": " +
+                  replay.reason;
+        return VerifyOutcome::kRejected;
+      }
+      if (!witness.derivation.replay_exact) {
+        // Budget-hit prefix: the logged steps replayed cleanly but the
+        // final instance is not fully covered by the log.
+        *reason = "inexact-derivation";
+        return VerifyOutcome::kUnverified;
+      }
+      if (replayed.size() != result.facts) {
+        *reason = "replay disagrees with reported fact count";
+        return VerifyOutcome::kRejected;
+      }
+      BinaryWriter writer;
+      EncodeInstance(replayed, &writer);
+      if (Crc32(writer.buffer()) != result.answer_crc) {
+        *reason = "replay disagrees with reported instance digest";
+        return VerifyOutcome::kRejected;
+      }
+      return VerifyOutcome::kVerified;
+    }
+
+    // Query kinds: the homomorphisms target either the database itself
+    // or an instance the witness's derivation log reconstructs.
+    if (witness.kind == EvalWitness::Kind::kNone) {
+      *reason = "wrong-witness-kind";
+      return VerifyOutcome::kRejected;
+    }
+    Instance replayed;
+    const Instance* target = &program.database;
+    if (witness.kind == EvalWitness::Kind::kChaseAndAnswers) {
+      if (!witness.derivation.collected) {
+        *reason = "derivation-not-collected";
+        return VerifyOutcome::kUnverified;
+      }
+      const VerifyResult replay = VerifyDerivation(
+          program.database, program.tgds, witness.derivation, &replayed);
+      if (!replay.ok()) {
+        *reason = std::string(VerifyCodeName(replay.code)) + ": " +
+                  replay.reason;
+        return VerifyOutcome::kRejected;
+      }
+      if (!witness.derivation.replay_exact) {
+        *reason = "inexact-derivation";
+        return VerifyOutcome::kUnverified;
+      }
+      target = &replayed;
+    }
+    if (!witness.certified) {
+      // e.g. a guarded certification that hit its deepening cap, or a
+      // multi-query request mixing chase-backed engines.
+      *reason = "uncertified";
+      return VerifyOutcome::kUnverified;
+    }
+    // Re-check each answer's homomorphism atom-by-atom and rebuild the
+    // worker's digest from the certificate alone: matching CRCs bind the
+    // emitted result line to independently checked answers.
+    std::string digest;
+    uint64_t count = 0;
+    for (const HomWitness& hom : witness.answers) {
+      auto query_it = program.queries.find(hom.query);
+      if (query_it == program.queries.end()) {
+        *reason = "witness names unknown query '" + hom.query + "'";
+        return VerifyOutcome::kRejected;
+      }
+      const VerifyResult check = VerifyHomomorphism(query_it->second, *target,
+                                                    hom);
+      if (!check.ok()) {
+        *reason = std::string(VerifyCodeName(check.code)) + ": " +
+                  check.reason;
+        return VerifyOutcome::kRejected;
+      }
+      digest.append(hom.query);
+      digest.push_back('(');
+      for (size_t i = 0; i < hom.answer.size(); ++i) {
+        if (i > 0) digest.append(", ");
+        digest.append(hom.answer[i].ToString());
+      }
+      digest.append(")\n");
+      ++count;
+    }
+    if (count != result.answer_count) {
+      *reason = "witness count disagrees with reported answer count";
+      return VerifyOutcome::kRejected;
+    }
+    if (Crc32(digest) != result.answer_crc) {
+      *reason = "witness digest disagrees with reported answer digest";
+      return VerifyOutcome::kRejected;
+    }
+    return VerifyOutcome::kVerified;
+  }
+
   const ServeOptions& options_;
   std::vector<Job> jobs_;
   std::vector<Inflight> inflight_;
   Stopwatch clock_;
   std::string work_dir_;
   bool owns_work_dir_ = false;
+  std::map<std::string, Program> programs_;
+  size_t witness_rejections_ = 0;
 };
 
 }  // namespace
@@ -559,6 +751,13 @@ std::string ServeReport::DeterministicText() const {
                     static_cast<unsigned long long>(
                         row.result.rounds_completed));
       out += buffer;
+      // Fault-invariant by design: a resumed retry restores the witness
+      // log from the snapshot, so chaos and fault-free runs of the same
+      // manifest verify identically.
+      if (row.verify_outcome != VerifyOutcome::kNotChecked) {
+        out += " verified=";
+        out += row.verify_outcome == VerifyOutcome::kVerified ? "yes" : "no";
+      }
     }
     out += '\n';
   }
@@ -566,8 +765,11 @@ std::string ServeReport::DeterministicText() const {
 }
 
 void ServeReport::PrintOps(const std::string& title) const {
+  // New columns append at the end: the chaos smoke greps this table by
+  // column position.
   ReportTable table({"id", "kind", "state", "attempts", "causes",
-                     "resumed gen", "rounds", "eval ms", "retry wait ms"});
+                     "resumed gen", "rounds", "eval ms", "retry wait ms",
+                     "verify"});
   for (const RequestRow& row : rows) {
     std::string causes;
     for (const AttemptRecord& attempt : row.attempts) {
@@ -586,13 +788,22 @@ void ServeReport::PrintOps(const std::string& title) const {
                   ReportTable::Cell(
                       static_cast<size_t>(row.result.rounds_completed)),
                   ReportTable::Cell(row.result.eval_ms),
-                  ReportTable::Cell(row.retry_wait_ms)});
+                  ReportTable::Cell(row.retry_wait_ms),
+                  row.verify_outcome == VerifyOutcome::kNotChecked
+                      ? std::string("-")
+                      : std::string(VerifyOutcomeName(row.verify_outcome))});
   }
   table.Print(title);
   std::printf(
       "serve: %zu completed, %zu degraded, %zu failed, %zu shed "
       "in %.1f ms (chaos marked *)\n",
       completed, degraded, failed, shed, wall_ms);
+  if (verified + unverified + witness_rejections > 0) {
+    std::printf(
+        "serve: verify: %zu verified, %zu unverified, "
+        "%zu witness rejections\n",
+        verified, unverified, witness_rejections);
+  }
 }
 
 ServeReport ServeManifest(const Manifest& manifest,

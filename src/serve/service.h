@@ -7,6 +7,7 @@
 
 #include "serve/request.h"
 #include "serve/worker.h"
+#include "workload/report.h"
 
 namespace gqe {
 
@@ -87,6 +88,19 @@ struct ServeOptions {
 
   /// Per-attempt progress lines on stdout.
   bool verbose = false;
+
+  /// Certified answers (--verify): workers collect a machine-checkable
+  /// witness with every result, and the supervisor independently
+  /// re-checks it — replaying chase derivation logs step-by-step and
+  /// homomorphism certificates atom-by-atom against its *own* parse of
+  /// the program — before emitting the result line. A result whose
+  /// certificate fails a check is discarded ("bad-witness") and the
+  /// attempt walks the normal retry/degradation ladder; a result with no
+  /// full certificate (e.g. resumed from a pre-witness snapshot) is
+  /// accepted but flagged unverified. The supervisor parses every
+  /// distinct program up front, before the first fork, so worker
+  /// children inherit an identical interner and digests stay comparable.
+  bool verify = false;
 };
 
 /// Terminal state of a request. Every admitted request ends in exactly
@@ -128,6 +142,11 @@ struct RequestRow {
   std::vector<AttemptRecord> attempts;
   double total_ms = 0.0;
   double retry_wait_ms = 0.0;
+
+  /// Supervisor-side witness check of the accepted result (kNotChecked
+  /// unless ServeOptions::verify). `verify_reason` explains kUnverified.
+  VerifyOutcome verify_outcome = VerifyOutcome::kNotChecked;
+  std::string verify_reason;
 };
 
 struct ServeReport {
@@ -137,6 +156,13 @@ struct ServeReport {
   size_t failed = 0;
   size_t shed = 0;
   double wall_ms = 0.0;
+
+  /// Verification tallies (--verify): results whose certificate was
+  /// independently re-checked, results accepted without a full
+  /// certificate, and attempts discarded for a failed check.
+  size_t verified = 0;
+  size_t unverified = 0;
+  size_t witness_rejections = 0;
 
   /// One "result:" line per request, manifest order, containing only
   /// fault-invariant fields (terminal state, status, answer digest,

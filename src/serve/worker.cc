@@ -17,6 +17,7 @@
 #include "omq/omq.h"
 #include "parser/parser.h"
 #include "query/evaluation.h"
+#include "verify/witness.h"
 #include "workload/report.h"
 
 namespace gqe {
@@ -128,6 +129,7 @@ int EvaluateRequest(const WorkerInvocation& invocation,
     options.governor = governor;
     options.max_level = request.max_level;
     options.checkpoint_every = 1;
+    options.collect_witness = invocation.collect_witness;
     ResumeInfo info;
     ChaseResult chase;
     if (!invocation.checkpoint_dir.empty()) {
@@ -146,6 +148,16 @@ int EvaluateRequest(const WorkerInvocation& invocation,
     BinaryWriter writer;
     EncodeInstance(chase.instance, &writer);
     result->answer_crc = Crc32(writer.buffer());
+    if (invocation.collect_witness) {
+      EvalWitness witness;
+      witness.kind = EvalWitness::Kind::kDerivation;
+      witness.method = result->method;
+      witness.derivation = std::move(chase.derivation);
+      // A resume from a pre-witness snapshot loses the trigger log; the
+      // result stands but can only be reported unverified.
+      witness.certified = witness.derivation.collected;
+      result->witness = EncodeEvalWitnessToString(witness);
+    }
     result->eval_ms = watch.ElapsedMs();
     return kWorkerExitOk;
   }
@@ -160,19 +172,40 @@ int EvaluateRequest(const WorkerInvocation& invocation,
   bool exact = true;
   Status worst = Status::kCompleted;
   std::string method = RequestKindName(request.kind);
+  const bool collect = invocation.collect_witness;
+  // One EvalWitness per named query; merged below.
+  std::vector<EvalWitness> collected;
   for (const NamedQuery& nq : queries) {
+    EvalWitness query_witness;
     switch (request.kind) {
       case RequestKind::kCq: {
-        auto answers = EvaluateUCQ(*nq.query, program.database, 0, governor);
+        std::vector<std::vector<Term>> answers;
+        if (collect) {
+          answers = EvaluateUCQWithWitnesses(
+              *nq.query, program.database, &query_witness.answers, 0,
+              governor);
+          query_witness.kind = EvalWitness::Kind::kAnswers;
+          query_witness.certified = true;
+        } else {
+          answers = EvaluateUCQ(*nq.query, program.database, 0, governor);
+        }
         FoldAnswers(nq.name, answers, &digest, &count);
         break;
       }
       case RequestKind::kCqs: {
         Cqs cqs{program.tgds, *nq.query};
-        CqsEvalResult eval = EvaluateCqs(cqs, program.database,
-                                         /*check_promise=*/true, governor);
+        WitnessOptions witness_options;
+        witness_options.collect = collect;
+        CqsEvalResult eval =
+            EvaluateCqs(cqs, program.database, /*check_promise=*/true,
+                        governor, witness_options);
         if (!eval.promise_ok) method = "cqs(promise-violated)";
         if (eval.status != Status::kCompleted) worst = eval.status;
+        if (collect) {
+          query_witness.kind = EvalWitness::Kind::kAnswers;
+          query_witness.answers = std::move(eval.witnesses);
+          query_witness.certified = true;
+        }
         FoldAnswers(nq.name, eval.answers, &digest, &count);
         break;
       }
@@ -181,6 +214,7 @@ int EvaluateRequest(const WorkerInvocation& invocation,
         OmqEvalOptions options;
         options.governor = governor;
         options.checkpoint_dir = invocation.checkpoint_dir;
+        options.witness.collect = collect;
         if (invocation.degraded) {
           options.fallback_chase_level = invocation.degraded_fallback_level;
         }
@@ -188,11 +222,16 @@ int EvaluateRequest(const WorkerInvocation& invocation,
         if (!eval.exact || eval.partial) exact = false;
         if (eval.status != Status::kCompleted) worst = eval.status;
         method = eval.method;
+        if (collect) query_witness = std::move(eval.witness);
         FoldAnswers(nq.name, eval.answers, &digest, &count);
         break;
       }
       case RequestKind::kChase:
         break;  // handled above
+    }
+    if (collect) {
+      for (HomWitness& hom : query_witness.answers) hom.query = nq.name;
+      collected.push_back(std::move(query_witness));
     }
     if (governor->Tripped()) break;
   }
@@ -206,6 +245,30 @@ int EvaluateRequest(const WorkerInvocation& invocation,
   result->answer_count = count;
   result->answer_crc = Crc32(digest);
   result->facts = program.database.size();
+  if (collect) {
+    EvalWitness merged;
+    if (collected.size() == 1) {
+      merged = std::move(collected[0]);
+    } else {
+      // Multi-query requests: homomorphism certificates concatenate, but
+      // two independent chase derivations cannot share one witness. A
+      // request mixing chase-backed queries is reported uncertified.
+      merged.kind = EvalWitness::Kind::kAnswers;
+      merged.certified = !collected.empty();
+      for (EvalWitness& cw : collected) {
+        if (cw.kind == EvalWitness::Kind::kAnswers) {
+          merged.certified = merged.certified && cw.certified;
+          for (HomWitness& hom : cw.answers) {
+            merged.answers.push_back(std::move(hom));
+          }
+        } else {
+          merged.certified = false;
+        }
+      }
+    }
+    merged.method = method;
+    result->witness = EncodeEvalWitnessToString(merged);
+  }
   result->eval_ms = watch.ElapsedMs();
   return kWorkerExitOk;
 }
@@ -243,6 +306,7 @@ std::string EncodeWorkerResult(const WorkerResult& result) {
   writer.WriteU64(result.resume_generation);
   // eval_ms as microseconds; latency needs no float precision.
   writer.WriteU64(static_cast<uint64_t>(result.eval_ms * 1000.0));
+  writer.WriteString(result.witness);
   return WrapSnapshot(kSnapshotKindWorkerResult, writer.Take());
 }
 
@@ -264,7 +328,8 @@ SnapshotStatus DecodeWorkerResult(std::string_view bytes,
       !reader.ReadU64(&decoded.rounds_completed) ||
       !reader.ReadBool(&decoded.resumed) ||
       !reader.ReadU64(&decoded.resume_generation) ||
-      !reader.ReadU64(&eval_us) || !reader.AtEnd()) {
+      !reader.ReadU64(&eval_us) || !reader.ReadString(&decoded.witness) ||
+      !reader.AtEnd()) {
     return SnapshotStatus::Fail(SnapshotError::kFormatError,
                                 "worker result blob cut short");
   }

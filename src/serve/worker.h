@@ -58,6 +58,12 @@ struct WorkerResult {
   uint64_t resume_generation = 0;
 
   double eval_ms = 0.0;
+
+  /// Serialized EvalWitness blob (verify/witness.h), empty when witness
+  /// collection was off. The supervisor decodes and independently
+  /// re-checks it against its own parse of the program before trusting
+  /// the digest above.
+  std::string witness;
 };
 
 std::string EncodeWorkerResult(const WorkerResult& result);
@@ -80,6 +86,9 @@ struct WorkerInvocation {
   double heartbeat_interval_ms = 25.0;
   /// The fault this attempt must inject into itself (chaos or manifest).
   FaultSpec fault;
+  /// Collect a machine-checkable certificate alongside the result
+  /// (supervisor --verify mode).
+  bool collect_witness = false;
 };
 
 /// Child-side entry point: parses the program, evaluates the request

@@ -1,0 +1,355 @@
+#include "verify/verifier.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <numeric>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "base/governor.h"
+#include "chase/chase.h"
+#include "query/evaluation.h"
+#include "query/substitution.h"
+
+namespace gqe {
+
+const char* VerifyCodeName(VerifyCode code) {
+  switch (code) {
+    case VerifyCode::kOk: return "ok";
+    case VerifyCode::kNoWitness: return "no-witness";
+    case VerifyCode::kMalformed: return "malformed";
+    case VerifyCode::kBadTgdIndex: return "bad-tgd-index";
+    case VerifyCode::kNotGround: return "not-ground";
+    case VerifyCode::kBodyNotSatisfied: return "body-not-satisfied";
+    case VerifyCode::kNullNotFresh: return "null-not-fresh";
+    case VerifyCode::kDuplicateStep: return "duplicate-step";
+    case VerifyCode::kFactCountMismatch: return "fact-count-mismatch";
+    case VerifyCode::kDigestMismatch: return "digest-mismatch";
+    case VerifyCode::kNotAFixpoint: return "not-a-fixpoint";
+    case VerifyCode::kBadDisjunct: return "bad-disjunct";
+    case VerifyCode::kBadAssignment: return "bad-assignment";
+    case VerifyCode::kAnswerMismatch: return "answer-mismatch";
+    case VerifyCode::kAtomNotInInstance: return "atom-not-in-instance";
+    case VerifyCode::kBadJoinTree: return "bad-join-tree";
+    case VerifyCode::kRunningIntersection: return "running-intersection";
+    case VerifyCode::kRewriteUnsound: return "rewrite-unsound";
+    case VerifyCode::kResourceLimit: return "resource-limit";
+  }
+  return "unknown";
+}
+
+VerifyResult VerifyDerivation(const Instance& db, const TgdSet& tgds,
+                              const DerivationWitness& witness,
+                              Instance* replayed,
+                              const DerivationCheckOptions& options) {
+  if (!witness.collected) {
+    return VerifyResult::Fail(VerifyCode::kNoWitness,
+                              "derivation log was not collected");
+  }
+  Instance replay;
+  replay.InsertAll(db);
+
+  // Null ids already in use: everything in the database plus every null
+  // a previous step invented. A step's fresh nulls must avoid all of
+  // them (and each other) — that is precisely the oblivious chase's
+  // freshness contract.
+  std::unordered_set<uint32_t> used_nulls;
+  for (Term t : db.ActiveDomain()) {
+    if (t.IsNull()) used_nulls.insert(t.id());
+  }
+
+  std::unordered_set<std::string> fired;
+  for (size_t s = 0; s < witness.steps.size(); ++s) {
+    const DerivationStep& step = witness.steps[s];
+    const std::string at = "step " + std::to_string(s);
+    if (step.tgd_index >= tgds.size()) {
+      return VerifyResult::Fail(
+          VerifyCode::kBadTgdIndex,
+          at + ": tgd index " + std::to_string(step.tgd_index) +
+              " out of range (|Σ| = " + std::to_string(tgds.size()) + ")");
+    }
+    const Tgd& tgd = tgds[step.tgd_index];
+    const std::vector<Term> body_vars = tgd.BodyVariables();
+    if (step.body_images.size() != body_vars.size()) {
+      return VerifyResult::Fail(
+          VerifyCode::kMalformed,
+          at + ": " + std::to_string(step.body_images.size()) +
+              " body images for " + std::to_string(body_vars.size()) +
+              " body variables");
+    }
+    Substitution sub;
+    for (size_t i = 0; i < body_vars.size(); ++i) {
+      if (!step.body_images[i].IsGround()) {
+        return VerifyResult::Fail(
+            VerifyCode::kNotGround,
+            at + ": body image " + step.body_images[i].ToString() +
+                " is not ground");
+      }
+      sub.Set(body_vars[i], step.body_images[i]);
+    }
+    // The guard match must exist *at this point of the replay* — an
+    // out-of-order log (a step using facts only derived later) fails
+    // here even if the full run would eventually contain them.
+    for (const Atom& body_atom : tgd.body()) {
+      Atom grounded = sub.Apply(body_atom);
+      if (!grounded.IsGround()) {
+        return VerifyResult::Fail(
+            VerifyCode::kNotGround,
+            at + ": body atom " + grounded.ToString() + " not grounded");
+      }
+      if (!replay.Contains(grounded)) {
+        return VerifyResult::Fail(
+            VerifyCode::kBodyNotSatisfied,
+            at + ": body atom " + grounded.ToString() +
+                " is not in the instance at this point of the replay");
+      }
+    }
+    // One firing per trigger: the oblivious chase keys triggers by (TGD,
+    // body image); a repeated key is a forged log.
+    std::string key = std::to_string(step.tgd_index);
+    for (Term t : step.body_images) {
+      key += ',';
+      key += std::to_string(t.bits());
+    }
+    if (!fired.insert(key).second) {
+      return VerifyResult::Fail(
+          VerifyCode::kDuplicateStep,
+          at + ": trigger (tgd " + std::to_string(step.tgd_index) +
+              ", same body image) already fired");
+    }
+    const std::vector<Term> existential = tgd.ExistentialVariables();
+    if (step.existential_images.size() != existential.size()) {
+      return VerifyResult::Fail(
+          VerifyCode::kMalformed,
+          at + ": " + std::to_string(step.existential_images.size()) +
+              " existential images for " + std::to_string(existential.size()) +
+              " existential variables");
+    }
+    for (size_t i = 0; i < existential.size(); ++i) {
+      Term fresh = step.existential_images[i];
+      if (!fresh.IsNull()) {
+        return VerifyResult::Fail(
+            VerifyCode::kNotGround,
+            at + ": existential image " + fresh.ToString() +
+                " is not a labelled null");
+      }
+      if (!used_nulls.insert(fresh.id()).second) {
+        return VerifyResult::Fail(
+            VerifyCode::kNullNotFresh,
+            at + ": null " + fresh.ToString() + " is not fresh");
+      }
+      sub.Set(existential[i], fresh);
+    }
+    for (const Atom& head_atom : tgd.head()) {
+      Atom grounded = sub.Apply(head_atom);
+      if (!grounded.IsGround()) {
+        return VerifyResult::Fail(
+            VerifyCode::kNotGround,
+            at + ": head atom " + grounded.ToString() + " not grounded");
+      }
+      replay.Insert(grounded);
+    }
+  }
+
+  if (witness.replay_exact) {
+    if (replay.size() != witness.final_facts) {
+      return VerifyResult::Fail(
+          VerifyCode::kFactCountMismatch,
+          "replay produced " + std::to_string(replay.size()) +
+              " facts, log claims " + std::to_string(witness.final_facts));
+    }
+    const uint32_t crc = InstanceTextCrc(replay);
+    if (crc != witness.instance_crc) {
+      return VerifyResult::Fail(VerifyCode::kDigestMismatch,
+                                "replay digest does not match the log");
+    }
+  }
+  if (options.check_model && witness.complete && witness.replay_exact &&
+      !Satisfies(replay, tgds)) {
+    return VerifyResult::Fail(
+        VerifyCode::kNotAFixpoint,
+        "log claims a fixpoint but the replay violates Σ");
+  }
+  if (replayed != nullptr) *replayed = std::move(replay);
+  return VerifyResult::Ok();
+}
+
+VerifyResult VerifyHomomorphism(const UCQ& query, const Instance& instance,
+                                const HomWitness& witness) {
+  if (witness.disjunct >= query.num_disjuncts()) {
+    return VerifyResult::Fail(
+        VerifyCode::kBadDisjunct,
+        "disjunct " + std::to_string(witness.disjunct) + " out of range (" +
+            std::to_string(query.num_disjuncts()) + " disjuncts)");
+  }
+  const CQ& cq = query.disjuncts()[witness.disjunct];
+  if (witness.answer.size() != cq.answer_vars().size()) {
+    return VerifyResult::Fail(
+        VerifyCode::kMalformed,
+        "answer arity " + std::to_string(witness.answer.size()) +
+            " != query arity " + std::to_string(cq.answer_vars().size()));
+  }
+  Substitution sub;
+  for (const auto& [from, to] : witness.assignment) {
+    if (!from.IsVariable()) {
+      return VerifyResult::Fail(
+          VerifyCode::kBadAssignment,
+          "assignment key " + from.ToString() + " is not a variable");
+    }
+    if (!to.IsGround()) {
+      return VerifyResult::Fail(
+          VerifyCode::kBadAssignment,
+          "assignment image " + to.ToString() + " is not ground");
+    }
+    if (sub.Has(from) && sub.Apply(from) != to) {
+      return VerifyResult::Fail(
+          VerifyCode::kBadAssignment,
+          "variable " + from.ToString() + " mapped twice, differently");
+    }
+    sub.Set(from, to);
+  }
+  for (size_t i = 0; i < cq.answer_vars().size(); ++i) {
+    Term image = sub.Apply(cq.answer_vars()[i]);
+    if (image != witness.answer[i]) {
+      return VerifyResult::Fail(
+          VerifyCode::kAnswerMismatch,
+          "answer variable " + cq.answer_vars()[i].ToString() + " maps to " +
+              image.ToString() + ", claimed answer has " +
+              witness.answer[i].ToString());
+    }
+  }
+  for (const Atom& atom : cq.atoms()) {
+    Atom grounded = sub.Apply(atom);
+    if (!grounded.IsGround()) {
+      return VerifyResult::Fail(
+          VerifyCode::kBadAssignment,
+          "query atom " + grounded.ToString() + " not fully grounded");
+    }
+    if (!instance.Contains(grounded)) {
+      return VerifyResult::Fail(
+          VerifyCode::kAtomNotInInstance,
+          "grounded atom " + grounded.ToString() + " is not in the instance");
+    }
+  }
+  return VerifyResult::Ok();
+}
+
+VerifyResult VerifyJoinTree(const CQ& cq, const JoinTreeWitness& witness) {
+  const size_t n = cq.atoms().size();
+  if (witness.parent.size() != n || witness.order.size() != n) {
+    return VerifyResult::Fail(
+        VerifyCode::kMalformed,
+        "certificate covers " + std::to_string(witness.parent.size()) +
+            " atoms, query has " + std::to_string(n));
+  }
+  std::vector<int32_t> position(n, -1);
+  for (size_t i = 0; i < n; ++i) {
+    int32_t at = witness.order[i];
+    if (at < 0 || static_cast<size_t>(at) >= n || position[at] != -1) {
+      return VerifyResult::Fail(VerifyCode::kBadJoinTree,
+                                "order is not a permutation of the atoms");
+    }
+    position[at] = static_cast<int32_t>(i);
+  }
+  for (size_t i = 0; i < n; ++i) {
+    int32_t p = witness.parent[i];
+    if (p == static_cast<int32_t>(i) || p < -1 ||
+        (p >= 0 && static_cast<size_t>(p) >= n)) {
+      return VerifyResult::Fail(
+          VerifyCode::kBadJoinTree,
+          "atom " + std::to_string(i) + " has invalid parent " +
+              std::to_string(p));
+    }
+    // Children before parents makes the forest acyclic by construction.
+    if (p >= 0 && position[i] >= position[p]) {
+      return VerifyResult::Fail(
+          VerifyCode::kBadJoinTree,
+          "atom " + std::to_string(i) +
+              " is processed after its parent " + std::to_string(p));
+    }
+  }
+  // Running intersection, per variable: the atoms mentioning v must be
+  // connected using only tree edges whose *both* endpoints mention v.
+  std::vector<Term> vars = VariablesOf(cq.atoms());
+  for (Term v : vars) {
+    std::vector<size_t> with_v;
+    for (size_t i = 0; i < n; ++i) {
+      if (cq.atoms()[i].Contains(v)) with_v.push_back(i);
+    }
+    if (with_v.size() <= 1) continue;
+    std::vector<size_t> root(n);
+    std::iota(root.begin(), root.end(), 0);
+    std::function<size_t(size_t)> find = [&](size_t x) {
+      while (root[x] != x) x = root[x] = root[root[x]];
+      return x;
+    };
+    for (size_t i = 0; i < n; ++i) {
+      int32_t p = witness.parent[i];
+      if (p >= 0 && cq.atoms()[i].Contains(v) &&
+          cq.atoms()[static_cast<size_t>(p)].Contains(v)) {
+        root[find(i)] = find(static_cast<size_t>(p));
+      }
+    }
+    for (size_t i = 1; i < with_v.size(); ++i) {
+      if (find(with_v[i]) != find(with_v[0])) {
+        return VerifyResult::Fail(
+            VerifyCode::kRunningIntersection,
+            "variable " + v.ToString() + ": atoms " +
+                std::to_string(with_v[0]) + " and " +
+                std::to_string(with_v[i]) +
+                " are not connected through atoms containing it");
+      }
+    }
+  }
+  return VerifyResult::Ok();
+}
+
+VerifyResult VerifyRewriteProvenance(const Instance& db, const TgdSet& sigma,
+                                     const UCQ& original,
+                                     const RewriteWitness& witness,
+                                     const WitnessOptions& options) {
+  if (witness.rewritten.arity() != original.arity()) {
+    return VerifyResult::Fail(
+        VerifyCode::kMalformed,
+        "rewritten CQ arity " + std::to_string(witness.rewritten.arity()) +
+            " != query arity " + std::to_string(original.arity()));
+  }
+  // The recorded homomorphism must place the rewritten disjunct in the
+  // *database* at the claimed answer.
+  HomWitness hom = witness.hom;
+  hom.disjunct = 0;
+  VerifyResult placed = VerifyHomomorphism(UCQ({witness.rewritten}), db, hom);
+  if (!placed.ok()) return placed;
+  // Soundness of the disjunct itself, independent of the rewriting
+  // engine: chase the homomorphic image of its body and require the
+  // original query to hold there at the same answer. Runs under a local
+  // budget so a forged huge-depth witness cannot stall the checker.
+  Substitution sub;
+  for (const auto& [from, to] : hom.assignment) sub.Set(from, to);
+  Instance image;
+  for (const Atom& atom : witness.rewritten.atoms()) {
+    image.Insert(sub.Apply(atom));
+  }
+  ChaseOptions chase_options;
+  chase_options.max_level = static_cast<int>(witness.chase_depth) + 1;
+  chase_options.budget.max_facts = options.certify_max_facts;
+  ChaseResult chased = Chase(image, sigma, chase_options);
+  if (chased.outcome.status != Status::kCompleted) {
+    return VerifyResult::Fail(
+        VerifyCode::kResourceLimit,
+        "replay chase tripped before level " +
+            std::to_string(witness.chase_depth + 1));
+  }
+  if (!HoldsUCQ(original, chased.instance, hom.answer)) {
+    return VerifyResult::Fail(
+        VerifyCode::kRewriteUnsound,
+        "chased image of the fired disjunct does not satisfy the original "
+        "query at the claimed answer");
+  }
+  return VerifyResult::Ok();
+}
+
+}  // namespace gqe

@@ -1,0 +1,101 @@
+#ifndef GQE_VERIFY_VERIFIER_H_
+#define GQE_VERIFY_VERIFIER_H_
+
+#include <string>
+
+#include "base/instance.h"
+#include "query/cq.h"
+#include "tgd/tgd.h"
+#include "verify/witness.h"
+
+namespace gqe {
+
+/// Structured rejection reasons. A verifier never says just "no": every
+/// rejection carries the code of the violated rule plus a human-readable
+/// reason naming the offending step / atom / index, so adversarial or
+/// corrupted witnesses are diagnosable (tests/verify_test.cc asserts on
+/// these codes).
+enum class VerifyCode : int {
+  kOk = 0,
+  kNoWitness = 1,           // nothing to check
+  kMalformed = 2,           // sizes / indices inconsistent with the inputs
+  kBadTgdIndex = 3,         // derivation step names a TGD out of range
+  kNotGround = 4,           // an image / grounded atom still has variables
+  kBodyNotSatisfied = 5,    // guard match not present at replay time
+  kNullNotFresh = 6,        // an invented null already occurs earlier
+  kDuplicateStep = 7,       // the same trigger fired twice
+  kFactCountMismatch = 8,   // replay size != claimed final_facts
+  kDigestMismatch = 9,      // replay digest != claimed instance_crc
+  kNotAFixpoint = 10,       // claimed complete, but replay violates Σ
+  kBadDisjunct = 11,        // hom witness names a disjunct out of range
+  kBadAssignment = 12,      // non-variable key / non-ground image / clash
+  kAnswerMismatch = 13,     // assignment does not send x̄ to the answer
+  kAtomNotInInstance = 14,  // a grounded query atom is missing
+  kBadJoinTree = 15,        // not a tree / order not children-first
+  kRunningIntersection = 16,  // a variable's atoms are not connected
+  kRewriteUnsound = 17,     // chased image does not satisfy the query
+  kResourceLimit = 18,      // the checker's own replay budget tripped
+};
+
+const char* VerifyCodeName(VerifyCode code);
+
+struct VerifyResult {
+  VerifyCode code = VerifyCode::kOk;
+  std::string reason;
+
+  bool ok() const { return code == VerifyCode::kOk; }
+
+  static VerifyResult Ok() { return VerifyResult{}; }
+  static VerifyResult Fail(VerifyCode code, std::string reason) {
+    return VerifyResult{code, std::move(reason)};
+  }
+};
+
+struct DerivationCheckOptions {
+  /// Also check the fixpoint claim: when the witness says `complete`,
+  /// require Satisfies(replay, Σ). Off by default (it costs a
+  /// homomorphism search per TGD); the serve supervisor turns it on for
+  /// results claiming exactness.
+  bool check_model = false;
+};
+
+/// Replays a chase derivation log step-by-step from `db` under `tgds`:
+/// every step must name a valid TGD, present ground body images whose
+/// grounded body atoms already exist, and invent only globally fresh
+/// labelled nulls; no trigger may fire twice. When the log claims
+/// `replay_exact`, the replayed instance must match `final_facts` and
+/// `instance_crc` bit-for-bit. On success `replayed` (optional) receives
+/// the replayed instance — facts in exactly the insertion order the
+/// original engine committed them.
+VerifyResult VerifyDerivation(const Instance& db, const TgdSet& tgds,
+                              const DerivationWitness& witness,
+                              Instance* replayed = nullptr,
+                              const DerivationCheckOptions& options = {});
+
+/// Checks a homomorphism certificate atom-by-atom: the named disjunct's
+/// variables are mapped to ground terms, answer variables land on the
+/// claimed answer tuple, and every grounded query atom is a fact of
+/// `instance`.
+VerifyResult VerifyHomomorphism(const UCQ& query, const Instance& instance,
+                                const HomWitness& witness);
+
+/// Checks a join-tree certificate against the query it claims to cover:
+/// `parent`/`order` describe a forest over the atoms, `order` lists
+/// children before parents, and every variable satisfies the
+/// running-intersection property (its atoms induce a connected subtree).
+VerifyResult VerifyJoinTree(const CQ& cq, const JoinTreeWitness& witness);
+
+/// Checks linear-rewriting provenance: the recorded rewritten CQ maps
+/// into the database via the recorded homomorphism, and chasing the
+/// homomorphic image of its body under `sigma` (to level
+/// `chase_depth` + 1, under a small local budget) satisfies the
+/// *original* query at the claimed answer — i.e. the fired disjunct is
+/// sound, independent of the rewriting engine that produced it.
+VerifyResult VerifyRewriteProvenance(const Instance& db, const TgdSet& sigma,
+                                     const UCQ& original,
+                                     const RewriteWitness& witness,
+                                     const WitnessOptions& options = {});
+
+}  // namespace gqe
+
+#endif  // GQE_VERIFY_VERIFIER_H_

@@ -1,0 +1,227 @@
+#include "verify/witness.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace gqe {
+
+uint32_t InstanceTextCrc(const Instance& instance) {
+  std::vector<std::string> lines;
+  lines.reserve(instance.size());
+  for (const Atom& fact : instance.atoms()) lines.push_back(fact.ToString());
+  std::sort(lines.begin(), lines.end());
+  std::string text;
+  for (const std::string& line : lines) {
+    text += line;
+    text += '\n';
+  }
+  return Crc32(text);
+}
+
+void EncodeTermByName(Term term, BinaryWriter* writer) {
+  writer->WriteU8(static_cast<uint8_t>(term.kind()));
+  if (term.IsNull()) {
+    writer->WriteU32(term.id());
+  } else {
+    writer->WriteString(term.ToString());
+  }
+}
+
+SnapshotStatus DecodeTermByName(BinaryReader* reader, Term* out) {
+  uint8_t kind = 0;
+  if (!reader->ReadU8(&kind)) {
+    return SnapshotStatus::Fail(SnapshotError::kTruncated,
+                                "witness term: missing kind");
+  }
+  switch (static_cast<Term::Kind>(kind)) {
+    case Term::Kind::kNull: {
+      uint32_t id = 0;
+      if (!reader->ReadU32(&id) || id > Term::kMaxId) {
+        return SnapshotStatus::Fail(SnapshotError::kFormatError,
+                                    "witness term: bad null id");
+      }
+      *out = Term::Null(id);
+      return SnapshotStatus::Ok();
+    }
+    case Term::Kind::kConstant:
+    case Term::Kind::kVariable: {
+      std::string name;
+      if (!reader->ReadString(&name) || name.empty()) {
+        return SnapshotStatus::Fail(SnapshotError::kFormatError,
+                                    "witness term: bad name");
+      }
+      *out = kind == static_cast<uint8_t>(Term::Kind::kConstant)
+                 ? Term::Constant(name)
+                 : Term::Variable(name);
+      return SnapshotStatus::Ok();
+    }
+    default:
+      return SnapshotStatus::Fail(SnapshotError::kFormatError,
+                                  "witness term: unknown kind");
+  }
+}
+
+namespace {
+
+void EncodeTermVector(const std::vector<Term>& terms, BinaryWriter* writer) {
+  writer->WriteU64(terms.size());
+  for (Term t : terms) EncodeTermByName(t, writer);
+}
+
+SnapshotStatus DecodeTermVector(BinaryReader* reader,
+                                std::vector<Term>* out) {
+  uint64_t count = 0;
+  if (!reader->ReadU64(&count) || count > reader->remaining()) {
+    return SnapshotStatus::Fail(SnapshotError::kFormatError,
+                                "witness: impossible term count");
+  }
+  out->clear();
+  out->reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    Term t;
+    SnapshotStatus status = DecodeTermByName(reader, &t);
+    if (!status.ok()) return status;
+    out->push_back(t);
+  }
+  return SnapshotStatus::Ok();
+}
+
+void EncodeHomWitness(const HomWitness& hom, BinaryWriter* writer) {
+  writer->WriteString(hom.query);
+  writer->WriteU32(hom.disjunct);
+  EncodeTermVector(hom.answer, writer);
+  writer->WriteU64(hom.assignment.size());
+  for (const auto& [from, to] : hom.assignment) {
+    EncodeTermByName(from, writer);
+    EncodeTermByName(to, writer);
+  }
+}
+
+SnapshotStatus DecodeHomWitness(BinaryReader* reader, HomWitness* out) {
+  if (!reader->ReadString(&out->query) || !reader->ReadU32(&out->disjunct)) {
+    return SnapshotStatus::Fail(SnapshotError::kFormatError,
+                                "witness: bad hom header");
+  }
+  SnapshotStatus status = DecodeTermVector(reader, &out->answer);
+  if (!status.ok()) return status;
+  uint64_t pairs = 0;
+  if (!reader->ReadU64(&pairs) || pairs > reader->remaining()) {
+    return SnapshotStatus::Fail(SnapshotError::kFormatError,
+                                "witness: impossible assignment count");
+  }
+  out->assignment.clear();
+  out->assignment.reserve(pairs);
+  for (uint64_t i = 0; i < pairs; ++i) {
+    Term from, to;
+    status = DecodeTermByName(reader, &from);
+    if (!status.ok()) return status;
+    status = DecodeTermByName(reader, &to);
+    if (!status.ok()) return status;
+    out->assignment.emplace_back(from, to);
+  }
+  return SnapshotStatus::Ok();
+}
+
+void EncodeDerivation(const DerivationWitness& derivation,
+                      BinaryWriter* writer) {
+  writer->WriteBool(derivation.collected);
+  writer->WriteBool(derivation.complete);
+  writer->WriteBool(derivation.replay_exact);
+  writer->WriteU64(derivation.final_facts);
+  writer->WriteU32(derivation.instance_crc);
+  writer->WriteU64(derivation.steps.size());
+  for (const DerivationStep& step : derivation.steps) {
+    writer->WriteU32(step.tgd_index);
+    EncodeTermVector(step.body_images, writer);
+    EncodeTermVector(step.existential_images, writer);
+  }
+}
+
+SnapshotStatus DecodeDerivation(BinaryReader* reader,
+                                DerivationWitness* out) {
+  uint64_t steps = 0;
+  if (!reader->ReadBool(&out->collected) || !reader->ReadBool(&out->complete) ||
+      !reader->ReadBool(&out->replay_exact) ||
+      !reader->ReadU64(&out->final_facts) ||
+      !reader->ReadU32(&out->instance_crc) || !reader->ReadU64(&steps) ||
+      steps > reader->remaining()) {
+    return SnapshotStatus::Fail(SnapshotError::kFormatError,
+                                "witness: bad derivation header");
+  }
+  out->steps.clear();
+  out->steps.reserve(steps);
+  for (uint64_t i = 0; i < steps; ++i) {
+    DerivationStep step;
+    if (!reader->ReadU32(&step.tgd_index)) {
+      return SnapshotStatus::Fail(SnapshotError::kTruncated,
+                                  "witness: truncated derivation step");
+    }
+    SnapshotStatus status = DecodeTermVector(reader, &step.body_images);
+    if (!status.ok()) return status;
+    status = DecodeTermVector(reader, &step.existential_images);
+    if (!status.ok()) return status;
+    out->steps.push_back(std::move(step));
+  }
+  return SnapshotStatus::Ok();
+}
+
+}  // namespace
+
+void EncodeEvalWitness(const EvalWitness& witness, BinaryWriter* writer) {
+  writer->WriteU8(static_cast<uint8_t>(witness.kind));
+  writer->WriteString(witness.method);
+  writer->WriteBool(witness.certified);
+  EncodeDerivation(witness.derivation, writer);
+  writer->WriteU64(witness.answers.size());
+  for (const HomWitness& hom : witness.answers) EncodeHomWitness(hom, writer);
+}
+
+SnapshotStatus DecodeEvalWitness(BinaryReader* reader, EvalWitness* out) {
+  uint8_t kind = 0;
+  if (!reader->ReadU8(&kind) ||
+      kind > static_cast<uint8_t>(EvalWitness::Kind::kChaseAndAnswers)) {
+    return SnapshotStatus::Fail(SnapshotError::kFormatError,
+                                "witness: bad kind");
+  }
+  out->kind = static_cast<EvalWitness::Kind>(kind);
+  if (!reader->ReadString(&out->method) || !reader->ReadBool(&out->certified)) {
+    return SnapshotStatus::Fail(SnapshotError::kFormatError,
+                                "witness: bad header");
+  }
+  SnapshotStatus status = DecodeDerivation(reader, &out->derivation);
+  if (!status.ok()) return status;
+  uint64_t answers = 0;
+  if (!reader->ReadU64(&answers) || answers > reader->remaining()) {
+    return SnapshotStatus::Fail(SnapshotError::kFormatError,
+                                "witness: impossible answer count");
+  }
+  out->answers.clear();
+  out->answers.reserve(answers);
+  for (uint64_t i = 0; i < answers; ++i) {
+    HomWitness hom;
+    status = DecodeHomWitness(reader, &hom);
+    if (!status.ok()) return status;
+    out->answers.push_back(std::move(hom));
+  }
+  return status;
+}
+
+std::string EncodeEvalWitnessToString(const EvalWitness& witness) {
+  BinaryWriter writer;
+  EncodeEvalWitness(witness, &writer);
+  return writer.Take();
+}
+
+SnapshotStatus DecodeEvalWitnessFromString(std::string_view bytes,
+                                           EvalWitness* out) {
+  BinaryReader reader(bytes);
+  SnapshotStatus status = DecodeEvalWitness(&reader, out);
+  if (!status.ok()) return status;
+  if (!reader.ok() || !reader.AtEnd()) {
+    return SnapshotStatus::Fail(SnapshotError::kFormatError,
+                                "witness: trailing bytes");
+  }
+  return SnapshotStatus::Ok();
+}
+
+}  // namespace gqe

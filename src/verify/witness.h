@@ -1,0 +1,167 @@
+#ifndef GQE_VERIFY_WITNESS_H_
+#define GQE_VERIFY_WITNESS_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "base/instance.h"
+#include "base/serialize.h"
+#include "base/term.h"
+#include "query/cq.h"
+
+namespace gqe {
+
+/// Machine-checkable certificates. Every engine's claimed answer carries
+/// a small witness object — a homomorphism, a chase derivation, a join
+/// tree, a rewriting provenance — that an *independent*, deliberately
+/// dumb checker (verify/verifier.h) can re-check against nothing but the
+/// input database, the TGD set and the query. The witness types below
+/// are plain data: no engine code is trusted during verification.
+
+/// One chase step: TGD `tgd_index` fired on the guard match that sends
+/// Tgd::BodyVariables() (in order) to `body_images`, inventing the
+/// labelled nulls `existential_images` for Tgd::ExistentialVariables()
+/// (in order). The produced head facts are *not* stored — the checker
+/// recomputes them by applying the extended substitution, so a tampered
+/// log cannot smuggle in facts the rule does not derive.
+struct DerivationStep {
+  uint32_t tgd_index = 0;
+  std::vector<Term> body_images;
+  std::vector<Term> existential_images;
+
+  friend bool operator==(const DerivationStep& a, const DerivationStep& b) {
+    return a.tgd_index == b.tgd_index && a.body_images == b.body_images &&
+           a.existential_images == b.existential_images;
+  }
+  friend bool operator!=(const DerivationStep& a, const DerivationStep& b) {
+    return !(a == b);
+  }
+};
+
+/// A replayable chase derivation log: starting from the database and
+/// firing `steps` in order reproduces the chase instance. `replay_exact`
+/// means the log accounts for *every* committed fact (a budget-tripped
+/// chase keeps a committed prefix whose final partial step is not
+/// attributable to a full trigger, so it clears the flag); when set, the
+/// checker additionally matches `final_facts` and `instance_crc` (the
+/// interner-independent InstanceTextCrc) against the replayed instance.
+struct DerivationWitness {
+  bool collected = false;
+  bool complete = false;
+  bool replay_exact = true;
+  std::vector<DerivationStep> steps;
+  uint64_t final_facts = 0;
+  uint32_t instance_crc = 0;
+
+  friend bool operator==(const DerivationWitness& a,
+                         const DerivationWitness& b) {
+    return a.collected == b.collected && a.complete == b.complete &&
+           a.replay_exact == b.replay_exact && a.steps == b.steps &&
+           a.final_facts == b.final_facts && a.instance_crc == b.instance_crc;
+  }
+  friend bool operator!=(const DerivationWitness& a,
+                         const DerivationWitness& b) {
+    return !(a == b);
+  }
+};
+
+/// CRC-32 over the sorted `fact.ToString()` lines of an instance: a
+/// digest that is independent of interner history and insertion order,
+/// so a verifier in another process can match it.
+uint32_t InstanceTextCrc(const Instance& instance);
+
+/// A homomorphism certificate for one answer tuple of a (U)CQ: disjunct
+/// index, the answer tuple, and the full variable assignment (every
+/// variable of the disjunct, in CQ::AllVariables() order, to a ground
+/// term). Checked atom-by-atom against the instance.
+struct HomWitness {
+  std::string query;  // query name; empty for anonymous evaluation
+  uint32_t disjunct = 0;
+  std::vector<Term> answer;
+  std::vector<std::pair<Term, Term>> assignment;
+
+  friend bool operator==(const HomWitness& a, const HomWitness& b) {
+    return a.query == b.query && a.disjunct == b.disjunct &&
+           a.answer == b.answer && a.assignment == b.assignment;
+  }
+  friend bool operator!=(const HomWitness& a, const HomWitness& b) {
+    return !(a == b);
+  }
+};
+
+/// A join-tree certificate for a GYO / Yannakakis run: `parent[i]` is the
+/// parent atom index of query atom i (-1 for a root) and `order` is the
+/// leaves-first processing order. Valid iff `order` is a permutation
+/// listing children before parents and every query variable induces a
+/// connected subtree (the running-intersection property).
+struct JoinTreeWitness {
+  std::vector<int32_t> parent;
+  std::vector<int32_t> order;
+};
+
+/// Provenance for an answer obtained through a linear-TGD UCQ rewriting:
+/// which rewritten CQ fired (`rewritten`, at `disjunct` in the produced
+/// rewriting), its homomorphism into the *database*, and the rewriting
+/// round bound `chase_depth` at which the checker replays the original
+/// query over the chased image.
+struct RewriteWitness {
+  std::string query;
+  uint32_t disjunct = 0;
+  CQ rewritten;
+  uint32_t chase_depth = 0;
+  HomWitness hom;
+};
+
+/// The witness a serve worker ships with its result. `kind` says which
+/// sections are populated; `certified` is the *generator's* claim that
+/// the sections cover the whole result (e.g. the guarded-portion engine
+/// clears it when its certification chase hit its local cap). The
+/// supervisor never trusts either field: it re-checks everything present
+/// and downgrades what it cannot check.
+struct EvalWitness {
+  enum class Kind : uint8_t {
+    kNone = 0,
+    kDerivation = 1,      // chase request: derivation log only
+    kAnswers = 2,         // query request: one HomWitness per answer
+    kChaseAndAnswers = 3  // OMQ: derivation + answers over the chase
+  };
+
+  Kind kind = Kind::kNone;
+  std::string method;
+  bool certified = false;
+  DerivationWitness derivation;
+  std::vector<HomWitness> answers;
+
+  bool empty() const { return kind == Kind::kNone; }
+};
+
+/// Witness knobs threaded through every engine (ISSUE 5 tentpole).
+struct WitnessOptions {
+  bool collect = false;
+  /// Local budget for certification chases (guarded-portion answers are
+  /// certified by a separate bounded chase; this caps its size so
+  /// certification can never change the request's own budget accounting).
+  size_t certify_max_facts = 100000;
+  int certify_max_level = 32;
+};
+
+/// Interner-independent wire codec: terms travel by *name* (u8 kind +
+/// interned name for constants/variables, u32 id for nulls) so a witness
+/// decoded in a different process re-interns to equal terms.
+void EncodeTermByName(Term term, BinaryWriter* writer);
+SnapshotStatus DecodeTermByName(BinaryReader* reader, Term* out);
+
+void EncodeEvalWitness(const EvalWitness& witness, BinaryWriter* writer);
+SnapshotStatus DecodeEvalWitness(BinaryReader* reader, EvalWitness* out);
+
+/// Whole-buffer helpers used by the serve result pipe.
+std::string EncodeEvalWitnessToString(const EvalWitness& witness);
+SnapshotStatus DecodeEvalWitnessFromString(std::string_view bytes,
+                                           EvalWitness* out);
+
+}  // namespace gqe
+
+#endif  // GQE_VERIFY_WITNESS_H_

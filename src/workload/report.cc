@@ -56,6 +56,20 @@ void ReportTable::Print(const std::string& title) const {
   for (const auto& row : rows_) print_row(row);
 }
 
+const char* VerifyOutcomeName(VerifyOutcome outcome) {
+  switch (outcome) {
+    case VerifyOutcome::kNotChecked:
+      return "not-checked";
+    case VerifyOutcome::kVerified:
+      return "verified";
+    case VerifyOutcome::kUnverified:
+      return "unverified";
+    case VerifyOutcome::kRejected:
+      return "rejected";
+  }
+  return "unknown";
+}
+
 int ParseThreadsFlag(int* argc, char** argv, int default_threads) {
   int threads = default_threads;
   int out = 1;

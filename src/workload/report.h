@@ -31,6 +31,23 @@ class ReportTable {
   std::vector<std::vector<std::string>> rows_;
 };
 
+/// Outcome of the supervisor's independent witness check of a worker
+/// result (serve --verify). Every accepted result carries exactly one:
+/// kNotChecked when verification is off, kVerified when the certificate
+/// decoded and every check passed, kUnverified when the result stands
+/// but no full certificate was available to check (e.g. a resume from a
+/// pre-witness snapshot). Rejected certificates never reach a result
+/// row — the attempt is retried through the degradation ladder — so
+/// kRejected appears only in per-attempt causes.
+enum class VerifyOutcome : int {
+  kNotChecked = 0,
+  kVerified = 1,
+  kUnverified = 2,
+  kRejected = 3,
+};
+
+const char* VerifyOutcomeName(VerifyOutcome outcome);
+
 /// Parses and strips a `--threads=N` / `--threads N` flag from argv
 /// (benches share the flag with ChaseOptions::threads / HomOptions
 /// semantics: 1 sequential, 0 hardware concurrency). Returns

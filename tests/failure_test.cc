@@ -84,7 +84,7 @@ TEST(FailureTest, WitnessBudgetFailureIsHonest) {
   // model or say is_model = false — never an unvalidated instance.
   TgdSet sigma = ParseTgds("fva(X) -> fvb(X, Y), fva(Y).");
   Instance db = ParseDatabase("fva(f6).");
-  WitnessOptions options;
+  FiniteWitnessOptions options;
   options.restricted_chase_facts = 3;
   options.budget.max_facts = 4;
   FiniteWitness witness = BuildFiniteWitness(db, sigma, 2, options);

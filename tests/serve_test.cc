@@ -154,6 +154,7 @@ TEST(ServeWorkerResultTest, EncodeDecodeRoundTrip) {
   result.resumed = true;
   result.resume_generation = 6;
   result.eval_ms = 3.25;
+  result.witness = std::string("opaque\0witness\xff", 15);
 
   const std::string bytes = EncodeWorkerResult(result);
   WorkerResult decoded;
@@ -168,6 +169,8 @@ TEST(ServeWorkerResultTest, EncodeDecodeRoundTrip) {
   EXPECT_EQ(decoded.rounds_completed, 9u);
   EXPECT_TRUE(decoded.resumed);
   EXPECT_EQ(decoded.resume_generation, 6u);
+  // The witness blob travels opaquely — embedded NULs and all.
+  EXPECT_EQ(decoded.witness, result.witness);
 
   // A truncated blob is diagnosed, never trusted.
   WorkerResult garbage;
@@ -288,6 +291,7 @@ TEST(ServeTest, KillRetryResumesFromCheckpoint) {
   Manifest faulty = clean;
   faulty.requests[0].fault.type = FaultSpec::Type::kKill;
   faulty.requests[0].fault.at_checkpoint = 40;
+  options.verify = true;
   const ServeReport report = ServeManifest(faulty, options);
   const RequestRow& row = RowById(report, "res-1");
 
@@ -296,6 +300,10 @@ TEST(ServeTest, KillRetryResumesFromCheckpoint) {
   EXPECT_EQ(row.attempts[0].cause, "sigkill");
   EXPECT_TRUE(row.result.resumed);
   EXPECT_GT(row.result.resume_generation, 0u);
+  // The resumed run's derivation log (restored from the snapshot) still
+  // replays: the supervisor independently verified the retried answer.
+  EXPECT_EQ(row.verify_outcome, VerifyOutcome::kVerified)
+      << row.verify_reason;
   // Same logical run: same total rounds, same facts, same digest.
   EXPECT_EQ(row.result.rounds_completed, clean_row.result.rounds_completed);
   EXPECT_EQ(row.result.facts, clean_row.result.facts);
@@ -357,10 +365,69 @@ TEST(ServeTest, PermanentFailuresAreNotRetried) {
   EXPECT_EQ(row.attempts.size(), 1u);
 }
 
+/// Certified answers across every request kind: with verify on, a
+/// fault-free run independently re-checks each worker's witness — the
+/// chase derivation replays, every query answer's homomorphism holds,
+/// and the supervisor's digest of the re-checked answers matches the
+/// worker's CRC.
+TEST(ServeTest, VerifyModeChecksEveryKind) {
+  const std::string chain = WriteProgram("vchain", kChainProgram);
+  const std::string univ = WriteProgram("vuniv", kUniversityProgram);
+
+  Manifest manifest;
+  manifest.requests.push_back(ChaseRequest("v-chase", chain));
+  EvalRequest cq;
+  cq.id = "v-cq";
+  cq.kind = RequestKind::kCq;
+  cq.program_path = chain;
+  cq.query = "svq";
+  manifest.requests.push_back(cq);
+  EvalRequest omq;
+  omq.id = "v-omq";
+  omq.kind = RequestKind::kOmq;
+  omq.program_path = univ;
+  omq.query = "svuq";
+  manifest.requests.push_back(omq);
+  EvalRequest cqs;
+  cqs.id = "v-cqs";
+  cqs.kind = RequestKind::kCqs;
+  cqs.program_path = univ;
+  cqs.query = "svuq";
+  manifest.requests.push_back(cqs);
+
+  ServeOptions options = FastOptions();
+  options.verify = true;
+  ServeReport report = ServeManifest(manifest, options);
+  ASSERT_EQ(report.completed, 4u);
+  for (const RequestRow& row : report.rows) {
+    EXPECT_EQ(row.verify_outcome, VerifyOutcome::kVerified)
+        << row.id << ": " << row.verify_reason;
+  }
+  EXPECT_EQ(report.verified, 4u);
+  EXPECT_EQ(report.unverified, 0u);
+  EXPECT_EQ(report.witness_rejections, 0u);
+
+  // The deterministic lines carry the outcome — and verify mode must not
+  // perturb the answers themselves, only annotate them.
+  const std::string text = report.DeterministicText();
+  EXPECT_NE(text.find("verified=yes"), std::string::npos);
+  options.verify = false;
+  ServeReport plain = ServeManifest(manifest, options);
+  std::string plain_text = plain.DeterministicText();
+  EXPECT_EQ(plain_text.find("verified="), std::string::npos);
+  std::string stripped = text;
+  size_t at;
+  while ((at = stripped.find(" verified=yes")) != std::string::npos) {
+    stripped.erase(at, 13);
+  }
+  EXPECT_EQ(stripped, plain_text);
+}
+
 /// Acceptance-criteria soak: a 50+ request manifest under
-/// --chaos kill=0.3,stall=0.1. The daemon never crashes, every request
-/// reaches a terminal state, and completed answers are bit-identical to
-/// the fault-free run.
+/// --chaos kill=0.3,stall=0.1 with verify on. The daemon never crashes,
+/// every request reaches a terminal state, completed answers are
+/// bit-identical to the fault-free run, and every positive answer's
+/// witness was independently re-checked by the supervisor.
 TEST(ServeTest, ChaosSoakFiftyRequestsBitIdentical) {
   const std::string chain = WriteProgram("soak_chain", kChainProgram);
   const std::string univ = WriteProgram("soak_univ", kUniversityProgram);
@@ -382,9 +449,12 @@ TEST(ServeTest, ChaosSoakFiftyRequestsBitIdentical) {
 
   ServeOptions options = FastOptions();
   options.concurrency = 8;
+  options.verify = true;
   const ServeReport clean_report = ServeManifest(manifest, options);
   ASSERT_EQ(clean_report.rows.size(), 50u);
   ASSERT_EQ(clean_report.completed, 50u);
+  EXPECT_EQ(clean_report.verified, 50u);
+  EXPECT_EQ(clean_report.witness_rejections, 0u);
 
   ASSERT_TRUE(
       ParseChaosSpec("kill=0.3,stall=0.1,seed=11", &options.chaos, nullptr));
@@ -398,6 +468,16 @@ TEST(ServeTest, ChaosSoakFiftyRequestsBitIdentical) {
             50u);
   EXPECT_EQ(chaos_report.DeterministicText(),
             clean_report.DeterministicText());
+
+  // Every answer-bearing terminal row was independently re-checked —
+  // chaos (kills, resumes, retries) must not cost certification.
+  for (const RequestRow& row : chaos_report.rows) {
+    if (row.state == TerminalState::kCompleted ||
+        row.state == TerminalState::kDegraded) {
+      EXPECT_EQ(row.verify_outcome, VerifyOutcome::kVerified)
+          << row.id << ": " << row.verify_reason;
+    }
+  }
 
   // The chaos actually did something: some attempt was injected.
   size_t injected = 0;

@@ -1,0 +1,390 @@
+// Certified answers (ISSUE 5): the independent verifiers accept every
+// witness the engines actually emit, and reject adversarial ones —
+// hand-corrupted homomorphisms, out-of-order or forged derivation logs,
+// join trees violating the running-intersection property, unsound
+// rewriting provenance — each with a *structured* reason naming the
+// violated rule. The checkers are deliberately dumb: they trust nothing
+// but the database, Σ and the query.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "chase/chase.h"
+#include "linear/linear_chase.h"
+#include "parser/parser.h"
+#include "query/acyclic.h"
+#include "query/evaluation.h"
+#include "query/tw_evaluation.h"
+#include "verify/verifier.h"
+#include "verify/witness.h"
+
+namespace gqe {
+namespace {
+
+Term C(const char* name) { return Term::Constant(name); }
+Term V(const char* name) { return Term::Variable(name); }
+
+// ---------------------------------------------------------------------
+// Derivation logs: happy path.
+
+TEST(VerifyDerivationTest, ReplayedChaseIsBitIdentical) {
+  Instance db = ParseDatabase("vwgrad(ann). vwgrad(bo). vwe(a, b). vwe(b, c).");
+  TgdSet sigma = ParseTgds(R"(
+    vwgrad(X) -> vwstud(X).
+    vwstud(X) -> vwenr(X, U), vwuni(U).
+    vwe(X, Y), vwe(Y, Z) -> vwe(X, Z).
+  )");
+  ChaseOptions options;
+  options.collect_witness = true;
+  ChaseResult chased = Chase(db, sigma, options);
+  ASSERT_TRUE(chased.complete);
+  ASSERT_TRUE(chased.derivation.collected);
+  ASSERT_TRUE(chased.derivation.replay_exact);
+
+  Instance replayed;
+  DerivationCheckOptions check;
+  check.check_model = true;
+  VerifyResult result =
+      VerifyDerivation(db, sigma, chased.derivation, &replayed, check);
+  EXPECT_TRUE(result.ok()) << result.reason;
+
+  // Replay commits the same facts in the same order — nulls included.
+  ASSERT_EQ(replayed.size(), chased.instance.size());
+  for (size_t i = 0; i < replayed.size(); ++i) {
+    EXPECT_EQ(replayed.atom(i), chased.instance.atom(i)) << "fact " << i;
+  }
+}
+
+TEST(VerifyDerivationTest, UncollectedLogIsNoWitness) {
+  DerivationWitness witness;  // collected = false
+  VerifyResult result = VerifyDerivation({}, {}, witness);
+  EXPECT_EQ(result.code, VerifyCode::kNoWitness);
+}
+
+// ---------------------------------------------------------------------
+// Derivation logs: adversarial.
+
+struct ForgedLog {
+  Instance db;
+  TgdSet sigma;
+  DerivationWitness witness;
+};
+
+/// A genuine two-step log — vwfa(1) ⟶ vwfb(1) ⟶ vwfc(1) — collected
+/// from a real run, ready to be corrupted.
+ForgedLog GenuineChainLog() {
+  ForgedLog forged;
+  forged.db = ParseDatabase("vwfa(one).");
+  forged.sigma = ParseTgds(R"(
+    vwfa(X) -> vwfb(X).
+    vwfb(X) -> vwfc(X).
+  )");
+  ChaseOptions options;
+  options.collect_witness = true;
+  ChaseResult chased = Chase(forged.db, forged.sigma, options);
+  forged.witness = chased.derivation;
+  return forged;
+}
+
+TEST(VerifyDerivationTest, OutOfOrderStepsRejected) {
+  ForgedLog forged = GenuineChainLog();
+  ASSERT_EQ(forged.witness.steps.size(), 2u);
+  // Swap the steps: the vwfb(one) guard of step 1 is now consumed before
+  // the step that derives it. A whole-run check would accept this; the
+  // step-by-step replay must not.
+  std::swap(forged.witness.steps[0], forged.witness.steps[1]);
+  VerifyResult result = VerifyDerivation(forged.db, forged.sigma,
+                                         forged.witness);
+  EXPECT_EQ(result.code, VerifyCode::kBodyNotSatisfied);
+  EXPECT_NE(result.reason.find("step 0"), std::string::npos) << result.reason;
+}
+
+TEST(VerifyDerivationTest, DuplicateTriggerRejected) {
+  ForgedLog forged = GenuineChainLog();
+  forged.witness.steps.push_back(forged.witness.steps[0]);
+  forged.witness.replay_exact = false;  // dodge the digest checks
+  VerifyResult result = VerifyDerivation(forged.db, forged.sigma,
+                                         forged.witness);
+  EXPECT_EQ(result.code, VerifyCode::kDuplicateStep);
+}
+
+TEST(VerifyDerivationTest, TgdIndexOutOfRangeRejected) {
+  ForgedLog forged = GenuineChainLog();
+  forged.witness.steps[1].tgd_index = 99;
+  VerifyResult result = VerifyDerivation(forged.db, forged.sigma,
+                                         forged.witness);
+  EXPECT_EQ(result.code, VerifyCode::kBadTgdIndex);
+}
+
+TEST(VerifyDerivationTest, StaleNullRejected) {
+  Instance db = ParseDatabase("vwna(one). vwna(two).");
+  TgdSet sigma = ParseTgds("vwna(X) -> vwnp(X, Z).");
+  ChaseOptions options;
+  options.collect_witness = true;
+  ChaseResult chased = Chase(db, sigma, options);
+  DerivationWitness witness = chased.derivation;
+  ASSERT_EQ(witness.steps.size(), 2u);
+  ASSERT_EQ(witness.steps[0].existential_images.size(), 1u);
+  // Step 1 reuses step 0's null — a forged log claiming two triggers
+  // invented the same labelled null.
+  witness.steps[1].existential_images = witness.steps[0].existential_images;
+  witness.replay_exact = false;
+  VerifyResult result = VerifyDerivation(db, sigma, witness);
+  EXPECT_EQ(result.code, VerifyCode::kNullNotFresh);
+}
+
+TEST(VerifyDerivationTest, TamperedFactCountAndDigestRejected) {
+  ForgedLog forged = GenuineChainLog();
+  ASSERT_TRUE(forged.witness.replay_exact);
+
+  DerivationWitness miscounted = forged.witness;
+  miscounted.final_facts += 1;
+  EXPECT_EQ(VerifyDerivation(forged.db, forged.sigma, miscounted).code,
+            VerifyCode::kFactCountMismatch);
+
+  DerivationWitness wrong_digest = forged.witness;
+  wrong_digest.instance_crc ^= 0xdeadbeef;
+  EXPECT_EQ(VerifyDerivation(forged.db, forged.sigma, wrong_digest).code,
+            VerifyCode::kDigestMismatch);
+}
+
+TEST(VerifyDerivationTest, ForgedFixpointClaimRejected) {
+  // An empty log over a database with an applicable rule, claiming
+  // completeness: the replay equals the database, which violates Σ.
+  Instance db = ParseDatabase("vwfpa(one).");
+  TgdSet sigma = ParseTgds("vwfpa(X) -> vwfpb(X).");
+  DerivationWitness witness;
+  witness.collected = true;
+  witness.complete = true;
+  witness.replay_exact = true;
+  witness.final_facts = db.size();
+  witness.instance_crc = InstanceTextCrc(db);
+  DerivationCheckOptions check;
+  check.check_model = true;
+  VerifyResult result = VerifyDerivation(db, sigma, witness, nullptr, check);
+  EXPECT_EQ(result.code, VerifyCode::kNotAFixpoint);
+}
+
+// ---------------------------------------------------------------------
+// Homomorphism certificates.
+
+TEST(VerifyHomomorphismTest, EngineWitnessesVerify) {
+  Instance db = ParseDatabase("vwhe(a, b). vwhe(b, c). vwhl(c).");
+  UCQ query = ParseUcq("vwhq(X) :- vwhe(X, Y), vwhl(Y).");
+  std::vector<HomWitness> witnesses;
+  auto answers = EvaluateUCQWithWitnesses(query, db, &witnesses);
+  ASSERT_EQ(answers.size(), 1u);
+  ASSERT_EQ(witnesses.size(), 1u);
+  EXPECT_EQ(answers[0][0], C("b"));
+  VerifyResult result = VerifyHomomorphism(query, db, witnesses[0]);
+  EXPECT_TRUE(result.ok()) << result.reason;
+}
+
+TEST(VerifyHomomorphismTest, TreeDpWitnessVerifies) {
+  // Several bags in play: the stitched assignment must be one coherent
+  // homomorphism across bag boundaries.
+  Instance db = ParseDatabase(
+      "vwte(a, b). vwte(b, c). vwte(c, d). vwtl(d).");
+  CQ cq = ParseCq("vwtq(X) :- vwte(X, Y), vwte(Y, Z), vwte(Z, W), vwtl(W).");
+  HomWitness witness;
+  ASSERT_TRUE(HoldsCqTreeDpWithWitness(cq, db, {C("a")}, &witness));
+  VerifyResult result = VerifyHomomorphism(UCQ({cq}), db, witness);
+  EXPECT_TRUE(result.ok()) << result.reason;
+  EXPECT_EQ(witness.answer, std::vector<Term>{C("a")});
+}
+
+TEST(VerifyHomomorphismTest, CorruptedAssignmentRejected) {
+  Instance db = ParseDatabase("vwce(a, b). vwcl(b).");
+  UCQ query = ParseUcq("vwcq(X) :- vwce(X, Y), vwcl(Y).");
+  std::vector<HomWitness> witnesses;
+  auto answers = EvaluateUCQWithWitnesses(query, db, &witnesses);
+  ASSERT_EQ(witnesses.size(), 1u);
+  const HomWitness genuine = witnesses[0];
+
+  // Redirect one variable to a constant that breaks an atom.
+  HomWitness corrupted = genuine;
+  for (auto& [from, to] : corrupted.assignment) {
+    if (to == C("b")) to = C("a");
+  }
+  EXPECT_EQ(VerifyHomomorphism(query, db, corrupted).code,
+            VerifyCode::kAtomNotInInstance);
+
+  // Claim a different answer than the assignment produces.
+  HomWitness wrong_answer = genuine;
+  wrong_answer.answer = {C("b")};
+  EXPECT_EQ(VerifyHomomorphism(query, db, wrong_answer).code,
+            VerifyCode::kAnswerMismatch);
+
+  // Name a disjunct the query does not have.
+  HomWitness bad_disjunct = genuine;
+  bad_disjunct.disjunct = 7;
+  EXPECT_EQ(VerifyHomomorphism(query, db, bad_disjunct).code,
+            VerifyCode::kBadDisjunct);
+
+  // A non-variable assignment key.
+  HomWitness bad_key = genuine;
+  bad_key.assignment.push_back({C("a"), C("a")});
+  EXPECT_EQ(VerifyHomomorphism(query, db, bad_key).code,
+            VerifyCode::kBadAssignment);
+
+  // Drop the whole assignment: the unmapped answer variable no longer
+  // reaches the claimed answer.
+  HomWitness empty = genuine;
+  empty.assignment.clear();
+  EXPECT_EQ(VerifyHomomorphism(query, db, empty).code,
+            VerifyCode::kAnswerMismatch);
+}
+
+// ---------------------------------------------------------------------
+// Join-tree certificates.
+
+TEST(VerifyJoinTreeTest, YannakakisCertificatesVerify) {
+  Instance db = ParseDatabase("vwye(a, b). vwye(b, c). vwyl(c).");
+  CQ cq = ParseCq("vwyq(X) :- vwye(X, Y), vwye(Y, Z), vwyl(Z).");
+  JoinTreeWitness tree;
+  HomWitness hom;
+  auto holds = HoldsAcyclicCq(cq, db, {C("a")}, &tree, &hom);
+  ASSERT_TRUE(holds.has_value());
+  ASSERT_TRUE(*holds);
+  // The tree certifies the candidate-grounded query (acyclic.h).
+  CQ grounded = ParseCq("vwyg() :- vwye(a, Y), vwye(Y, Z), vwyl(Z).");
+  VerifyResult tree_ok = VerifyJoinTree(grounded, tree);
+  EXPECT_TRUE(tree_ok.ok()) << tree_ok.reason;
+  VerifyResult hom_ok = VerifyHomomorphism(UCQ({cq}), db, hom);
+  EXPECT_TRUE(hom_ok.ok()) << hom_ok.reason;
+}
+
+TEST(VerifyJoinTreeTest, RunningIntersectionViolationRejected) {
+  // Atoms 0 and 2 share B, but the chain 0 ← 1 ← 2 routes their
+  // connection through atom 1, which does not mention B.
+  CQ cq = ParseCq("vwrq() :- vwrp(A, B), vwrm(A, D2), vwrr(B, D2).");
+  JoinTreeWitness witness;
+  witness.parent = {-1, 0, 1};
+  witness.order = {2, 1, 0};
+  VerifyResult result = VerifyJoinTree(cq, witness);
+  EXPECT_EQ(result.code, VerifyCode::kRunningIntersection);
+  EXPECT_NE(result.reason.find("B"), std::string::npos) << result.reason;
+}
+
+TEST(VerifyJoinTreeTest, MalformedTreesRejected) {
+  CQ cq = ParseCq("vwmq() :- vwmp(A, B), vwms(B, D2).");
+
+  // Wrong size.
+  JoinTreeWitness short_tree;
+  short_tree.parent = {-1};
+  short_tree.order = {0};
+  EXPECT_EQ(VerifyJoinTree(cq, short_tree).code, VerifyCode::kMalformed);
+
+  // Parent listed before child in the processing order.
+  JoinTreeWitness parent_first;
+  parent_first.parent = {-1, 0};
+  parent_first.order = {0, 1};
+  EXPECT_EQ(VerifyJoinTree(cq, parent_first).code, VerifyCode::kBadJoinTree);
+
+  // Self-loop.
+  JoinTreeWitness self_loop;
+  self_loop.parent = {0, 0};
+  self_loop.order = {1, 0};
+  EXPECT_EQ(VerifyJoinTree(cq, self_loop).code, VerifyCode::kBadJoinTree);
+
+  // Order repeats an atom.
+  JoinTreeWitness repeated;
+  repeated.parent = {-1, 0};
+  repeated.order = {1, 1};
+  EXPECT_EQ(VerifyJoinTree(cq, repeated).code, VerifyCode::kBadJoinTree);
+}
+
+// ---------------------------------------------------------------------
+// Rewriting provenance.
+
+TEST(VerifyRewriteTest, EngineProvenanceVerifies) {
+  TgdSet sigma = ParseTgds(R"(
+    vwla(X) -> vwlb(X).
+    vwlb(X) -> vwlc(X).
+  )");
+  UCQ query = ParseUcq("vwlq(X) :- vwlc(X).");
+  Instance db = ParseDatabase("vwla(kepler). vwlc(direct).");
+  std::vector<RewriteWitness> witnesses;
+  auto answers = LinearCertainAnswersViaRewriting(db, sigma, query,
+                                                  &witnesses);
+  ASSERT_EQ(answers.size(), 2u);
+  ASSERT_EQ(witnesses.size(), answers.size());
+  for (size_t i = 0; i < witnesses.size(); ++i) {
+    VerifyResult result =
+        VerifyRewriteProvenance(db, sigma, query, witnesses[i]);
+    EXPECT_TRUE(result.ok()) << "answer " << i << ": " << result.reason;
+  }
+}
+
+TEST(VerifyRewriteTest, UnsoundDisjunctRejected) {
+  // A forged disjunct that *does* hold in the database but whose chased
+  // image never satisfies the original query: firing it is unsound.
+  TgdSet sigma = ParseTgds("vwup(X) -> vwuq(X).");
+  UCQ original = ParseUcq("vwuo(X) :- vwuq(X).");
+  Instance db = ParseDatabase("vwur(mars).");
+  RewriteWitness forged;
+  forged.rewritten = ParseCq("vwuo(X) :- vwur(X).");
+  forged.chase_depth = 2;
+  forged.hom.answer = {C("mars")};
+  forged.hom.assignment = {{V("X"), C("mars")}};
+  VerifyResult result = VerifyRewriteProvenance(db, sigma, original, forged);
+  EXPECT_EQ(result.code, VerifyCode::kRewriteUnsound);
+}
+
+TEST(VerifyRewriteTest, ArityMismatchRejected) {
+  TgdSet sigma = ParseTgds("vwap(X) -> vwaq(X).");
+  UCQ original = ParseUcq("vwao(X) :- vwaq(X).");
+  RewriteWitness forged;
+  forged.rewritten = ParseCq("vwao2() :- vwap(X).");
+  VerifyResult result = VerifyRewriteProvenance({}, sigma, original, forged);
+  EXPECT_EQ(result.code, VerifyCode::kMalformed);
+}
+
+// ---------------------------------------------------------------------
+// Wire codec.
+
+TEST(VerifyWitnessCodecTest, EvalWitnessRoundTrips) {
+  EvalWitness witness;
+  witness.kind = EvalWitness::Kind::kChaseAndAnswers;
+  witness.method = "guarded-portion";
+  witness.certified = true;
+  witness.derivation.collected = true;
+  witness.derivation.complete = true;
+  witness.derivation.final_facts = 17;
+  witness.derivation.instance_crc = 0xabad1dea;
+  DerivationStep step;
+  step.tgd_index = 3;
+  step.body_images = {C("a"), Term::Null(41)};
+  step.existential_images = {Term::Null(42)};
+  witness.derivation.steps.push_back(step);
+  HomWitness hom;
+  hom.query = "vwq";
+  hom.disjunct = 1;
+  hom.answer = {C("a")};
+  hom.assignment = {{V("X"), C("a")}, {V("Y"), Term::Null(42)}};
+  witness.answers.push_back(hom);
+
+  const std::string bytes = EncodeEvalWitnessToString(witness);
+  EvalWitness decoded;
+  SnapshotStatus status = DecodeEvalWitnessFromString(bytes, &decoded);
+  ASSERT_TRUE(status.ok()) << status.message;
+  EXPECT_EQ(decoded.kind, witness.kind);
+  EXPECT_EQ(decoded.method, witness.method);
+  EXPECT_EQ(decoded.certified, witness.certified);
+  EXPECT_EQ(decoded.derivation, witness.derivation);
+  ASSERT_EQ(decoded.answers.size(), 1u);
+  EXPECT_EQ(decoded.answers[0], witness.answers[0]);
+
+  // Truncations are decode errors, never crashes or partial accepts.
+  for (size_t cut = 0; cut < bytes.size(); cut += 7) {
+    EvalWitness partial;
+    EXPECT_FALSE(
+        DecodeEvalWitnessFromString(bytes.substr(0, cut), &partial).ok())
+        << "cut at " << cut;
+  }
+}
+
+}  // namespace
+}  // namespace gqe

@@ -40,6 +40,7 @@ int g_threads = 1;
 ExecutionBudget g_budget;
 BenchWatchdog g_watchdog;
 CheckpointFlags g_checkpoint;
+BenchJsonFlags g_json;
 int g_durable_n = 320;
 
 TgdSet TransitiveClosure() {
@@ -190,6 +191,68 @@ void PrintThreadScaling() {
   table.Print("E3b: chase thread scaling (deterministic parallel discovery)");
 }
 
+/// Machine-readable quick tier (--json): a fixed set of chase
+/// configurations timed with the process stopwatch, written as
+/// BENCH_chase.json (ns/op, facts/sec, peak RSS). Keys are stable across
+/// PRs so --json-baseline=KEY=NS attaches the previous trajectory point
+/// and the file carries its own speedup column.
+int RunJsonBench() {
+  BenchJson json("chase", g_json);
+  struct Config {
+    std::string key;
+    Instance db;
+    TgdSet sigma;
+    int threads;
+  };
+  std::vector<Config> configs;
+  auto tc_db = [](int n) {
+    Instance db;
+    for (int i = 0; i < n; ++i) {
+      db.Insert(Atom::Make("e3e",
+                           {Term::Constant("a" + std::to_string(i)),
+                            Term::Constant("a" + std::to_string(i + 1))}));
+    }
+    return db;
+  };
+  configs.push_back({"chase_tc/32", tc_db(32), TransitiveClosure(), 1});
+  configs.push_back({"chase_tc/48", tc_db(48), TransitiveClosure(), 1});
+  configs.push_back({"chase_tc/48/t8", tc_db(48), TransitiveClosure(), 8});
+  configs.push_back(
+      {"chase_univ/256", UniversityDatabase(256), UniversityOntology(), 1});
+  configs.push_back({"chase_univ/4096", UniversityDatabase(4096),
+                     UniversityOntology(), 1});
+  configs.push_back({"chase_univ/4096/t8", UniversityDatabase(4096),
+                     UniversityOntology(), 8});
+  for (Config& config : configs) {
+    ChaseOptions options;
+    options.threads = config.threads;
+    options.budget = g_budget;
+    const uint32_t null_base = Term::NextNullId();
+    // Warm-up run (also yields the output size for facts/sec).
+    Term::SetNextNullId(null_base);
+    ChaseResult warm = Chase(config.db, config.sigma, options);
+    g_watchdog.Record(config.key, warm.outcome);
+    const double facts = static_cast<double>(warm.instance.size());
+    // Measure: at least 3 iterations and 200 ms of work.
+    int iters = 0;
+    Stopwatch watch;
+    do {
+      Term::SetNextNullId(null_base);
+      ChaseResult result = Chase(config.db, config.sigma, options);
+      benchmark::DoNotOptimize(result.instance.size());
+      ++iters;
+    } while (iters < 3 || watch.ElapsedMs() < 200.0);
+    const double ns_per_op = watch.ElapsedMs() * 1e6 / iters;
+    json.Add(config.key, ns_per_op, facts * 1e9 / ns_per_op);
+    std::printf("%-20s %12.0f ns/op  %10.0f facts/s  (%d iters)\n",
+                config.key.c_str(), ns_per_op, facts * 1e9 / ns_per_op,
+                iters);
+  }
+  json.Write();
+  g_watchdog.Print("E3 watchdog: timeout vs complete");
+  return 0;
+}
+
 int ParseDurableN(int* argc, char** argv, int default_n) {
   int n = default_n;
   int out = 1;
@@ -266,6 +329,7 @@ int main(int argc, char** argv) {
   gqe::g_threads = gqe::ParseThreadsFlag(&argc, argv, 1);
   gqe::g_budget = gqe::ParseBudgetFlags(&argc, argv);
   gqe::g_checkpoint = gqe::ParseCheckpointFlags(&argc, argv);
+  gqe::g_json = gqe::ParseBenchJsonFlags(&argc, argv);
   gqe::g_durable_n = gqe::ParseDurableN(&argc, argv, gqe::g_durable_n);
   // SIGINT/SIGTERM cancel cooperatively: every chase below runs under
   // this token, stops at a round boundary (writing a final checkpoint in
@@ -274,6 +338,7 @@ int main(int argc, char** argv) {
   gqe::g_budget.cancel = cancel;
   gqe::InstallBenchSignalHandlers(cancel);
   if (gqe::g_checkpoint.enabled()) return gqe::RunDurableChase();
+  if (gqe::g_json.enabled) return gqe::RunJsonBench();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   gqe::PrintSummary();

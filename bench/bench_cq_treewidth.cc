@@ -107,7 +107,7 @@ void PrintHomThreadScaling() {
     } else {
       identical = all.size() == reference.size();
       for (size_t i = 0; identical && i < all.size(); ++i) {
-        identical = all[i].map() == reference[i].map();
+        identical = all[i].SameMapping(reference[i]);
       }
     }
     table.AddRow({"grid-2x3", ReportTable::Cell(threads),

@@ -67,10 +67,12 @@ Instance MakeData(int n, uint64_t seed) {
   return db;
 }
 
-void Run(const ExecutionBudget& budget, const CheckpointFlags& checkpoint) {
+void Run(const ExecutionBudget& budget, const CheckpointFlags& checkpoint,
+         const BenchJsonFlags& json_flags) {
   TgdSet collapsing = ParseTgds("e11r2(X) -> e11r4(X).");
   TgdSet inert = ParseTgds("e11mark(X) -> e11marked(X).");
   BenchWatchdog watchdog;
+  BenchJson json("omq", json_flags);
 
   ReportTable table({"family", "copies", "UCQ_1-equivalent",
                      "eval via rewriting ms", "direct certain ms", "agree",
@@ -100,6 +102,10 @@ void Run(const ExecutionBudget& budget, const CheckpointFlags& checkpoint) {
       double direct_ms = w2.ElapsedMs();
       watchdog.Record("A copies=" + std::to_string(copies),
                       governor.MakeOutcome());
+      json.Add("omq_A/c" + std::to_string(copies), direct_ms * 1e6);
+      if (rewriting_ms >= 0) {
+        json.Add("omq_A_rw/c" + std::to_string(copies), rewriting_ms * 1e6);
+      }
       table.AddRow({"A: R2 c R4 ontology", ReportTable::Cell(copies),
                     ReportTable::Cell(meta.equivalent),
                     ReportTable::Cell(rewriting_ms),
@@ -123,6 +129,7 @@ void Run(const ExecutionBudget& budget, const CheckpointFlags& checkpoint) {
       (void)direct;
       watchdog.Record("B copies=" + std::to_string(copies),
                       governor.MakeOutcome());
+      json.Add("omq_B/c" + std::to_string(copies), direct_ms * 1e6);
       table.AddRow({"B: inert ontology", ReportTable::Cell(copies),
                     ReportTable::Cell(meta.equivalent), std::string("-"),
                     ReportTable::Cell(direct_ms), ReportTable::Cell(true),
@@ -133,6 +140,7 @@ void Run(const ExecutionBudget& budget, const CheckpointFlags& checkpoint) {
       "E11 / Thm 5.3: OMQ dichotomy — the ontology decides which side of "
       "the FPT boundary a class sits on");
   watchdog.Print("E11 watchdog: timeout vs complete");
+  json.Write();
 }
 
 }  // namespace
@@ -141,9 +149,10 @@ void Run(const ExecutionBudget& budget, const CheckpointFlags& checkpoint) {
 int main(int argc, char** argv) {
   gqe::ExecutionBudget budget = gqe::ParseBudgetFlags(&argc, argv);
   gqe::CheckpointFlags checkpoint = gqe::ParseCheckpointFlags(&argc, argv);
+  gqe::BenchJsonFlags json = gqe::ParseBenchJsonFlags(&argc, argv);
   gqe::CancelToken cancel = gqe::CancelToken::Create();
   budget.cancel = cancel;
   gqe::InstallBenchSignalHandlers(cancel);
-  gqe::Run(budget, checkpoint);
+  gqe::Run(budget, checkpoint, json);
   return 0;
 }

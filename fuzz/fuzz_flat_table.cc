@@ -1,0 +1,116 @@
+// libFuzzer harness for the open-addressing FlatSet/FlatMap
+// (base/flat_table.h). The fuzzer input is an op-sequence program:
+// each 3-byte record is (opcode, key16) and drives the flat table and a
+// shadow std::unordered_map in lockstep. Any divergence — membership,
+// size, stored value, or iteration covering a different key multiset —
+// traps. Keys are folded into 16 bits so erase actually hits and the
+// tables churn through tombstone-heavy states; an occasional clear and
+// reserve mixes in the remaining mutating entry points.
+//
+// Build (clang required for the fuzzer runtime):
+//   cmake -B build-fuzz -S . -DGQE_FUZZ=ON -DCMAKE_CXX_COMPILER=clang++
+//   cmake --build build-fuzz -j
+//   ./build-fuzz/fuzz/fuzz_flat_table -max_total_time=30 fuzz/corpus-flat-table
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+
+#include "base/flat_table.h"
+
+namespace {
+
+// Degrade the hash on demand: low opcode bit 0x40 selects a colliding
+// hash table so probe runs and tombstone clusters get long.
+struct FoldedHash {
+  size_t operator()(uint64_t key) const { return key & 0x3f; }
+};
+
+template <typename Map>
+void CheckAgainstShadow(const Map& map,
+                        const std::unordered_map<uint64_t, uint64_t>& shadow) {
+  if (map.size() != shadow.size()) __builtin_trap();
+  size_t seen = 0;
+  for (const auto& [key, value] : map) {
+    auto it = shadow.find(key);
+    if (it == shadow.end()) __builtin_trap();
+    if (it->second != value) __builtin_trap();
+    ++seen;
+  }
+  if (seen != shadow.size()) __builtin_trap();
+}
+
+template <typename Map>
+void RunProgram(const uint8_t* data, size_t size) {
+  Map map;
+  std::unordered_map<uint64_t, uint64_t> shadow;
+  uint64_t tick = 0;
+  for (size_t i = 0; i + 3 <= size; i += 3) {
+    const uint8_t op = data[i];
+    const uint64_t key =
+        static_cast<uint64_t>(data[i + 1]) << 8 | data[i + 2];
+    switch (op & 0x7) {
+      case 0:
+      case 1: {  // upsert (biased: tables must actually grow)
+        const uint64_t value = ++tick;
+        map[key] = value;
+        shadow[key] = value;
+        break;
+      }
+      case 2: {  // insert-if-absent
+        const uint64_t value = ++tick;
+        auto [slot, fresh] = map.try_emplace(key, value);
+        bool shadow_fresh = shadow.try_emplace(key, value).second;
+        if (fresh != shadow_fresh) __builtin_trap();
+        if (slot->second != shadow.at(key)) __builtin_trap();
+        break;
+      }
+      case 3: {  // erase
+        if (map.erase(key) != (shadow.erase(key) == 1)) __builtin_trap();
+        break;
+      }
+      case 4: {  // point lookup
+        const uint64_t* value = map.value(key);
+        auto it = shadow.find(key);
+        if ((value != nullptr) != (it != shadow.end())) __builtin_trap();
+        if (value != nullptr && *value != it->second) __builtin_trap();
+        break;
+      }
+      case 5: {  // membership
+        if (map.contains(key) != (shadow.count(key) == 1)) __builtin_trap();
+        break;
+      }
+      case 6: {  // reserve: must be a pure capacity hint
+        map.reserve(key & 0x3ff);
+        break;
+      }
+      case 7: {  // occasional full reset
+        if ((op & 0x38) == 0) {
+          map.clear();
+          shadow.clear();
+        }
+        break;
+      }
+    }
+    if (map.size() != shadow.size()) __builtin_trap();
+  }
+  CheckAgainstShadow(map, shadow);
+
+  // Copying must preserve contents (and iteration must still cover the
+  // same key multiset afterwards).
+  Map copy(map);
+  CheckAgainstShadow(copy, shadow);
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  if (size > 1 << 16) return 0;  // keep per-input work bounded
+  const bool awful_hash = size > 0 && (data[0] & 0x40) != 0;
+  if (awful_hash) {
+    RunProgram<gqe::FlatMap<uint64_t, uint64_t, FoldedHash>>(data, size);
+  } else {
+    RunProgram<gqe::FlatMap<uint64_t, uint64_t>>(data, size);
+  }
+  return 0;
+}

@@ -7,6 +7,12 @@
 # require the resume to fall back to the previous good generation with
 # the same final line.
 #
+# Finally, replay a fixed configuration against the pre-recorded golden
+# checkpoint in tests/golden/: the final line and the newest snapshot
+# bytes must match what was recorded when the format was frozen, so a
+# data-layout or codec change that silently shifts insertion order /
+# null ids / snapshot bytes fails here even if it is self-consistent.
+#
 # Usage: scripts/crash_recovery_smoke.sh <path-to-bench_chase> [n]
 set -u
 
@@ -90,6 +96,33 @@ if [ "$CORRUPT_LINE" != "$REF_LINE" ]; then
   echo "  reference: $REF_LINE"
   echo "  fallback:  $CORRUPT_LINE"
   exit 1
+fi
+
+echo "== golden checkpoint: fixed n=64 run vs recorded snapshot =="
+GOLDEN_DIR="$(cd "$(dirname "$0")/.." && pwd)/tests/golden"
+GOLDEN_FINAL="$GOLDEN_DIR/durable_chase_n64.final"
+GOLDEN_SNAP="$GOLDEN_DIR/durable_chase_n64.snap"
+if [ -f "$GOLDEN_FINAL" ] && [ -f "$GOLDEN_SNAP" ]; then
+  GOLD_RUN="$WORK/golden"
+  GOLD_LINE="$("$BENCH" --checkpoint-dir "$GOLD_RUN" --checkpoint-every 1 \
+    --durable-n 64 --threads 2 | grep '^final:')"
+  EXPECT_LINE="$(cat "$GOLDEN_FINAL")"
+  if [ "$GOLD_LINE" != "$EXPECT_LINE" ]; then
+    echo "FAIL: final line drifted from the recorded golden"
+    echo "  golden:  $EXPECT_LINE"
+    echo "  current: $GOLD_LINE"
+    exit 1
+  fi
+  GOLD_NEWEST="$(ls "$GOLD_RUN"/chase-*.snap | sort -t- -k2 -n | tail -1)"
+  if ! cmp -s "$GOLD_NEWEST" "$GOLDEN_SNAP"; then
+    echo "FAIL: newest snapshot bytes differ from the recorded golden"
+    echo "  golden:  $GOLDEN_SNAP"
+    echo "  current: $GOLD_NEWEST"
+    exit 1
+  fi
+  echo "golden checkpoint matches: $GOLD_LINE"
+else
+  echo "SKIP: no golden checkpoint recorded under tests/golden/"
 fi
 
 echo "PASS: kill -9 resume and corruption fallback both match: $REF_LINE"

@@ -1,0 +1,125 @@
+#include "base/arena.h"
+
+#include <cstdlib>
+
+namespace gqe {
+
+Arena::Arena(size_t block_bytes)
+    : next_block_bytes_(block_bytes < 64 ? 64 : block_bytes),
+      first_block_bytes_(next_block_bytes_) {}
+
+Arena::~Arena() {
+  FreeChain(head_);
+}
+
+Arena::Arena(Arena&& other) noexcept
+    : head_(other.head_),
+      pos_(other.pos_),
+      end_(other.end_),
+      next_block_bytes_(other.next_block_bytes_),
+      first_block_bytes_(other.first_block_bytes_),
+      bytes_used_(other.bytes_used_),
+      bytes_reserved_(other.bytes_reserved_),
+      block_count_(other.block_count_),
+      epoch_(other.epoch_) {
+  other.head_ = nullptr;
+  other.pos_ = other.end_ = nullptr;
+  other.bytes_used_ = other.bytes_reserved_ = 0;
+  other.block_count_ = 0;
+}
+
+Arena& Arena::operator=(Arena&& other) noexcept {
+  if (this == &other) return *this;
+#ifndef NDEBUG
+  assert(live_pins_ == 0 && "arena replaced while pointers are pinned");
+#endif
+  FreeChain(head_);
+  head_ = other.head_;
+  pos_ = other.pos_;
+  end_ = other.end_;
+  next_block_bytes_ = other.next_block_bytes_;
+  first_block_bytes_ = other.first_block_bytes_;
+  bytes_used_ = other.bytes_used_;
+  bytes_reserved_ = other.bytes_reserved_;
+  block_count_ = other.block_count_;
+  epoch_ = other.epoch_;
+  other.head_ = nullptr;
+  other.pos_ = other.end_ = nullptr;
+  other.bytes_used_ = other.bytes_reserved_ = 0;
+  other.block_count_ = 0;
+  return *this;
+}
+
+Arena::Block* Arena::NewBlock(size_t payload_bytes) {
+  void* raw = std::malloc(kHeaderBytes + payload_bytes);
+  if (raw == nullptr) throw std::bad_alloc();
+  Block* block = static_cast<Block*>(raw);
+  block->next = nullptr;
+  block->payload = payload_bytes;
+  bytes_reserved_ += payload_bytes;
+  ++block_count_;
+  return block;
+}
+
+void Arena::FreeChain(Block* block) {
+  while (block != nullptr) {
+    Block* next = block->next;
+    std::free(block);
+    block = next;
+  }
+}
+
+void* Arena::Allocate(size_t bytes, size_t align) {
+  assert((align & (align - 1)) == 0 && "alignment must be a power of two");
+  if (bytes == 0) bytes = 1;
+  // Align the bump pointer. malloc'd block payloads are max-aligned, so
+  // alignments up to max_align_t cost at most `align - 1` slack; larger
+  // (over-aligned) requests pad from the same arithmetic.
+  uintptr_t current = reinterpret_cast<uintptr_t>(pos_);
+  uintptr_t aligned = (current + align - 1) & ~(uintptr_t(align) - 1);
+  if (head_ == nullptr || aligned + bytes > reinterpret_cast<uintptr_t>(end_)) {
+    // A request larger than the next block size gets a dedicated block
+    // spliced *behind* the bump block, so the current block keeps
+    // filling; otherwise open a fresh doubled block and bump from it.
+    size_t want = bytes + align;  // room to realign inside the new block
+    if (head_ != nullptr && want > next_block_bytes_) {
+      Block* big = NewBlock(want);
+      big->next = head_->next;
+      head_->next = big;
+      uintptr_t base = reinterpret_cast<uintptr_t>(PayloadOf(big));
+      uintptr_t result = (base + align - 1) & ~(uintptr_t(align) - 1);
+      bytes_used_ += bytes;
+      return reinterpret_cast<void*>(result);
+    }
+    size_t payload = next_block_bytes_ > want ? next_block_bytes_ : want;
+    Block* block = NewBlock(payload);
+    block->next = head_;
+    head_ = block;
+    pos_ = PayloadOf(block);
+    end_ = pos_ + payload;
+    if (next_block_bytes_ < kMaxBlockBytes) next_block_bytes_ *= 2;
+    current = reinterpret_cast<uintptr_t>(pos_);
+    aligned = (current + align - 1) & ~(uintptr_t(align) - 1);
+  }
+  pos_ = reinterpret_cast<char*>(aligned + bytes);
+  bytes_used_ += bytes;
+  return reinterpret_cast<void*>(aligned);
+}
+
+void Arena::Reset() {
+#ifndef NDEBUG
+  assert(live_pins_ == 0 && "arena Reset while pointers are pinned");
+#endif
+  ++epoch_;
+  bytes_used_ = 0;
+  if (head_ == nullptr) return;
+  // Keep the newest (largest) block for reuse; free the rest.
+  FreeChain(head_->next);
+  head_->next = nullptr;
+  block_count_ = 1;
+  bytes_reserved_ = head_->payload;
+  pos_ = PayloadOf(head_);
+  end_ = pos_ + head_->payload;
+}
+
+}  // namespace gqe

@@ -17,15 +17,21 @@ const std::vector<uint32_t>& EmptyIndexVector() {
 
 bool Instance::Insert(const Atom& atom) {
   assert(atom.IsGround() && "instances contain only ground atoms");
-  auto [it, inserted] = atom_set_.insert(atom);
-  if (!inserted) return false;
-  const uint32_t index = static_cast<uint32_t>(atoms_.size());
+  const uint32_t arity = static_cast<uint32_t>(atom.arity());
+  auto [index, fresh] =
+      store_.InsertUnique(atom.predicate(), atom.args().data(), arity);
+  if (!fresh) return false;
+  assert(index == atoms_.size() && "row store and columnar store diverged");
   atoms_.push_back(atom);
-  by_predicate_[atom.predicate()].push_back(index);
+  if (atom.predicate() >= by_predicate_.size()) {
+    by_predicate_.resize(atom.predicate() + 1);
+  }
+  std::vector<uint32_t>& preds = by_predicate_[atom.predicate()];
+  if (preds.empty()) pred_order_.push_back(atom.predicate());
+  preds.push_back(index);
   for (int pos = 0; pos < atom.arity(); ++pos) {
-    by_position_[MakePosKey(atom.predicate(), pos, atom.args()[pos])]
-        .push_back(index);
     Term t = atom.args()[pos];
+    by_position_[MakePosKey(atom.predicate(), pos, t)].push_back(index);
     if (domain_set_.insert(t).second) domain_.push_back(t);
     std::vector<uint32_t>& mentions = by_term_[t];
     if (mentions.empty() || mentions.back() != index) {
@@ -36,6 +42,8 @@ bool Instance::Insert(const Atom& atom) {
 }
 
 void Instance::InsertAll(const Instance& other) {
+  Reserve(size() + other.size(), store_.term_column().size() +
+                                     other.store_.term_column().size());
   for (const Atom& atom : other.atoms()) Insert(atom);
 }
 
@@ -44,68 +52,80 @@ void Instance::InsertAll(const std::vector<Atom>& atoms) {
 }
 
 bool Instance::Contains(const Atom& atom) const {
-  return atom_set_.count(atom) > 0;
+  return store_.Contains(atom.predicate(), atom.args().data(),
+                         static_cast<uint32_t>(atom.arity()));
+}
+
+int64_t Instance::Find(const Atom& atom) const {
+  return store_.Find(atom.predicate(), atom.args().data(),
+                     static_cast<uint32_t>(atom.arity()));
+}
+
+void Instance::Reserve(size_t facts, size_t terms) {
+  atoms_.reserve(facts);
+  store_.Reserve(facts, terms);
+  domain_set_.reserve(domain_.size() + terms);
 }
 
 const std::vector<uint32_t>& Instance::FactsWithPredicate(
     PredicateId pred) const {
-  auto it = by_predicate_.find(pred);
-  if (it == by_predicate_.end()) return EmptyIndexVector();
-  return it->second;
+  if (pred >= by_predicate_.size()) return EmptyIndexVector();
+  return by_predicate_[pred];
 }
 
 const std::vector<uint32_t>& Instance::FactsWith(PredicateId pred,
                                                  int position,
                                                  Term term) const {
-  auto it = by_position_.find(MakePosKey(pred, position, term));
-  if (it == by_position_.end()) return EmptyIndexVector();
-  return it->second;
+  const std::vector<uint32_t>* postings =
+      by_position_.value(MakePosKey(pred, position, term));
+  return postings == nullptr ? EmptyIndexVector() : *postings;
 }
 
 Instance Instance::Restrict(const std::vector<Term>& keep) const {
-  std::unordered_set<Term> keep_set(keep.begin(), keep.end());
+  FlatSet<Term> keep_set(keep.size());
+  for (Term t : keep) keep_set.insert(t);
   Instance out;
-  for (const Atom& atom : atoms_) {
+  for (uint32_t i = 0; i < atoms_.size(); ++i) {
     bool all = true;
-    for (Term t : atom.args()) {
-      if (keep_set.count(t) == 0) {
+    for (Term t : store_.args(i)) {
+      if (!keep_set.contains(t)) {
         all = false;
         break;
       }
     }
-    if (all) out.Insert(atom);
+    if (all) out.Insert(atoms_[i]);
   }
   return out;
 }
 
 Schema Instance::InducedSchema() const {
   Schema schema;
-  for (const auto& [pred, _] : by_predicate_) schema.Add(pred);
+  for (PredicateId pred : pred_order_) schema.Add(pred);
   return schema;
 }
 
 const std::vector<uint32_t>& Instance::FactsMentioning(Term t) const {
-  auto it = by_term_.find(t);
-  if (it == by_term_.end()) return EmptyIndexVector();
-  return it->second;
+  const std::vector<uint32_t>* mentions = by_term_.value(t);
+  return mentions == nullptr ? EmptyIndexVector() : *mentions;
 }
 
 std::vector<Atom> Instance::AtomsOver(const std::vector<Term>& elements) const {
-  std::unordered_set<Term> element_set(elements.begin(), elements.end());
-  std::unordered_set<uint32_t> seen;
+  FlatSet<Term> element_set(elements.size());
+  for (Term t : elements) element_set.insert(t);
+  FlatSet<uint32_t> seen;
   std::vector<Atom> out;
   // 0-ary facts have empty domains and belong in every restriction.
-  for (const auto& [pred, indices] : by_predicate_) {
+  for (PredicateId pred : pred_order_) {
     if (predicates::Arity(pred) == 0) {
-      for (uint32_t index : indices) out.push_back(atoms_[index]);
+      for (uint32_t index : by_predicate_[pred]) out.push_back(atoms_[index]);
     }
   }
   for (Term e : elements) {
     for (uint32_t index : FactsMentioning(e)) {
       if (!seen.insert(index).second) continue;
       bool inside = true;
-      for (Term t : atoms_[index].args()) {
-        if (element_set.count(t) == 0) {
+      for (Term t : store_.args(index)) {
+        if (!element_set.contains(t)) {
           inside = false;
           break;
         }
@@ -125,6 +145,11 @@ bool Instance::SubsetOf(const Instance& other) const {
     if (!other.Contains(atom)) return false;
   }
   return true;
+}
+
+uint64_t Instance::IndexRehashes() const {
+  return store_.index_rehashes() + by_position_.rehashes() +
+         domain_set_.rehashes() + by_term_.rehashes();
 }
 
 std::string Instance::ToString() const {

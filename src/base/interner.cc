@@ -1,6 +1,8 @@
 #include "base/interner.h"
 
 #include <cassert>
+#include <cstring>
+#include <string>
 
 namespace gqe {
 
@@ -11,14 +13,18 @@ Interner& Interner::Global() {
 
 uint32_t Interner::Intern(Pool pool, std::string_view name) {
   PoolData& data = GetPool(pool);
-  auto it = data.index.find(name);
-  if (it != data.index.end()) return it->second;
+  auto [slot, inserted] = data.index.try_emplace(name, 0);
+  if (!inserted) return slot->second;
   const uint32_t id = static_cast<uint32_t>(data.names.size());
   assert(id < (1u << 30) && "interner pool overflow");
-  data.names.emplace_back(name);
-  // The key must view the stored string, not the argument, so that it
-  // remains valid for the lifetime of the interner.
-  data.index.emplace(std::string_view(data.names.back()), id);
+  // Copy the bytes into the arena; the map key must view the stored copy,
+  // not the caller's buffer, so it stays valid for the interner lifetime.
+  char* stored = data.bytes.AllocateArray<char>(name.size());
+  if (!name.empty()) std::memcpy(stored, name.data(), name.size());
+  std::string_view view(stored, name.size());
+  data.names.push_back(view);
+  slot->first = view;
+  slot->second = id;
   return id;
 }
 
@@ -30,11 +36,21 @@ std::string_view Interner::Name(Pool pool, uint32_t id) const {
 
 size_t Interner::PoolSize(Pool pool) const { return GetPool(pool).names.size(); }
 
+void Interner::Reserve(Pool pool, size_t names) {
+  PoolData& data = GetPool(pool);
+  data.names.reserve(names);
+  data.index.reserve(names);
+}
+
+uint64_t Interner::Rehashes(Pool pool) const {
+  return GetPool(pool).index.rehashes();
+}
+
 uint32_t Interner::FreshVariable() {
   for (;;) {
     std::string candidate = "_v" + std::to_string(fresh_counter_++);
     PoolData& data = GetPool(Pool::kVariable);
-    if (data.index.find(candidate) == data.index.end()) {
+    if (!data.index.contains(std::string_view(candidate))) {
       return Intern(Pool::kVariable, candidate);
     }
   }
@@ -44,7 +60,7 @@ uint32_t Interner::FreshConstant() {
   for (;;) {
     std::string candidate = "_c" + std::to_string(fresh_counter_++);
     PoolData& data = GetPool(Pool::kConstant);
-    if (data.index.find(candidate) == data.index.end()) {
+    if (!data.index.contains(std::string_view(candidate))) {
       return Intern(Pool::kConstant, candidate);
     }
   }

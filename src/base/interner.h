@@ -2,10 +2,11 @@
 #define GQE_BASE_INTERNER_H_
 
 #include <cstdint>
-#include <deque>
-#include <string>
 #include <string_view>
-#include <unordered_map>
+#include <vector>
+
+#include "base/arena.h"
+#include "base/flat_table.h"
 
 namespace gqe {
 
@@ -14,9 +15,17 @@ namespace gqe {
 /// 30-bit id so that terms and predicates fit in 32 bits and compare in
 /// one instruction.
 ///
+/// Storage is a bump-pointer arena per pool (name bytes are copied once
+/// and never move, so the string_views handed out stay valid for the
+/// process lifetime) indexed by an open-addressing FlatMap. Workloads
+/// with known symbol counts should call Reserve up front: id assignment
+/// is insertion-ordered and unaffected by table growth, but reserving
+/// skips the intermediate rehashes that used to dominate instance-load
+/// profiles.
+///
 /// The interner is created on first use and intentionally never destroyed
 /// (leak-on-exit pattern), so it is safe to use from static contexts.
-/// It is not thread-safe; the library is single-threaded by design.
+/// It is not thread-safe; parallel engine phases intern before fan-out.
 class Interner {
  public:
   /// The distinct name pools. Identical strings in different pools receive
@@ -38,6 +47,14 @@ class Interner {
   /// Returns the number of interned names in `pool`.
   size_t PoolSize(Pool pool) const;
 
+  /// Pre-sizes `pool` for `names` entries (workload-fingerprint hint) so
+  /// bulk loads pay no intermediate index rehashes.
+  void Reserve(Pool pool, size_t names);
+
+  /// Grow/cleanup rehashes of `pool`'s index so far. Debug guards snapshot
+  /// this to assert no engine holds lookups across a rehash window.
+  uint64_t Rehashes(Pool pool) const;
+
   /// Returns a fresh variable id whose name does not collide with any
   /// interned variable (names look like `_v17`).
   uint32_t FreshVariable();
@@ -55,10 +72,12 @@ class Interner {
   Interner() = default;
 
   struct PoolData {
-    // A deque never relocates its elements, so string_view keys into the
-    // stored strings stay valid as the pool grows.
-    std::deque<std::string> names;
-    std::unordered_map<std::string_view, uint32_t> index;
+    // Name bytes live in the arena and never move, so the string_views in
+    // `names` (and the map keys, which alias them) stay valid as the pool
+    // grows. Ids are indices into `names`, assigned in insertion order.
+    Arena bytes;
+    std::vector<std::string_view> names;
+    FlatMap<std::string_view, uint32_t> index;
   };
 
   PoolData& GetPool(Pool pool) { return pools_[static_cast<int>(pool)]; }

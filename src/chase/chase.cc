@@ -1,25 +1,20 @@
 #include "chase/chase.h"
 
 #include <algorithm>
+#include <cassert>
 #include <chrono>
-#include <unordered_set>
+#include <span>
 #include <utility>
 
+#include "base/flat_table.h"
 #include "base/thread_pool.h"
+#include "chase/trigger_set.h"
 #include "query/homomorphism.h"
 #include "query/substitution.h"
 
 namespace gqe {
 
 namespace {
-
-struct TriggerKeyHash {
-  size_t operator()(const std::vector<uint32_t>& key) const {
-    size_t h = 0x9e3779b97f4a7c15ull;
-    for (uint32_t v : key) h ^= v + 0x9e3779b9u + (h << 6) + (h >> 2);
-    return h;
-  }
-};
 
 /// Identity of an oblivious-chase trigger: the TGD index plus the images
 /// of its body variables (paper: the pair (σ, (c̄, c̄'))).
@@ -118,18 +113,21 @@ void RunDiscoveryUnit(const DiscoveryUnit& unit, const TgdSet& tgds,
     *out = search.FindAll();
     return;
   }
-  // Anchor one body atom at each fact of this unit's delta chunk.
+  // Anchor one body atom at each fact of this unit's delta chunk. The
+  // predicate filter and binding scan run over the columnar store — a
+  // sequential sweep of two flat columns.
   const Atom& anchor_atom = body[unit.anchor];
   for (size_t f = unit.delta_begin; f < unit.delta_end; ++f) {
     if (governor->Tripped()) return;
-    const Atom& fact = instance.atom(f);
-    if (fact.predicate() != anchor_atom.predicate()) continue;
+    const uint32_t fact_index = static_cast<uint32_t>(f);
+    if (instance.predicate_of(fact_index) != anchor_atom.predicate()) continue;
+    const std::span<const Term> fact_args = instance.args_of(fact_index);
     // Bind the anchor atom's variables against this fact.
     HomOptions options;
     bool ok = true;
-    for (int pos = 0; pos < fact.arity() && ok; ++pos) {
+    for (size_t pos = 0; pos < fact_args.size() && ok; ++pos) {
       Term t_pat = anchor_atom.args()[pos];
-      Term image = fact.args()[pos];
+      Term image = fact_args[pos];
       if (t_pat.IsGround()) {
         ok = (t_pat == image);
       } else if (options.fixed.Has(t_pat)) {
@@ -167,7 +165,7 @@ ChaseResult ChaseImpl(const Instance* db, const ChaseCheckpointState* resume,
   bool collecting = options.collect_witness && !options.restricted;
   bool witness_exact = true;
 
-  std::unordered_set<std::vector<uint32_t>, TriggerKeyHash> fired;
+  TriggerKeySet fired;
   std::vector<std::vector<Term>> body_vars(tgds.size());
   std::vector<std::vector<Term>> existentials(tgds.size());
   for (size_t i = 0; i < tgds.size(); ++i) {
@@ -187,7 +185,19 @@ ChaseResult ChaseImpl(const Instance* db, const ChaseCheckpointState* resume,
   size_t delta_start = 0;  // first fact index of the current delta
   std::vector<PendingTrigger> carried;  // unfired triggers above min level
 
-  std::unordered_set<std::vector<uint32_t>, TriggerKeyHash> pending_keys;
+  TriggerKeySet pending_keys;
+
+  // Lemma A.1 level of fact i, parallel to the instance's insertion
+  // order. The fast-path replacement for the atom-keyed `result.levels`
+  // map, which is rebuilt from this vector once at the end of the run.
+  std::vector<int32_t> level_by_index;
+  auto publish_levels = [&]() {
+    result.levels.clear();
+    result.levels.reserve(level_by_index.size());
+    for (size_t i = 0; i < level_by_index.size(); ++i) {
+      result.levels[result.instance.atom(i)] = level_by_index[i];
+    }
+  };
 
   if (resume != nullptr) {
     // Rebuild the round-boundary state. Insertion order, levels and the
@@ -195,10 +205,13 @@ ChaseResult ChaseImpl(const Instance* db, const ChaseCheckpointState* resume,
     // interleaves with the committed prefix exactly as the original
     // would have.
     Term::SetNextNullId(resume->next_null_id);
+    result.instance.Reserve(resume->atoms.size(), resume->atoms.size() * 2);
+    level_by_index.reserve(resume->atoms.size());
     for (size_t i = 0; i < resume->atoms.size(); ++i) {
-      result.instance.Insert(resume->atoms[i]);
-      result.levels[resume->atoms[i]] =
-          i < resume->levels.size() ? resume->levels[i] : 0;
+      if (result.instance.Insert(resume->atoms[i])) {
+        level_by_index.push_back(
+            i < resume->levels.size() ? resume->levels[i] : 0);
+      }
     }
     // The committed prefix counts toward the fact budget just as the
     // original run charged it, so a resumed run sees the same rails.
@@ -207,6 +220,7 @@ ChaseResult ChaseImpl(const Instance* db, const ChaseCheckpointState* resume,
     result.triggers_fired = resume->triggers_fired;
     result.max_level_built = resume->max_level_built;
     delta_start = static_cast<size_t>(resume->delta_start);
+    fired.reserve(resume->fired.size());
     for (const auto& key : resume->fired) fired.insert(key);
     for (const ChaseCheckpointState::CarriedTrigger& c : resume->carried) {
       PendingTrigger trigger;
@@ -224,7 +238,7 @@ ChaseResult ChaseImpl(const Instance* db, const ChaseCheckpointState* resume,
     }
   } else {
     result.instance.InsertAll(*db);
-    for (const Atom& atom : db->atoms()) result.levels[atom] = 0;
+    level_by_index.assign(result.instance.size(), 0);
     // Copying the input counts toward the fact budget, so nested engines
     // sharing a governor cannot multiply caps by re-copying.
     governor->ChargeFacts(db->size());
@@ -240,6 +254,7 @@ ChaseResult ChaseImpl(const Instance* db, const ChaseCheckpointState* resume,
       BuildDerivationWitness(resume->fired, resume->fired_nulls,
                              /*exact=*/true, /*complete=*/true, &result);
     }
+    publish_levels();
     result.outcome = governor->MakeOutcome();
     return result;
   }
@@ -281,9 +296,8 @@ ChaseResult ChaseImpl(const Instance* db, const ChaseCheckpointState* resume,
   }
   auto sync_boundary = [&]() {
     for (size_t i = boundary.atoms.size(); i < result.instance.size(); ++i) {
-      const Atom& atom = result.instance.atom(i);
-      boundary.atoms.push_back(atom);
-      boundary.levels.push_back(result.levels.at(atom));
+      boundary.atoms.push_back(result.instance.atom(i));
+      boundary.levels.push_back(level_by_index[i]);
     }
     for (size_t i = boundary.fired.size(); i < fired_log.size(); ++i) {
       boundary.fired.push_back(fired_log[i]);
@@ -299,7 +313,7 @@ ChaseResult ChaseImpl(const Instance* db, const ChaseCheckpointState* resume,
       ChaseCheckpointState::CarriedTrigger c;
       c.tgd_index = static_cast<uint32_t>(trigger.tgd_index);
       c.level = trigger.level;
-      for (const auto& [from, to] : trigger.sub.map()) {
+      for (const auto& [from, to] : trigger.sub.entries()) {
         c.bindings.emplace_back(from.bits(), to.bits());
       }
       std::sort(c.bindings.begin(), c.bindings.end());
@@ -344,15 +358,22 @@ ChaseResult ChaseImpl(const Instance* db, const ChaseCheckpointState* resume,
     }
     std::vector<PendingTrigger> pending = std::move(carried);
     carried.clear();
+    std::vector<Term> image_scratch;
     auto consider = [&](size_t t, const Substitution& sub) {
       std::vector<uint32_t> key = TriggerKey(t, body_vars[t], sub);
-      if (fired.count(key) > 0) return;
-      if (!pending_keys.insert(key).second) return;
+      if (fired.contains(key)) return;
+      if (!pending_keys.insert(key)) return;
       int level = 0;
       for (const Atom& body_atom : tgds[t].body()) {
-        Atom fact = sub.Apply(body_atom);
-        auto it = result.levels.find(fact);
-        if (it != result.levels.end()) level = std::max(level, it->second);
+        // Columnar level lookup: apply the substitution into a scratch
+        // argument run and probe the fact store directly — no Atom (and
+        // no heap vector) is materialized per body atom.
+        image_scratch.clear();
+        for (Term a : body_atom.args()) image_scratch.push_back(sub.Apply(a));
+        const int64_t index = result.instance.store().Find(
+            body_atom.predicate(), image_scratch.data(),
+            static_cast<uint32_t>(image_scratch.size()));
+        if (index >= 0) level = std::max(level, level_by_index[index]);
       }
       pending.push_back({t, sub, level});
     };
@@ -387,6 +408,12 @@ ChaseResult ChaseImpl(const Instance* db, const ChaseCheckpointState* resume,
     auto discovery_start = std::chrono::steady_clock::now();
     // Workers only read the (frozen) instance and write their own unit
     // buffer; all shared-state updates happen in the merge below.
+#ifndef NDEBUG
+    // Discovery workers hold spans into the columnar Term column; any
+    // insert or index rehash while they run would dangle those spans.
+    const size_t frozen_facts = result.instance.size();
+    const uint64_t frozen_rehashes = result.instance.IndexRehashes();
+#endif
     std::vector<std::vector<Substitution>> found(units.size());
     if (delta_start == 0) {
       // First round: one full-pass unit per TGD, each internally
@@ -402,6 +429,11 @@ ChaseResult ChaseImpl(const Instance* db, const ChaseCheckpointState* resume,
                          governor, &found[u]);
       });
     }
+#ifndef NDEBUG
+    assert(result.instance.size() == frozen_facts &&
+           result.instance.IndexRehashes() == frozen_rehashes &&
+           "instance mutated during discovery: worker spans dangled");
+#endif
     stats.discovery_ms = MsSince(discovery_start);
 
     // Deterministic sequential merge: visiting units (and candidates
@@ -469,15 +501,14 @@ ChaseResult ChaseImpl(const Instance* db, const ChaseCheckpointState* resume,
     bool budget_hit = false;
     Status abort_status = Status::kCompleted;
     std::vector<std::pair<Atom, int>> staged;
-    std::unordered_set<Atom, AtomHash> staged_set;
+    FlatSet<Atom, AtomHash> staged_set;
     size_t round_fired = 0;
     // An aborted (discarded) round truncates the witness logs back here
     // so the derivation log only ever describes committed facts.
     const size_t round_log_start = fired_log.size();
     auto commit_staged = [&]() {
       for (auto& [fact, level] : staged) {
-        result.instance.Insert(fact);
-        result.levels[fact] = level;
+        if (result.instance.Insert(fact)) level_by_index.push_back(level);
         result.max_level_built = std::max(result.max_level_built, level);
       }
       staged.clear();
@@ -498,7 +529,7 @@ ChaseResult ChaseImpl(const Instance* db, const ChaseCheckpointState* resume,
           TriggerKey(trigger.tgd_index, body_vars[trigger.tgd_index],
                      trigger.sub);
       pending_keys.erase(key);
-      if (!fired.insert(key).second) continue;
+      if (!fired.insert(key)) continue;
       if (tracking || collecting) fired_log.push_back(key);
       const Tgd& tgd = tgds[trigger.tgd_index];
       if (options.restricted &&
@@ -566,6 +597,7 @@ ChaseResult ChaseImpl(const Instance* db, const ChaseCheckpointState* resume,
     }
     ++result.rounds_completed;
   }
+  publish_levels();
   if (collecting) {
     BuildDerivationWitness(fired_log, null_log, witness_exact,
                            result.complete, &result);

@@ -1,0 +1,100 @@
+#ifndef GQE_CHASE_TRIGGER_SET_H_
+#define GQE_CHASE_TRIGGER_SET_H_
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "base/arena.h"
+#include "base/flat_table.h"
+
+namespace gqe {
+
+/// Dedup set for oblivious-chase trigger keys (tgd index + body-variable
+/// images, a short uint32 run). The old representation — an
+/// unordered_set of std::vector<uint32_t> — paid one heap vector per key
+/// plus node allocation per entry; here key bytes live contiguously in a
+/// bump arena and the open-addressing index stores {pointer, length}
+/// slots, so a chase's whole fired-trigger history tears down in O(1).
+///
+/// Not copyable: slots alias the arena. The chase owns one set per run.
+class TriggerKeySet {
+ public:
+  TriggerKeySet() { table_.ops().set = this; }
+  TriggerKeySet(const TriggerKeySet&) = delete;
+  TriggerKeySet& operator=(const TriggerKeySet&) = delete;
+
+  static uint64_t HashKey(const uint32_t* data, size_t len) {
+    uint64_t h = 0x9e3779b97f4a7c15ull;
+    for (size_t i = 0; i < len; ++i) {
+      h = HashShuffle(h ^ data[i]);
+    }
+    return h;
+  }
+
+  /// Inserts the key; returns true if it was new. Key bytes are copied
+  /// into the arena only on a fresh insert.
+  bool insert(const std::vector<uint32_t>& key) {
+    auto [slot, fresh] = table_.InsertWith(key, [&]() {
+      uint32_t* stored = arena_.AllocateArray<uint32_t>(key.size());
+      if (!key.empty()) {
+        std::memcpy(stored, key.data(), key.size() * sizeof(uint32_t));
+      }
+      return KeyRef{stored, static_cast<uint32_t>(key.size())};
+    });
+    return fresh;
+  }
+
+  bool contains(const std::vector<uint32_t>& key) const {
+    return table_.contains(key);
+  }
+
+  /// Removes the key (tombstone). The arena bytes are reclaimed at
+  /// clear(), not per-erase — erased keys are a small transient set.
+  bool erase(const std::vector<uint32_t>& key) { return table_.erase(key); }
+
+  size_t size() const { return table_.size(); }
+  bool empty() const { return table_.empty(); }
+  void reserve(size_t n) { table_.reserve(n); }
+  uint64_t rehashes() const { return table_.rehashes(); }
+  size_t arena_bytes() const { return arena_.bytes_reserved(); }
+
+  void clear() {
+    table_.clear();
+    arena_.Reset();
+  }
+
+ private:
+  struct KeyRef {
+    const uint32_t* data;
+    uint32_t len;
+  };
+
+  struct Ops {
+    const TriggerKeySet* set = nullptr;
+    uint64_t hash(const KeyRef& ref) const {
+      return HashKey(ref.data, ref.len);
+    }
+    uint64_t hash(const std::vector<uint32_t>& key) const {
+      return HashKey(key.data(), key.size());
+    }
+    bool eq(const KeyRef& slot, const std::vector<uint32_t>& key) const {
+      return slot.len == key.size() &&
+             (slot.len == 0 ||
+              std::memcmp(slot.data, key.data(),
+                          slot.len * sizeof(uint32_t)) == 0);
+    }
+    bool eq(const KeyRef& a, const KeyRef& b) const {
+      return a.len == b.len &&
+             (a.len == 0 ||
+              std::memcmp(a.data, b.data, a.len * sizeof(uint32_t)) == 0);
+    }
+  };
+
+  Arena arena_;
+  flat_internal::RawTable<KeyRef, Ops> table_;
+};
+
+}  // namespace gqe
+
+#endif  // GQE_CHASE_TRIGGER_SET_H_

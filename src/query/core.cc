@@ -24,7 +24,7 @@ bool TryShrink(const CQ& cq, CQ* out) {
   HomomorphismSearch search(cq.atoms(), canonical, options);
   search.ForEach([&](const Substitution& sub) {
     std::unordered_set<Term> image;
-    for (const auto& [var, value] : sub.map()) image.insert(value);
+    for (const auto& [var, value] : sub.entries()) image.insert(value);
     // Ground terms of the query map to themselves.
     for (Term t : GroundTermsOf(cq.atoms())) image.insert(t);
     if (image.size() >= num_terms) return true;  // surjective; keep looking

@@ -165,7 +165,7 @@ bool HoldsInjectivelyOnly(const CQ& cq, const Instance& db,
     // Injectivity with respect to pattern constants: a variable mapping
     // onto a constant of the pattern breaks injectivity of h on D[q].
     for (Term c : GroundTermsOf(cq.atoms())) {
-      for (const auto& [var, image] : sub.map()) {
+      for (const auto& [var, image] : sub.entries()) {
         if (var != c && image == c) {
           all_injective = false;
           return false;

@@ -5,9 +5,11 @@
 #include <cassert>
 #include <limits>
 #include <mutex>
+#include <span>
 #include <unordered_map>
 #include <unordered_set>
 
+#include "base/flat_table.h"
 #include "base/thread_pool.h"
 
 namespace gqe {
@@ -35,7 +37,7 @@ class Searcher {
   /// which case no homomorphism exists.
   bool Seed() {
     processed_.assign(pattern_.size(), false);
-    for (const auto& [var, value] : options_.fixed.map()) {
+    for (const auto& [var, value] : options_.fixed.entries()) {
       assert(var.IsVariable() && value.IsGround());
       assignment_.Set(var, value);
       if (options_.injective && !used_.insert(value).second) return false;
@@ -77,7 +79,10 @@ class Searcher {
   /// Exposes the root-atom choice the sequential search would make from
   /// the seeded state: the unprocessed atom with the fewest candidates.
   bool PickRoot(int* atom, std::vector<uint32_t>* candidates) {
-    return PickAtom(atom, candidates);
+    const std::vector<uint32_t>* picked = nullptr;
+    if (!PickAtom(atom, &picked)) return false;
+    *candidates = *picked;
+    return true;
   }
 
   /// A flag shared between shard searchers: when set, every searcher
@@ -107,8 +112,10 @@ class Searcher {
   }
 
   /// Picks the unprocessed atom with the fewest candidate facts under the
-  /// current partial assignment; returns false if none remain.
-  bool PickAtom(int* best_atom, std::vector<uint32_t>* best_candidates) {
+  /// current partial assignment; returns false if none remain. The
+  /// returned pointer aliases an Instance postings list (stable while the
+  /// target is not mutated), so no per-node candidate copy is made.
+  bool PickAtom(int* best_atom, const std::vector<uint32_t>** best_candidates) {
     size_t best_count = std::numeric_limits<size_t>::max();
     *best_atom = -1;
     for (size_t i = 0; i < pattern_.size(); ++i) {
@@ -135,7 +142,7 @@ class Searcher {
       if (count < best_count) {
         best_count = count;
         *best_atom = static_cast<int>(i);
-        *best_candidates = *candidates;
+        *best_candidates = candidates;
         if (count == 0) return true;  // dead end; fail fast
       }
     }
@@ -150,9 +157,9 @@ class Searcher {
       return;
     }
     int atom_index;
-    std::vector<uint32_t> candidates;
+    const std::vector<uint32_t>* candidates = nullptr;
     if (!PickAtom(&atom_index, &candidates)) return;
-    ExpandAtom(atom_index, candidates, 0, candidates.size(), depth);
+    ExpandAtom(atom_index, *candidates, 0, candidates->size(), depth);
   }
 
   /// Tries every candidate fact for `atom_index` in turn, recursing into
@@ -161,17 +168,21 @@ class Searcher {
                   size_t begin, size_t end, size_t depth) {
     processed_[atom_index] = true;
     const Atom& atom = pattern_[atom_index];
+    // Rollback journal, hoisted so the candidate loop reuses its storage.
+    std::vector<Term> newly_bound;
     for (size_t c = begin; c < end; ++c) {
       ChargeNode();
       if (Stopped()) break;
-      const Atom& fact = target_.atom(candidates[c]);
-      if (fact.predicate() != atom.predicate()) continue;
-      // Attempt unification; record newly bound variables for rollback.
-      std::vector<Term> newly_bound;
+      const uint32_t fact_index = candidates[c];
+      if (target_.predicate_of(fact_index) != atom.predicate()) continue;
+      // Attempt unification against the columnar argument span; record
+      // newly bound variables for rollback.
+      const std::span<const Term> fact_args = target_.args_of(fact_index);
+      newly_bound.clear();
       bool ok = true;
       for (int pos = 0; pos < atom.arity() && ok; ++pos) {
         Term t = atom.args()[pos];
-        Term image = fact.args()[pos];
+        Term image = fact_args[pos];
         if (t.IsGround()) {
           ok = (t == image);
           continue;
@@ -206,7 +217,7 @@ class Searcher {
 
   Substitution assignment_;
   std::vector<char> processed_;
-  std::unordered_set<Term> used_;
+  FlatSet<Term> used_;
   std::atomic<bool>* shared_stop_ = nullptr;
   size_t count_ = 0;
   bool stopped_ = false;

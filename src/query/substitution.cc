@@ -1,6 +1,6 @@
 #include "query/substitution.h"
 
-#include <unordered_set>
+#include "base/flat_table.h"
 
 namespace gqe {
 
@@ -25,9 +25,17 @@ std::vector<Term> Substitution::Apply(const std::vector<Term>& terms) const {
   return out;
 }
 
+bool Substitution::SameMapping(const Substitution& other) const {
+  if (entries_.size() != other.entries_.size()) return false;
+  for (const auto& [from, to] : entries_) {
+    if (!other.Has(from) || other.Apply(from) != to) return false;
+  }
+  return true;
+}
+
 bool Substitution::IsInjective() const {
-  std::unordered_set<Term> images;
-  for (const auto& [from, to] : map_) {
+  FlatSet<Term> images(entries_.size());
+  for (const auto& [from, to] : entries_) {
     if (!images.insert(to).second) return false;
   }
   return true;
@@ -36,7 +44,7 @@ bool Substitution::IsInjective() const {
 std::string Substitution::ToString() const {
   std::string out = "{";
   bool first = true;
-  for (const auto& [from, to] : map_) {
+  for (const auto& [from, to] : entries_) {
     if (!first) out += ", ";
     first = false;
     out += from.ToString() + "->" + to.ToString();

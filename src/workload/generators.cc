@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "base/interner.h"
+
 namespace gqe {
 
 Graph RandomGraph(int n, int percent, uint64_t seed) {
@@ -42,6 +44,14 @@ Instance RandomBinaryDatabase(const std::string& rel, int domain_size,
                               const std::string& prefix) {
   WorkloadRng rng(seed);
   Instance db;
+  // The generator IS the workload fingerprint: at most `domain_size`
+  // distinct constants and `facts` binary facts. Reserving up front
+  // means the bulk load pays zero intermediate rehashes.
+  Interner::Global().Reserve(Interner::Pool::kConstant,
+                             Interner::Global().PoolSize(
+                                 Interner::Pool::kConstant) +
+                                 static_cast<size_t>(domain_size));
+  db.Reserve(static_cast<size_t>(facts), static_cast<size_t>(facts) * 2);
   auto constant = [&prefix](uint32_t i) {
     return Term::Constant(prefix + std::to_string(i));
   };
@@ -56,6 +66,11 @@ Instance RandomBinaryDatabase(const std::string& rel, int domain_size,
 Instance GridDatabase(const std::string& h_rel, const std::string& v_rel,
                       int rows, int cols, const std::string& prefix) {
   Instance db;
+  const size_t cells = static_cast<size_t>(rows) * static_cast<size_t>(cols);
+  Interner::Global().Reserve(
+      Interner::Pool::kConstant,
+      Interner::Global().PoolSize(Interner::Pool::kConstant) + cells);
+  db.Reserve(cells * 2, cells * 4);
   auto cell = [&prefix](int i, int j) {
     return Term::Constant(prefix + std::to_string(i) + "_" +
                           std::to_string(j));

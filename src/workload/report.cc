@@ -1,6 +1,9 @@
 #include "workload/report.h"
 
 #include <signal.h>
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
 
 #include <atomic>
 #include <csignal>
@@ -215,6 +218,99 @@ void BenchWatchdog::Print(const std::string& title) const {
   table.Print(title);
   std::printf("watchdog: %zu/%zu configurations timed out or were cut\n",
               incomplete(), entries_.size());
+}
+
+
+long PeakRssKb() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage usage;
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+#if defined(__APPLE__)
+  return static_cast<long>(usage.ru_maxrss / 1024);  // bytes on macOS
+#else
+  return usage.ru_maxrss;  // kilobytes on Linux
+#endif
+#else
+  return 0;
+#endif
+}
+
+BenchJsonFlags ParseBenchJsonFlags(int* argc, char** argv) {
+  BenchJsonFlags flags;
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      flags.enabled = true;
+      continue;
+    }
+    if (arg.rfind("--json=", 0) == 0) {
+      flags.enabled = true;
+      flags.path = arg.substr(7);
+      continue;
+    }
+    if (arg.rfind("--json-baseline=", 0) == 0) {
+      const std::string kv = arg.substr(16);
+      const size_t eq = kv.rfind('=');
+      if (eq != std::string::npos) {
+        flags.enabled = true;
+        flags.baselines.emplace_back(kv.substr(0, eq),
+                                     std::atof(kv.c_str() + eq + 1));
+      }
+      continue;
+    }
+    argv[out++] = argv[i];
+  }
+  *argc = out;
+  return flags;
+}
+
+BenchJson::BenchJson(std::string name, BenchJsonFlags flags)
+    : name_(std::move(name)), flags_(std::move(flags)) {}
+
+void BenchJson::Add(const std::string& key, double ns_per_op,
+                    double facts_per_sec) {
+  entries_.push_back({key, ns_per_op, facts_per_sec});
+}
+
+void BenchJson::Meta(const std::string& key, double value) {
+  meta_.emplace_back(key, value);
+}
+
+std::string BenchJson::Write() const {
+  if (!flags_.enabled) return "";
+  const std::string path =
+      flags_.path.empty() ? "BENCH_" + name_ + ".json" : flags_.path;
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench json: cannot open %s\n", path.c_str());
+    return "";
+  }
+  std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"peak_rss_kb\": %ld",
+               name_.c_str(), PeakRssKb());
+  for (const auto& [key, value] : meta_) {
+    std::fprintf(f, ",\n  \"%s\": %.6g", key.c_str(), value);
+  }
+  std::fprintf(f, ",\n  \"benchmarks\": [\n");
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    const Entry& e = entries_[i];
+    std::fprintf(f, "    {\"name\": \"%s\", \"ns_per_op\": %.1f",
+                 e.key.c_str(), e.ns_per_op);
+    if (e.facts_per_sec > 0) {
+      std::fprintf(f, ", \"facts_per_sec\": %.1f", e.facts_per_sec);
+    }
+    for (const auto& [key, baseline_ns] : flags_.baselines) {
+      if (key != e.key || baseline_ns <= 0) continue;
+      std::fprintf(f, ", \"baseline_ns_per_op\": %.1f, \"speedup\": %.3f",
+                   baseline_ns, baseline_ns / e.ns_per_op);
+      break;
+    }
+    std::fprintf(f, "}%s\n", i + 1 < entries_.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("bench json: wrote %s\n", path.c_str());
+  return path;
 }
 
 }  // namespace gqe

@@ -112,6 +112,60 @@ class BenchWatchdog {
   std::vector<Entry> entries_;
 };
 
+/// Peak resident set size of this process in kilobytes (getrusage), or 0
+/// where unavailable. Recorded in the machine-readable bench output so
+/// the memory side of the data-layout work is tracked across PRs.
+long PeakRssKb();
+
+/// `--json[=PATH]` bench flag: write a machine-readable benchmark record
+/// alongside the human tables. The default path is BENCH_<name>.json in
+/// the current directory. `--json-baseline=KEY=NS` flags (repeatable)
+/// attach pre-recorded baseline timings so the file carries its own
+/// speedup trajectory.
+struct BenchJsonFlags {
+  bool enabled = false;
+  std::string path;  // empty: derive BENCH_<name>.json
+  std::vector<std::pair<std::string, double>> baselines;
+};
+
+BenchJsonFlags ParseBenchJsonFlags(int* argc, char** argv);
+
+/// Accumulates benchmark entries and writes BENCH_<name>.json: one
+/// object per entry with ns/op, optional facts/sec throughput, the
+/// attached baseline and speedup, plus a process-wide peak-RSS field.
+/// The schema is append-friendly: CI uploads the file per PR and the
+/// trajectory is the series of per-PR files.
+class BenchJson {
+ public:
+  /// `name` becomes the default file stem (BENCH_<name>.json).
+  BenchJson(std::string name, BenchJsonFlags flags);
+
+  /// Adds one benchmark entry. `ns_per_op` is the per-iteration wall
+  /// time; `facts_per_sec` <= 0 omits the throughput field. If a
+  /// baseline with the same key was passed via --json-baseline, the
+  /// entry records it and the speedup factor.
+  void Add(const std::string& key, double ns_per_op,
+           double facts_per_sec = 0.0);
+
+  /// Attaches an arbitrary numeric metadata field to the file header.
+  void Meta(const std::string& key, double value);
+
+  /// Writes the file (no-op when the flags disabled JSON). Returns the
+  /// path written, or an empty string when disabled.
+  std::string Write() const;
+
+ private:
+  std::string name_;
+  BenchJsonFlags flags_;
+  struct Entry {
+    std::string key;
+    double ns_per_op;
+    double facts_per_sec;
+  };
+  std::vector<Entry> entries_;
+  std::vector<std::pair<std::string, double>> meta_;
+};
+
 /// Wall-clock stopwatch for bench loops.
 class Stopwatch {
  public:

@@ -1,0 +1,384 @@
+// Differential property tests for the open-addressing FlatSet/FlatMap
+// (src/base/flat_table.h) against the std::unordered_* containers they
+// replaced on the hot paths. Every randomized test uses a fixed seed, so
+// a failure reproduces exactly; the iteration-determinism tests pin the
+// contract the chase/checkpoint/witness layers rely on — the same
+// insertion sequence yields the same iteration order, including when the
+// same sequence is replayed concurrently from many threads.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "base/flat_table.h"
+
+namespace gqe {
+namespace {
+
+// splitmix64: deterministic across platforms, unlike std::mt19937
+// distributions. Each test constructs its own stream from a literal seed.
+class TestRng {
+ public:
+  explicit TestRng(uint64_t seed) : state_(seed) {}
+
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  uint64_t Below(uint64_t n) { return Next() % n; }
+
+ private:
+  uint64_t state_;
+};
+
+// An intentionally colliding hash: maps keys into 16 buckets before the
+// table's own shuffle, forcing long probe runs and clustered tombstones.
+struct AwfulHash {
+  size_t operator()(uint64_t key) const { return key & 0xf; }
+};
+
+std::vector<uint64_t> SetOrder(const FlatSet<uint64_t>& set) {
+  std::vector<uint64_t> order;
+  for (const uint64_t& key : set) order.push_back(key);
+  return order;
+}
+
+TEST(FlatSetTest, EmptyTableQueries) {
+  FlatSet<uint64_t> set;
+  EXPECT_EQ(set.size(), 0u);
+  EXPECT_TRUE(set.empty());
+  EXPECT_FALSE(set.contains(42));
+  EXPECT_EQ(set.find(42), nullptr);
+  EXPECT_FALSE(set.erase(42));
+  EXPECT_EQ(set.begin(), set.end());
+}
+
+TEST(FlatSetTest, InsertFindEraseBasics) {
+  FlatSet<uint64_t> set;
+  auto [slot, fresh] = set.insert(7);
+  EXPECT_TRUE(fresh);
+  EXPECT_EQ(*slot, 7u);
+  EXPECT_FALSE(set.insert(7).second);
+  EXPECT_EQ(set.size(), 1u);
+  EXPECT_TRUE(set.contains(7));
+  EXPECT_TRUE(set.erase(7));
+  EXPECT_FALSE(set.contains(7));
+  EXPECT_FALSE(set.erase(7));
+  EXPECT_EQ(set.size(), 0u);
+}
+
+TEST(FlatSetTest, DifferentialRandomOps) {
+  FlatSet<uint64_t> set;
+  std::unordered_set<uint64_t> shadow;
+  TestRng rng(0x5eed0001);
+  for (int op = 0; op < 200000; ++op) {
+    uint64_t key = rng.Below(4096);
+    switch (rng.Below(4)) {
+      case 0:
+      case 1: {  // bias toward inserts so the table actually grows
+        bool fresh = set.insert(key).second;
+        EXPECT_EQ(fresh, shadow.insert(key).second);
+        break;
+      }
+      case 2: {
+        bool erased = set.erase(key);
+        EXPECT_EQ(erased, shadow.erase(key) == 1);
+        break;
+      }
+      case 3: {
+        EXPECT_EQ(set.contains(key), shadow.count(key) == 1);
+        break;
+      }
+    }
+    ASSERT_EQ(set.size(), shadow.size());
+  }
+  // Full-content check both ways.
+  for (uint64_t key : shadow) EXPECT_TRUE(set.contains(key));
+  size_t iterated = 0;
+  for (const uint64_t& key : set) {
+    EXPECT_EQ(shadow.count(key), 1u);
+    ++iterated;
+  }
+  EXPECT_EQ(iterated, shadow.size());
+}
+
+TEST(FlatSetTest, TombstoneHeavyChurn) {
+  // Insert/erase waves over a tiny key space: every slot ends up
+  // tombstoned many times over, exercising the reuse-first-tombstone
+  // path and the tombstone-triggered rehash policy.
+  FlatSet<uint64_t, AwfulHash> set;
+  std::unordered_set<uint64_t> shadow;
+  TestRng rng(0x5eed0002);
+  for (int wave = 0; wave < 400; ++wave) {
+    for (int i = 0; i < 64; ++i) {
+      uint64_t key = rng.Below(128);
+      EXPECT_EQ(set.insert(key).second, shadow.insert(key).second);
+    }
+    for (int i = 0; i < 64; ++i) {
+      uint64_t key = rng.Below(128);
+      EXPECT_EQ(set.erase(key), shadow.erase(key) == 1);
+    }
+    ASSERT_EQ(set.size(), shadow.size());
+  }
+  for (uint64_t key = 0; key < 128; ++key) {
+    EXPECT_EQ(set.contains(key), shadow.count(key) == 1) << "key " << key;
+  }
+}
+
+TEST(FlatSetTest, DuplicateKeyStorm) {
+  // Hammer a handful of keys with repeated inserts: size must stay
+  // bounded and the returned slot pointer must point at the same value.
+  FlatSet<uint64_t> set;
+  std::unordered_set<uint64_t> shadow;
+  TestRng rng(0x5eed0003);
+  for (int op = 0; op < 100000; ++op) {
+    uint64_t key = rng.Below(8);
+    auto [slot, fresh] = set.insert(key);
+    EXPECT_EQ(*slot, key);
+    EXPECT_EQ(fresh, shadow.insert(key).second);
+  }
+  EXPECT_EQ(set.size(), 8u);
+  // 8 keys fit the minimum capacity: only the initial allocation counts.
+  EXPECT_LE(set.rehashes(), 1u);
+}
+
+TEST(FlatSetTest, GrowBoundaries) {
+  // Walk insertion counts across several power-of-two capacity
+  // boundaries and verify contents survive each rehash.
+  for (size_t n : {7u, 8u, 9u, 15u, 16u, 17u, 31u, 33u, 127u, 129u, 1025u}) {
+    FlatSet<uint64_t> set;
+    for (uint64_t i = 0; i < n; ++i) {
+      ASSERT_TRUE(set.insert(i * 0x10001).second) << "n=" << n << " i=" << i;
+    }
+    ASSERT_EQ(set.size(), n);
+    for (uint64_t i = 0; i < n; ++i) {
+      ASSERT_TRUE(set.contains(i * 0x10001)) << "n=" << n << " i=" << i;
+    }
+    ASSERT_FALSE(set.contains(n * 0x10001));
+  }
+}
+
+TEST(FlatSetTest, ReserveAvoidsRehash) {
+  FlatSet<uint64_t> set;
+  set.reserve(1000);
+  uint64_t rehashes_after_reserve = set.rehashes();
+  for (uint64_t i = 0; i < 1000; ++i) set.insert(i);
+  EXPECT_EQ(set.rehashes(), rehashes_after_reserve);
+  EXPECT_EQ(set.size(), 1000u);
+}
+
+TEST(FlatSetTest, ClearResetsButKeepsWorking) {
+  FlatSet<uint64_t> set;
+  for (uint64_t i = 0; i < 500; ++i) set.insert(i);
+  set.clear();
+  EXPECT_EQ(set.size(), 0u);
+  EXPECT_FALSE(set.contains(3));
+  for (uint64_t i = 0; i < 500; ++i) EXPECT_TRUE(set.insert(i).second);
+  EXPECT_EQ(set.size(), 500u);
+}
+
+TEST(FlatSetTest, CopyPreservesIterationOrder) {
+  FlatSet<uint64_t> set;
+  TestRng rng(0x5eed0004);
+  for (int i = 0; i < 3000; ++i) set.insert(rng.Next());
+  for (int i = 0; i < 500; ++i) set.erase(rng.Below(1u << 20));
+  FlatSet<uint64_t> copy(set);
+  EXPECT_EQ(SetOrder(set), SetOrder(copy));
+  FlatSet<uint64_t> assigned;
+  assigned.insert(99);
+  assigned = set;
+  EXPECT_EQ(SetOrder(set), SetOrder(assigned));
+}
+
+// The determinism contract: replaying the same op sequence yields the
+// same iteration order, in one thread or in eight concurrently (each
+// thread owns its table — the chase shards work this way).
+TEST(FlatSetTest, IterationDeterministicAcrossThreads) {
+  auto build = [](uint64_t seed) {
+    FlatSet<uint64_t> set;
+    TestRng rng(seed);
+    for (int op = 0; op < 20000; ++op) {
+      uint64_t key = rng.Below(2048);
+      if (rng.Below(3) == 0) {
+        set.erase(key);
+      } else {
+        set.insert(key);
+      }
+    }
+    return SetOrder(set);
+  };
+  const std::vector<uint64_t> reference = build(0x5eed0005);
+  constexpr int kThreads = 8;
+  std::vector<std::vector<uint64_t>> orders(kThreads);
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] { orders[t] = build(0x5eed0005); });
+  }
+  for (auto& w : workers) w.join();
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(orders[t], reference) << "thread " << t;
+  }
+}
+
+TEST(FlatSetTest, HeterogeneousProbe) {
+  struct SvHash {
+    using is_transparent = void;
+    size_t operator()(std::string_view s) const {
+      return std::hash<std::string_view>()(s);
+    }
+  };
+  struct SvEq {
+    using is_transparent = void;
+    bool operator()(const std::string& a, std::string_view b) const {
+      return a == b;
+    }
+  };
+  FlatSet<std::string, SvHash, SvEq> set;
+  set.insert(std::string("guarded"));
+  set.insert(std::string("tgd"));
+  // Probe with string_view: no std::string temporary is constructed.
+  EXPECT_TRUE(set.contains(std::string_view("guarded")));
+  EXPECT_FALSE(set.contains(std::string_view("frontier")));
+  EXPECT_TRUE(set.erase(std::string_view("tgd")));
+  EXPECT_EQ(set.size(), 1u);
+}
+
+TEST(FlatMapTest, DifferentialRandomOps) {
+  FlatMap<uint64_t, uint64_t> map;
+  std::unordered_map<uint64_t, uint64_t> shadow;
+  TestRng rng(0x5eed0010);
+  for (int op = 0; op < 200000; ++op) {
+    uint64_t key = rng.Below(4096);
+    switch (rng.Below(5)) {
+      case 0:
+      case 1: {  // operator[] upsert
+        uint64_t value = rng.Next();
+        map[key] = value;
+        shadow[key] = value;
+        break;
+      }
+      case 2: {  // try_emplace: keeps the existing value
+        uint64_t value = rng.Next();
+        auto [slot, fresh] = map.try_emplace(key, value);
+        bool shadow_fresh = shadow.try_emplace(key, value).second;
+        EXPECT_EQ(fresh, shadow_fresh);
+        EXPECT_EQ(slot->second, shadow.at(key));
+        break;
+      }
+      case 3: {
+        EXPECT_EQ(map.erase(key), shadow.erase(key) == 1);
+        break;
+      }
+      case 4: {
+        auto it = shadow.find(key);
+        const uint64_t* value = map.value(key);
+        if (it == shadow.end()) {
+          EXPECT_EQ(value, nullptr);
+        } else {
+          ASSERT_NE(value, nullptr);
+          EXPECT_EQ(*value, it->second);
+        }
+        break;
+      }
+    }
+    ASSERT_EQ(map.size(), shadow.size());
+  }
+  size_t iterated = 0;
+  for (const auto& [key, value] : map) {
+    auto it = shadow.find(key);
+    ASSERT_NE(it, shadow.end());
+    EXPECT_EQ(value, it->second);
+    ++iterated;
+  }
+  EXPECT_EQ(iterated, shadow.size());
+}
+
+TEST(FlatMapTest, OperatorBracketDefaultConstructs) {
+  FlatMap<uint64_t, uint64_t> map;
+  EXPECT_EQ(map[5], 0u);
+  map[5] += 3;
+  EXPECT_EQ(map[5], 3u);
+  EXPECT_EQ(map.size(), 1u);
+}
+
+TEST(FlatMapTest, TombstoneChurnWithValues) {
+  FlatMap<uint64_t, std::string, AwfulHash> map;
+  std::unordered_map<uint64_t, std::string> shadow;
+  TestRng rng(0x5eed0011);
+  for (int op = 0; op < 50000; ++op) {
+    uint64_t key = rng.Below(64);
+    if (rng.Below(2) == 0) {
+      std::string value = "v" + std::to_string(rng.Below(1000));
+      map[key] = value;
+      shadow[key] = value;
+    } else {
+      EXPECT_EQ(map.erase(key), shadow.erase(key) == 1);
+    }
+    ASSERT_EQ(map.size(), shadow.size());
+  }
+  for (const auto& [key, value] : shadow) {
+    const std::string* got = map.value(key);
+    ASSERT_NE(got, nullptr);
+    EXPECT_EQ(*got, value);
+  }
+}
+
+TEST(FlatMapTest, PointersStableUntilRehash) {
+  FlatMap<uint64_t, uint64_t> map;
+  map.reserve(256);
+  uint64_t rehashes = map.rehashes();
+  std::vector<uint64_t*> slots;
+  for (uint64_t i = 0; i < 100; ++i) {
+    slots.push_back(&map[i]);
+    map[i] = i * 3;
+  }
+  ASSERT_EQ(map.rehashes(), rehashes);  // reserve prevented growth
+  for (uint64_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(slots[i], &map[i]);
+    EXPECT_EQ(*slots[i], i * 3);
+  }
+}
+
+TEST(FlatMapTest, IterationDeterministicSameSeed) {
+  auto build = [](uint64_t seed) {
+    FlatMap<uint64_t, uint64_t> map;
+    TestRng rng(seed);
+    for (int op = 0; op < 20000; ++op) {
+      uint64_t key = rng.Below(1024);
+      if (rng.Below(4) == 0) {
+        map.erase(key);
+      } else {
+        map[key] = rng.Next();
+      }
+    }
+    std::vector<std::pair<uint64_t, uint64_t>> order;
+    for (const auto& entry : map) order.push_back(entry);
+    return order;
+  };
+  EXPECT_EQ(build(0x5eed0012), build(0x5eed0012));
+  EXPECT_NE(build(0x5eed0012), build(0x5eed0013));
+}
+
+TEST(HashShuffleTest, SpreadsLowEntropyKeys) {
+  // Sequential keys must land in distinct slots of a small table: the
+  // finalizer has to mix low bits into the whole word.
+  std::unordered_set<uint64_t> low_bits;
+  for (uint64_t i = 0; i < 1024; ++i) {
+    low_bits.insert(HashShuffle(i) & 1023);
+  }
+  // A perfect hash would fill ~646 of 1024 buckets (coupon collector);
+  // anything above 550 is unclustered enough for linear probing.
+  EXPECT_GT(low_bits.size(), 550u);
+}
+
+}  // namespace
+}  // namespace gqe

@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include <unordered_set>
+
 #include "chase/chase.h"
 #include "guarded/omq_eval.h"
 #include "guarded/saturation.h"

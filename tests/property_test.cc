@@ -290,6 +290,75 @@ TEST_P(ChaseUniversality, ChaseMapsIntoEveryModel) {
 INSTANTIATE_TEST_SUITE_P(Seeds, ChaseUniversality, ::testing::Range(0, 15));
 
 // ---------------------------------------------------------------------
+// Witness-certificate determinism (PR 5 regression lock): the chase's
+// derivation log must replay through the independent verifier, its
+// serialized wire bytes must be identical across repeated runs, and the
+// instance digest recorded in the witness must match the instance. Any
+// data-layout change that perturbs insertion order or null assignment
+// trips these before it can reach the serve pipeline.
+// ---------------------------------------------------------------------
+
+class WitnessDeterminism : public ::testing::TestWithParam<int> {};
+
+TEST_P(WitnessDeterminism, DerivationWitnessReplaysAndEncodesStably) {
+  const int seed = GetParam();
+  WorkloadRng rng(seed * 23 + 11);
+  TgdSet sigma = RandomInclusionDependencies(
+      "pwd" + std::to_string(seed % 5) + "p", 4, 4, /*existential=*/40,
+      static_cast<uint64_t>(seed) * 101 + 7);
+  Instance db = RandomBinaryDatabase("pwd" + std::to_string(seed % 5) + "p0",
+                                     5, 6 + rng.Below(5), seed, "pw");
+
+  auto run = [&](uint32_t null_base) {
+    Term::SetNextNullId(null_base);
+    ChaseOptions options;
+    options.collect_witness = true;
+    options.budget.max_facts = 800;
+    return Chase(db, sigma, options);
+  };
+
+  const uint32_t null_base = Term::NextNullId();
+  ChaseResult first = run(null_base);
+  ASSERT_TRUE(first.derivation.collected);
+
+  if (first.derivation.replay_exact) {
+    // Only an exact log commits to the digest fields.
+    EXPECT_EQ(first.derivation.final_facts, first.instance.size());
+    EXPECT_EQ(first.derivation.instance_crc, InstanceTextCrc(first.instance));
+    Instance replayed;
+    VerifyResult check =
+        VerifyDerivation(db, sigma, first.derivation, &replayed);
+    ASSERT_TRUE(check.ok())
+        << "seed " << seed << ": " << VerifyCodeName(check.code) << " — "
+        << check.reason;
+    EXPECT_EQ(replayed.atoms(), first.instance.atoms());
+  }
+
+  // Re-running from the same null base reproduces the identical witness,
+  // and the wire encoding is byte-stable.
+  ChaseResult second = run(null_base);
+  EXPECT_EQ(second.derivation, first.derivation);
+  EvalWitness wire_first;
+  wire_first.kind = EvalWitness::Kind::kDerivation;
+  wire_first.method = "chase";
+  wire_first.certified = first.derivation.replay_exact;
+  wire_first.derivation = first.derivation;
+  EvalWitness wire_second = wire_first;
+  wire_second.derivation = second.derivation;
+  EXPECT_EQ(EncodeEvalWitnessToString(wire_first),
+            EncodeEvalWitnessToString(wire_second));
+
+  // The codec round-trips to an equal witness.
+  EvalWitness decoded;
+  SnapshotStatus status = DecodeEvalWitnessFromString(
+      EncodeEvalWitnessToString(wire_first), &decoded);
+  ASSERT_TRUE(status.ok()) << status.message;
+  EXPECT_EQ(decoded.derivation, first.derivation);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WitnessDeterminism, ::testing::Range(0, 12));
+
+// ---------------------------------------------------------------------
 // Core invariants on random queries.
 // ---------------------------------------------------------------------
 

@@ -12,6 +12,8 @@ const char* StatusName(Status status) {
       return "deadline-exceeded";
     case Status::kCancelled:
       return "cancelled";
+    case Status::kShardLost:
+      return "shard-lost";
   }
   return "unknown";
 }

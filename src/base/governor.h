@@ -24,6 +24,11 @@ enum class Status : int {
   kDeadlineExceeded = 2,
   /// The CancelToken was tripped by another thread.
   kCancelled = 3,
+  /// A sharded run lost a shard irrecoverably (retries exhausted, no
+  /// fallback): the round was discarded and the committed prefix is the
+  /// last consistent boundary — the structured degradation terminal of
+  /// shard/shard_chase.h.
+  kShardLost = 4,
 };
 
 const char* StatusName(Status status);

@@ -115,6 +115,11 @@ constexpr uint16_t kSnapshotKindChaseTree = 2;
 constexpr uint16_t kSnapshotKindInstance = 3;
 /// Result blob a serve worker writes to its result pipe (serve/worker.h).
 constexpr uint16_t kSnapshotKindWorkerResult = 4;
+/// Per-round candidate exchange a shard worker ships to the coordinator
+/// (shard/exchange.h). The envelope CRC is the corruption detector the
+/// shard fault protocol relies on: a bit-flipped exchange is a
+/// recoverable shard fault, never a wrong answer.
+constexpr uint16_t kSnapshotKindShardExchange = 5;
 
 /// Current snapshot format version (bumped on incompatible changes).
 /// v2: chase snapshots carry the per-trigger null-draw log backing

@@ -179,7 +179,10 @@ bool WorkerProcess::Spawn(
 bool WorkerProcess::Poll() {
   if (pid_ <= 0 || exit_.reaped) return exit_.reaped;
   int status = 0;
-  const pid_t r = ::waitpid(pid_, &status, WNOHANG);
+  pid_t r;
+  do {
+    r = ::waitpid(pid_, &status, WNOHANG);
+  } while (r < 0 && errno == EINTR);
   if (r == pid_) {
     exit_.reaped = true;
     if (WIFEXITED(status)) {
@@ -191,8 +194,30 @@ bool WorkerProcess::Poll() {
     }
     // The final result write may still sit in the pipe buffer.
     DrainResult();
+  } else if (r < 0) {
+    // ECHILD: someone else already reaped this pid (a wait(-1) elsewhere,
+    // or SIGCHLD set to SIG_IGN). The child is gone either way; mark it
+    // reaped with an unknown exit instead of polling a zombie that will
+    // never appear.
+    exit_.reaped = true;
+    DrainResult();
   }
   return exit_.reaped;
+}
+
+bool WorkerProcess::WaitReaped(double timeout_ms) {
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double, std::milli>(
+              timeout_ms > 0 ? timeout_ms : 0));
+  for (;;) {
+    if (Poll()) return true;
+    DrainHeartbeats();
+    DrainResult();
+    if (std::chrono::steady_clock::now() >= deadline) return Poll();
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
 }
 
 void WorkerProcess::DrainResult() { DrainFd(result_fd_, &result_); }
@@ -222,6 +247,27 @@ HeartbeatWriter::HeartbeatWriter(int fd, double interval_ms) {
 HeartbeatWriter::~HeartbeatWriter() {
   stop_.store(true, std::memory_order_release);
   if (thread_.joinable()) thread_.join();
+}
+
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+double BackoffDelayMs(int attempt, double base_ms, double cap_ms,
+                      uint64_t seed, uint64_t stream) {
+  const int exponent = attempt > 1 ? attempt - 1 : 0;
+  double delay = base_ms * std::ldexp(1.0, exponent);
+  if (cap_ms > 0 && delay > cap_ms) delay = cap_ms;
+  // Two mixing rounds: one to decorrelate (seed, stream), one for the
+  // draw itself — byte-compatible with the serve supervisor's original
+  // Mix64 + UnitDraw sequence, so its retry timings are unchanged.
+  uint64_t state = Mix64(Mix64(seed ^ stream));
+  delay *= 0.5 + static_cast<double>(state >> 11) /
+                     static_cast<double>(1ull << 53);
+  return delay;
 }
 
 }  // namespace gqe

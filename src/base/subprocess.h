@@ -73,9 +73,18 @@ class WorkerProcess {
   bool running() const { return pid_ > 0 && !exit_.reaped; }
   const WorkerExit& exit_status() const { return exit_; }
 
-  /// Non-blocking reap attempt (waitpid WNOHANG). Returns true when the
-  /// worker is gone and `exit_status()` is final. Safe to call repeatedly.
+  /// Non-blocking reap attempt (waitpid WNOHANG, retried across EINTR).
+  /// Returns true when the worker is gone and `exit_status()` is final.
+  /// Safe to call repeatedly. If some other code path already reaped the
+  /// pid (ECHILD), the worker is marked reaped with an unknown exit
+  /// instead of spinning on a zombie that will never appear.
   bool Poll();
+
+  /// Blocking reap with a deadline: polls waitpid and drains both pipes
+  /// until the worker is reaped or `timeout_ms` elapses. The supervisor
+  /// calls this after Kill(SIGKILL) so long chaos soaks leak no zombies.
+  /// Returns true when the worker was reaped within the deadline.
+  bool WaitReaped(double timeout_ms);
 
   /// Drains available bytes from the result pipe into `result_bytes()`.
   /// Non-blocking; call from the supervisor loop and once more after the
@@ -126,6 +135,19 @@ bool WriteAllToFd(int fd, std::string_view data);
 /// worker child setup and by deterministic OOM fault injection (a tiny
 /// address-space cap makes the next big allocation fail). Async-signal-safe.
 void InstallWorkerLimits(const WorkerLimits& limits);
+
+/// splitmix64 finalizer: the deterministic mixing function behind chaos
+/// draws, retry jitter and shard ownership. Every (key, attempt) pair gets
+/// its own stream, so concurrent scheduling cannot reorder the randomness.
+uint64_t Mix64(uint64_t x);
+
+/// Exponential backoff with deterministic jitter in [0.5, 1.5):
+/// min(cap, base * 2^(attempt-1)) * (0.5 + draw(seed, stream)), where
+/// `attempt` is 1-based and `cap_ms <= 0` means uncapped. Shared by the
+/// serve supervisor's retry ladder and the shard coordinator's
+/// respawn-and-replay loop so both back off identically for a given seed.
+double BackoffDelayMs(int attempt, double base_ms, double cap_ms,
+                      uint64_t seed, uint64_t stream);
 
 }  // namespace gqe
 

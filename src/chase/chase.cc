@@ -39,22 +39,6 @@ bool HeadSatisfied(const Instance& instance, const Tgd& tgd,
   return search.Exists();
 }
 
-/// One unit of trigger-discovery work: the sequential discovery loop,
-/// split at its natural grain. anchor < 0 is the initial full pass over a
-/// TGD's body; anchor >= 0 searches with body[anchor] bound onto each
-/// fact of [delta_begin, delta_end) — a contiguous chunk of the delta
-/// frontier, so one TGD × anchor pair can span several units when the
-/// delta is large. Units are created — and their outputs merged — in the
-/// exact order the sequential loop visits the (tgd, anchor, fact)
-/// triples, which is what makes the parallel chase bit-identical to the
-/// sequential one.
-struct DiscoveryUnit {
-  size_t tgd_index;
-  int anchor;
-  size_t delta_begin;
-  size_t delta_end;
-};
-
 /// Rebuilds a replayable derivation log from the fired-trigger keys and
 /// the parallel null-draw log: key[0] is the TGD index, key[1..] the
 /// body-variable images (term bits), nulls[i] the labelled nulls step i
@@ -93,57 +77,6 @@ double MsSince(std::chrono::steady_clock::time_point start) {
   return std::chrono::duration<double, std::milli>(
              std::chrono::steady_clock::now() - start)
       .count();
-}
-
-/// Runs one discovery unit against a frozen instance, appending every
-/// body homomorphism found to `out`. Read-only on the instance; safe to
-/// run concurrently with other units.
-void RunDiscoveryUnit(const DiscoveryUnit& unit, const TgdSet& tgds,
-                      const Instance& instance, int hom_threads,
-                      Governor* governor, std::vector<Substitution>* out) {
-  if (governor->Tripped()) return;
-  const auto& body = tgds[unit.tgd_index].body();
-  if (unit.anchor < 0) {
-    // Initial full pass. FindAll's parallel path preserves sequential
-    // enumeration order, so sharding here keeps the merge canonical.
-    HomOptions options;
-    options.threads = hom_threads;
-    options.governor = governor;
-    HomomorphismSearch search(body, instance, options);
-    *out = search.FindAll();
-    return;
-  }
-  // Anchor one body atom at each fact of this unit's delta chunk. The
-  // predicate filter and binding scan run over the columnar store — a
-  // sequential sweep of two flat columns.
-  const Atom& anchor_atom = body[unit.anchor];
-  for (size_t f = unit.delta_begin; f < unit.delta_end; ++f) {
-    if (governor->Tripped()) return;
-    const uint32_t fact_index = static_cast<uint32_t>(f);
-    if (instance.predicate_of(fact_index) != anchor_atom.predicate()) continue;
-    const std::span<const Term> fact_args = instance.args_of(fact_index);
-    // Bind the anchor atom's variables against this fact.
-    HomOptions options;
-    bool ok = true;
-    for (size_t pos = 0; pos < fact_args.size() && ok; ++pos) {
-      Term t_pat = anchor_atom.args()[pos];
-      Term image = fact_args[pos];
-      if (t_pat.IsGround()) {
-        ok = (t_pat == image);
-      } else if (options.fixed.Has(t_pat)) {
-        ok = (options.fixed.Apply(t_pat) == image);
-      } else {
-        options.fixed.Set(t_pat, image);
-      }
-    }
-    if (!ok) continue;
-    options.governor = governor;
-    HomomorphismSearch search(body, instance, options);
-    search.ForEach([&](const Substitution& sub) {
-      out->push_back(sub);
-      return true;
-    });
-  }
 }
 
 /// Shared implementation of Chase and ResumeChaseFromState: exactly one
@@ -387,7 +320,7 @@ ChaseResult ChaseImpl(const Instance* db, const ChaseCheckpointState* resume,
     const size_t chunk =
         std::max<size_t>(64, (delta_size + 4 * threads - 1) /
                                  std::max<size_t>(1, 4 * threads));
-    std::vector<DiscoveryUnit> units;
+    std::vector<ChaseDiscoveryUnit> units;
     for (size_t t = 0; t < tgds.size(); ++t) {
       if (delta_start == 0) {
         units.push_back({t, -1, 0, 0});
@@ -415,18 +348,40 @@ ChaseResult ChaseImpl(const Instance* db, const ChaseCheckpointState* resume,
     const uint64_t frozen_rehashes = result.instance.IndexRehashes();
 #endif
     std::vector<std::vector<Substitution>> found(units.size());
-    if (delta_start == 0) {
+    if (options.discovery_hook != nullptr) {
+      // Distributed discovery: the hook owns this round's units (the
+      // sharded chase's coordinator). Its order contract — (*found)[u]
+      // holds exactly what RunChaseDiscoveryUnit(units[u]) would emit —
+      // keeps the merge below canonical.
+      ChaseDiscoveryRound round_ctx;
+      round_ctx.instance = &result.instance;
+      round_ctx.tgds = &tgds;
+      round_ctx.units = &units;
+      round_ctx.delta_start = delta_start;
+      round_ctx.delta_end = delta_end;
+      round_ctx.round = result.rounds_completed;
+      round_ctx.governor = governor;
+      if (!options.discovery_hook->DiscoverRound(round_ctx, &found)) {
+        // The round's candidates could not be produced (an irrecoverable
+        // shard): discard the round and stop at the last committed
+        // boundary. Trip is sticky, so an earlier deadline/cancel cause
+        // is preserved.
+        governor->Trip(Status::kShardLost);
+        found.assign(units.size(), {});
+      }
+      found.resize(units.size());
+    } else if (delta_start == 0) {
       // First round: one full-pass unit per TGD, each internally
       // parallelized through the homomorphism engine (keeps the pool
       // saturated even for single-rule programs).
       for (size_t u = 0; u < units.size(); ++u) {
-        RunDiscoveryUnit(units[u], tgds, result.instance,
-                         static_cast<int>(threads), governor, &found[u]);
+        RunChaseDiscoveryUnit(units[u], tgds, result.instance,
+                              static_cast<int>(threads), governor, &found[u]);
       }
     } else {
       pool.ParallelFor(units.size(), [&](size_t u) {
-        RunDiscoveryUnit(units[u], tgds, result.instance, /*hom_threads=*/1,
-                         governor, &found[u]);
+        RunChaseDiscoveryUnit(units[u], tgds, result.instance,
+                              /*hom_threads=*/1, governor, &found[u]);
       });
     }
 #ifndef NDEBUG
@@ -607,6 +562,64 @@ ChaseResult ChaseImpl(const Instance* db, const ChaseCheckpointState* resume,
 }
 
 }  // namespace
+
+void RunChaseDiscoveryAtFact(size_t tgd_index, int anchor, size_t fact_index,
+                             const TgdSet& tgds, const Instance& instance,
+                             Governor* governor,
+                             std::vector<Substitution>* out) {
+  if (governor->Tripped()) return;
+  const auto& body = tgds[tgd_index].body();
+  const Atom& anchor_atom = body[anchor];
+  const uint32_t fi = static_cast<uint32_t>(fact_index);
+  if (instance.predicate_of(fi) != anchor_atom.predicate()) return;
+  const std::span<const Term> fact_args = instance.args_of(fi);
+  // Bind the anchor atom's variables against this fact.
+  HomOptions options;
+  bool ok = true;
+  for (size_t pos = 0; pos < fact_args.size() && ok; ++pos) {
+    Term t_pat = anchor_atom.args()[pos];
+    Term image = fact_args[pos];
+    if (t_pat.IsGround()) {
+      ok = (t_pat == image);
+    } else if (options.fixed.Has(t_pat)) {
+      ok = (options.fixed.Apply(t_pat) == image);
+    } else {
+      options.fixed.Set(t_pat, image);
+    }
+  }
+  if (!ok) return;
+  options.governor = governor;
+  HomomorphismSearch search(body, instance, options);
+  search.ForEach([&](const Substitution& sub) {
+    out->push_back(sub);
+    return true;
+  });
+}
+
+void RunChaseDiscoveryUnit(const ChaseDiscoveryUnit& unit, const TgdSet& tgds,
+                           const Instance& instance, int hom_threads,
+                           Governor* governor, std::vector<Substitution>* out) {
+  if (governor->Tripped()) return;
+  if (unit.anchor < 0) {
+    // Initial full pass. FindAll's parallel path preserves sequential
+    // enumeration order, so sharding here keeps the merge canonical.
+    const auto& body = tgds[unit.tgd_index].body();
+    HomOptions options;
+    options.threads = hom_threads;
+    options.governor = governor;
+    HomomorphismSearch search(body, instance, options);
+    *out = search.FindAll();
+    return;
+  }
+  // Anchor one body atom at each fact of this unit's delta chunk. The
+  // predicate filter and binding scan run over the columnar store — a
+  // sequential sweep of two flat columns.
+  for (size_t f = unit.delta_begin; f < unit.delta_end; ++f) {
+    if (governor->Tripped()) return;
+    RunChaseDiscoveryAtFact(unit.tgd_index, unit.anchor, f, tgds, instance,
+                            governor, out);
+  }
+}
 
 ChaseResult Chase(const Instance& db, const TgdSet& tgds,
                   const ChaseOptions& options) {

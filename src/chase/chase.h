@@ -9,6 +9,7 @@
 #include "base/atom.h"
 #include "base/governor.h"
 #include "base/instance.h"
+#include "query/substitution.h"
 #include "tgd/tgd.h"
 #include "verify/witness.h"
 
@@ -80,6 +81,70 @@ class ChaseCheckpointSink {
   virtual void Write(const ChaseCheckpointState& state, bool final_write) = 0;
 };
 
+/// One unit of trigger-discovery work: the sequential discovery loop,
+/// split at its natural grain. anchor < 0 is the initial full pass over a
+/// TGD's body; anchor >= 0 searches with body[anchor] bound onto each
+/// fact of [delta_begin, delta_end) — a contiguous chunk of the delta
+/// frontier. Units are created — and their outputs merged — in the exact
+/// order the sequential loop visits the (tgd, anchor, fact) triples,
+/// which is what makes both the parallel and the sharded chase
+/// bit-identical to the sequential one.
+struct ChaseDiscoveryUnit {
+  size_t tgd_index = 0;
+  int anchor = -1;
+  size_t delta_begin = 0;
+  size_t delta_end = 0;
+};
+
+/// Runs one discovery unit against a frozen instance, appending every
+/// body homomorphism found to `out` in canonical (sequential) order.
+/// Read-only on the instance; safe to run concurrently with other units
+/// and in forked worker processes.
+void RunChaseDiscoveryUnit(const ChaseDiscoveryUnit& unit, const TgdSet& tgds,
+                           const Instance& instance, int hom_threads,
+                           Governor* governor, std::vector<Substitution>* out);
+
+/// The single-fact slice of an anchored unit: body[anchor] of TGD
+/// `tgd_index` is bound onto fact `fact_index` only. Sharded workers use
+/// this to emit per-fact candidate groups that the coordinator can
+/// reassemble into the canonical per-unit order regardless of which shard
+/// owned which fact.
+void RunChaseDiscoveryAtFact(size_t tgd_index, int anchor, size_t fact_index,
+                             const TgdSet& tgds, const Instance& instance,
+                             Governor* governor,
+                             std::vector<Substitution>* out);
+
+/// Everything a discovery hook needs to produce one round's candidate
+/// triggers: the frozen committed instance, the rule set, the round's
+/// discovery units in canonical order and the delta frontier they cover.
+struct ChaseDiscoveryRound {
+  const Instance* instance = nullptr;
+  const TgdSet* tgds = nullptr;
+  const std::vector<ChaseDiscoveryUnit>* units = nullptr;
+  size_t delta_start = 0;
+  size_t delta_end = 0;
+  /// Committed rounds before this one — the round's generation number.
+  uint64_t round = 0;
+  Governor* governor = nullptr;
+};
+
+/// Replaces the engine's local discovery phase (the shard coordinator's
+/// seam). The hook must fill (*found)[u] with exactly the substitutions
+/// RunChaseDiscoveryUnit((*round.units)[u], ...) produces, in the same
+/// order — the engine's deterministic merge, level assignment, null
+/// allocation and fire phase run unchanged on top, which is what makes a
+/// distributed discovery bit-identical to the local one by construction.
+/// Returning false means the round's candidates could not be produced
+/// (e.g. an irrecoverable shard): the engine discards the round, trips
+/// the governor with Status::kShardLost and stops at the last committed
+/// boundary — from which a later resume can continue.
+class ChaseDiscoveryHook {
+ public:
+  virtual ~ChaseDiscoveryHook() = default;
+  virtual bool DiscoverRound(const ChaseDiscoveryRound& round,
+                             std::vector<std::vector<Substitution>>* found) = 0;
+};
+
 /// Options for the chase procedure (paper, Section 2).
 struct ChaseOptions {
   /// Resource limits (fact budget, search-node budget, deadline, cancel
@@ -128,6 +193,14 @@ struct ChaseOptions {
   /// Rounds between snapshot deliveries (1 = every round boundary).
   /// Values < 1 behave as 1.
   int checkpoint_every = 1;
+
+  /// When set, the engine delegates each round's trigger discovery to
+  /// this hook (see ChaseDiscoveryHook) instead of running the units on
+  /// its own pool — the seam the sharded multi-process chase
+  /// (shard/shard_chase.h) plugs into. The merge/fire machinery is
+  /// unaffected, so results stay bit-identical as long as the hook
+  /// honors the per-unit order contract.
+  ChaseDiscoveryHook* discovery_hook = nullptr;
 
   /// Collect a replayable derivation log (verify/witness.h) into
   /// ChaseResult::derivation. Oblivious chase only: the restricted

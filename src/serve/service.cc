@@ -22,16 +22,9 @@ namespace gqe {
 
 namespace {
 
-// splitmix64 / xorshift-style mixing for deterministic, order-independent
-// chaos and jitter draws: every (request id, attempt) pair gets its own
-// stream, so concurrent scheduling cannot reorder the randomness.
-uint64_t Mix64(uint64_t x) {
-  x += 0x9e3779b97f4a7c15ull;
-  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
-  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
-  return x ^ (x >> 31);
-}
-
+// Deterministic, order-independent chaos and jitter draws on top of the
+// shared Mix64 (base/subprocess.h): every (request id, attempt) pair gets
+// its own stream, so concurrent scheduling cannot reorder the randomness.
 uint64_t HashId(const std::string& id) {
   uint64_t h = 0xcbf29ce484222325ull;
   for (char c : id) {
@@ -505,17 +498,15 @@ class Supervisor {
       return;
     }
 
-    // Exponential backoff with deterministic jitter in [0.5, 1.5).
+    // Exponential backoff with deterministic jitter in [0.5, 1.5)
+    // (shared with the shard coordinator via base/subprocess.h).
     const int phase_attempts = job.degraded_phase ? job.degraded_attempts
                                                   : job.exact_attempts;
-    const int exponent = phase_attempts > 0 ? phase_attempts - 1 : 0;
-    double delay = options_.backoff_base_ms * std::ldexp(1.0, exponent);
-    if (options_.backoff_cap_ms > 0 && delay > options_.backoff_cap_ms) {
-      delay = options_.backoff_cap_ms;
-    }
-    uint64_t state = Mix64(options_.jitter_seed ^ HashId(job.request->id) ^
-                           (static_cast<uint64_t>(job.attempt_number) << 40));
-    delay *= 0.5 + UnitDraw(&state);
+    const double delay = BackoffDelayMs(
+        phase_attempts, options_.backoff_base_ms, options_.backoff_cap_ms,
+        options_.jitter_seed,
+        HashId(job.request->id) ^
+            (static_cast<uint64_t>(job.attempt_number) << 40));
     job.ready_at = now + delay;
     job.next_backoff_ms = delay;
     job.row.retry_wait_ms += delay;

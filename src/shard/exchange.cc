@@ -1,0 +1,118 @@
+#include "shard/exchange.h"
+
+#include <utility>
+
+namespace gqe {
+
+namespace {
+
+// Minimum encoded bytes per claimed element, used to reject absurd counts
+// in a (CRC-valid but hostile) payload before allocating for them.
+constexpr uint64_t kMinGroupBytes = 4 + 8 + 8;  // unit + fact + sub count
+constexpr uint64_t kMinSubBytes = 8;            // entry count
+constexpr uint64_t kMinEntryBytes = 8;          // from + to bits
+
+}  // namespace
+
+std::string EncodeShardExchange(const ShardExchange& exchange) {
+  BinaryWriter writer;
+  writer.WriteU32(exchange.shard_id);
+  writer.WriteU32(exchange.num_shards);
+  writer.WriteU32(exchange.attempt);
+  writer.WriteU64(exchange.round);
+  writer.WriteU64(exchange.delta_start);
+  writer.WriteU64(exchange.delta_end);
+  writer.WriteU64(exchange.instance_size);
+  writer.WriteU64(exchange.groups.size());
+  for (const ShardCandidateGroup& group : exchange.groups) {
+    writer.WriteU32(group.unit_index);
+    writer.WriteU64(group.fact_index);
+    writer.WriteU64(group.subs.size());
+    for (const Substitution& sub : group.subs) {
+      // Bindings in binding order: Substitution iteration is
+      // insertion-ordered, so equal mappings encode to equal bytes and
+      // the decoded substitution replays Set calls in the same order.
+      writer.WriteU64(sub.entries().size());
+      for (const auto& [from, to] : sub.entries()) {
+        writer.WriteU32(from.bits());
+        writer.WriteU32(to.bits());
+      }
+    }
+  }
+  return WrapSnapshot(kSnapshotKindShardExchange, writer.buffer());
+}
+
+SnapshotStatus DecodeShardExchange(std::string_view bytes,
+                                   ShardExchange* out) {
+  std::string_view payload;
+  SnapshotStatus status =
+      UnwrapSnapshot(bytes, kSnapshotKindShardExchange, &payload);
+  if (!status.ok()) return status;
+
+  BinaryReader reader(payload);
+  ShardExchange exchange;
+  uint64_t group_count = 0;
+  reader.ReadU32(&exchange.shard_id);
+  reader.ReadU32(&exchange.num_shards);
+  reader.ReadU32(&exchange.attempt);
+  reader.ReadU64(&exchange.round);
+  reader.ReadU64(&exchange.delta_start);
+  reader.ReadU64(&exchange.delta_end);
+  reader.ReadU64(&exchange.instance_size);
+  if (!reader.ReadU64(&group_count)) {
+    return SnapshotStatus::Fail(SnapshotError::kTruncated,
+                                "shard exchange: truncated header");
+  }
+  if (group_count > reader.remaining() / kMinGroupBytes + 1) {
+    return SnapshotStatus::Fail(SnapshotError::kFormatError,
+                                "shard exchange: absurd group count");
+  }
+  exchange.groups.reserve(group_count);
+  for (uint64_t g = 0; g < group_count; ++g) {
+    ShardCandidateGroup group;
+    uint64_t sub_count = 0;
+    reader.ReadU32(&group.unit_index);
+    reader.ReadU64(&group.fact_index);
+    if (!reader.ReadU64(&sub_count)) {
+      return SnapshotStatus::Fail(SnapshotError::kTruncated,
+                                  "shard exchange: truncated group");
+    }
+    if (sub_count > reader.remaining() / kMinSubBytes + 1) {
+      return SnapshotStatus::Fail(SnapshotError::kFormatError,
+                                  "shard exchange: absurd candidate count");
+    }
+    group.subs.reserve(sub_count);
+    for (uint64_t s = 0; s < sub_count; ++s) {
+      uint64_t entry_count = 0;
+      if (!reader.ReadU64(&entry_count)) {
+        return SnapshotStatus::Fail(SnapshotError::kTruncated,
+                                    "shard exchange: truncated candidate");
+      }
+      if (entry_count > reader.remaining() / kMinEntryBytes + 1) {
+        return SnapshotStatus::Fail(SnapshotError::kFormatError,
+                                    "shard exchange: absurd binding count");
+      }
+      Substitution sub;
+      for (uint64_t e = 0; e < entry_count; ++e) {
+        uint32_t from_bits = 0;
+        uint32_t to_bits = 0;
+        reader.ReadU32(&from_bits);
+        if (!reader.ReadU32(&to_bits)) {
+          return SnapshotStatus::Fail(SnapshotError::kTruncated,
+                                      "shard exchange: truncated binding");
+        }
+        sub.Set(Term::FromBits(from_bits), Term::FromBits(to_bits));
+      }
+      group.subs.push_back(std::move(sub));
+    }
+    exchange.groups.push_back(std::move(group));
+  }
+  if (!reader.ok() || !reader.AtEnd()) {
+    return SnapshotStatus::Fail(SnapshotError::kFormatError,
+                                "shard exchange: trailing or missing bytes");
+  }
+  *out = std::move(exchange);
+  return SnapshotStatus::Ok();
+}
+
+}  // namespace gqe

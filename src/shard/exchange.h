@@ -1,0 +1,56 @@
+#ifndef GQE_SHARD_EXCHANGE_H_
+#define GQE_SHARD_EXCHANGE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "base/serialize.h"
+#include "query/substitution.h"
+
+namespace gqe {
+
+/// The candidates one shard discovered for one (unit, anchor-fact) pair.
+/// `fact_index` is 0 for full-pass units (anchor < 0); for anchored units
+/// it is the absolute fact index the anchor was bound onto. Substitutions
+/// are in the canonical enumeration order RunChaseDiscoveryAtFact emits.
+struct ShardCandidateGroup {
+  uint32_t unit_index = 0;
+  uint64_t fact_index = 0;
+  std::vector<Substitution> subs;
+};
+
+/// One shard's complete contribution to one chase round: a header that
+/// pins the exchange to a specific (round, shard layout, delta frontier,
+/// attempt) plus the candidate groups in strictly increasing
+/// (unit_index, fact_index) order. The coordinator cross-checks every
+/// header field against its own round state; any mismatch — a stale
+/// retry's late write, a resharded layout, a truncated or bit-flipped
+/// payload — is a recoverable shard fault, never a wrong merge.
+struct ShardExchange {
+  uint32_t shard_id = 0;
+  uint32_t num_shards = 1;
+  uint32_t attempt = 1;
+  uint64_t round = 0;
+  uint64_t delta_start = 0;
+  uint64_t delta_end = 0;
+  uint64_t instance_size = 0;
+  std::vector<ShardCandidateGroup> groups;
+};
+
+/// Serializes `exchange` into a kSnapshotKindShardExchange envelope
+/// (base/serialize.h: magic | kind | version | size | CRC-32 | payload).
+/// Equal exchanges encode to equal bytes.
+std::string EncodeShardExchange(const ShardExchange& exchange);
+
+/// Validates the envelope (magic, kind, version, size, CRC) and decodes
+/// the payload. Structural damage that survives the CRC (it cannot, but
+/// defense in depth) or a truncated tail reports the matching
+/// SnapshotError; `out` is only modified on success.
+SnapshotStatus DecodeShardExchange(std::string_view bytes,
+                                   ShardExchange* out);
+
+}  // namespace gqe
+
+#endif  // GQE_SHARD_EXCHANGE_H_

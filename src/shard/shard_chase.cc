@@ -1,0 +1,546 @@
+#include "shard/shard_chase.h"
+
+#include <signal.h>
+
+#include <algorithm>
+#include <chrono>
+#include <new>
+#include <string>
+#include <thread>
+#include <utility>
+
+#include "shard/exchange.h"
+
+namespace gqe {
+
+namespace {
+
+/// Shard-worker exit codes. OOM matches serve/worker.h's kWorkerExitOom
+/// so operators see one code for kernel-rlimit OOM deaths everywhere.
+constexpr int kShardExitOk = 0;
+constexpr int kShardExitWriteError = 3;
+constexpr int kShardExitOom = 12;
+
+/// Injected-OOM geometry (the serve chaos idiom): cap the address space
+/// well below the probe so the bad_alloc is deterministic no matter how
+/// much memory the forked worker already mapped copy-on-write.
+constexpr size_t kOomFaultLimitBytes = 64ull << 20;
+constexpr size_t kOomFaultProbeBytes = 128ull << 20;
+
+double MsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+/// The deterministic slice of one round's discovery owned by `shard`:
+/// every unit is walked in canonical order, anchored units fact by fact,
+/// and only owned (unit, fact) pairs are searched. Shared verbatim by
+/// forked workers and the coordinator's inline fallback, which is why
+/// the fallback is bit-identical to the worker it replaces.
+void ComputeShardSlice(const ChaseDiscoveryRound& round, uint32_t shard,
+                       uint32_t num_shards, ShardExchange* exchange) {
+  // Workers run under a fresh unlimited governor: deadlines and budgets
+  // are enforced coordinator-side (the barrier, plus kernel rlimits), and
+  // a replayed attempt must redo exactly the same search as the lost one
+  // instead of inheriting its half-spent budget.
+  ExecutionBudget unlimited;
+  unlimited.max_facts = 0;
+  Governor governor(unlimited);
+  const std::vector<ChaseDiscoveryUnit>& units = *round.units;
+  for (size_t u = 0; u < units.size(); ++u) {
+    const ChaseDiscoveryUnit& unit = units[u];
+    if (unit.anchor < 0) {
+      if (ShardOfFullPass(unit.tgd_index, num_shards) != shard) continue;
+      ShardCandidateGroup group;
+      group.unit_index = static_cast<uint32_t>(u);
+      group.fact_index = 0;
+      RunChaseDiscoveryUnit(unit, *round.tgds, *round.instance,
+                            /*hom_threads=*/1, &governor, &group.subs);
+      if (!group.subs.empty()) exchange->groups.push_back(std::move(group));
+      continue;
+    }
+    for (size_t f = unit.delta_begin; f < unit.delta_end; ++f) {
+      if (ShardOfFact(*round.instance, f, num_shards) != shard) continue;
+      ShardCandidateGroup group;
+      group.unit_index = static_cast<uint32_t>(u);
+      group.fact_index = f;
+      RunChaseDiscoveryAtFact(unit.tgd_index, unit.anchor, f, *round.tgds,
+                              *round.instance, &governor, &group.subs);
+      if (!group.subs.empty()) exchange->groups.push_back(std::move(group));
+    }
+  }
+}
+
+/// Child-side entry point: runs the owned slice against the
+/// copy-on-write instance image and ships one CRC-enveloped exchange up
+/// the result pipe. Runs in a forked process; the return value becomes
+/// the exit code.
+int ShardWorkerBody(const ChaseDiscoveryRound& round, uint32_t shard,
+                    uint32_t num_shards, int attempt, int inject_fault,
+                    const ShardOptions& options, int result_fd,
+                    int heartbeat_fd) {
+  // Injected process faults run child-side, before any work: a
+  // parent-side signal after fork would race a fast worker's clean exit
+  // and the fault could dissolve into a successful round. Raising the
+  // signal here is still the real thing — the parent sees an ordinary
+  // SIGKILL death / heartbeat-silent stall, through the same
+  // classification paths an external fault would take.
+  if (inject_fault == static_cast<int>(ShardFault::Kind::kKill)) {
+    ::raise(SIGKILL);
+  } else if (inject_fault == static_cast<int>(ShardFault::Kind::kStall)) {
+    ::raise(SIGSTOP);  // frozen pre-heartbeat; the liveness timeout fires
+  } else if (inject_fault == static_cast<int>(ShardFault::Kind::kOom)) {
+    WorkerLimits limits;
+    limits.address_space_bytes = kOomFaultLimitBytes;
+    InstallWorkerLimits(limits);
+    try {
+      // Force the cap to bite now. Direct operator-new: a new[]/delete[]
+      // pair may legally be elided, and then no allocation ever happens.
+      void* probe = ::operator new(kOomFaultProbeBytes);
+      *static_cast<volatile char*>(probe) = 1;
+      ::operator delete(probe);
+    } catch (const std::bad_alloc&) {
+      return kShardExitOom;
+    }
+  }
+  HeartbeatWriter heartbeat(heartbeat_fd, options.heartbeat_interval_ms);
+  ShardExchange exchange;
+  exchange.shard_id = shard;
+  exchange.num_shards = num_shards;
+  exchange.attempt = static_cast<uint32_t>(attempt);
+  exchange.round = round.round;
+  exchange.delta_start = round.delta_start;
+  exchange.delta_end = round.delta_end;
+  exchange.instance_size = round.instance->size();
+  ComputeShardSlice(round, shard, num_shards, &exchange);
+  const std::string bytes = EncodeShardExchange(exchange);
+  if (!WriteAllToFd(result_fd, bytes)) return kShardExitWriteError;
+  return kShardExitOk;
+}
+
+std::string DeathCause(const WorkerExit& exit) {
+  if (exit.signaled) {
+    switch (exit.term_signal) {
+      case SIGKILL:
+        return "sigkill";
+      case SIGXCPU:
+        return "cpu-limit";
+      case SIGSEGV:
+        return "sigsegv";
+      default:
+        return "signal-" + std::to_string(exit.term_signal);
+    }
+  }
+  if (exit.exited) {
+    if (exit.exit_code == kShardExitOom) return "oom";
+    if (exit.exit_code == kShardExitWriteError) return "write-failed";
+    return "exit-" + std::to_string(exit.exit_code);
+  }
+  return "reaped-unknown";
+}
+
+/// The per-round barrier + failure protocol. One instance lives for the
+/// whole run (it is the ChaseOptions::discovery_hook), so retry/fault
+/// bookkeeping spans rounds.
+class ShardCoordinator : public ChaseDiscoveryHook {
+ public:
+  ShardCoordinator(const ShardOptions& options, ShardStats* stats)
+      : options_(options),
+        stats_(stats),
+        fault_used_(options.faults.size(), false) {}
+
+  bool DiscoverRound(const ChaseDiscoveryRound& round,
+                     std::vector<std::vector<Substitution>>* found) override;
+
+ private:
+  struct Slot {
+    uint32_t shard = 0;
+    int attempts = 0;  // attempts started (1-based once spawned)
+    bool done = false;
+    bool running = false;
+    double ready_at = 0.0;     // ms since round start; gate for respawn
+    double last_beat = 0.0;    // last heartbeat (or spawn) time
+    double started_at = 0.0;   // current attempt's spawn time
+    double first_fault_at = -1.0;
+    WorkerProcess worker;
+    ShardExchange exchange;
+  };
+
+  uint32_t ShardsForRound(uint64_t round) const {
+    int n = options_.shards;
+    if (options_.reshard_at_round >= 0 && options_.reshard_to > 0 &&
+        round >= static_cast<uint64_t>(options_.reshard_at_round)) {
+      n = options_.reshard_to;
+    }
+    return n < 1 ? 1 : static_cast<uint32_t>(n);
+  }
+
+  /// Consumes a matching injected fault (each entry fires at most once).
+  bool TakeFault(uint64_t round, uint32_t shard, int attempt,
+                 ShardFault::Kind kind) {
+    for (size_t i = 0; i < options_.faults.size(); ++i) {
+      const ShardFault& fault = options_.faults[i];
+      if (!fault_used_[i] && fault.round == round && fault.shard == shard &&
+          fault.attempt == attempt && fault.kind == kind) {
+        fault_used_[i] = true;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  void RecordEvent(const ChaseDiscoveryRound& round, const Slot& slot,
+                   std::string cause) {
+    if (stats_ == nullptr) return;
+    ShardEvent event;
+    event.round = round.round;
+    event.shard = slot.shard;
+    event.attempt = slot.attempts;
+    event.cause = std::move(cause);
+    stats_->events.push_back(std::move(event));
+  }
+
+  /// Marks the attempt failed and schedules the respawn: exponential
+  /// backoff with deterministic jitter keyed by (seed, round, shard,
+  /// attempt), so a retry storm never synchronizes across shards.
+  void ScheduleRetry(const ChaseDiscoveryRound& round, Slot* slot,
+                     double now, const std::string& cause) {
+    RecordEvent(round, *slot, cause);
+    if (slot->first_fault_at < 0) slot->first_fault_at = now;
+    const double delay = BackoffDelayMs(
+        slot->attempts, options_.backoff_base_ms, options_.backoff_cap_ms,
+        options_.jitter_seed,
+        Mix64(round.round) ^ (static_cast<uint64_t>(slot->shard) << 32) ^
+            static_cast<uint64_t>(slot->attempts));
+    slot->ready_at = now + delay;
+    if (stats_ != nullptr) stats_->backoff_wait_ms += delay;
+  }
+
+  bool SpawnShard(const ChaseDiscoveryRound& round, Slot* slot,
+                  uint32_t num_shards) {
+    int inject_fault = -1;
+    for (ShardFault::Kind kind :
+         {ShardFault::Kind::kKill, ShardFault::Kind::kStall,
+          ShardFault::Kind::kOom}) {
+      if (TakeFault(round.round, slot->shard, slot->attempts, kind)) {
+        inject_fault = static_cast<int>(kind);
+        break;
+      }
+    }
+    // The closure runs synchronously inside Spawn — in the child branch
+    // of the fork — so capturing the round context by reference is safe.
+    const ShardOptions& options = options_;
+    const uint32_t shard = slot->shard;
+    const int attempt = slot->attempts;
+    auto body = [&round, &options, shard, num_shards, attempt,
+                 inject_fault](int result_fd, int heartbeat_fd) -> int {
+      return ShardWorkerBody(round, shard, num_shards, attempt, inject_fault,
+                             options, result_fd, heartbeat_fd);
+    };
+    std::string error;
+    WorkerProcess worker;
+    if (!WorkerProcess::Spawn(options_.limits, body, &worker, &error)) {
+      return false;
+    }
+    slot->worker = std::move(worker);
+    if (stats_ != nullptr) {
+      ++stats_->workers_spawned;
+      if (slot->attempts > 1) ++stats_->respawns;
+    }
+    return true;
+  }
+
+  /// Classifies a reaped worker. Returns true when its exchange was
+  /// accepted; false schedules a retry (the caller records nothing —
+  /// this method does).
+  bool AcceptExit(const ChaseDiscoveryRound& round, Slot* slot,
+                  uint32_t num_shards, double now) {
+    const WorkerExit& exit = slot->worker.exit_status();
+    if (!exit.exited || exit.exit_code != kShardExitOk) {
+      if (stats_ != nullptr) ++stats_->worker_deaths;
+      ScheduleRetry(round, slot, now, DeathCause(exit));
+      return false;
+    }
+    std::string bytes = slot->worker.result_bytes();
+    if (TakeFault(round.round, slot->shard, slot->attempts,
+                  ShardFault::Kind::kCorrupt) &&
+        !bytes.empty()) {
+      // Simulated wire corruption: one flipped bit, caught by the
+      // envelope CRC below — the satellite-2 recoverable-fault path.
+      bytes[bytes.size() / 2] ^= 0x20;
+    }
+    ShardExchange exchange;
+    const SnapshotStatus status = DecodeShardExchange(bytes, &exchange);
+    if (!status.ok()) {
+      if (stats_ != nullptr) ++stats_->corrupt_exchanges;
+      ScheduleRetry(round, slot, now, "corrupt-exchange");
+      return false;
+    }
+    if (!ValidateExchange(exchange, round, slot, num_shards)) {
+      if (stats_ != nullptr) ++stats_->corrupt_exchanges;
+      ScheduleRetry(round, slot, now, "bad-exchange");
+      return false;
+    }
+    if (stats_ != nullptr) {
+      stats_->exchanged_bytes += bytes.size();
+      for (const ShardCandidateGroup& group : exchange.groups) {
+        stats_->exchanged_candidates += group.subs.size();
+      }
+    }
+    slot->exchange = std::move(exchange);
+    return true;
+  }
+
+  /// Structural + semantic validation of a CRC-clean exchange: the
+  /// header must match this exact round and shard layout, and every
+  /// group must be an owned, in-range (unit, fact) pair in strictly
+  /// increasing order. A payload that fails here is treated exactly like
+  /// a corrupt one — retried, never merged.
+  bool ValidateExchange(const ShardExchange& exchange,
+                        const ChaseDiscoveryRound& round, const Slot* slot,
+                        uint32_t num_shards) const {
+    const std::vector<ChaseDiscoveryUnit>& units = *round.units;
+    if (exchange.shard_id != slot->shard ||
+        exchange.num_shards != num_shards ||
+        exchange.attempt != static_cast<uint32_t>(slot->attempts) ||
+        exchange.round != round.round ||
+        exchange.delta_start != round.delta_start ||
+        exchange.delta_end != round.delta_end ||
+        exchange.instance_size != round.instance->size()) {
+      return false;
+    }
+    bool have_prev = false;
+    std::pair<uint32_t, uint64_t> prev{0, 0};
+    for (const ShardCandidateGroup& group : exchange.groups) {
+      if (group.unit_index >= units.size()) return false;
+      const std::pair<uint32_t, uint64_t> key{group.unit_index,
+                                              group.fact_index};
+      if (have_prev && key <= prev) return false;
+      prev = key;
+      have_prev = true;
+      const ChaseDiscoveryUnit& unit = units[group.unit_index];
+      if (unit.anchor < 0) {
+        if (group.fact_index != 0 ||
+            ShardOfFullPass(unit.tgd_index, num_shards) != slot->shard) {
+          return false;
+        }
+      } else {
+        if (group.fact_index < unit.delta_begin ||
+            group.fact_index >= unit.delta_end ||
+            ShardOfFact(*round.instance, group.fact_index, num_shards) !=
+                slot->shard) {
+          return false;
+        }
+      }
+    }
+    return true;
+  }
+
+  void KillAll(std::vector<Slot>* slots) {
+    for (Slot& slot : *slots) {
+      if (slot.running) {
+        slot.worker.Kill(SIGKILL);
+        slot.worker.WaitReaped(2000.0);
+        slot.running = false;
+      }
+    }
+  }
+
+  const ShardOptions options_;
+  ShardStats* stats_;
+  std::vector<bool> fault_used_;
+};
+
+bool ShardCoordinator::DiscoverRound(
+    const ChaseDiscoveryRound& round,
+    std::vector<std::vector<Substitution>>* found) {
+  const uint32_t num_shards = ShardsForRound(round.round);
+  if (stats_ != nullptr) {
+    ++stats_->rounds;
+    stats_->max_shards_used =
+        std::max(stats_->max_shards_used, static_cast<int>(num_shards));
+  }
+
+  std::vector<Slot> slots(num_shards);
+  for (uint32_t s = 0; s < num_shards; ++s) slots[s].shard = s;
+  size_t remaining = num_shards;
+  const auto round_start = std::chrono::steady_clock::now();
+
+  while (remaining > 0) {
+    // The barrier enforces the run's deadline/cancel rails: workers run
+    // ungoverned, the coordinator does not.
+    if (round.governor->Check() != Status::kCompleted) {
+      KillAll(&slots);
+      return false;
+    }
+    const double now = MsSince(round_start);
+    bool progressed = false;
+    for (Slot& slot : slots) {
+      if (slot.done) continue;
+      if (!slot.running) {
+        if (now < slot.ready_at) continue;
+        if (slot.attempts >= options_.max_attempts) {
+          if (!options_.inline_fallback) {
+            // Structured failure: the shard is irrecoverable and no
+            // degradation path is allowed — the engine discards the round
+            // and stops with Status::kShardLost at the last committed
+            // boundary, from which ResumeShardedChase can continue.
+            RecordEvent(round, slot, "shard-lost");
+            KillAll(&slots);
+            return false;
+          }
+          // Structured degradation: absorb the lost shard's slice into
+          // the coordinator. Same code path as the worker, so the merge
+          // below cannot tell the difference.
+          slot.exchange = ShardExchange{};
+          ComputeShardSlice(round, slot.shard, num_shards, &slot.exchange);
+          if (stats_ != nullptr) {
+            ++stats_->inline_fallbacks;
+            for (const ShardCandidateGroup& group : slot.exchange.groups) {
+              stats_->exchanged_candidates += group.subs.size();
+            }
+          }
+          RecordEvent(round, slot, "inline-fallback");
+          if (slot.first_fault_at >= 0 && stats_ != nullptr) {
+            stats_->recovery_ms += now - slot.first_fault_at;
+          }
+          slot.done = true;
+          --remaining;
+          progressed = true;
+          continue;
+        }
+        ++slot.attempts;
+        if (!SpawnShard(round, &slot, num_shards)) {
+          ScheduleRetry(round, &slot, now, "spawn-failed");
+          continue;
+        }
+        slot.running = true;
+        slot.started_at = now;
+        slot.last_beat = now;
+        progressed = true;
+        continue;
+      }
+      // Running: drain liveness + result, then reap or time out.
+      slot.worker.DrainResult();
+      if (slot.worker.DrainHeartbeats() > 0) slot.last_beat = now;
+      if (slot.worker.Poll()) {
+        slot.worker.DrainResult();
+        slot.running = false;
+        progressed = true;
+        if (AcceptExit(round, &slot, num_shards, now)) {
+          if (slot.first_fault_at >= 0 && stats_ != nullptr) {
+            stats_->recovery_ms += now - slot.first_fault_at;
+          }
+          slot.done = true;
+          --remaining;
+        }
+        continue;
+      }
+      const bool beat_lost = options_.heartbeat_timeout_ms > 0 &&
+                             now - slot.last_beat >
+                                 options_.heartbeat_timeout_ms;
+      const bool over_wall = options_.attempt_timeout_ms > 0 &&
+                             now - slot.started_at >
+                                 options_.attempt_timeout_ms;
+      if (beat_lost || over_wall) {
+        slot.worker.Kill(SIGKILL);
+        slot.worker.WaitReaped(2000.0);
+        slot.running = false;
+        progressed = true;
+        if (stats_ != nullptr) {
+          ++stats_->worker_deaths;
+          if (beat_lost) ++stats_->heartbeat_timeouts;
+        }
+        ScheduleRetry(round, &slot, now,
+                      beat_lost ? "heartbeat-timeout" : "attempt-timeout");
+      }
+    }
+    if (remaining > 0 && !progressed) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+
+  // Deterministic reassembly: ownership is an exact cover of the
+  // (unit, fact) space, so concatenating every shard's groups and
+  // sorting by (unit, fact) reproduces the canonical sequential
+  // enumeration; per-group substitution order is already canonical.
+  std::vector<const ShardCandidateGroup*> groups;
+  for (const Slot& slot : slots) {
+    for (const ShardCandidateGroup& group : slot.exchange.groups) {
+      groups.push_back(&group);
+    }
+  }
+  std::sort(groups.begin(), groups.end(),
+            [](const ShardCandidateGroup* a, const ShardCandidateGroup* b) {
+              return a->unit_index != b->unit_index
+                         ? a->unit_index < b->unit_index
+                         : a->fact_index < b->fact_index;
+            });
+  for (const ShardCandidateGroup* group : groups) {
+    std::vector<Substitution>& out = (*found)[group->unit_index];
+    out.insert(out.end(), group->subs.begin(), group->subs.end());
+  }
+  return true;
+}
+
+}  // namespace
+
+const char* ShardFaultKindName(ShardFault::Kind kind) {
+  switch (kind) {
+    case ShardFault::Kind::kKill:
+      return "kill";
+    case ShardFault::Kind::kOom:
+      return "oom";
+    case ShardFault::Kind::kStall:
+      return "stall";
+    case ShardFault::Kind::kCorrupt:
+      return "corrupt";
+  }
+  return "unknown";
+}
+
+uint32_t ShardOfFact(const Instance& instance, size_t fact_index,
+                     uint32_t num_shards) {
+  if (num_shards <= 1) return 0;
+  // The columnar store caches a content hash per fact; mixing it once
+  // more decorrelates the shard assignment from the hash's own use in
+  // the dedup index.
+  return static_cast<uint32_t>(
+      Mix64(instance.store().hash(static_cast<uint32_t>(fact_index))) %
+      num_shards);
+}
+
+uint32_t ShardOfFullPass(size_t tgd_index, uint32_t num_shards) {
+  if (num_shards <= 1) return 0;
+  return static_cast<uint32_t>(
+      Mix64(0x5ca1ab1e00000000ull ^ static_cast<uint64_t>(tgd_index)) %
+      num_shards);
+}
+
+ChaseResult ShardedChase(const Instance& db, const TgdSet& tgds,
+                         const ChaseOptions& chase_options,
+                         const ShardOptions& shard_options,
+                         ShardStats* stats) {
+  ShardCoordinator coordinator(shard_options, stats);
+  ChaseOptions options = chase_options;
+  options.discovery_hook = &coordinator;
+  // Fork without exec requires a single-threaded parent; the worker
+  // processes are the parallelism.
+  options.threads = 1;
+  return Chase(db, tgds, options);
+}
+
+ChaseResult ResumeShardedChase(const std::string& checkpoint_dir,
+                               const Instance& db, const TgdSet& tgds,
+                               const ChaseOptions& chase_options,
+                               const ShardOptions& shard_options,
+                               ResumeInfo* info, ShardStats* stats) {
+  ShardCoordinator coordinator(shard_options, stats);
+  ChaseOptions options = chase_options;
+  options.discovery_hook = &coordinator;
+  options.threads = 1;
+  return ResumeChase(checkpoint_dir, db, tgds, options, info);
+}
+
+}  // namespace gqe

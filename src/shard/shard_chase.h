@@ -1,0 +1,160 @@
+#ifndef GQE_SHARD_SHARD_CHASE_H_
+#define GQE_SHARD_SHARD_CHASE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/subprocess.h"
+#include "chase/chase.h"
+#include "chase/checkpoint.h"
+
+namespace gqe {
+
+/// Deterministic shard-fault injection for tests and the chaos smoke: at
+/// chase round `round`, on attempt `attempt` (1-based) of shard `shard`,
+/// inject one fault. Kill/stall/OOM hit the worker process; corrupt hits
+/// the exchange payload after receipt (exercising the CRC detector).
+struct ShardFault {
+  enum class Kind : int {
+    /// The worker raises SIGKILL on itself before doing any work (the
+    /// parent sees an ordinary signal death; raising child-side instead
+    /// of signalling from the parent keeps the fault deterministic — a
+    /// fast worker can't finish before an external signal lands).
+    kKill = 0,
+    /// The worker installs a tiny RLIMIT_AS and trips it with a
+    /// non-elidable allocation probe (the kernel-enforced OOM path).
+    kOom = 1,
+    /// The worker raises SIGSTOP on itself: it never starts beating and
+    /// the heartbeat timeout puts it down.
+    kStall = 2,
+    /// Flip one bit in the received exchange bytes before validation;
+    /// the envelope CRC catches it and the retry path recovers.
+    kCorrupt = 3,
+  };
+
+  uint64_t round = 0;
+  uint32_t shard = 0;
+  int attempt = 1;
+  Kind kind = Kind::kKill;
+};
+
+const char* ShardFaultKindName(ShardFault::Kind kind);
+
+/// Configuration of the sharded saturation run.
+struct ShardOptions {
+  /// Worker processes the round's discovery is partitioned across.
+  /// 1 still exercises the full fork/exchange path (and must be — and is —
+  /// bit-identical to the in-process chase).
+  int shards = 1;
+
+  /// Mid-run resharding: from round `reshard_at_round` on, rounds are
+  /// partitioned across `reshard_to` workers instead of `shards`.
+  /// Negative: never reshard. Ownership is recomputed per round, so the
+  /// switch needs no data movement — the instance is hash-partitioned
+  /// logically, not physically.
+  int64_t reshard_at_round = -1;
+  int reshard_to = 0;
+
+  /// Retry budget per (round, shard): a faulted shard is respawned and
+  /// replayed from the coordinator's committed round state up to
+  /// `max_attempts` times, with exponential backoff + deterministic
+  /// jitter between attempts (base/subprocess.h BackoffDelayMs).
+  int max_attempts = 3;
+  double backoff_base_ms = 2.0;
+  double backoff_cap_ms = 100.0;
+  uint64_t jitter_seed = 1;
+
+  /// Liveness: workers beat every `heartbeat_interval_ms`; a worker
+  /// silent for `heartbeat_timeout_ms` is declared stalled and SIGKILLed
+  /// (catches SIGSTOP and kernel-level livelocks the exit path misses).
+  double heartbeat_interval_ms = 5.0;
+  double heartbeat_timeout_ms = 1000.0;
+
+  /// Optional per-attempt wall cap (ms); 0 relies on the heartbeat
+  /// timeout and the governor deadline only.
+  double attempt_timeout_ms = 0.0;
+
+  /// Hard kernel caps installed in every shard worker (0 = uncapped).
+  WorkerLimits limits;
+
+  /// Structured degradation: when a shard exhausts its retry budget, run
+  /// its partition inline in the coordinator (the result is still
+  /// bit-identical — same work, same order, one process). Disabled, an
+  /// irrecoverable shard aborts the run with Status::kShardLost at the
+  /// last committed round boundary instead.
+  bool inline_fallback = true;
+
+  /// Injected faults (tests, chaos smoke). Matched by (round, shard,
+  /// attempt); each entry fires at most once.
+  std::vector<ShardFault> faults;
+};
+
+/// One recovery-relevant event, for reporting and assertions.
+struct ShardEvent {
+  uint64_t round = 0;
+  uint32_t shard = 0;
+  int attempt = 0;
+  /// "sigkill", "oom", "heartbeat-timeout", "corrupt-exchange",
+  /// "bad-exchange", "spawn-failed", "write-failed", "inline-fallback".
+  std::string cause;
+};
+
+/// Coordinator-side counters for the whole run.
+struct ShardStats {
+  uint64_t rounds = 0;
+  size_t workers_spawned = 0;
+  size_t respawns = 0;
+  size_t worker_deaths = 0;
+  size_t heartbeat_timeouts = 0;
+  size_t corrupt_exchanges = 0;
+  size_t inline_fallbacks = 0;
+  size_t exchanged_bytes = 0;
+  size_t exchanged_candidates = 0;
+  double backoff_wait_ms = 0.0;
+  double recovery_ms = 0.0;
+  int max_shards_used = 0;
+  std::vector<ShardEvent> events;
+};
+
+/// Shard ownership. Anchored discovery work for fact `fact_index` belongs
+/// to ShardOfFact(...); a first-round full pass over TGD `tgd_index`
+/// belongs to ShardOfFullPass(...). Both are pure functions of cached
+/// content hashes / indexes, so every process computes the same partition
+/// and a retry re-derives exactly the lost shard's slice.
+uint32_t ShardOfFact(const Instance& instance, size_t fact_index,
+                     uint32_t num_shards);
+uint32_t ShardOfFullPass(size_t tgd_index, uint32_t num_shards);
+
+/// Runs the chase with each round's trigger discovery hash-partitioned
+/// across forked shard workers (fork without exec: children see the
+/// coordinator's committed instance copy-on-write, so no data is shipped
+/// down — only candidate exchanges come back, CRC-enveloped). The
+/// coordinator reassembles per-fact candidate groups into the canonical
+/// discovery order and feeds the engine's own deterministic merge, so the
+/// result — facts, insertion order, levels, null ids, witness, checkpoint
+/// bytes — is bit-identical to Chase(db, tgds, chase_options) at every
+/// shard count and across mid-run resharding.
+///
+/// Coordinator threads are forced to 1 (fork without exec requires a
+/// single-threaded parent); worker-side discovery is the parallelism.
+ChaseResult ShardedChase(const Instance& db, const TgdSet& tgds,
+                         const ChaseOptions& chase_options,
+                         const ShardOptions& shard_options,
+                         ShardStats* stats = nullptr);
+
+/// Crash-safe sharded chase: resumes from the newest good generation in
+/// `checkpoint_dir` (chase/checkpoint.h — snapshots are shard-count
+/// agnostic, so a run checkpointed under N shards resumes under M), then
+/// continues sharded. New round boundaries are checkpointed to the same
+/// directory.
+ChaseResult ResumeShardedChase(const std::string& checkpoint_dir,
+                               const Instance& db, const TgdSet& tgds,
+                               const ChaseOptions& chase_options,
+                               const ShardOptions& shard_options,
+                               ResumeInfo* info = nullptr,
+                               ShardStats* stats = nullptr);
+
+}  // namespace gqe
+
+#endif  // GQE_SHARD_SHARD_CHASE_H_

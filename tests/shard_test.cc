@@ -1,0 +1,560 @@
+// Fault-tolerant sharded chase tests (shard/): the hash-partitioned
+// multi-process saturation must be bit-identical to the in-process chase
+// at every shard count — including N=1 vs N=8, across mid-run resharding
+// N→M, under the full chaos matrix {SIGKILL, RLIMIT_AS OOM, SIGSTOP
+// stall, corrupt exchange payload} injected at every round boundary, and
+// across a kill + reshard + resume cycle through on-disk checkpoints.
+// "Bit-identical" is checked at every layer: facts in insertion order,
+// levels, labelled-null ids, derivation-witness certificates (re-verified
+// by the independent checker), the instance text CRC and the durable
+// checkpoint bytes themselves.
+
+#include <gtest/gtest.h>
+
+#include <errno.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "base/serialize.h"
+#include "chase/chase.h"
+#include "chase/checkpoint.h"
+#include "parser/parser.h"
+#include "shard/exchange.h"
+#include "shard/shard_chase.h"
+#include "verify/verifier.h"
+#include "verify/witness.h"
+
+namespace gqe {
+namespace {
+
+/// University-style existential rules (labelled nulls) plus transitive
+/// closure (several rounds of joins): nulls, levels and multi-round
+/// delta frontiers are all in play, so every discovery-order mistake a
+/// shard merge could make would show up as a different instance.
+TgdSet ShSigma() {
+  return ParseTgds(R"(
+    shgrad(X) -> shstud(X).
+    shstud(X) -> shenr(X, U), shuni(U).
+    shenr(X, U) -> shactive(X).
+    she(X, Y), she(Y, Z) -> she(X, Z).
+  )");
+}
+
+Instance ShDb() {
+  Instance db;
+  for (int i = 0; i < 4; ++i) {
+    db.Insert(
+        Atom::Make("shgrad", {Term::Constant("shs" + std::to_string(i))}));
+  }
+  for (int i = 0; i < 12; ++i) {
+    db.Insert(Atom::Make("she",
+                         {Term::Constant("sha" + std::to_string(i)),
+                          Term::Constant("sha" + std::to_string(i + 1))}));
+  }
+  return db;
+}
+
+std::string FreshDir(const std::string& name) {
+  // Pid-suffixed so concurrent invocations of this binary (stress runs,
+  // parallel CI shards) never share checkpoint directories.
+  std::string dir = ::testing::TempDir() + "gqe_shard_" +
+                    std::to_string(::getpid()) + "_" + name;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+void ExpectBitIdentical(const ChaseResult& got, const ChaseResult& want,
+                        const std::string& label) {
+  ASSERT_EQ(got.instance.size(), want.instance.size()) << label;
+  for (size_t i = 0; i < want.instance.size(); ++i) {
+    ASSERT_EQ(got.instance.atom(i), want.instance.atom(i))
+        << label << " fact " << i;
+  }
+  EXPECT_EQ(got.levels, want.levels) << label;
+  EXPECT_EQ(got.complete, want.complete) << label;
+  EXPECT_EQ(got.max_level_built, want.max_level_built) << label;
+  EXPECT_EQ(got.rounds_completed, want.rounds_completed) << label;
+  EXPECT_EQ(InstanceTextCrc(got.instance), InstanceTextCrc(want.instance))
+      << label;
+}
+
+/// The full certificate-level comparison: equal replayable derivation
+/// logs, each independently re-verified.
+void ExpectWitnessIdentical(const Instance& db, const TgdSet& sigma,
+                            const ChaseResult& got, const ChaseResult& want,
+                            const std::string& label) {
+  ASSERT_TRUE(got.derivation.collected) << label;
+  ASSERT_TRUE(want.derivation.collected) << label;
+  EXPECT_TRUE(got.derivation == want.derivation) << label;
+  const VerifyResult verdict = VerifyDerivation(db, sigma, got.derivation);
+  EXPECT_TRUE(verdict.ok()) << label << ": " << verdict.reason;
+}
+
+/// Fast-failure shard options for tests: tight heartbeat + backoff so
+/// injected stalls resolve in ~100ms instead of seconds.
+ShardOptions FastShardOptions(int shards) {
+  ShardOptions options;
+  options.shards = shards;
+  options.heartbeat_interval_ms = 3.0;
+  // Short enough that injected SIGSTOP stalls resolve quickly, long
+  // enough that a healthy worker on a loaded CI machine is not
+  // spuriously declared dead. (Spurious timeouts would still converge
+  // bit-identically via respawn — they just make counter assertions
+  // noisy.)
+  options.heartbeat_timeout_ms = 400.0;
+  options.backoff_base_ms = 1.0;
+  options.backoff_cap_ms = 8.0;
+  return options;
+}
+
+ChaseOptions WitnessChaseOptions() {
+  ChaseOptions options;
+  options.collect_witness = true;
+  return options;
+}
+
+/// No zombie children may survive a supervision cycle: after every
+/// handle is reaped/destroyed, the process must have no waitable
+/// children left at all.
+void ExpectNoZombies(const std::string& label) {
+  errno = 0;
+  const pid_t r = ::waitpid(-1, nullptr, WNOHANG);
+  EXPECT_TRUE(r == 0 || (r == -1 && errno == ECHILD))
+      << label << ": leaked a child (waitpid returned " << r << ")";
+  EXPECT_NE(r, -1 * (errno == EINTR)) << label;
+}
+
+TEST(ShardExchangeTest, CodecRoundTripsAndDetectsDamage) {
+  ShardExchange exchange;
+  exchange.shard_id = 3;
+  exchange.num_shards = 8;
+  exchange.attempt = 2;
+  exchange.round = 41;
+  exchange.delta_start = 100;
+  exchange.delta_end = 130;
+  exchange.instance_size = 130;
+  ShardCandidateGroup group;
+  group.unit_index = 7;
+  group.fact_index = 105;
+  Substitution sub;
+  sub.Set(Term::Variable("X"), Term::Constant("shc1"));
+  sub.Set(Term::Variable("Y"), Term::FreshNull());
+  group.subs.push_back(sub);
+  exchange.groups.push_back(group);
+
+  const std::string bytes = EncodeShardExchange(exchange);
+  // Deterministic encoding: equal exchanges → equal bytes.
+  EXPECT_EQ(bytes, EncodeShardExchange(exchange));
+
+  ShardExchange decoded;
+  ASSERT_TRUE(DecodeShardExchange(bytes, &decoded).ok());
+  EXPECT_EQ(decoded.shard_id, exchange.shard_id);
+  EXPECT_EQ(decoded.num_shards, exchange.num_shards);
+  EXPECT_EQ(decoded.attempt, exchange.attempt);
+  EXPECT_EQ(decoded.round, exchange.round);
+  EXPECT_EQ(decoded.delta_start, exchange.delta_start);
+  EXPECT_EQ(decoded.delta_end, exchange.delta_end);
+  EXPECT_EQ(decoded.instance_size, exchange.instance_size);
+  ASSERT_EQ(decoded.groups.size(), 1u);
+  EXPECT_EQ(decoded.groups[0].unit_index, 7u);
+  EXPECT_EQ(decoded.groups[0].fact_index, 105u);
+  ASSERT_EQ(decoded.groups[0].subs.size(), 1u);
+  EXPECT_TRUE(decoded.groups[0].subs[0].SameMapping(sub));
+
+  // Every single-bit flip anywhere in the message must be detected by
+  // the envelope (CRC or header checks) — this is the property the
+  // corrupt-exchange fault path relies on.
+  for (size_t i = 0; i < bytes.size(); i += 7) {
+    std::string flipped = bytes;
+    flipped[i] ^= 0x10;
+    ShardExchange sink;
+    EXPECT_FALSE(DecodeShardExchange(flipped, &sink).ok())
+        << "flip at byte " << i;
+  }
+  // Truncations too.
+  for (size_t keep : {size_t{0}, size_t{5}, bytes.size() / 2,
+                      bytes.size() - 1}) {
+    ShardExchange sink;
+    EXPECT_FALSE(DecodeShardExchange(bytes.substr(0, keep), &sink).ok())
+        << "truncated to " << keep;
+  }
+}
+
+TEST(ShardChaseTest, OwnershipIsATotalDeterministicPartition) {
+  Instance db = ShDb();
+  for (uint32_t n : {1u, 2u, 8u}) {
+    for (size_t f = 0; f < db.size(); ++f) {
+      const uint32_t owner = ShardOfFact(db, f, n);
+      EXPECT_LT(owner, n);
+      EXPECT_EQ(owner, ShardOfFact(db, f, n));
+    }
+    for (size_t t = 0; t < 4; ++t) {
+      EXPECT_LT(ShardOfFullPass(t, n), n);
+    }
+  }
+}
+
+TEST(ShardChaseTest, AnyShardCountIsBitIdenticalToInProcessChase) {
+  Instance db = ShDb();
+  TgdSet sigma = ShSigma();
+  const uint32_t null_base = Term::NextNullId();
+
+  Term::SetNextNullId(null_base);
+  ChaseResult reference = Chase(db, sigma, WitnessChaseOptions());
+  ASSERT_TRUE(reference.complete);
+  ASSERT_GE(reference.rounds_completed, 4u);
+
+  for (int shards : {1, 2, 3, 8}) {
+    const std::string label = "shards=" + std::to_string(shards);
+    Term::SetNextNullId(null_base);
+    ShardStats stats;
+    ChaseResult sharded = ShardedChase(db, sigma, WitnessChaseOptions(),
+                                       FastShardOptions(shards), &stats);
+    ASSERT_TRUE(sharded.complete) << label;
+    ExpectBitIdentical(sharded, reference, label);
+    ExpectWitnessIdentical(db, sigma, sharded, reference, label);
+    EXPECT_EQ(stats.max_shards_used, shards) << label;
+    EXPECT_GE(stats.workers_spawned, static_cast<size_t>(shards)) << label;
+    // No corrupt exchanges without injection; respawns are normally 0
+    // but a loaded machine may trip spurious heartbeat timeouts, which
+    // must recover bit-identically rather than fail — so they are not
+    // asserted to be absent.
+    EXPECT_EQ(stats.corrupt_exchanges, 0u) << label;
+  }
+  ExpectNoZombies("shard-count sweep");
+  Term::SetNextNullId(null_base);
+}
+
+TEST(ShardChaseTest, MidRunReshardIsBitIdentical) {
+  Instance db = ShDb();
+  TgdSet sigma = ShSigma();
+  const uint32_t null_base = Term::NextNullId();
+
+  Term::SetNextNullId(null_base);
+  ChaseResult reference = Chase(db, sigma, WitnessChaseOptions());
+  ASSERT_TRUE(reference.complete);
+
+  struct Reshard {
+    int from;
+    int to;
+    int64_t at;
+  };
+  for (const Reshard& plan : {Reshard{2, 5, 2}, Reshard{8, 3, 1},
+                              Reshard{1, 8, 3}}) {
+    const std::string label = "reshard " + std::to_string(plan.from) + "->" +
+                              std::to_string(plan.to) + "@" +
+                              std::to_string(plan.at);
+    Term::SetNextNullId(null_base);
+    ShardOptions options = FastShardOptions(plan.from);
+    options.reshard_at_round = plan.at;
+    options.reshard_to = plan.to;
+    ShardStats stats;
+    ChaseResult sharded =
+        ShardedChase(db, sigma, WitnessChaseOptions(), options, &stats);
+    ASSERT_TRUE(sharded.complete) << label;
+    ExpectBitIdentical(sharded, reference, label);
+    ExpectWitnessIdentical(db, sigma, sharded, reference, label);
+    EXPECT_EQ(stats.max_shards_used, std::max(plan.from, plan.to)) << label;
+  }
+  Term::SetNextNullId(null_base);
+}
+
+/// The acceptance-criteria chaos matrix: every fault kind at every round
+/// boundary, for shard counts {2, 8} and a mid-run reshard layout, each
+/// run diffed against the fault-free single-process reference — result,
+/// witness certificates and durable checkpoint bytes all bit-identical.
+TEST(ShardChaseTest, ChaosMatrixAtEveryRoundBoundaryIsBitIdentical) {
+  Instance db = ShDb();
+  TgdSet sigma = ShSigma();
+  const uint32_t null_base = Term::NextNullId();
+
+  // Fault-free single-process reference, durable: its newest checkpoint
+  // bytes are the golden durable state every chaos run must reproduce.
+  const std::string ref_dir = FreshDir("chaos_ref");
+  Term::SetNextNullId(null_base);
+  ChaseResult reference =
+      ResumeChase(ref_dir, db, sigma, WitnessChaseOptions());
+  ASSERT_TRUE(reference.complete);
+  const uint64_t rounds = reference.rounds_completed;
+  ASSERT_GE(rounds, 4u);
+  CheckpointDir ref_checkpoints(ref_dir);
+  ASSERT_FALSE(ref_checkpoints.Generations().empty());
+  std::string ref_bytes;
+  ASSERT_TRUE(ReadFileBytes(ref_checkpoints.GenerationPath(
+                                ref_checkpoints.Generations().back()),
+                            &ref_bytes)
+                  .ok());
+
+  const ShardFault::Kind kinds[] = {
+      ShardFault::Kind::kKill, ShardFault::Kind::kOom,
+      ShardFault::Kind::kStall, ShardFault::Kind::kCorrupt};
+  size_t runs = 0;
+  for (int shards : {2, 8}) {
+    for (ShardFault::Kind kind : kinds) {
+      for (uint64_t round = 0; round <= rounds; ++round) {
+        const std::string label = std::string("kind=") +
+                                  ShardFaultKindName(kind) +
+                                  " shards=" + std::to_string(shards) +
+                                  " round=" + std::to_string(round);
+        const std::string dir =
+            FreshDir("chaos_" + std::to_string(shards) + "_" +
+                     std::string(ShardFaultKindName(kind)) + "_" +
+                     std::to_string(round));
+        ShardOptions options = FastShardOptions(shards);
+        ShardFault fault;
+        fault.round = round;
+        fault.shard = static_cast<uint32_t>(round % shards);
+        fault.attempt = 1;
+        fault.kind = kind;
+        options.faults.push_back(fault);
+
+        Term::SetNextNullId(null_base);
+        ShardStats stats;
+        ChaseResult chaotic = ResumeShardedChase(
+            dir, db, sigma, WitnessChaseOptions(), options, nullptr, &stats);
+        ASSERT_TRUE(chaotic.complete) << label;
+        ExpectBitIdentical(chaotic, reference, label);
+        ExpectWitnessIdentical(db, sigma, chaotic, reference, label);
+        EXPECT_GE(stats.events.size(), 1u) << label;
+        EXPECT_GE(stats.respawns + stats.inline_fallbacks, 1u) << label;
+        if (kind == ShardFault::Kind::kCorrupt) {
+          EXPECT_GE(stats.corrupt_exchanges, 1u) << label;
+        }
+        if (kind == ShardFault::Kind::kStall) {
+          EXPECT_GE(stats.heartbeat_timeouts, 1u) << label;
+        }
+
+        // Durable state: the newest checkpoint written under chaos must
+        // be byte-identical to the fault-free reference's.
+        CheckpointDir checkpoints(dir);
+        ASSERT_FALSE(checkpoints.Generations().empty()) << label;
+        std::string chaos_bytes;
+        ASSERT_TRUE(ReadFileBytes(checkpoints.GenerationPath(
+                                      checkpoints.Generations().back()),
+                                  &chaos_bytes)
+                        .ok())
+            << label;
+        EXPECT_EQ(chaos_bytes, ref_bytes) << label;
+
+        std::filesystem::remove_all(dir);
+        ++runs;
+      }
+    }
+  }
+  // A mid-run reshard layout under a kill fault on both sides of the
+  // switch.
+  {
+    const std::string label = "reshard chaos";
+    ShardOptions options = FastShardOptions(2);
+    options.reshard_at_round = 2;
+    options.reshard_to = 8;
+    options.faults.push_back({1, 0, 1, ShardFault::Kind::kKill});
+    options.faults.push_back({3, 5, 1, ShardFault::Kind::kCorrupt});
+    Term::SetNextNullId(null_base);
+    ShardStats stats;
+    ChaseResult chaotic = ShardedChase(db, sigma, WitnessChaseOptions(),
+                                       options, &stats);
+    ASSERT_TRUE(chaotic.complete) << label;
+    ExpectBitIdentical(chaotic, reference, label);
+    ExpectWitnessIdentical(db, sigma, chaotic, reference, label);
+    EXPECT_GE(stats.respawns, 2u) << label;
+  }
+  EXPECT_GE(runs, 8 * (rounds + 1));
+  ExpectNoZombies("chaos matrix");
+  std::filesystem::remove_all(ref_dir);
+  Term::SetNextNullId(null_base);
+}
+
+TEST(ShardChaseTest, RetryStormOnOneShardStillConverges) {
+  Instance db = ShDb();
+  TgdSet sigma = ShSigma();
+  const uint32_t null_base = Term::NextNullId();
+
+  Term::SetNextNullId(null_base);
+  ChaseResult reference = Chase(db, sigma, WitnessChaseOptions());
+
+  // Two consecutive faults on the same shard + round: the second attempt
+  // fails too, the third succeeds (max_attempts = 3).
+  ShardOptions options = FastShardOptions(2);
+  options.faults.push_back({1, 1, 1, ShardFault::Kind::kKill});
+  options.faults.push_back({1, 1, 2, ShardFault::Kind::kCorrupt});
+  Term::SetNextNullId(null_base);
+  ShardStats stats;
+  ChaseResult sharded =
+      ShardedChase(db, sigma, WitnessChaseOptions(), options, &stats);
+  ASSERT_TRUE(sharded.complete);
+  ExpectBitIdentical(sharded, reference, "retry storm");
+  EXPECT_GE(stats.respawns, 2u);
+  EXPECT_GE(stats.backoff_wait_ms, 0.0);
+  Term::SetNextNullId(null_base);
+}
+
+TEST(ShardChaseTest, ExhaustedRetriesDegradeToInlineFallback) {
+  Instance db = ShDb();
+  TgdSet sigma = ShSigma();
+  const uint32_t null_base = Term::NextNullId();
+
+  Term::SetNextNullId(null_base);
+  ChaseResult reference = Chase(db, sigma, WitnessChaseOptions());
+
+  // Kill every attempt of shard 0 at round 1: the retry budget burns out
+  // and the coordinator absorbs the slice inline — still bit-identical.
+  ShardOptions options = FastShardOptions(2);
+  options.max_attempts = 2;
+  options.faults.push_back({1, 0, 1, ShardFault::Kind::kKill});
+  options.faults.push_back({1, 0, 2, ShardFault::Kind::kKill});
+  Term::SetNextNullId(null_base);
+  ShardStats stats;
+  ChaseResult sharded =
+      ShardedChase(db, sigma, WitnessChaseOptions(), options, &stats);
+  ASSERT_TRUE(sharded.complete);
+  ExpectBitIdentical(sharded, reference, "inline fallback");
+  ExpectWitnessIdentical(db, sigma, sharded, reference, "inline fallback");
+  EXPECT_GE(stats.inline_fallbacks, 1u);
+  Term::SetNextNullId(null_base);
+}
+
+TEST(ShardChaseTest, IrrecoverableShardStopsAtCommittedBoundaryAndResumes) {
+  Instance db = ShDb();
+  TgdSet sigma = ShSigma();
+  const uint32_t null_base = Term::NextNullId();
+
+  Term::SetNextNullId(null_base);
+  ChaseResult reference = Chase(db, sigma, WitnessChaseOptions());
+  ASSERT_TRUE(reference.complete);
+
+  // No fallback allowed: losing shard 1 of round 2 on every attempt is a
+  // structured failure — Status::kShardLost, last committed boundary on
+  // disk.
+  const std::string dir = FreshDir("irrecoverable");
+  ShardOptions doomed = FastShardOptions(4);
+  doomed.inline_fallback = false;
+  doomed.max_attempts = 2;
+  doomed.faults.push_back({2, 1, 1, ShardFault::Kind::kKill});
+  doomed.faults.push_back({2, 1, 2, ShardFault::Kind::kOom});
+  Term::SetNextNullId(null_base);
+  ShardStats stats;
+  ChaseResult lost = ResumeShardedChase(dir, db, sigma, WitnessChaseOptions(),
+                                        doomed, nullptr, &stats);
+  EXPECT_EQ(lost.outcome.status, Status::kShardLost);
+  EXPECT_FALSE(lost.complete);
+  EXPECT_EQ(lost.rounds_completed, 2u);
+  ExpectNoZombies("irrecoverable shard");
+
+  // Recovery resumes from that boundary — under a different shard count —
+  // and lands bit-identical to the uninterrupted run.
+  Term::SetNextNullId(null_base + 4321);
+  ResumeInfo info;
+  ChaseResult resumed = ResumeShardedChase(dir, db, sigma,
+                                           WitnessChaseOptions(),
+                                           FastShardOptions(3), &info);
+  EXPECT_TRUE(info.resumed);
+  ASSERT_TRUE(resumed.complete);
+  ExpectBitIdentical(resumed, reference, "resume after shard loss");
+  ExpectWitnessIdentical(db, sigma, resumed, reference,
+                         "resume after shard loss");
+
+  std::filesystem::remove_all(dir);
+  Term::SetNextNullId(null_base);
+}
+
+/// Satellite 3: chase to round k under N shards, restart under M shards
+/// from the on-disk checkpoints, and require the durable CRC, checkpoint
+/// bytes and witness certificates to be bit-identical to an
+/// uninterrupted single-process run.
+TEST(ShardChaseTest, ReshardAcrossRestartFromCheckpoints) {
+  Instance db = ShDb();
+  TgdSet sigma = ShSigma();
+  const uint32_t null_base = Term::NextNullId();
+
+  // Uninterrupted single-process durable reference.
+  const std::string ref_dir = FreshDir("restart_ref");
+  Term::SetNextNullId(null_base);
+  ChaseResult reference =
+      ResumeChase(ref_dir, db, sigma, WitnessChaseOptions());
+  ASSERT_TRUE(reference.complete);
+  CheckpointDir ref_checkpoints(ref_dir);
+  std::string ref_bytes;
+  ASSERT_TRUE(ReadFileBytes(ref_checkpoints.GenerationPath(
+                                ref_checkpoints.Generations().back()),
+                            &ref_bytes)
+                  .ok());
+
+  for (const auto& [n, m] : {std::pair<int, int>{2, 3},
+                             std::pair<int, int>{8, 2},
+                             std::pair<int, int>{1, 8}}) {
+    const std::string label =
+        "restart " + std::to_string(n) + "->" + std::to_string(m);
+    const std::string dir = FreshDir("restart_" + std::to_string(n) + "_" +
+                                     std::to_string(m));
+
+    // Phase 1: N shards, killed by a governor cancel partway through.
+    // Only the checkpoints it wrote survive.
+    Term::SetNextNullId(null_base);
+    TestFaultInjector injector(Status::kCancelled, 40);
+    ExecutionBudget budget;
+    budget.max_facts = 0;
+    Governor governor(budget, &injector);
+    ChaseOptions killed_options = WitnessChaseOptions();
+    killed_options.governor = &governor;
+    ChaseResult killed = ResumeShardedChase(dir, db, sigma, killed_options,
+                                            FastShardOptions(n));
+    ASSERT_EQ(killed.outcome.status, Status::kCancelled) << label;
+    ASSERT_FALSE(killed.complete) << label;
+
+    // Phase 2: restart under M shards from the same directory.
+    Term::SetNextNullId(null_base + 9999);
+    ResumeInfo info;
+    ChaseResult resumed = ResumeShardedChase(
+        dir, db, sigma, WitnessChaseOptions(), FastShardOptions(m), &info);
+    EXPECT_TRUE(info.resumed) << label;
+    ASSERT_TRUE(resumed.complete) << label;
+    ExpectBitIdentical(resumed, reference, label);
+    ExpectWitnessIdentical(db, sigma, resumed, reference, label);
+
+    // Durable bytes: the resharded run's newest checkpoint equals the
+    // uninterrupted single-process run's, byte for byte.
+    CheckpointDir checkpoints(dir);
+    ASSERT_FALSE(checkpoints.Generations().empty()) << label;
+    std::string resumed_bytes;
+    ASSERT_TRUE(ReadFileBytes(checkpoints.GenerationPath(
+                                  checkpoints.Generations().back()),
+                              &resumed_bytes)
+                    .ok())
+        << label;
+    EXPECT_EQ(resumed_bytes, ref_bytes) << label;
+
+    std::filesystem::remove_all(dir);
+  }
+  std::filesystem::remove_all(ref_dir);
+  ExpectNoZombies("reshard across restart");
+  Term::SetNextNullId(null_base);
+}
+
+TEST(ShardChaseTest, GovernorDeadlineStopsShardedRunCleanly) {
+  Instance db = ShDb();
+  TgdSet sigma = ShSigma();
+  const uint32_t null_base = Term::NextNullId();
+
+  // A cancel token tripped before the run starts: the coordinator's
+  // barrier must notice, put every worker down and return the committed
+  // (empty-progress) prefix rather than hang.
+  Term::SetNextNullId(null_base);
+  ChaseOptions options;
+  options.budget.cancel = CancelToken::Create();
+  options.budget.cancel.RequestCancel();
+  ShardStats stats;
+  ChaseResult result =
+      ShardedChase(db, sigma, options, FastShardOptions(4), &stats);
+  EXPECT_EQ(result.outcome.status, Status::kCancelled);
+  EXPECT_FALSE(result.complete);
+  ExpectNoZombies("cancelled sharded run");
+  Term::SetNextNullId(null_base);
+}
+
+}  // namespace
+}  // namespace gqe

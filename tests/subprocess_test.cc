@@ -5,9 +5,12 @@
 // built from.
 
 #include <gtest/gtest.h>
+#include <errno.h>
 #include <signal.h>
+#include <sys/wait.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <chrono>
 #include <new>
 #include <string>
@@ -69,7 +72,23 @@ TEST(SubprocessTest, SignalDeathIsClassified) {
   EXPECT_EQ(worker.exit_status().term_signal, SIGKILL);
 }
 
+// Sanitizer allocators abort (or return null) on allocation failure
+// instead of throwing std::bad_alloc, so the contract this test observes
+// does not exist under them. The production path is unaffected: a
+// sanitized worker that hits RLIMIT_AS still *dies*, and supervisors
+// classify the death; only the exact exit code differs.
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define GQE_SANITIZED 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+#define GQE_SANITIZED 1
+#endif
+#endif
+
 TEST(SubprocessTest, AddressSpaceLimitMakesAllocationFail) {
+#ifdef GQE_SANITIZED
+  GTEST_SKIP() << "sanitizer allocators do not throw std::bad_alloc";
+#endif
   WorkerLimits limits;
   limits.address_space_bytes = 64ull << 20;
   WorkerProcess worker;
@@ -160,6 +179,115 @@ TEST(SubprocessTest, SigkillReachesAStoppedWorker) {
   ASSERT_TRUE(ReapWithin(&worker, 5000));
   EXPECT_TRUE(worker.exit_status().signaled);
   EXPECT_EQ(worker.exit_status().term_signal, SIGKILL);
+}
+
+TEST(SubprocessTest, WaitReapedCollectsAnExitingWorker) {
+  WorkerProcess worker;
+  std::string error;
+  ASSERT_TRUE(WorkerProcess::Spawn(
+      WorkerLimits{},
+      [](int result_fd, int) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        return WriteAllToFd(result_fd, "late-bytes") ? 0 : 1;
+      },
+      &worker, &error))
+      << error;
+  ASSERT_TRUE(worker.WaitReaped(5000.0));
+  EXPECT_TRUE(worker.exit_status().reaped);
+  EXPECT_EQ(worker.result_bytes(), "late-bytes");
+
+  // A worker that will not die within the window: WaitReaped reports
+  // failure instead of hanging, and SIGKILL + WaitReaped then collects
+  // it — the put-down sequence the shard coordinator uses on stalls.
+  WorkerProcess stubborn;
+  ASSERT_TRUE(WorkerProcess::Spawn(
+      WorkerLimits{},
+      [](int, int) {
+        std::this_thread::sleep_for(std::chrono::seconds(60));
+        return 0;
+      },
+      &stubborn, &error))
+      << error;
+  EXPECT_FALSE(stubborn.WaitReaped(30.0));
+  stubborn.Kill(SIGKILL);
+  EXPECT_TRUE(stubborn.WaitReaped(5000.0));
+  EXPECT_TRUE(stubborn.exit_status().signaled);
+}
+
+TEST(SubprocessTest, SupervisionChurnLeavesNoZombies) {
+  // Dozens of workers with mixed fates — clean exit, signal death,
+  // SIGKILL while running, destructor reap — and afterwards the test
+  // process must have no waitable children at all: the WNOHANG reap
+  // loop may never strand a zombie.
+  std::string error;
+  for (int i = 0; i < 12; ++i) {
+    WorkerProcess clean;
+    ASSERT_TRUE(WorkerProcess::Spawn(
+        WorkerLimits{}, [](int, int) { return 0; }, &clean, &error))
+        << error;
+    ASSERT_TRUE(clean.WaitReaped(5000.0));
+
+    WorkerProcess suicidal;
+    ASSERT_TRUE(WorkerProcess::Spawn(
+        WorkerLimits{},
+        [](int, int) {
+          ::raise(SIGTERM);
+          return 0;
+        },
+        &suicidal, &error))
+        << error;
+    ASSERT_TRUE(suicidal.WaitReaped(5000.0));
+
+    WorkerProcess murdered;
+    ASSERT_TRUE(WorkerProcess::Spawn(
+        WorkerLimits{},
+        [](int, int) {
+          std::this_thread::sleep_for(std::chrono::seconds(60));
+          return 0;
+        },
+        &murdered, &error))
+        << error;
+    murdered.Kill(SIGKILL);
+    ASSERT_TRUE(murdered.WaitReaped(5000.0));
+
+    {
+      WorkerProcess abandoned;
+      ASSERT_TRUE(WorkerProcess::Spawn(
+          WorkerLimits{},
+          [](int, int) {
+            std::this_thread::sleep_for(std::chrono::seconds(60));
+            return 0;
+          },
+          &abandoned, &error))
+          << error;
+    }  // destructor path
+  }
+  errno = 0;
+  const pid_t leftover = ::waitpid(-1, nullptr, WNOHANG);
+  EXPECT_TRUE(leftover == 0 || (leftover == -1 && errno == ECHILD))
+      << "zombie child survived churn (waitpid returned " << leftover << ")";
+}
+
+TEST(SubprocessTest, BackoffDelayIsDeterministicBoundedAndGrowing) {
+  // Same (attempt, seed, stream) → same delay, replay-stable across
+  // processes.
+  EXPECT_EQ(BackoffDelayMs(2, 10.0, 1000.0, 7, 3),
+            BackoffDelayMs(2, 10.0, 1000.0, 7, 3));
+  // Jitter keeps every delay inside [0.5, 1.5) × the exponential step,
+  // and the cap clamps the step itself.
+  for (int attempt = 1; attempt <= 12; ++attempt) {
+    const double step =
+        std::min(1000.0, 10.0 * static_cast<double>(1 << (attempt - 1)));
+    for (uint64_t stream = 0; stream < 8; ++stream) {
+      const double delay = BackoffDelayMs(attempt, 10.0, 1000.0, 1, stream);
+      EXPECT_GE(delay, 0.5 * step);
+      EXPECT_LT(delay, 1.5 * step);
+    }
+  }
+  // Different streams decorrelate (thundering-herd protection): not all
+  // equal.
+  EXPECT_NE(BackoffDelayMs(3, 10.0, 1000.0, 1, 0),
+            BackoffDelayMs(3, 10.0, 1000.0, 1, 1));
 }
 
 TEST(SubprocessTest, DestructorReapsARunningWorker) {

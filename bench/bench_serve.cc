@@ -1,5 +1,4 @@
-// Serving-layer overheads: what does fork isolation cost per request,
-// and how does manifest throughput scale with supervisor concurrency?
+// Serving-layer overheads, file and network paths.
 //
 // BM_WorkerSpawnRoundTrip isolates the containment tax — fork + pipes +
 // setrlimit + result round-trip + reap for a trivial body. The chase
@@ -7,20 +6,35 @@
 //
 // BM_ServeManifest runs a real manifest of chase requests end to end
 // through ServeManifest at varying concurrency.
+//
+// The network tier is measured by an in-process harness (the epoll
+// server and its clients pumped from one thread — the same fork-safe
+// discipline the server itself lives under): N connections pipeline
+// requests concurrently, and every response is timestamped on arrival.
+// The table reports throughput and p50/p95/p99 latency per connection
+// count; --json=BENCH_serve.json writes the machine-readable record the
+// bench-json CI job uploads per PR.
 
 #include <benchmark/benchmark.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <filesystem>
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "base/subprocess.h"
+#include "net/client.h"
+#include "net/server.h"
 #include "serve/request.h"
 #include "serve/service.h"
 #include "workload/report.h"
 
 namespace {
+
+gqe::BenchJsonFlags g_json;
 
 // The 12-stage pipeline program from examples/serve/chain.gqe, inlined
 // so the bench is self-contained and writes its own temp program file.
@@ -106,6 +120,176 @@ void BM_ServeManifest(benchmark::State& state) {
 BENCHMARK(BM_ServeManifest)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
     ->UseRealTime()->Unit(benchmark::kMillisecond);
 
+// ---------------------------------------------------------------------------
+// Network tier: concurrent connections against a live epoll server.
+
+struct NetRunResult {
+  double wall_ms = 0.0;
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double p99_ms = 0.0;
+  size_t completed = 0;
+  bool ok = false;
+};
+
+/// Pipelines `per_conn` cq requests on each of `n_conns` connections
+/// against an in-process NetServer, timestamping every response on
+/// arrival. The caller thread plays both sides — server turns and
+/// nonblocking client reads interleave — which measures the serving
+/// tier itself (framing, epoll, supervisor, fork round-trips) without
+/// cross-thread scheduling noise.
+NetRunResult RunNetWorkload(int n_conns, int per_conn,
+                            const std::string& program) {
+  NetRunResult out;
+  gqe::ServeOptions serve_options;
+  serve_options.concurrency = 8;
+  gqe::NetServerOptions net_options;
+  net_options.max_connections = static_cast<size_t>(n_conns) + 8;
+  net_options.coalesce = false;  // measure real per-request work
+  gqe::NetServer server(serve_options, net_options);
+  std::string error;
+  if (!server.Listen(&error)) return out;
+
+  std::vector<std::unique_ptr<gqe::NetClient>> clients;
+  for (int c = 0; c < n_conns; ++c) {
+    auto client = std::make_unique<gqe::NetClient>();
+    if (!client->Connect("127.0.0.1", server.port(), 2000, &error)) return out;
+    clients.push_back(std::move(client));
+    server.PollOnce(0);
+  }
+
+  const size_t total = static_cast<size_t>(n_conns) * per_conn;
+  std::vector<double> send_ms(total), latency_ms;
+  latency_ms.reserve(total);
+  std::vector<size_t> next_slot(n_conns, 0);
+  gqe::Stopwatch wall;
+
+  // Round-robin the sends so every connection is loaded from the start.
+  for (int r = 0; r < per_conn; ++r) {
+    for (int c = 0; c < n_conns; ++c) {
+      const size_t slot = static_cast<size_t>(c) * per_conn + r;
+      const std::string line = "id=q" + std::to_string(slot) +
+                               " kind=cq program=" + program + " query=q";
+      send_ms[slot] = wall.ElapsedMs();
+      if (!clients[c]->SendRequest(line)) return out;
+    }
+  }
+
+  gqe::Frame frame;
+  size_t received = 0;
+  const double deadline_ms = 60000.0;
+  while (received < total && wall.ElapsedMs() < deadline_ms) {
+    server.PollOnce(1);
+    for (int c = 0; c < n_conns; ++c) {
+      for (;;) {
+        const auto r = clients[c]->RecvFrame(&frame, 0, &error);
+        if (r != gqe::NetClient::RecvResult::kFrame) break;
+        if (frame.type != gqe::FrameType::kResult) return out;
+        // Per-connection FIFO: responses land in send order.
+        const size_t slot =
+            static_cast<size_t>(c) * per_conn + next_slot[c]++;
+        latency_ms.push_back(wall.ElapsedMs() - send_ms[slot]);
+        ++received;
+      }
+    }
+  }
+  if (received != total) return out;
+
+  out.wall_ms = wall.ElapsedMs();
+  out.completed = received;
+  std::sort(latency_ms.begin(), latency_ms.end());
+  auto pct = [&](double p) {
+    const size_t index = static_cast<size_t>(p * (latency_ms.size() - 1));
+    return latency_ms[index];
+  };
+  out.p50_ms = pct(0.50);
+  out.p95_ms = pct(0.95);
+  out.p99_ms = pct(0.99);
+  out.ok = true;
+  return out;
+}
+
+constexpr int kNetConnCounts[] = {1, 4, 16};
+constexpr int kNetPerConn = 16;
+
+void PrintNetScaling() {
+  const std::string program = WriteTempProgram();
+  gqe::ReportTable table({"conns", "requests", "wall ms", "req/s", "p50 ms",
+                          "p95 ms", "p99 ms"});
+  for (int conns : kNetConnCounts) {
+    const NetRunResult r = RunNetWorkload(conns, kNetPerConn, program);
+    if (!r.ok) {
+      std::fprintf(stderr, "bench_serve: net workload failed (%d conns)\n",
+                   conns);
+      continue;
+    }
+    table.AddRow({gqe::ReportTable::Cell(conns),
+                  gqe::ReportTable::Cell(r.completed),
+                  gqe::ReportTable::Cell(r.wall_ms),
+                  gqe::ReportTable::Cell(1000.0 * r.completed / r.wall_ms),
+                  gqe::ReportTable::Cell(r.p50_ms),
+                  gqe::ReportTable::Cell(r.p95_ms),
+                  gqe::ReportTable::Cell(r.p99_ms)});
+  }
+  table.Print(
+      "serve/net: concurrent-connection scaling (pipelined cq requests)");
+}
+
+/// Machine-readable quick tier (--json): the network matrix plus the
+/// fork round-trip tax, written as BENCH_serve.json. Keys are stable
+/// across PRs; per-connection-count entries carry throughput as the
+/// rate and mean latency as ns/op, with p95/p99 as separate keys.
+int RunJsonBench() {
+  gqe::BenchJson json("serve", g_json);
+  const std::string program = WriteTempProgram();
+
+  {
+    gqe::Stopwatch watch;
+    const int spawns = 32;
+    for (int i = 0; i < spawns; ++i) {
+      gqe::WorkerProcess worker;
+      std::string error;
+      if (!gqe::WorkerProcess::Spawn(
+              gqe::WorkerLimits{},
+              [](int result_fd, int) {
+                return gqe::WriteAllToFd(result_fd, "pong") ? 0 : 1;
+              },
+              &worker, &error)) {
+        std::fprintf(stderr, "bench_serve: spawn failed: %s\n", error.c_str());
+        return 1;
+      }
+      while (!worker.Poll()) {
+      }
+      worker.DrainResult();
+    }
+    json.Add("serve_spawn_roundtrip", watch.ElapsedMs() * 1e6 / spawns);
+  }
+
+  for (int conns : kNetConnCounts) {
+    const NetRunResult r = RunNetWorkload(conns, kNetPerConn, program);
+    if (!r.ok) {
+      std::fprintf(stderr, "bench_serve: net workload failed (%d conns)\n",
+                   conns);
+      return 1;
+    }
+    const std::string key = "serve_net/c" + std::to_string(conns);
+    const double mean_ns = r.wall_ms * 1e6 / r.completed;
+    json.Add(key, mean_ns, 1000.0 * r.completed / r.wall_ms);
+    json.Add(key + "/p95", r.p95_ms * 1e6);
+    json.Add(key + "/p99", r.p99_ms * 1e6);
+  }
+  const std::string path = json.Write();
+  if (!path.empty()) std::printf("wrote %s\n", path.c_str());
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  g_json = gqe::ParseBenchJsonFlags(&argc, argv);
+  if (g_json.enabled) return RunJsonBench();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  PrintNetScaling();
+  return 0;
+}

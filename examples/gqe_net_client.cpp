@@ -1,0 +1,457 @@
+// gqe_net_client: client and socket-level chaos harness for the
+// gqe_serve network mode (--listen). Two jobs:
+//
+//  1. Normal mode: send manifest request lines over one or more
+//     connections and print each received "result:" line to stdout in
+//     the original request order — byte-comparable against the batch
+//     gqe_serve run of the same lines (scripts/serve_net_smoke.sh diffs
+//     exactly this).
+//
+//       gqe_net_client --port 7411 --requests-file reqs.txt
+//           --connections 4 --bytes-per-write 1
+//
+//  2. Fault mode (--fault NAME): open a connection, perform one
+//     deliberate protocol violation, and classify the server's
+//     reaction. Exit 0 iff the server answered with a structured error
+//     frame or a clean close — never a hang (exit 3) or an unexpected
+//     byte stream (exit 1). The smoke script runs the whole matrix and
+//     then proves the server still answers clean requests.
+//
+//     Faults: midframe-disconnect truncate bitflip oversize bad-magic
+//             bad-version unknown-type stalled-read flood-conns
+//             flood-requests ping
+//
+// All randomness (bit positions, truncation points) derives from
+// --seed via splitmix64, so every chaos run is reproducible.
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "base/subprocess.h"
+#include "net/client.h"
+#include "net/frame.h"
+
+namespace {
+
+using gqe::Frame;
+using gqe::FrameType;
+using gqe::NetClient;
+
+constexpr int kExitOk = 0;
+constexpr int kExitUnexpected = 1;
+constexpr int kExitUsage = 2;
+constexpr int kExitHang = 3;
+
+struct Options {
+  std::string host = "127.0.0.1";
+  int port = 0;
+  std::vector<std::string> requests;
+  std::string fault;
+  int connections = 1;
+  size_t bytes_per_write = 0;  // 0 = single write
+  int write_delay_us = 0;
+  int timeout_ms = 15000;
+  uint64_t seed = 1;
+  int count = 0;  // fault repetitions / flood size (0 = fault default)
+};
+
+int Usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s --port PORT [options]\n"
+      "  --host ADDR           server address (default 127.0.0.1)\n"
+      "  --request LINE        one manifest request line (repeatable)\n"
+      "  --requests-file PATH  request lines, one per line\n"
+      "  --connections N       spread requests round-robin over N conns\n"
+      "  --bytes-per-write N   chunk every send into N-byte writes\n"
+      "  --write-delay-us N    sleep between chunked writes\n"
+      "  --timeout-ms N        per-receive deadline (default 15000)\n"
+      "  --fault NAME          run one chaos fault instead of requests\n"
+      "  --count N             fault repetitions / flood size\n"
+      "  --seed N              chaos PRNG seed (default 1)\n",
+      argv0);
+  return kExitUsage;
+}
+
+bool SendBytes(NetClient* client, const Options& options,
+               const std::string& bytes) {
+  if (options.bytes_per_write > 0) {
+    return client->SendRawChunked(bytes, options.bytes_per_write,
+                                  options.write_delay_us);
+  }
+  return client->SendRaw(bytes);
+}
+
+/// Normal mode: pipeline requests over N connections, then collect each
+/// connection's responses (the server guarantees per-connection FIFO
+/// order) and print them in the original request order.
+int RunRequests(const Options& options) {
+  const size_t n_conns =
+      options.connections < 1 ? 1 : static_cast<size_t>(options.connections);
+  std::vector<NetClient> clients(n_conns);
+  std::string error;
+  for (size_t c = 0; c < n_conns; ++c) {
+    if (!clients[c].Connect(options.host, options.port, options.timeout_ms,
+                            &error)) {
+      std::fprintf(stderr, "gqe_net_client: connect: %s\n", error.c_str());
+      return kExitUnexpected;
+    }
+  }
+  // conn_order[c] lists the original indexes routed to connection c.
+  std::vector<std::vector<size_t>> conn_order(n_conns);
+  for (size_t i = 0; i < options.requests.size(); ++i) {
+    const size_t c = i % n_conns;
+    conn_order[c].push_back(i);
+    if (!SendBytes(&clients[c], options,
+                   gqe::EncodeFrame(FrameType::kRequest,
+                                    options.requests[i]))) {
+      std::fprintf(stderr, "gqe_net_client: send failed (request %zu)\n", i);
+      return kExitUnexpected;
+    }
+  }
+  for (auto& client : clients) client.ShutdownWrite();
+
+  std::vector<std::string> responses(options.requests.size());
+  bool failed = false;
+  for (size_t c = 0; c < n_conns; ++c) {
+    for (size_t slot : conn_order[c]) {
+      Frame frame;
+      switch (clients[c].RecvFrame(&frame, options.timeout_ms, &error)) {
+        case NetClient::RecvResult::kFrame:
+          break;
+        case NetClient::RecvResult::kTimeout:
+          std::fprintf(stderr, "gqe_net_client: timed out (request %zu)\n",
+                       slot);
+          return kExitHang;
+        default:
+          std::fprintf(stderr, "gqe_net_client: recv (request %zu): %s\n",
+                       slot, error.c_str());
+          return kExitUnexpected;
+      }
+      if (frame.type == FrameType::kResult) {
+        responses[slot] = frame.payload;
+      } else if (frame.type == FrameType::kError) {
+        std::string code, detail;
+        gqe::SplitErrorPayload(frame.payload, &code, &detail);
+        responses[slot] = "error: " + code + " " + detail + "\n";
+        failed = true;
+      } else {
+        std::fprintf(stderr, "gqe_net_client: unexpected %s frame\n",
+                     gqe::FrameTypeName(frame.type));
+        return kExitUnexpected;
+      }
+    }
+  }
+  for (const std::string& r : responses) std::fputs(r.c_str(), stdout);
+  return failed ? kExitUnexpected : kExitOk;
+}
+
+/// Waits for the server's reaction to an in-flight fault: a structured
+/// error frame followed by (or a bare) clean close are both acceptable;
+/// anything else is a verdict against the server.
+int AwaitReaction(NetClient* client, const char* fault, int timeout_ms,
+                  const char* expect_code) {
+  std::string got_code;
+  for (;;) {
+    Frame frame;
+    std::string error;
+    switch (client->RecvFrame(&frame, timeout_ms, &error)) {
+      case NetClient::RecvResult::kFrame:
+        if (frame.type != FrameType::kError) {
+          std::printf("fault=%s outcome=unexpected-%s-frame\n", fault,
+                      gqe::FrameTypeName(frame.type));
+          return kExitUnexpected;
+        }
+        gqe::SplitErrorPayload(frame.payload, &got_code, nullptr);
+        continue;  // the close should follow
+      case NetClient::RecvResult::kClosed:
+        if (expect_code != nullptr && got_code != expect_code) {
+          std::printf("fault=%s outcome=closed code=%s expected=%s\n", fault,
+                      got_code.empty() ? "-" : got_code.c_str(), expect_code);
+          return kExitUnexpected;
+        }
+        std::printf("fault=%s outcome=%s%s\n", fault,
+                    got_code.empty() ? "clean-close" : "error-then-close:",
+                    got_code.c_str());
+        return kExitOk;
+      case NetClient::RecvResult::kTimeout:
+        std::printf("fault=%s outcome=hang\n", fault);
+        return kExitHang;
+      case NetClient::RecvResult::kError:
+        // ECONNRESET counts as a close: the server dropped us, which is
+        // an allowed reaction to a protocol violation.
+        std::printf("fault=%s outcome=reset\n", fault);
+        return kExitOk;
+    }
+  }
+}
+
+int RunFault(const Options& options) {
+  const std::string fault = options.fault;
+  std::string error;
+  // One deterministic stream per (fault, seed): fault names hash into
+  // the stream so two faults in one matrix never share randomness.
+  uint64_t h = options.seed;
+  for (char ch : fault) h = gqe::Mix64(h ^ static_cast<unsigned char>(ch));
+  uint64_t rng = h;
+  auto next_rand = [&rng]() { return rng = gqe::Mix64(rng); };
+
+  const std::string request =
+      options.requests.empty()
+          ? "id=chaos kind=cq program=examples/serve/chain.gqe query=q"
+          : options.requests[0];
+  std::string valid = gqe::EncodeFrame(FrameType::kRequest, request);
+
+  NetClient client;
+  if (fault != "flood-conns" &&
+      !client.Connect(options.host, options.port, options.timeout_ms,
+                      &error)) {
+    std::fprintf(stderr, "gqe_net_client: connect: %s\n", error.c_str());
+    return kExitUnexpected;
+  }
+
+  if (fault == "ping") {
+    const std::string payload = "are-you-there";
+    if (!client.SendFrame(FrameType::kPing, payload)) return kExitUnexpected;
+    Frame frame;
+    if (client.RecvFrame(&frame, options.timeout_ms, &error) !=
+            NetClient::RecvResult::kFrame ||
+        frame.type != FrameType::kPong || frame.payload != payload) {
+      std::printf("fault=ping outcome=bad-pong\n");
+      return kExitUnexpected;
+    }
+    std::printf("fault=ping outcome=pong\n");
+    return kExitOk;
+  }
+
+  if (fault == "midframe-disconnect") {
+    // Header plus part of the payload, then a hard close. The server
+    // must just reap the connection; the proof it survived is the clean
+    // request the smoke script sends afterwards.
+    const size_t cut = gqe::kFrameHeaderSize + 1 +
+                       next_rand() % (valid.size() - gqe::kFrameHeaderSize - 1);
+    if (!client.SendRaw(std::string_view(valid).substr(0, cut))) {
+      return kExitUnexpected;
+    }
+    client.Close();
+    std::printf("fault=midframe-disconnect outcome=disconnected cut=%zu\n",
+                cut);
+    return kExitOk;
+  }
+
+  if (fault == "truncate") {
+    // Partial frame then EOF: the stream ends mid-frame. Clean close
+    // (or TIMEOUT) expected; the incomplete request must never execute.
+    const size_t cut = 1 + next_rand() % (valid.size() - 1);
+    if (!client.SendRaw(std::string_view(valid).substr(0, cut))) {
+      return kExitUnexpected;
+    }
+    client.ShutdownWrite();
+    return AwaitReaction(&client, "truncate", options.timeout_ms, nullptr);
+  }
+
+  if (fault == "bitflip") {
+    // One flipped payload bit: the CRC must catch it (PROTOCOL), the
+    // corrupted request line must never be evaluated.
+    std::string damaged = valid;
+    const size_t byte =
+        gqe::kFrameHeaderSize +
+        next_rand() % (damaged.size() - gqe::kFrameHeaderSize);
+    damaged[byte] = static_cast<char>(damaged[byte] ^ (1u << (next_rand() % 8)));
+    if (!SendBytes(&client, options, damaged)) return kExitUnexpected;
+    return AwaitReaction(&client, "bitflip", options.timeout_ms, "PROTOCOL");
+  }
+
+  if (fault == "oversize" || fault == "bad-magic" || fault == "bad-version" ||
+      fault == "unknown-type") {
+    std::string damaged = valid;
+    if (fault == "oversize") {
+      // A length prefix far past the payload cap: must be rejected from
+      // the header alone, without the server ever allocating for it.
+      damaged[4] = '\xff';
+      damaged[5] = '\xff';
+      damaged[6] = '\xff';
+      damaged[7] = '\x7f';
+    } else if (fault == "bad-magic") {
+      damaged[0] = '\x00';
+    } else if (fault == "bad-version") {
+      damaged[2] = '\x63';
+    } else {
+      damaged[3] = '\x4d';  // type 77: not a FrameType
+    }
+    if (!SendBytes(&client, options, damaged)) return kExitUnexpected;
+    return AwaitReaction(&client, fault.c_str(), options.timeout_ms,
+                         "PROTOCOL");
+  }
+
+  if (fault == "stalled-read") {
+    // Slow loris: begin a frame, then go silent. The partial-frame
+    // deadline must evict us with TIMEOUT; an unbounded server would
+    // hold the connection forever.
+    if (!client.SendRaw(std::string_view(valid).substr(0, 6))) {
+      return kExitUnexpected;
+    }
+    return AwaitReaction(&client, "stalled-read", options.timeout_ms,
+                         "TIMEOUT");
+  }
+
+  if (fault == "flood-conns") {
+    // Exceed the connection cap: every connection beyond it must get a
+    // structured OVERLOADED frame and a close, while earlier ones stay
+    // usable (proved by the ping at the end).
+    const int total = options.count > 0 ? options.count : 128;
+    std::vector<std::unique_ptr<NetClient>> flood;
+    int shed = 0, open = 0;
+    for (int i = 0; i < total; ++i) {
+      auto c = std::make_unique<NetClient>();
+      if (!c->Connect(options.host, options.port, options.timeout_ms,
+                      &error)) {
+        ++shed;  // kernel-level refusal also counts as shedding
+        continue;
+      }
+      flood.push_back(std::move(c));
+    }
+    for (auto& c : flood) {
+      Frame frame;
+      std::string code;
+      switch (c->RecvFrame(&frame, 50, &error)) {
+        case NetClient::RecvResult::kFrame:
+          gqe::SplitErrorPayload(frame.payload, &code, nullptr);
+          if (frame.type == FrameType::kError && code == "OVERLOADED") {
+            ++shed;
+          }
+          break;
+        case NetClient::RecvResult::kClosed:
+        case NetClient::RecvResult::kError:
+          ++shed;
+          break;
+        case NetClient::RecvResult::kTimeout:
+          ++open;  // under the cap: no unsolicited traffic expected
+          break;
+      }
+    }
+    // One of the under-cap connections must still work end to end.
+    NetClient* probe = nullptr;
+    for (auto& c : flood) {
+      if (c->connected()) {
+        probe = c.get();
+        break;
+      }
+    }
+    bool alive = false;
+    if (probe != nullptr && probe->SendFrame(FrameType::kPing, "probe")) {
+      Frame frame;
+      alive = probe->RecvFrame(&frame, options.timeout_ms, &error) ==
+                  NetClient::RecvResult::kFrame &&
+              frame.type == FrameType::kPong;
+    }
+    std::printf("fault=flood-conns total=%d open=%d shed=%d alive=%s\n",
+                total, open, shed, alive ? "yes" : "no");
+    return (shed > 0 && alive) ? kExitOk : kExitUnexpected;
+  }
+
+  if (fault == "flood-requests") {
+    // Exceed the request queue capacity on one connection: the server
+    // must answer every frame — results for admitted requests,
+    // OVERLOADED errors for shed ones — and never stall or drop one.
+    const int total = options.count > 0 ? options.count : 64;
+    for (int i = 0; i < total; ++i) {
+      if (!client.SendRequest(request)) return kExitUnexpected;
+    }
+    client.ShutdownWrite();
+    int results = 0, shed = 0;
+    for (int i = 0; i < total; ++i) {
+      Frame frame;
+      std::string code;
+      switch (client.RecvFrame(&frame, options.timeout_ms, &error)) {
+        case NetClient::RecvResult::kFrame:
+          if (frame.type == FrameType::kResult) {
+            ++results;
+          } else if (frame.type == FrameType::kError) {
+            gqe::SplitErrorPayload(frame.payload, &code, nullptr);
+            if (code != "OVERLOADED") {
+              std::printf("fault=flood-requests outcome=unexpected-error:%s\n",
+                          code.c_str());
+              return kExitUnexpected;
+            }
+            ++shed;
+          }
+          break;
+        case NetClient::RecvResult::kTimeout:
+          std::printf("fault=flood-requests outcome=hang after=%d\n", i);
+          return kExitHang;
+        default:
+          std::printf("fault=flood-requests outcome=lost after=%d\n", i);
+          return kExitUnexpected;
+      }
+    }
+    std::printf("fault=flood-requests total=%d results=%d shed=%d\n", total,
+                results, shed);
+    return (results + shed == total && results > 0) ? kExitOk
+                                                    : kExitUnexpected;
+  }
+
+  std::fprintf(stderr, "gqe_net_client: unknown fault '%s'\n", fault.c_str());
+  return kExitUsage;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    const char* v = nullptr;
+    if (arg == "--host" && (v = value())) {
+      options.host = v;
+    } else if (arg == "--port" && (v = value())) {
+      options.port = std::atoi(v);
+    } else if (arg == "--request" && (v = value())) {
+      options.requests.push_back(v);
+    } else if (arg == "--requests-file" && (v = value())) {
+      std::ifstream in(v);
+      if (!in) {
+        std::fprintf(stderr, "gqe_net_client: cannot read %s\n", v);
+        return kExitUsage;
+      }
+      std::string line;
+      while (std::getline(in, line)) {
+        if (!line.empty() && line[0] != '#' && line[0] != '%') {
+          options.requests.push_back(line);
+        }
+      }
+    } else if (arg == "--connections" && (v = value())) {
+      options.connections = std::atoi(v);
+    } else if (arg == "--bytes-per-write" && (v = value())) {
+      options.bytes_per_write = static_cast<size_t>(std::atoll(v));
+    } else if (arg == "--write-delay-us" && (v = value())) {
+      options.write_delay_us = std::atoi(v);
+    } else if (arg == "--timeout-ms" && (v = value())) {
+      options.timeout_ms = std::atoi(v);
+    } else if (arg == "--fault" && (v = value())) {
+      options.fault = v;
+    } else if (arg == "--count" && (v = value())) {
+      options.count = std::atoi(v);
+    } else if (arg == "--seed" && (v = value())) {
+      options.seed = static_cast<uint64_t>(std::atoll(v));
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+  if (options.port <= 0) return Usage(argv[0]);
+  if (!options.fault.empty()) return RunFault(options);
+  if (options.requests.empty()) {
+    std::fprintf(stderr, "gqe_net_client: no requests\n");
+    return Usage(argv[0]);
+  }
+  return RunRequests(options);
+}

@@ -12,20 +12,35 @@
 // between chaos and fault-free runs of the same manifest — the chaos
 // smoke diffs exactly these), then operational tables with attempts,
 // exit causes, resume generations and retry latency.
+//
+// With --listen PORT the same supervisor serves concurrent TCP clients
+// instead: each connection carries length-prefixed frames whose request
+// payloads are manifest lines and whose result payloads are the exact
+// "result:" lines the batch mode prints (src/net/frame.h). SIGTERM
+// drains gracefully: the listener closes, new requests get
+// SHUTTING_DOWN, in-flight requests finish and flush, then exit 0.
+
+#include <signal.h>
 
 #include <cstdio>
 #include <cstring>
 #include <string>
 
+#include "net/server.h"
 #include "serve/request.h"
 #include "serve/service.h"
 
 namespace {
 
+volatile sig_atomic_t g_drain = 0;
+
+void OnTerm(int) { g_drain = 1; }
+
 int Usage(const char* argv0) {
   std::fprintf(
       stderr,
       "usage: %s MANIFEST [options]\n"
+      "       %s --listen PORT [options]\n"
       "  --concurrency N           workers in flight at once (default 4)\n"
       "  --queue-capacity N        shed requests beyond N waiting (0 = off)\n"
       "  --max-attempts N          exact attempts before degrading (default 5)\n"
@@ -43,8 +58,23 @@ int Usage(const char* argv0) {
       "                            the supervisor independently re-checks each\n"
       "                            one before emitting the result line\n"
       "  --quiet-ops               print only the deterministic result lines\n"
-      "  --verbose                 per-attempt progress lines\n",
-      argv0);
+      "  --verbose                 per-attempt progress lines\n"
+      "network mode (--listen):\n"
+      "  --listen PORT             serve the frame protocol on 127.0.0.1:PORT\n"
+      "                            (0 = ephemeral; see --port-file)\n"
+      "  --bind ADDR               bind address (default 127.0.0.1)\n"
+      "  --port-file PATH          write the bound port to PATH once listening\n"
+      "  --program-root DIR        resolve request program= paths here (default .)\n"
+      "  --max-connections N       connection cap; excess shed (default 64)\n"
+      "  --max-frame-bytes N       per-frame payload cap (default 1 MiB)\n"
+      "  --read-timeout-ms X       partial-frame (slow-loris) deadline\n"
+      "  --idle-timeout-ms X       close silent idle connections after X ms\n"
+      "  --write-stall-ms X        close peers that stop reading after X ms\n"
+      "  --soft-write-buffer N     pause reading a conn above N buffered bytes\n"
+      "  --hard-write-buffer N     close a conn above N buffered bytes\n"
+      "  --no-coalesce             do not share one evaluation between\n"
+      "                            identical in-flight requests\n",
+      argv0, argv0);
   return 2;
 }
 
@@ -66,11 +96,53 @@ bool FlagMatches(const char* arg, const char* name) {
          (arg[n] == '\0' || arg[n] == '=');
 }
 
+int RunNetServer(const gqe::ServeOptions& options,
+                 const gqe::NetServerOptions& net_options,
+                 const std::string& port_file) {
+  gqe::NetServer server(options, net_options);
+  std::string error;
+  if (!server.Listen(&error)) {
+    std::fprintf(stderr, "gqe_serve: %s\n", error.c_str());
+    return 2;
+  }
+  std::fprintf(stderr, "gqe_serve: listening on %s:%d\n",
+               net_options.bind_address.c_str(), server.port());
+  if (!port_file.empty()) {
+    std::FILE* f = std::fopen(port_file.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "gqe_serve: cannot write %s\n", port_file.c_str());
+      return 2;
+    }
+    std::fprintf(f, "%d\n", server.port());
+    std::fclose(f);
+  }
+
+  struct sigaction sa = {};
+  sa.sa_handler = OnTerm;
+  // No SA_RESTART: the signal must interrupt epoll_wait (EINTR) so the
+  // drain flag is noticed within one loop turn, not one timeout later.
+  ::sigaction(SIGTERM, &sa, nullptr);
+  ::sigaction(SIGINT, &sa, nullptr);
+
+  const int rc = server.Run(&g_drain);
+  std::fprintf(stderr, "gqe_serve: drained %s\n",
+               server.stats().ToString().c_str());
+  return rc;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  // A peer that disappears between our poll and our write must surface
+  // as an EPIPE errno on that one connection, never a process-killing
+  // signal. Workers re-ignore in their own forked setup.
+  ::signal(SIGPIPE, SIG_IGN);
+
   std::string manifest_path;
+  std::string port_file;
   gqe::ServeOptions options;
+  gqe::NetServerOptions net_options;
+  bool listen_mode = false;
   bool quiet_ops = false;
 
   for (int i = 1; i < argc; ++i) {
@@ -81,6 +153,7 @@ int main(int argc, char** argv) {
     } else if (FlagMatches(arg, "--queue-capacity") &&
                NextValue(argc, argv, &i, &value)) {
       options.queue_capacity = static_cast<size_t>(std::atoll(value));
+      net_options.queue_capacity = options.queue_capacity;
     } else if (FlagMatches(arg, "--max-attempts") &&
                NextValue(argc, argv, &i, &value)) {
       options.max_attempts = std::atoi(value);
@@ -121,6 +194,45 @@ int main(int argc, char** argv) {
       quiet_ops = true;
     } else if (std::strcmp(arg, "--verbose") == 0) {
       options.verbose = true;
+      net_options.verbose = true;
+    } else if (FlagMatches(arg, "--listen") &&
+               NextValue(argc, argv, &i, &value)) {
+      listen_mode = true;
+      net_options.port = std::atoi(value);
+    } else if (FlagMatches(arg, "--bind") &&
+               NextValue(argc, argv, &i, &value)) {
+      net_options.bind_address = value;
+    } else if (FlagMatches(arg, "--port-file") &&
+               NextValue(argc, argv, &i, &value)) {
+      port_file = value;
+    } else if (FlagMatches(arg, "--program-root") &&
+               NextValue(argc, argv, &i, &value)) {
+      net_options.program_root = value;
+    } else if (FlagMatches(arg, "--max-connections") &&
+               NextValue(argc, argv, &i, &value)) {
+      net_options.max_connections = static_cast<size_t>(std::atoll(value));
+    } else if (FlagMatches(arg, "--max-frame-bytes") &&
+               NextValue(argc, argv, &i, &value)) {
+      net_options.max_frame_payload = static_cast<size_t>(std::atoll(value));
+    } else if (FlagMatches(arg, "--read-timeout-ms") &&
+               NextValue(argc, argv, &i, &value)) {
+      net_options.frame_read_timeout_ms = std::atof(value);
+    } else if (FlagMatches(arg, "--idle-timeout-ms") &&
+               NextValue(argc, argv, &i, &value)) {
+      net_options.idle_timeout_ms = std::atof(value);
+    } else if (FlagMatches(arg, "--write-stall-ms") &&
+               NextValue(argc, argv, &i, &value)) {
+      net_options.write_stall_timeout_ms = std::atof(value);
+    } else if (FlagMatches(arg, "--soft-write-buffer") &&
+               NextValue(argc, argv, &i, &value)) {
+      net_options.write_buffer_soft_limit =
+          static_cast<size_t>(std::atoll(value));
+    } else if (FlagMatches(arg, "--hard-write-buffer") &&
+               NextValue(argc, argv, &i, &value)) {
+      net_options.write_buffer_hard_limit =
+          static_cast<size_t>(std::atoll(value));
+    } else if (std::strcmp(arg, "--no-coalesce") == 0) {
+      net_options.coalesce = false;
     } else if (arg[0] == '-') {
       std::fprintf(stderr, "gqe_serve: unknown flag %s\n", arg);
       return Usage(argv[0]);
@@ -129,6 +241,15 @@ int main(int argc, char** argv) {
     } else {
       return Usage(argv[0]);
     }
+  }
+
+  if (listen_mode) {
+    if (!manifest_path.empty()) {
+      std::fprintf(stderr,
+                   "gqe_serve: --listen and a manifest file are exclusive\n");
+      return Usage(argv[0]);
+    }
+    return RunNetServer(options, net_options, port_file);
   }
   if (manifest_path.empty()) return Usage(argv[0]);
 

@@ -1,0 +1,134 @@
+#!/usr/bin/env bash
+# Network serving smoke: start gqe_serve --listen as a real daemon, then
+# prove the serving tier's contract end to end over actual sockets:
+#
+#   1. Baseline: the result lines a TCP client receives are
+#      bit-identical to a batch (file-manifest) run of the same request
+#      lines — including when every request byte arrives in its own
+#      write, and when the requests are spread over 4 connections.
+#   2. Chaos matrix: every socket-level fault (mid-frame disconnect,
+#      truncation + EOF, bit flip, oversized length prefix, bad magic,
+#      bad version, unknown frame type, slow-loris stall, connection
+#      flood, request flood) ends in a structured error frame or a
+#      clean close — never a hang, never a crash — and the daemon still
+#      answers clean requests afterwards, still byte-identically.
+#   3. Graceful drain: SIGTERM makes the daemon finish in-flight work,
+#      flush, and exit 0 on its own.
+#
+# Usage: scripts/serve_net_smoke.sh <gqe_serve> <gqe_net_client> [manifest]
+set -u
+
+SERVE="${1:?usage: $0 <gqe_serve> <gqe_net_client> [manifest]}"
+CLIENT="${2:?usage: $0 <gqe_serve> <gqe_net_client> [manifest]}"
+MANIFEST="${3:-examples/serve/manifest.txt}"
+WORK="$(mktemp -d)"
+SERVER_PID=""
+cleanup() {
+  [ -n "$SERVER_PID" ] && kill -9 "$SERVER_PID" 2>/dev/null
+  rm -rf "$WORK"
+}
+trap cleanup EXIT INT TERM HUP
+
+PROGRAM_ROOT="$(cd "$(dirname "$MANIFEST")" && pwd)"
+grep -v '^[#%]' "$MANIFEST" | grep -v '^[[:space:]]*$' > "$WORK/requests.txt"
+
+start_server() {
+  # $@: extra server flags. Writes the bound port into $PORT.
+  rm -f "$WORK/port"
+  "$SERVE" --listen 0 --port-file "$WORK/port" \
+    --program-root "$PROGRAM_ROOT" --heartbeat-timeout-ms 400 \
+    --backoff-base-ms 5 "$@" >"$WORK/server.out" 2>"$WORK/server.err" &
+  SERVER_PID=$!
+  for _ in $(seq 1 100); do
+    [ -s "$WORK/port" ] && break
+    if ! kill -0 "$SERVER_PID" 2>/dev/null; then
+      echo "FAIL: server died on startup"; cat "$WORK/server.err"; exit 1
+    fi
+    sleep 0.1
+  done
+  PORT="$(cat "$WORK/port")"
+  [ -n "$PORT" ] || { echo "FAIL: no port file"; exit 1; }
+}
+
+check_alive() {
+  if ! kill -0 "$SERVER_PID" 2>/dev/null; then
+    echo "FAIL: server crashed ($1)"; cat "$WORK/server.err"; exit 1
+  fi
+}
+
+echo "== baseline: batch run of the manifest =="
+if ! "$SERVE" "$MANIFEST" --quiet-ops --heartbeat-timeout-ms 400 \
+    >"$WORK/batch.out" 2>"$WORK/batch.err"; then
+  echo "FAIL: batch serve run failed"; cat "$WORK/batch.err"; exit 1
+fi
+grep '^result:' "$WORK/batch.out" > "$WORK/batch.results"
+[ -s "$WORK/batch.results" ] || { echo "FAIL: batch run had no results"; exit 1; }
+
+echo "== network run: one connection, single writes =="
+start_server
+"$CLIENT" --port "$PORT" --requests-file "$WORK/requests.txt" \
+  > "$WORK/net1.results" || { echo "FAIL: net client (1 conn)"; exit 1; }
+diff -u "$WORK/batch.results" "$WORK/net1.results" || {
+  echo "FAIL: network results differ from the batch run"; exit 1; }
+echo "bit-identical over 1 connection"
+
+echo "== network run: 4 connections, one byte per write =="
+"$CLIENT" --port "$PORT" --requests-file "$WORK/requests.txt" \
+  --connections 4 --bytes-per-write 1 \
+  > "$WORK/net4.results" || { echo "FAIL: net client (4 conns, 1B writes)"; exit 1; }
+diff -u "$WORK/batch.results" "$WORK/net4.results" || {
+  echo "FAIL: byte-at-a-time results differ from the batch run"; exit 1; }
+echo "bit-identical over 4 connections, one byte per write"
+check_alive "after baseline runs"
+kill -TERM "$SERVER_PID"; wait "$SERVER_PID" 2>/dev/null
+
+echo "== chaos matrix (tight limits, faults seeded) =="
+# Short deadlines so stalls resolve in seconds; a small connection cap
+# and queue plus --no-coalesce so the floods actually shed.
+start_server --read-timeout-ms 500 --idle-timeout-ms 3000 \
+  --write-stall-ms 1000 --max-connections 8 --queue-capacity 2 \
+  --concurrency 1 --no-coalesce
+FAULTS="ping midframe-disconnect truncate bitflip oversize bad-magic \
+        bad-version unknown-type stalled-read"
+for fault in $FAULTS; do
+  if ! "$CLIENT" --port "$PORT" --fault "$fault" --seed 11 --timeout-ms 5000 \
+      --request "$(head -1 "$WORK/requests.txt")" | tee -a "$WORK/faults.out"; then
+    echo "FAIL: fault $fault did not resolve structurally"; exit 1
+  fi
+  check_alive "after fault $fault"
+done
+"$CLIENT" --port "$PORT" --fault flood-conns --count 32 --timeout-ms 5000 \
+  | tee -a "$WORK/faults.out" || { echo "FAIL: flood-conns"; exit 1; }
+check_alive "after flood-conns"
+"$CLIENT" --port "$PORT" --fault flood-requests --count 24 --timeout-ms 20000 \
+  --request "$(head -1 "$WORK/requests.txt")" \
+  | tee -a "$WORK/faults.out" || { echo "FAIL: flood-requests"; exit 1; }
+grep -q ' shed=[1-9]' "$WORK/faults.out" || {
+  echo "FAIL: the floods never shed anything structured"; exit 1; }
+check_alive "after flood-requests"
+
+echo "== survivor check: a clean request after the whole matrix =="
+# One request at a time: this server's tiny queue (capacity 2, there to
+# make the flood shed) would legitimately shed a pipelined batch.
+head -1 "$WORK/batch.results" > "$WORK/expect1.results"
+"$CLIENT" --port "$PORT" --request "$(head -1 "$WORK/requests.txt")" \
+  > "$WORK/after.results" || { echo "FAIL: post-chaos request failed"; exit 1; }
+diff -u "$WORK/expect1.results" "$WORK/after.results" || {
+  echo "FAIL: post-chaos result differs from the batch run"; exit 1; }
+echo "still bit-identical after the chaos matrix"
+
+echo "== graceful drain: SIGTERM must finish, flush and exit 0 =="
+kill -TERM "$SERVER_PID"
+DRAIN_OK=0
+for _ in $(seq 1 100); do
+  if ! kill -0 "$SERVER_PID" 2>/dev/null; then DRAIN_OK=1; break; fi
+  sleep 0.1
+done
+[ "$DRAIN_OK" = 1 ] || { echo "FAIL: server did not drain within 10s"; exit 1; }
+wait "$SERVER_PID"; RC=$?
+[ "$RC" = 0 ] || { echo "FAIL: drain exit code $RC"; exit 1; }
+grep -q 'drained' "$WORK/server.err" || {
+  echo "FAIL: no drain line in server log"; cat "$WORK/server.err"; exit 1; }
+SERVER_PID=""
+
+echo "PASS: network serving tier — byte-identical results, structured chaos, clean drain"

@@ -68,18 +68,22 @@ void InstallWorkerLimits(const WorkerLimits& limits) {
   }
 }
 
-bool WriteAllToFd(int fd, std::string_view data) {
+bool WriteAllToFd(int fd, std::string_view data, int* errno_out) {
+  if (errno_out != nullptr) *errno_out = 0;
   size_t written = 0;
   while (written < data.size()) {
     const ssize_t n = ::write(fd, data.data() + written, data.size() - written);
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (errno_out != nullptr) *errno_out = errno;
       return false;
     }
     written += static_cast<size_t>(n);
   }
   return true;
 }
+
+bool IsPeerGoneErrno(int err) { return err == EPIPE || err == ECONNRESET; }
 
 WorkerProcess::WorkerProcess(WorkerProcess&& other) noexcept {
   *this = std::move(other);

@@ -128,8 +128,19 @@ class HeartbeatWriter {
 };
 
 /// Writes all of `data` to `fd`, retrying on EINTR / short writes.
-/// Returns false on the first hard write error.
-bool WriteAllToFd(int fd, std::string_view data);
+/// Returns false on the first hard write error. When `errno_out` is
+/// non-null it receives the failing errno (0 on success) so callers can
+/// distinguish a vanished reader (EPIPE/ECONNRESET — see
+/// IsPeerGoneErrno) from a genuine I/O failure.
+bool WriteAllToFd(int fd, std::string_view data, int* errno_out = nullptr);
+
+/// True when a write errno means the other end of the pipe/socket is
+/// gone (reader closed or connection reset) rather than the write
+/// itself malfunctioning. With SIGPIPE ignored — which both the serve
+/// front ends and every forked worker do — a dead peer surfaces as one
+/// of these errnos on the offending fd instead of a process-wide
+/// signal, and callers classify it as structured peer loss.
+bool IsPeerGoneErrno(int err);
 
 /// Installs `limits` on the calling process via setrlimit. Used by the
 /// worker child setup and by deterministic OOM fault injection (a tiny

@@ -1,0 +1,159 @@
+#include "net/client.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace gqe {
+
+namespace {
+
+bool WaitFor(int fd, short events, int timeout_ms) {
+  struct pollfd pfd = {};
+  pfd.fd = fd;
+  pfd.events = events;
+  for (;;) {
+    const int n = ::poll(&pfd, 1, timeout_ms);
+    if (n < 0 && errno == EINTR) continue;
+    return n > 0;
+  }
+}
+
+}  // namespace
+
+NetClient::~NetClient() { Close(); }
+
+bool NetClient::Connect(const std::string& host, int port, int timeout_ms,
+                        std::string* error) {
+  Close();
+  fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) {
+    if (error) *error = "socket failed";
+    return false;
+  }
+  struct sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    if (error) *error = "bad address: " + host;
+    Close();
+    return false;
+  }
+  if (::connect(fd_, reinterpret_cast<struct sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    if (errno != EINPROGRESS) {
+      if (error) *error = "connect failed";
+      Close();
+      return false;
+    }
+    if (!WaitFor(fd_, POLLOUT, timeout_ms)) {
+      if (error) *error = "connect timed out";
+      Close();
+      return false;
+    }
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (::getsockopt(fd_, SOL_SOCKET, SO_ERROR, &err, &len) != 0 || err != 0) {
+      if (error) *error = "connect failed (refused?)";
+      Close();
+      return false;
+    }
+  }
+  int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return true;
+}
+
+bool NetClient::SendFrame(FrameType type, std::string_view payload) {
+  return SendRaw(EncodeFrame(type, payload));
+}
+
+bool NetClient::SendRaw(std::string_view bytes) {
+  if (fd_ < 0) return false;
+  size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n =
+        ::send(fd_, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      if (!WaitFor(fd_, POLLOUT, 5000)) return false;
+      continue;
+    }
+    return false;
+  }
+  return true;
+}
+
+bool NetClient::SendRawChunked(std::string_view bytes, size_t chunk,
+                               int delay_us) {
+  if (chunk == 0) chunk = 1;
+  for (size_t off = 0; off < bytes.size(); off += chunk) {
+    const size_t n = bytes.size() - off < chunk ? bytes.size() - off : chunk;
+    if (!SendRaw(bytes.substr(off, n))) return false;
+    if (delay_us > 0) ::usleep(static_cast<useconds_t>(delay_us));
+  }
+  return true;
+}
+
+NetClient::RecvResult NetClient::RecvFrame(Frame* out, int timeout_ms,
+                                           std::string* error) {
+  if (fd_ < 0) {
+    if (error) *error = "not connected";
+    return RecvResult::kError;
+  }
+  for (;;) {
+    std::string decode_error;
+    switch (decoder_.Next(out, &decode_error)) {
+      case FrameDecoder::Result::kFrame:
+        return RecvResult::kFrame;
+      case FrameDecoder::Result::kError:
+        if (error) *error = decode_error;
+        return RecvResult::kError;
+      case FrameDecoder::Result::kNeedMore:
+        break;
+    }
+    char buffer[16384];
+    const ssize_t n = ::recv(fd_, buffer, sizeof(buffer), 0);
+    if (n > 0) {
+      decoder_.Feed(std::string_view(buffer, static_cast<size_t>(n)));
+      continue;
+    }
+    if (n == 0) {
+      if (decoder_.mid_frame()) {
+        if (error) *error = "connection closed mid-frame";
+        return RecvResult::kError;
+      }
+      return RecvResult::kClosed;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      if (!WaitFor(fd_, POLLIN, timeout_ms)) return RecvResult::kTimeout;
+      continue;
+    }
+    if (error) *error = "recv failed";
+    return RecvResult::kError;
+  }
+}
+
+void NetClient::ShutdownWrite() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_WR);
+}
+
+void NetClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  decoder_ = FrameDecoder();
+}
+
+}  // namespace gqe

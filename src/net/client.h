@@ -1,0 +1,68 @@
+#ifndef GQE_NET_CLIENT_H_
+#define GQE_NET_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "net/frame.h"
+
+namespace gqe {
+
+/// A deliberately low-level client for the serve wire protocol: it can
+/// speak it correctly (SendRequest / RecvFrame) and it can violate it on
+/// purpose (SendRaw, SendRawChunked, half-writes, mid-frame hangups),
+/// which is what the chaos harness needs. Timeouts are poll()-based so a
+/// wedged server shows up as a structured timeout, never a hung test.
+class NetClient {
+ public:
+  NetClient() = default;
+  ~NetClient();
+
+  NetClient(const NetClient&) = delete;
+  NetClient& operator=(const NetClient&) = delete;
+
+  /// Connects (blocking, with a timeout). False with `error` on failure.
+  bool Connect(const std::string& host, int port, int timeout_ms,
+               std::string* error);
+
+  bool connected() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+
+  /// Encodes and sends one frame. False on any socket error.
+  bool SendFrame(FrameType type, std::string_view payload);
+
+  /// Sends one manifest request line as a kRequest frame.
+  bool SendRequest(std::string_view request_line) {
+    return SendFrame(FrameType::kRequest, request_line);
+  }
+
+  /// Sends raw bytes verbatim — the chaos faults (truncated frames,
+  /// bit flips, bogus length prefixes) are built on this.
+  bool SendRaw(std::string_view bytes);
+
+  /// Sends `bytes` in chunks of `chunk` bytes with `delay_us` between
+  /// them — the byte-at-a-time loopback test and the slow-loris probe.
+  bool SendRawChunked(std::string_view bytes, size_t chunk, int delay_us);
+
+  /// Receives the next complete frame. Result meanings:
+  ///   kFrame    *out holds it
+  ///   kTimeout  nothing complete within `timeout_ms` (0 = just poll)
+  ///   kClosed   orderly EOF from the server (no partial frame pending)
+  ///   kError    socket/protocol failure (*error says how)
+  enum class RecvResult { kFrame, kTimeout, kClosed, kError };
+  RecvResult RecvFrame(Frame* out, int timeout_ms, std::string* error);
+
+  /// Half-close: no more requests, but responses still flow back.
+  void ShutdownWrite();
+
+  void Close();
+
+ private:
+  int fd_ = -1;
+  FrameDecoder decoder_;
+};
+
+}  // namespace gqe
+
+#endif  // GQE_NET_CLIENT_H_

@@ -1,0 +1,107 @@
+#include "net/conn.h"
+
+#include <errno.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <utility>
+
+namespace gqe {
+
+Conn::Conn(int fd, uint64_t id, double now_ms, size_t max_frame_payload)
+    : fd_(fd),
+      id_(id),
+      decoder_(max_frame_payload),
+      last_activity_ms_(now_ms) {}
+
+Conn::~Conn() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Conn::IoResult Conn::ReadSome(double now_ms) {
+  if (closed_ || input_closed_) return IoResult::kIdle;
+  char buffer[16384];
+  bool progress = false;
+  for (;;) {
+    const ssize_t n = ::recv(fd_, buffer, sizeof(buffer), 0);
+    if (n > 0) {
+      decoder_.Feed(std::string_view(buffer, static_cast<size_t>(n)));
+      progress = true;
+      last_activity_ms_ = now_ms;
+      continue;
+    }
+    if (n == 0) {
+      input_closed_ = true;
+      return IoResult::kEof;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return progress ? IoResult::kProgress : IoResult::kIdle;
+    }
+    // ECONNRESET and friends: the peer vanished mid-stream (the chaos
+    // client's mid-frame disconnect lands here). A clean close, not a
+    // server fault.
+    return IoResult::kError;
+  }
+}
+
+Conn::IoResult Conn::WriteSome(double now_ms) {
+  if (closed_) return IoResult::kIdle;
+  bool progress = false;
+  while (outbuf_sent_ < outbuf_.size()) {
+    const ssize_t n =
+        ::send(fd_, outbuf_.data() + outbuf_sent_,
+               outbuf_.size() - outbuf_sent_, MSG_NOSIGNAL);
+    if (n > 0) {
+      outbuf_sent_ += static_cast<size_t>(n);
+      progress = true;
+      last_activity_ms_ = now_ms;
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    // EPIPE/ECONNRESET: the peer stopped reading and left. MSG_NOSIGNAL
+    // keeps that an error return instead of a process-killing SIGPIPE.
+    return IoResult::kError;
+  }
+  if (outbuf_sent_ == outbuf_.size()) {
+    outbuf_.clear();
+    outbuf_sent_ = 0;
+    write_stalled_since_ms_ = 0.0;
+  } else {
+    if (progress || write_stalled_since_ms_ == 0.0) {
+      write_stalled_since_ms_ = now_ms;
+    }
+  }
+  return progress ? IoResult::kProgress : IoResult::kIdle;
+}
+
+void Conn::EnqueueBytes(std::string bytes) {
+  if (closed_) return;
+  if (outbuf_.empty()) {
+    outbuf_ = std::move(bytes);
+    outbuf_sent_ = 0;
+  } else {
+    outbuf_.append(bytes);
+  }
+}
+
+size_t Conn::FlushPending() {
+  size_t released = 0;
+  while (!pending_.empty() && pending_.front().done) {
+    EnqueueBytes(std::move(pending_.front().frame));
+    pending_.pop_front();
+    ++released;
+  }
+  return released;
+}
+
+void Conn::NoteDecodeProgress(double now_ms) {
+  if (decoder_.mid_frame()) {
+    if (partial_frame_since_ms_ == 0.0) partial_frame_since_ms_ = now_ms;
+  } else {
+    partial_frame_since_ms_ = 0.0;
+  }
+}
+
+}  // namespace gqe

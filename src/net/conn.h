@@ -1,0 +1,112 @@
+#ifndef GQE_NET_CONN_H_
+#define GQE_NET_CONN_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+
+#include "net/frame.h"
+
+namespace gqe {
+
+/// One accepted TCP connection: nonblocking fd, incremental frame
+/// decoder on the read side, a bounded write buffer on the write side,
+/// and a FIFO of pending responses that keeps answers in request order
+/// even when the engine finishes them out of order (or coalescing
+/// resolves several at once).
+///
+/// The connection does bytes and buffers only; policy — frame dispatch,
+/// backpressure thresholds, deadlines, shedding — lives in NetServer,
+/// which reads the bookkeeping fields this class maintains.
+class Conn {
+ public:
+  /// Takes ownership of `fd` (closed on destruction). `now_ms` seeds
+  /// the activity clocks; `max_frame_payload` bounds decoded frames.
+  Conn(int fd, uint64_t id, double now_ms, size_t max_frame_payload);
+  ~Conn();
+
+  Conn(const Conn&) = delete;
+  Conn& operator=(const Conn&) = delete;
+
+  int fd() const { return fd_; }
+  uint64_t id() const { return id_; }
+
+  enum class IoResult {
+    kProgress,  // moved at least one byte
+    kIdle,      // EAGAIN — nothing to do right now
+    kEof,       // peer half-closed its write side (read side only)
+    kError,     // hard socket error; the connection is unusable
+  };
+
+  /// Reads until EAGAIN/EOF, feeding the frame decoder. Updates
+  /// last_read_ms and the partial-frame clock.
+  IoResult ReadSome(double now_ms);
+
+  /// Flushes the write buffer (MSG_NOSIGNAL — a dead peer yields EPIPE,
+  /// never a signal). Updates last_write_progress_ms on any progress.
+  IoResult WriteSome(double now_ms);
+
+  /// Appends pre-encoded frame bytes to the write buffer.
+  void EnqueueBytes(std::string bytes);
+
+  /// One queued response slot, in request arrival order. Immediate
+  /// responses (errors, pongs) enter already done; engine-backed ones
+  /// carry the ticket and materialize when the engine finishes.
+  struct Pending {
+    uint64_t ticket = 0;
+    std::string request_id;
+    bool done = false;
+    std::string frame;
+  };
+
+  std::deque<Pending>& pending() { return pending_; }
+
+  /// Moves the contiguous done prefix of the pending FIFO into the
+  /// write buffer (responses never overtake earlier requests' answers).
+  /// Returns the number of responses released.
+  size_t FlushPending();
+
+  /// Re-arms the partial-frame clock after the owner drained complete
+  /// frames from the decoder: a frame that has started but not finished
+  /// arriving by the read deadline is the slow-loris signal.
+  void NoteDecodeProgress(double now_ms);
+
+  FrameDecoder& decoder() { return decoder_; }
+
+  size_t outbuf_size() const { return outbuf_.size() - outbuf_sent_; }
+  bool wants_write() const { return outbuf_size() > 0; }
+
+  bool input_closed() const { return input_closed_; }
+
+  /// True once the peer is gone or the server decided to close; the
+  /// owner unregisters and destroys the connection when it sees this.
+  bool closed() const { return closed_; }
+  void MarkClosed() { closed_ = true; }
+
+  /// Activity clocks (engine-clock milliseconds), read by the server's
+  /// deadline sweep.
+  double last_activity_ms() const { return last_activity_ms_; }
+  double partial_frame_since_ms() const { return partial_frame_since_ms_; }
+  double write_stalled_since_ms() const { return write_stalled_since_ms_; }
+
+  /// Server-side backpressure flag: reading is paused while the peer
+  /// lets its responses pile up past the soft write-buffer limit.
+  bool read_paused = false;
+
+ private:
+  int fd_;
+  uint64_t id_;
+  FrameDecoder decoder_;
+  std::deque<Pending> pending_;
+  std::string outbuf_;
+  size_t outbuf_sent_ = 0;
+  bool input_closed_ = false;
+  bool closed_ = false;
+  double last_activity_ms_;
+  double partial_frame_since_ms_ = 0.0;  // 0 = no partial frame pending
+  double write_stalled_since_ms_ = 0.0;  // 0 = write buffer empty
+};
+
+}  // namespace gqe
+
+#endif  // GQE_NET_CONN_H_

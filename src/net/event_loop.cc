@@ -1,0 +1,85 @@
+#include "net/event_loop.h"
+
+#include <errno.h>
+#include <sys/epoll.h>
+#include <unistd.h>
+
+#include <vector>
+
+namespace gqe {
+
+namespace {
+
+uint32_t ToEpoll(uint32_t events) {
+  uint32_t mask = 0;
+  if (events & EventLoop::kReadable) mask |= EPOLLIN;
+  if (events & EventLoop::kWritable) mask |= EPOLLOUT;
+  return mask;
+}
+
+uint32_t FromEpoll(uint32_t mask) {
+  uint32_t events = 0;
+  if (mask & (EPOLLIN | EPOLLERR | EPOLLHUP | EPOLLRDHUP)) {
+    events |= EventLoop::kReadable;
+  }
+  if (mask & EPOLLOUT) events |= EventLoop::kWritable;
+  return events;
+}
+
+}  // namespace
+
+EventLoop::EventLoop() { epoll_fd_ = ::epoll_create1(0); }
+
+EventLoop::~EventLoop() {
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+}
+
+bool EventLoop::Add(int fd, uint32_t events,
+                    std::function<void(uint32_t)> callback) {
+  if (epoll_fd_ < 0 || fd < 0) return false;
+  struct epoll_event ev = {};
+  ev.events = ToEpoll(events);
+  ev.data.fd = fd;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) return false;
+  callbacks_[fd] = std::move(callback);
+  return true;
+}
+
+bool EventLoop::Modify(int fd, uint32_t events) {
+  if (epoll_fd_ < 0 || callbacks_.count(fd) == 0) return false;
+  struct epoll_event ev = {};
+  ev.events = ToEpoll(events);
+  ev.data.fd = fd;
+  return ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev) == 0;
+}
+
+void EventLoop::Remove(int fd) {
+  if (callbacks_.erase(fd) == 0) return;
+  if (epoll_fd_ >= 0) {
+    // The fd may already be closed (EBADF) — deregistration is then
+    // implicit and the error is expected.
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  }
+}
+
+int EventLoop::RunOnce(int timeout_ms) {
+  if (epoll_fd_ < 0) return -1;
+  struct epoll_event events[64];
+  const int n = ::epoll_wait(epoll_fd_, events, 64, timeout_ms);
+  if (n < 0) {
+    // EINTR: a signal (SIGTERM drain, SIGCHLD) interrupted the wait —
+    // return to the caller so it can check its shutdown flags.
+    return errno == EINTR ? 0 : -1;
+  }
+  for (int i = 0; i < n; ++i) {
+    const int fd = events[i].data.fd;
+    // Re-lookup per event: a callback earlier in this round may have
+    // removed this fd (e.g. closed a connection the listener accepted).
+    auto it = callbacks_.find(fd);
+    if (it == callbacks_.end()) continue;
+    it->second(FromEpoll(events[i].events));
+  }
+  return n;
+}
+
+}  // namespace gqe

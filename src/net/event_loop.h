@@ -1,0 +1,60 @@
+#ifndef GQE_NET_EVENT_LOOP_H_
+#define GQE_NET_EVENT_LOOP_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+
+namespace gqe {
+
+/// A minimal single-threaded epoll reactor in the nonblocking-runloop
+/// idiom: register a callback per fd, run one epoll_wait at a time from
+/// the owner's loop. No timers and no thread safety by design — the
+/// serving tier is single-threaded for fork safety (base/subprocess.h),
+/// and deadline bookkeeping lives with the connections, which know their
+/// own timeouts.
+class EventLoop {
+ public:
+  /// Bitmask passed to Add/Modify; mapped onto EPOLLIN/EPOLLOUT.
+  static constexpr uint32_t kReadable = 1;
+  static constexpr uint32_t kWritable = 2;
+
+  EventLoop();
+  ~EventLoop();
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  /// False when epoll_create failed (the caller should refuse to serve).
+  bool ok() const { return epoll_fd_ >= 0; }
+
+  /// `callback(events)` fires from RunOnce with the kReadable/kWritable
+  /// bits that are ready. EPOLLERR/EPOLLHUP surface as kReadable so the
+  /// owner discovers the condition from read()'s error return.
+  bool Add(int fd, uint32_t events, std::function<void(uint32_t)> callback);
+
+  /// Changes the interest set (e.g. dropping kReadable is how a
+  /// connection under write backpressure stops accepting input).
+  bool Modify(int fd, uint32_t events);
+
+  /// Deregisters `fd`. Safe to call from inside a callback — dispatch
+  /// looks each fd up again and skips ones removed mid-round. Does not
+  /// close the fd.
+  void Remove(int fd);
+
+  /// One epoll_wait (up to `timeout_ms`, 0 = poll, <0 = block) plus
+  /// dispatch. Returns the number of fds dispatched; -1 only on an
+  /// unexpected epoll failure. EINTR returns 0 so signal-driven
+  /// shutdown flags get checked promptly by the caller.
+  int RunOnce(int timeout_ms);
+
+  size_t watched() const { return callbacks_.size(); }
+
+ private:
+  int epoll_fd_ = -1;
+  std::map<int, std::function<void(uint32_t)>> callbacks_;
+};
+
+}  // namespace gqe
+
+#endif  // GQE_NET_EVENT_LOOP_H_

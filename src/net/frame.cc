@@ -1,0 +1,159 @@
+#include "net/frame.h"
+
+#include <cstring>
+
+#include "base/serialize.h"
+
+namespace gqe {
+
+namespace {
+
+void PutU16(std::string* out, uint16_t value) {
+  out->push_back(static_cast<char>(value & 0xff));
+  out->push_back(static_cast<char>((value >> 8) & 0xff));
+}
+
+void PutU32(std::string* out, uint32_t value) {
+  for (int shift = 0; shift < 32; shift += 8) {
+    out->push_back(static_cast<char>((value >> shift) & 0xff));
+  }
+}
+
+uint16_t GetU16(const char* p) {
+  return static_cast<uint16_t>(static_cast<unsigned char>(p[0])) |
+         static_cast<uint16_t>(static_cast<unsigned char>(p[1])) << 8;
+}
+
+uint32_t GetU32(const char* p) {
+  uint32_t value = 0;
+  for (int i = 3; i >= 0; --i) {
+    value = (value << 8) | static_cast<unsigned char>(p[i]);
+  }
+  return value;
+}
+
+bool KnownFrameType(uint8_t type) {
+  return type >= static_cast<uint8_t>(FrameType::kRequest) &&
+         type <= static_cast<uint8_t>(FrameType::kPong);
+}
+
+}  // namespace
+
+const char* FrameTypeName(FrameType type) {
+  switch (type) {
+    case FrameType::kRequest:
+      return "request";
+    case FrameType::kResult:
+      return "result";
+    case FrameType::kError:
+      return "error";
+    case FrameType::kPing:
+      return "ping";
+    case FrameType::kPong:
+      return "pong";
+  }
+  return "unknown";
+}
+
+std::string EncodeFrame(FrameType type, std::string_view payload) {
+  std::string out;
+  out.reserve(kFrameHeaderSize + payload.size());
+  PutU16(&out, kFrameMagic);
+  out.push_back(static_cast<char>(kFrameVersion));
+  out.push_back(static_cast<char>(type));
+  PutU32(&out, static_cast<uint32_t>(payload.size()));
+  PutU32(&out, Crc32(payload));
+  out.append(payload);
+  return out;
+}
+
+void FrameDecoder::Feed(std::string_view bytes) {
+  if (failed_) return;
+  // Compact before growing: everything consumed as frames is dead weight.
+  if (consumed_ > 0 && (consumed_ >= buffer_.size() || consumed_ > 4096)) {
+    buffer_.erase(0, consumed_);
+    consumed_ = 0;
+  }
+  buffer_.append(bytes.data(), bytes.size());
+}
+
+FrameDecoder::Result FrameDecoder::Next(Frame* out, std::string* error) {
+  if (failed_) {
+    if (error != nullptr) *error = failure_;
+    return Result::kError;
+  }
+  const size_t available = buffer_.size() - consumed_;
+  if (available < kFrameHeaderSize) return Result::kNeedMore;
+  const char* header = buffer_.data() + consumed_;
+
+  const uint16_t magic = GetU16(header);
+  if (magic != kFrameMagic) {
+    failed_ = true;
+    failure_ = "bad frame magic";
+    if (error != nullptr) *error = failure_;
+    return Result::kError;
+  }
+  const uint8_t version = static_cast<uint8_t>(header[2]);
+  if (version != kFrameVersion) {
+    failed_ = true;
+    failure_ = "unsupported frame version " + std::to_string(version);
+    if (error != nullptr) *error = failure_;
+    return Result::kError;
+  }
+  const uint8_t type = static_cast<uint8_t>(header[3]);
+  if (!KnownFrameType(type)) {
+    failed_ = true;
+    failure_ = "unknown frame type " + std::to_string(type);
+    if (error != nullptr) *error = failure_;
+    return Result::kError;
+  }
+  const uint32_t length = GetU32(header + 4);
+  // Checked against the header alone: a hostile length prefix is
+  // rejected before any payload bytes are buffered toward it.
+  if (length > max_payload_) {
+    failed_ = true;
+    failure_ = "frame payload length " + std::to_string(length) +
+               " exceeds cap " + std::to_string(max_payload_);
+    if (error != nullptr) *error = failure_;
+    return Result::kError;
+  }
+  if (available < kFrameHeaderSize + length) return Result::kNeedMore;
+
+  const uint32_t expected_crc = GetU32(header + 8);
+  std::string_view payload(buffer_.data() + consumed_ + kFrameHeaderSize,
+                           length);
+  if (Crc32(payload) != expected_crc) {
+    failed_ = true;
+    failure_ = "frame payload checksum mismatch";
+    if (error != nullptr) *error = failure_;
+    return Result::kError;
+  }
+
+  out->type = static_cast<FrameType>(type);
+  out->payload.assign(payload.data(), payload.size());
+  consumed_ += kFrameHeaderSize + length;
+  return Result::kFrame;
+}
+
+std::string MakeErrorPayload(std::string_view code, std::string_view detail) {
+  std::string payload(code);
+  if (!detail.empty()) {
+    payload.push_back(' ');
+    payload.append(detail);
+  }
+  return payload;
+}
+
+void SplitErrorPayload(std::string_view payload, std::string* code,
+                       std::string* detail) {
+  const size_t space = payload.find(' ');
+  if (space == std::string_view::npos) {
+    if (code != nullptr) code->assign(payload);
+    if (detail != nullptr) detail->clear();
+    return;
+  }
+  if (code != nullptr) code->assign(payload.substr(0, space));
+  if (detail != nullptr) detail->assign(payload.substr(space + 1));
+}
+
+}  // namespace gqe

@@ -1,0 +1,471 @@
+#include "net/server.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cinttypes>
+#include <cstdio>
+#include <utility>
+
+namespace gqe {
+
+namespace {
+
+std::string FormatStat(const char* key, uint64_t value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), " %s=%" PRIu64, key, value);
+  return buf;
+}
+
+}  // namespace
+
+std::string NetServerStats::ToString() const {
+  std::string out = "net:";
+  out += FormatStat("accepted", accepted);
+  out += FormatStat("admitted", admitted);
+  out += FormatStat("completed", completed);
+  out += FormatStat("degraded", degraded);
+  out += FormatStat("failed", failed);
+  out += FormatStat("coalesced", coalesced);
+  out += FormatStat("shed_overloaded", shed_overloaded);
+  out += FormatStat("shed_shutdown", shed_shutdown);
+  out += FormatStat("bad_requests", bad_requests);
+  out += FormatStat("protocol_errors", protocol_errors);
+  out += FormatStat("timeouts", timeouts);
+  out += FormatStat("slow_client_closes", slow_client_closes);
+  out += FormatStat("pings", pings);
+  return out;
+}
+
+NetServer::NetServer(const ServeOptions& serve_options,
+                     const NetServerOptions& net_options)
+    : engine_(serve_options), options_(net_options) {}
+
+NetServer::~NetServer() {
+  for (auto& [fd, conn] : conns_) loop_.Remove(fd);
+  conns_.clear();
+  if (listen_fd_ >= 0) {
+    loop_.Remove(listen_fd_);
+    ::close(listen_fd_);
+  }
+}
+
+bool NetServer::Listen(std::string* error) {
+  if (!loop_.ok()) {
+    if (error) *error = "epoll_create failed";
+    return false;
+  }
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) {
+    if (error) *error = "socket failed";
+    return false;
+  }
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  struct sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(options_.port));
+  if (::inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) !=
+      1) {
+    if (error) *error = "bad bind address: " + options_.bind_address;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  if (::bind(listen_fd_, reinterpret_cast<struct sockaddr*>(&addr),
+             sizeof(addr)) != 0 ||
+      ::listen(listen_fd_, options_.backlog) != 0) {
+    if (error) {
+      *error = "bind/listen failed on " + options_.bind_address + ":" +
+               std::to_string(options_.port);
+    }
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<struct sockaddr*>(&addr),
+                    &len) == 0) {
+    port_ = ntohs(addr.sin_port);
+  }
+  if (!loop_.Add(listen_fd_, EventLoop::kReadable,
+                 [this](uint32_t) { OnAcceptable(); })) {
+    if (error) *error = "epoll add failed";
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  return true;
+}
+
+void NetServer::OnAcceptable() {
+  for (;;) {
+    const int fd =
+        ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // EAGAIN or a transient accept error; epoll will re-arm
+    }
+    if (draining_ || conns_.size() >= options_.max_connections) {
+      // Shed at the door: one structured OVERLOADED frame (best effort —
+      // the kernel buffer takes a 100-byte frame or the peer is already
+      // gone), then close. Never queued, never silently dropped.
+      const std::string frame = EncodeFrame(
+          FrameType::kError,
+          MakeErrorPayload(draining_ ? "SHUTTING_DOWN" : "OVERLOADED",
+                           draining_ ? "server is draining"
+                                     : "connection limit reached"));
+      (void)::send(fd, frame.data(), frame.size(), MSG_NOSIGNAL);
+      ::close(fd);
+      ++(draining_ ? stats_.shed_shutdown : stats_.shed_overloaded);
+      continue;
+    }
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    const uint64_t id = next_conn_id_++;
+    auto conn = std::make_unique<Conn>(fd, id, engine_.NowMs(),
+                                       options_.max_frame_payload);
+    if (!loop_.Add(fd, EventLoop::kReadable,
+                   [this, fd](uint32_t events) { OnConnEvent(fd, events); })) {
+      continue;  // conn destructor closes fd
+    }
+    ++stats_.accepted;
+    conns_.emplace(fd, std::move(conn));
+  }
+}
+
+void NetServer::OnConnEvent(int fd, uint32_t events) {
+  auto it = conns_.find(fd);
+  if (it == conns_.end()) return;
+  Conn* conn = it->second.get();
+  if (conn->closed()) return;
+  const double now = engine_.NowMs();
+  if ((events & EventLoop::kReadable) && !conn->read_paused) {
+    const Conn::IoResult r = conn->ReadSome(now);
+    if (r == Conn::IoResult::kError) {
+      conn->MarkClosed();
+      return;
+    }
+    ProcessFrames(conn);
+    if (conn->closed()) return;
+  }
+  if (events & EventLoop::kWritable) {
+    if (conn->WriteSome(now) == Conn::IoResult::kError) {
+      conn->MarkClosed();
+      return;
+    }
+  }
+  FlushConn(conn);
+}
+
+void NetServer::ProcessFrames(Conn* conn) {
+  const double now = engine_.NowMs();
+  Frame frame;
+  std::string error;
+  for (;;) {
+    const FrameDecoder::Result r = conn->decoder().Next(&frame, &error);
+    if (r == FrameDecoder::Result::kNeedMore) break;
+    if (r == FrameDecoder::Result::kError) {
+      FailConn(conn, "PROTOCOL", error, &stats_.protocol_errors);
+      return;
+    }
+    switch (frame.type) {
+      case FrameType::kRequest:
+        HandleRequest(conn, frame.payload);
+        break;
+      case FrameType::kPing:
+        ++stats_.pings;
+        RespondImmediate(conn, FrameType::kPong, std::move(frame.payload));
+        break;
+      case FrameType::kPong:
+        break;  // unsolicited but harmless
+      default:
+        // kResult/kError are server-to-client only; a client sending one
+        // is out of protocol and the stream is no longer trustworthy.
+        FailConn(conn, "PROTOCOL",
+                 std::string("unexpected client frame type ") +
+                     FrameTypeName(frame.type),
+                 &stats_.protocol_errors);
+        return;
+    }
+    if (conn->closed()) return;
+  }
+  conn->NoteDecodeProgress(now);
+}
+
+std::string NetServer::CoalesceKey(const EvalRequest& request) {
+  // Every request field except id: two requests with equal keys are the
+  // same evaluation, and terminal result lines are fault-invariant, so
+  // one worker run can answer all of them (each under its own id).
+  std::string key;
+  key += RequestKindName(request.kind);
+  key += '|';
+  key += request.program_path;
+  key += '|';
+  key += request.query;
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "|%zu|%" PRIu64 "|%.3f|%zu|%d|%d|%" PRIu64 "|%d|%d",
+                request.budget.max_facts, request.budget.max_search_nodes,
+                request.budget.deadline_ms, request.address_space_mb,
+                request.max_level, static_cast<int>(request.fault.type),
+                request.fault.at_checkpoint, request.fault.exit_code,
+                request.fault.on_attempt);
+  key += buf;
+  return key;
+}
+
+void NetServer::HandleRequest(Conn* conn, const std::string& payload) {
+  if (draining_) {
+    ++stats_.shed_shutdown;
+    RespondImmediate(
+        conn, FrameType::kError,
+        MakeErrorPayload("SHUTTING_DOWN", "server is draining"));
+    return;
+  }
+  Manifest manifest;
+  std::string error;
+  if (!ParseManifest(payload, options_.program_root, &manifest, &error)) {
+    ++stats_.bad_requests;
+    RespondImmediate(conn, FrameType::kError,
+                     MakeErrorPayload("BAD_REQUEST", error));
+    return;
+  }
+  if (manifest.requests.size() != 1) {
+    ++stats_.bad_requests;
+    RespondImmediate(
+        conn, FrameType::kError,
+        MakeErrorPayload("BAD_REQUEST",
+                         "a request frame must carry exactly one request "
+                         "line, got " +
+                             std::to_string(manifest.requests.size())));
+    return;
+  }
+  const EvalRequest& request = manifest.requests[0];
+  if (options_.queue_capacity != 0 &&
+      engine_.ActiveJobs() >= options_.queue_capacity) {
+    ++stats_.shed_overloaded;
+    RespondImmediate(conn, FrameType::kError,
+                     MakeErrorPayload("OVERLOADED", "request queue full"));
+    return;
+  }
+  uint64_t ticket = 0;
+  const std::string key = options_.coalesce ? CoalesceKey(request) : "";
+  if (options_.coalesce) {
+    auto it = coalesce_inflight_.find(key);
+    if (it != coalesce_inflight_.end()) {
+      ticket = it->second;
+      ++stats_.coalesced;
+    }
+  }
+  if (ticket == 0) {
+    ticket = engine_.Submit(request);
+    ++stats_.admitted;
+    if (options_.coalesce) {
+      coalesce_inflight_[key] = ticket;
+      ticket_coalesce_key_[ticket] = key;
+    }
+  }
+  Conn::Pending pending;
+  pending.ticket = ticket;
+  pending.request_id = request.id;
+  conn->pending().push_back(std::move(pending));
+  waiters_[ticket].push_back(Waiter{conn->fd(), conn->id()});
+}
+
+void NetServer::RespondImmediate(Conn* conn, FrameType type,
+                                 std::string payload) {
+  Conn::Pending pending;
+  pending.done = true;
+  pending.frame = EncodeFrame(type, payload);
+  conn->pending().push_back(std::move(pending));
+  FlushConn(conn);
+}
+
+void NetServer::DispatchFinished(std::vector<ServeEngine::Finished>& finished) {
+  for (auto& f : finished) {
+    switch (f.row.state) {
+      case TerminalState::kCompleted:
+        ++stats_.completed;
+        break;
+      case TerminalState::kDegraded:
+        ++stats_.degraded;
+        break;
+      default:
+        ++stats_.failed;
+        break;
+    }
+    auto wit = waiters_.find(f.ticket);
+    if (wit != waiters_.end()) {
+      for (const Waiter& waiter : wit->second) {
+        auto cit = conns_.find(waiter.fd);
+        // The fd may have been reused by a newer connection since this
+        // waiter registered; the conn id disambiguates.
+        if (cit == conns_.end() || cit->second->id() != waiter.conn_id ||
+            cit->second->closed()) {
+          continue;
+        }
+        Conn* conn = cit->second.get();
+        for (Conn::Pending& pending : conn->pending()) {
+          if (pending.done || pending.ticket != f.ticket) continue;
+          // Coalesced waiters each get the row under their own request
+          // id; every other field of the line is identical by
+          // construction.
+          RequestRow row = f.row;
+          row.id = pending.request_id;
+          std::string line;
+          AppendResultLine(row, &line);
+          pending.frame = EncodeFrame(FrameType::kResult, line);
+          pending.done = true;
+          break;
+        }
+        FlushConn(conn);
+      }
+      waiters_.erase(wit);
+    }
+    auto kit = ticket_coalesce_key_.find(f.ticket);
+    if (kit != ticket_coalesce_key_.end()) {
+      coalesce_inflight_.erase(kit->second);
+      ticket_coalesce_key_.erase(kit);
+    }
+  }
+}
+
+void NetServer::FlushConn(Conn* conn) {
+  if (conn->closed()) return;
+  conn->FlushPending();
+  if (conn->wants_write() &&
+      conn->WriteSome(engine_.NowMs()) == Conn::IoResult::kError) {
+    conn->MarkClosed();
+    return;
+  }
+  // Peer half-closed and everything owed has been delivered: clean close.
+  if (conn->input_closed() && conn->pending().empty() && !conn->wants_write()) {
+    conn->MarkClosed();
+    return;
+  }
+  UpdateInterest(conn);
+}
+
+void NetServer::UpdateInterest(Conn* conn) {
+  if (conn->closed()) return;
+  const size_t backlog = conn->outbuf_size();
+  if (backlog > options_.write_buffer_hard_limit) {
+    // The peer has ignored this much output; holding more only lets one
+    // slow reader consume the server's memory.
+    ++stats_.slow_client_closes;
+    conn->MarkClosed();
+    return;
+  }
+  conn->read_paused = backlog > options_.write_buffer_soft_limit;
+  uint32_t events = 0;
+  if (!conn->read_paused && !conn->input_closed()) {
+    events |= EventLoop::kReadable;
+  }
+  if (conn->wants_write()) events |= EventLoop::kWritable;
+  loop_.Modify(conn->fd(), events);
+}
+
+void NetServer::SweepDeadlines(double now_ms) {
+  for (auto& [fd, conn_ptr] : conns_) {
+    Conn* conn = conn_ptr.get();
+    if (conn->closed()) continue;
+    if (conn->partial_frame_since_ms() != 0.0 &&
+        now_ms - conn->partial_frame_since_ms() >
+            options_.frame_read_timeout_ms) {
+      FailConn(conn, "TIMEOUT", "frame not completed within deadline",
+               &stats_.timeouts);
+      continue;
+    }
+    if (conn->write_stalled_since_ms() != 0.0 &&
+        now_ms - conn->write_stalled_since_ms() >
+            options_.write_stall_timeout_ms) {
+      // Can't even apologize — the peer isn't reading. Just close.
+      ++stats_.slow_client_closes;
+      conn->MarkClosed();
+      continue;
+    }
+    const bool quiescent = conn->pending().empty() && !conn->wants_write() &&
+                           !conn->decoder().mid_frame();
+    if (quiescent && draining_) {
+      conn->MarkClosed();  // drain: nothing owed, stop waiting on the peer
+      continue;
+    }
+    if (quiescent &&
+        now_ms - conn->last_activity_ms() > options_.idle_timeout_ms) {
+      conn->MarkClosed();
+    }
+  }
+}
+
+void NetServer::FailConn(Conn* conn, const char* code,
+                         const std::string& detail, uint64_t* counter) {
+  ++*counter;
+  // Stream-scoped failure: the error frame jumps the response FIFO
+  // (those responses are forfeit — byte alignment is lost or the peer
+  // breached a deadline) and the connection closes after one best-effort
+  // flush.
+  conn->EnqueueBytes(
+      EncodeFrame(FrameType::kError, MakeErrorPayload(code, detail)));
+  conn->WriteSome(engine_.NowMs());
+  conn->MarkClosed();
+}
+
+void NetServer::ReapClosed() {
+  for (auto it = conns_.begin(); it != conns_.end();) {
+    if (it->second->closed()) {
+      loop_.Remove(it->first);
+      it = conns_.erase(it);  // Conn destructor closes the fd
+    } else {
+      ++it;
+    }
+  }
+}
+
+int NetServer::ComputeWaitMs(int max_wait_ms) const {
+  int wait = max_wait_ms < 0 ? 100 : max_wait_ms;
+  if (!engine_.Idle()) {
+    // Workers in flight (or backoff timers running): pump promptly.
+    wait = wait < 1 ? wait : 1;
+  } else if (wait > 100) {
+    wait = 100;  // deadline sweep granularity
+  }
+  return wait;
+}
+
+bool NetServer::PollOnce(int max_wait_ms) {
+  loop_.RunOnce(ComputeWaitMs(max_wait_ms));
+  if (!engine_.Idle()) {
+    std::vector<ServeEngine::Finished> finished;
+    engine_.Pump(&finished);
+    if (!finished.empty()) DispatchFinished(finished);
+  }
+  SweepDeadlines(engine_.NowMs());
+  ReapClosed();
+  return !(draining_ && engine_.Idle() && conns_.empty());
+}
+
+int NetServer::Run(const volatile sig_atomic_t* drain_flag) {
+  for (;;) {
+    if (drain_flag != nullptr && *drain_flag != 0 && !draining_) {
+      RequestDrain();
+    }
+    if (!PollOnce(100)) return 0;
+  }
+}
+
+void NetServer::RequestDrain() {
+  if (draining_) return;
+  draining_ = true;
+  if (listen_fd_ >= 0) {
+    loop_.Remove(listen_fd_);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+}  // namespace gqe

@@ -1,0 +1,165 @@
+#ifndef GQE_NET_SERVER_H_
+#define GQE_NET_SERVER_H_
+
+#include <signal.h>
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/conn.h"
+#include "net/event_loop.h"
+#include "serve/service.h"
+
+namespace gqe {
+
+/// Policy knobs for the TCP front end. Every limit exists to convert a
+/// misbehaving or overloaded peer into a structured error or a clean
+/// close — the serving process itself never stalls on one connection.
+struct NetServerOptions {
+  std::string bind_address = "127.0.0.1";
+  /// 0 = ephemeral; read the chosen port back via port().
+  int port = 0;
+  int backlog = 64;
+
+  /// Global connection cap. A connection over the cap is answered with
+  /// one OVERLOADED error frame and closed — shed, never queued.
+  size_t max_connections = 64;
+
+  /// Admission control: requests beyond this many active in the engine
+  /// are answered OVERLOADED instead of queued without bound. 0 = off.
+  size_t queue_capacity = 256;
+
+  size_t max_frame_payload = kDefaultMaxFramePayload;
+
+  /// Backpressure: above the soft limit the server stops *reading* from
+  /// the connection (the peer must drain responses before sending more
+  /// requests); above the hard limit the peer is declared dead-slow and
+  /// the connection is closed.
+  size_t write_buffer_soft_limit = 256 * 1024;
+  size_t write_buffer_hard_limit = 4 * 1024 * 1024;
+
+  /// Slow-loris defense: a frame that started arriving but has not
+  /// completed within this window gets a TIMEOUT error and a close.
+  double frame_read_timeout_ms = 5000.0;
+  /// A connection with no traffic and no pending work is closed.
+  double idle_timeout_ms = 30000.0;
+  /// Write buffer nonempty with no drain progress for this long: the
+  /// peer stopped reading; close (the OS buffers are already full).
+  double write_stall_timeout_ms = 5000.0;
+
+  /// Base directory request program= paths resolve against.
+  std::string program_root = ".";
+
+  /// Coalesce identical in-flight requests (same kind, program, query,
+  /// budget, fault) into one worker evaluation fanned out to every
+  /// waiter. Ids may differ — each waiter gets its own result line.
+  bool coalesce = true;
+
+  bool verbose = false;
+};
+
+struct NetServerStats {
+  uint64_t accepted = 0;
+  uint64_t admitted = 0;
+  uint64_t completed = 0;
+  uint64_t degraded = 0;
+  uint64_t failed = 0;
+  uint64_t coalesced = 0;
+  uint64_t shed_overloaded = 0;
+  uint64_t shed_shutdown = 0;
+  uint64_t bad_requests = 0;
+  uint64_t protocol_errors = 0;
+  uint64_t timeouts = 0;
+  uint64_t slow_client_closes = 0;
+  uint64_t pings = 0;
+
+  std::string ToString() const;
+};
+
+/// The network serving tier: a single-threaded epoll loop in front of
+/// the fork-isolated ServeEngine. Single-threaded is load-bearing, not
+/// an implementation shortcut — workers are forked without exec, which
+/// is only safe from a single-threaded process (base/subprocess.h).
+///
+/// Robustness contract, exercised frame-by-frame by the chaos harness
+/// (examples/gqe_net_client.cpp, scripts/serve_net_smoke.sh): any
+/// malformed, truncated, oversized, bit-flipped, stalled or disconnected
+/// input yields a structured error frame or a clean close; surviving
+/// requests' result frames are byte-identical to the file-manifest path.
+class NetServer {
+ public:
+  NetServer(const ServeOptions& serve_options,
+            const NetServerOptions& net_options);
+  ~NetServer();
+
+  NetServer(const NetServer&) = delete;
+  NetServer& operator=(const NetServer&) = delete;
+
+  /// Binds and listens. False (with `error`) on failure.
+  bool Listen(std::string* error);
+
+  /// Port actually bound (resolves port 0).
+  int port() const { return port_; }
+
+  /// One event-loop turn: epoll dispatch (bounded by `max_wait_ms`),
+  /// engine pump, response fan-out, backpressure and deadline sweeps.
+  /// Returns false once a requested drain has fully completed — no
+  /// in-flight requests, every response flushed, every connection
+  /// closed. Tests drive this directly to interleave client I/O with
+  /// server turns in one thread.
+  bool PollOnce(int max_wait_ms);
+
+  /// Serves until drain completes. `drain_flag` (typically set by a
+  /// SIGTERM handler) is polled every turn; may be null.
+  int Run(const volatile sig_atomic_t* drain_flag);
+
+  /// Graceful drain: stop accepting, answer new requests with
+  /// SHUTTING_DOWN, finish and flush in-flight requests, then close.
+  void RequestDrain();
+
+  bool draining() const { return draining_; }
+  size_t connections() const { return conns_.size(); }
+  const NetServerStats& stats() const { return stats_; }
+
+ private:
+  struct Waiter {
+    int fd = -1;
+    uint64_t conn_id = 0;
+  };
+
+  void OnAcceptable();
+  void OnConnEvent(int fd, uint32_t events);
+  void ProcessFrames(Conn* conn);
+  void HandleRequest(Conn* conn, const std::string& payload);
+  void RespondImmediate(Conn* conn, FrameType type, std::string payload);
+  void DispatchFinished(std::vector<ServeEngine::Finished>& finished);
+  void FlushConn(Conn* conn);
+  void UpdateInterest(Conn* conn);
+  void SweepDeadlines(double now_ms);
+  void FailConn(Conn* conn, const char* code, const std::string& detail,
+                uint64_t* counter);
+  void CloseConn(Conn* conn);
+  void ReapClosed();
+  int ComputeWaitMs(int max_wait_ms) const;
+  static std::string CoalesceKey(const EvalRequest& request);
+
+  ServeEngine engine_;
+  NetServerOptions options_;
+  EventLoop loop_;
+  int listen_fd_ = -1;
+  int port_ = 0;
+  bool draining_ = false;
+  uint64_t next_conn_id_ = 1;
+  std::map<int, std::unique_ptr<Conn>> conns_;
+  std::map<uint64_t, std::vector<Waiter>> waiters_;       // ticket -> conns
+  std::map<std::string, uint64_t> coalesce_inflight_;     // key -> ticket
+  std::map<uint64_t, std::string> ticket_coalesce_key_;   // reverse index
+  NetServerStats stats_;
+};
+
+}  // namespace gqe
+
+#endif  // GQE_NET_SERVER_H_

@@ -76,8 +76,8 @@ bool PermanentExitCode(int code) {
 }
 
 struct Job {
-  const EvalRequest* request = nullptr;
-  size_t index = 0;
+  EvalRequest request;
+  uint64_t ticket = 0;
   bool done = false;
   bool running = false;
   bool degraded_phase = false;
@@ -91,89 +91,80 @@ struct Job {
 
 struct Inflight {
   WorkerProcess proc;
-  size_t job = 0;
+  uint64_t ticket = 0;
   double started_at = 0.0;
   double last_beat = 0.0;
   AttemptRecord record;
   std::string kill_cause;  // set when the supervisor decided the death
 };
 
-class Supervisor {
+}  // namespace
+
+/// The supervisor state machine, shared verbatim by the batch and
+/// network front ends. Jobs live in a ticket-ordered map so launches
+/// keep submission order (the old manifest order) while finished jobs
+/// can be erased as soon as they are harvested.
+class ServeEngine::Impl {
  public:
-  Supervisor(const Manifest& manifest, const ServeOptions& options)
-      : options_(options) {
-    jobs_.reserve(manifest.requests.size());
-    for (size_t i = 0; i < manifest.requests.size(); ++i) {
-      Job job;
-      job.request = &manifest.requests[i];
-      job.index = i;
-      job.row.manifest_index = i;
-      job.row.id = job.request->id;
-      job.row.kind = job.request->kind;
-      jobs_.push_back(std::move(job));
-    }
-    // Verification parses every distinct program up front, in manifest
-    // order, *before* the first fork: worker children then inherit an
-    // interner with identical ids, so the supervisor's replayed
-    // instances serialize to the same bytes as the workers' and the
-    // digest cross-checks below are exact.
-    if (options_.verify) {
-      for (const EvalRequest& request : manifest.requests) {
-        const std::string& path = request.program_path;
-        if (programs_.count(path) > 0) continue;
-        std::string text;
-        if (!ReadFileBytes(path, &text).ok()) continue;
-        ParseResult parsed = ParseProgram(text);
-        if (parsed.ok) programs_.emplace(path, std::move(parsed.program));
-      }
-    }
+  explicit Impl(const ServeOptions& options) : options_(options) {
+    SetUpWorkDir();
   }
 
-  ServeReport Run() {
-    SetUpWorkDir();
-    AdmitOrShed();
-    while (!AllDone()) {
-      const double now = clock_.ElapsedMs();
-      LaunchReady(now);
-      const bool progressed = PollInflight(now);
-      if (!progressed) {
-        std::this_thread::sleep_for(std::chrono::milliseconds(1));
-      }
-    }
-    ServeReport report;
-    for (Job& job : jobs_) {
-      job.row.total_ms = clock_.ElapsedMs();
-      switch (job.row.state) {
-        case TerminalState::kCompleted:
-          ++report.completed;
-          break;
-        case TerminalState::kDegraded:
-          ++report.degraded;
-          break;
-        case TerminalState::kFailed:
-          ++report.failed;
-          break;
-        case TerminalState::kShed:
-          ++report.shed;
-          break;
-      }
-      switch (job.row.verify_outcome) {
-        case VerifyOutcome::kVerified:
-          ++report.verified;
-          break;
-        case VerifyOutcome::kUnverified:
-          ++report.unverified;
-          break;
-        default:
-          break;
-      }
-      report.rows.push_back(std::move(job.row));
-    }
-    report.witness_rejections = witness_rejections_;
-    report.wall_ms = clock_.ElapsedMs();
+  ~Impl() {
+    // WorkerProcess dtors kill and reap any child still running — the
+    // engine never leaks a worker, even torn down mid-request.
+    inflight_.clear();
+    jobs_.clear();
     TearDownWorkDir();
-    return report;
   }
+
+  double NowMs() const { return clock_.ElapsedMs(); }
+
+  /// Parses and caches a program for witness re-checking. Parsing must
+  /// happen *before* the first fork touching the program: worker
+  /// children then inherit an interner with identical ids, so the
+  /// supervisor's replayed instances serialize to the same bytes as the
+  /// workers' and the digest cross-checks in CheckWitness are exact.
+  void PreloadProgram(const std::string& path) {
+    if (!options_.verify || programs_.count(path) > 0) return;
+    std::string text;
+    if (!ReadFileBytes(path, &text).ok()) return;
+    ParseResult parsed = ParseProgram(text);
+    if (parsed.ok) programs_.emplace(path, std::move(parsed.program));
+  }
+
+  uint64_t Submit(const EvalRequest& request) {
+    PreloadProgram(request.program_path);
+    const uint64_t ticket = next_ticket_++;
+    Job& job = jobs_[ticket];
+    job.request = request;
+    job.ticket = ticket;
+    job.row.manifest_index = static_cast<size_t>(ticket);
+    job.row.id = request.id;
+    job.row.kind = request.kind;
+    return ticket;
+  }
+
+  bool Pump(std::vector<Finished>* finished) {
+    const double now = clock_.ElapsedMs();
+    LaunchReady(now);
+    const bool progressed = PollInflight(now);
+    for (auto it = jobs_.begin(); it != jobs_.end();) {
+      if (!it->second.done) {
+        ++it;
+        continue;
+      }
+      it->second.row.total_ms = now;
+      finished->push_back(Finished{it->first, std::move(it->second.row)});
+      it = jobs_.erase(it);
+    }
+    return progressed;
+  }
+
+  bool Idle() const { return jobs_.empty(); }
+  size_t ActiveJobs() const { return jobs_.size(); }
+  size_t InflightWorkers() const { return inflight_.size(); }
+  size_t witness_rejections() const { return witness_rejections_; }
 
  private:
   void SetUpWorkDir() {
@@ -203,26 +194,6 @@ class Supervisor {
     }
   }
 
-  /// Admission control: the batch arrives at once; waiting requests past
-  /// queue_capacity are shed with a structured row, never silently
-  /// dropped and never allowed to grow the queue without bound.
-  void AdmitOrShed() {
-    if (options_.queue_capacity == 0) return;
-    for (Job& job : jobs_) {
-      if (job.index < options_.queue_capacity) continue;
-      job.done = true;
-      job.row.state = TerminalState::kShed;
-      job.row.failure_cause = "queue-full";
-    }
-  }
-
-  bool AllDone() const {
-    for (const Job& job : jobs_) {
-      if (!job.done) return false;
-    }
-    return true;
-  }
-
   int MaxConcurrency() const {
     return options_.concurrency > 0 ? options_.concurrency : 1;
   }
@@ -236,7 +207,7 @@ class Supervisor {
     FaultSpec fault;
     if (job.degraded_phase) return fault;
     const int upcoming = job.exact_attempts + 1;
-    const EvalRequest& request = *job.request;
+    const EvalRequest& request = job.request;
     if (request.fault.active() && request.fault.on_attempt == upcoming) {
       return request.fault;
     }
@@ -286,7 +257,7 @@ class Supervisor {
   }
 
   void LaunchReady(double now) {
-    for (Job& job : jobs_) {
+    for (auto& [ticket, job] : jobs_) {
       if (static_cast<int>(inflight_.size()) >= MaxConcurrency()) return;
       if (job.done || job.running || job.ready_at > now) continue;
       StartAttempt(job, now);
@@ -297,7 +268,7 @@ class Supervisor {
     ++job.attempt_number;
 
     WorkerInvocation invocation;
-    invocation.request = *job.request;
+    invocation.request = job.request;
     invocation.attempt = job.attempt_number;
     invocation.degraded = job.degraded_phase;
     invocation.degraded_fallback_level = options_.degraded_fallback_level;
@@ -305,10 +276,10 @@ class Supervisor {
     invocation.collect_witness = options_.verify;
     if (!work_dir_.empty()) {
       invocation.checkpoint_dir =
-          work_dir_ + "/" + SanitizeId(job.request->id);
+          work_dir_ + "/" + SanitizeId(job.request.id);
     }
     if (job.degraded_phase) {
-      invocation.request.budget = DegradedBudget(job.request->budget);
+      invocation.request.budget = DegradedBudget(job.request.budget);
     }
     bool chaos_injected = false;
     invocation.fault = ResolveFault(job, &chaos_injected);
@@ -323,7 +294,7 @@ class Supervisor {
     limits.address_space_bytes = invocation.request.address_space_mb << 20;
 
     Inflight flight;
-    flight.job = job.index;
+    flight.ticket = job.ticket;
     flight.started_at = now;
     flight.last_beat = now;
     flight.record.attempt = job.attempt_number;
@@ -341,7 +312,7 @@ class Supervisor {
         &flight.proc, &error);
     if (options_.verbose) {
       std::printf("serve: start id=%s attempt=%d%s%s\n",
-                  job.request->id.c_str(), job.attempt_number,
+                  job.request.id.c_str(), job.attempt_number,
                   job.degraded_phase ? " (degraded)" : "",
                   chaos_injected ? " (chaos)" : "");
     }
@@ -388,7 +359,7 @@ class Supervisor {
   }
 
   void HandleExit(Inflight& flight, double now) {
-    Job& job = jobs_[flight.job];
+    Job& job = jobs_.at(flight.ticket);
     job.running = false;
     flight.record.ms = now - flight.started_at;
 
@@ -407,7 +378,7 @@ class Supervisor {
         if (options_.verify) {
           std::string reason;
           const VerifyOutcome outcome =
-              CheckWitness(*job.request, decoded, &reason);
+              CheckWitness(job.request, decoded, &reason);
           if (outcome == VerifyOutcome::kRejected) {
             // The certificate failed a check: discard the result and walk
             // the normal retry/degradation ladder.
@@ -416,7 +387,7 @@ class Supervisor {
             ++witness_rejections_;
             if (options_.verbose) {
               std::printf("serve: reject id=%s attempt=%d witness: %s\n",
-                          job.request->id.c_str(), flight.record.attempt,
+                          job.request.id.c_str(), flight.record.attempt,
                           reason.c_str());
             }
           } else {
@@ -444,7 +415,7 @@ class Supervisor {
     job.row.attempts.push_back(flight.record);
     if (options_.verbose) {
       std::printf("serve: end id=%s attempt=%d cause=%s (%.1f ms)\n",
-                  job.request->id.c_str(), flight.record.attempt,
+                  job.request.id.c_str(), flight.record.attempt,
                   cause.c_str(), flight.record.ms);
     }
     FinishAttempt(job, cause, permanent, result, now);
@@ -505,7 +476,7 @@ class Supervisor {
     const double delay = BackoffDelayMs(
         phase_attempts, options_.backoff_base_ms, options_.backoff_cap_ms,
         options_.jitter_seed,
-        HashId(job.request->id) ^
+        HashId(job.request.id) ^
             (static_cast<uint64_t>(job.attempt_number) << 40));
     job.ready_at = now + delay;
     job.next_backoff_ms = delay;
@@ -651,8 +622,9 @@ class Supervisor {
     return VerifyOutcome::kVerified;
   }
 
-  const ServeOptions& options_;
-  std::vector<Job> jobs_;
+  const ServeOptions options_;
+  std::map<uint64_t, Job> jobs_;  // ticket order = submission order
+  uint64_t next_ticket_ = 1;
   std::vector<Inflight> inflight_;
   Stopwatch clock_;
   std::string work_dir_;
@@ -661,7 +633,36 @@ class Supervisor {
   size_t witness_rejections_ = 0;
 };
 
-}  // namespace
+ServeEngine::ServeEngine(const ServeOptions& options)
+    : impl_(std::make_unique<Impl>(options)) {}
+
+ServeEngine::~ServeEngine() = default;
+
+double ServeEngine::NowMs() const { return impl_->NowMs(); }
+
+void ServeEngine::PreloadProgram(const std::string& path) {
+  impl_->PreloadProgram(path);
+}
+
+uint64_t ServeEngine::Submit(const EvalRequest& request) {
+  return impl_->Submit(request);
+}
+
+bool ServeEngine::Pump(std::vector<Finished>* finished) {
+  return impl_->Pump(finished);
+}
+
+bool ServeEngine::Idle() const { return impl_->Idle(); }
+
+size_t ServeEngine::ActiveJobs() const { return impl_->ActiveJobs(); }
+
+size_t ServeEngine::InflightWorkers() const {
+  return impl_->InflightWorkers();
+}
+
+size_t ServeEngine::witness_rejections() const {
+  return impl_->witness_rejections();
+}
 
 const char* TerminalStateName(TerminalState state) {
   switch (state) {
@@ -719,39 +720,41 @@ bool ParseChaosSpec(std::string_view spec, ChaosConfig* config,
   return true;
 }
 
+void AppendResultLine(const RequestRow& row, std::string* out) {
+  char buffer[256];
+  *out += "result: id=" + row.id +
+          " kind=" + std::string(RequestKindName(row.kind)) +
+          " state=" + TerminalStateName(row.state);
+  if (row.state == TerminalState::kFailed ||
+      row.state == TerminalState::kShed) {
+    *out += " cause=" + row.failure_cause;
+  } else {
+    std::snprintf(buffer, sizeof(buffer),
+                  " status=%s exact=%s method=%s answers=%llu crc=%08x "
+                  "facts=%llu rounds=%llu",
+                  StatusName(row.result.status),
+                  row.result.exact ? "yes" : "no",
+                  row.result.method.c_str(),
+                  static_cast<unsigned long long>(row.result.answer_count),
+                  row.result.answer_crc,
+                  static_cast<unsigned long long>(row.result.facts),
+                  static_cast<unsigned long long>(
+                      row.result.rounds_completed));
+    *out += buffer;
+    // Fault-invariant by design: a resumed retry restores the witness
+    // log from the snapshot, so chaos and fault-free runs of the same
+    // manifest verify identically.
+    if (row.verify_outcome != VerifyOutcome::kNotChecked) {
+      *out += " verified=";
+      *out += row.verify_outcome == VerifyOutcome::kVerified ? "yes" : "no";
+    }
+  }
+  *out += '\n';
+}
+
 std::string ServeReport::DeterministicText() const {
   std::string out;
-  char buffer[256];
-  for (const RequestRow& row : rows) {
-    out += "result: id=" + row.id +
-           " kind=" + RequestKindName(row.kind) +
-           " state=" + TerminalStateName(row.state);
-    if (row.state == TerminalState::kFailed ||
-        row.state == TerminalState::kShed) {
-      out += " cause=" + row.failure_cause;
-    } else {
-      std::snprintf(buffer, sizeof(buffer),
-                    " status=%s exact=%s method=%s answers=%llu crc=%08x "
-                    "facts=%llu rounds=%llu",
-                    StatusName(row.result.status),
-                    row.result.exact ? "yes" : "no",
-                    row.result.method.c_str(),
-                    static_cast<unsigned long long>(row.result.answer_count),
-                    row.result.answer_crc,
-                    static_cast<unsigned long long>(row.result.facts),
-                    static_cast<unsigned long long>(
-                        row.result.rounds_completed));
-      out += buffer;
-      // Fault-invariant by design: a resumed retry restores the witness
-      // log from the snapshot, so chaos and fault-free runs of the same
-      // manifest verify identically.
-      if (row.verify_outcome != VerifyOutcome::kNotChecked) {
-        out += " verified=";
-        out += row.verify_outcome == VerifyOutcome::kVerified ? "yes" : "no";
-      }
-    }
-    out += '\n';
-  }
+  for (const RequestRow& row : rows) AppendResultLine(row, &out);
   return out;
 }
 
@@ -799,8 +802,81 @@ void ServeReport::PrintOps(const std::string& title) const {
 
 ServeReport ServeManifest(const Manifest& manifest,
                           const ServeOptions& options) {
-  Supervisor supervisor(manifest, options);
-  return supervisor.Run();
+  ServeEngine engine(options);
+  const size_t n = manifest.requests.size();
+  std::vector<RequestRow> rows(n);
+
+  // Verification parses every distinct program up front, in manifest
+  // order, before the first fork (see ServeEngine::PreloadProgram).
+  if (options.verify) {
+    for (const EvalRequest& request : manifest.requests) {
+      engine.PreloadProgram(request.program_path);
+    }
+  }
+
+  // Admission control: the batch arrives at once; waiting requests past
+  // queue_capacity are shed with a structured row, never silently
+  // dropped and never allowed to grow the queue without bound.
+  std::map<uint64_t, size_t> index_of;
+  for (size_t i = 0; i < n; ++i) {
+    const EvalRequest& request = manifest.requests[i];
+    if (options.queue_capacity > 0 && i >= options.queue_capacity) {
+      rows[i].id = request.id;
+      rows[i].kind = request.kind;
+      rows[i].state = TerminalState::kShed;
+      rows[i].failure_cause = "queue-full";
+      continue;
+    }
+    index_of[engine.Submit(request)] = i;
+  }
+
+  std::vector<ServeEngine::Finished> finished;
+  while (!engine.Idle()) {
+    finished.clear();
+    const bool progressed = engine.Pump(&finished);
+    for (ServeEngine::Finished& f : finished) {
+      rows[index_of.at(f.ticket)] = std::move(f.row);
+    }
+    if (!progressed) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+
+  ServeReport report;
+  const double wall_ms = engine.NowMs();
+  for (size_t i = 0; i < n; ++i) {
+    RequestRow& row = rows[i];
+    row.manifest_index = i;
+    row.total_ms = wall_ms;
+    switch (row.state) {
+      case TerminalState::kCompleted:
+        ++report.completed;
+        break;
+      case TerminalState::kDegraded:
+        ++report.degraded;
+        break;
+      case TerminalState::kFailed:
+        ++report.failed;
+        break;
+      case TerminalState::kShed:
+        ++report.shed;
+        break;
+    }
+    switch (row.verify_outcome) {
+      case VerifyOutcome::kVerified:
+        ++report.verified;
+        break;
+      case VerifyOutcome::kUnverified:
+        ++report.unverified;
+        break;
+      default:
+        break;
+    }
+    report.rows.push_back(std::move(row));
+  }
+  report.witness_rejections = engine.witness_rejections();
+  report.wall_ms = engine.NowMs();
+  return report;
 }
 
 }  // namespace gqe

@@ -2,6 +2,7 @@
 #define GQE_SERVE_SERVICE_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -175,6 +176,74 @@ struct ServeReport {
   /// retry waits) via ReportTable — the part that legitimately differs
   /// under chaos.
   void PrintOps(const std::string& title) const;
+};
+
+/// Formats one request's deterministic "result:" line (trailing newline
+/// included). Both ServeReport::DeterministicText and the network result
+/// frames are built from exactly this function, which is what makes a
+/// TCP-served answer byte-comparable against the file-manifest path.
+void AppendResultLine(const RequestRow& row, std::string* out);
+
+/// The retry/degradation supervisor behind both serving front ends,
+/// exposed as an incremental engine: callers submit requests one at a
+/// time and pump the scheduler from their own loop. ServeManifest drives
+/// it to completion over a batch; the network server (net/server.h)
+/// pumps it from the epoll loop as request frames arrive.
+///
+/// Single-threaded by contract: workers are forked without exec, which
+/// is only safe while the process has one thread (see base/subprocess.h).
+/// All methods must be called from the same thread.
+class ServeEngine {
+ public:
+  explicit ServeEngine(const ServeOptions& options);
+  ~ServeEngine();
+
+  ServeEngine(const ServeEngine&) = delete;
+  ServeEngine& operator=(const ServeEngine&) = delete;
+
+  /// Milliseconds since the engine was built (the scheduler clock every
+  /// deadline below is measured against).
+  double NowMs() const;
+
+  /// Parses and caches `path` for witness re-checking (verify mode).
+  /// Parsing must precede the first worker fork touching the program so
+  /// children inherit an identical interner; Submit calls this itself,
+  /// so explicit preloading is only an ordering optimization for batch
+  /// callers.
+  void PreloadProgram(const std::string& path);
+
+  /// Accepts a request (copied) and returns its ticket. No admission
+  /// control happens here — front ends shed *before* submitting, each
+  /// with its own policy (batch: queue_capacity index cut; network:
+  /// structured OVERLOADED frames).
+  uint64_t Submit(const EvalRequest& request);
+
+  struct Finished {
+    uint64_t ticket = 0;
+    RequestRow row;
+  };
+
+  /// One scheduler step: launches ready attempts (respecting
+  /// concurrency and backoff), polls in-flight workers, classifies
+  /// exits, and appends every request that reached a terminal state to
+  /// `finished`. Returns true when a worker made observable progress —
+  /// callers sleep (or epoll-wait) briefly when it returns false.
+  bool Pump(std::vector<Finished>* finished);
+
+  /// True when no submitted request is waiting or running.
+  bool Idle() const;
+
+  /// Requests submitted but not yet harvested through Pump.
+  size_t ActiveJobs() const;
+
+  /// Worker processes currently alive.
+  size_t InflightWorkers() const;
+
+  size_t witness_rejections() const;
+
+ private:
+  class Impl;
+  std::unique_ptr<Impl> impl_;
 };
 
 /// Runs every manifest request to a terminal state in fork-isolated

@@ -287,6 +287,8 @@ const char* WorkerExitCodeName(int code) {
       return "oom";
     case kWorkerExitResultWriteError:
       return "result-write-error";
+    case kWorkerExitSupervisorGone:
+      return "supervisor-gone";
   }
   return "exit";
 }
@@ -378,9 +380,15 @@ int RunWorkerInProcess(const WorkerInvocation& invocation, int result_fd,
     ApplyPostEvalFault(invocation.fault, governor.status());
     if (code != kWorkerExitOk) return code;
 
-    if (result_fd >= 0 &&
-        !WriteAllToFd(result_fd, EncodeWorkerResult(result))) {
-      return kWorkerExitResultWriteError;
+    if (result_fd >= 0) {
+      int write_errno = 0;
+      if (!WriteAllToFd(result_fd, EncodeWorkerResult(result),
+                        &write_errno)) {
+        // SIGPIPE is ignored in the worker (subprocess.cc child setup),
+        // so a dead supervisor lands here as EPIPE, not a signal death.
+        return IsPeerGoneErrno(write_errno) ? kWorkerExitSupervisorGone
+                                            : kWorkerExitResultWriteError;
+      }
     }
     return kWorkerExitOk;
   } catch (const std::bad_alloc&) {

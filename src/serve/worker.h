@@ -20,8 +20,12 @@ constexpr int kWorkerExitBadRequest = 11;
 /// An allocation failed (rlimit-AS or genuine memory pressure) — retried,
 /// and eligible for the degradation ladder (a smaller budget may fit).
 constexpr int kWorkerExitOom = 12;
-/// The result blob could not be written back (supervisor gone?).
+/// The result blob could not be written back (I/O failure on the pipe).
 constexpr int kWorkerExitResultWriteError = 13;
+/// The result pipe's reader vanished (EPIPE/ECONNRESET): the supervisor
+/// died or abandoned this attempt. Distinct from a write failure so the
+/// loss is attributed to the right side of the pipe.
+constexpr int kWorkerExitSupervisorGone = 14;
 
 const char* WorkerExitCodeName(int code);
 

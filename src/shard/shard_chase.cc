@@ -19,6 +19,9 @@ namespace {
 /// so operators see one code for kernel-rlimit OOM deaths everywhere.
 constexpr int kShardExitOk = 0;
 constexpr int kShardExitWriteError = 3;
+/// The exchange pipe's reader vanished (EPIPE) — the coordinator died or
+/// abandoned the round; mirrors serve/worker.h's supervisor-gone code.
+constexpr int kShardExitPeerGone = 4;
 constexpr int kShardExitOom = 12;
 
 /// Injected-OOM geometry (the serve chaos idiom): cap the address space
@@ -115,7 +118,11 @@ int ShardWorkerBody(const ChaseDiscoveryRound& round, uint32_t shard,
   exchange.instance_size = round.instance->size();
   ComputeShardSlice(round, shard, num_shards, &exchange);
   const std::string bytes = EncodeShardExchange(exchange);
-  if (!WriteAllToFd(result_fd, bytes)) return kShardExitWriteError;
+  int write_errno = 0;
+  if (!WriteAllToFd(result_fd, bytes, &write_errno)) {
+    return IsPeerGoneErrno(write_errno) ? kShardExitPeerGone
+                                        : kShardExitWriteError;
+  }
   return kShardExitOk;
 }
 
@@ -135,6 +142,7 @@ std::string DeathCause(const WorkerExit& exit) {
   if (exit.exited) {
     if (exit.exit_code == kShardExitOom) return "oom";
     if (exit.exit_code == kShardExitWriteError) return "write-failed";
+    if (exit.exit_code == kShardExitPeerGone) return "coordinator-gone";
     return "exit-" + std::to_string(exit.exit_code);
   }
   return "reaped-unknown";

@@ -14,6 +14,12 @@
 // The table reports throughput and p50/p95/p99 latency per connection
 // count; --json=BENCH_serve.json writes the machine-readable record the
 // bench-json CI job uploads per PR.
+//
+// The durability tier is measured twice: the same network workload with
+// the write-ahead journal off / on / on-with-per-record-fsync (what
+// durability costs on the hot path), and RequestJournal::Open over
+// journals of growing size (what a restart pays before serving its
+// first byte).
 
 #include <benchmark/benchmark.h>
 #include <unistd.h>
@@ -28,6 +34,7 @@
 #include "base/subprocess.h"
 #include "net/client.h"
 #include "net/server.h"
+#include "serve/journal.h"
 #include "serve/request.h"
 #include "serve/service.h"
 #include "workload/report.h"
@@ -139,10 +146,14 @@ struct NetRunResult {
 /// tier itself (framing, epoll, supervisor, fork round-trips) without
 /// cross-thread scheduling noise.
 NetRunResult RunNetWorkload(int n_conns, int per_conn,
-                            const std::string& program) {
+                            const std::string& program,
+                            const std::string& journal_dir = {},
+                            bool journal_fsync = true) {
   NetRunResult out;
   gqe::ServeOptions serve_options;
   serve_options.concurrency = 8;
+  serve_options.journal_dir = journal_dir;
+  serve_options.journal_fsync = journal_fsync;
   gqe::NetServerOptions net_options;
   net_options.max_connections = static_cast<size_t>(n_conns) + 8;
   net_options.coalesce = false;  // measure real per-request work
@@ -235,6 +246,125 @@ void PrintNetScaling() {
       "serve/net: concurrent-connection scaling (pipelined cq requests)");
 }
 
+// ---------------------------------------------------------------------------
+// Durability tier: what the write-ahead journal costs on the hot path,
+// and how fast a restart replays it.
+
+struct JournalMode {
+  const char* key;
+  bool journaled;
+  bool fsync;
+};
+constexpr JournalMode kJournalModes[] = {
+    {"off", false, false},
+    {"nofsync", true, false},
+    {"fsync", true, true},
+};
+constexpr int kJournalConns = 4;
+
+std::string FreshJournalDir() {
+  const std::string dir =
+      std::filesystem::temp_directory_path() / "gqe_bench_serve_journal";
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+/// The c4 network workload with the journal off / on-without-fsync /
+/// on-with-fsync. Every journaled run gets a fresh directory: replaying a
+/// previous run's journal would serve cache hits and measure nothing.
+NetRunResult RunJournalMode(const JournalMode& mode,
+                            const std::string& program) {
+  const std::string dir = mode.journaled ? FreshJournalDir() : std::string();
+  NetRunResult r =
+      RunNetWorkload(kJournalConns, kNetPerConn, program, dir, mode.fsync);
+  if (!dir.empty()) std::filesystem::remove_all(dir);
+  return r;
+}
+
+void PrintJournalOverhead() {
+  const std::string program = WriteTempProgram();
+  gqe::ReportTable table(
+      {"journal", "requests", "wall ms", "req/s", "p50 ms", "p95 ms"});
+  for (const JournalMode& mode : kJournalModes) {
+    const NetRunResult r = RunJournalMode(mode, program);
+    if (!r.ok) {
+      std::fprintf(stderr, "bench_serve: journal workload failed (%s)\n",
+                   mode.key);
+      continue;
+    }
+    // Raw string cell: Cell(const char*) would resolve to the bool
+    // overload and print "yes".
+    table.AddRow({std::string(mode.key),
+                  gqe::ReportTable::Cell(r.completed),
+                  gqe::ReportTable::Cell(r.wall_ms),
+                  gqe::ReportTable::Cell(1000.0 * r.completed / r.wall_ms),
+                  gqe::ReportTable::Cell(r.p50_ms),
+                  gqe::ReportTable::Cell(r.p95_ms)});
+  }
+  table.Print("serve/journal: write-ahead journal overhead (c4 workload)");
+}
+
+/// Builds a journal of `entries` completed requests with realistic
+/// record sizes, then times RequestJournal::Open — segment reads, CRC
+/// checks and the per-id fold — which is exactly what a restarted daemon
+/// pays before it can serve its first byte. Returns -1 on failure;
+/// `bytes_out` receives the on-disk journal size.
+double MeasureRecoveryMs(size_t entries, size_t* bytes_out) {
+  const std::string dir = FreshJournalDir();
+  gqe::JournalOptions options;
+  options.fsync_each_record = false;
+  const std::string result_tail =
+      " kind=cq state=completed answer=yes certain=yes facts=4096 ms=12.5\n";
+  const std::string worker_blob(256, 'w');
+  {
+    gqe::RequestJournal journal;
+    if (!journal.Open(dir, options, nullptr).ok()) return -1.0;
+    for (size_t i = 0; i < entries; ++i) {
+      const std::string id = "req-" + std::to_string(i);
+      journal.AppendAdmitted(
+          id, "id=" + id + " kind=cq program=chain.gqe query=q");
+      journal.AppendResult(id, gqe::TerminalState::kCompleted,
+                           "result: id=" + id + result_tail, worker_blob);
+    }
+    if (!journal.Sync().ok()) return -1.0;
+  }
+  if (bytes_out != nullptr) {
+    *bytes_out = 0;
+    for (const auto& e : std::filesystem::directory_iterator(dir)) {
+      *bytes_out += std::filesystem::file_size(e.path());
+    }
+  }
+  gqe::Stopwatch watch;
+  gqe::RequestJournal journal;
+  gqe::JournalRecovery recovery;
+  const bool ok = journal.Open(dir, options, &recovery).ok() &&
+                  recovery.entries.size() == entries;
+  const double ms = watch.ElapsedMs();
+  std::filesystem::remove_all(dir);
+  return ok ? ms : -1.0;
+}
+
+constexpr size_t kRecoverySizes[] = {1000, 10000, 100000};
+
+void PrintRecoveryLatency() {
+  gqe::ReportTable table(
+      {"entries", "journal MB", "recover ms", "entries/s"});
+  for (size_t entries : kRecoverySizes) {
+    size_t bytes = 0;
+    const double ms = MeasureRecoveryMs(entries, &bytes);
+    if (ms < 0) {
+      std::fprintf(stderr, "bench_serve: recovery bench failed (%zu)\n",
+                   entries);
+      continue;
+    }
+    table.AddRow({gqe::ReportTable::Cell(entries),
+                  gqe::ReportTable::Cell(bytes / (1024.0 * 1024.0)),
+                  gqe::ReportTable::Cell(ms),
+                  gqe::ReportTable::Cell(1000.0 * entries / ms)});
+  }
+  table.Print("serve/journal: restart recovery latency vs journal size");
+}
+
 /// Machine-readable quick tier (--json): the network matrix plus the
 /// fork round-trip tax, written as BENCH_serve.json. Keys are stable
 /// across PRs; per-connection-count entries carry throughput as the
@@ -278,6 +408,32 @@ int RunJsonBench() {
     json.Add(key + "/p95", r.p95_ms * 1e6);
     json.Add(key + "/p99", r.p99_ms * 1e6);
   }
+
+  for (const JournalMode& mode : kJournalModes) {
+    const NetRunResult r = RunJournalMode(mode, program);
+    if (!r.ok) {
+      std::fprintf(stderr, "bench_serve: journal workload failed (%s)\n",
+                   mode.key);
+      return 1;
+    }
+    const std::string key = std::string("serve_journal/") + mode.key;
+    json.Add(key, r.wall_ms * 1e6 / r.completed,
+             1000.0 * r.completed / r.wall_ms);
+    json.Add(key + "/p95", r.p95_ms * 1e6);
+  }
+
+  for (size_t entries : kRecoverySizes) {
+    size_t bytes = 0;
+    const double ms = MeasureRecoveryMs(entries, &bytes);
+    if (ms < 0) {
+      std::fprintf(stderr, "bench_serve: recovery bench failed (%zu)\n",
+                   entries);
+      return 1;
+    }
+    const std::string key =
+        "serve_journal_recovery/n" + std::to_string(entries);
+    json.Add(key, ms * 1e6, 1000.0 * entries / ms);
+  }
   const std::string path = json.Write();
   if (!path.empty()) std::printf("wrote %s\n", path.c_str());
   return 0;
@@ -291,5 +447,7 @@ int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   PrintNetScaling();
+  PrintJournalOverhead();
+  PrintRecoveryLatency();
   return 0;
 }

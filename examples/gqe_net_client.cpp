@@ -24,6 +24,7 @@
 // All randomness (bit positions, truncation points) derives from
 // --seed via splitmix64, so every chaos run is reproducible.
 
+#include <time.h>
 #include <unistd.h>
 
 #include <cstdio>
@@ -59,6 +60,10 @@ struct Options {
   int timeout_ms = 15000;
   uint64_t seed = 1;
   int count = 0;  // fault repetitions / flood size (0 = fault default)
+  // Ride out daemon restarts: on a lost connection, reconnect with
+  // backoff and resend every still-unanswered request, for up to this
+  // much wall clock. 0 = off (any socket failure is fatal, as before).
+  int retry_deadline_ms = 0;
 };
 
 int Usage(const char* argv0) {
@@ -72,6 +77,9 @@ int Usage(const char* argv0) {
       "  --bytes-per-write N   chunk every send into N-byte writes\n"
       "  --write-delay-us N    sleep between chunked writes\n"
       "  --timeout-ms N        per-receive deadline (default 15000)\n"
+      "  --retry-deadline-ms N reconnect with backoff and resend unanswered\n"
+      "                        requests on connection loss, for up to N ms\n"
+      "                        (rides out a daemon crash + restart; 0 = off)\n"
       "  --fault NAME          run one chaos fault instead of requests\n"
       "  --count N             fault repetitions / flood size\n"
       "  --seed N              chaos PRNG seed (default 1)\n",
@@ -86,6 +94,98 @@ bool SendBytes(NetClient* client, const Options& options,
                                   options.write_delay_us);
   }
   return client->SendRaw(bytes);
+}
+
+double NowMs() {
+  struct timespec ts = {};
+  ::clock_gettime(CLOCK_MONOTONIC, &ts);
+  return ts.tv_sec * 1000.0 + ts.tv_nsec / 1e6;
+}
+
+/// Retry mode (--retry-deadline-ms): drain each connection's share of
+/// the requests sequentially, and treat a lost connection as a daemon
+/// restart in progress — reconnect with backoff and resend every
+/// request that has not been answered yet, in the original order. The
+/// request ids make the resends idempotent: a journaled daemon replays
+/// completed results byte-identically and reattaches to in-flight ones,
+/// so the final stdout matches an uninterrupted run exactly.
+int RunRequestsWithRetry(const Options& options) {
+  const size_t n_conns =
+      options.connections < 1 ? 1 : static_cast<size_t>(options.connections);
+  std::vector<std::vector<size_t>> conn_order(n_conns);
+  for (size_t i = 0; i < options.requests.size(); ++i) {
+    conn_order[i % n_conns].push_back(i);
+  }
+  // Connections drain sequentially and each one answers FIFO, so slot
+  // order IS output order: every response can stream to stdout the
+  // moment it arrives (the crash smoke watches this to time its kill)
+  // without changing the final bytes.
+  bool failed = false;
+  const double start_ms = NowMs();
+  std::string error;
+  for (size_t c = 0; c < n_conns; ++c) {
+    const std::vector<size_t>& slots = conn_order[c];
+    NetClient client;
+    size_t answered = 0;
+    bool connected = false;
+    while (answered < slots.size()) {
+      if (!connected) {
+        const int remaining = options.retry_deadline_ms -
+                              static_cast<int>(NowMs() - start_ms);
+        if (remaining <= 0) {
+          std::fprintf(stderr, "gqe_net_client: retry deadline exceeded\n");
+          return kExitHang;
+        }
+        if (!client.ConnectWithRetry(options.host, options.port, remaining,
+                                     &error, options.seed + c)) {
+          std::fprintf(stderr, "gqe_net_client: connect: %s\n", error.c_str());
+          return kExitHang;
+        }
+        // Resend the unanswered tail, FIFO. No ShutdownWrite: the server
+        // answers per frame and this fd may need resends later.
+        bool sent = true;
+        for (size_t k = answered; k < slots.size() && sent; ++k) {
+          sent = SendBytes(&client, options,
+                           gqe::EncodeFrame(FrameType::kRequest,
+                                            options.requests[slots[k]]));
+        }
+        if (!sent) {  // raced another crash; back off and reconnect
+          client.Close();
+          continue;
+        }
+        connected = true;
+      }
+      Frame frame;
+      switch (client.RecvFrame(&frame, options.timeout_ms, &error)) {
+        case NetClient::RecvResult::kFrame:
+          break;
+        case NetClient::RecvResult::kTimeout:
+          std::fprintf(stderr, "gqe_net_client: timed out (request %zu)\n",
+                       slots[answered]);
+          return kExitHang;
+        default:
+          // Close, reset or mid-frame EOF: the daemon died under us.
+          client.Close();
+          connected = false;
+          continue;
+      }
+      if (frame.type == FrameType::kResult) {
+        std::fputs(frame.payload.c_str(), stdout);
+      } else if (frame.type == FrameType::kError) {
+        std::string code, detail;
+        gqe::SplitErrorPayload(frame.payload, &code, &detail);
+        std::fprintf(stdout, "error: %s %s\n", code.c_str(), detail.c_str());
+        failed = true;
+      } else {
+        std::fprintf(stderr, "gqe_net_client: unexpected %s frame\n",
+                     gqe::FrameTypeName(frame.type));
+        return kExitUnexpected;
+      }
+      std::fflush(stdout);
+      ++answered;
+    }
+  }
+  return failed ? kExitUnexpected : kExitOk;
 }
 
 /// Normal mode: pipeline requests over N connections, then collect each
@@ -441,6 +541,8 @@ int main(int argc, char** argv) {
       options.fault = v;
     } else if (arg == "--count" && (v = value())) {
       options.count = std::atoi(v);
+    } else if (arg == "--retry-deadline-ms" && (v = value())) {
+      options.retry_deadline_ms = std::atoi(v);
     } else if (arg == "--seed" && (v = value())) {
       options.seed = static_cast<uint64_t>(std::atoll(v));
     } else {
@@ -453,5 +555,6 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "gqe_net_client: no requests\n");
     return Usage(argv[0]);
   }
+  if (options.retry_deadline_ms > 0) return RunRequestsWithRetry(options);
   return RunRequests(options);
 }

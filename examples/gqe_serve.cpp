@@ -57,6 +57,15 @@ int Usage(const char* argv0) {
       "  --verify                  certified answers: workers attach witnesses,\n"
       "                            the supervisor independently re-checks each\n"
       "                            one before emitting the result line\n"
+      "  --journal-dir PATH        durable serving: write-ahead journal of\n"
+      "                            admitted/attempted/completed requests; a\n"
+      "                            restarted daemon replays completed results\n"
+      "                            byte-identically and resumes in-flight work\n"
+      "  --no-journal-fsync        journal with write() only (survives kill -9\n"
+      "                            but not power loss); removes the per-record\n"
+      "                            fsync from the admission path\n"
+      "  --journal-segment-bytes N rotate journal segments at N bytes\n"
+      "                            (default 4194304)\n"
       "  --quiet-ops               print only the deterministic result lines\n"
       "  --verbose                 per-attempt progress lines\n"
       "network mode (--listen):\n"
@@ -190,6 +199,14 @@ int main(int argc, char** argv) {
       options.enable_degraded_ladder = false;
     } else if (std::strcmp(arg, "--verify") == 0) {
       options.verify = true;
+    } else if (FlagMatches(arg, "--journal-dir") &&
+               NextValue(argc, argv, &i, &value)) {
+      options.journal_dir = value;
+    } else if (std::strcmp(arg, "--no-journal-fsync") == 0) {
+      options.journal_fsync = false;
+    } else if (FlagMatches(arg, "--journal-segment-bytes") &&
+               NextValue(argc, argv, &i, &value)) {
+      options.journal_segment_bytes = static_cast<size_t>(std::atoll(value));
     } else if (std::strcmp(arg, "--quiet-ops") == 0) {
       quiet_ops = true;
     } else if (std::strcmp(arg, "--verbose") == 0) {

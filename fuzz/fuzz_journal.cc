@@ -1,0 +1,140 @@
+// libFuzzer harness for the write-ahead journal codec (serve/journal.h).
+// Two properties under arbitrary byte streams:
+//
+//  1. Segment decoding never crashes and never lies about its valid
+//     prefix: DecodeJournalSegment(bytes) returns a length `kept` such
+//     that re-decoding bytes[0,kept) consumes it completely, without
+//     error, into the same records — what recovery keeps is stable, not
+//     an artifact of where the damage happened to sit. (Byte-identity of
+//     a re-encoding is deliberately NOT claimed here: the envelope
+//     version field accepts older versions and re-encodes as the current
+//     one.) Folding the decoded records (ApplyJournalRecords) is total:
+//     any record sequence, orphans and duplicates included, folds
+//     without crashing.
+//
+//  2. Round-trip fidelity: records built from fuzzer-chosen field bytes
+//     encode and decode back identically, and truncating the encoded
+//     stream at a fuzzer-chosen cut yields exactly the whole records
+//     before the cut (the every-byte-boundary torn-tail property the
+//     unit tests check exhaustively, here under arbitrary field data).
+//
+// Build (clang required for the fuzzer runtime):
+//   cmake -B build-fuzz -S . -DGQE_FUZZ=ON -DCMAKE_CXX_COMPILER=clang++
+//   cmake --build build-fuzz -j
+//   ./build-fuzz/fuzz/fuzz_journal -max_total_time=30 fuzz/corpus-journal
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "serve/journal.h"
+
+namespace {
+
+std::string Reencode(const std::vector<gqe::JournalRecord>& records) {
+  std::string bytes;
+  for (const gqe::JournalRecord& r : records) {
+    bytes += gqe::EncodeJournalRecord(r);
+  }
+  return bytes;
+}
+
+bool Equal(const gqe::JournalRecord& a, const gqe::JournalRecord& b) {
+  return a.type == b.type && a.id == b.id &&
+         a.request_line == b.request_line && a.attempt == b.attempt &&
+         a.degraded == b.degraded && a.cause == b.cause &&
+         a.state == b.state && a.result_line == b.result_line &&
+         a.worker_result == b.worker_result;
+}
+
+bool Equal(const std::vector<gqe::JournalRecord>& a,
+           const std::vector<gqe::JournalRecord>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (!Equal(a[i], b[i])) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  if (size < 4) return 0;
+  const uint8_t knob0 = data[0];
+  const uint8_t knob1 = data[1];
+  const std::string_view bytes(reinterpret_cast<const char*>(data + 2),
+                               size - 2);
+
+  // Property 1: arbitrary bytes. The kept prefix must re-encode
+  // bit-identically, and errors must be named whenever bytes remain.
+  {
+    std::vector<gqe::JournalRecord> records;
+    std::string error;
+    const size_t kept = gqe::DecodeJournalSegment(bytes, &records, &error);
+    if (kept > bytes.size()) __builtin_trap();
+    if (kept < bytes.size() && error.empty()) __builtin_trap();
+
+    std::vector<gqe::JournalRecord> again;
+    std::string error2;
+    if (gqe::DecodeJournalSegment(bytes.substr(0, kept), &again, &error2) !=
+        kept) {
+      __builtin_trap();  // the kept prefix must re-decode completely
+    }
+    if (!error2.empty() || !Equal(again, records)) __builtin_trap();
+
+    gqe::JournalRecovery recovery;
+    gqe::ApplyJournalRecords(records, &recovery);
+    if (recovery.entries.size() > records.size()) __builtin_trap();
+  }
+
+  // Property 2: fuzzer-built records round-trip whole, and a truncated
+  // stream keeps exactly the records whose bytes arrived in full.
+  {
+    gqe::JournalRecord admitted;
+    admitted.type = gqe::JournalRecordType::kAdmitted;
+    admitted.id = std::string(bytes.substr(0, bytes.size() / 3));
+    admitted.request_line = std::string(bytes.substr(bytes.size() / 3));
+
+    gqe::JournalRecord attempt;
+    attempt.type = gqe::JournalRecordType::kAttempt;
+    attempt.id = admitted.id;
+    attempt.attempt = knob0;
+    attempt.degraded = (knob1 & 1) != 0;
+    attempt.cause = admitted.id;
+
+    gqe::JournalRecord result;
+    result.type = gqe::JournalRecordType::kResult;
+    result.id = admitted.id;
+    result.state = static_cast<gqe::TerminalState>(knob1 % 4);
+    result.result_line = admitted.request_line;
+    result.worker_result = std::string(bytes);
+
+    const std::vector<gqe::JournalRecord> in = {admitted, attempt, result};
+    const std::string stream = Reencode(in);
+
+    std::vector<gqe::JournalRecord> out;
+    std::string error;
+    if (gqe::DecodeJournalSegment(stream, &out, &error) != stream.size()) {
+      __builtin_trap();  // a clean stream must decode completely
+    }
+    if (!error.empty() || out.size() != in.size()) __builtin_trap();
+    if (Reencode(out) != stream) __builtin_trap();
+    if (out[2].result_line != result.result_line ||
+        out[2].worker_result != result.worker_result ||
+        out[1].attempt != attempt.attempt) {
+      __builtin_trap();
+    }
+
+    const size_t cut =
+        (static_cast<size_t>(knob0) << 8 | knob1) % (stream.size() + 1);
+    std::vector<gqe::JournalRecord> torn;
+    const size_t kept = gqe::DecodeJournalSegment(
+        std::string_view(stream).substr(0, cut), &torn, &error);
+    if (kept > cut) __builtin_trap();
+    if (Reencode(torn) != stream.substr(0, kept)) __builtin_trap();
+    if (kept != cut && error.empty()) __builtin_trap();
+  }
+  return 0;
+}

@@ -1,0 +1,160 @@
+#!/usr/bin/env bash
+# Durable-serving crash smoke: prove the write-ahead journal's whole
+# contract end to end with a real daemon, real sockets and a real
+# `kill -9`:
+#
+#   1. Baseline: a batch run of an amplified manifest (every request
+#      repeated under distinct ids) records the golden result lines.
+#   2. Crash: the daemon starts with --journal-dir, four concurrent
+#      clients stream the requests at it, and the daemon is SIGKILLed
+#      mid-flight — no flush, no goodbye.
+#   3. Recovery: the daemon restarts on the SAME port and journal. The
+#      clients (--retry-deadline-ms) reconnect with backoff and resend
+#      their unanswered requests. Every client must exit 0 and every
+#      result line must be byte-identical to the golden batch run —
+#      completed-before-crash requests replay from the journal, in-flight
+#      ones resume from their checkpoints.
+#   4. Idempotent replay: resending the ENTIRE request set yields the
+#      same bytes again, served from the journal cache (the drained
+#      stats line must show journal_hits > 0).
+#   5. Graceful drain: SIGTERM flushes the journal and exits 0.
+#
+# Usage: scripts/serve_crash_smoke.sh <gqe_serve> <gqe_net_client> [manifest]
+set -u
+
+SERVE="${1:?usage: $0 <gqe_serve> <gqe_net_client> [manifest]}"
+CLIENT="${2:?usage: $0 <gqe_serve> <gqe_net_client> [manifest]}"
+MANIFEST="${3:-examples/serve/manifest.txt}"
+REPS=8
+CONNS=4
+WORK="$(mktemp -d)"
+SERVER_PID=""
+cleanup() {
+  [ -n "$SERVER_PID" ] && kill -9 "$SERVER_PID" 2>/dev/null
+  rm -rf "$WORK"
+}
+trap cleanup EXIT INT TERM HUP
+
+PROGRAM_ROOT="$(cd "$(dirname "$MANIFEST")" && pwd)"
+JOURNAL="$WORK/journal"
+
+# Amplify the manifest: REPS copies of every request under distinct ids
+# (absolute program paths, so the same file drives both the batch
+# baseline and the socket clients). More requests = a longer window for
+# the kill to land mid-flight.
+grep -v '^[#%]' "$MANIFEST" | grep -v '^[[:space:]]*$' \
+  | sed "s| program=| program=$PROGRAM_ROOT/|" > "$WORK/base.txt"
+: > "$WORK/requests.txt"
+for rep in $(seq 1 "$REPS"); do
+  sed "s|^id=\([^ ]*\)|id=\1-r$rep|" "$WORK/base.txt" >> "$WORK/requests.txt"
+done
+
+start_server() {
+  # $1: port (0 = ephemeral). Writes the bound port into $PORT.
+  local port="$1"; shift
+  rm -f "$WORK/port"
+  "$SERVE" --listen "$port" --port-file "$WORK/port" \
+    --program-root "$PROGRAM_ROOT" --journal-dir "$JOURNAL" \
+    --heartbeat-timeout-ms 400 --backoff-base-ms 5 "$@" \
+    >>"$WORK/server.out" 2>>"$WORK/server.err" &
+  SERVER_PID=$!
+  for _ in $(seq 1 100); do
+    [ -s "$WORK/port" ] && break
+    if ! kill -0 "$SERVER_PID" 2>/dev/null; then
+      echo "FAIL: server died on startup"; cat "$WORK/server.err"; exit 1
+    fi
+    sleep 0.1
+  done
+  PORT="$(cat "$WORK/port")"
+  [ -n "$PORT" ] || { echo "FAIL: no port file"; exit 1; }
+}
+
+echo "== baseline: batch run of the amplified manifest =="
+if ! "$SERVE" "$WORK/requests.txt" --quiet-ops --heartbeat-timeout-ms 400 \
+    --backoff-base-ms 5 >"$WORK/batch.out" 2>"$WORK/batch.err"; then
+  echo "FAIL: batch serve run failed"; cat "$WORK/batch.err"; exit 1
+fi
+grep '^result:' "$WORK/batch.out" > "$WORK/batch.results"
+TOTAL=$(wc -l < "$WORK/batch.results")
+[ "$TOTAL" -gt 0 ] || { echo "FAIL: batch run had no results"; exit 1; }
+echo "golden: $TOTAL result lines"
+
+# Round-robin the requests over the clients, and slice the golden
+# results the same way: client c's expected output is exactly its slice.
+for c in $(seq 0 $((CONNS - 1))); do
+  awk -v c="$c" -v n="$CONNS" 'NR % n == (c + 1) % n' \
+    "$WORK/requests.txt" > "$WORK/slice$c.txt"
+  awk -v c="$c" -v n="$CONNS" 'NR % n == (c + 1) % n' \
+    "$WORK/batch.results" > "$WORK/expect$c.results"
+done
+
+echo "== crash: kill -9 mid-flight under $CONNS concurrent clients =="
+# --concurrency 1 stretches the serving window so the kill lands with
+# requests genuinely in flight, not after the fact.
+start_server 0 --concurrency 1
+CLIENT_PIDS=""
+for c in $(seq 0 $((CONNS - 1))); do
+  "$CLIENT" --port "$PORT" --requests-file "$WORK/slice$c.txt" \
+    --retry-deadline-ms 60000 --timeout-ms 60000 --seed $((c + 1)) \
+    > "$WORK/got$c.results" 2>"$WORK/client$c.err" &
+  CLIENT_PIDS="$CLIENT_PIDS $!"
+done
+# Kill the instant the run is provably mid-flight: at least one result
+# delivered, and at least a quarter of them still owed.
+GOT=0
+for _ in $(seq 1 500); do
+  GOT=$(cat "$WORK"/got*.results 2>/dev/null | wc -l)
+  [ "$GOT" -ge 1 ] && [ "$GOT" -le $((TOTAL * 3 / 4)) ] && break
+  sleep 0.01
+done
+kill -9 "$SERVER_PID" 2>/dev/null
+wait "$SERVER_PID" 2>/dev/null
+echo "daemon SIGKILLed with $GOT/$TOTAL results delivered"
+[ "$GOT" -lt "$TOTAL" ] || {
+  echo "FAIL: the kill landed after every request had completed"; exit 1; }
+
+echo "== recovery: restart on the same port and journal =="
+start_server "$PORT"
+RC_ALL=0
+c=0
+for pid in $CLIENT_PIDS; do
+  if ! wait "$pid"; then
+    echo "FAIL: client $c exited nonzero"; cat "$WORK/client$c.err"; RC_ALL=1
+  fi
+  c=$((c + 1))
+done
+[ "$RC_ALL" = 0 ] || exit 1
+for c in $(seq 0 $((CONNS - 1))); do
+  diff -u "$WORK/expect$c.results" "$WORK/got$c.results" || {
+    echo "FAIL: client $c results differ from the uninterrupted run"
+    exit 1
+  }
+done
+echo "all $TOTAL result lines byte-identical across the crash"
+
+echo "== idempotent replay: resend everything, expect journal hits =="
+"$CLIENT" --port "$PORT" --requests-file "$WORK/requests.txt" \
+  --retry-deadline-ms 60000 --timeout-ms 60000 \
+  > "$WORK/replay.results" || { echo "FAIL: replay client"; exit 1; }
+diff -u "$WORK/batch.results" "$WORK/replay.results" || {
+  echo "FAIL: journal replay differs from the batch run"; exit 1; }
+echo "replay byte-identical"
+
+echo "== graceful drain: SIGTERM must flush the journal and exit 0 =="
+kill -TERM "$SERVER_PID"
+DRAIN_OK=0
+for _ in $(seq 1 100); do
+  if ! kill -0 "$SERVER_PID" 2>/dev/null; then DRAIN_OK=1; break; fi
+  sleep 0.1
+done
+[ "$DRAIN_OK" = 1 ] || { echo "FAIL: server did not drain within 10s"; exit 1; }
+wait "$SERVER_PID"; RC=$?
+[ "$RC" = 0 ] || { echo "FAIL: drain exit code $RC"; exit 1; }
+SERVER_PID=""
+grep -q 'drained' "$WORK/server.err" || {
+  echo "FAIL: no drain line in server log"; cat "$WORK/server.err"; exit 1; }
+grep -q 'journal_hits=[1-9]' "$WORK/server.err" || {
+  echo "FAIL: the replay was recomputed, not served from the journal"
+  cat "$WORK/server.err"; exit 1; }
+
+echo "PASS: durable serving — kill -9 mid-flight, byte-identical recovery, journal-served replay, clean drain"

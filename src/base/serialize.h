@@ -120,6 +120,11 @@ constexpr uint16_t kSnapshotKindWorkerResult = 4;
 /// shard fault protocol relies on: a bit-flipped exchange is a
 /// recoverable shard fault, never a wrong answer.
 constexpr uint16_t kSnapshotKindShardExchange = 5;
+/// One record of the serving tier's write-ahead request journal
+/// (serve/journal.h). The CRC envelope is what makes a torn tail or a
+/// bit-flipped record a *detected* end of journal on recovery, never a
+/// fabricated request or result.
+constexpr uint16_t kSnapshotKindJournalRecord = 6;
 
 /// Current snapshot format version (bumped on incompatible changes).
 /// v2: chase snapshots carry the per-trigger null-draw log backing

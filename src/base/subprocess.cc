@@ -48,7 +48,29 @@ size_t DrainFd(int fd, std::string* out) {
   return total;
 }
 
+// Supervisor-owned sockets that must not leak into forked workers.
+// Sized generously above any realistic connection cap; past the cap,
+// registration silently drops — the cost is a leaked-into-worker fd, the
+// same behavior as before the registry existed.
+constexpr size_t kMaxWorkerClosedFds = 1024;
+int g_worker_closed_fds[kMaxWorkerClosedFds];
+size_t g_worker_closed_count = 0;
+
 }  // namespace
+
+void RegisterFdClosedInWorkers(int fd) {
+  if (fd < 0 || g_worker_closed_count >= kMaxWorkerClosedFds) return;
+  g_worker_closed_fds[g_worker_closed_count++] = fd;
+}
+
+void UnregisterFdClosedInWorkers(int fd) {
+  for (size_t i = 0; i < g_worker_closed_count; ++i) {
+    if (g_worker_closed_fds[i] == fd) {
+      g_worker_closed_fds[i] = g_worker_closed_fds[--g_worker_closed_count];
+      return;
+    }
+  }
+}
 
 void InstallWorkerLimits(const WorkerLimits& limits) {
   if (limits.cpu_seconds > 0) {
@@ -155,6 +177,13 @@ bool WorkerProcess::Spawn(
     // signal disposition, setrlimit.
     ::close(result_pipe[0]);
     ::close(heartbeat_pipe[0]);
+    // The serving tier's sockets die with the fork: an orphaned worker
+    // holding the listening socket would make the restarted daemon's
+    // bind fail, and one holding a connection would hide the crash from
+    // that client.
+    for (size_t i = 0; i < g_worker_closed_count; ++i) {
+      ::close(g_worker_closed_fds[i]);
+    }
     // A supervisor that died mid-run must not SIGPIPE the worker; the
     // write error is handled instead.
     ::signal(SIGPIPE, SIG_IGN);

@@ -147,6 +147,18 @@ bool IsPeerGoneErrno(int err);
 /// address-space cap makes the next big allocation fail). Async-signal-safe.
 void InstallWorkerLimits(const WorkerLimits& limits);
 
+/// Worker children inherit every supervisor fd at fork. Sockets must not
+/// survive into orphaned workers: an orphan holding the listening socket
+/// blocks the restarted daemon's bind() (SO_REUSEADDR does not cover a
+/// live listener), and one holding an accepted connection keeps a dead
+/// daemon's client from ever seeing EOF. Front ends register such fds
+/// here; Spawn closes every registered fd in the child immediately after
+/// fork. The registry is a fixed array walked with ::close, so the
+/// child-side sweep stays async-signal-safe; registration happens only on
+/// the single-threaded supervisor, so no locking.
+void RegisterFdClosedInWorkers(int fd);
+void UnregisterFdClosedInWorkers(int fd);
+
 /// splitmix64 finalizer: the deterministic mixing function behind chaos
 /// draws, retry jitter and shard ownership. Every (key, attempt) pair gets
 /// its own stream, so concurrent scheduling cannot reorder the randomness.

@@ -7,7 +7,10 @@
 #include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
+#include <time.h>
 #include <unistd.h>
+
+#include "base/subprocess.h"
 
 namespace gqe {
 
@@ -67,6 +70,31 @@ bool NetClient::Connect(const std::string& host, int port, int timeout_ms,
   int one = 1;
   ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
   return true;
+}
+
+bool NetClient::ConnectWithRetry(const std::string& host, int port,
+                                 int deadline_ms, std::string* error,
+                                 uint64_t jitter_seed) {
+  struct timespec start = {};
+  ::clock_gettime(CLOCK_MONOTONIC, &start);
+  for (int attempt = 1;; ++attempt) {
+    std::string connect_error;
+    if (Connect(host, port, 1000, &connect_error)) return true;
+    struct timespec now = {};
+    ::clock_gettime(CLOCK_MONOTONIC, &now);
+    const double elapsed_ms =
+        (now.tv_sec - start.tv_sec) * 1000.0 +
+        (now.tv_nsec - start.tv_nsec) / 1e6;
+    if (elapsed_ms >= deadline_ms) {
+      if (error) {
+        *error = "connect retry deadline exceeded: " + connect_error;
+      }
+      return false;
+    }
+    const double delay = BackoffDelayMs(attempt, 50.0, 1000.0, jitter_seed,
+                                        static_cast<uint64_t>(port));
+    ::usleep(static_cast<useconds_t>(delay * 1000));
+  }
 }
 
 bool NetClient::SendFrame(FrameType type, std::string_view payload) {

@@ -26,6 +26,14 @@ class NetClient {
   bool Connect(const std::string& host, int port, int timeout_ms,
                std::string* error);
 
+  /// Connect with retry: keeps attempting (exponential backoff with
+  /// deterministic jitter, base 50 ms capped at 1 s) until a connection
+  /// succeeds or `deadline_ms` of wall clock has elapsed. This is what a
+  /// client rides out a daemon restart with — connection refused while
+  /// the daemon is down, then a clean session against the recovered one.
+  bool ConnectWithRetry(const std::string& host, int port, int deadline_ms,
+                        std::string* error, uint64_t jitter_seed = 1);
+
   bool connected() const { return fd_ >= 0; }
   int fd() const { return fd_; }
 

@@ -6,16 +6,27 @@
 
 #include <utility>
 
+#include "base/subprocess.h"
+
 namespace gqe {
 
+// Connection sockets are registered for closing in forked workers: the
+// serve supervisor forks without exec, so SOCK_CLOEXEC does nothing and
+// an orphaned worker would otherwise hold the socket open past a
+// supervisor kill -9, hiding the crash from the client.
 Conn::Conn(int fd, uint64_t id, double now_ms, size_t max_frame_payload)
     : fd_(fd),
       id_(id),
       decoder_(max_frame_payload),
-      last_activity_ms_(now_ms) {}
+      last_activity_ms_(now_ms) {
+  RegisterFdClosedInWorkers(fd_);
+}
 
 Conn::~Conn() {
-  if (fd_ >= 0) ::close(fd_);
+  if (fd_ >= 0) {
+    UnregisterFdClosedInWorkers(fd_);
+    ::close(fd_);
+  }
 }
 
 Conn::IoResult Conn::ReadSome(double now_ms) {

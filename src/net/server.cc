@@ -11,6 +11,8 @@
 #include <cstdio>
 #include <utility>
 
+#include "base/subprocess.h"
+
 namespace gqe {
 
 namespace {
@@ -38,6 +40,9 @@ std::string NetServerStats::ToString() const {
   out += FormatStat("timeouts", timeouts);
   out += FormatStat("slow_client_closes", slow_client_closes);
   out += FormatStat("pings", pings);
+  out += FormatStat("journal_hits", journal_hits);
+  out += FormatStat("reattached", reattached);
+  out += FormatStat("fd_exhausted", fd_exhausted);
   return out;
 }
 
@@ -50,6 +55,7 @@ NetServer::~NetServer() {
   conns_.clear();
   if (listen_fd_ >= 0) {
     loop_.Remove(listen_fd_);
+    UnregisterFdClosedInWorkers(listen_fd_);
     ::close(listen_fd_);
   }
 }
@@ -99,17 +105,35 @@ bool NetServer::Listen(std::string* error) {
     listen_fd_ = -1;
     return false;
   }
+  // Forked workers must not inherit the listener: an orphan holding it
+  // in LISTEN state would make bind() fail on daemon restart.
+  RegisterFdClosedInWorkers(listen_fd_);
   return true;
 }
 
 void NetServer::OnAcceptable() {
   for (;;) {
+    if (options_.fd_limit_for_test != 0 &&
+        conns_.size() >= options_.fd_limit_for_test) {
+      errno = EMFILE;
+      PauseAccept(engine_.NowMs());
+      return;
+    }
     const int fd =
         ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
     if (fd < 0) {
       if (errno == EINTR) continue;
+      if (errno == EMFILE || errno == ENFILE) {
+        // Out of fds: the pending connection cannot even be accepted to
+        // be told so. A level-triggered readable listener would spin the
+        // loop hot on this error — unregister it and come back when a
+        // close frees an fd (ReapClosed) or the backoff expires.
+        PauseAccept(engine_.NowMs());
+        return;
+      }
       return;  // EAGAIN or a transient accept error; epoll will re-arm
     }
+    accept_backoff_ms_ = 0.0;  // fd pressure cleared
     if (draining_ || conns_.size() >= options_.max_connections) {
       // Shed at the door: one structured OVERLOADED frame (best effort —
       // the kernel buffer takes a 100-byte frame or the peer is already
@@ -136,6 +160,26 @@ void NetServer::OnAcceptable() {
     ++stats_.accepted;
     conns_.emplace(fd, std::move(conn));
   }
+}
+
+void NetServer::PauseAccept(double now_ms) {
+  ++stats_.fd_exhausted;
+  if (accept_paused_ || listen_fd_ < 0) return;
+  accept_backoff_ms_ = accept_backoff_ms_ == 0.0
+                           ? options_.accept_backoff_ms
+                           : accept_backoff_ms_ * 2;
+  const double cap = options_.accept_backoff_ms * 20;
+  if (accept_backoff_ms_ > cap) accept_backoff_ms_ = cap;
+  accept_resume_at_ms_ = now_ms + accept_backoff_ms_;
+  loop_.Remove(listen_fd_);
+  accept_paused_ = true;
+}
+
+void NetServer::ResumeAccept() {
+  if (!accept_paused_ || listen_fd_ < 0 || draining_) return;
+  accept_paused_ = false;
+  loop_.Add(listen_fd_, EventLoop::kReadable,
+            [this](uint32_t) { OnAcceptable(); });
 }
 
 void NetServer::OnConnEvent(int fd, uint32_t events) {
@@ -246,6 +290,52 @@ void NetServer::HandleRequest(Conn* conn, const std::string& payload) {
     return;
   }
   const EvalRequest& request = manifest.requests[0];
+  // Durable serving: a request id that already reached a terminal state
+  // replays its recorded line from the journal-backed cache — no worker,
+  // no admission, works across daemon restarts and even under overload.
+  // An id currently in flight (e.g. a resend racing its own completion)
+  // attaches as an extra waiter to the running evaluation. An id reused
+  // with a *different* request body is a client bug, surfaced as such.
+  RequestRow cached_row;
+  switch (engine_.LookupCompleted(request, &cached_row)) {
+    case ServeEngine::CacheLookup::kHit: {
+      ++stats_.journal_hits;
+      std::string line;
+      AppendResultLine(cached_row, &line);
+      RespondImmediate(conn, FrameType::kResult, std::move(line));
+      return;
+    }
+    case ServeEngine::CacheLookup::kMismatch:
+      ++stats_.bad_requests;
+      RespondImmediate(
+          conn, FrameType::kError,
+          MakeErrorPayload("BAD_REQUEST",
+                           "id '" + request.id +
+                               "' was already used by a different request"));
+      return;
+    case ServeEngine::CacheLookup::kMiss:
+      break;
+  }
+  bool id_mismatch = false;
+  const uint64_t inflight_ticket = engine_.FindInflight(request, &id_mismatch);
+  if (id_mismatch) {
+    ++stats_.bad_requests;
+    RespondImmediate(
+        conn, FrameType::kError,
+        MakeErrorPayload("BAD_REQUEST",
+                         "id '" + request.id +
+                             "' is in flight for a different request"));
+    return;
+  }
+  if (inflight_ticket != 0) {
+    ++stats_.reattached;
+    Conn::Pending pending;
+    pending.ticket = inflight_ticket;
+    pending.request_id = request.id;
+    conn->pending().push_back(std::move(pending));
+    waiters_[inflight_ticket].push_back(Waiter{conn->fd(), conn->id()});
+    return;
+  }
   if (options_.queue_capacity != 0 &&
       engine_.ActiveJobs() >= options_.queue_capacity) {
     ++stats_.shed_overloaded;
@@ -371,6 +461,7 @@ void NetServer::UpdateInterest(Conn* conn) {
 }
 
 void NetServer::SweepDeadlines(double now_ms) {
+  if (accept_paused_ && now_ms >= accept_resume_at_ms_) ResumeAccept();
   for (auto& [fd, conn_ptr] : conns_) {
     Conn* conn = conn_ptr.get();
     if (conn->closed()) continue;
@@ -416,14 +507,19 @@ void NetServer::FailConn(Conn* conn, const char* code,
 }
 
 void NetServer::ReapClosed() {
+  bool freed = false;
   for (auto it = conns_.begin(); it != conns_.end();) {
     if (it->second->closed()) {
       loop_.Remove(it->first);
       it = conns_.erase(it);  // Conn destructor closes the fd
+      freed = true;
     } else {
       ++it;
     }
   }
+  // A closed connection is exactly the fd the exhausted accept loop was
+  // waiting for — re-arm immediately instead of riding out the backoff.
+  if (freed && accept_paused_) ResumeAccept();
 }
 
 int NetServer::ComputeWaitMs(int max_wait_ms) const {
@@ -446,7 +542,14 @@ bool NetServer::PollOnce(int max_wait_ms) {
   }
   SweepDeadlines(engine_.NowMs());
   ReapClosed();
-  return !(draining_ && engine_.Idle() && conns_.empty());
+  if (draining_ && engine_.Idle() && conns_.empty()) {
+    // Drain complete: every result row is already journaled (write-ahead
+    // of dispatch); one final fsync makes the whole drained state
+    // durable before exit 0, so a restart serves it without recomputing.
+    engine_.FlushJournal();
+    return false;
+  }
+  return true;
 }
 
 int NetServer::Run(const volatile sig_atomic_t* drain_flag) {
@@ -463,6 +566,7 @@ void NetServer::RequestDrain() {
   draining_ = true;
   if (listen_fd_ >= 0) {
     loop_.Remove(listen_fd_);
+    UnregisterFdClosedInWorkers(listen_fd_);
     ::close(listen_fd_);
     listen_fd_ = -1;
   }

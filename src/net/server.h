@@ -58,6 +58,18 @@ struct NetServerOptions {
   /// waiter. Ids may differ — each waiter gets its own result line.
   bool coalesce = true;
 
+  /// Accept-loop fd-exhaustion shed: when accept4 fails with EMFILE /
+  /// ENFILE the listener is unregistered for this long (doubling up to
+  /// 20x while exhaustion persists) instead of spinning hot on a
+  /// level-triggered readable listener; any connection close re-arms it
+  /// immediately, since a close is exactly what frees an fd.
+  double accept_backoff_ms = 100.0;
+
+  /// Test-only: treat accepting beyond this many connections as EMFILE
+  /// without consuming the fd, so the exhaustion path is exercisable
+  /// without lowering RLIMIT_NOFILE under a test runner. 0 = off.
+  size_t fd_limit_for_test = 0;
+
   bool verbose = false;
 };
 
@@ -75,6 +87,14 @@ struct NetServerStats {
   uint64_t timeouts = 0;
   uint64_t slow_client_closes = 0;
   uint64_t pings = 0;
+  /// Requests answered verbatim from the journal-backed result cache —
+  /// duplicate ids and post-restart resends that never fired a worker.
+  uint64_t journal_hits = 0;
+  /// Duplicate in-flight ids attached as extra waiters to the already
+  /// running evaluation (idempotency for resends that raced completion).
+  uint64_t reattached = 0;
+  /// accept4 EMFILE/ENFILE events shed with listener backoff.
+  uint64_t fd_exhausted = 0;
 
   std::string ToString() const;
 };
@@ -131,6 +151,8 @@ class NetServer {
   };
 
   void OnAcceptable();
+  void PauseAccept(double now_ms);
+  void ResumeAccept();
   void OnConnEvent(int fd, uint32_t events);
   void ProcessFrames(Conn* conn);
   void HandleRequest(Conn* conn, const std::string& payload);
@@ -152,6 +174,9 @@ class NetServer {
   int listen_fd_ = -1;
   int port_ = 0;
   bool draining_ = false;
+  bool accept_paused_ = false;
+  double accept_resume_at_ms_ = 0.0;
+  double accept_backoff_ms_ = 0.0;  // current (doubling) backoff; 0 = reset
   uint64_t next_conn_id_ = 1;
   std::map<int, std::unique_ptr<Conn>> conns_;
   std::map<uint64_t, std::vector<Waiter>> waiters_;       // ticket -> conns

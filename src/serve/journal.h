@@ -1,0 +1,187 @@
+#ifndef GQE_SERVE_JOURNAL_H_
+#define GQE_SERVE_JOURNAL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "base/serialize.h"
+#include "serve/service.h"
+
+namespace gqe {
+
+/// The serving tier's append-only write-ahead request journal. Three
+/// record types tell the whole story of a request:
+///
+///   ADMITTED  the request was accepted (its canonical manifest line,
+///             written *before* the first worker fork)
+///   ATTEMPT   one worker attempt finished, with its cause — enough to
+///             restore the retry/degradation ladder after a restart
+///   RESULT    the request reached a terminal state: the exact bytes of
+///             its "result:" line plus the encoded WorkerResult (which
+///             carries the witness, so --verify can re-check a persisted
+///             answer before ever serving it again)
+///
+/// Records are length-prefixed CRC-32 envelopes (base/serialize.h, kind
+/// kSnapshotKindJournalRecord) appended to numbered segment files. A
+/// crash — the daemon's own `kill -9` included — can tear at most the
+/// tail of the active segment; recovery truncates to the last valid
+/// record and never invents state. Completed requests replay their
+/// recorded result lines byte-identically; admitted-but-unfinished
+/// requests resume from their checkpoint dirs with ladder state intact.
+enum class JournalRecordType : uint8_t {
+  kAdmitted = 1,
+  kAttempt = 2,
+  kResult = 3,
+};
+
+struct JournalRecord {
+  JournalRecordType type = JournalRecordType::kAdmitted;
+  std::string id;
+
+  /// kAdmitted: the canonical manifest line (FormatRequestLine) — enough
+  /// to resubmit the request verbatim after a restart.
+  std::string request_line;
+
+  /// kAttempt: the finished attempt's number, phase and cause.
+  uint32_t attempt = 0;
+  bool degraded = false;
+  std::string cause;
+
+  /// kResult: terminal state, the exact result line (trailing newline
+  /// included) and the encoded WorkerResult blob (empty for kFailed).
+  TerminalState state = TerminalState::kFailed;
+  std::string result_line;
+  std::string worker_result;
+};
+
+/// Everything recovery learned about one request id, folded from its
+/// records in append order.
+struct JournalEntry {
+  std::string id;
+  std::string request_line;
+  int exact_attempts = 0;
+  int degraded_attempts = 0;
+  std::vector<JournalRecord> attempt_records;  // kAttempt, append order
+  bool has_result = false;
+  TerminalState state = TerminalState::kFailed;
+  std::string result_line;
+  std::string worker_result;
+};
+
+/// What RequestJournal::Open reconstructed, plus the damage it skipped.
+/// Damage is *diagnosed*, never trusted: a torn or bit-flipped record
+/// ends replay of its segment, and orphan / duplicate records (possible
+/// after interleaved garbage) are counted and ignored.
+struct JournalRecovery {
+  std::vector<JournalEntry> entries;  // admission order
+  size_t segments = 0;
+  size_t records = 0;
+  size_t torn_bytes = 0;       // truncated off the active segment's tail
+  size_t skipped_bytes = 0;    // invalid bytes inside sealed segments
+  size_t orphan_records = 0;   // ATTEMPT/RESULT with no prior ADMITTED
+  size_t duplicate_records = 0;  // re-ADMITTED id or second RESULT
+
+  const JournalEntry* Find(const std::string& id) const;
+};
+
+struct JournalOptions {
+  /// Rotate to a new segment once the active one passes this size.
+  size_t segment_bytes = 4 * 1024 * 1024;
+
+  /// fsync after every appended record. Strongest durability (power
+  /// loss included); process death alone never loses write()n bytes, so
+  /// the crash-recovery contract holds either way — see EXPERIMENTS.md
+  /// for the overhead this buys.
+  bool fsync_each_record = true;
+};
+
+/// Encodes one record as it appears on disk: u32 length prefix +
+/// CRC-enveloped payload. Exposed for tests and the fuzz harness.
+std::string EncodeJournalRecord(const JournalRecord& record);
+
+/// Decodes a record sequence from raw segment bytes, stopping at the
+/// first torn, corrupt or impossible record. Returns the byte length of
+/// the valid prefix (what recovery keeps); `error` names the first
+/// problem when the prefix does not cover `bytes`. Never throws, never
+/// fabricates a record from damaged bytes.
+size_t DecodeJournalSegment(std::string_view bytes,
+                            std::vector<JournalRecord>* records,
+                            std::string* error);
+
+/// Folds records (append order, possibly from several segments) into
+/// per-request entries, counting orphans and duplicates.
+void ApplyJournalRecords(const std::vector<JournalRecord>& records,
+                         JournalRecovery* recovery);
+
+/// The journal itself: open-and-recover, then append. Single-threaded,
+/// like everything else in the serving supervisor. Append failures (disk
+/// full, dead fd) latch the journal into a sticky failed state — the
+/// daemon keeps serving, it just stops being durable, and the condition
+/// is visible in stats().
+class RequestJournal {
+ public:
+  RequestJournal() = default;
+  ~RequestJournal();
+
+  RequestJournal(const RequestJournal&) = delete;
+  RequestJournal& operator=(const RequestJournal&) = delete;
+
+  /// Creates `dir` if needed, replays every segment in order into
+  /// `recovery` (which may be null), truncates the active segment to its
+  /// last valid record, and reopens it for appending.
+  SnapshotStatus Open(const std::string& dir, const JournalOptions& options,
+                      JournalRecovery* recovery);
+
+  bool open() const { return fd_ >= 0 && !failed_; }
+  const std::string& dir() const { return dir_; }
+
+  SnapshotStatus Append(const JournalRecord& record);
+  SnapshotStatus AppendAdmitted(const std::string& id,
+                                const std::string& request_line);
+  SnapshotStatus AppendAttempt(const std::string& id, uint32_t attempt,
+                               bool degraded, const std::string& cause);
+  SnapshotStatus AppendResult(const std::string& id, TerminalState state,
+                              const std::string& result_line,
+                              const std::string& worker_result);
+
+  /// fsyncs the active segment (a no-op when fsync_each_record already
+  /// covered every append). The graceful-drain path calls this before
+  /// exit 0.
+  SnapshotStatus Sync();
+
+  /// Rewrites the journal as one fresh segment holding only `entries`
+  /// (each as ADMITTED [+ ATTEMPTs] [+ RESULT]), via tmp+fsync+rename,
+  /// then deletes the old segments. Run after recovery to shed dead
+  /// weight from rotated segments.
+  SnapshotStatus Compact(const std::vector<JournalEntry>& entries);
+
+  struct Stats {
+    uint64_t appends = 0;
+    uint64_t syncs = 0;
+    uint64_t rotations = 0;
+    uint64_t compactions = 0;
+    uint64_t append_failures = 0;
+    size_t active_bytes = 0;
+    bool failed = false;  // sticky: journal disabled after a failure
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  SnapshotStatus OpenActiveSegment();
+  SnapshotStatus RotateIfNeeded();
+  SnapshotStatus Fail(SnapshotError error, std::string message);
+  std::string SegmentPath(uint64_t seq) const;
+
+  std::string dir_;
+  JournalOptions options_;
+  int fd_ = -1;
+  uint64_t active_seq_ = 0;
+  bool failed_ = false;
+  Stats stats_;
+};
+
+}  // namespace gqe
+
+#endif  // GQE_SERVE_JOURNAL_H_

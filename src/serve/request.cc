@@ -208,6 +208,65 @@ bool ParseManifest(std::string_view text, const std::string& base_dir,
   return true;
 }
 
+std::string FormatRequestLine(const EvalRequest& request) {
+  std::string line = "id=" + request.id +
+                     " kind=" + RequestKindName(request.kind) +
+                     " program=" + request.program_path;
+  if (!request.query.empty()) line += " query=" + request.query;
+  char buffer[64];
+  if (request.budget.max_facts != 0) {
+    line += " max_facts=" + std::to_string(request.budget.max_facts);
+  }
+  if (request.budget.max_search_nodes != 0) {
+    line += " max_nodes=" + std::to_string(request.budget.max_search_nodes);
+  }
+  if (request.budget.deadline_ms != 0) {
+    // %.17g round-trips every double through strtod, so the journaled
+    // line re-parses to a bit-identical budget.
+    std::snprintf(buffer, sizeof(buffer), " deadline_ms=%.17g",
+                  request.budget.deadline_ms);
+    line += buffer;
+  }
+  if (request.address_space_mb != 0) {
+    line += " as_mb=" + std::to_string(request.address_space_mb);
+  }
+  if (request.max_level >= 0) {
+    line += " max_level=" + std::to_string(request.max_level);
+  }
+  if (request.fault.active()) {
+    line += " fault=";
+    switch (request.fault.type) {
+      case FaultSpec::Type::kKill:
+        line += "kill@" + std::to_string(request.fault.at_checkpoint);
+        break;
+      case FaultSpec::Type::kStall:
+        line += "stall@" + std::to_string(request.fault.at_checkpoint);
+        break;
+      case FaultSpec::Type::kOom:
+        line += "oom";
+        if (request.fault.at_checkpoint != 0) {
+          line += "@" + std::to_string(request.fault.at_checkpoint);
+        }
+        break;
+      case FaultSpec::Type::kCpu:
+        line += "cpu";
+        if (request.fault.at_checkpoint != 0) {
+          line += "@" + std::to_string(request.fault.at_checkpoint);
+        }
+        break;
+      case FaultSpec::Type::kExit:
+        line += "exit:" + std::to_string(request.fault.exit_code);
+        break;
+      case FaultSpec::Type::kNone:
+        break;
+    }
+    if (request.fault.on_attempt != 1) {
+      line += "/attempt=" + std::to_string(request.fault.on_attempt);
+    }
+  }
+  return line;
+}
+
 bool ParseManifestFile(const std::string& path, Manifest* manifest,
                        std::string* error) {
   std::string text;

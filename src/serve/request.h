@@ -105,6 +105,14 @@ bool ParseManifest(std::string_view text, const std::string& base_dir,
 bool ParseManifestFile(const std::string& path, Manifest* manifest,
                        std::string* error);
 
+/// Formats a request back into one canonical manifest line (no trailing
+/// newline) that ParseManifest round-trips to an equal request. The
+/// journal records admissions as exactly this line, which makes it both
+/// the resubmission payload after a restart and the idempotency check:
+/// a resent id whose canonical line differs is a *different* request
+/// reusing an id, and is rejected instead of served from the cache.
+std::string FormatRequestLine(const EvalRequest& request);
+
 }  // namespace gqe
 
 #endif  // GQE_SERVE_REQUEST_H_

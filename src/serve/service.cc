@@ -14,6 +14,7 @@
 
 #include "base/subprocess.h"
 #include "parser/parser.h"
+#include "serve/journal.h"
 #include "verify/verifier.h"
 #include "verify/witness.h"
 #include "workload/report.h"
@@ -86,6 +87,9 @@ struct Job {
   int attempt_number = 0;     // 1-based across both phases
   double ready_at = 0.0;
   double next_backoff_ms = 0.0;
+  /// FormatRequestLine(request), the journal's idempotency key — cached
+  /// so duplicate-id probes don't re-format on every frame.
+  std::string canonical_line;
   RequestRow row;
 };
 
@@ -108,6 +112,7 @@ class ServeEngine::Impl {
  public:
   explicit Impl(const ServeOptions& options) : options_(options) {
     SetUpWorkDir();
+    OpenJournal();
   }
 
   ~Impl() {
@@ -134,15 +139,87 @@ class ServeEngine::Impl {
   }
 
   uint64_t Submit(const EvalRequest& request) {
-    PreloadProgram(request.program_path);
-    const uint64_t ticket = next_ticket_++;
-    Job& job = jobs_[ticket];
-    job.request = request;
-    job.ticket = ticket;
-    job.row.manifest_index = static_cast<size_t>(ticket);
-    job.row.id = request.id;
-    job.row.kind = request.kind;
+    const uint64_t ticket = SubmitJob(request, /*journal_admission=*/true);
     return ticket;
+  }
+
+  ServeEngine::CacheLookup LookupCompleted(const EvalRequest& request,
+                                           RequestRow* row) {
+    if (!journaling_) return ServeEngine::CacheLookup::kMiss;
+    auto it = cache_.find(request.id);
+    if (it == cache_.end()) return ServeEngine::CacheLookup::kMiss;
+    Cached& cached = it->second;
+    if (cached.request_line != FormatRequestLine(request)) {
+      return ServeEngine::CacheLookup::kMismatch;
+    }
+    const bool has_answer = cached.state == TerminalState::kCompleted ||
+                            cached.state == TerminalState::kDegraded;
+    if (options_.verify && has_answer && !cached.verify_checked) {
+      // Re-check the *persisted* witness before ever serving a journaled
+      // answer: a corrupted or tampered cache entry is recomputed, not
+      // replayed.
+      PreloadProgram(request.program_path);
+      WorkerResult result;
+      std::string reason = "cached-result-decode";
+      VerifyOutcome outcome = VerifyOutcome::kRejected;
+      if (DecodeWorkerResult(cached.worker_result, &result).ok()) {
+        outcome = CheckWitness(request, result, &reason);
+      }
+      if (outcome == VerifyOutcome::kRejected) {
+        ++journal_verify_rejections_;
+        ++witness_rejections_;
+        if (options_.verbose) {
+          std::printf("serve: journal reject id=%s witness: %s\n",
+                      request.id.c_str(), reason.c_str());
+        }
+        cache_.erase(it);
+        return ServeEngine::CacheLookup::kMiss;
+      }
+      cached.verify_checked = true;
+      cached.verify_outcome = outcome;
+      cached.verify_reason = reason;
+    }
+    row->id = request.id;
+    row->kind = request.kind;
+    row->state = cached.state;
+    row->replayed_line = cached.line;
+    row->verify_outcome = cached.verify_outcome;
+    row->verify_reason = cached.verify_reason;
+    if (!cached.worker_result.empty()) {
+      DecodeWorkerResult(cached.worker_result, &row->result);
+    }
+    ++journal_hits_;
+    return ServeEngine::CacheLookup::kHit;
+  }
+
+  uint64_t FindInflight(const EvalRequest& request, bool* mismatch) {
+    *mismatch = false;
+    if (!journaling_) return 0;
+    auto it = ticket_by_id_.find(request.id);
+    if (it == ticket_by_id_.end()) return 0;
+    auto job_it = jobs_.find(it->second);
+    if (job_it == jobs_.end()) return 0;
+    if (job_it->second.canonical_line != FormatRequestLine(request)) {
+      *mismatch = true;
+      return 0;
+    }
+    return it->second;
+  }
+
+  void FlushJournal() {
+    if (journaling_ && journal_.open()) journal_.Sync();
+  }
+
+  ServeEngine::JournalInfo journal_info() const {
+    ServeEngine::JournalInfo info;
+    info.enabled = journaling_;
+    info.failed = journal_.stats().failed;
+    info.recovered_completed = recovered_completed_;
+    info.recovered_inflight = recovered_inflight_;
+    info.torn_bytes = recovered_torn_bytes_;
+    info.hits = journal_hits_;
+    info.verify_rejections = journal_verify_rejections_;
+    return info;
   }
 
   bool Pump(std::vector<Finished>* finished) {
@@ -174,6 +251,15 @@ class ServeEngine::Impl {
       std::filesystem::create_directories(work_dir_, ec);
       return;
     }
+    if (!options_.journal_dir.empty()) {
+      // Durable serving: checkpoints must survive the daemon the same
+      // way the journal does, or an in-flight request recovered from the
+      // journal would restart its evaluation from round 0.
+      work_dir_ = options_.journal_dir + "/work";
+      std::error_code ec;
+      std::filesystem::create_directories(work_dir_, ec);
+      return;
+    }
     const char* tmpdir = ::getenv("TMPDIR");
     std::string templ = std::string(tmpdir != nullptr ? tmpdir : "/tmp") +
                         "/gqe-serve-XXXXXX";
@@ -192,6 +278,113 @@ class ServeEngine::Impl {
       std::error_code ec;
       std::filesystem::remove_all(work_dir_, ec);
     }
+  }
+
+  /// Opens the write-ahead journal and replays it: completed requests
+  /// populate the result cache (served without a worker from now on),
+  /// unfinished ones are resubmitted with their ladder state restored.
+  /// Journal trouble never takes serving down — it latches the journal
+  /// into a diagnosed failed state and the daemon runs non-durably.
+  void OpenJournal() {
+    if (options_.journal_dir.empty()) return;
+    JournalOptions jopts;
+    jopts.segment_bytes = options_.journal_segment_bytes;
+    jopts.fsync_each_record = options_.journal_fsync;
+    JournalRecovery recovery;
+    const SnapshotStatus status =
+        journal_.Open(options_.journal_dir, jopts, &recovery);
+    if (!status.ok()) {
+      std::fprintf(stderr, "serve: journal disabled: %s\n",
+                   status.message.c_str());
+      journaling_ = false;
+      return;
+    }
+    journaling_ = true;
+    recovered_torn_bytes_ = recovery.torn_bytes;
+    for (const JournalEntry& entry : recovery.entries) {
+      if (entry.has_result) {
+        Cached cached;
+        cached.state = entry.state;
+        cached.request_line = entry.request_line;
+        cached.line = entry.result_line;
+        cached.worker_result = entry.worker_result;
+        cache_.emplace(entry.id, std::move(cached));
+        ++recovered_completed_;
+        continue;
+      }
+      // Admitted but unfinished when the previous daemon died: re-parse
+      // the journaled canonical line (program paths were resolved before
+      // admission, so no base dir applies) and resubmit without a second
+      // ADMITTED record.
+      Manifest manifest;
+      std::string error;
+      if (!ParseManifest(entry.request_line, "", &manifest, &error) ||
+          manifest.requests.size() != 1) {
+        std::fprintf(stderr,
+                     "serve: journal entry id=%s does not re-parse (%s); "
+                     "dropped\n",
+                     entry.id.c_str(), error.c_str());
+        continue;
+      }
+      const uint64_t ticket =
+          SubmitJob(manifest.requests[0], /*journal_admission=*/false);
+      Job& job = jobs_.at(ticket);
+      job.exact_attempts = entry.exact_attempts;
+      job.degraded_attempts = entry.degraded_attempts;
+      job.attempt_number = entry.exact_attempts + entry.degraded_attempts;
+      job.degraded_phase =
+          options_.enable_degraded_ladder && options_.degraded_attempts > 0 &&
+          job.exact_attempts >= options_.max_attempts;
+      for (const JournalRecord& attempt : entry.attempt_records) {
+        AttemptRecord record;
+        record.attempt = static_cast<int>(attempt.attempt);
+        record.degraded = attempt.degraded;
+        record.cause = attempt.cause;
+        job.row.attempts.push_back(std::move(record));
+      }
+      ++recovered_inflight_;
+    }
+    if (recovery.segments > 2) {
+      // Shed rotated-away dead weight (superseded attempts of completed
+      // requests) while we hold the full recovered state anyway.
+      journal_.Compact(recovery.entries);
+    }
+    if (options_.verbose &&
+        (recovered_completed_ + recovered_inflight_ > 0)) {
+      std::printf(
+          "serve: journal recovered %zu completed, %zu in-flight "
+          "(%zu torn bytes truncated)\n",
+          recovered_completed_, recovered_inflight_, recovery.torn_bytes);
+    }
+  }
+
+  uint64_t SubmitJob(const EvalRequest& request, bool journal_admission) {
+    PreloadProgram(request.program_path);
+    const uint64_t ticket = next_ticket_++;
+    Job& job = jobs_[ticket];
+    job.request = request;
+    job.ticket = ticket;
+    job.row.manifest_index = static_cast<size_t>(ticket);
+    job.row.id = request.id;
+    job.row.kind = request.kind;
+    if (journaling_) {
+      job.canonical_line = FormatRequestLine(request);
+      ticket_by_id_[request.id] = ticket;
+      // Write-ahead: the admission is durable before the first fork, so
+      // a daemon death at any later instant leaves a replayable record.
+      if (journal_admission) {
+        JournalWrite(journal_.AppendAdmitted(request.id, job.canonical_line));
+      }
+    }
+    return ticket;
+  }
+
+  /// Journal append error policy: diagnose once, keep serving.
+  void JournalWrite(const SnapshotStatus& status) {
+    if (status.ok() || journal_warned_) return;
+    journal_warned_ = true;
+    std::fprintf(stderr, "serve: journal failed (now non-durable): %s\n",
+                 status.message.c_str());
   }
 
   int MaxConcurrency() const {
@@ -421,11 +614,46 @@ class ServeEngine::Impl {
     FinishAttempt(job, cause, permanent, result, now);
   }
 
+  /// One finished attempt: journal it, walk the retry/degradation
+  /// ladder, and if the request just reached a terminal state journal
+  /// the result (the exact line a client will ever see for this id,
+  /// written before any client can see it) and prime the result cache.
+  void FinishAttempt(Job& job, const std::string& cause, bool permanent,
+                     const WorkerResult* result, double now) {
+    if (journaling_) {
+      JournalWrite(journal_.AppendAttempt(
+          job.request.id, static_cast<uint32_t>(job.attempt_number),
+          job.degraded_phase, cause));
+    }
+    FinishAttemptLadder(job, cause, permanent, result, now);
+    if (!job.done || !journaling_) return;
+    std::string line;
+    AppendResultLine(job.row, &line);
+    const bool has_answer = job.row.state == TerminalState::kCompleted ||
+                            job.row.state == TerminalState::kDegraded;
+    const std::string encoded =
+        has_answer ? EncodeWorkerResult(job.row.result) : std::string();
+    JournalWrite(
+        journal_.AppendResult(job.request.id, job.row.state, line, encoded));
+    Cached cached;
+    cached.state = job.row.state;
+    cached.request_line = job.canonical_line;
+    cached.line = line;
+    cached.worker_result = encoded;
+    // This run already verified (or rejected) the live result; don't
+    // re-check the same witness on the first duplicate hit.
+    cached.verify_checked = options_.verify;
+    cached.verify_outcome = job.row.verify_outcome;
+    cached.verify_reason = job.row.verify_reason;
+    cache_[job.request.id] = std::move(cached);
+    ticket_by_id_.erase(job.request.id);
+  }
+
   /// Walks the containment ladder: success -> terminal; retry budget
   /// left -> exponential backoff + jitter; exact budget exhausted ->
   /// degraded phase; everything exhausted -> structured FAILED row.
-  void FinishAttempt(Job& job, const std::string& cause, bool permanent,
-                     const WorkerResult* result, double now) {
+  void FinishAttemptLadder(Job& job, const std::string& cause, bool permanent,
+                           const WorkerResult* result, double now) {
     if (job.degraded_phase) {
       ++job.degraded_attempts;
     } else {
@@ -622,6 +850,18 @@ class ServeEngine::Impl {
     return VerifyOutcome::kVerified;
   }
 
+  /// One journal-replayable terminal result: everything a duplicate or
+  /// resent request id is served from, without a worker.
+  struct Cached {
+    TerminalState state = TerminalState::kFailed;
+    std::string request_line;   // canonical admission line (idempotency key)
+    std::string line;           // verbatim recorded "result:" line
+    std::string worker_result;  // encoded WorkerResult (carries the witness)
+    bool verify_checked = false;
+    VerifyOutcome verify_outcome = VerifyOutcome::kNotChecked;
+    std::string verify_reason;
+  };
+
   const ServeOptions options_;
   std::map<uint64_t, Job> jobs_;  // ticket order = submission order
   uint64_t next_ticket_ = 1;
@@ -631,6 +871,17 @@ class ServeEngine::Impl {
   bool owns_work_dir_ = false;
   std::map<std::string, Program> programs_;
   size_t witness_rejections_ = 0;
+
+  RequestJournal journal_;
+  bool journaling_ = false;
+  bool journal_warned_ = false;
+  std::map<std::string, Cached> cache_;         // id -> recorded result
+  std::map<std::string, uint64_t> ticket_by_id_;  // in-flight ids
+  size_t recovered_completed_ = 0;
+  size_t recovered_inflight_ = 0;
+  size_t recovered_torn_bytes_ = 0;
+  size_t journal_hits_ = 0;
+  size_t journal_verify_rejections_ = 0;
 };
 
 ServeEngine::ServeEngine(const ServeOptions& options)
@@ -662,6 +913,22 @@ size_t ServeEngine::InflightWorkers() const {
 
 size_t ServeEngine::witness_rejections() const {
   return impl_->witness_rejections();
+}
+
+ServeEngine::CacheLookup ServeEngine::LookupCompleted(
+    const EvalRequest& request, RequestRow* row) {
+  return impl_->LookupCompleted(request, row);
+}
+
+uint64_t ServeEngine::FindInflight(const EvalRequest& request,
+                                   bool* mismatch) {
+  return impl_->FindInflight(request, mismatch);
+}
+
+void ServeEngine::FlushJournal() { impl_->FlushJournal(); }
+
+ServeEngine::JournalInfo ServeEngine::journal_info() const {
+  return impl_->journal_info();
 }
 
 const char* TerminalStateName(TerminalState state) {
@@ -721,6 +988,12 @@ bool ParseChaosSpec(std::string_view spec, ChaosConfig* config,
 }
 
 void AppendResultLine(const RequestRow& row, std::string* out) {
+  if (!row.replayed_line.empty()) {
+    // Journal replay: byte-for-byte the line recorded when the request
+    // first completed, possibly in a previous daemon process.
+    *out += row.replayed_line;
+    return;
+  }
   char buffer[256];
   *out += "result: id=" + row.id +
           " kind=" + std::string(RequestKindName(row.kind)) +
@@ -827,7 +1100,32 @@ ServeReport ServeManifest(const Manifest& manifest,
       rows[i].failure_cause = "queue-full";
       continue;
     }
-    index_of[engine.Submit(request)] = i;
+    // Durable serving: a request whose id already reached a terminal
+    // state in the journal replays its recorded line without a worker;
+    // one the previous daemon left in flight was already resubmitted on
+    // recovery, so attach to that ticket instead of double-firing.
+    switch (engine.LookupCompleted(request, &rows[i])) {
+      case ServeEngine::CacheLookup::kHit:
+        continue;
+      case ServeEngine::CacheLookup::kMismatch:
+        rows[i].id = request.id;
+        rows[i].kind = request.kind;
+        rows[i].state = TerminalState::kFailed;
+        rows[i].failure_cause = "id-reuse-mismatch";
+        continue;
+      case ServeEngine::CacheLookup::kMiss:
+        break;
+    }
+    bool mismatch = false;
+    const uint64_t inflight = engine.FindInflight(request, &mismatch);
+    if (mismatch) {
+      rows[i].id = request.id;
+      rows[i].kind = request.kind;
+      rows[i].state = TerminalState::kFailed;
+      rows[i].failure_cause = "id-reuse-mismatch";
+      continue;
+    }
+    index_of[inflight != 0 ? inflight : engine.Submit(request)] = i;
   }
 
   std::vector<ServeEngine::Finished> finished;
@@ -835,12 +1133,16 @@ ServeReport ServeManifest(const Manifest& manifest,
     finished.clear();
     const bool progressed = engine.Pump(&finished);
     for (ServeEngine::Finished& f : finished) {
-      rows[index_of.at(f.ticket)] = std::move(f.row);
+      // Recovered in-flight tickets the manifest does not mention still
+      // run to a (journaled) terminal state; they just have no row here.
+      auto it = index_of.find(f.ticket);
+      if (it != index_of.end()) rows[it->second] = std::move(f.row);
     }
     if (!progressed) {
       std::this_thread::sleep_for(std::chrono::milliseconds(1));
     }
   }
+  engine.FlushJournal();
 
   ServeReport report;
   const double wall_ms = engine.NowMs();

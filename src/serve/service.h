@@ -87,6 +87,22 @@ struct ServeOptions {
   double degraded_deadline_ms = 2000.0;
   int degraded_fallback_level = 3;
 
+  /// Durable serving (--journal-dir): every admission, finished attempt
+  /// and terminal result is appended to a write-ahead journal under this
+  /// directory (serve/journal.h) *before* it becomes client-visible. On
+  /// the next startup with the same directory, completed requests replay
+  /// their recorded result lines byte-identically from the journal-backed
+  /// cache (no worker fires), and admitted-but-unfinished requests are
+  /// resubmitted with their retry-ladder state restored, resuming from
+  /// their checkpoint dirs. Empty = no journal (the pre-PR-9 behavior).
+  /// When set and work_dir is empty, checkpoints default to
+  /// <journal_dir>/work so resume survives restarts too.
+  std::string journal_dir;
+  /// fsync the journal after every record (power-loss durability; plain
+  /// process death never loses write()n records either way).
+  bool journal_fsync = true;
+  size_t journal_segment_bytes = 4 * 1024 * 1024;
+
   /// Per-attempt progress lines on stdout.
   bool verbose = false;
 
@@ -148,6 +164,12 @@ struct RequestRow {
   /// unless ServeOptions::verify). `verify_reason` explains kUnverified.
   VerifyOutcome verify_outcome = VerifyOutcome::kNotChecked;
   std::string verify_reason;
+
+  /// Journal replay: when nonempty, AppendResultLine emits exactly these
+  /// bytes (the line recorded when the request first completed) instead
+  /// of re-formatting the row — the byte-identity guarantee across
+  /// daemon restarts reduces to string equality.
+  std::string replayed_line;
 };
 
 struct ServeReport {
@@ -240,6 +262,40 @@ class ServeEngine {
   size_t InflightWorkers() const;
 
   size_t witness_rejections() const;
+
+  /// Journal-backed result cache lookup (idempotent replay). kHit fills
+  /// `row` with the recorded terminal state and the verbatim recorded
+  /// result line (row.replayed_line); under ServeOptions::verify the
+  /// persisted witness is independently re-checked first, and a result
+  /// whose certificate no longer verifies is dropped from the cache
+  /// (kMiss — the caller resubmits and a fresh worker recomputes).
+  /// kMismatch means the id was seen before with a *different* canonical
+  /// request line — an id reuse, which front ends reject. Always kMiss
+  /// when no journal is configured.
+  enum class CacheLookup { kMiss, kHit, kMismatch };
+  CacheLookup LookupCompleted(const EvalRequest& request, RequestRow* row);
+
+  /// Ticket of the in-flight (admitted, not yet terminal) request with
+  /// this id, or 0. Lets a front end attach a second waiter to the same
+  /// evaluation — duplicate-id coalescing, which with the journal
+  /// extends across restarts. `mismatch` is set instead when the id is
+  /// in flight under a different canonical request line.
+  uint64_t FindInflight(const EvalRequest& request, bool* mismatch);
+
+  /// fsyncs the journal (graceful drain calls this before exit 0).
+  void FlushJournal();
+
+  /// Journal health and replay counters for stats lines and ops logs.
+  struct JournalInfo {
+    bool enabled = false;
+    bool failed = false;
+    size_t recovered_completed = 0;  // entries replayable from the cache
+    size_t recovered_inflight = 0;   // entries resubmitted on startup
+    size_t torn_bytes = 0;           // truncated off the tail on recovery
+    size_t hits = 0;                 // requests served from the cache
+    size_t verify_rejections = 0;    // cached results dropped by --verify
+  };
+  JournalInfo journal_info() const;
 
  private:
   class Impl;

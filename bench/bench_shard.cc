@@ -19,6 +19,14 @@
 // fault (--chaos-kill/--chaos-oom/--chaos-stall/--chaos-corrupt=
 // ROUND:SHARD), and across a kill -9 + resume with a different shard
 // count. That invariance is what scripts/shard_chaos_smoke.sh diffs.
+//
+// --storage: all of the above over the storage-partitioned engine
+// (shard/storage_shard.h) instead of the fork-per-round one: long-lived
+// workers owning durable instance fragments (--state-dir=PATH, default
+// <checkpoint-dir>/storage in durable mode), faults optionally pinned to
+// a protocol phase with --chaos-phase=load|discover, and mid-run
+// resharding with --reshard-at=ROUND --reshard-to=N. The same "final:"
+// invariance holds; scripts/storage_shard_smoke.sh diffs it.
 
 #include <benchmark/benchmark.h>
 
@@ -32,6 +40,7 @@
 #include "chase/checkpoint.h"
 #include "parser/parser.h"
 #include "shard/shard_chase.h"
+#include "shard/storage_shard.h"
 #include "workload/report.h"
 
 namespace gqe {
@@ -43,6 +52,11 @@ CheckpointFlags g_checkpoint;
 BenchJsonFlags g_json;
 int g_durable_n = 200;
 int g_shards = 1;
+bool g_storage = false;
+std::string g_state_dir;
+int64_t g_reshard_at = -1;
+int g_reshard_to = 0;
+StorageFault::Phase g_chaos_phase = StorageFault::Phase::kDiscover;
 std::vector<ShardFault> g_chaos;
 
 TgdSet TransitiveClosure() {
@@ -84,6 +98,31 @@ ShardOptions BenchShardOptions(int shards) {
   options.backoff_base_ms = 1.0;
   options.backoff_cap_ms = 20.0;
   return options;
+}
+
+StorageShardOptions BenchStorageOptions(int shards) {
+  StorageShardOptions options;
+  options.shards = shards;
+  options.heartbeat_timeout_ms = 2000.0;
+  options.backoff_base_ms = 1.0;
+  options.backoff_cap_ms = 20.0;
+  return options;
+}
+
+/// Maps the parsed --chaos-* flags onto storage faults, pinned to the
+/// --chaos-phase protocol phase (the fault kinds share enum values).
+std::vector<StorageFault> StorageChaos() {
+  std::vector<StorageFault> faults;
+  for (const ShardFault& fault : g_chaos) {
+    StorageFault storage;
+    storage.boundary = fault.round;
+    storage.shard = fault.shard;
+    storage.attempt = fault.attempt;
+    storage.kind = static_cast<StorageFault::Kind>(fault.kind);
+    storage.phase = g_chaos_phase;
+    faults.push_back(storage);
+  }
+  return faults;
 }
 
 bool SameInstance(const ChaseResult& got, const ChaseResult& want) {
@@ -185,6 +224,92 @@ void PrintRecoveryLatency() {
   table.Print("E7b: recovery latency per injected fault (4 shards)");
 }
 
+/// Storage partitioning: wall time, fragment sizes and worker RSS per
+/// shard count — the max-instance-fragment-vs-shard-count story.
+void PrintStorageScaling() {
+  Instance db = ChainDatabase(40);
+  TgdSet sigma = TransitiveClosure();
+  const uint32_t null_base = Term::NextNullId();
+  Term::SetNextNullId(null_base);
+  ChaseOptions chase_options;
+  chase_options.budget = g_budget;
+  ChaseResult reference = Chase(db, sigma, chase_options);
+  const size_t total_facts = reference.instance.size();
+
+  ReportTable table({"shards", "chase ms", "max fragment", "of total %",
+                     "worker RSS MB", "exchanged KB", "identical"});
+  for (int shards : {1, 2, 4, 8}) {
+    Term::SetNextNullId(null_base);
+    StorageShardStats stats;
+    Stopwatch watch;
+    ChaseResult result = StorageShardChase(
+        db, sigma, chase_options, BenchStorageOptions(shards), &stats);
+    const double ms = watch.ElapsedMs();
+    g_watchdog.Record("storage shards=" + std::to_string(shards),
+                      result.outcome);
+    table.AddRow(
+        {ReportTable::Cell(shards), ReportTable::Cell(ms),
+         ReportTable::Cell(stats.max_fragment_facts),
+         ReportTable::Cell(total_facts > 0
+                               ? 100.0 * stats.max_fragment_facts /
+                                     static_cast<double>(total_facts)
+                               : 0.0),
+         ReportTable::Cell(static_cast<double>(stats.max_worker_rss_kb) /
+                           1024.0),
+         ReportTable::Cell(static_cast<double>(stats.exchanged_bytes) /
+                           1024.0),
+         ReportTable::Cell(SameInstance(result, reference))});
+  }
+  Term::SetNextNullId(null_base);
+  table.Print(
+      "E7c: storage partitioning (per-shard fragments, owner exchange)");
+}
+
+/// Storage-shard loss recovery: one injected fault of each kind in each
+/// protocol phase, with rebuild counts and recovery wall time.
+void PrintStorageRecovery() {
+  Instance db = ChainDatabase(40);
+  TgdSet sigma = TransitiveClosure();
+  const uint32_t null_base = Term::NextNullId();
+  Term::SetNextNullId(null_base);
+  ChaseOptions chase_options;
+  chase_options.budget = g_budget;
+  ChaseResult reference = Chase(db, sigma, chase_options);
+
+  ReportTable table({"fault", "phase", "chase ms", "recovery ms",
+                     "rebuilds", "respawns", "identical"});
+  const StorageFault::Kind kinds[] = {
+      StorageFault::Kind::kKill, StorageFault::Kind::kOom,
+      StorageFault::Kind::kStall, StorageFault::Kind::kCorrupt};
+  for (StorageFault::Phase phase :
+       {StorageFault::Phase::kLoad, StorageFault::Phase::kDiscover}) {
+    for (StorageFault::Kind kind : kinds) {
+      StorageShardOptions options = BenchStorageOptions(4);
+      options.heartbeat_timeout_ms = 250.0;  // stalls resolve quickly
+      options.faults.push_back({1, 0, 1, kind, phase});
+
+      Term::SetNextNullId(null_base);
+      StorageShardStats stats;
+      Stopwatch watch;
+      ChaseResult result =
+          StorageShardChase(db, sigma, chase_options, options, &stats);
+      const double ms = watch.ElapsedMs();
+      g_watchdog.Record(std::string("storage chaos ") +
+                            StorageFaultKindName(kind) + "/" +
+                            StorageFaultPhaseName(phase),
+                        result.outcome);
+      table.AddRow({StorageFaultKindName(kind), StorageFaultPhaseName(phase),
+                    ReportTable::Cell(ms),
+                    ReportTable::Cell(stats.recovery_ms),
+                    ReportTable::Cell(stats.rebuilds),
+                    ReportTable::Cell(stats.respawns),
+                    ReportTable::Cell(SameInstance(result, reference))});
+    }
+  }
+  Term::SetNextNullId(null_base);
+  table.Print("E7d: storage-shard loss recovery (4 shards)");
+}
+
 int RunJsonBench() {
   BenchJson json("shard", g_json);
   Instance db = ChainDatabase(40);
@@ -237,6 +362,59 @@ int RunJsonBench() {
     std::printf("%-24s %10.1f ms chase  %8.1f ms recovery  %zu respawns\n",
                 key.c_str(), ms, stats.recovery_ms, stats.respawns);
   }
+  // Storage partitioning: wall time per shard count, plus the memory
+  // story — the largest per-shard fragment and worker RSS at 8 shards
+  // against the whole instance in one process.
+  size_t total_facts = 0;
+  for (int shards : {1, 2, 4, 8}) {
+    const std::string key = "storage_tc/40/s" + std::to_string(shards);
+    Term::SetNextNullId(null_base);
+    StorageShardStats stats;
+    Stopwatch watch;
+    ChaseResult result = StorageShardChase(db, sigma, chase_options,
+                                           BenchStorageOptions(shards),
+                                           &stats);
+    const double ms = watch.ElapsedMs();
+    g_watchdog.Record(key, result.outcome);
+    total_facts = result.instance.size();
+    const double facts = static_cast<double>(result.instance.size());
+    json.Add(key, ms * 1e6, facts * 1e3 / ms);
+    std::printf("%-20s %12.0f ns/op  %10.0f facts/s  fragment=%zu  "
+                "rss=%ldKB\n",
+                key.c_str(), ms * 1e6, facts * 1e3 / ms,
+                stats.max_fragment_facts, stats.max_worker_rss_kb);
+    if (shards == 8) {
+      json.Meta("storage_s8_max_fragment_facts",
+                static_cast<double>(stats.max_fragment_facts));
+      json.Meta("storage_s8_max_worker_rss_kb",
+                static_cast<double>(stats.max_worker_rss_kb));
+    }
+  }
+  json.Meta("storage_total_facts", static_cast<double>(total_facts));
+  json.Meta("single_process_rss_kb", static_cast<double>(PeakRssKb()));
+
+  // Storage-shard loss recovery per fault kind (discover phase — the
+  // fragile window between a shard's ack and the round commit).
+  for (ShardFault::Kind kind : kinds) {
+    const std::string key =
+        std::string("storage_recovery/") + ShardFaultKindName(kind);
+    StorageShardOptions options = BenchStorageOptions(4);
+    options.heartbeat_timeout_ms = 250.0;
+    options.faults.push_back({1, 0, 1,
+                              static_cast<StorageFault::Kind>(kind),
+                              StorageFault::Phase::kDiscover});
+    Term::SetNextNullId(null_base);
+    StorageShardStats stats;
+    Stopwatch watch;
+    ChaseResult result =
+        StorageShardChase(db, sigma, chase_options, options, &stats);
+    const double ms = watch.ElapsedMs();
+    g_watchdog.Record(key, result.outcome);
+    json.Add(key, ms * 1e6, stats.recovery_ms);
+    std::printf("%-26s %10.1f ms chase  %8.1f ms recovery  %zu rebuilds\n",
+                key.c_str(), ms, stats.recovery_ms, stats.rebuilds);
+  }
+
   Term::SetNextNullId(null_base);
   json.Write();
   g_watchdog.Print("E7 watchdog: timeout vs complete");
@@ -302,6 +480,73 @@ int RunDurableShardedChase() {
   return 0;
 }
 
+/// Durable storage-partitioned mode for scripts/storage_shard_smoke.sh:
+/// the same deterministic chain chase, fact store hash-partitioned
+/// across long-lived workers with durable fragments under --state-dir,
+/// resumable from --checkpoint-dir, with phase-pinned injected faults
+/// and optional mid-run resharding. Same "final:" line as bench_chase.
+int RunDurableStorageChase() {
+  Instance db = ChainDatabase(g_durable_n);
+  TgdSet sigma = TransitiveClosure();
+  ChaseOptions options;
+  options.budget = g_budget;
+  options.checkpoint_every = g_checkpoint.every;
+
+  StorageShardOptions storage_options = BenchStorageOptions(g_shards);
+  storage_options.state_dir =
+      g_state_dir.empty() ? g_checkpoint.dir + "/storage" : g_state_dir;
+  storage_options.reshard_at_round = g_reshard_at;
+  storage_options.reshard_to = g_reshard_to;
+  storage_options.faults = StorageChaos();
+
+  ResumeInfo info;
+  StorageShardStats stats;
+  Stopwatch watch;
+  ChaseResult result = ResumeStorageShardChase(
+      g_checkpoint.dir, db, sigma, options, storage_options, &info, &stats);
+  const double ms = watch.ElapsedMs();
+  g_watchdog.Record("durable storage chase n=" + std::to_string(g_durable_n),
+                    result.outcome);
+
+  std::printf("durable storage chase: dir=%s state=%s every=%d n=%d "
+              "shards=%d\n",
+              g_checkpoint.dir.c_str(), storage_options.state_dir.c_str(),
+              g_checkpoint.every, g_durable_n, g_shards);
+  std::printf("resume: resumed=%s generation=%llu skipped=%d (%s)\n",
+              info.resumed ? "yes" : "no",
+              static_cast<unsigned long long>(info.generation),
+              info.skipped_generations,
+              info.load_status.ok()
+                  ? "ok"
+                  : SnapshotErrorName(info.load_status.error));
+  std::printf("storage: spawned=%zu respawns=%zu deaths=%zu timeouts=%zu "
+              "corrupt=%zu rebuilds=%zu reseeds=%zu fallbacks=%zu "
+              "logs=%zu/%zu fragment=%zu exchanged=%zuB\n",
+              stats.workers_spawned, stats.respawns, stats.worker_deaths,
+              stats.heartbeat_timeouts, stats.corrupt_replies, stats.rebuilds,
+              stats.reseeds, stats.inline_fallbacks, stats.logs_written,
+              stats.logs_pruned, stats.max_fragment_facts,
+              stats.exchanged_bytes);
+  for (const StorageShardEvent& event : stats.events) {
+    std::printf("storage event: boundary=%llu shard=%u attempt=%d cause=%s\n",
+                static_cast<unsigned long long>(event.boundary), event.shard,
+                event.attempt, event.cause.c_str());
+  }
+  std::printf("elapsed: %.1f ms\n", ms);
+
+  BinaryWriter writer;
+  EncodeInstance(result.instance, &writer);
+  std::printf("final: status=%s complete=%s rounds=%llu facts=%zu "
+              "levels=%d crc32=%08x\n",
+              StatusName(result.outcome.status),
+              result.complete ? "yes" : "no",
+              static_cast<unsigned long long>(result.rounds_completed),
+              result.instance.size(), result.max_level_built,
+              Crc32(writer.buffer()));
+  g_watchdog.Print("E7 watchdog: timeout vs complete");
+  return 0;
+}
+
 int ParseIntFlag(int* argc, char** argv, const char* name, int default_value) {
   const std::string prefix = std::string(name) + "=";
   int value = default_value;
@@ -314,6 +559,36 @@ int ParseIntFlag(int* argc, char** argv, const char* name, int default_value) {
     }
     if (arg == name && i + 1 < *argc) {
       value = std::atoi(argv[++i]);
+      continue;
+    }
+    argv[out++] = argv[i];
+  }
+  *argc = out;
+  return value;
+}
+
+bool ParseBoolFlag(int* argc, char** argv, const char* name) {
+  bool value = false;
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    if (std::string(argv[i]) == name) {
+      value = true;
+      continue;
+    }
+    argv[out++] = argv[i];
+  }
+  *argc = out;
+  return value;
+}
+
+std::string ParseStringFlag(int* argc, char** argv, const char* name) {
+  const std::string prefix = std::string(name) + "=";
+  std::string value;
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind(prefix, 0) == 0) {
+      value = arg.substr(prefix.size());
       continue;
     }
     argv[out++] = argv[i];
@@ -371,6 +646,13 @@ int main(int argc, char** argv) {
   gqe::g_json = gqe::ParseBenchJsonFlags(&argc, argv);
   gqe::g_durable_n = gqe::ParseIntFlag(&argc, argv, "--durable-n", 200);
   gqe::g_shards = gqe::ParseIntFlag(&argc, argv, "--shards", 1);
+  gqe::g_storage = gqe::ParseBoolFlag(&argc, argv, "--storage");
+  gqe::g_state_dir = gqe::ParseStringFlag(&argc, argv, "--state-dir");
+  gqe::g_reshard_at = gqe::ParseIntFlag(&argc, argv, "--reshard-at", -1);
+  gqe::g_reshard_to = gqe::ParseIntFlag(&argc, argv, "--reshard-to", 0);
+  if (gqe::ParseStringFlag(&argc, argv, "--chaos-phase") == "load") {
+    gqe::g_chaos_phase = gqe::StorageFault::Phase::kLoad;
+  }
   gqe::g_chaos = gqe::ParseChaosFlags(&argc, argv);
   // SIGINT/SIGTERM cancel cooperatively: the coordinator notices at the
   // round barrier, puts every worker down, writes a final checkpoint in
@@ -379,10 +661,15 @@ int main(int argc, char** argv) {
   gqe::CancelToken cancel = gqe::CancelToken::Create();
   gqe::g_budget.cancel = cancel;
   gqe::InstallBenchSignalHandlers(cancel);
-  if (gqe::g_checkpoint.enabled()) return gqe::RunDurableShardedChase();
+  if (gqe::g_checkpoint.enabled()) {
+    return gqe::g_storage ? gqe::RunDurableStorageChase()
+                          : gqe::RunDurableShardedChase();
+  }
   if (gqe::g_json.enabled) return gqe::RunJsonBench();
   gqe::PrintShardScaling();
   gqe::PrintRecoveryLatency();
+  gqe::PrintStorageScaling();
+  gqe::PrintStorageRecovery();
   gqe::g_watchdog.Print("E7 watchdog: timeout vs complete");
   return 0;
 }

@@ -125,6 +125,22 @@ constexpr uint16_t kSnapshotKindShardExchange = 5;
 /// bit-flipped record a *detected* end of journal on recovery, never a
 /// fabricated request or result.
 constexpr uint16_t kSnapshotKindJournalRecord = 6;
+/// Long-lived storage-shard worker protocol (shard/storage_shard.h): a
+/// coordinator command frame (seed / delta / rebuild / discover) and the
+/// worker's reply (ack with fragment manifest, or candidate groups). Both
+/// travel length-prefixed over pipes; the envelope CRC turns any torn or
+/// bit-flipped frame into a recoverable shard fault.
+constexpr uint16_t kSnapshotKindStorageCommand = 7;
+constexpr uint16_t kSnapshotKindStorageReply = 8;
+/// A storage shard's per-round fragment checkpoint (its owned slice of
+/// the instance plus the round frontier), written tmp+fsync+rename at
+/// every round boundary.
+constexpr uint16_t kSnapshotKindStorageFragment = 9;
+/// The coordinator's retained per-round exchange log (one round's delta
+/// facts), fsynced before any shard's round barrier is acked so a
+/// respawned shard can always rebuild checkpoint + log back to the
+/// current boundary.
+constexpr uint16_t kSnapshotKindStorageLog = 10;
 
 /// Current snapshot format version (bumped on incompatible changes).
 /// v2: chase snapshots carry the per-trigger null-draw log backing

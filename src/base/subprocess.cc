@@ -107,6 +107,65 @@ bool WriteAllToFd(int fd, std::string_view data, int* errno_out) {
 
 bool IsPeerGoneErrno(int err) { return err == EPIPE || err == ECONNRESET; }
 
+void AppendLengthPrefixedFrame(std::string* out, std::string_view payload) {
+  const uint32_t size = static_cast<uint32_t>(payload.size());
+  char header[4];
+  header[0] = static_cast<char>(size & 0xff);
+  header[1] = static_cast<char>((size >> 8) & 0xff);
+  header[2] = static_cast<char>((size >> 16) & 0xff);
+  header[3] = static_cast<char>((size >> 24) & 0xff);
+  out->append(header, sizeof(header));
+  out->append(payload.data(), payload.size());
+}
+
+FrameTake TakeLengthPrefixedFrame(std::string* buffer, std::string* payload,
+                                  size_t max_bytes) {
+  if (buffer->size() < 4) return FrameTake::kNeedMore;
+  const unsigned char* b =
+      reinterpret_cast<const unsigned char*>(buffer->data());
+  const uint32_t size = static_cast<uint32_t>(b[0]) |
+                        (static_cast<uint32_t>(b[1]) << 8) |
+                        (static_cast<uint32_t>(b[2]) << 16) |
+                        (static_cast<uint32_t>(b[3]) << 24);
+  if (size > max_bytes) return FrameTake::kMalformed;
+  if (buffer->size() < 4 + static_cast<size_t>(size)) return FrameTake::kNeedMore;
+  payload->assign(*buffer, 4, size);
+  buffer->erase(0, 4 + static_cast<size_t>(size));
+  return FrameTake::kFrame;
+}
+
+bool ReadLengthPrefixedFrameBlocking(int fd, std::string* payload,
+                                     size_t max_bytes) {
+  unsigned char header[4];
+  size_t got = 0;
+  while (got < sizeof(header)) {
+    const ssize_t n = ::read(fd, header + got, sizeof(header) - got);
+    if (n > 0) {
+      got += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return false;  // EOF or hard error
+  }
+  const uint32_t size = static_cast<uint32_t>(header[0]) |
+                        (static_cast<uint32_t>(header[1]) << 8) |
+                        (static_cast<uint32_t>(header[2]) << 16) |
+                        (static_cast<uint32_t>(header[3]) << 24);
+  if (size > max_bytes) return false;
+  payload->resize(size);
+  got = 0;
+  while (got < size) {
+    const ssize_t n = ::read(fd, payload->data() + got, size - got);
+    if (n > 0) {
+      got += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return false;
+  }
+  return true;
+}
+
 WorkerProcess::WorkerProcess(WorkerProcess&& other) noexcept {
   *this = std::move(other);
 }
@@ -115,11 +174,13 @@ WorkerProcess& WorkerProcess::operator=(WorkerProcess&& other) noexcept {
   if (this != &other) {
     CloseFds();
     pid_ = other.pid_;
+    command_fd_ = other.command_fd_;
     result_fd_ = other.result_fd_;
     heartbeat_fd_ = other.heartbeat_fd_;
     exit_ = other.exit_;
     result_ = std::move(other.result_);
     other.pid_ = -1;
+    other.command_fd_ = -1;
     other.result_fd_ = -1;
     other.heartbeat_fd_ = -1;
     other.exit_ = WorkerExit{};
@@ -141,40 +202,89 @@ WorkerProcess::~WorkerProcess() {
 }
 
 void WorkerProcess::CloseFds() {
+  CloseQuietly(&command_fd_);
   CloseQuietly(&result_fd_);
   CloseQuietly(&heartbeat_fd_);
 }
 
-bool WorkerProcess::Spawn(
-    const WorkerLimits& limits,
-    const std::function<int(int result_fd, int heartbeat_fd)>& body,
-    WorkerProcess* out, std::string* error) {
+void WorkerProcess::CloseCommand() { CloseQuietly(&command_fd_); }
+
+bool WorkerProcess::WriteCommand(std::string_view data, double timeout_ms) {
+  if (command_fd_ < 0) return false;
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double, std::milli>(
+              timeout_ms > 0 ? timeout_ms : 0));
+  size_t written = 0;
+  while (written < data.size()) {
+    const ssize_t n =
+        ::write(command_fd_, data.data() + written, data.size() - written);
+    if (n > 0) {
+      written += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      // Full pipe: the worker is slow or stalled. Never block — wait out
+      // the deadline in small sleeps, giving up early if the worker died
+      // (its read end is gone, so the pipe will never drain).
+      if (Poll()) return false;
+      if (std::chrono::steady_clock::now() >= deadline) return false;
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      continue;
+    }
+    return false;  // EPIPE (worker gone) or a hard error
+  }
+  return true;
+}
+
+namespace {
+
+// Raw handles a successful fork hands back to the Spawn members.
+struct SpawnedWorker {
+  pid_t pid = -1;
+  int command_fd = -1;
+  int result_fd = -1;
+  int heartbeat_fd = -1;
+};
+
+// Shared fork path behind both Spawn overloads. `with_command` adds the
+// parent→child command pipe used by long-lived workers.
+bool SpawnWorkerImpl(
+    const WorkerLimits& limits, bool with_command,
+    const std::function<int(int command_fd, int result_fd, int heartbeat_fd)>&
+        body,
+    SpawnedWorker* out, std::string* error) {
+  int command_pipe[2] = {-1, -1};
   int result_pipe[2] = {-1, -1};
   int heartbeat_pipe[2] = {-1, -1};
-  if (::pipe(result_pipe) != 0) {
-    if (error != nullptr) *error = std::string("pipe: ") + std::strerror(errno);
-    return false;
-  }
-  if (::pipe(heartbeat_pipe) != 0) {
-    if (error != nullptr) *error = std::string("pipe: ") + std::strerror(errno);
+  auto close_all = [&] {
+    CloseQuietly(&command_pipe[0]);
+    CloseQuietly(&command_pipe[1]);
     CloseQuietly(&result_pipe[0]);
     CloseQuietly(&result_pipe[1]);
+    CloseQuietly(&heartbeat_pipe[0]);
+    CloseQuietly(&heartbeat_pipe[1]);
+  };
+  if ((with_command && ::pipe(command_pipe) != 0) ||
+      ::pipe(result_pipe) != 0 || ::pipe(heartbeat_pipe) != 0) {
+    if (error != nullptr) *error = std::string("pipe: ") + std::strerror(errno);
+    close_all();
     return false;
   }
 
   const pid_t pid = ::fork();
   if (pid < 0) {
     if (error != nullptr) *error = std::string("fork: ") + std::strerror(errno);
-    CloseQuietly(&result_pipe[0]);
-    CloseQuietly(&result_pipe[1]);
-    CloseQuietly(&heartbeat_pipe[0]);
-    CloseQuietly(&heartbeat_pipe[1]);
+    close_all();
     return false;
   }
 
   if (pid == 0) {
     // Child. Only async-signal-safe calls until `body` takes over: close,
     // signal disposition, setrlimit.
+    if (with_command) ::close(command_pipe[1]);
     ::close(result_pipe[0]);
     ::close(heartbeat_pipe[0]);
     // The serving tier's sockets die with the fork: an orphaned worker
@@ -193,19 +303,65 @@ bool WorkerProcess::Spawn(
     ::signal(SIGTERM, SIG_DFL);
     InstallWorkerLimits(limits);
     int code = 127;
-    code = body(result_pipe[1], heartbeat_pipe[1]);
+    code = body(with_command ? command_pipe[0] : -1, result_pipe[1],
+                heartbeat_pipe[1]);
     ::_exit(code);
   }
 
-  // Parent.
+  // Parent. The command write end is non-blocking so WriteCommand can
+  // poll instead of wedging on a stalled worker's full pipe.
+  if (with_command) {
+    ::close(command_pipe[0]);
+    SetNonBlocking(command_pipe[1]);
+  }
   ::close(result_pipe[1]);
   ::close(heartbeat_pipe[1]);
   SetNonBlocking(result_pipe[0]);
   SetNonBlocking(heartbeat_pipe[0]);
+  out->pid = pid;
+  out->command_fd = with_command ? command_pipe[1] : -1;
+  out->result_fd = result_pipe[0];
+  out->heartbeat_fd = heartbeat_pipe[0];
+  return true;
+}
+
+}  // namespace
+
+bool WorkerProcess::Spawn(
+    const WorkerLimits& limits,
+    const std::function<int(int result_fd, int heartbeat_fd)>& body,
+    WorkerProcess* out, std::string* error) {
+  SpawnedWorker spawned;
+  if (!SpawnWorkerImpl(
+          limits, /*with_command=*/false,
+          [&body](int, int result_fd, int heartbeat_fd) {
+            return body(result_fd, heartbeat_fd);
+          },
+          &spawned, error)) {
+    return false;
+  }
   *out = WorkerProcess();
-  out->pid_ = pid;
-  out->result_fd_ = result_pipe[0];
-  out->heartbeat_fd_ = heartbeat_pipe[0];
+  out->pid_ = spawned.pid;
+  out->command_fd_ = spawned.command_fd;
+  out->result_fd_ = spawned.result_fd;
+  out->heartbeat_fd_ = spawned.heartbeat_fd;
+  return true;
+}
+
+bool WorkerProcess::Spawn(
+    const WorkerLimits& limits,
+    const std::function<int(int command_fd, int result_fd, int heartbeat_fd)>&
+        body,
+    WorkerProcess* out, std::string* error) {
+  SpawnedWorker spawned;
+  if (!SpawnWorkerImpl(limits, /*with_command=*/true, body, &spawned, error)) {
+    return false;
+  }
+  *out = WorkerProcess();
+  out->pid_ = spawned.pid;
+  out->command_fd_ = spawned.command_fd;
+  out->result_fd_ = spawned.result_fd;
+  out->heartbeat_fd_ = spawned.heartbeat_fd;
   return true;
 }
 

@@ -69,6 +69,28 @@ class WorkerProcess {
                     const std::function<int(int result_fd, int heartbeat_fd)>& body,
                     WorkerProcess* out, std::string* error);
 
+  /// Long-lived worker variant: adds a parent→child command pipe so one
+  /// forked worker can serve many commands instead of fork-per-task. The
+  /// child's read end is blocking (the worker parks in read between
+  /// commands); the parent's write end is non-blocking so a stalled
+  /// (SIGSTOP'd) worker with a full pipe can never wedge the supervisor —
+  /// WriteCommand below polls with a deadline instead.
+  static bool Spawn(
+      const WorkerLimits& limits,
+      const std::function<int(int command_fd, int result_fd, int heartbeat_fd)>&
+          body,
+      WorkerProcess* out, std::string* error);
+
+  /// Writes `data` to the command pipe, polling past EAGAIN until
+  /// `timeout_ms` elapses or the worker dies. Returns false on timeout,
+  /// peer-gone, hard error, or when no command pipe exists; the caller
+  /// treats any failure as a worker fault (kill + respawn), never a hang.
+  bool WriteCommand(std::string_view data, double timeout_ms);
+
+  /// Closes the parent's command write end. The worker sees EOF on its
+  /// next read and exits cleanly — the graceful half of teardown.
+  void CloseCommand();
+
   pid_t pid() const { return pid_; }
   bool running() const { return pid_ > 0 && !exit_.reaped; }
   const WorkerExit& exit_status() const { return exit_; }
@@ -100,10 +122,16 @@ class WorkerProcess {
 
   const std::string& result_bytes() const { return result_; }
 
+  /// Moves the accumulated result bytes out, leaving the buffer empty.
+  /// Long-lived workers stream many framed replies through one pipe; the
+  /// supervisor takes what has arrived and reassembles frames itself.
+  std::string TakeResult() { return std::move(result_); }
+
  private:
   void CloseFds();
 
   pid_t pid_ = -1;
+  int command_fd_ = -1;
   int result_fd_ = -1;
   int heartbeat_fd_ = -1;
   WorkerExit exit_;
@@ -126,6 +154,37 @@ class HeartbeatWriter {
   std::atomic<bool> stop_{false};
   std::thread thread_;
 };
+
+/// Outcome of trying to peel one length-prefixed frame off a stream
+/// buffer (see TakeLengthPrefixedFrame).
+enum class FrameTake : int {
+  /// A complete frame was extracted into `payload`.
+  kFrame = 0,
+  /// The buffer holds only a partial frame; read more and retry.
+  kNeedMore = 1,
+  /// The declared length exceeds `max_bytes` — the stream is garbage (or
+  /// hostile) and the connection/worker must be torn down, because no
+  /// amount of further reading resynchronizes a length-prefixed stream.
+  kMalformed = 2,
+};
+
+/// Appends `payload` to `out` as a u32-little-endian-length-prefixed
+/// frame. The pipe protocols between the shard coordinator and its
+/// long-lived workers use this framing in both directions; payload
+/// integrity is the embedded snapshot envelope's job, framing only
+/// delimits.
+void AppendLengthPrefixedFrame(std::string* out, std::string_view payload);
+
+/// Attempts to peel one frame off the front of `buffer`. On kFrame the
+/// frame's payload is moved into `payload` and erased from `buffer`.
+FrameTake TakeLengthPrefixedFrame(std::string* buffer, std::string* payload,
+                                  size_t max_bytes);
+
+/// Child-side blocking read of one frame from `fd`. Returns false on
+/// EOF, error, or an oversized declared length — for a long-lived worker
+/// all three mean "supervisor is gone or insane: exit".
+bool ReadLengthPrefixedFrameBlocking(int fd, std::string* payload,
+                                     size_t max_bytes);
 
 /// Writes all of `data` to `fd`, retrying on EINTR / short writes.
 /// Returns false on the first hard write error. When `errno_out` is

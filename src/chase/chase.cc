@@ -563,6 +563,24 @@ ChaseResult ChaseImpl(const Instance* db, const ChaseCheckpointState* resume,
 
 }  // namespace
 
+bool BindDiscoveryAnchor(const Atom& anchor_atom, PredicateId fact_predicate,
+                         std::span<const Term> fact_args,
+                         Substitution* fixed) {
+  if (fact_predicate != anchor_atom.predicate()) return false;
+  for (size_t pos = 0; pos < fact_args.size(); ++pos) {
+    Term t_pat = anchor_atom.args()[pos];
+    Term image = fact_args[pos];
+    if (t_pat.IsGround()) {
+      if (!(t_pat == image)) return false;
+    } else if (fixed->Has(t_pat)) {
+      if (!(fixed->Apply(t_pat) == image)) return false;
+    } else {
+      fixed->Set(t_pat, image);
+    }
+  }
+  return true;
+}
+
 void RunChaseDiscoveryAtFact(size_t tgd_index, int anchor, size_t fact_index,
                              const TgdSet& tgds, const Instance& instance,
                              Governor* governor,
@@ -571,23 +589,12 @@ void RunChaseDiscoveryAtFact(size_t tgd_index, int anchor, size_t fact_index,
   const auto& body = tgds[tgd_index].body();
   const Atom& anchor_atom = body[anchor];
   const uint32_t fi = static_cast<uint32_t>(fact_index);
-  if (instance.predicate_of(fi) != anchor_atom.predicate()) return;
-  const std::span<const Term> fact_args = instance.args_of(fi);
   // Bind the anchor atom's variables against this fact.
   HomOptions options;
-  bool ok = true;
-  for (size_t pos = 0; pos < fact_args.size() && ok; ++pos) {
-    Term t_pat = anchor_atom.args()[pos];
-    Term image = fact_args[pos];
-    if (t_pat.IsGround()) {
-      ok = (t_pat == image);
-    } else if (options.fixed.Has(t_pat)) {
-      ok = (options.fixed.Apply(t_pat) == image);
-    } else {
-      options.fixed.Set(t_pat, image);
-    }
+  if (!BindDiscoveryAnchor(anchor_atom, instance.predicate_of(fi),
+                           instance.args_of(fi), &options.fixed)) {
+    return;
   }
-  if (!ok) return;
   options.governor = governor;
   HomomorphismSearch search(body, instance, options);
   search.ForEach([&](const Substitution& sub) {

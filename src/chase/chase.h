@@ -114,6 +114,17 @@ void RunChaseDiscoveryAtFact(size_t tgd_index, int anchor, size_t fact_index,
                              Governor* governor,
                              std::vector<Substitution>* out);
 
+/// Binds `anchor_atom`'s arguments against one fact (predicate +
+/// argument terms), accumulating the variable bindings into `fixed`.
+/// Returns false on any mismatch: wrong predicate, a ground argument
+/// that differs, or two positions demanding different images for the
+/// same variable. This is the exact binding step of
+/// RunChaseDiscoveryAtFact, exposed so storage-shard workers can
+/// classify and seed per-fact discovery on their fragments with
+/// bit-identical semantics.
+bool BindDiscoveryAnchor(const Atom& anchor_atom, PredicateId fact_predicate,
+                         std::span<const Term> fact_args, Substitution* fixed);
+
 /// Everything a discovery hook needs to produce one round's candidate
 /// triggers: the frozen committed instance, the rule set, the round's
 /// discovery units in canonical order and the delta frontier they cover.

@@ -19,6 +19,7 @@ std::string EncodeShardExchange(const ShardExchange& exchange) {
   writer.WriteU32(exchange.shard_id);
   writer.WriteU32(exchange.num_shards);
   writer.WriteU32(exchange.attempt);
+  writer.WriteU64(exchange.sequence);
   writer.WriteU64(exchange.round);
   writer.WriteU64(exchange.delta_start);
   writer.WriteU64(exchange.delta_end);
@@ -55,6 +56,7 @@ SnapshotStatus DecodeShardExchange(std::string_view bytes,
   reader.ReadU32(&exchange.shard_id);
   reader.ReadU32(&exchange.num_shards);
   reader.ReadU32(&exchange.attempt);
+  reader.ReadU64(&exchange.sequence);
   reader.ReadU64(&exchange.round);
   reader.ReadU64(&exchange.delta_start);
   reader.ReadU64(&exchange.delta_end);

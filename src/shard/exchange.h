@@ -32,6 +32,11 @@ struct ShardExchange {
   uint32_t shard_id = 0;
   uint32_t num_shards = 1;
   uint32_t attempt = 1;
+  /// Coordinator-issued per-round sequence number the exchange must echo.
+  /// The discovery-sharded chase uses the round itself; the storage-shard
+  /// protocol issues a fresh sequence per command so a late reply from a
+  /// superseded attempt can never be mistaken for the current one.
+  uint64_t sequence = 0;
   uint64_t round = 0;
   uint64_t delta_start = 0;
   uint64_t delta_end = 0;

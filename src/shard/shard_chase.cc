@@ -112,6 +112,9 @@ int ShardWorkerBody(const ChaseDiscoveryRound& round, uint32_t shard,
   exchange.shard_id = shard;
   exchange.num_shards = num_shards;
   exchange.attempt = static_cast<uint32_t>(attempt);
+  // Fork-per-round workers answer exactly one implicit command, so the
+  // round number doubles as the sequence.
+  exchange.sequence = round.round;
   exchange.round = round.round;
   exchange.delta_start = round.delta_start;
   exchange.delta_end = round.delta_end;
@@ -312,6 +315,7 @@ class ShardCoordinator : public ChaseDiscoveryHook {
     if (exchange.shard_id != slot->shard ||
         exchange.num_shards != num_shards ||
         exchange.attempt != static_cast<uint32_t>(slot->attempts) ||
+        exchange.sequence != round.round ||
         exchange.round != round.round ||
         exchange.delta_start != round.delta_start ||
         exchange.delta_end != round.delta_end ||
@@ -508,15 +512,17 @@ const char* ShardFaultKindName(ShardFault::Kind kind) {
   return "unknown";
 }
 
+uint32_t ShardOfContentHash(uint64_t content_hash, uint32_t num_shards) {
+  if (num_shards <= 1) return 0;
+  // Mixing the cached content hash once more decorrelates the shard
+  // assignment from the hash's own use in the dedup index.
+  return static_cast<uint32_t>(Mix64(content_hash) % num_shards);
+}
+
 uint32_t ShardOfFact(const Instance& instance, size_t fact_index,
                      uint32_t num_shards) {
-  if (num_shards <= 1) return 0;
-  // The columnar store caches a content hash per fact; mixing it once
-  // more decorrelates the shard assignment from the hash's own use in
-  // the dedup index.
-  return static_cast<uint32_t>(
-      Mix64(instance.store().hash(static_cast<uint32_t>(fact_index))) %
-      num_shards);
+  return ShardOfContentHash(
+      instance.store().hash(static_cast<uint32_t>(fact_index)), num_shards);
 }
 
 uint32_t ShardOfFullPass(size_t tgd_index, uint32_t num_shards) {

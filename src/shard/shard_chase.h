@@ -126,6 +126,12 @@ uint32_t ShardOfFact(const Instance& instance, size_t fact_index,
                      uint32_t num_shards);
 uint32_t ShardOfFullPass(size_t tgd_index, uint32_t num_shards);
 
+/// The partition key underneath ShardOfFact: ownership by content hash
+/// alone (FactStore::HashFact), so a coordinator holding a global fact
+/// index and a storage worker holding a decoded atom agree on the owner
+/// without exchanging indexes.
+uint32_t ShardOfContentHash(uint64_t content_hash, uint32_t num_shards);
+
 /// Runs the chase with each round's trigger discovery hash-partitioned
 /// across forked shard workers (fork without exec: children see the
 /// coordinator's committed instance copy-on-write, so no data is shipped

@@ -1,0 +1,186 @@
+#ifndef GQE_SHARD_STORAGE_SHARD_H_
+#define GQE_SHARD_STORAGE_SHARD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/subprocess.h"
+#include "chase/chase.h"
+#include "chase/checkpoint.h"
+#include "shard/shard_chase.h"
+
+namespace gqe {
+
+/// Deterministic storage-shard fault injection. Unlike the fork-per-round
+/// ShardFault, a storage worker is long-lived and serves two kinds of
+/// command per round boundary — a state load (seed / delta / rebuild) and
+/// a discovery request — so a fault is additionally pinned to the phase
+/// it hits. Kill/OOM/stall ride down to the worker inside the matched
+/// command frame (child-side delivery keeps them deterministic); corrupt
+/// flips a bit in the received reply before validation, exercising the
+/// envelope CRC.
+struct StorageFault {
+  enum class Kind : int {
+    kKill = 0,
+    kOom = 1,
+    kStall = 2,
+    kCorrupt = 3,
+  };
+  enum class Phase : int {
+    /// The seed / delta / rebuild command that brings the fragment to the
+    /// round boundary (and writes its checkpoint).
+    kLoad = 0,
+    /// The per-round trigger-discovery command.
+    kDiscover = 1,
+  };
+
+  /// The chase round boundary (== rounds committed before it).
+  uint64_t boundary = 0;
+  uint32_t shard = 0;
+  int attempt = 1;
+  Kind kind = Kind::kKill;
+  Phase phase = Phase::kDiscover;
+};
+
+const char* StorageFaultKindName(StorageFault::Kind kind);
+const char* StorageFaultPhaseName(StorageFault::Phase phase);
+
+/// Configuration of the storage-partitioned saturation run.
+struct StorageShardOptions {
+  /// Storage shards the instance is hash-partitioned across. Each shard
+  /// is one long-lived worker process owning one fragment.
+  int shards = 2;
+
+  /// Mid-run resharding: from round `reshard_at_round` on, the instance
+  /// is repartitioned across `reshard_to` shards. Unlike the
+  /// work-sharded chase this moves data: the old workers are retired and
+  /// fresh ones are seeded with the new layout's fragments.
+  int64_t reshard_at_round = -1;
+  int reshard_to = 0;
+
+  /// Durable state root: `<state_dir>/shard-<s>/fragment-<gen>.frag`
+  /// fragment checkpoints plus `<state_dir>/logs/log-<boundary>.log`
+  /// retained exchange logs. Empty: a private temp dir, removed on
+  /// teardown (recovery within the run still works; recovery across a
+  /// coordinator restart needs a real directory).
+  std::string state_dir;
+
+  /// Fragment checkpoint generations retained per shard (minimum 2 —
+  /// recovery needs a fallback when the newest generation is the
+  /// casualty). Retained exchange logs are pruned in lockstep: a log is
+  /// deleted only once no retained fragment generation could need it to
+  /// replay forward.
+  int keep_generations = 2;
+
+  /// Retry budget per (boundary, shard), with BackoffDelayMs jitter
+  /// between attempts — same ladder as the work-sharded chase.
+  int max_attempts = 3;
+  double backoff_base_ms = 2.0;
+  double backoff_cap_ms = 100.0;
+  uint64_t jitter_seed = 1;
+
+  /// Liveness: workers beat every `heartbeat_interval_ms`; silent for
+  /// `heartbeat_timeout_ms` means stalled → SIGKILL → respawn + rebuild.
+  double heartbeat_interval_ms = 5.0;
+  double heartbeat_timeout_ms = 1000.0;
+
+  /// Deadline for handing a command frame to a worker's pipe. A stalled
+  /// worker with a full command pipe must cost at most this long before
+  /// being declared dead (the coordinator's write end is non-blocking).
+  /// 0: use heartbeat_timeout_ms.
+  double command_timeout_ms = 0.0;
+
+  /// Hard kernel caps installed in every storage worker (0 = uncapped).
+  WorkerLimits limits;
+
+  /// When a shard exhausts its retry budget (including rebuild
+  /// failures), compute its slice inline in the coordinator for the rest
+  /// of the layout epoch — still bit-identical. Disabled, the run aborts
+  /// with Status::kShardLost at the last committed round boundary.
+  bool inline_fallback = true;
+
+  /// Injected faults, matched by (boundary, shard, attempt, phase); each
+  /// fires at most once.
+  std::vector<StorageFault> faults;
+};
+
+/// One recovery-relevant event.
+struct StorageShardEvent {
+  uint64_t boundary = 0;
+  uint32_t shard = 0;
+  int attempt = 0;
+  /// "sigkill", "oom", "heartbeat-timeout", "corrupt-reply", "bad-reply",
+  /// "bad-ack", "rebuild-failed", "spawn-failed", "write-failed",
+  /// "command-timeout", "inline-fallback", "reseed", "reshard".
+  std::string cause;
+};
+
+/// Coordinator-side counters for the whole run.
+struct StorageShardStats {
+  uint64_t rounds = 0;
+  size_t workers_spawned = 0;
+  size_t respawns = 0;
+  size_t worker_deaths = 0;
+  size_t heartbeat_timeouts = 0;
+  size_t corrupt_replies = 0;
+  size_t bad_acks = 0;
+  size_t rebuilds = 0;
+  size_t reseeds = 0;
+  size_t inline_fallbacks = 0;
+  size_t exchanged_bytes = 0;
+  size_t exchanged_candidates = 0;
+  /// Facts shipped to owners through delta commands (sum over rounds of
+  /// delta size — each fact goes to exactly one owner plus the
+  /// replicated frontier).
+  size_t shipped_facts = 0;
+  size_t logs_written = 0;
+  size_t logs_pruned = 0;
+  /// Largest fragment (owned facts) any shard reported, and the largest
+  /// worker RSS seen in an ack. The fragment count is the honest memory
+  /// story: fork inherits the parent's resident image copy-on-write, so
+  /// worker RSS floors at the coordinator's footprint.
+  size_t max_fragment_facts = 0;
+  long max_worker_rss_kb = 0;
+  double backoff_wait_ms = 0.0;
+  double recovery_ms = 0.0;
+  int max_shards_used = 0;
+  std::vector<StorageShardEvent> events;
+};
+
+/// Runs the chase with the fact store hash-partitioned across long-lived
+/// storage-shard workers. Each worker owns a fragment of the instance
+/// (its facts by content-hash ownership), receives each round's delta
+/// once (owned facts appended to the fragment, the whole delta replicated
+/// as the discovery frontier), checkpoints the fragment at every round
+/// boundary (tmp+fsync+rename), and answers per-round discovery commands
+/// with CRC-enveloped candidate exchanges carrying per-command sequence
+/// numbers. The coordinator validates every ack against its acknowledged
+/// ownership manifest (expected fragment count + rolling content hash),
+/// retains each round's delta as a durable exchange log before accepting
+/// any ack for that boundary, and survives kill -9 / OOM / stall /
+/// corrupt of any worker by respawning it and rebuilding its fragment
+/// from the newest good checkpoint generation plus exchange-log replay.
+/// Results are bit-identical to Chase(db, tgds, chase_options) at every
+/// shard count — facts, order, levels, null ids, witness certificates,
+/// checkpoint bytes — across mid-run resharding and coordinator restart.
+ChaseResult StorageShardChase(const Instance& db, const TgdSet& tgds,
+                              const ChaseOptions& chase_options,
+                              const StorageShardOptions& storage_options,
+                              StorageShardStats* stats = nullptr);
+
+/// Crash-safe storage-sharded chase: resumes the engine from the newest
+/// good generation in `checkpoint_dir` (chase/checkpoint.h), then
+/// continues storage-sharded. Workers of a restarted coordinator rebuild
+/// their fragments from `storage_options.state_dir` (checkpoint + logs)
+/// when usable and are reseeded from the resumed instance otherwise.
+ChaseResult ResumeStorageShardChase(const std::string& checkpoint_dir,
+                                    const Instance& db, const TgdSet& tgds,
+                                    const ChaseOptions& chase_options,
+                                    const StorageShardOptions& storage_options,
+                                    ResumeInfo* info = nullptr,
+                                    StorageShardStats* stats = nullptr);
+
+}  // namespace gqe
+
+#endif  // GQE_SHARD_STORAGE_SHARD_H_
